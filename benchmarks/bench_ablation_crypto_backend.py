@@ -1,0 +1,45 @@
+"""Ablation: real Schnorr crypto vs the registry-backed fast path.
+
+Both backends give identical protocol behaviour; this bench quantifies
+the CPU cost difference that justifies defaulting large simulations to
+the hashed backend (DESIGN.md design choice 5).
+"""
+
+import pytest
+
+from repro.crypto import get_backend
+
+MESSAGE = b"porygon witness proof payload"
+
+
+@pytest.fixture(params=["hashed", "schnorr"])
+def backend_and_pair(request):
+    backend = get_backend(request.param)
+    pair = backend.generate(b"bench-seed")
+    return backend, pair
+
+
+def test_sign(benchmark, backend_and_pair):
+    _, pair = backend_and_pair
+    signature = benchmark(pair.sign, MESSAGE)
+    assert signature
+
+
+def test_verify(benchmark, backend_and_pair):
+    backend, pair = backend_and_pair
+    signature = pair.sign(MESSAGE)
+    ok = benchmark(backend.verify, pair.public_key, MESSAGE, signature)
+    assert ok
+
+
+def test_vrf_eval(benchmark, backend_and_pair):
+    _, pair = backend_and_pair
+    output = benchmark(pair.vrf_eval, b"round-alpha")
+    assert output.value > 0
+
+
+def test_vrf_verify(benchmark, backend_and_pair):
+    backend, pair = backend_and_pair
+    output = pair.vrf_eval(b"round-alpha")
+    ok = benchmark(backend.vrf_verify, pair.public_key, b"round-alpha", output)
+    assert ok

@@ -1,0 +1,18 @@
+"""Figure 7(a): prototype scalability — throughput/latency vs nodes."""
+
+from repro.harness import fig7a_prototype_scalability
+from repro.metrics import growth_factor, is_monotonic
+
+
+def test_fig7a_prototype_scalability(benchmark, record_result):
+    result = benchmark.pedantic(fig7a_prototype_scalability, rounds=1, iterations=1)
+    record_result(result)
+    tps = result.column("throughput_tps")
+    # Paper shape: near-linear throughput growth with shard count...
+    assert is_monotonic(tps, increasing=True)
+    assert growth_factor(tps) > 2.0  # 3x shards -> ~3x TPS
+    # ...while block latency stays nearly flat.
+    latency = result.column("block_latency_s")
+    assert max(latency) < 1.25 * min(latency)
+    # Commit latency spans the pipeline depth (several rounds).
+    assert all(c > b for c, b in zip(result.column("commit_latency_s"), latency))

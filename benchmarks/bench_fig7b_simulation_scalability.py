@@ -1,0 +1,20 @@
+"""Figure 7(b): simulation scalability up to ~100,000 nodes."""
+
+from repro.harness import fig7b_simulation_scalability
+from repro.metrics import growth_factor, is_monotonic
+
+
+def test_fig7b_simulation_scalability(benchmark, record_result):
+    result = benchmark.pedantic(fig7b_simulation_scalability, rounds=1, iterations=1)
+    record_result(result)
+    tps = result.column("throughput_tps")
+    assert is_monotonic(tps, increasing=True)
+    # Paper: 8,310 -> 38,940 TPS over 10 -> 50 shards (x4.69).
+    assert 3.5 < growth_factor(tps) < 5.5
+    assert 6_000 < tps[0] < 11_000
+    # Latency creeps from ~7.8 to ~8.3 s.
+    latency = result.column("block_latency_s")
+    assert is_monotonic(latency, increasing=True, tolerance=0.02)
+    assert latency[-1] < 1.15 * latency[0]
+    # Largest configuration really is the 100k-node scale.
+    assert result.column("nodes")[-1] > 100_000

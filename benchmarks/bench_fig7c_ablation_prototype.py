@@ -1,0 +1,18 @@
+"""Figure 7(c): optimization effect (1D -> 2D -> 3D) in the prototype."""
+
+from repro.harness import fig7c_ablation_prototype
+from repro.metrics import is_monotonic
+
+
+def test_fig7c_ablation_prototype(benchmark, record_result):
+    result = benchmark.pedantic(fig7c_ablation_prototype, rounds=1, iterations=1)
+    record_result(result)
+    tps = result.column("throughput_tps")
+    baseline, pipelined, two_shards, five_shards = tps
+    # The staircase: every added dimension helps.
+    assert is_monotonic(tps, increasing=True)
+    # Pipelining alone gives a solid boost (paper: 740 -> 1,020, x1.38).
+    assert pipelined > 1.05 * baseline
+    # Sharding dominates: 5 shards several times the 1D baseline.
+    assert five_shards > 3 * baseline
+    assert five_shards > 2 * two_shards * 0.9  # near-linear in shards

@@ -1,0 +1,18 @@
+"""Figure 7(d): optimization effect (1D -> 2D -> 3D) in simulations."""
+
+from repro.harness import fig7d_ablation_simulation
+from repro.metrics import is_monotonic
+
+
+def test_fig7d_ablation_simulation(benchmark, record_result):
+    result = benchmark.pedantic(fig7d_ablation_simulation, rounds=1, iterations=1)
+    record_result(result)
+    tps = result.column("throughput_tps")
+    baseline, pipelined, two_shards, five_shards = tps
+    assert is_monotonic(tps, increasing=True)
+    assert pipelined > 1.2 * baseline       # inter-block parallelism
+    assert two_shards > 1.8 * pipelined     # inner-block parallelism
+    assert five_shards > 4 * pipelined
+    # Pipelining also shortens rounds (the latency side of the gain).
+    latency = result.column("block_latency_s")
+    assert latency[1] < latency[0]

@@ -1,0 +1,21 @@
+"""Figure 8(a): Porygon vs ByShard vs Blockene (prototype)."""
+
+from repro.harness import fig8a_comparison_prototype
+from repro.metrics import is_monotonic
+
+
+def test_fig8a_comparison_prototype(benchmark, record_result):
+    result = benchmark.pedantic(fig8a_comparison_prototype, rounds=1, iterations=1)
+    record_result(result)
+    porygon = result.column("porygon_tps")
+    byshard = result.column("byshard_tps")
+    blockene = result.column("blockene_tps")
+    # Porygon wins at every scale and both sharded systems grow.
+    assert all(p > b for p, b in zip(porygon, byshard))
+    assert all(p > bl for p, bl in zip(porygon, blockene))
+    assert is_monotonic(porygon, increasing=True)
+    assert is_monotonic(byshard, increasing=True)
+    # Blockene is flat: a single committee cannot use extra nodes.
+    assert max(blockene) == min(blockene)
+    # Paper: Porygon beats the sharding baseline by ~2.3x at scale.
+    assert porygon[-1] > 1.4 * byshard[-1]

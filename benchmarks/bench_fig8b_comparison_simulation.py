@@ -1,0 +1,18 @@
+"""Figure 8(b): throughput comparison in simulations (100 -> 1,000 nodes)."""
+
+from repro.harness import fig8b_comparison_simulation
+from repro.metrics import growth_factor, is_monotonic
+
+
+def test_fig8b_comparison_simulation(benchmark, record_result):
+    result = benchmark.pedantic(fig8b_comparison_simulation, rounds=1, iterations=1)
+    record_result(result)
+    porygon = result.column("porygon_tps")
+    byshard = result.column("byshard_tps")
+    blockene = result.column("blockene_tps")
+    # Porygon has the fastest growth (paper: 8,760 -> 57,220).
+    assert is_monotonic(porygon, increasing=True)
+    assert growth_factor(porygon) > growth_factor(byshard)
+    assert growth_factor(porygon) > 5
+    assert 6_000 < porygon[0] < 11_000  # paper: 8,760 at 100 nodes
+    assert all(p > b > bl for p, b, bl in zip(porygon, byshard, blockene))

@@ -1,0 +1,26 @@
+"""Figure 8(c): throughput vs latency under varied submission rates."""
+
+from repro.harness import fig8c_throughput_latency
+from repro.metrics import is_monotonic
+
+
+def test_fig8c_throughput_latency(benchmark, record_result):
+    result = benchmark.pedantic(fig8c_throughput_latency, rounds=1, iterations=1)
+    record_result(result)
+    porygon_tps = result.column("porygon_tps")
+    porygon_lat = result.column("porygon_latency_s")
+    byshard_tps = result.column("byshard_tps")
+    byshard_lat = result.column("byshard_latency_s")
+    blockene_tps = result.column("blockene_tps")
+
+    # "Porygon has longer latency at first" (pipeline depth) ...
+    assert porygon_lat[0] > byshard_lat[0]
+    # ... but the highest capacity at the top of the sweep.
+    assert porygon_tps[-1] > byshard_tps[-1] > blockene_tps[-1]
+    # Porygon keeps tracking the offered rate; latency stays moderate.
+    assert is_monotonic(porygon_tps, increasing=True)
+    assert porygon_lat[-1] < byshard_lat[-1]
+    # Blockene saturates early at its single-committee capacity.
+    assert blockene_tps[-1] < 1.05 * blockene_tps[1]
+    # Saturated systems show the latency blow-up.
+    assert byshard_lat[-1] > 3 * byshard_lat[0]

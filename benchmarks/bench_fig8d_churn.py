@@ -1,0 +1,25 @@
+"""Figure 8(d): throughput under varied node participating time."""
+
+from repro.harness import fig8d_churn
+from repro.metrics import is_monotonic
+
+
+def test_fig8d_churn(benchmark, record_result):
+    result = benchmark.pedantic(fig8d_churn, rounds=1, iterations=1)
+    record_result(result)
+    porygon = result.column("porygon_tps")
+    blockene = result.column("blockene_tps")
+    # Both recover as nodes stay longer...
+    assert is_monotonic(porygon, increasing=True, tolerance=0.01)
+    assert is_monotonic(blockene, increasing=True, tolerance=0.01)
+    # ...but Porygon's 3-round committee lifetime recovers far earlier
+    # than Blockene's 50-block cycle (the paper's robustness claim).
+    porygon_recovery = next(i for i, tps in enumerate(porygon) if tps > 0)
+    stays = result.column("mean_stay_s")
+    blockene_positive = [i for i, tps in enumerate(blockene) if tps > 0]
+    if blockene_positive:
+        assert blockene_positive[0] > porygon_recovery
+    else:
+        # Blockene never recovers within the sweep - stronger still.
+        assert porygon[-1] > 0
+    assert stays[porygon_recovery] <= 120

@@ -1,0 +1,17 @@
+"""Figure 9(a): storage consumption vs block height."""
+
+from repro.harness import fig9a_storage
+from repro.metrics import is_monotonic
+
+
+def test_fig9a_storage(benchmark, record_result):
+    result = benchmark.pedantic(fig9a_storage, rounds=1, iterations=1)
+    record_result(result)
+    porygon = result.column("porygon_node_bytes")
+    byshard = result.column("byshard_node_bytes")
+    # Porygon stateless nodes: flat at ~5 MB.
+    assert all(4_500_000 < bytes_ < 5_500_000 for bytes_ in porygon)
+    assert max(porygon) - min(porygon) < 100_000
+    # ByShard full nodes: strictly growing with height.
+    assert is_monotonic(byshard, increasing=True)
+    assert byshard[-1] > 3 * byshard[0]

@@ -1,0 +1,17 @@
+"""Section IV-E: communication and storage complexity comparison."""
+
+from repro.harness import sec4e_complexity
+
+
+def test_sec4e_complexity(benchmark, record_result):
+    result = benchmark.pedantic(sec4e_complexity, rounds=1, iterations=1)
+    record_result(result)
+    for row in result.rows:
+        nodes, porygon, rapidchain, elastico, p_store, f_store = row
+        # Porygon has the lowest communication complexity everywhere.
+        assert porygon < elastico < rapidchain
+        # Porygon storage is O(1); full sharding scales with the ledger.
+        assert p_store == 5_000_000
+    # The gap widens with network size.
+    ratios = [row[2] / row[1] for row in result.rows]
+    assert ratios == sorted(ratios)

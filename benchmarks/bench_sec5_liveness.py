@@ -1,0 +1,15 @@
+"""Section V, Theorem 2: liveness under corrupted leaders."""
+
+from repro.harness import sec5_liveness
+
+
+def test_sec5_liveness(benchmark, record_result):
+    result = benchmark.pedantic(sec5_liveness, rounds=1, iterations=1)
+    record_result(result)
+    rows = {row[0]: row for row in result.rows}
+    # P(>15 successive empty rounds) is negligible: 0.25^16 < 2^-30.
+    assert rows[16][1] < 2**-30
+    # Monte Carlo agrees: no run beyond 15 in 200k rounds.
+    assert rows["mc_longest_run"][1] <= 15
+    assert abs(rows["mc_empty_fraction"][1] - 0.25) < 0.01
+    assert abs(rows["expected_delay_rounds"][1] - 4 / 3) < 1e-9

@@ -1,0 +1,21 @@
+"""Table I: performance under different cross-shard transaction ratios."""
+
+from repro.harness import table1_cross_shard_ratio
+from repro.harness.cross_shard import PAPER_TABLE1
+from repro.metrics import is_monotonic
+
+
+def test_table1_cross_shard_ratio(benchmark, record_result):
+    result = benchmark.pedantic(table1_cross_shard_ratio, rounds=1, iterations=1)
+    record_result(result)
+    tps = result.column("throughput_tps")
+    latency = result.column("latency_s")
+    # Throughput decreases mildly; latency increases mildly.
+    assert is_monotonic(tps, increasing=False)
+    assert is_monotonic(latency, increasing=True)
+    measured_drop = tps[-1] / tps[0]
+    paper_drop = PAPER_TABLE1["throughput_tps"][-1] / PAPER_TABLE1["throughput_tps"][0]
+    assert abs(measured_drop - paper_drop) < 0.03  # paper: ~0.96
+    measured_rise = latency[-1] - latency[0]
+    paper_rise = PAPER_TABLE1["latency_s"][-1] - PAPER_TABLE1["latency_s"][0]
+    assert abs(measured_rise - paper_rise) < 0.1  # paper: +0.29 s

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures: result recording."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist an ExperimentResult table under benchmarks/results/.
+
+    pytest captures stdout, so each bench also writes its reproduced
+    table to a file for EXPERIMENTS.md and offline inspection.
+    """
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        table = result.to_table()
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        body = table
+        if result.notes:
+            body += f"\n\nnotes: {result.notes}"
+        if result.paper:
+            body += f"\n\npaper reference: {result.paper}"
+        path.write_text(body + "\n")
+        print()
+        print(table)
+        return result
+
+    return _record

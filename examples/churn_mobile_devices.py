@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Mobile devices that come and go: why committee lifetime matters.
+
+Porygon targets resource-constrained participants — phones that join,
+serve briefly, and leave. A committee member must stay online through
+its whole service window: 3 rounds in Porygon, but a 50-block cycle in
+Blockene. This example sweeps the mean participating time and shows the
+throughput cliff each system falls off (the Figure 8(d) experiment),
+plus the underlying per-committee survival probabilities.
+
+Run:  python examples/churn_mobile_devices.py
+"""
+
+from repro.metrics import format_table
+from repro.perfmodel import (
+    MesoParams,
+    MesoscaleBlockene,
+    MesoscalePorygon,
+    committee_success_probability,
+    survival_probability,
+)
+
+
+def main() -> None:
+    print("=== Throughput under churn: Porygon vs Blockene ===\n")
+    rows = []
+    for stay in (30, 60, 120, 300, 600, 1_200, 2_400, 4_800):
+        porygon = MesoscalePorygon(
+            MesoParams(num_shards=10, mean_stay_s=float(stay))
+        ).run(40)
+        blockene = MesoscaleBlockene(
+            MesoParams(num_shards=1, mean_stay_s=float(stay))
+        ).run(40)
+        rows.append([stay, porygon.throughput_tps, blockene.throughput_tps])
+    print(format_table(["mean_stay_s", "porygon_tps", "blockene_tps"], rows))
+
+    print("\n=== Why: committee survival through the service window ===\n")
+    porygon_service = 3 * 7.9     # 3 rounds of ~7.9 s
+    blockene_service = 50 * 13.0  # 50 sequential blocks of ~13 s
+    rows = []
+    for stay in (60, 300, 1_200, 4_800):
+        rows.append([
+            stay,
+            survival_probability(porygon_service, stay),
+            committee_success_probability(2_000, porygon_service, stay),
+            survival_probability(blockene_service, stay),
+            committee_success_probability(2_000, blockene_service, stay),
+        ])
+    print(format_table(
+        ["mean_stay_s", "porygon_p_node", "porygon_p_round",
+         "blockene_p_node", "blockene_p_round"],
+        rows,
+    ))
+    print(
+        "\nPorygon's short (3-round) committee lifetime — a direct "
+        "consequence of inter-block pipelining — keeps the per-round "
+        "success probability near 1 even when nodes stay only minutes; "
+        "Blockene needs nodes to stay for the whole 50-block cycle."
+    )
+
+
+if __name__ == "__main__":
+    main()

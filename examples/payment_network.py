@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""A Visa-like payment network on Porygon.
+
+The paper motivates Porygon with payment workloads needing ~20,000 TPS.
+This example drives the message-level simulator with a realistic payment
+stream — many unique customers, a tunable fraction of payments crossing
+shards — and shows how throughput and latency respond to the cross-shard
+ratio (the protocol-level counterpart of Table I).
+
+Run:  python examples/payment_network.py
+"""
+
+from repro.core import PorygonConfig, PorygonSimulation
+from repro.metrics import format_table
+from repro.workload import WorkloadGenerator
+
+NUM_SHARDS = 4
+ROUNDS = 8
+TXS_PER_BLOCK = 100
+
+
+def run_with_ratio(cross_shard_ratio: float, seed: int = 3):
+    config = PorygonConfig(
+        num_shards=NUM_SHARDS,
+        nodes_per_shard=8,
+        ordering_size=8,
+        num_storage_nodes=2,
+        txs_per_block=TXS_PER_BLOCK,
+        max_blocks_per_shard_round=2,
+        round_overhead_s=1.0,
+        consensus_step_timeout_s=0.4,
+    )
+    sim = PorygonSimulation(config, seed=seed)
+    demand = NUM_SHARDS * 2 * TXS_PER_BLOCK * ROUNDS
+    generator = WorkloadGenerator(
+        num_accounts=3 * demand,
+        num_shards=NUM_SHARDS,
+        cross_shard_ratio=cross_shard_ratio,
+        unique=True,  # a payment network has many more users than
+        seed=seed,    # concurrently in-flight payments
+    )
+    payments = generator.batch(demand)
+    sim.fund_accounts(sorted({tx.sender for tx in payments}), 1_000)
+    sim.submit(payments)
+    report = sim.run(num_rounds=ROUNDS)
+    return report
+
+
+def main() -> None:
+    print("=== Payment network: cross-shard ratio sweep "
+          f"({NUM_SHARDS} shards, protocol simulator) ===\n")
+    rows = []
+    for ratio in (0.0, 0.25, 0.5, 1.0):
+        report = run_with_ratio(ratio)
+        rows.append([
+            ratio,
+            report.committed,
+            report.throughput_tps,
+            report.commit_latency_s,
+            report.commits_by_kind["cross"],
+            report.aborted,
+        ])
+    print(format_table(
+        ["cross_ratio", "committed", "tps", "commit_latency_s",
+         "cross_committed", "aborted"],
+        rows,
+    ))
+    print(
+        "\nCross-shard payments take two extra pipeline rounds "
+        "(Single-Shard Execution + Multi-Shard Update), so mean commit "
+        "latency grows with the ratio while throughput stays close - "
+        "the Table I behaviour, reproduced at protocol level."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so PEP 517 editable installs (which need ``bdist_wheel``) fail. This shim
+lets ``pip install -e . --no-use-pep517`` (and plain ``pip install -e .``
+on older pips) fall back to ``setup.py develop``. All real metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

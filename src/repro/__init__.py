@@ -1,0 +1,101 @@
+"""Porygon: Scaling Blockchain via 3D Parallelism — full Python reproduction.
+
+This package reimplements, from scratch, the complete system described in
+"Porygon: Scaling Blockchain via 3D Parallelism" (ICDE 2024):
+
+* ``repro.sim`` — discrete-event simulation kernel (processes, timeouts,
+  stores), the substrate for the message-level protocol simulator.
+* ``repro.crypto`` — hashing, signatures (real Schnorr and a fast
+  registry-backed backend), VRF, Merkle trees and sparse Merkle trees.
+* ``repro.chain`` — the chain data model: accounts, transactions with
+  pre-declared access lists, transaction blocks, proposal blocks, votes
+  and witness proofs, all with wire-size accounting.
+* ``repro.state`` — account store, per-shard state subtrees, the sharded
+  global state tree and versioned snapshots for rollback.
+* ``repro.net`` — the network substrate: bandwidth/latency links, message
+  queues, the storage-node gossip overlay and adversarial behaviours.
+* ``repro.committee`` — VRF sortition and committee formation.
+* ``repro.consensus`` — BA*-style committee consensus and a
+  Tendermint-style BFT used by the ByShard baseline.
+* ``repro.core`` — the Porygon protocol itself: storage nodes, stateless
+  nodes, the Witness/Ordering/Execution/Commit pipeline with cross-batch
+  witness, and the OC-coordinated cross-shard protocol.
+* ``repro.baselines`` — Blockene and lightweight ByShard.
+* ``repro.workload`` / ``repro.metrics`` — workload generators and
+  measurement collectors.
+* ``repro.perfmodel`` — the large-scale ("mesoscale") performance
+  simulator used for the paper's 100,000-node experiments.
+* ``repro.analysis`` — committee-safety bounds (Lemma 1), communication /
+  storage complexity models (Section IV-E) and liveness (Theorem 2).
+* ``repro.harness`` — one experiment entry point per paper table/figure.
+
+Quickstart::
+
+    from repro import PorygonConfig, PorygonSimulation
+
+    config = PorygonConfig(num_shards=2, nodes_per_shard=6)
+    sim = PorygonSimulation(config, seed=7)
+    report = sim.run(num_rounds=8)
+    print(report.throughput_tps, report.commit_latency_s)
+"""
+
+import importlib
+
+from repro.errors import (
+    ConsensusError,
+    CryptoError,
+    ReproError,
+    ShardingError,
+    SimulationError,
+    StateError,
+)
+
+__version__ = "1.0.0"
+
+#: Lazily resolved public names -> defining module. Keeps ``import repro``
+#: cheap and avoids importing the whole protocol stack for users who only
+#: need one subsystem.
+_LAZY_EXPORTS = {
+    "Account": "repro.chain.account",
+    "AccountId": "repro.chain.account",
+    "AccessList": "repro.chain.transaction",
+    "Transaction": "repro.chain.transaction",
+    "TxKind": "repro.chain.operations",
+    "TxStatus": "repro.chain.transaction",
+    "PorygonConfig": "repro.core.config",
+    "PorygonSimulation": "repro.core.system",
+    "SimulationReport": "repro.core.system",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+__all__ = [
+    "Account",
+    "AccountId",
+    "AccessList",
+    "ConsensusError",
+    "CryptoError",
+    "PorygonConfig",
+    "PorygonSimulation",
+    "ReproError",
+    "ShardingError",
+    "SimulationError",
+    "SimulationReport",
+    "StateError",
+    "Transaction",
+    "TxKind",
+    "TxStatus",
+    "__version__",
+]

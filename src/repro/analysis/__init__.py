@@ -1,0 +1,49 @@
+"""Analytical results from the paper: safety, complexity, liveness.
+
+* :mod:`repro.analysis.safety` — Lemma 1: every committee has >= 2/3
+  benign members except with negligible probability, via Chernoff
+  bounds in Kullback-Leibler form.
+* :mod:`repro.analysis.complexity` — Section IV-E: communication
+  complexity O(m^2 + wn/m) vs RapidChain O(m^2 + bn log n) and
+  Elastico/OmniLedger O(m^2 + bn); storage O(1) vs O(m |B| / n).
+* :mod:`repro.analysis.liveness` — Theorem 2: P(corrupted leader) and
+  the probability of long empty-block runs.
+"""
+
+from repro.analysis.complexity import (
+    communication_complexity,
+    storage_complexity,
+)
+from repro.analysis.dichotomy import (
+    corruption_tail,
+    dichotomy_summary,
+    minimal_safe_committee,
+)
+from repro.analysis.liveness import (
+    empty_run_probability,
+    expected_commit_delay_rounds,
+    simulate_empty_runs,
+)
+from repro.analysis.safety import (
+    CommitteeSafetyBound,
+    benign_probability,
+    corrupted_probability,
+    kl_divergence,
+    solve_committee_bound,
+)
+
+__all__ = [
+    "CommitteeSafetyBound",
+    "benign_probability",
+    "communication_complexity",
+    "corrupted_probability",
+    "corruption_tail",
+    "dichotomy_summary",
+    "minimal_safe_committee",
+    "empty_run_probability",
+    "expected_commit_delay_rounds",
+    "kl_divergence",
+    "simulate_empty_runs",
+    "solve_committee_bound",
+    "storage_complexity",
+]

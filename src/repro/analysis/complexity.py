@@ -1,0 +1,64 @@
+"""Section IV-E: communication and storage complexity models.
+
+Committing one block, with committee size ``m``, network size ``n`` and
+block size ``b`` (bytes) and cross-shard forwarding payload ``w``:
+
+* Porygon:      O(m^2 + w n / m)   — shard consensus + one forward per
+  shard per round.
+* RapidChain:   O(m^2 + b n log n) — all committee members forward
+  transactions to other shards.
+* Elastico:     O(m^2 + b n)       — final committee aggregates and
+  broadcasts to all nodes.
+* OmniLedger:   O(m^2 + b n)       — client-coordinated, node-client
+  interaction in every shard.
+
+Storage per node: Porygon stateless nodes keep O(1); full-sharding
+systems keep O(m |B| / n).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+#: Systems the paper compares against in Section IV-E.
+SYSTEMS = ("porygon", "rapidchain", "elastico", "omniledger")
+
+
+def communication_complexity(
+    system: str, m: int, n: int, b: float, w: float
+) -> float:
+    """Messages-bytes complexity of committing one block.
+
+    :param system: one of :data:`SYSTEMS`.
+    :param m: committee size.
+    :param n: total number of nodes.
+    :param b: block size.
+    :param w: cross-shard forwarding payload (witness + proposal info).
+    """
+    if system not in SYSTEMS:
+        raise ConfigError(f"unknown system {system!r}; choose from {SYSTEMS}")
+    if m < 1 or n < m:
+        raise ConfigError(f"need 1 <= m <= n, got m={m}, n={n}")
+    consensus = float(m * m)
+    if system == "porygon":
+        return consensus + w * n / m
+    if system == "rapidchain":
+        return consensus + b * n * math.log(max(2, n))
+    # Elastico and OmniLedger share the O(m^2 + bn) form.
+    return consensus + b * n
+
+
+def storage_complexity(system: str, m: int, n: int, ledger_bytes: float) -> float:
+    """Per-node storage: O(1) for Porygon stateless nodes, O(m|B|/n)
+    for full-sharding systems.
+
+    The O(1) constant for Porygon is the ~5 MB of verification material
+    reported in Section VI-C.
+    """
+    if system not in SYSTEMS:
+        raise ConfigError(f"unknown system {system!r}; choose from {SYSTEMS}")
+    if system == "porygon":
+        return 5_000_000.0
+    return m * ledger_bytes / n

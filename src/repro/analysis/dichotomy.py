@@ -1,0 +1,82 @@
+"""Safety-liveness dichotomy: how small can a committee get?
+
+Section V notes "the committee size can be decreased to less than 100 in
+practice while still assuring security, utilizing the idea of
+safety-liveness dichotomy" (Gearbox, CCS'22). The idea: provision a
+committee for *safety only* — corruption must stay below the safety
+threshold with overwhelming probability — and recover *liveness*
+failures (too few honest members online) by detection and
+re-formation, which only costs time.
+
+With per-member corruption probability ``q``, the smallest safe
+committee is the least ``m`` with
+
+    P( Binomial(m, q) >= ceil(threshold * m) ) < 2^-kappa.
+
+Execution committees tolerate up to 1/2 corruption once execution is
+decoupled from ordering (Lemma 3 cites the 1/2 fault tolerance), which
+is what makes double-digit committees possible at the paper's
+``q ~ 0.25`` adversary.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats
+
+from repro.errors import ConfigError
+
+
+def corruption_tail(committee_size: int, q: float, threshold: float) -> float:
+    """P(corrupted members >= ceil(threshold * size))."""
+    if committee_size < 1:
+        raise ConfigError(f"committee_size must be >= 1, got {committee_size}")
+    if not 0 <= q < 1:
+        raise ConfigError(f"q must be in [0,1), got {q}")
+    if not 0 < threshold <= 1:
+        raise ConfigError(f"threshold must be in (0,1], got {threshold}")
+    bound = math.ceil(threshold * committee_size)
+    return float(stats.binom.sf(bound - 1, committee_size, q))
+
+
+def minimal_safe_committee(
+    q: float = 0.25,
+    safety_threshold: float = 0.5,
+    kappa: float = 30,
+    max_size: int = 100_000,
+) -> int:
+    """Smallest committee whose corruption tail is below 2^-kappa.
+
+    ``safety_threshold = 0.5`` is the decoupled execution committee's
+    fault tolerance; ``1/3`` recovers the classic BFT requirement (and
+    a much larger committee).
+    """
+    target = 2.0**-kappa
+    low, high = 1, max_size
+    if corruption_tail(high, q, safety_threshold) >= target:
+        raise ConfigError(
+            f"no committee up to {max_size} meets 2^-{kappa} at q={q}"
+        )
+    # The tail is not strictly monotone in m (ceiling effects), so
+    # binary-search to a candidate and then scan locally.
+    while low < high:
+        mid = (low + high) // 2
+        if corruption_tail(mid, q, safety_threshold) < target:
+            high = mid
+        else:
+            low = mid + 1
+    candidate = low
+    while candidate > 1 and corruption_tail(candidate - 1, q, safety_threshold) < target:
+        candidate -= 1
+    return candidate
+
+
+def dichotomy_summary(
+    q: float = 0.25, kappa: float = 30
+) -> dict[str, int]:
+    """The dichotomy in one table: safety-only vs classic sizes."""
+    return {
+        "safety_only_half_threshold": minimal_safe_committee(q, 0.5, kappa),
+        "classic_third_threshold": minimal_safe_committee(q, 1 / 3, kappa),
+    }

@@ -1,0 +1,144 @@
+"""Lemma 1: committee safety via Chernoff bounds in KL form (Section V).
+
+Setup: total stateless population ``M``; each node lands in a given
+committee with probability ``p``; a fraction ``alpha`` of stateless
+nodes is honest (the paper's adversary controls ``1 - alpha = 1/4``); a
+fraction ``beta = 1/2`` of storage nodes is malicious; each stateless
+node connects to ``m`` random storage nodes.
+
+A node is *benign* if it is honest and has at least one honest storage
+connection: ``p_g = (1 - beta^m) * alpha * p``. It is *corrupted* if it
+is malicious, or honest but isolated: ``p_c = beta^m * alpha * p +
+(1 - alpha) * p``.
+
+The Chernoff bound in KL form gives
+``P(X <= (p_g - eps) M) <= exp(-D_KL(p_g - eps || p_g) M)`` for the
+benign count (and symmetrically for the corrupted count), and the lemma
+follows by choosing eps so both tails are below ``2^-kappa`` and
+checking ``n_g_min > 2 * n_c_max``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+def kl_divergence(p: float, q: float) -> float:
+    """Bernoulli KL divergence D_KL(p || q) in nats."""
+    if not 0 <= p <= 1 or not 0 < q < 1:
+        raise ConfigError(f"invalid Bernoulli parameters p={p}, q={q}")
+    result = 0.0
+    if p > 0:
+        result += p * math.log(p / q)
+    if p < 1:
+        result += (1 - p) * math.log((1 - p) / (1 - q))
+    return result
+
+
+def benign_probability(alpha: float, beta: float, m: int, p: float) -> float:
+    """p_g: P(a stateless node is a benign member of a given committee)."""
+    _check_fractions(alpha, beta, m, p)
+    return (1 - beta**m) * alpha * p
+
+
+def corrupted_probability(alpha: float, beta: float, m: int, p: float) -> float:
+    """p_c: P(a stateless node is a corrupted member)."""
+    _check_fractions(alpha, beta, m, p)
+    return beta**m * alpha * p + (1 - alpha) * p
+
+
+def _check_fractions(alpha: float, beta: float, m: int, p: float) -> None:
+    if not 0 < alpha <= 1:
+        raise ConfigError(f"alpha must be in (0,1], got {alpha}")
+    if not 0 <= beta <= 1:
+        raise ConfigError(f"beta must be in [0,1], got {beta}")
+    if m < 1:
+        raise ConfigError(f"m must be >= 1, got {m}")
+    if not 0 < p <= 1:
+        raise ConfigError(f"p must be in (0,1], got {p}")
+
+
+@dataclass
+class CommitteeSafetyBound:
+    """Result of solving Lemma 1's bound for one parameter set.
+
+    Attributes:
+        benign_min: guaranteed benign members (except w.p. < 2^-kappa).
+        corrupted_max: corrupted-member cap (except w.p. < 2^-kappa).
+        benign_tail_log2: log2 of the benign-side failure probability.
+        corrupted_tail_log2: log2 of the corrupted-side tail.
+        two_thirds_safe: whether benign_min > 2 * corrupted_max.
+    """
+
+    population: int
+    committee_size: float
+    benign_min: int
+    corrupted_max: int
+    benign_tail_log2: float
+    corrupted_tail_log2: float
+
+    @property
+    def two_thirds_safe(self) -> bool:
+        return self.benign_min > 2 * self.corrupted_max
+
+
+def _tail_log2(shifted: float, center: float, population: int) -> float:
+    """log2 of exp(-D_KL(shifted || center) * M)."""
+    return -kl_divergence(shifted, center) * population / math.log(2)
+
+
+def solve_committee_bound(
+    population: int = 1_000_000,
+    committee_size: float = 3_500,
+    alpha: float = 0.75,
+    beta: float = 0.5,
+    m: int = 20,
+    kappa: float = 30,
+) -> CommitteeSafetyBound:
+    """Find the tightest (n_g_min, n_c_max) with both tails < 2^-kappa.
+
+    Numerically chooses eps_g and eps_c (binary search over the KL
+    Chernoff exponents), reproducing Lemma 1's n_g >= 2,225 and
+    n_c <= 1,075 at the paper's parameters.
+    """
+    if population < 1:
+        raise ConfigError(f"population must be >= 1, got {population}")
+    if not 0 < committee_size <= population:
+        raise ConfigError("committee_size must be in (0, population]")
+    p = committee_size / population
+    p_g = benign_probability(alpha, beta, m, p)
+    p_c = corrupted_probability(alpha, beta, m, p)
+
+    # Largest guaranteed benign count: max over eps of (p_g - eps) M
+    # subject to tail < 2^-kappa, i.e. the smallest eps meeting kappa.
+    low, high = 0.0, p_g
+    for _ in range(200):
+        eps = (low + high) / 2
+        if eps == 0 or -_tail_log2(p_g - eps, p_g, population) >= kappa:
+            high = eps
+        else:
+            low = eps
+    eps_g = high
+    benign_min = math.floor((p_g - eps_g) * population)
+
+    low, high = 0.0, 1 - p_c
+    for _ in range(200):
+        eps = (low + high) / 2
+        if eps == 0 or -_tail_log2(p_c + eps, p_c, population) >= kappa:
+            high = eps
+        else:
+            low = eps
+    eps_c = high
+    corrupted_max = math.ceil((p_c + eps_c) * population)
+
+    return CommitteeSafetyBound(
+        population=population,
+        committee_size=committee_size,
+        benign_min=benign_min,
+        corrupted_max=corrupted_max,
+        benign_tail_log2=_tail_log2(p_g - eps_g, p_g, population),
+        corrupted_tail_log2=_tail_log2(p_c + eps_c, p_c, population),
+    )

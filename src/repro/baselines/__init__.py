@@ -1,0 +1,21 @@
+"""Comparison baselines (Section VI "Comparisons").
+
+* :class:`~repro.baselines.blockene.BlockeneSimulation` — the
+  representative stateless blockchain with storage-consensus (1D)
+  parallelism only: a single committee sequentially witnesses, orders,
+  executes and commits one batch per round, reconfiguring every 50
+  blocks. The paper implemented Blockene "based on our codebase"; we do
+  the same, running the Porygon substrate with pipelining and sharding
+  disabled.
+* :class:`~repro.baselines.byshard.ByShardSimulation` — the
+  representative sharding system: *full nodes* per shard running a
+  Tendermint-style consensus, with a sender-shard-coordinated two-phase
+  protocol for cross-shard transactions. Nodes store the ever-growing
+  ledger (Figure 9(a)); the "lightweight" variant gives them the same
+  1 MB/s bandwidth as Porygon's stateless nodes.
+"""
+
+from repro.baselines.blockene import BlockeneSimulation
+from repro.baselines.byshard import ByShardConfig, ByShardSimulation
+
+__all__ = ["BlockeneSimulation", "ByShardConfig", "ByShardSimulation"]

@@ -1,0 +1,58 @@
+"""Blockene: the single-committee stateless baseline (Satija et al.,
+OSDI'20), implemented on the Porygon substrate exactly as the paper's
+own comparison was ("We implement Blockene based on our codebase").
+
+Differences from Porygon captured here:
+
+* **no pipelining** — the committee of a round performs the Witness,
+  Ordering, Execution and Commit phases back to back, one batch at a
+  time (Characteristic 1: sequential transaction processing);
+* **no sharding** — one committee per round, all accounts in one shard
+  (Characteristic 2: underutilized computational resources);
+* **long committee cycle** — members sequentially process
+  ``blocks_per_cycle`` (default 50) blocks before reconfiguration, which
+  is what makes Blockene fragile under churn (Figure 8(d)).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PorygonConfig
+from repro.core.system import PorygonSimulation, SimulationReport
+
+
+class BlockeneSimulation(PorygonSimulation):
+    """A Blockene deployment (1D parallelism only).
+
+    :param committee_size: stateless nodes processing each round.
+    :param num_storage_nodes: Politicians (storage servers).
+    :param blocks_per_cycle: blocks a committee serves before
+        reconfiguration (50 in the paper's Figure 8(d) setting).
+    """
+
+    def __init__(
+        self,
+        committee_size: int = 10,
+        num_storage_nodes: int = 2,
+        txs_per_block: int = 100,
+        blocks_per_cycle: int = 50,
+        seed: int = 0,
+        **overrides,
+    ):
+        config_kwargs = dict(
+            num_shards=1,
+            nodes_per_shard=committee_size,
+            ordering_size=committee_size,
+            num_storage_nodes=num_storage_nodes,
+            storage_connections=min(2, num_storage_nodes),
+            txs_per_block=txs_per_block,
+            pipelining=False,
+            cross_batch_witness=False,
+            stateless_population=2 * committee_size,
+        )
+        config_kwargs.update(overrides)
+        super().__init__(PorygonConfig(**config_kwargs), seed=seed)
+        self.blocks_per_cycle = blocks_per_cycle
+
+    def run(self, num_rounds: int) -> SimulationReport:
+        """Drive rounds; identical reporting to Porygon."""
+        return super().run(num_rounds)

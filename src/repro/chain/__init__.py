@@ -1,0 +1,52 @@
+"""Chain data model: accounts, transactions, blocks and proofs.
+
+Porygon decouples *transaction blocks* (large: the transactions plus
+their pre-declared access lists, built and broadcast by storage nodes)
+from *proposal blocks* (small: committee metadata, the ordered list of
+transaction-block references ``L``, the cross-shard update list ``U`` and
+the state-tree root ``T``, agreed by the Ordering Committee). Every type
+carries a ``size_bytes`` so the network substrate can charge realistic
+transfer times (Section IV-B2, Figure 3).
+"""
+
+from repro.chain.account import Account, AccountId, shard_of
+from repro.chain.operations import TxKind
+from repro.chain.blocks import (
+    BlockHeader,
+    ProposalBlock,
+    TransactionBlock,
+    WitnessProof,
+)
+from repro.chain.results import ExecutionResult, SignedRoot, UpdateList
+from repro.chain.sizes import (
+    HASH_WIRE_SIZE,
+    PROPOSAL_HEADER_SIZE,
+    PUBKEY_WIRE_SIZE,
+    SIGNATURE_WIRE_SIZE,
+    STATE_ENTRY_SIZE,
+    TX_SIZE,
+)
+from repro.chain.transaction import AccessList, Transaction, TxStatus
+
+__all__ = [
+    "AccessList",
+    "Account",
+    "AccountId",
+    "BlockHeader",
+    "ExecutionResult",
+    "HASH_WIRE_SIZE",
+    "PROPOSAL_HEADER_SIZE",
+    "PUBKEY_WIRE_SIZE",
+    "ProposalBlock",
+    "SIGNATURE_WIRE_SIZE",
+    "STATE_ENTRY_SIZE",
+    "SignedRoot",
+    "TX_SIZE",
+    "TxKind",
+    "Transaction",
+    "TransactionBlock",
+    "TxStatus",
+    "UpdateList",
+    "WitnessProof",
+    "shard_of",
+]

@@ -1,0 +1,67 @@
+"""Account model: balances, nonces and shard placement.
+
+Porygon uses an account-based state (Section III-A). Accounts are mapped
+to shards by the last N digits of their ids; for ``2**N`` shards this is
+the low N bits, and :func:`shard_of` generalizes it to any shard count
+with a plain modulus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StateError
+
+#: Account identifiers are plain non-negative integers.
+AccountId = int
+
+
+def shard_of(account_id: AccountId, num_shards: int) -> int:
+    """Shard index owning ``account_id``.
+
+    The paper assigns accounts "based on the last N digits of their IDs";
+    with ``2**N`` shards that is exactly ``account_id % num_shards``.
+    """
+    if num_shards < 1:
+        raise StateError(f"num_shards must be >= 1, got {num_shards}")
+    return account_id % num_shards
+
+
+@dataclass
+class Account:
+    """Mutable account state: balance plus replay-protection nonce."""
+
+    account_id: AccountId
+    balance: int = 0
+    nonce: int = 0
+
+    def __post_init__(self):
+        if self.account_id < 0:
+            raise StateError(f"account id must be non-negative, got {self.account_id}")
+        if self.balance < 0:
+            raise StateError(f"balance must be non-negative, got {self.balance}")
+        if self.nonce < 0:
+            raise StateError(f"nonce must be non-negative, got {self.nonce}")
+
+    def copy(self) -> "Account":
+        """Independent copy (used by snapshots)."""
+        return Account(self.account_id, self.balance, self.nonce)
+
+    def encode(self) -> bytes:
+        """Fixed-width state encoding stored as the SMT leaf value."""
+        return (
+            self.account_id.to_bytes(8, "big")
+            + self.balance.to_bytes(16, "big")
+            + self.nonce.to_bytes(8, "big")
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Account":
+        """Inverse of :meth:`encode`."""
+        if len(data) != 32:
+            raise StateError(f"account encoding must be 32 bytes, got {len(data)}")
+        return cls(
+            account_id=int.from_bytes(data[:8], "big"),
+            balance=int.from_bytes(data[8:24], "big"),
+            nonce=int.from_bytes(data[24:32], "big"),
+        )

@@ -1,0 +1,225 @@
+"""Block structures: transaction blocks, proposal blocks, witness proofs.
+
+Figure 3 of the paper: storage nodes package user submissions into
+*transaction blocks* (transactions + pre-recorded access lists); the
+Ordering Committee chains small *proposal blocks* that reference
+transaction blocks by hash and carry committee membership info and the
+state-tree root. Stateless nodes persist only proposal-block headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.account import AccountId
+from repro.chain.sizes import (
+    HASH_WIRE_SIZE,
+    PROPOSAL_HEADER_SIZE,
+    PUBKEY_WIRE_SIZE,
+    SIGNATURE_WIRE_SIZE,
+    STATE_ENTRY_SIZE,
+    TX_BLOCK_HEADER_SIZE,
+)
+from repro.chain.transaction import Transaction
+from repro.crypto.hashing import domain_digest
+from repro.crypto.merkle import MerkleTree
+from repro.errors import ChainError
+
+_TX_BLOCK_DOMAIN = "repro/tx-block/v1"
+_PROPOSAL_DOMAIN = "repro/proposal/v1"
+_WITNESS_DOMAIN = "repro/witness/v1"
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Compact commitment to a transaction block.
+
+    This is what the Ordering Committee downloads instead of the block
+    body (Challenge 2 / Section IV-C: the OC never fetches transaction
+    contents).
+    """
+
+    block_hash: bytes
+    tx_root: bytes
+    tx_count: int
+    creator: int
+    round_created: int
+
+    @property
+    def size_bytes(self) -> int:
+        return TX_BLOCK_HEADER_SIZE
+
+    def signing_payload(self) -> bytes:
+        """Canonical bytes signed by witnesses."""
+        return domain_digest(
+            _WITNESS_DOMAIN,
+            self.block_hash,
+            self.tx_root,
+            self.tx_count.to_bytes(8, "big"),
+        )
+
+
+class TransactionBlock:
+    """A batch of transactions packaged by one storage node.
+
+    :param transactions: ordered transaction list (~2,000 in the paper).
+    :param creator: id of the packaging storage node.
+    :param round_created: consensus round of creation.
+    """
+
+    def __init__(self, transactions: list[Transaction], creator: int, round_created: int):
+        if not transactions:
+            raise ChainError("a transaction block must contain at least one transaction")
+        self.transactions = list(transactions)
+        self.creator = creator
+        self.round_created = round_created
+        self._merkle = MerkleTree([tx.tx_hash for tx in self.transactions])
+        self.block_hash = domain_digest(
+            _TX_BLOCK_DOMAIN,
+            self._merkle.root,
+            creator.to_bytes(8, "big"),
+            round_created.to_bytes(8, "big"),
+        )
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def tx_root(self) -> bytes:
+        """Merkle root over the transactions."""
+        return self._merkle.root
+
+    def prove_tx(self, index: int):
+        """Merkle inclusion proof for the transaction at ``index``."""
+        return self._merkle.prove(index)
+
+    @property
+    def header(self) -> BlockHeader:
+        """The compact header ordered by the OC."""
+        return BlockHeader(
+            block_hash=self.block_hash,
+            tx_root=self.tx_root,
+            tx_count=len(self.transactions),
+            creator=self.creator,
+            round_created=self.round_created,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Full wire size: header + every transaction with access list."""
+        return TX_BLOCK_HEADER_SIZE + sum(tx.size_bytes for tx in self.transactions)
+
+    def state_keys(self) -> frozenset[AccountId]:
+        """All accounts touched, per the pre-recorded access lists."""
+        keys: set[AccountId] = set()
+        for tx in self.transactions:
+            keys |= tx.access_list.touched
+        return frozenset(keys)
+
+    def shards(self, num_shards: int) -> frozenset[int]:
+        """Shards touched by any transaction in the block."""
+        result: set[int] = set()
+        for tx in self.transactions:
+            result |= tx.shards(num_shards)
+        return frozenset(result)
+
+
+@dataclass(frozen=True)
+class WitnessProof:
+    """A committee member's attestation that a tx block is downloadable.
+
+    Produced during the Witness Phase after the member has successfully
+    downloaded the full block body (Section IV-C1(a)).
+    """
+
+    block_hash: bytes
+    signer: bytes
+    signature: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return HASH_WIRE_SIZE + PUBKEY_WIRE_SIZE + SIGNATURE_WIRE_SIZE
+
+
+@dataclass(frozen=True)
+class ProposalBlock:
+    """The small block the Ordering Committee agrees on each round.
+
+    Attributes:
+        round_number: consensus round that produced this proposal.
+        prev_hash: backward hash link to the previous proposal block.
+        ordered_blocks: the list ``L`` — per-shard ordered tx-block
+            headers; ``ordered_blocks[shard]`` is ``L[shard]``.
+        update_list: the list ``U`` — per-shard cross-shard state updates
+            ``{shard: ((account_id, encoded_state), ...)}`` each shard
+            must apply during Multi-Shard Update.
+        state_root: the global state-tree root ``T`` after this round.
+        shard_roots: per-shard subtree roots aggregated into
+            ``state_root``.
+        aborted_tx_ids: transactions discarded by conflict detection,
+            recorded for integrity.
+        leader: public key of the round leader (lowest VRF).
+        leader_vrf: the leader's VRF value for this round.
+        committee_digest: hash committing to committee membership and
+            the two sortition thresholds.
+    """
+
+    round_number: int
+    prev_hash: bytes
+    ordered_blocks: dict[int, tuple[BlockHeader, ...]]
+    update_list: dict[int, tuple[tuple[AccountId, bytes], ...]]
+    state_root: bytes
+    shard_roots: dict[int, bytes]
+    aborted_tx_ids: tuple[int, ...] = ()
+    leader: bytes = b""
+    leader_vrf: int = 0
+    committee_digest: bytes = b""
+
+    @property
+    def block_hash(self) -> bytes:
+        """Hash chaining proposal blocks together."""
+        parts = [
+            self.round_number.to_bytes(8, "big"),
+            self.prev_hash,
+            self.state_root,
+            self.committee_digest,
+        ]
+        for shard in sorted(self.ordered_blocks):
+            for header in self.ordered_blocks[shard]:
+                parts.append(header.block_hash)
+        for shard in sorted(self.update_list):
+            for account_id, value in self.update_list[shard]:
+                parts.append(account_id.to_bytes(8, "big"))
+                parts.append(value)
+        return domain_digest(_PROPOSAL_DOMAIN, *parts)
+
+    def sublist_for(self, shard: int) -> tuple[BlockHeader, ...]:
+        """``L[shard]`` — only this is sent to shard ``shard``."""
+        return self.ordered_blocks.get(shard, ())
+
+    def updates_for(self, shard: int) -> tuple[tuple[AccountId, bytes], ...]:
+        """``U[shard]`` — cross-shard updates shard ``shard`` must apply."""
+        return self.update_list.get(shard, ())
+
+    @property
+    def tx_block_count(self) -> int:
+        """Total number of transaction blocks referenced."""
+        return sum(len(headers) for headers in self.ordered_blocks.values())
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size — deliberately small (Challenge 1)."""
+        size = PROPOSAL_HEADER_SIZE
+        size += self.tx_block_count * TX_BLOCK_HEADER_SIZE
+        for updates in self.update_list.values():
+            size += len(updates) * STATE_ENTRY_SIZE
+        size += len(self.shard_roots) * HASH_WIRE_SIZE
+        size += len(self.aborted_tx_ids) * 8
+        return size
+
+    def sublist_size_bytes(self, shard: int) -> int:
+        """Wire size of the shard-specific slice (L[shard] + U[shard])."""
+        size = PROPOSAL_HEADER_SIZE
+        size += len(self.sublist_for(shard)) * TX_BLOCK_HEADER_SIZE
+        size += len(self.updates_for(shard)) * STATE_ENTRY_SIZE
+        return size

@@ -1,0 +1,33 @@
+"""Generalized transaction operations beyond plain transfers.
+
+The paper's data model pre-declares each transaction's accessed states
+(Section IV-B2, citing smart-contract sharding analyses), which is
+exactly what richer operations need. Three deterministic operation
+kinds are supported:
+
+* ``TRANSFER`` — the classic two-account payment.
+* ``BATCH_PAY`` — one sender pays several receivers in one atomic
+  transaction (payroll / air-drop). Receivers may live on *multiple*
+  shards, exercising cross-shard coordination beyond pairwise
+  transfers.
+* ``SWEEP`` — state-dependent logic: move everything above a kept
+  minimum to the receiver ("close the account down to a floor"). The
+  transferred amount depends on the sender's balance at execution time,
+  so determinism across committee members is essential — and tested.
+
+Every operation pre-declares its access list, so the Ordering
+Committee's conflict detection and the sharded execution path work
+unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TxKind(enum.Enum):
+    """Operation kinds supported by the executor."""
+
+    TRANSFER = "transfer"
+    BATCH_PAY = "batch_pay"
+    SWEEP = "sweep"

@@ -1,0 +1,127 @@
+"""Execution results exchanged between ESCs and the Ordering Committee.
+
+After the Execution Phase each Execution Sub-Committee member returns to
+the OC (Section IV-D, Figure 6):
+
+* the updated state subtree root ``T^d`` for intra-shard work, signed —
+  modelled by :class:`SignedRoot`; and
+* the set ``S^d`` of key-value pairs updated by cross-shard transactions
+  it pre-executed, modelled inside :class:`ExecutionResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.account import AccountId
+from repro.chain.sizes import (
+    HASH_WIRE_SIZE,
+    PUBKEY_WIRE_SIZE,
+    SIGNATURE_WIRE_SIZE,
+    STATE_ENTRY_SIZE,
+)
+from repro.crypto.hashing import domain_digest
+
+_ROOT_DOMAIN = "repro/signed-root/v1"
+_RESULT_DOMAIN = "repro/exec-result/v1"
+
+
+def root_signing_payload(shard: int, round_number: int, root: bytes) -> bytes:
+    """Canonical bytes an ESC member signs over its execution root."""
+    return domain_digest(
+        _ROOT_DOMAIN,
+        shard.to_bytes(8, "big"),
+        round_number.to_bytes(8, "big"),
+        root,
+    )
+
+
+@dataclass(frozen=True)
+class SignedRoot:
+    """One member's signature over its computed subtree root."""
+
+    shard: int
+    round_number: int
+    root: bytes
+    signer: bytes
+    signature: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return 16 + HASH_WIRE_SIZE + PUBKEY_WIRE_SIZE + SIGNATURE_WIRE_SIZE
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """A member's full Execution Phase output for one shard and round.
+
+    Attributes:
+        shard: shard index ``d``.
+        round_number: execution round.
+        subtree_root: ``T^d`` — root after applying intra-shard txs and
+            assigned U-updates.
+        cross_shard_updates: ``S^d`` — (account, encoded state) pairs
+            produced by pre-executing cross-shard transactions.
+        failed_tx_ids: intra-shard transactions that failed execution
+            (recorded for integrity).
+        signer: reporting member's public key.
+        signature: signature over the result digest.
+    """
+
+    shard: int
+    round_number: int
+    subtree_root: bytes
+    cross_shard_updates: tuple[tuple[AccountId, bytes], ...]
+    failed_tx_ids: tuple[int, ...]
+    signer: bytes
+    signature: bytes
+
+    def result_digest(self) -> bytes:
+        """Digest two members must match on to 'return the same result'."""
+        parts = [
+            self.shard.to_bytes(8, "big"),
+            self.round_number.to_bytes(8, "big"),
+            self.subtree_root,
+        ]
+        for account_id, value in self.cross_shard_updates:
+            parts.append(account_id.to_bytes(8, "big"))
+            parts.append(value)
+        for tx_id in self.failed_tx_ids:
+            parts.append(tx_id.to_bytes(8, "big"))
+        return domain_digest(_RESULT_DOMAIN, *parts)
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            16
+            + HASH_WIRE_SIZE
+            + len(self.cross_shard_updates) * STATE_ENTRY_SIZE
+            + len(self.failed_tx_ids) * 8
+            + PUBKEY_WIRE_SIZE
+            + SIGNATURE_WIRE_SIZE
+        )
+
+
+#: The aggregated update list ``U``: shard -> updates it must apply.
+UpdateList = dict[int, tuple[tuple[AccountId, bytes], ...]]
+
+
+def merge_cross_shard_updates(results: list[ExecutionResult], num_shards: int) -> UpdateList:
+    """Build ``U`` from validated per-shard results (OC, Figure 6 step 4).
+
+    Each updated account is routed to the shard that owns it; later
+    results for the same account override earlier ones within a round
+    (the OC has already discarded conflicting transactions, so repeats
+    can only be identical or ordered by block position).
+    """
+    from repro.chain.account import shard_of
+
+    per_shard: dict[int, dict[AccountId, bytes]] = {}
+    for result in results:
+        for account_id, value in result.cross_shard_updates:
+            owner = shard_of(account_id, num_shards)
+            per_shard.setdefault(owner, {})[account_id] = value
+    return {
+        shard: tuple(sorted(updates.items()))
+        for shard, updates in per_shard.items()
+    }

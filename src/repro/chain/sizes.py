@@ -1,0 +1,39 @@
+"""Wire-size constants (bytes) used for bandwidth accounting.
+
+The prototype in the paper uses ~112-byte transactions, 64-byte-class
+signatures and 33-byte compressed public keys; transaction blocks hold
+about 2,000 transactions. All sizes live here so the bandwidth model can
+be audited (and tweaked) in one place.
+"""
+
+#: One transfer transaction on the wire (Section VI: "about 112 bytes").
+TX_SIZE = 112
+
+#: One signature (Schnorr/Ed25519 class).
+SIGNATURE_WIRE_SIZE = 64
+
+#: One compressed public key.
+PUBKEY_WIRE_SIZE = 33
+
+#: One hash / block reference.
+HASH_WIRE_SIZE = 32
+
+#: One VRF proof.
+VRF_PROOF_WIRE_SIZE = 80
+
+#: One state entry: account id (8) + balance (8) + nonce (8).
+STATE_ENTRY_SIZE = 24
+
+#: One Merkle path entry in an integrity proof.
+MERKLE_PATH_ENTRY_SIZE = 32
+
+#: Fixed part of a transaction-block header: block id, creator id,
+#: tx Merkle root, tx count, round hint.
+TX_BLOCK_HEADER_SIZE = 2 * HASH_WIRE_SIZE + 8 + 8 + 8
+
+#: Fixed part of a proposal block: round, previous-proposal hash, state
+#: root, thresholds, leader VRF value.
+PROPOSAL_HEADER_SIZE = 8 + 2 * HASH_WIRE_SIZE + 16 + VRF_PROOF_WIRE_SIZE
+
+#: Per-access-list entry: account id + read/write flag.
+ACCESS_ENTRY_SIZE = 9

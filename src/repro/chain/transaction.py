@@ -1,0 +1,193 @@
+"""Transactions with pre-declared access lists.
+
+Storage nodes pre-record the states each transaction will access "using
+software tools for concurrency" (Section IV-B2, citing ownership /
+commutativity analysis). We model that by attaching an explicit
+:class:`AccessList` to every transaction; the Ordering Committee's
+cross-shard conflict detection (Section IV-D2) operates purely on these
+lists, exactly as the paper's coordinator does.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.chain.account import AccountId, shard_of
+from repro.chain.operations import TxKind
+from repro.chain.sizes import ACCESS_ENTRY_SIZE, TX_SIZE
+from repro.crypto.hashing import domain_digest
+from repro.errors import ChainError
+
+_TX_DOMAIN = "repro/tx/v1"
+
+_tx_counter = itertools.count()
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle of a transaction."""
+
+    PENDING = "pending"
+    WITNESSED = "witnessed"
+    ORDERED = "ordered"
+    EXECUTED = "executed"
+    COMMITTED = "committed"
+    #: Execution failed (bad nonce, insufficient balance); still recorded
+    #: in the block to preserve integrity (Section IV-C1(c)).
+    FAILED = "failed"
+    #: Discarded by the OC's cross-shard conflict detection but recorded
+    #: in the block for integrity (Section IV-D2).
+    ABORTED_CONFLICT = "aborted_conflict"
+    #: Rolled back after the bounded cross-shard retry window expired.
+    ROLLED_BACK = "rolled_back"
+
+
+@dataclass(frozen=True)
+class AccessList:
+    """Pre-declared read and write sets of a transaction."""
+
+    reads: frozenset[AccountId]
+    writes: frozenset[AccountId]
+
+    @classmethod
+    def for_transfer(cls, sender: AccountId, receiver: AccountId) -> "AccessList":
+        """Access list of a plain transfer: both accounts read+written."""
+        accounts = frozenset({sender, receiver})
+        return cls(reads=accounts, writes=accounts)
+
+    @property
+    def touched(self) -> frozenset[AccountId]:
+        """All accounts the transaction reads or writes."""
+        return self.reads | self.writes
+
+    def shards(self, num_shards: int) -> frozenset[int]:
+        """Shards whose state the transaction touches."""
+        return frozenset(shard_of(acct, num_shards) for acct in self.touched)
+
+    def conflicts_with(self, other: "AccessList") -> bool:
+        """Write-write or read-write overlap (the OC's conflict test)."""
+        if self.writes & other.writes:
+            return True
+        if self.writes & other.reads:
+            return True
+        if self.reads & other.writes:
+            return True
+        return False
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the access list inside a transaction block."""
+        return ACCESS_ENTRY_SIZE * (len(self.reads) + len(self.writes))
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A signed operation initiated by ``sender``.
+
+    The default operation is a transfer of ``amount`` to ``receiver``;
+    richer operations (:class:`~repro.chain.operations.TxKind`) carry
+    extra data in ``payload`` — see :meth:`batch_pay` and :meth:`sweep`.
+    ``submitted_at`` is simulated wall-clock time of user submission and
+    anchors user-perceived latency measurements.
+    """
+
+    sender: AccountId
+    receiver: AccountId
+    amount: int
+    nonce: int
+    submitted_at: float = 0.0
+    access_list: AccessList = None  # type: ignore[assignment]
+    kind: TxKind = TxKind.TRANSFER
+    payload: tuple = ()
+    tx_id: int = field(default_factory=lambda: next(_tx_counter))
+
+    def __post_init__(self):
+        if self.amount < 0:
+            raise ChainError(f"amount must be non-negative, got {self.amount}")
+        if self.access_list is None:
+            object.__setattr__(self, "access_list", self._default_access_list())
+
+    def _default_access_list(self) -> AccessList:
+        if self.kind is TxKind.BATCH_PAY:
+            accounts = frozenset({self.sender} | {rcv for rcv, _ in self.payload})
+            return AccessList(reads=accounts, writes=accounts)
+        return AccessList.for_transfer(self.sender, self.receiver)
+
+    # ------------------------------------------------------------------
+    # Operation factories
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def batch_pay(cls, sender: AccountId, payments, nonce: int,
+                  submitted_at: float = 0.0) -> "Transaction":
+        """One sender atomically pays several receivers.
+
+        :param payments: iterable of ``(receiver, amount)`` pairs.
+        """
+        payments = tuple(payments)
+        if not payments:
+            raise ChainError("batch_pay needs at least one payment")
+        if any(amount < 0 for _, amount in payments):
+            raise ChainError("batch_pay amounts must be non-negative")
+        if any(receiver == sender for receiver, _ in payments):
+            raise ChainError("batch_pay cannot pay the sender itself")
+        total = sum(amount for _, amount in payments)
+        return cls(
+            sender=sender, receiver=payments[0][0], amount=total, nonce=nonce,
+            submitted_at=submitted_at, kind=TxKind.BATCH_PAY, payload=payments,
+        )
+
+    @classmethod
+    def sweep(cls, sender: AccountId, receiver: AccountId, min_keep: int,
+              nonce: int, submitted_at: float = 0.0) -> "Transaction":
+        """Move everything above ``min_keep`` from sender to receiver.
+
+        The moved amount is decided at execution time from the sender's
+        balance — deterministic state-dependent logic.
+        """
+        if min_keep < 0:
+            raise ChainError(f"min_keep must be non-negative, got {min_keep}")
+        return cls(
+            sender=sender, receiver=receiver, amount=0, nonce=nonce,
+            submitted_at=submitted_at, kind=TxKind.SWEEP, payload=(min_keep,),
+        )
+
+    @property
+    def tx_hash(self) -> bytes:
+        """Content hash identifying this transaction on the wire."""
+        parts = [
+            self.kind.value.encode(),
+            self.sender.to_bytes(8, "big"),
+            self.receiver.to_bytes(8, "big"),
+            self.amount.to_bytes(16, "big"),
+            self.nonce.to_bytes(8, "big"),
+            self.tx_id.to_bytes(8, "big"),
+        ]
+        for item in self.payload:
+            if isinstance(item, tuple):
+                for part in item:
+                    parts.append(int(part).to_bytes(16, "big"))
+            else:
+                parts.append(int(item).to_bytes(16, "big"))
+        return domain_digest(_TX_DOMAIN, *parts)
+
+    def home_shard(self, num_shards: int) -> int:
+        """The shard of the initiating account — where CTx pre-executes."""
+        return shard_of(self.sender, num_shards)
+
+    def shards(self, num_shards: int) -> frozenset[int]:
+        """All shards touched by this transaction's access list."""
+        return self.access_list.shards(num_shards)
+
+    def is_cross_shard(self, num_shards: int) -> bool:
+        """True iff the access list spans more than one shard."""
+        return len(self.shards(num_shards)) > 1
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: the paper's ~112-byte payload + the access list.
+
+        Richer operations carry 16 extra bytes per payload entry.
+        """
+        return TX_SIZE + self.access_list.size_bytes + 16 * len(self.payload)

@@ -1,0 +1,31 @@
+"""Committee formation by VRF sortition (Section IV-B3).
+
+Every round, each stateless node evaluates its VRF on
+``hash(latest proposal block) ‖ public key``. The nodes with the lowest
+values form the Ordering Committee; the remainder join the Execution
+Committee born this round, split into Execution Sub-Committees (shards)
+by the last N digits of their VRF values. Two thresholds — the *ordering
+committee threshold* and the *execution committee threshold* — are
+recorded in the latest proposal block so each node can self-assess its
+membership.
+"""
+
+from repro.committee.committee import Committee, CommitteeKind, committee_thresholds
+from repro.committee.sortition import (
+    NodeDraw,
+    RoundAssignment,
+    SortitionParams,
+    run_sortition,
+    sortition_alpha,
+)
+
+__all__ = [
+    "Committee",
+    "CommitteeKind",
+    "NodeDraw",
+    "RoundAssignment",
+    "SortitionParams",
+    "committee_thresholds",
+    "run_sortition",
+    "sortition_alpha",
+]

@@ -1,0 +1,94 @@
+"""Committee value objects and security thresholds."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class CommitteeKind(enum.Enum):
+    """What a committee does in the pipeline."""
+
+    ORDERING = "ordering"
+    EXECUTION = "execution"
+
+
+def committee_thresholds(size: int, corrupted_fraction_bound: float = 1 / 3) -> tuple[int, int]:
+    """Compute (T_w, T_e) for a committee of ``size`` members.
+
+    Both thresholds must exceed the upper bound on corrupted members
+    (Lemmas 2 and 4 use ``T = n̂_c + 1``). With the paper's default
+    bound of 1/3 corrupted, ``T = floor(size/3) + 1``.
+    """
+    if size < 1:
+        raise ConfigError(f"committee size must be >= 1, got {size}")
+    if not 0 <= corrupted_fraction_bound < 1:
+        raise ConfigError(f"corrupted fraction bound must be in [0,1), got {corrupted_fraction_bound}")
+    threshold = math.floor(size * corrupted_fraction_bound) + 1
+    return threshold, threshold
+
+
+@dataclass
+class Committee:
+    """A committee for one pipeline role.
+
+    Attributes:
+        kind: ordering or execution.
+        members: node ids, sorted by ascending VRF value (members[0] has
+            the lowest draw; for the OC that node is the round leader).
+        vrf_values: node id -> VRF value used for the assignment.
+        shard: shard index for an Execution Sub-Committee, else None.
+        round_started: round in which this committee was formed.
+        lifetime_rounds: rounds of service (ECs live 3 rounds; the OC is
+            longer-lived, Section IV-C2).
+    """
+
+    kind: CommitteeKind
+    members: list[int]
+    vrf_values: dict[int, int] = field(default_factory=dict)
+    shard: int | None = None
+    round_started: int = 0
+    lifetime_rounds: int = 3
+
+    def __post_init__(self):
+        if not self.members:
+            raise ConfigError("a committee cannot be empty")
+        if self.kind is CommitteeKind.ORDERING and self.shard is not None:
+            raise ConfigError("the ordering committee is not sharded")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in set(self.members)
+
+    @property
+    def leader(self) -> int:
+        """Member with the lowest VRF value."""
+        return self.members[0]
+
+    @property
+    def witness_threshold(self) -> int:
+        """T_w — witness proofs required for ordering eligibility."""
+        return committee_thresholds(len(self.members))[0]
+
+    @property
+    def execution_threshold(self) -> int:
+        """T_e — identical signed roots required to accept a result."""
+        return committee_thresholds(len(self.members))[1]
+
+    @property
+    def quorum(self) -> int:
+        """2/3 quorum used by the consensus algorithm."""
+        return math.floor(2 * len(self.members) / 3) + 1
+
+    def expires_after(self) -> int:
+        """Last round (inclusive) in which this committee serves."""
+        return self.round_started + self.lifetime_rounds - 1
+
+    def is_active(self, round_number: int) -> bool:
+        """Whether the committee serves in ``round_number``."""
+        return self.round_started <= round_number <= self.expires_after()

@@ -1,0 +1,184 @@
+"""VRF sortition: assigning stateless nodes to committees each round."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.committee.committee import Committee, CommitteeKind
+from repro.crypto.backend import KeyPair, SignatureBackend
+from repro.crypto.hashing import domain_digest
+from repro.errors import ConfigError
+
+_ALPHA_DOMAIN = "repro/sortition-alpha/v1"
+
+
+def sortition_alpha(round_number: int, prev_proposal_hash: bytes) -> bytes:
+    """VRF input for a round: latest proposal hash (+ round number).
+
+    The node's public key is mixed in by the VRF itself (it keys the
+    evaluation), matching Section IV-B3's "inputs of VRF include the hash
+    value of the latest proposal block and the public key".
+    """
+    return domain_digest(_ALPHA_DOMAIN, round_number.to_bytes(8, "big"), prev_proposal_hash)
+
+
+@dataclass(frozen=True)
+class SortitionParams:
+    """Round-formation parameters.
+
+    Attributes:
+        ordering_size: target Ordering Committee size.
+        num_shards: number of Execution Sub-Committees (2**N in the
+            paper; any positive count here).
+        ec_lifetime_rounds: Execution Committee lifetime (3 in the paper).
+        shard_size: cap on members per ESC — the "execution committee
+            threshold": within a shard, only the lowest VRF draws serve.
+            ``None`` admits every drawn node.
+    """
+
+    ordering_size: int
+    num_shards: int
+    ec_lifetime_rounds: int = 3
+    shard_size: int | None = None
+
+    def __post_init__(self):
+        if self.ordering_size < 1:
+            raise ConfigError(f"ordering_size must be >= 1, got {self.ordering_size}")
+        if self.num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.ec_lifetime_rounds < 1:
+            raise ConfigError(f"ec_lifetime_rounds must be >= 1, got {self.ec_lifetime_rounds}")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ConfigError(f"shard_size must be >= 1, got {self.shard_size}")
+
+
+@dataclass(frozen=True)
+class NodeDraw:
+    """One node's verifiable lottery ticket for a round."""
+
+    node_id: int
+    public_key: bytes
+    vrf_value: int
+    vrf_proof: bytes
+
+    def verify(self, backend: SignatureBackend, alpha: bytes) -> bool:
+        """Check the ticket against the round's VRF input."""
+        from repro.crypto.backend import VrfOutput
+
+        return backend.vrf_verify(
+            self.public_key, alpha, VrfOutput(self.vrf_value, self.vrf_proof)
+        )
+
+
+@dataclass
+class RoundAssignment:
+    """Result of one round of sortition.
+
+    Attributes:
+        round_number: the round formed.
+        ordering: the Ordering Committee (only produced when requested —
+            the OC is longer-lived and not reformed every round).
+        shards: shard index -> Execution Sub-Committee born this round.
+        ordering_threshold: largest VRF value admitted to the OC; a node
+            self-assesses membership by comparing its draw.
+    """
+
+    round_number: int
+    ordering: Committee | None
+    shards: dict[int, Committee]
+    ordering_threshold: int
+
+    def execution_committee_of(self, node_id: int) -> Committee | None:
+        """The ESC containing ``node_id``, if any."""
+        for committee in self.shards.values():
+            if node_id in committee:
+                return committee
+        return None
+
+
+def draw_for_node(node_id: int, keypair: KeyPair, alpha: bytes) -> NodeDraw:
+    """Evaluate a node's VRF ticket for a round."""
+    output = keypair.vrf_eval(alpha)
+    return NodeDraw(
+        node_id=node_id,
+        public_key=keypair.public_key,
+        vrf_value=output.value,
+        vrf_proof=output.proof,
+    )
+
+
+def run_sortition(
+    round_number: int,
+    prev_proposal_hash: bytes,
+    draws: list[NodeDraw],
+    params: SortitionParams,
+    form_ordering: bool = True,
+) -> RoundAssignment:
+    """Assign drawn nodes to committees for one round.
+
+    The lowest ``ordering_size`` VRF values form the Ordering Committee
+    (when ``form_ordering``); every other node joins the Execution
+    Committee born this round, sub-divided into shards by
+    ``vrf_value % num_shards`` (the "last N digits" rule for power-of-two
+    shard counts).
+    """
+    if not draws:
+        raise ConfigError("sortition requires at least one draw")
+    ranked = sorted(draws, key=lambda draw: draw.vrf_value)
+
+    ordering: Committee | None = None
+    remaining = ranked
+    ordering_threshold = -1
+    if form_ordering:
+        if len(ranked) <= params.ordering_size:
+            raise ConfigError(
+                f"{len(ranked)} nodes cannot fill an OC of {params.ordering_size} "
+                f"plus execution committees"
+            )
+        oc_draws = ranked[: params.ordering_size]
+        remaining = ranked[params.ordering_size:]
+        ordering_threshold = oc_draws[-1].vrf_value
+        ordering = Committee(
+            kind=CommitteeKind.ORDERING,
+            members=[draw.node_id for draw in oc_draws],
+            vrf_values={draw.node_id: draw.vrf_value for draw in oc_draws},
+            round_started=round_number,
+            lifetime_rounds=10**9,  # effectively long-lived (Section IV-C2)
+        )
+
+    shard_draws: dict[int, list[NodeDraw]] = {s: [] for s in range(params.num_shards)}
+    for draw in remaining:
+        shard_draws[draw.vrf_value % params.num_shards].append(draw)
+
+    if params.shard_size is not None:
+        # Cap each shard at shard_size (lowest draws serve) and refill
+        # under-target shards from the surplus, in global VRF order.
+        # Deterministic, and still driven purely by VRF randomness.
+        surplus: list[NodeDraw] = []
+        for shard in shard_draws:
+            surplus.extend(shard_draws[shard][params.shard_size:])
+            shard_draws[shard] = shard_draws[shard][: params.shard_size]
+        surplus.sort(key=lambda draw: draw.vrf_value)
+        for shard in sorted(shard_draws):
+            while len(shard_draws[shard]) < params.shard_size and surplus:
+                shard_draws[shard].append(surplus.pop(0))
+            shard_draws[shard].sort(key=lambda draw: draw.vrf_value)
+
+    shards: dict[int, Committee] = {}
+    for shard, members in shard_draws.items():
+        if not members:
+            continue
+        shards[shard] = Committee(
+            kind=CommitteeKind.EXECUTION,
+            members=[draw.node_id for draw in members],  # already VRF-sorted
+            vrf_values={draw.node_id: draw.vrf_value for draw in members},
+            shard=shard,
+            round_started=round_number,
+            lifetime_rounds=params.ec_lifetime_rounds,
+        )
+    return RoundAssignment(
+        round_number=round_number,
+        ordering=ordering,
+        shards=shards,
+        ordering_threshold=ordering_threshold,
+    )

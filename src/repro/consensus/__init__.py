@@ -1,0 +1,35 @@
+"""Committee consensus protocols.
+
+* :class:`~repro.consensus.ba_star.BAStar` — the Algorand-style BA*
+  protocol run by Porygon's Ordering Committee (Section IV-C1(b)):
+  a leader proposal followed by two voting steps (soft + cert) with a
+  2/3 quorum.
+* :class:`~repro.consensus.tendermint.Tendermint` — a three-step
+  (propose / prevote / precommit) BFT used by the ByShard baseline's
+  per-shard consensus.
+
+Both are built on :class:`~repro.consensus.engine.CommitteeConsensus`,
+which runs one simulation process per member, exchanges real vote
+messages through a :class:`~repro.consensus.transport.Transport` (so
+bandwidth is charged), and reports a :class:`~repro.consensus.engine.Decision`.
+Malicious members equivocate or stay silent; a corrupted leader yields an
+empty decision, matching Theorem 2's liveness argument.
+"""
+
+from repro.consensus.ba_star import BAStar
+from repro.consensus.engine import CommitteeConsensus, Decision, MemberProfile
+from repro.consensus.tendermint import Tendermint
+from repro.consensus.transport import DirectTransport, Transport
+from repro.consensus.votes import Vote, tally
+
+__all__ = [
+    "BAStar",
+    "CommitteeConsensus",
+    "Decision",
+    "DirectTransport",
+    "MemberProfile",
+    "Tendermint",
+    "Transport",
+    "Vote",
+    "tally",
+]

@@ -1,0 +1,16 @@
+"""BA* — the Algorand-style committee consensus Porygon's OC runs.
+
+Two voting steps after the leader proposal (a graded "soft" step and a
+certifying "cert" step), 2/3 quorum each. See Gilad et al., "Algorand:
+Scaling Byzantine Agreements for Cryptocurrencies" (SOSP'17), which the
+paper adopts for its Ordering Committee (Section IV-C1(b)).
+"""
+
+from repro.consensus.engine import CommitteeConsensus
+
+
+class BAStar(CommitteeConsensus):
+    """BA* instance: proposal + soft vote + cert vote."""
+
+    vote_steps = 2
+    protocol_name = "bastar"

@@ -1,0 +1,283 @@
+"""The committee consensus engine.
+
+One simulation process per member. The leader multicasts its proposal;
+members then run the protocol's vote steps, each with a 2/3 quorum and a
+timeout. Honest members converge on the leader's value when the leader is
+benign; a silent or equivocating leader drives every honest member to the
+EMPTY digest, producing an empty decision — exactly the behaviour
+Theorem 2's liveness analysis assumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+from dataclasses import dataclass, field
+
+from repro.committee.committee import Committee
+from repro.consensus.transport import Transport
+from repro.consensus.votes import Vote, vote_signing_payload
+from repro.crypto.backend import KeyPair, SignatureBackend
+from repro.crypto.hashing import domain_digest
+from repro.errors import ConsensusError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim import Environment
+
+#: Digest honest members fall back to when no value gathers a quorum.
+EMPTY_DIGEST = domain_digest("repro/consensus-empty/v1")
+
+_instance_counter = itertools.count()
+
+
+@dataclass
+class MemberProfile:
+    """Behaviour of one committee member in consensus.
+
+    Attributes:
+        node_id: the member.
+        keypair: signing key.
+        honest: follows the protocol.
+        equivocate: sends conflicting values/votes (implies not honest).
+        silent: sends nothing at all (crash-style fault).
+    """
+
+    node_id: int
+    keypair: KeyPair
+    honest: bool = True
+    equivocate: bool = False
+    silent: bool = False
+
+
+@dataclass
+class Decision:
+    """Outcome of one consensus instance.
+
+    Attributes:
+        instance: instance id.
+        value: agreed payload (None when the decision is empty).
+        value_digest: agreed digest (EMPTY_DIGEST for empty decisions).
+        empty: True when the committee fell back to the empty value.
+        success: True when >= quorum members decided the same digest.
+        decided_counts: digest -> number of members that decided it.
+        duration: simulated seconds from start to the last member's
+            decision.
+    """
+
+    instance: int
+    value: object
+    value_digest: bytes
+    empty: bool
+    success: bool
+    decided_counts: dict[bytes, int] = field(default_factory=dict)
+    duration: float = 0.0
+
+
+class CommitteeConsensus:
+    """Generic leader-based committee consensus.
+
+    Subclasses fix :attr:`vote_steps` (2 for BA*'s soft+cert, 3 for
+    Tendermint-style prevote+precommit+commit).
+    """
+
+    #: Number of voting steps after the proposal.
+    vote_steps = 2
+
+    #: Protocol name used in message types.
+    protocol_name = "consensus"
+
+    def __init__(
+        self,
+        env: "Environment",
+        transport: Transport,
+        committee: Committee,
+        backend: SignatureBackend,
+        profiles: dict[int, MemberProfile],
+        step_timeout: float = 0.5,
+        phase_label: str = "ordering",
+    ):
+        missing = [m for m in committee.members if m not in profiles]
+        if missing:
+            raise ConsensusError(f"profiles missing for members {missing}")
+        self.env = env
+        self.transport = transport
+        self.committee = committee
+        self.backend = backend
+        self.profiles = profiles
+        self.step_timeout = step_timeout
+        self.phase_label = phase_label
+        self.instance = next(_instance_counter)
+        #: Transport demux key: concurrent instances never share mailboxes.
+        self.channel = f"{self.protocol_name}/{self.instance}"
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, proposal_payload: object, proposal_bytes: int):
+        """Process generator: run the instance, return a :class:`Decision`.
+
+        Usage::
+
+            decision = yield env.process(consensus.run(block, block.size_bytes))
+        """
+        started_at = self.env.now
+        digest = self._payload_digest(proposal_payload)
+        self._send_proposal(proposal_payload, digest, proposal_bytes)
+        member_procs = [
+            self.env.process(self._member(profile, proposal_bytes))
+            for profile in (self.profiles[m] for m in self.committee.members)
+            if not profile.silent
+        ]
+        results = yield self.env.all_of(member_procs)
+        decided_counts: dict[bytes, int] = {}
+        payload_by_digest: dict[bytes, object] = {}
+        for member_digest, member_payload in results.values():
+            decided_counts[member_digest] = decided_counts.get(member_digest, 0) + 1
+            if member_payload is not None:
+                payload_by_digest.setdefault(member_digest, member_payload)
+        winner, count = None, 0
+        for candidate, votes in decided_counts.items():
+            if votes > count:
+                winner, count = candidate, votes
+        success = winner is not None and count >= self.committee.quorum
+        empty = winner == EMPTY_DIGEST or winner is None
+        return Decision(
+            instance=self.instance,
+            value=None if empty or not success else payload_by_digest.get(winner),
+            value_digest=winner if success and winner is not None else EMPTY_DIGEST,
+            empty=empty or not success,
+            success=success,
+            decided_counts=decided_counts,
+            duration=self.env.now - started_at,
+        )
+
+    # ------------------------------------------------------------------
+    # Leader behaviour
+    # ------------------------------------------------------------------
+
+    def _payload_digest(self, payload: object) -> bytes:
+        return domain_digest(f"repro/{self.protocol_name}-value/v1", repr(payload).encode())
+
+    def _send_proposal(self, payload: object, digest: bytes, proposal_bytes: int) -> None:
+        leader_profile = self.profiles[self.committee.leader]
+        members = self.committee.members
+        if leader_profile.silent:
+            return
+        if leader_profile.equivocate:
+            # Split the committee between two conflicting proposals.
+            half = len(members) // 2
+            fake = domain_digest("repro/equivocation/v1", digest)
+            self.transport.multicast(
+                leader_profile.node_id, members[:half],
+                f"{self.protocol_name}_proposal", (digest, payload), proposal_bytes,
+                self.phase_label, self.channel,
+            )
+            self.transport.multicast(
+                leader_profile.node_id, members[half:],
+                f"{self.protocol_name}_proposal", (fake, None), proposal_bytes,
+                self.phase_label, self.channel,
+            )
+            return
+        self.transport.multicast(
+            leader_profile.node_id, members,
+            f"{self.protocol_name}_proposal", (digest, payload), proposal_bytes,
+            self.phase_label, self.channel,
+        )
+
+    # ------------------------------------------------------------------
+    # Member behaviour
+    # ------------------------------------------------------------------
+
+    def _member(self, profile: MemberProfile, proposal_bytes: int):
+        """One member's view of the instance; returns (digest, payload)."""
+        mailbox = self.transport.mailbox(profile.node_id, self.channel)
+        vote_buffer: dict[int, list[Vote]] = {s: [] for s in range(self.vote_steps)}
+        my_digest, my_payload = yield from self._await_proposal(mailbox, vote_buffer)
+
+        if profile.equivocate:
+            # Vote junk in every step; never forms a quorum with honest votes.
+            junk = domain_digest("repro/junk-vote/v1", profile.keypair.public_key)
+            for step in range(self.vote_steps):
+                self._cast_vote(profile, step, junk)
+            return EMPTY_DIGEST, None
+
+        for step in range(self.vote_steps):
+            self._cast_vote(profile, step, my_digest)
+            quorum_digest = yield from self._collect_step(mailbox, vote_buffer, step)
+            if quorum_digest is None:
+                my_digest, my_payload = EMPTY_DIGEST, None
+            else:
+                my_digest = quorum_digest
+                if quorum_digest == EMPTY_DIGEST:
+                    my_payload = None
+        return my_digest, my_payload
+
+    def _await_proposal(self, mailbox, vote_buffer):
+        """Wait for the leader's proposal (or time out to EMPTY)."""
+        deadline = self.env.timeout(self.step_timeout)
+        while True:
+            get_event = mailbox.get()
+            winner = yield self.env.any_of([get_event, deadline])
+            if get_event not in winner:
+                mailbox.cancel(get_event)
+                return EMPTY_DIGEST, None
+            message = get_event.value
+            if message.msg_type == f"{self.protocol_name}_proposal":
+                digest, payload = message.payload
+                return digest, payload
+            if message.msg_type == f"{self.protocol_name}_vote":
+                self._buffer_vote(vote_buffer, message.payload)
+
+    def _collect_step(self, mailbox, vote_buffer, step):
+        """Collect step votes until quorum or timeout; returns the digest."""
+        deadline = self.env.timeout(self.step_timeout)
+        while True:
+            quorum_digest = self._quorum_in(vote_buffer[step])
+            if quorum_digest is not None:
+                return quorum_digest
+            get_event = mailbox.get()
+            winner = yield self.env.any_of([get_event, deadline])
+            if get_event not in winner:
+                mailbox.cancel(get_event)
+                return self._quorum_in(vote_buffer[step])
+            message = get_event.value
+            if message.msg_type == f"{self.protocol_name}_vote":
+                self._buffer_vote(vote_buffer, message.payload)
+
+    def _buffer_vote(self, vote_buffer, vote: Vote) -> None:
+        if vote.instance != self.instance:
+            return
+        if vote.step not in vote_buffer:
+            return
+        payload = vote_signing_payload(vote.instance, vote.step, vote.value_digest)
+        if not self.backend.verify(vote.voter, payload, vote.signature):
+            return
+        vote_buffer[vote.step].append(vote)
+
+    def _quorum_in(self, votes: list[Vote]) -> bytes | None:
+        from repro.consensus.votes import tally
+
+        digest, count = tally(votes)
+        if digest is not None and count >= self.committee.quorum:
+            return digest
+        return None
+
+    def _cast_vote(self, profile: MemberProfile, step: int, digest: bytes) -> None:
+        payload = vote_signing_payload(self.instance, step, digest)
+        vote = Vote(
+            instance=self.instance,
+            step=step,
+            value_digest=digest,
+            voter=profile.keypair.public_key,
+            signature=profile.keypair.sign(payload),
+        )
+        self.transport.multicast(
+            profile.node_id,
+            self.committee.members,
+            f"{self.protocol_name}_vote",
+            vote,
+            vote.size_bytes,
+            self.phase_label,
+            self.channel,
+        )

@@ -1,0 +1,16 @@
+"""Tendermint-style BFT used by the ByShard baseline.
+
+Three voting steps after the proposal (prevote, precommit, commit-ack),
+2/3 quorum each — one step more than BA*, giving the baseline its
+slightly longer per-block critical path, consistent with the paper's
+ByShard-on-Tendermint implementation (Section VI "Comparisons").
+"""
+
+from repro.consensus.engine import CommitteeConsensus
+
+
+class Tendermint(CommitteeConsensus):
+    """Tendermint instance: proposal + prevote + precommit + commit-ack."""
+
+    vote_steps = 3
+    protocol_name = "tendermint"

@@ -1,0 +1,82 @@
+"""Transports: how consensus messages travel between committee members.
+
+Consensus logic is transport-agnostic. The
+:class:`DirectTransport` sends votes straight between stateless-node
+endpoints; Porygon's deployment routes everything through storage nodes,
+which the core package models with
+:class:`~repro.core.routing.StorageRoutedTransport` (same interface,
+two-hop timing and byte charges).
+"""
+
+from __future__ import annotations
+
+import abc
+import typing
+
+from repro.net.message import Message
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+    from repro.sim import Environment, Store
+
+
+class Transport(abc.ABC):
+    """Message fabric for consensus instances.
+
+    Messages are demultiplexed by ``channel``: the Ordering Committee
+    runs two consensus instances *simultaneously* in a round (agreeing on
+    the new ordering list and on the previous batch's roots, Figure 4),
+    so concurrent instances must not steal each other's messages.
+    """
+
+    @abc.abstractmethod
+    def mailbox(self, node_id: int, channel: str) -> "Store":
+        """Per-(member, channel) inbox."""
+
+    @abc.abstractmethod
+    def multicast(
+        self,
+        sender: int,
+        recipients: typing.Iterable[int],
+        msg_type: str,
+        payload: object,
+        body_bytes: int,
+        phase: str,
+        channel: str,
+    ) -> None:
+        """Send ``payload`` from ``sender`` to every recipient."""
+
+
+class DirectTransport(Transport):
+    """Member-to-member transport over the :class:`Network` fabric.
+
+    Each (member, channel) pair gets a private mailbox; the underlying
+    network still charges bandwidth on the members' real endpoints.
+    """
+
+    def __init__(self, env: "Environment", network: "Network"):
+        self.env = env
+        self.network = network
+        self._mailboxes: dict[tuple[int, str], "Store"] = {}
+
+    def mailbox(self, node_id: int, channel: str) -> "Store":
+        key = (node_id, channel)
+        if key not in self._mailboxes:
+            self._mailboxes[key] = self.env.store()
+        return self._mailboxes[key]
+
+    def multicast(self, sender, recipients, msg_type, payload, body_bytes, phase, channel) -> None:
+        for recipient in recipients:
+            if recipient == sender:
+                # Loopback: deliver immediately, no bandwidth charged.
+                self.mailbox(recipient, channel).put(
+                    Message(sender, recipient, msg_type, payload, body_bytes, phase)
+                )
+                continue
+            message = Message(sender, recipient, msg_type, payload, body_bytes, phase)
+            delivery = self.network.send(message)
+
+            def into_mailbox(event, _recipient=recipient, _channel=channel):
+                self.mailbox(_recipient, _channel).put(event.value)
+
+            delivery.callbacks.append(into_mailbox)

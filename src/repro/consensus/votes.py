@@ -1,0 +1,53 @@
+"""Vote messages and tallying."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.chain.sizes import HASH_WIRE_SIZE, PUBKEY_WIRE_SIZE, SIGNATURE_WIRE_SIZE
+from repro.crypto.hashing import domain_digest
+
+_VOTE_DOMAIN = "repro/vote/v1"
+
+
+def vote_signing_payload(instance: int, step: int, value_digest: bytes) -> bytes:
+    """Canonical bytes a member signs when voting."""
+    return domain_digest(
+        _VOTE_DOMAIN,
+        instance.to_bytes(8, "big"),
+        step.to_bytes(4, "big"),
+        value_digest,
+    )
+
+
+@dataclass(frozen=True)
+class Vote:
+    """One member's vote in one step of one consensus instance."""
+
+    instance: int
+    step: int
+    value_digest: bytes
+    voter: bytes
+    signature: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return 12 + HASH_WIRE_SIZE + PUBKEY_WIRE_SIZE + SIGNATURE_WIRE_SIZE
+
+
+def tally(votes) -> tuple[bytes | None, int]:
+    """(winning digest, count) over one-vote-per-voter ballots.
+
+    Later duplicate votes from the same voter are ignored (equivocation
+    never double-counts).
+    """
+    first_votes: dict[bytes, bytes] = {}
+    for vote in votes:
+        if vote.voter not in first_votes:
+            first_votes[vote.voter] = vote.value_digest
+    if not first_votes:
+        return None, 0
+    counts = Counter(first_votes.values())
+    digest, count = counts.most_common(1)[0]
+    return digest, count

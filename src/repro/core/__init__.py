@@ -1,0 +1,34 @@
+"""The Porygon protocol: 3D-parallel stateless blockchain (Section IV).
+
+The message-level protocol simulator. Build a
+:class:`~repro.core.config.PorygonConfig`, hand it to
+:class:`~repro.core.system.PorygonSimulation`, and run rounds::
+
+    from repro.core import PorygonConfig, PorygonSimulation
+
+    config = PorygonConfig(num_shards=2, nodes_per_shard=6)
+    sim = PorygonSimulation(config, seed=7)
+    report = sim.run(num_rounds=8)
+
+Round structure (Figures 4 and 6): three concurrent *lanes* per round —
+
+* **Witness lane**: the Execution Committee born this round downloads
+  fresh transaction blocks from storage nodes and signs witness proofs;
+  with cross-batch witness the previous EC picks up late arrivals.
+* **Execution lane**: the EC born two rounds ago executes per the
+  previous proposal block — intra-shard transactions, cross-shard
+  pre-execution (producing ``S``), and U-list application — and returns
+  signed roots/results to the Ordering Committee.
+* **Ordering/Commit lane**: the OC validates witness proofs, detects
+  cross-shard conflicts, builds the next proposal block (``L``, ``U``,
+  ``T``) and agrees on it with BA*.
+
+A round ends when all three lanes complete; the agreed proposal block is
+published to storage nodes, which deterministically apply the committed
+effects and verify their recomputed roots against the committed ``T``.
+"""
+
+from repro.core.config import PorygonConfig
+from repro.core.system import PorygonSimulation, SimulationReport
+
+__all__ = ["PorygonConfig", "PorygonSimulation", "SimulationReport"]

@@ -1,0 +1,139 @@
+"""Configuration for the Porygon protocol simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class PorygonConfig:
+    """All knobs of a Porygon deployment / experiment.
+
+    Defaults mirror the paper's prototype setup (Section VI) scaled to a
+    laptop-friendly size; the benchmark harness overrides them per
+    experiment.
+
+    Attributes:
+        num_shards: number of Execution Sub-Committees (inner-block
+            parallelism); 1 disables sharding.
+        nodes_per_shard: stateless nodes per ESC.
+        ordering_size: Ordering Committee size.
+        num_storage_nodes: off-chain storage nodes (prototype used 2).
+        storage_connections: storage nodes each stateless node connects
+            to (the paper's m; its analysis uses 20, the prototype 2).
+        txs_per_block: transactions per transaction block (~2,000 in the
+            paper; smaller in unit tests).
+        max_blocks_per_shard_round: cap on transaction blocks a shard
+            witnesses per round.
+        stateless_bandwidth_bps: up/downlink of stateless nodes
+            (1 MB/s in the paper).
+        storage_bandwidth_bps: up/downlink of storage nodes. Storage
+            nodes are dedicated cloud servers (10 Gbps class): one
+            server must concurrently feed hundreds of 1 MB/s clients,
+            witness downloads, state transfers *and* routed consensus
+            votes each round.
+        latency_s: stateless <-> storage link latency (~0.5 ms).
+        round_overhead_s: committee formation + candidate-proposal
+            exchange time added to every round (the paper's simulations
+            model this as a fixed 2 s + jitter).
+        consensus_step_timeout_s: BA* per-step timeout.
+        smt_depth: account-tree depth per shard (32 in production; 16 is
+            plenty for simulations and halves hashing cost).
+        crypto_backend: "hashed" (fast) or "schnorr" (real crypto).
+        malicious_stateless_fraction: alpha (paper: 1/4).
+        malicious_storage_fraction: beta (paper: 1/2).
+        ec_lifetime_rounds: Execution Committee lifetime (3).
+        cross_shard_retry_rounds: rounds a failed cross-shard commit is
+            retried before rollback (paper suggests e.g. 2).
+        pipelining: enable inter-block parallelism (ablation knob;
+            disabled = the 1D baseline's sequential phases).
+        cross_batch_witness: enable the Cross-Batch Witness mechanism.
+        decouple_blocks: proposal/transaction block decoupling; when
+            False the proposal carries full transaction bodies
+            (Challenge 1 ablation).
+        prioritize_cross_shard: the paper's stated future work —
+            "deterministically assign priorities to transactions to
+            commit cross-shard transactions before intra-shard
+            transactions". When set, storage nodes package cross-shard
+            transactions into the earliest blocks and the OC's conflict
+            detection resolves intra-vs-cross conflicts in favour of the
+            cross-shard transaction.
+        stateless_population: total stateless-node pool; ``None`` derives
+            ``ordering_size + num_shards * nodes_per_shard`` (the paper's
+            own node counting, e.g. "100 nodes" = 10 shards x 10 nodes).
+            Because ECs live 3 rounds, pool nodes may serve in
+            overlapping committees; their shared bandwidth then models
+            the real contention.
+    """
+
+    num_shards: int = 2
+    nodes_per_shard: int = 6
+    ordering_size: int = 6
+    num_storage_nodes: int = 2
+    storage_connections: int = 2
+    txs_per_block: int = 100
+    max_blocks_per_shard_round: int = 2
+    stateless_bandwidth_bps: float = 1_000_000.0
+    storage_bandwidth_bps: float = 1_250_000_000.0
+    latency_s: float = 0.0005
+    round_overhead_s: float = 2.0
+    consensus_step_timeout_s: float = 0.5
+    smt_depth: int = 16
+    crypto_backend: str = "hashed"
+    malicious_stateless_fraction: float = 0.0
+    malicious_storage_fraction: float = 0.0
+    ec_lifetime_rounds: int = 3
+    cross_shard_retry_rounds: int = 2
+    pipelining: bool = True
+    cross_batch_witness: bool = True
+    decouple_blocks: bool = True
+    prioritize_cross_shard: bool = False
+    stateless_population: int | None = None
+    #: Re-run full sortition for the Ordering Committee every N rounds
+    #: ("the OC can be selected according to a round-robin scheme
+    #: without affecting the basic design of our pipeline",
+    #: Section IV-C2). ``None`` keeps one long-lived OC.
+    oc_reconfig_rounds: int | None = None
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.nodes_per_shard < 1:
+            raise ConfigError(f"nodes_per_shard must be >= 1, got {self.nodes_per_shard}")
+        if self.ordering_size < 1:
+            raise ConfigError(f"ordering_size must be >= 1, got {self.ordering_size}")
+        if self.num_storage_nodes < 1:
+            raise ConfigError(f"num_storage_nodes must be >= 1, got {self.num_storage_nodes}")
+        if not 1 <= self.storage_connections <= self.num_storage_nodes:
+            raise ConfigError(
+                f"storage_connections must be in [1, {self.num_storage_nodes}], "
+                f"got {self.storage_connections}"
+            )
+        if self.txs_per_block < 1:
+            raise ConfigError(f"txs_per_block must be >= 1, got {self.txs_per_block}")
+        if not 0 <= self.malicious_stateless_fraction < 1:
+            raise ConfigError("malicious_stateless_fraction must be in [0, 1)")
+        if not 0 <= self.malicious_storage_fraction <= 1:
+            raise ConfigError("malicious_storage_fraction must be in [0, 1]")
+        if self.ec_lifetime_rounds < 3 and self.pipelining:
+            raise ConfigError("pipelining needs ec_lifetime_rounds >= 3 (witness..execute)")
+        minimum_pool = self.ordering_size + self.num_shards * self.nodes_per_shard
+        if self.stateless_population is not None and self.stateless_population < minimum_pool:
+            raise ConfigError(
+                f"stateless_population {self.stateless_population} < minimum "
+                f"{minimum_pool} (OC + one EC generation)"
+            )
+
+    @property
+    def num_stateless_nodes(self) -> int:
+        """Total stateless-node pool size."""
+        if self.stateless_population is not None:
+            return self.stateless_population
+        return self.ordering_size + self.num_shards * self.nodes_per_shard
+
+    @property
+    def total_nodes(self) -> int:
+        """Stateless + storage node count (the paper's 'network scale')."""
+        return self.num_stateless_nodes + self.num_storage_nodes

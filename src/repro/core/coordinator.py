@@ -1,0 +1,270 @@
+"""The Ordering Committee's cross-shard coordinator (Section IV-D).
+
+The OC is the trusted coordinator between shards. This module holds its
+bookkeeping:
+
+* a **lock table**: accounts touched by ordered-but-uncommitted
+  transactions are locked until their batch commits; later transactions
+  conflicting with a locked account are discarded (recorded for
+  integrity) — "the OC also abandons all transactions submitted in the
+  following rounds having conflicts with previous transactions that have
+  not been committed";
+* **within-batch conflict detection** over pre-declared access lists:
+  cross-shard transactions must not overlap with any other transaction
+  of a different shard in the same batch (same-shard intra conflicts are
+  serialized by the ESC itself and need no OC handling);
+* **U-batch tracking** for the Multi-Shard Update phase: which shards
+  have applied which cross-shard updates, retry counting, and the
+  compensating rollback issued when a shard keeps failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.account import AccountId
+from repro.chain.transaction import Transaction
+
+
+@dataclass
+class ConflictDecision:
+    """Outcome of filtering one batch of transactions.
+
+    Attributes:
+        admitted: transactions accepted into the proposal, in order.
+        aborted: transactions discarded by conflict detection.
+    """
+
+    admitted: list[Transaction] = field(default_factory=list)
+    aborted: list[Transaction] = field(default_factory=list)
+
+    @property
+    def aborted_ids(self) -> tuple[int, ...]:
+        return tuple(tx.tx_id for tx in self.aborted)
+
+
+@dataclass
+class UBatch:
+    """One round's cross-shard update set awaiting Multi-Shard Update.
+
+    Attributes:
+        ordering_round: round whose proposal carried this U list.
+        updates: shard -> ((account, encoded state), ...) to apply.
+        old_values: shard -> pre-image values (for compensating rollback).
+        cross_txs: the cross-shard transactions these updates realize.
+        applied_shards: shards whose application has committed.
+        retries: failed application attempts so far.
+    """
+
+    ordering_round: int
+    updates: dict[int, tuple[tuple[AccountId, bytes], ...]]
+    old_values: dict[int, tuple[tuple[AccountId, bytes], ...]]
+    cross_txs: list[Transaction]
+    applied_shards: set[int] = field(default_factory=set)
+    retries: int = 0
+
+    @property
+    def remaining_shards(self) -> set[int]:
+        return set(self.updates) - self.applied_shards
+
+    @property
+    def complete(self) -> bool:
+        return not self.remaining_shards
+
+
+class CrossShardCoordinator:
+    """Lock table + conflict detection + Multi-Shard Update tracking."""
+
+    def __init__(self, num_shards: int, max_retry_rounds: int = 2):
+        self.num_shards = num_shards
+        self.max_retry_rounds = max_retry_rounds
+        #: account -> round after which the lock expires (inclusive).
+        self._locks: dict[AccountId, int] = {}
+        #: in-flight U batches by ordering round.
+        self.u_batches: dict[int, UBatch] = {}
+
+    # ------------------------------------------------------------------
+    # Locks
+    # ------------------------------------------------------------------
+
+    def is_locked(self, account_id: AccountId, current_round: int) -> bool:
+        """Whether an account is locked for transactions ordered now."""
+        release = self._locks.get(account_id)
+        return release is not None and release >= current_round
+
+    def lock(self, account_ids, until_round: int) -> None:
+        """Lock accounts through ``until_round`` (inclusive)."""
+        for account_id in account_ids:
+            existing = self._locks.get(account_id, -1)
+            self._locks[account_id] = max(existing, until_round)
+
+    def expire_locks(self, current_round: int) -> None:
+        """Drop locks that released before ``current_round``."""
+        self._locks = {
+            account: release
+            for account, release in self._locks.items()
+            if release >= current_round
+        }
+
+    @property
+    def locked_count(self) -> int:
+        return len(self._locks)
+
+    # ------------------------------------------------------------------
+    # Conflict detection (ordering round r)
+    # ------------------------------------------------------------------
+
+    def filter_batch(
+        self, transactions, ordering_round: int,
+        prioritize_cross_shard: bool = False,
+    ) -> ConflictDecision:
+        """Admit or abort each transaction of a batch, in order.
+
+        Rules (Section IV-D2):
+        1. any transaction touching a locked account is aborted;
+        2. a cross-shard transaction conflicting with an *earlier*
+           transaction of the batch belonging to a different shard is
+           aborted (and symmetrically, a transaction conflicting with an
+           earlier cross-shard claim);
+        3. same-shard intra-shard conflicts are admitted — the ESC
+           serializes them during execution.
+
+        Admitted intra transactions lock their accounts until the batch's
+        commit round (r+2); admitted cross-shard transactions until the
+        Multi-Shard Update commit (r+4).
+
+        With ``prioritize_cross_shard`` (the paper's future-work rule),
+        cross-shard transactions are claimed first, so intra-vs-cross
+        conflicts within the batch resolve in the cross transaction's
+        favour deterministically.
+        """
+        if prioritize_cross_shard:
+            transactions = sorted(
+                transactions,
+                key=lambda tx: not tx.is_cross_shard(self.num_shards),
+            )
+        decision = ConflictDecision()
+        #: account -> claiming shard for earlier intra claims this batch.
+        intra_claims: dict[AccountId, int] = {}
+        #: accounts claimed by earlier cross-shard txs this batch.
+        cross_claims: set[AccountId] = set()
+        #: locks to acquire once the batch is filtered — same-batch
+        #: same-shard intra overlaps are legal (the ESC serializes them)
+        #: so admission checks only the pre-batch lock table.
+        new_locks: list[tuple[frozenset[AccountId], int]] = []
+        for tx in transactions:
+            touched = tx.access_list.touched
+            home = tx.home_shard(self.num_shards)
+            is_cross = tx.is_cross_shard(self.num_shards)
+            if any(self.is_locked(account, ordering_round) for account in touched):
+                decision.aborted.append(tx)
+                continue
+            if any(account in cross_claims for account in touched):
+                decision.aborted.append(tx)
+                continue
+            if is_cross and any(
+                intra_claims.get(account, home) != home for account in touched
+            ):
+                decision.aborted.append(tx)
+                continue
+            decision.admitted.append(tx)
+            if is_cross:
+                cross_claims.update(touched)
+                new_locks.append((touched, ordering_round + 4))
+            else:
+                for account in touched:
+                    intra_claims.setdefault(account, home)
+                new_locks.append((touched, ordering_round + 2))
+        for accounts, until_round in new_locks:
+            self.lock(accounts, until_round)
+        return decision
+
+    # ------------------------------------------------------------------
+    # Multi-Shard Update tracking
+    # ------------------------------------------------------------------
+
+    def open_u_batch(
+        self,
+        ordering_round: int,
+        updates: dict[int, tuple[tuple[AccountId, bytes], ...]],
+        old_values: dict[int, tuple[tuple[AccountId, bytes], ...]],
+        cross_txs: list[Transaction],
+    ) -> UBatch:
+        """Register a new U list included in the round's proposal."""
+        batch = UBatch(
+            ordering_round=ordering_round,
+            updates=updates,
+            old_values=old_values,
+            cross_txs=list(cross_txs),
+        )
+        self.u_batches[ordering_round] = batch
+        return batch
+
+    def mark_applied(self, ordering_round: int, shard: int) -> UBatch | None:
+        """Record that a shard's U application committed; returns the
+        batch if it just completed (its cross txs are now committed)."""
+        batch = self.u_batches.get(ordering_round)
+        if batch is None:
+            return None
+        batch.applied_shards.add(shard)
+        if batch.complete:
+            del self.u_batches[ordering_round]
+            return batch
+        return None
+
+    def note_failure(self, ordering_round: int) -> None:
+        """Record one failed application round for a pending batch."""
+        batch = self.u_batches.get(ordering_round)
+        if batch is not None:
+            batch.retries += 1
+
+    def expired_batches(self) -> list[UBatch]:
+        """Batches past the retry window, removed and due for rollback.
+
+        The caller must issue compensating updates restoring
+        ``old_values`` on every shard that already applied.
+        """
+        expired = [
+            batch for batch in self.u_batches.values()
+            if batch.retries > self.max_retry_rounds
+        ]
+        for batch in expired:
+            del self.u_batches[batch.ordering_round]
+        return expired
+
+    # ------------------------------------------------------------------
+    # Speculative round state
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> tuple:
+        """Capture locks and U-batch bookkeeping before building a
+        proposal. If the round's consensus fails, the proposal never
+        existed — locks it acquired and batches it opened must unwind.
+        """
+        locks = dict(self._locks)
+        batches = {
+            rnd: UBatch(
+                ordering_round=batch.ordering_round,
+                updates=dict(batch.updates),
+                old_values=dict(batch.old_values),
+                cross_txs=list(batch.cross_txs),
+                applied_shards=set(batch.applied_shards),
+                retries=batch.retries,
+            )
+            for rnd, batch in self.u_batches.items()
+        }
+        return locks, batches
+
+    def restore_state(self, snapshot: tuple) -> None:
+        """Undo every mutation since the matching :meth:`snapshot_state`."""
+        locks, batches = snapshot
+        self._locks = dict(locks)
+        self.u_batches = batches
+
+    def rollback_updates(self, batch: UBatch) -> dict[int, tuple[tuple[AccountId, bytes], ...]]:
+        """Compensating U entries undoing a failed batch's applied shards."""
+        return {
+            shard: batch.old_values[shard]
+            for shard in batch.applied_shards
+            if shard in batch.old_values
+        }

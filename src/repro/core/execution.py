@@ -1,0 +1,196 @@
+"""Canonical Execution Phase computation (Section IV-C1(c), IV-D).
+
+Every benign ESC member executes deterministically and produces the same
+result, so the simulator computes the canonical execution *once per shard
+per round* and charges each member only its bandwidth, compute time and
+signature. Honest members sign the canonical digest; equivocating members
+sign junk (filtered by the OC's T_e check).
+
+The canonical computation itself follows the stateless client path
+faithfully: states and (non-)inclusion proofs are fetched from storage,
+verified against the shard root recorded in the proposal block, and the
+new subtree root ``T^d`` is recomputed on a
+:class:`~repro.crypto.smt.PartialSparseMerkleTree` — never on the full
+subtree, which a stateless node does not hold.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.chain.account import Account, AccountId
+from repro.chain.blocks import ProposalBlock
+from repro.chain.sizes import MERKLE_PATH_ENTRY_SIZE, STATE_ENTRY_SIZE
+from repro.crypto.smt import PartialSparseMerkleTree
+from repro.errors import ShardingError
+from repro.state.executor import TransactionExecutor
+from repro.state.view import StateView
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chain.transaction import Transaction
+    from repro.core.storage import StorageHub
+
+
+@dataclass
+class CanonicalExecution:
+    """The deterministic outcome all benign members of a shard share.
+
+    Attributes:
+        shard: executing shard ``d``.
+        round_executed: simulation round of the Execution Phase.
+        base_root: subtree root the execution started from (from the
+            proposal block).
+        new_root: ``T^d`` after intra-shard execution + U application.
+        intra_applied: intra-shard transactions that executed
+            successfully.
+        failed_tx_ids: transactions that failed deterministic checks.
+        cross_executed: cross-shard transactions pre-executed here.
+        cross_updates: ``S^d`` — (account, encoded state) pairs from
+            cross-shard pre-execution (not yet in any root).
+        written_owned: (account, encoded state) pairs that *did* enter
+            the new root (intra writes + U applications) — what storage
+            nodes apply when the aggregating proposal commits.
+        u_from_round: ordering round of the U batch applied, if any.
+        witness_round: round in which the executed blocks were witnessed.
+        state_download_bytes: charged per member for states + proofs.
+    """
+
+    shard: int
+    round_executed: int
+    base_root: bytes
+    new_root: bytes
+    intra_applied: list["Transaction"] = field(default_factory=list)
+    failed_tx_ids: tuple[int, ...] = ()
+    cross_executed: list["Transaction"] = field(default_factory=list)
+    cross_updates: tuple[tuple[AccountId, bytes], ...] = ()
+    written_owned: tuple[tuple[AccountId, bytes], ...] = ()
+    u_from_round: int | None = None
+    witness_round: int = -1
+    state_download_bytes: int = 0
+
+
+def state_transfer_bytes(num_accounts: int, smt_depth: int) -> int:
+    """Wire size of ``num_accounts`` states with a batched multi-proof.
+
+    A naive proof ships ``depth`` siblings per key, but proofs for K
+    keys share interior nodes near the root; a batched multi-proof needs
+    roughly ``K * (depth - log2 K)`` distinct siblings. Storage nodes
+    serve states in one batch per request, so the amortized size is what
+    the wire carries.
+    """
+    if num_accounts <= 0:
+        return 0
+    distinct_levels = max(1, smt_depth - max(0, num_accounts.bit_length() - 1))
+    return num_accounts * (
+        STATE_ENTRY_SIZE + distinct_levels * MERKLE_PATH_ENTRY_SIZE
+    )
+
+
+def compute_canonical_execution(
+    shard: int,
+    num_shards: int,
+    proposal: ProposalBlock,
+    hub: "StorageHub",
+    round_executed: int,
+    witness_round: int,
+    u_from_round: int | None = None,
+) -> CanonicalExecution:
+    """Run one shard's Execution Phase for ``proposal`` deterministically.
+
+    The base root is the *speculative head* served by storage — the
+    committed root of the proposal plus the T_e-validated effects of the
+    in-flight predecessor batch (account-disjoint by the OC's locks).
+    Members authenticate the head root via the predecessor execution's
+    T_e signature set.
+    """
+    if shard not in proposal.shard_roots:
+        raise ShardingError(f"proposal has no root for shard {shard}")
+    aborted = set(proposal.aborted_tx_ids)
+
+    transactions: list["Transaction"] = []
+    for header in proposal.sublist_for(shard):
+        block = hub.tx_blocks.get(header.block_hash)
+        if block is None:
+            raise ShardingError("ordered transaction block is missing from storage")
+        transactions.extend(tx for tx in block.transactions if tx.tx_id not in aborted)
+
+    intra = [tx for tx in transactions if not tx.is_cross_shard(num_shards)]
+    cross = [
+        tx for tx in transactions
+        if tx.is_cross_shard(num_shards) and tx.home_shard(num_shards) == shard
+    ]
+    u_entries = proposal.updates_for(shard)
+
+    # Keys this shard owns and will recompute the root over.
+    owned_keys: set[AccountId] = set()
+    for tx in intra:
+        owned_keys |= tx.access_list.touched
+    owned_keys |= {account_id for account_id, _ in u_entries}
+    # Foreign (and own) keys cross-shard pre-execution reads.
+    cross_keys: set[AccountId] = set()
+    for tx in cross:
+        cross_keys |= tx.access_list.touched
+
+    values, proofs, served_root = hub.read_states(
+        shard, sorted(owned_keys | cross_keys), speculative=True
+    )
+    base_root = served_root
+
+    # Stateless verification: pin every owned key into a partial tree.
+    partial = PartialSparseMerkleTree(base_root, depth=hub.state.shards[shard].depth)
+    smt_key = {}
+    for account_id in sorted(owned_keys):
+        key = account_id // num_shards
+        smt_key[account_id] = key
+        value = values[account_id]
+        encoded = value.encode() if value is not None else None
+        proof = proofs[account_id]
+        partial.add_proof(key, encoded, proof)
+
+    # Build the execution view (zero accounts for never-written ids).
+    view = StateView()
+    for account_id, value in values.items():
+        view.load(value if value is not None else Account(account_id))
+
+    # 1. Apply the U list (Multi-Shard Update application).
+    for account_id, encoded in u_entries:
+        account = Account.decode(encoded)
+        view.put(account)
+        partial.update(smt_key[account_id], encoded)
+
+    # 2. Execute intra-shard transactions.
+    outcome = TransactionExecutor().execute(intra, view)
+    for account_id, account in view.written.items():
+        if account_id in smt_key:
+            partial.update(smt_key[account_id], account.encode())
+
+    # 3. Pre-execute cross-shard transactions on a scratch overlay
+    #    seeded from the post-intra view; writes become S, not root.
+    scratch = StateView()
+    for account_id in sorted(cross_keys):
+        scratch.load(view.get(account_id))
+    cross_outcome = TransactionExecutor().execute(cross, scratch)
+
+    failed_ids = outcome.failed_tx_ids + cross_outcome.failed_tx_ids
+    written_owned = tuple(
+        (account_id, account.encode())
+        for account_id, account in sorted(view.written.items())
+    )
+    download_bytes = state_transfer_bytes(
+        len(owned_keys | cross_keys), hub.state.shards[shard].depth
+    )
+    return CanonicalExecution(
+        shard=shard,
+        round_executed=round_executed,
+        base_root=base_root,
+        new_root=partial.root,
+        intra_applied=outcome.applied,
+        failed_tx_ids=failed_ids,
+        cross_executed=cross_outcome.applied,
+        cross_updates=scratch.written_encoded(),
+        written_owned=written_owned,
+        u_from_round=u_from_round,
+        witness_round=witness_round,
+        state_download_bytes=download_bytes,
+    )

@@ -1,0 +1,93 @@
+"""Stateless nodes: identities, connections, fault profiles, storage use."""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.chain.sizes import PROPOSAL_HEADER_SIZE, PUBKEY_WIRE_SIZE
+from repro.crypto.backend import KeyPair, SignatureBackend
+from repro.errors import ConfigError
+from repro.net.endpoint import Endpoint
+from repro.net.faults import FaultProfile
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim import Environment
+
+
+class StatelessNode:
+    """One stateless node: identity, storage links and behaviour."""
+
+    def __init__(
+        self,
+        node_id: int,
+        keypair: KeyPair,
+        endpoint: Endpoint,
+        connections: list[int],
+        faults: FaultProfile | None = None,
+    ):
+        self.node_id = node_id
+        self.keypair = keypair
+        self.endpoint = endpoint
+        self.connections = list(connections)
+        self.faults = faults or FaultProfile.honest()
+
+    @property
+    def is_malicious(self) -> bool:
+        return self.faults.malicious
+
+    @property
+    def public_key(self) -> bytes:
+        return self.keypair.public_key
+
+    def storage_bytes(self, proposal_count: int, committee_size: int) -> int:
+        """Verification material a stateless node retains (Section IV-E).
+
+        Proposal headers (pruned to a recent window) plus committee
+        public keys — O(1) in chain length; the paper reports ~5 MB.
+        """
+        window = min(proposal_count, 64)
+        base_material = 5_000_000  # genesis material, membership info
+        return base_material + window * PROPOSAL_HEADER_SIZE + committee_size * PUBKEY_WIRE_SIZE
+
+
+def build_stateless_population(
+    env: "Environment",
+    count: int,
+    backend: SignatureBackend,
+    network,
+    storage_ids: list[int],
+    connections_per_node: int,
+    malicious_fraction: float,
+    bandwidth_bps: float,
+    first_node_id: int,
+    seed: int = 0,
+) -> dict[int, StatelessNode]:
+    """Create ``count`` stateless nodes registered on ``network``.
+
+    A ``malicious_fraction`` of nodes (chosen pseudo-randomly but
+    deterministically from ``seed``) get equivocating profiles. Every
+    node connects to ``connections_per_node`` storage nodes chosen at
+    random.
+    """
+    if count < 1:
+        raise ConfigError(f"need at least one stateless node, got {count}")
+    rng = random.Random(seed)
+    num_malicious = int(count * malicious_fraction)
+    malicious_ids = set(rng.sample(range(count), num_malicious))
+    nodes: dict[int, StatelessNode] = {}
+    for index in range(count):
+        node_id = first_node_id + index
+        faults = (
+            FaultProfile.byzantine_stateless(seed=node_id)
+            if index in malicious_ids
+            else FaultProfile.honest()
+        )
+        endpoint = network.register(
+            Endpoint(env, node_id, uplink_bps=bandwidth_bps, downlink_bps=bandwidth_bps,
+                     faults=faults)
+        )
+        keypair = backend.generate(f"stateless-{node_id}".encode())
+        links = rng.sample(storage_ids, min(connections_per_node, len(storage_ids)))
+        nodes[node_id] = StatelessNode(node_id, keypair, endpoint, links, faults)
+    return nodes

@@ -1,0 +1,839 @@
+"""The Porygon transaction-processing pipeline (Sections IV-C and IV-D).
+
+Each pipelined round runs three concurrent lanes:
+
+* :meth:`PorygonPipeline.witness_lane` — the EC born this round
+  downloads fresh transaction blocks and signs witness proofs; with
+  cross-batch witness the previous EC handles a second wave of blocks.
+* :meth:`PorygonPipeline.execution_lane` — the EC born two rounds ago
+  executes the previous proposal block's work for its shard: U-list
+  application, intra-shard execution, cross-shard pre-execution.
+* :meth:`PorygonPipeline.ordering_commit_lane` — the OC validates
+  witness proofs, accepts (T_e-checked) execution results, detects
+  cross-shard conflicts, builds proposal block ``B_r`` and agrees on it
+  with BA* routed through storage nodes; on success the block is
+  published and storage applies the committed effects.
+
+The non-pipelined 1D mode (:meth:`run_round_sequential`) runs
+witness -> order -> execute -> commit serially with a single committee —
+the ablation baseline of Figure 7(c)/(d).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from dataclasses import dataclass, field
+
+from repro.chain.blocks import ProposalBlock, TransactionBlock, WitnessProof
+from repro.chain.results import ExecutionResult, merge_cross_shard_updates
+from repro.chain.transaction import Transaction
+from repro.committee import Committee, SortitionParams, run_sortition, sortition_alpha
+from repro.committee.sortition import draw_for_node
+from repro.consensus import BAStar, MemberProfile
+from repro.core.coordinator import CrossShardCoordinator
+from repro.core.execution import CanonicalExecution, compute_canonical_execution
+from repro.core.routing import RoutingFabric, StorageRoutedTransport
+from repro.core.tracker import BatchTracker
+from repro.crypto.hashing import domain_digest
+from repro.errors import ShardingError
+from repro.net.message import Message
+from repro.state.global_state import aggregate_root
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import PorygonConfig
+    from repro.core.nodes import StatelessNode
+    from repro.core.storage import StorageHub, StorageNode
+    from repro.crypto.backend import SignatureBackend
+    from repro.net.network import Network
+    from repro.sim import Environment
+
+#: Simulated compute cost per executed transaction (seconds).
+PER_TX_EXECUTE_S = 20e-6
+
+#: Simulated verification cost per witness signature at the OC.
+PER_PROOF_VERIFY_S = 2e-6
+
+
+@dataclass
+class WitnessedBlock:
+    """A transaction block that passed the Witness Phase."""
+
+    block: TransactionBlock
+    shard: int
+    proofs: list[WitnessProof]
+    witness_round: int
+    witnessed_by_round: int  # round the witnessing EC was born in
+    retry_count: int = 0
+
+
+@dataclass
+class ShardRoundResult:
+    """All of one shard's Execution Phase output for one round."""
+
+    shard: int
+    exec_round: int
+    committee: Committee
+    canonical: CanonicalExecution
+    member_results: list[ExecutionResult] = field(default_factory=list)
+    source_headers: tuple = ()
+    #: U entries of the source proposal (re-dispatched on retry).
+    source_updates: tuple = ()
+    retry_count: int = 0
+    #: Speculation epoch at execution time; results from a rolled-back
+    #: epoch are stale and get re-dispatched instead of validated.
+    epoch: int = 0
+
+
+class PorygonPipeline:
+    """Round engine for the Porygon protocol simulator."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: "PorygonConfig",
+        backend: "SignatureBackend",
+        network: "Network",
+        hub: "StorageHub",
+        storage_nodes: list["StorageNode"],
+        fabric: RoutingFabric,
+        stateless: dict[int, "StatelessNode"],
+        tracker: BatchTracker,
+        gossip=None,
+    ):
+        self.env = env
+        #: Storage-node gossip overlay: broadcast bytes for freshly cut
+        #: transaction blocks and committed proposal blocks are metered
+        #: through it (None disables gossip accounting, e.g. in unit
+        #: tests that build the pipeline directly).
+        self.gossip = gossip
+        self.config = config
+        self.backend = backend
+        self.network = network
+        self.hub = hub
+        self.storage_nodes = storage_nodes
+        self.fabric = fabric
+        self.stateless = stateless
+        self.tracker = tracker
+        self.transport = StorageRoutedTransport(env, fabric)
+        self.coordinator = CrossShardCoordinator(
+            config.num_shards, max_retry_rounds=config.cross_shard_retry_rounds
+        )
+        self.assignments: dict[int, dict[int, Committee]] = {}
+        self.proposals: dict[int, ProposalBlock] = {}
+        self.pending_witnessed: list[WitnessedBlock] = []
+        self.pending_results: list[ShardRoundResult] = []
+        #: shard -> stalled execution work to re-dispatch (retry).
+        self.retry_exec: dict[int, ShardRoundResult] = {}
+        #: per-shard speculation epoch, bumped on every rollback.
+        self.exec_epoch: dict[int, int] = {s: 0 for s in range(config.num_shards)}
+        #: proposal round -> witness metadata per shard for exec lane.
+        self.block_meta: dict[bytes, WitnessedBlock] = {}
+        self.current_round = 0
+        self._storage_ids = [node.node_id for node in storage_nodes]
+
+        # Form the (long-lived) Ordering Committee at genesis.
+        self.oc = self._form_ordering_committee()
+        self.oc_profiles = {
+            member: self._profile(member) for member in self.oc.members
+        }
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+
+    def _profile(self, node_id: int) -> MemberProfile:
+        node = self.stateless[node_id]
+        benign = self.fabric.is_benign(node_id) and not node.is_malicious
+        return MemberProfile(
+            node_id=node_id,
+            keypair=node.keypair,
+            honest=not node.is_malicious,
+            equivocate=node.faults.equivocate,
+            silent=not benign and not node.is_malicious,  # isolated honest node
+        )
+
+    def _draws(self, round_number: int, node_ids) -> list:
+        alpha = sortition_alpha(round_number, self.hub.latest_proposal_hash)
+        return [
+            draw_for_node(node_id, self.stateless[node_id].keypair, alpha)
+            for node_id in node_ids
+        ]
+
+    def _form_ordering_committee(self) -> Committee:
+        params = SortitionParams(
+            ordering_size=self.config.ordering_size,
+            num_shards=self.config.num_shards,
+            ec_lifetime_rounds=self.config.ec_lifetime_rounds,
+        )
+        assignment = run_sortition(
+            0, self.hub.latest_proposal_hash, self._draws(0, self.stateless), params
+        )
+        return assignment.ordering
+
+    def reconfigure_ordering_committee(self, round_number: int) -> Committee:
+        """Round-robin OC reconfiguration (Section IV-C2).
+
+        Re-runs full sortition over the stateless pool with the current
+        round's VRF input, replacing the OC membership and its consensus
+        profiles. The pipeline is unaffected: pending batches carry over
+        and the new committee picks up ordering in the same round.
+        """
+        params = SortitionParams(
+            ordering_size=self.config.ordering_size,
+            num_shards=self.config.num_shards,
+            ec_lifetime_rounds=self.config.ec_lifetime_rounds,
+        )
+        assignment = run_sortition(
+            round_number, self.hub.latest_proposal_hash,
+            self._draws(round_number, self.stateless), params,
+        )
+        self.oc = assignment.ordering
+        self.oc_profiles = {
+            member: self._profile(member) for member in self.oc.members
+        }
+        return self.oc
+
+    def round_ordering_committee(self, round_number: int) -> Committee:
+        """The OC re-ranked by this round's VRF draws.
+
+        Membership is long-lived (Section IV-C2) but the *leader* is the
+        member with the round's lowest VRF value — "the candidate
+        proposal block that carries the lowest VRF value is deemed to be
+        the valid proposal for that round" (Section IV-B3). Rotation is
+        what makes Theorem 2 hold: a corrupted leader costs one empty
+        round, not liveness.
+        """
+        draws = self._draws(round_number, self.oc.members)
+        ranked = sorted(draws, key=lambda draw: draw.vrf_value)
+        return Committee(
+            kind=self.oc.kind,
+            members=[draw.node_id for draw in ranked],
+            vrf_values={draw.node_id: draw.vrf_value for draw in ranked},
+            round_started=self.oc.round_started,
+            lifetime_rounds=self.oc.lifetime_rounds,
+        )
+
+    def form_execution_committees(self, round_number: int) -> dict[int, Committee]:
+        """VRF sortition of this round's Execution Sub-Committees."""
+        pool = [nid for nid in self.stateless if nid not in set(self.oc.members)]
+        params = SortitionParams(
+            ordering_size=1,  # unused (form_ordering=False)
+            num_shards=self.config.num_shards,
+            ec_lifetime_rounds=self.config.ec_lifetime_rounds,
+            shard_size=self.config.nodes_per_shard,
+        )
+        assignment = run_sortition(
+            round_number,
+            self.hub.latest_proposal_hash,
+            self._draws(round_number, pool),
+            params,
+            form_ordering=False,
+        )
+        self.assignments[round_number] = assignment.shards
+        return assignment.shards
+
+    # ------------------------------------------------------------------
+    # Witness Phase (Section IV-C1(a))
+    # ------------------------------------------------------------------
+
+    def _member_witness(self, member_id: int, block: TransactionBlock, shard: int):
+        """One member downloads one block and (maybe) signs a proof."""
+        node = self.stateless[member_id]
+        serving = None
+        for storage_id in node.connections:
+            storage = self.fabric.storage_by_id[storage_id]
+            if storage.serves_body(block.block_hash):
+                serving = storage
+                break
+        if serving is None:
+            return None  # unavailable transactions: no proof possible
+        download = self.network.send(
+            Message(serving.node_id, member_id, "tx_block", block,
+                    block.size_bytes, phase="witness")
+        )
+        yield download
+        if node.is_malicious:
+            return None  # worst case: malicious members withhold proofs
+        payload = block.header.signing_payload()
+        proof = WitnessProof(
+            block_hash=block.block_hash,
+            signer=node.public_key,
+            signature=node.keypair.sign(payload),
+        )
+        # Upload the proof to every connected storage node.
+        for storage_id in node.connections:
+            self.network.send(
+                Message(member_id, storage_id, "witness_proof", proof,
+                        proof.size_bytes, phase="witness")
+            )
+        if self.fabric.is_benign(member_id):
+            self.hub.add_witness_proof(proof)
+        return proof
+
+    def _witness_wave(self, round_number: int, committees: dict[int, Committee],
+                      witnessed_by_round: int):
+        """Cut and witness one wave of blocks; returns WitnessedBlocks."""
+        results: list[WitnessedBlock] = []
+        member_procs = []
+        cut: list[tuple[int, TransactionBlock, Committee]] = []
+        for shard, committee in sorted(committees.items()):
+            blocks = self.hub.cut_blocks(
+                shard, round_number, self.config.max_blocks_per_shard_round,
+                self._storage_ids,
+                prioritize_cross_shard=self.config.prioritize_cross_shard,
+            )
+            for block in blocks:
+                self._gossip_content(block.creator, "tx_block_gossip",
+                                     block.size_bytes)
+                cut.append((shard, block, committee))
+                for member_id in committee.members:
+                    member_procs.append(
+                        self.env.process(self._member_witness(member_id, block, shard))
+                    )
+        if member_procs:
+            yield self.env.all_of(member_procs)
+        for shard, block, committee in cut:
+            count = self.hub.proof_count(block.block_hash)
+            if count >= committee.witness_threshold:
+                witnessed = WitnessedBlock(
+                    block=block,
+                    shard=shard,
+                    proofs=self.hub.proofs_for(block.block_hash),
+                    witness_round=round_number,
+                    witnessed_by_round=witnessed_by_round,
+                )
+                results.append(witnessed)
+                self.block_meta[block.block_hash] = witnessed
+            else:
+                # Data unavailable: requeue so honest storage can repackage.
+                self.hub.requeue(block.transactions)
+        return results
+
+    def witness_lane(self, round_number: int):
+        """Witness Phase lane: wave 1 by EC_r, wave 2 by EC_{r-1}."""
+        committees = self.assignments[round_number]
+        wave1 = yield from self._witness_wave(round_number, committees, round_number)
+        self.pending_witnessed.extend(wave1)
+        if self.config.cross_batch_witness:
+            previous = self.assignments.get(round_number - 1)
+            if previous and self.hub.pending_count() > 0:
+                wave2 = yield from self._witness_wave(
+                    round_number, previous, round_number - 1
+                )
+                self.pending_witnessed.extend(wave2)
+
+    # ------------------------------------------------------------------
+    # Execution Phase (Sections IV-C1(c) and IV-D)
+    # ------------------------------------------------------------------
+
+    def _member_execute(self, member_id: int, shard: int,
+                        canonical: CanonicalExecution, body_bytes: int,
+                        sublist_bytes: int):
+        """Charge one member's Execution Phase and produce its result."""
+        node = self.stateless[member_id]
+        if not self.fabric.is_benign(member_id) and not node.is_malicious:
+            return None  # corrupted member: cannot download states
+        storage = self.fabric.honest_connection(member_id)
+        if storage is None:
+            return None
+        download_size = sublist_bytes + canonical.state_download_bytes + body_bytes
+        transfer = self.network.send(
+            Message(storage.node_id, member_id, "exec_inputs", None,
+                    download_size, phase="execution")
+        )
+        yield transfer
+        work = len(canonical.intra_applied) + len(canonical.cross_executed)
+        yield self.env.timeout(PER_TX_EXECUTE_S * max(1, work))
+        if node.is_malicious:
+            # Equivocate: sign a junk root; never matches the canonical digest.
+            junk_root = domain_digest("repro/junk-root/v1", node.public_key)
+            result = ExecutionResult(
+                shard=shard, round_number=canonical.round_executed,
+                subtree_root=junk_root, cross_shard_updates=(),
+                failed_tx_ids=(), signer=node.public_key, signature=b"",
+            )
+        else:
+            result = ExecutionResult(
+                shard=shard, round_number=canonical.round_executed,
+                subtree_root=canonical.new_root,
+                cross_shard_updates=canonical.cross_updates,
+                failed_tx_ids=canonical.failed_tx_ids,
+                signer=node.public_key, signature=b"",
+            )
+        result = dataclasses.replace(
+            result, signature=node.keypair.sign(result.result_digest())
+        )
+        # Return the result to the Ordering Committee via storage routing.
+        self.fabric.relay(
+            member_id, list(self.oc.members), "exec_result", result,
+            result.size_bytes, "execution", lambda _r, _m: None,
+        )
+        return result
+
+    def execution_lane(self, round_number: int):
+        """Execution Phase lane for the EC born two rounds ago."""
+        proposal = self.proposals.get(round_number - 1)
+        if proposal is None or proposal.tx_block_count == 0 and not proposal.update_list:
+            return
+        committees = self.assignments.get(round_number - 2)
+        if not committees:
+            return
+        shard_procs = []
+        for shard, committee in sorted(committees.items()):
+            has_work = proposal.sublist_for(shard) or proposal.updates_for(shard)
+            if not has_work:
+                continue
+            shard_procs.append(
+                self.env.process(
+                    self._execute_shard(round_number, shard, committee, proposal)
+                )
+            )
+        if shard_procs:
+            yield self.env.all_of(shard_procs)
+
+    def _execute_shard(self, round_number: int, shard: int, committee: Committee,
+                       proposal: ProposalBlock):
+        """One shard's Execution Phase: canonical compute + member charges."""
+        u_round = proposal.round_number if proposal.updates_for(shard) else None
+        canonical = compute_canonical_execution(
+            shard=shard,
+            num_shards=self.config.num_shards,
+            proposal=proposal,
+            hub=self.hub,
+            round_executed=round_number,
+            witness_round=self._witness_round_of(proposal, shard),
+            u_from_round=u_round,
+        )
+        # Members re-download bodies only for blocks they did not witness
+        # ("they do not have to download transactions that they have
+        # witnessed during the Witness Phase").
+        body_bytes = 0
+        for header in proposal.sublist_for(shard):
+            meta = self.block_meta.get(header.block_hash)
+            if meta is None or meta.witnessed_by_round != round_number - 2:
+                block = self.hub.tx_blocks.get(header.block_hash)
+                if block is not None:
+                    body_bytes += block.size_bytes
+        sublist_bytes = proposal.sublist_size_bytes(shard)
+        member_procs = [
+            self.env.process(
+                self._member_execute(member_id, shard, canonical, body_bytes,
+                                     sublist_bytes)
+            )
+            for member_id in committee.members
+        ]
+        results = yield self.env.all_of(member_procs)
+        # Advance the speculative head so the next batch chains its root.
+        self.hub.apply_speculative(shard, canonical.written_owned, round_number)
+        shard_result = ShardRoundResult(
+            shard=shard,
+            exec_round=round_number,
+            committee=committee,
+            canonical=canonical,
+            member_results=[r for r in results.values() if r is not None],
+            source_headers=proposal.sublist_for(shard),
+            source_updates=proposal.updates_for(shard),
+            epoch=self.exec_epoch[shard],
+        )
+        self.pending_results.append(shard_result)
+
+    def _witness_round_of(self, proposal: ProposalBlock, shard: int) -> int:
+        for header in proposal.sublist_for(shard):
+            meta = self.block_meta.get(header.block_hash)
+            if meta is not None:
+                return meta.witness_round
+        return -1
+
+    # ------------------------------------------------------------------
+    # Ordering + Commit Phases (Sections IV-C1(b), IV-C1(d), IV-D2)
+    # ------------------------------------------------------------------
+
+    def ordering_commit_lane(self, round_number: int):
+        """Build, agree on, publish and apply proposal block B_r."""
+        self.coordinator.expire_locks(round_number)
+        coordinator_snapshot = self.coordinator.snapshot_state()
+        round_oc = self.round_ordering_committee(round_number)
+
+        # -- Collect inputs ------------------------------------------------
+        witnessed = self.pending_witnessed
+        self.pending_witnessed = []
+        results = self.pending_results
+        self.pending_results = []
+
+        # OC members download headers + witness proofs (bulk, per member).
+        header_bytes = sum(
+            wb.block.header.size_bytes + len(wb.proofs) * wb.proofs[0].size_bytes
+            for wb in witnessed if wb.proofs
+        )
+        if header_bytes:
+            transfers = []
+            for member_id in self.oc.members:
+                storage = self.fabric.honest_connection(member_id)
+                if storage is None:
+                    continue
+                transfers.append(self.network.send(
+                    Message(storage.node_id, member_id, "headers_proofs", None,
+                            header_bytes, phase="ordering")
+                ))
+            if transfers:
+                yield self.env.all_of(transfers)
+
+        # Verify witness proofs (real signature checks + simulated time).
+        valid_witnessed = []
+        proof_checks = 0
+        for wb in witnessed:
+            payload = wb.block.header.signing_payload()
+            valid = [
+                proof for proof in wb.proofs
+                if self.backend.verify(proof.signer, payload, proof.signature)
+            ]
+            proof_checks += len(wb.proofs)
+            threshold_committee = self.assignments.get(wb.witnessed_by_round, {}).get(wb.shard)
+            threshold = (threshold_committee.witness_threshold
+                         if threshold_committee else max(1, len(valid)))
+            if len(valid) >= threshold:
+                valid_witnessed.append(wb)
+            else:
+                self.hub.requeue(wb.block.transactions)
+        if proof_checks:
+            yield self.env.timeout(PER_PROOF_VERIFY_S * proof_checks)
+
+        # -- Validate execution results (T_e) ------------------------------
+        new_roots = dict(self.hub.state.shard_roots)
+        if self.proposals.get(round_number - 1) is not None:
+            new_roots = dict(self.proposals[round_number - 1].shard_roots)
+        accepted: list[ShardRoundResult] = []
+        for shard_result in results:
+            if shard_result.epoch != self.exec_epoch[shard_result.shard]:
+                # Computed on a rolled-back speculative head: re-dispatch.
+                self._schedule_retry(shard_result, count_failure=False)
+                continue
+            digest_counts: dict[bytes, int] = {}
+            canonical_digest = None
+            for member_result in shard_result.member_results:
+                if not self.backend.verify(
+                    member_result.signer, member_result.result_digest(),
+                    member_result.signature,
+                ):
+                    continue
+                digest = member_result.result_digest()
+                digest_counts[digest] = digest_counts.get(digest, 0) + 1
+                if member_result.subtree_root == shard_result.canonical.new_root:
+                    canonical_digest = digest
+            threshold = shard_result.committee.execution_threshold
+            if canonical_digest is not None and digest_counts.get(canonical_digest, 0) >= threshold:
+                accepted.append(shard_result)
+                new_roots[shard_result.shard] = shard_result.canonical.new_root
+            else:
+                # Not enough consistent results: discard the speculative
+                # effects and redo the work (Section IV-D2 retry).
+                self.hub.rollback_speculative(shard_result.shard, shard_result.exec_round)
+                self.exec_epoch[shard_result.shard] += 1
+                self._schedule_retry(shard_result)
+
+        # -- Cross-shard bookkeeping ---------------------------------------
+        completed_batches = []
+        for shard_result in accepted:
+            u_round = shard_result.canonical.u_from_round
+            if u_round is not None:
+                done = self.coordinator.mark_applied(u_round, shard_result.shard)
+                if done is not None:
+                    completed_batches.append(done)
+
+        new_s_results = [
+            ExecutionResult(
+                shard=sr.shard, round_number=sr.exec_round,
+                subtree_root=sr.canonical.new_root,
+                cross_shard_updates=sr.canonical.cross_updates,
+                failed_tx_ids=(), signer=b"", signature=b"",
+            )
+            for sr in accepted if sr.canonical.cross_updates
+        ]
+        update_list = merge_cross_shard_updates(new_s_results, self.config.num_shards)
+        cross_txs = [tx for sr in accepted for tx in sr.canonical.cross_executed]
+        rollback_tx_ids: list[int] = []
+        for expired in self.coordinator.expired_batches():
+            compensation = self.coordinator.rollback_updates(expired)
+            for shard, entries in compensation.items():
+                merged = dict(update_list.get(shard, ()))
+                merged.update(dict(entries))
+                update_list[shard] = tuple(sorted(merged.items()))
+            rollback_tx_ids.extend(tx.tx_id for tx in expired.cross_txs)
+        if update_list and (cross_txs or not rollback_tx_ids):
+            old_values = {
+                shard: tuple(
+                    (account_id, self.hub.state.get_account(account_id).encode())
+                    for account_id, _ in entries
+                )
+                for shard, entries in update_list.items()
+            }
+            self.coordinator.open_u_batch(
+                round_number, update_list, old_values, cross_txs
+            )
+
+        # -- Conflict detection over the new batch --------------------------
+        ordered_blocks: dict[int, list] = {}
+        aborted_ids: list[int] = []
+        all_txs: list[Transaction] = []
+        for wb in sorted(valid_witnessed, key=lambda w: (w.shard, w.block.round_created)):
+            all_txs.extend(wb.block.transactions)
+        decision = self.coordinator.filter_batch(
+            all_txs, round_number,
+            prioritize_cross_shard=self.config.prioritize_cross_shard,
+        )
+        aborted_ids.extend(decision.aborted_ids)
+        for wb in valid_witnessed:
+            ordered_blocks.setdefault(wb.shard, []).append(wb.block.header)
+        # Re-dispatch stalled execution work (retry path), including the
+        # U entries the stalled execution was supposed to apply.
+        for shard, stale in list(self.retry_exec.items()):
+            ordered_blocks.setdefault(shard, []).extend(stale.source_headers)
+            if stale.source_updates:
+                merged = dict(update_list.get(shard, ()))
+                for account_id, value in stale.source_updates:
+                    merged.setdefault(account_id, value)
+                update_list[shard] = tuple(sorted(merged.items()))
+            del self.retry_exec[shard]
+
+        proposal = ProposalBlock(
+            round_number=round_number,
+            prev_hash=self.hub.latest_proposal_hash,
+            ordered_blocks={s: tuple(h) for s, h in ordered_blocks.items()},
+            update_list=update_list,
+            state_root=aggregate_root(new_roots),
+            shard_roots=new_roots,
+            aborted_tx_ids=tuple(aborted_ids),
+            leader=self.stateless[round_oc.leader].public_key,
+            leader_vrf=round_oc.vrf_values.get(round_oc.leader, 0),
+            committee_digest=domain_digest(
+                "repro/committee/v1",
+                *(self.stateless[m].public_key for m in self.oc.members),
+            ),
+        )
+
+        # -- BA* consensus ---------------------------------------------------
+        proposal_bytes = proposal.size_bytes
+        if not self.config.decouple_blocks:
+            # Challenge-1 ablation: without proposal/transaction block
+            # decoupling, the full bodies ride the consensus proposal and
+            # the OC leader must push them to every member over its own
+            # (1 MB/s) uplink — the bottleneck the decoupling removes.
+            body_bytes = sum(
+                self.hub.tx_blocks[h.block_hash].size_bytes
+                for headers in proposal.ordered_blocks.values() for h in headers
+            )
+            if body_bytes:
+                leader = round_oc.leader
+                pushes = [
+                    self.network.send(Message(
+                        leader, member, "proposal_bodies", None,
+                        body_bytes, phase="ordering",
+                    ))
+                    for member in round_oc.members if member != leader
+                ]
+                yield self.env.all_of(pushes)
+        consensus = BAStar(
+            self.env, self.transport, round_oc, self.backend, self.oc_profiles,
+            step_timeout=self.config.consensus_step_timeout_s,
+            phase_label="ordering",
+        )
+        decision = yield self.env.process(consensus.run(proposal, proposal_bytes))
+
+        if decision.empty or not decision.success:
+            # Empty round: the proposal never existed. Unwind the
+            # coordinator (locks, U batches) and carry all inputs
+            # forward to the next round.
+            self.coordinator.restore_state(coordinator_snapshot)
+            self.pending_witnessed = witnessed + self.pending_witnessed
+            self.pending_results = results + self.pending_results
+            for batch_round in list(self.coordinator.u_batches):
+                self.coordinator.note_failure(batch_round)
+            empty = ProposalBlock(
+                round_number=round_number,
+                prev_hash=self.hub.latest_proposal_hash,
+                ordered_blocks={},
+                update_list={},
+                state_root=aggregate_root(new_roots),
+                shard_roots=new_roots,
+            )
+            yield from self._publish(empty, accepted=[], completed_batches=[],
+                                     round_number=round_number, empty=True,
+                                     leader=round_oc.leader)
+            return
+
+        self.tracker.record_aborted(aborted_ids)
+        if rollback_tx_ids:
+            self.tracker.record_rolled_back(rollback_tx_ids)
+        yield from self._publish(proposal, accepted, completed_batches,
+                                 round_number, empty=False, leader=round_oc.leader)
+
+    def _schedule_retry(self, shard_result: ShardRoundResult,
+                        count_failure: bool = True) -> None:
+        """Stall handling: re-dispatch the same work to the next ESC."""
+        shard_result.retry_count += 1
+        u_round = shard_result.canonical.u_from_round
+        if count_failure and u_round is not None:
+            self.coordinator.note_failure(u_round)
+        if shard_result.retry_count <= self.config.cross_shard_retry_rounds + 1:
+            self.retry_exec[shard_result.shard] = shard_result
+
+    def _publish(self, proposal: ProposalBlock, accepted, completed_batches,
+                 round_number: int, empty: bool, leader: int | None = None):
+        """Commit Phase: publish B_r to storage and apply its effects."""
+        if leader is None:
+            leader = self.oc.leader
+        uploads = []
+        for storage_id in self.stateless[leader].connections:
+            uploads.append(self.network.send(
+                Message(leader, storage_id, "proposal_commit", proposal,
+                        proposal.size_bytes, phase="commit")
+            ))
+        yield self.env.all_of(uploads)
+        first_storage = self.stateless[leader].connections[0]
+        self._gossip_content(first_storage, "proposal_gossip", proposal.size_bytes)
+        self.hub.append_proposal(proposal)
+        self.proposals[round_number] = proposal
+        now = self.env.now
+        self.tracker.publish_times[round_number] = now
+
+        # Storage nodes apply the committed effects and verify roots.
+        for shard_result in accepted:
+            canonical = shard_result.canonical
+            shard_state = self.hub.state.shards[canonical.shard]
+            shard_state.apply_updates(canonical.written_owned)
+            if shard_state.root != canonical.new_root:
+                raise ShardingError(
+                    f"shard {canonical.shard}: storage full-tree root diverged "
+                    f"from the committee's partial-tree root"
+                )
+            self.tracker.record_failed(canonical.failed_tx_ids)
+            if canonical.intra_applied:
+                self.tracker.record_commit(
+                    canonical.intra_applied, now,
+                    witness_round=canonical.witness_round,
+                    commit_round=round_number, cross_shard=False,
+                )
+        for batch in completed_batches:
+            if batch.cross_txs:
+                # U opened at round k realizes CTx witnessed at k-3.
+                self.tracker.record_commit(
+                    batch.cross_txs, now,
+                    witness_round=max(0, batch.ordering_round - 3),
+                    commit_round=round_number, cross_shard=True,
+                )
+
+    # ------------------------------------------------------------------
+    # Round drivers
+    # ------------------------------------------------------------------
+
+    def run_round(self, round_number: int):
+        """One pipelined round: all three lanes concurrently."""
+        started = self.env.now
+        self.current_round = round_number
+        yield self.env.timeout(self.config.round_overhead_s)
+        reconfig = self.config.oc_reconfig_rounds
+        if reconfig and round_number > 1 and (round_number - 1) % reconfig == 0:
+            self.reconfigure_ordering_committee(round_number)
+        self.form_execution_committees(round_number)
+        lanes = [self.env.process(self.witness_lane(round_number))]
+        if round_number >= 2:
+            lanes.append(self.env.process(self.execution_lane(round_number)))
+        lanes.append(self.env.process(self.ordering_commit_lane(round_number)))
+        yield self.env.all_of(lanes)
+        proposal = self.proposals.get(round_number)
+        empty = proposal is None or proposal.tx_block_count == 0
+        self.tracker.record_round(self.env.now - started, empty)
+
+    def run_round_sequential(self, round_number: int):
+        """One 1D-baseline round: phases serialized, single committee.
+
+        The witness, ordering, execution and commit phases all run one
+        after the other, executed by a single committee per round —
+        exactly the stateless-blockchain baseline of Figure 7(c).
+        """
+        started = self.env.now
+        self.current_round = round_number
+        yield self.env.timeout(self.config.round_overhead_s)
+        self.form_execution_committees(round_number)
+        yield self.env.process(self.witness_lane(round_number))
+        yield self.env.process(self.ordering_commit_lane(round_number))
+        # Execute this round's own proposal immediately (no pipelining):
+        # the same committee that witnessed also executes.
+        proposal = self.proposals.get(round_number)
+        if proposal is not None and proposal.tx_block_count:
+            yield self.env.process(
+                self._sequential_execute_and_commit(round_number, proposal)
+            )
+        empty = proposal is None or proposal.tx_block_count == 0
+        self.tracker.record_round(self.env.now - started, empty)
+
+    def _sequential_execute_and_commit(self, round_number: int,
+                                       proposal: ProposalBlock):
+        """Sequential-mode execution + second consensus (commit phase)."""
+        committees = self.assignments[round_number]
+        shard_procs = []
+        for shard, committee in sorted(committees.items()):
+            if proposal.sublist_for(shard) or proposal.updates_for(shard):
+                shard_procs.append(self.env.process(
+                    self._execute_shard(round_number, shard, committee, proposal)
+                ))
+        if shard_procs:
+            yield self.env.all_of(shard_procs)
+        # Second consensus round commits the roots (Commit Phase).
+        results = self.pending_results
+        self.pending_results = []
+        new_roots = dict(proposal.shard_roots)
+        accepted = []
+        for shard_result in results:
+            digest_counts: dict[bytes, int] = {}
+            for member_result in shard_result.member_results:
+                digest = member_result.result_digest()
+                digest_counts[digest] = digest_counts.get(digest, 0) + 1
+            canonical_digest = None
+            for member_result in shard_result.member_results:
+                if member_result.subtree_root == shard_result.canonical.new_root:
+                    canonical_digest = member_result.result_digest()
+                    break
+            if canonical_digest and digest_counts.get(canonical_digest, 0) >= \
+                    shard_result.committee.execution_threshold:
+                accepted.append(shard_result)
+                new_roots[shard_result.shard] = shard_result.canonical.new_root
+        commit_block = ProposalBlock(
+            round_number=round_number,
+            prev_hash=self.hub.latest_proposal_hash,
+            ordered_blocks={},
+            update_list={},
+            state_root=aggregate_root(new_roots),
+            shard_roots=new_roots,
+        )
+        round_oc = self.round_ordering_committee(round_number)
+        consensus = BAStar(
+            self.env, self.transport, round_oc, self.backend, self.oc_profiles,
+            step_timeout=self.config.consensus_step_timeout_s,
+            phase_label="commit",
+        )
+        decision = yield self.env.process(
+            consensus.run(commit_block, commit_block.size_bytes)
+        )
+        if decision.empty or not decision.success:
+            self.pending_results = results + self.pending_results
+            return
+        yield from self._publish(commit_block, accepted, [], round_number, empty=False)
+
+    def _gossip_content(self, origin: int, msg_type: str, body_bytes: int) -> None:
+        """Flood content among storage nodes (bytes metered)."""
+        if self.gossip is None:
+            return
+        self.gossip.publish(origin, Message(
+            origin, origin, msg_type, None, body_bytes, phase="gossip",
+        ))
+
+    def run_rounds(self, count: int, start_round: int = 1):
+        """Process generator: drive ``count`` rounds."""
+        for offset in range(count):
+            round_number = start_round + offset
+            if self.config.pipelining:
+                yield self.env.process(self.run_round(round_number))
+            else:
+                yield self.env.process(self.run_round_sequential(round_number))

@@ -1,0 +1,97 @@
+"""Transaction inclusion receipts.
+
+The paper defines *user-perceived latency* as the time "until they
+receive confirmation of its inclusion in the blockchain" (Section
+VI-A). This module is that confirmation, made verifiable: a storage
+node assembles an :class:`InclusionReceipt` — the transaction's Merkle
+path into its transaction block plus the proposal block that ordered it
+— and any client holding the (tiny) proposal-chain headers can verify
+it without trusting the storage node.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.chain.blocks import BlockHeader
+from repro.crypto.merkle import MerkleProof
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chain.blocks import ProposalBlock
+    from repro.core.storage import StorageHub
+
+
+@dataclass(frozen=True)
+class InclusionReceipt:
+    """Verifiable proof that a transaction was ordered on-chain.
+
+    Attributes:
+        tx_id: the transaction.
+        tx_hash: its content hash (the Merkle leaf).
+        block_header: header of the transaction block containing it.
+        merkle_proof: path from the transaction to ``tx_root``.
+        proposal_round: round of the proposal block that ordered it.
+        shard: shard whose sublist referenced the block.
+    """
+
+    tx_id: int
+    tx_hash: bytes
+    block_header: BlockHeader
+    merkle_proof: MerkleProof
+    proposal_round: int
+    shard: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the receipt (what confirmation costs a client)."""
+        return 8 + 32 + self.block_header.size_bytes + self.merkle_proof.size_bytes + 12
+
+
+def build_receipt(hub: "StorageHub", tx_id: int) -> InclusionReceipt | None:
+    """Assemble a receipt for ``tx_id`` from a storage node's records.
+
+    Returns None if the transaction has not been ordered (yet).
+    """
+    for proposal in hub.proposals:
+        for shard, headers in proposal.ordered_blocks.items():
+            for header in headers:
+                block = hub.tx_blocks.get(header.block_hash)
+                if block is None:
+                    continue
+                for index, tx in enumerate(block.transactions):
+                    if tx.tx_id == tx_id:
+                        return InclusionReceipt(
+                            tx_id=tx_id,
+                            tx_hash=tx.tx_hash,
+                            block_header=header,
+                            merkle_proof=block.prove_tx(index),
+                            proposal_round=proposal.round_number,
+                            shard=shard,
+                        )
+    return None
+
+
+def verify_receipt(
+    receipt: InclusionReceipt,
+    proposals: typing.Sequence["ProposalBlock"],
+) -> bool:
+    """Check a receipt against a (trusted) proposal-chain view.
+
+    A stateless client holds the proposal headers (part of its ~5 MB of
+    verification material); verification needs nothing else:
+
+    1. the Merkle path links the transaction hash to the block's
+       ``tx_root``;
+    2. the block hash is referenced by the claimed proposal block's
+       ordered list for the claimed shard.
+    """
+    header = receipt.block_header
+    if not receipt.merkle_proof.verify(header.tx_root, receipt.tx_hash):
+        return False
+    for proposal in proposals:
+        if proposal.round_number != receipt.proposal_round:
+            continue
+        ordered = proposal.ordered_blocks.get(receipt.shard, ())
+        return any(h.block_hash == header.block_hash for h in ordered)
+    return False

@@ -1,0 +1,148 @@
+"""Message routing between stateless nodes via storage nodes.
+
+Stateless nodes never talk to each other directly: a sender uploads to
+its connected storage nodes, honest storage gossips, and each recipient
+downloads from one of *its* connections (Section IV-B1). The fabric
+charges the sender's uplink once per connection (the paper's redundancy
+against malicious storage), a small gossip delay, and each recipient's
+downlink once.
+
+A recipient with no honest storage connection never receives routed
+messages — it is exactly the paper's *honest-yet-corrupted* node
+(Section V).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.consensus.transport import Transport
+from repro.errors import NetworkError
+from repro.net.message import Message
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.storage import StorageNode
+    from repro.net.network import Network
+    from repro.sim import Environment, Store
+
+#: Storage-to-storage gossip propagation delay charged per relay.
+GOSSIP_DELAY_S = 0.002
+
+
+class RoutingFabric:
+    """Two-hop stateless -> storage -> stateless delivery."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        network: "Network",
+        storage_nodes: list["StorageNode"],
+        connections: dict[int, list[int]],
+    ):
+        self.env = env
+        self.network = network
+        self.storage_by_id = {node.node_id: node for node in storage_nodes}
+        #: stateless node id -> connected storage node ids.
+        self.connections = connections
+
+    def honest_connection(self, stateless_id: int) -> "StorageNode | None":
+        """First honest storage node this stateless node connects to."""
+        for storage_id in self.connections.get(stateless_id, []):
+            node = self.storage_by_id[storage_id]
+            if node.is_honest:
+                return node
+        return None
+
+    def is_benign(self, stateless_id: int) -> bool:
+        """Paper's benign test: has at least one honest storage link."""
+        return self.honest_connection(stateless_id) is not None
+
+    def relay(
+        self,
+        sender: int,
+        recipients: typing.Iterable[int],
+        msg_type: str,
+        payload: object,
+        body_bytes: int,
+        phase: str,
+        deliver: typing.Callable[[int, Message], None],
+    ) -> None:
+        """Route one message from ``sender`` to every recipient.
+
+        ``deliver(recipient, message)`` is invoked at each successful
+        delivery time. Recipients without an honest connection are
+        silently skipped (they are corrupted by definition).
+        """
+        sender_links = self.connections.get(sender)
+        if not sender_links:
+            raise NetworkError(f"stateless node {sender} has no storage connections")
+        # Redundant uploads: one copy per connected storage node.
+        upload_events = []
+        for storage_id in sender_links:
+            message = Message(sender, storage_id, msg_type, payload, body_bytes, phase)
+            upload_events.append((storage_id, self.network.send(message)))
+        # Delivery proceeds from the first *honest* upload.
+        honest_uploads = [
+            event for storage_id, event in upload_events
+            if self.storage_by_id[storage_id].is_honest
+        ]
+        if not honest_uploads:
+            # Sender is corrupted: its messages go nowhere.
+            return
+        first_honest = self.env.any_of(honest_uploads)
+
+        recipients = list(recipients)
+        wants_loopback = sender in recipients
+        recipients = [r for r in recipients if r != sender]
+
+        def after_upload(_event):
+            for recipient in recipients:
+                serving = self.honest_connection(recipient)
+                if serving is None:
+                    continue  # honest-yet-corrupted recipient
+                hop = Message(serving.node_id, recipient, msg_type, payload,
+                              body_bytes, phase)
+                gossip = self.env.timeout(GOSSIP_DELAY_S)
+
+                def send_hop(_t, _hop=hop, _recipient=recipient):
+                    delivery = self.network.send(_hop)
+
+                    def arrived(event, _r=_recipient):
+                        deliver(_r, event.value)
+
+                    delivery.callbacks.append(arrived)
+
+                gossip.callbacks.append(send_hop)
+
+        first_honest.callbacks.append(after_upload)
+        if wants_loopback:
+            # Sender hears its own message immediately (local echo).
+            deliver(sender, Message(sender, sender, msg_type, payload, body_bytes, phase))
+
+
+class StorageRoutedTransport(Transport):
+    """Consensus transport over the routing fabric.
+
+    Same interface as :class:`~repro.consensus.transport.DirectTransport`
+    but every hop is charged through storage nodes, which is how the
+    Ordering Committee actually reaches agreement "via storage nodes"
+    (Section IV-C1(b)).
+    """
+
+    def __init__(self, env: "Environment", fabric: RoutingFabric):
+        self.env = env
+        self.fabric = fabric
+        self._mailboxes: dict[tuple[int, str], "Store"] = {}
+
+    def mailbox(self, node_id: int, channel: str) -> "Store":
+        key = (node_id, channel)
+        if key not in self._mailboxes:
+            self._mailboxes[key] = self.env.store()
+        return self._mailboxes[key]
+
+    def multicast(self, sender, recipients, msg_type, payload, body_bytes, phase, channel) -> None:
+        def deliver(recipient: int, message: Message) -> None:
+            self.mailbox(recipient, channel).put(message)
+
+        self.fabric.relay(sender, list(recipients), msg_type, payload, body_bytes,
+                          phase, deliver)

@@ -1,0 +1,266 @@
+"""Storage nodes and the shared content hub.
+
+Storage nodes hold the full blockchain state, package user submissions
+into transaction blocks, serve blocks and (state, proof) pairs, collect
+witness proofs and route messages between stateless nodes (Section
+IV-B1).
+
+Implementation note (documented in DESIGN.md): honest storage nodes all
+converge on identical content via gossip, so the simulator deduplicates
+their replicas into one :class:`StorageHub`. Per-node behaviour that
+*matters to the protocol* — withholding bodies, dropping routed messages,
+per-node bandwidth — stays per-node on each :class:`StorageNode`.
+Per-node storage *consumption* is tracked analytically for Figure 9(a).
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from repro.chain.account import Account, AccountId, shard_of
+from repro.chain.blocks import TransactionBlock, WitnessProof
+from repro.chain.transaction import Transaction
+from repro.crypto.smt import SmtProof
+from repro.errors import StateError
+from repro.net.endpoint import Endpoint
+from repro.net.faults import FaultProfile
+from repro.state.global_state import ShardedGlobalState
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chain.blocks import ProposalBlock
+    from repro.sim import Environment
+
+
+class StorageHub:
+    """The converged content honest storage nodes replicate.
+
+    Holds the global state, the per-shard mempool, all transaction
+    blocks, witness-proof registries and the proposal chain.
+    """
+
+    def __init__(self, num_shards: int, smt_depth: int, txs_per_block: int):
+        self.num_shards = num_shards
+        self.txs_per_block = txs_per_block
+        self.state = ShardedGlobalState(num_shards, depth=smt_depth)
+        #: Speculative head: committed state plus T_e-validated-but-not-
+        #: yet-committed execution effects. Because in-flight batches are
+        #: account-disjoint (the OC's locks), consecutive executions must
+        #: chain their subtree roots over this head, not over the lagging
+        #: committed state. Created lazily by :meth:`speculative_state`.
+        self._exec_state: ShardedGlobalState | None = None
+        self.mempool: dict[int, deque[Transaction]] = {s: deque() for s in range(num_shards)}
+        self.tx_blocks: dict[bytes, TransactionBlock] = {}
+        #: block hash -> creator storage node id (for availability checks).
+        self.block_creator: dict[bytes, int] = {}
+        #: block hash -> signer pk -> proof.
+        self.witness_proofs: dict[bytes, dict[bytes, WitnessProof]] = {}
+        self.proposals: list["ProposalBlock"] = []
+
+    # ------------------------------------------------------------------
+    # Mempool and block packaging
+    # ------------------------------------------------------------------
+
+    def submit(self, tx: Transaction) -> None:
+        """Accept a user submission into the home shard's mempool."""
+        self.mempool[tx.home_shard(self.num_shards)].append(tx)
+
+    def pending_count(self, shard: int | None = None) -> int:
+        """Transactions waiting to be packaged."""
+        if shard is not None:
+            return len(self.mempool[shard])
+        return sum(len(queue) for queue in self.mempool.values())
+
+    def cut_blocks(
+        self,
+        shard: int,
+        round_number: int,
+        max_blocks: int,
+        creators: list[int],
+        prioritize_cross_shard: bool = False,
+    ) -> list[TransactionBlock]:
+        """Package up to ``max_blocks`` full-or-partial blocks for a shard.
+
+        ``creators`` cycles over storage node ids; a block fabricated by
+        a withholding-malicious creator will be unavailable to witnesses.
+        With ``prioritize_cross_shard``, pending cross-shard
+        transactions move to the head of the queue first — the paper's
+        future-work priority rule (cross-shard transactions have the
+        longer commit path, so they should start it earliest).
+        """
+        queue = self.mempool[shard]
+        if prioritize_cross_shard and queue:
+            cross = [tx for tx in queue if tx.is_cross_shard(self.num_shards)]
+            intra = [tx for tx in queue if not tx.is_cross_shard(self.num_shards)]
+            queue.clear()
+            queue.extend(cross + intra)
+        blocks = []
+        for index in range(max_blocks):
+            if not queue:
+                break
+            batch = [queue.popleft() for _ in range(min(self.txs_per_block, len(queue)))]
+            creator = creators[(round_number + index) % len(creators)]
+            block = TransactionBlock(batch, creator=creator, round_created=round_number)
+            self.tx_blocks[block.block_hash] = block
+            self.block_creator[block.block_hash] = creator
+            self.witness_proofs.setdefault(block.block_hash, {})
+            blocks.append(block)
+        return blocks
+
+    def requeue(self, transactions: typing.Iterable[Transaction]) -> None:
+        """Return transactions to the mempool (failed witness / resubmit)."""
+        for tx in transactions:
+            self.mempool[tx.home_shard(self.num_shards)].appendleft(tx)
+
+    # ------------------------------------------------------------------
+    # Witness proofs
+    # ------------------------------------------------------------------
+
+    def add_witness_proof(self, proof: WitnessProof) -> None:
+        """Register a gossiped witness proof (idempotent per signer)."""
+        if proof.block_hash not in self.tx_blocks:
+            raise StateError("witness proof for unknown transaction block")
+        self.witness_proofs[proof.block_hash][proof.signer] = proof
+
+    def proof_count(self, block_hash: bytes) -> int:
+        """Distinct witness signers recorded for a block."""
+        return len(self.witness_proofs.get(block_hash, {}))
+
+    def proofs_for(self, block_hash: bytes) -> list[WitnessProof]:
+        """All recorded witness proofs for a block."""
+        return list(self.witness_proofs.get(block_hash, {}).values())
+
+    # ------------------------------------------------------------------
+    # State service
+    # ------------------------------------------------------------------
+
+    def speculative_state(self) -> ShardedGlobalState:
+        """The speculative head (lazily forked from the committed state)."""
+        if self._exec_state is None:
+            self._exec_state = self.state.copy()
+        return self._exec_state
+
+    def apply_speculative(self, shard: int, updates, exec_round: int) -> bytes:
+        """Apply validated-but-uncommitted execution effects to the head.
+
+        A checkpoint labelled ``exec_round`` is taken first so the head
+        can be rolled back if the Ordering Committee later rejects the
+        result (not enough T_e signatures). Returns the new head root.
+        """
+        head = self.speculative_state().shards[shard]
+        head.checkpoint(exec_round)
+        return head.apply_updates(updates)
+
+    def rollback_speculative(self, shard: int, exec_round: int) -> bytes:
+        """Discard speculative effects from ``exec_round`` onward."""
+        head = self.speculative_state().shards[shard]
+        return head.rollback(exec_round)
+
+    def read_states(
+        self,
+        shard: int,
+        account_ids: typing.Iterable[AccountId],
+        speculative: bool = False,
+    ) -> tuple[dict[AccountId, Account | None], dict[AccountId, SmtProof], bytes]:
+        """Serve (states, integrity proofs, subtree root) for a shard.
+
+        Never-written accounts are reported as ``None`` with a
+        *non-inclusion* proof, so a stateless client can still
+        authenticate them (and insert them into its partial tree).
+        Accounts outside ``shard`` get values without proofs — a shard
+        pre-executing cross-shard transactions downloads foreign states
+        whose integrity is anchored in *their* shard's root; the OC has
+        already conflict-cleared them (Section IV-D2).
+
+        With ``speculative`` the read serves the execution head (latest
+        validated effects); stateless clients authenticate that root via
+        the T_e-signed result set of the preceding execution.
+        """
+        source = self.speculative_state() if speculative else self.state
+        shard_state = source.shards[shard]
+        accounts: dict[AccountId, Account | None] = {}
+        proofs: dict[AccountId, SmtProof] = {}
+        for account_id in account_ids:
+            owner = source.shard_for(account_id)
+            if account_id in owner.accounts:
+                accounts[account_id] = owner.get_account(account_id).copy()
+            else:
+                accounts[account_id] = None
+            if shard_of(account_id, self.num_shards) == shard:
+                proofs[account_id] = shard_state.prove(account_id)
+        return accounts, proofs, shard_state.root
+
+    # ------------------------------------------------------------------
+    # Proposal chain
+    # ------------------------------------------------------------------
+
+    @property
+    def latest_proposal_hash(self) -> bytes:
+        """Hash of the newest proposal block (zero hash at genesis)."""
+        if not self.proposals:
+            return b"\x00" * 32
+        return self.proposals[-1].block_hash
+
+    def append_proposal(self, proposal: "ProposalBlock") -> None:
+        """Extend the proposal chain."""
+        self.proposals.append(proposal)
+
+    def ledger_bytes(self) -> int:
+        """Full-replica storage footprint: blocks + proposals + state."""
+        blocks = sum(block.size_bytes for block in self.tx_blocks.values())
+        proposals = sum(proposal.size_bytes for proposal in self.proposals)
+        state = 32 * sum(len(s.accounts) for s in self.state.shards)
+        return blocks + proposals + state
+
+
+class StorageNode:
+    """One storage node: an endpoint plus its fault behaviour."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        node_id: int,
+        hub: StorageHub,
+        endpoint: Endpoint,
+        faults: FaultProfile | None = None,
+    ):
+        self.env = env
+        self.node_id = node_id
+        self.hub = hub
+        self.endpoint = endpoint
+        self.faults = faults or endpoint.faults
+
+    @property
+    def is_honest(self) -> bool:
+        return not self.faults.malicious
+
+    def has_block_body(self, block_hash: bytes) -> bool:
+        """Whether this node can serve a block's full body.
+
+        A malicious creator "declines to broadcast locally received
+        transactions", so its blocks exist nowhere else; honest nodes
+        have every honestly-created block via gossip.
+        """
+        creator = self.hub.block_creator.get(block_hash)
+        if creator is None:
+            return False
+        if creator == self.node_id:
+            return self.faults.serves_body()
+        # Replicated via gossip only if the creator actually broadcast it.
+        creator_faults = self._creator_faults(creator)
+        return self.is_honest and creator_faults.serves_body()
+
+    def _creator_faults(self, creator: int) -> FaultProfile:
+        registry = getattr(self.hub, "node_faults", None)
+        if registry is not None and creator in registry:
+            return registry[creator]
+        return FaultProfile.honest()
+
+    def serves_body(self, block_hash: bytes) -> bool:
+        """Whether a download request for a block body succeeds here."""
+        return self.has_block_body(block_hash) and self.faults.serves_body()
+
+
+def wire_fault_registry(hub: StorageHub, nodes: list[StorageNode]) -> None:
+    """Attach a node-id -> faults map so availability checks see creators."""
+    hub.node_faults = {node.node_id: node.faults for node in nodes}

@@ -1,0 +1,202 @@
+"""Top-level simulation facade: build a Porygon network and run it."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.chain.transaction import Transaction
+from repro.core.config import PorygonConfig
+from repro.core.nodes import build_stateless_population
+from repro.core.pipeline import PorygonPipeline
+from repro.core.routing import RoutingFabric
+from repro.core.storage import StorageHub, StorageNode, wire_fault_registry
+from repro.core.tracker import BatchTracker
+from repro.crypto import get_backend
+from repro.net.endpoint import Endpoint
+from repro.net.faults import FaultProfile
+from repro.net.gossip import GossipOverlay
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+@dataclass
+class SimulationReport:
+    """What one simulation run measured.
+
+    Attributes:
+        rounds: rounds driven.
+        elapsed_s: simulated seconds.
+        committed: transactions committed on-chain.
+        throughput_tps: committed / elapsed.
+        block_latency_s: mean time to create a proposal block.
+        commit_latency_s: mean submission-to-commit latency.
+        user_perceived_latency_s: commit latency + confirmation delay.
+        aborted: transactions discarded by conflict detection.
+        failed: transactions that failed deterministic execution.
+        rolled_back: cross-shard transactions reverted.
+        empty_rounds: rounds committing an empty block.
+        commits_by_kind: {"intra": n, "cross": m}.
+        network_bytes_by_phase: traffic per phase label.
+        stateless_storage_bytes: verification material per stateless node.
+        storage_node_bytes: full-replica footprint per storage node.
+    """
+
+    rounds: int
+    elapsed_s: float
+    committed: int
+    throughput_tps: float
+    block_latency_s: float
+    commit_latency_s: float
+    user_perceived_latency_s: float
+    aborted: int
+    failed: int
+    rolled_back: int
+    empty_rounds: int
+    commits_by_kind: dict[str, int] = field(default_factory=dict)
+    network_bytes_by_phase: dict[str, int] = field(default_factory=dict)
+    stateless_storage_bytes: int = 0
+    storage_node_bytes: int = 0
+
+
+class PorygonSimulation:
+    """A complete Porygon deployment inside the discrete-event simulator.
+
+    Typical use::
+
+        sim = PorygonSimulation(PorygonConfig(num_shards=2), seed=1)
+        sim.fund_accounts(range(100), 1_000)
+        sim.submit(transactions)
+        report = sim.run(num_rounds=8)
+    """
+
+    def __init__(self, config: PorygonConfig, seed: int = 0):
+        self.config = config
+        self.seed = seed
+        self.env = Environment()
+        self.backend = get_backend(config.crypto_backend)
+        self.network = Network(self.env, latency_s=config.latency_s)
+        self.hub = StorageHub(config.num_shards, config.smt_depth, config.txs_per_block)
+        self._rng = random.Random(seed)
+
+        # Storage nodes (ids 0 .. S-1).
+        num_malicious_storage = int(config.num_storage_nodes * config.malicious_storage_fraction)
+        malicious_storage = set(
+            self._rng.sample(range(config.num_storage_nodes), num_malicious_storage)
+        )
+        self.storage_nodes: list[StorageNode] = []
+        for node_id in range(config.num_storage_nodes):
+            faults = (
+                FaultProfile.byzantine_storage(seed=seed + node_id)
+                if node_id in malicious_storage
+                else FaultProfile.honest()
+            )
+            endpoint = self.network.register(
+                Endpoint(
+                    self.env, node_id,
+                    uplink_bps=config.storage_bandwidth_bps,
+                    downlink_bps=config.storage_bandwidth_bps,
+                    faults=faults,
+                )
+            )
+            self.storage_nodes.append(
+                StorageNode(self.env, node_id, self.hub, endpoint, faults)
+            )
+        wire_fault_registry(self.hub, self.storage_nodes)
+
+        # Stateless nodes (ids S .. S+M-1).
+        self.stateless = build_stateless_population(
+            self.env,
+            count=config.num_stateless_nodes,
+            backend=self.backend,
+            network=self.network,
+            storage_ids=[node.node_id for node in self.storage_nodes],
+            connections_per_node=config.storage_connections,
+            malicious_fraction=config.malicious_stateless_fraction,
+            bandwidth_bps=config.stateless_bandwidth_bps,
+            first_node_id=config.num_storage_nodes,
+            seed=seed,
+        )
+        self.fabric = RoutingFabric(
+            self.env, self.network, self.storage_nodes,
+            {node_id: node.connections for node_id, node in self.stateless.items()},
+        )
+        # Storage nodes gossip new content (transaction blocks, witness
+        # proofs, proposal blocks) over a flooding overlay; malicious
+        # members drop instead of forwarding (Section IV-B1, Section V).
+        self.gossip = GossipOverlay(
+            self.env, self.network,
+            [node.node_id for node in self.storage_nodes],
+            seed=seed,
+        )
+        self.tracker = BatchTracker()
+        self.pipeline = PorygonPipeline(
+            self.env, config, self.backend, self.network, self.hub,
+            self.storage_nodes, self.fabric, self.stateless, self.tracker,
+            gossip=self.gossip,
+        )
+        self._rounds_run = 0
+
+    # ------------------------------------------------------------------
+    # Workload entry points
+    # ------------------------------------------------------------------
+
+    def fund_accounts(self, account_ids, balance: int) -> None:
+        """Genesis funding: credit each account with ``balance``."""
+        for account_id in account_ids:
+            self.hub.state.credit(account_id, balance)
+
+    def submit(self, transactions) -> int:
+        """Submit transactions to storage-node mempools; returns count."""
+        count = 0
+        for tx in transactions:
+            if tx.submitted_at == 0.0 and self.env.now > 0.0:
+                tx = Transaction(
+                    sender=tx.sender, receiver=tx.receiver, amount=tx.amount,
+                    nonce=tx.nonce, submitted_at=self.env.now,
+                    access_list=tx.access_list, tx_id=tx.tx_id,
+                )
+            self.hub.submit(tx)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self, num_rounds: int) -> SimulationReport:
+        """Drive ``num_rounds`` rounds to completion and report."""
+        start_time = self.env.now
+        start_round = self._rounds_run + 1
+        proc = self.env.process(
+            self.pipeline.run_rounds(num_rounds, start_round=start_round)
+        )
+        self.env.run(until=proc)
+        self._rounds_run += num_rounds
+        return self.report(elapsed=self.env.now - start_time)
+
+    def report(self, elapsed: float | None = None) -> SimulationReport:
+        """Build a report over everything measured so far."""
+        if elapsed is None:
+            elapsed = self.env.now
+        tracker = self.tracker
+        any_node = next(iter(self.stateless.values()))
+        return SimulationReport(
+            rounds=self._rounds_run,
+            elapsed_s=elapsed,
+            committed=tracker.committed_count,
+            throughput_tps=tracker.throughput_tps(elapsed),
+            block_latency_s=tracker.mean_block_latency(),
+            commit_latency_s=tracker.mean_commit_latency(),
+            user_perceived_latency_s=tracker.mean_user_perceived_latency(),
+            aborted=len(tracker.aborted_tx_ids),
+            failed=len(tracker.failed_tx_ids),
+            rolled_back=len(tracker.rolled_back_tx_ids),
+            empty_rounds=tracker.empty_rounds,
+            commits_by_kind=tracker.commits_by_kind(),
+            network_bytes_by_phase=self.network.meter.bytes_by_phase(),
+            stateless_storage_bytes=any_node.storage_bytes(
+                len(self.hub.proposals), len(self.pipeline.oc.members)
+            ),
+            storage_node_bytes=self.hub.ledger_bytes(),
+        )

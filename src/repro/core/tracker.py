@@ -1,0 +1,136 @@
+"""Batch and latency tracking for the protocol simulator.
+
+Transactions are tracked from submission through witness, ordering and
+commit so the simulator can report the paper's metrics: throughput,
+block latency, commit latency and user-perceived latency (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.transaction import Transaction
+
+
+@dataclass
+class CommitRecord:
+    """One committed transaction with its timing."""
+
+    tx_id: int
+    submitted_at: float
+    committed_at: float
+    cross_shard: bool
+    witness_round: int
+    commit_round: int
+
+    @property
+    def latency(self) -> float:
+        """Submission-to-commit latency in simulated seconds."""
+        return self.committed_at - self.submitted_at
+
+
+class BatchTracker:
+    """Accumulates per-transaction outcomes across rounds."""
+
+    #: Extra delay between on-chain inclusion and the user's confirmation
+    #: notification (storage nodes must serve the result back to the
+    #: client) used for user-perceived latency.
+    NOTIFY_DELAY_S = 1.0
+
+    def __init__(self):
+        self.commits: list[CommitRecord] = []
+        self.aborted_tx_ids: set[int] = set()
+        self.failed_tx_ids: set[int] = set()
+        self.rolled_back_tx_ids: set[int] = set()
+        self.empty_rounds: int = 0
+        self.round_durations: list[float] = []
+        #: round -> publication time of that round's proposal block.
+        self.publish_times: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_commit(
+        self,
+        transactions: list[Transaction],
+        committed_at: float,
+        witness_round: int,
+        commit_round: int,
+        cross_shard: bool,
+    ) -> None:
+        """Mark a batch of transactions as committed."""
+        for tx in transactions:
+            self.commits.append(
+                CommitRecord(
+                    tx_id=tx.tx_id,
+                    submitted_at=tx.submitted_at,
+                    committed_at=committed_at,
+                    cross_shard=cross_shard,
+                    witness_round=witness_round,
+                    commit_round=commit_round,
+                )
+            )
+
+    def record_aborted(self, tx_ids) -> None:
+        """Transactions discarded by the OC's conflict detection."""
+        self.aborted_tx_ids.update(tx_ids)
+
+    def record_failed(self, tx_ids) -> None:
+        """Transactions that failed deterministic execution."""
+        self.failed_tx_ids.update(tx_ids)
+
+    def record_rolled_back(self, tx_ids) -> None:
+        """Cross-shard transactions reverted after the retry window."""
+        self.rolled_back_tx_ids.update(tx_ids)
+
+    def record_round(self, duration: float, empty: bool) -> None:
+        """Round bookkeeping for block-latency stats."""
+        self.round_durations.append(duration)
+        if empty:
+            self.empty_rounds += 1
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def committed_count(self) -> int:
+        return len(self.commits)
+
+    def throughput_tps(self, elapsed: float) -> float:
+        """Committed transactions per second over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.committed_count / elapsed
+
+    def mean_commit_latency(self) -> float:
+        """Average submission-to-commit latency."""
+        if not self.commits:
+            return 0.0
+        return sum(record.latency for record in self.commits) / len(self.commits)
+
+    def mean_user_perceived_latency(self) -> float:
+        """Commit latency plus the confirmation notification delay."""
+        if not self.commits:
+            return 0.0
+        return self.mean_commit_latency() + self.NOTIFY_DELAY_S
+
+    def mean_block_latency(self) -> float:
+        """Average time to create a new proposal block (round duration)."""
+        if not self.round_durations:
+            return 0.0
+        return sum(self.round_durations) / len(self.round_durations)
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Commit-latency percentile (fraction in [0, 1])."""
+        if not self.commits:
+            return 0.0
+        ordered = sorted(record.latency for record in self.commits)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def commits_by_kind(self) -> dict[str, int]:
+        """Committed counts split into intra-shard vs cross-shard."""
+        cross = sum(1 for record in self.commits if record.cross_shard)
+        return {"intra": len(self.commits) - cross, "cross": cross}

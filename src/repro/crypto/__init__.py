@@ -1,0 +1,65 @@
+"""Cryptographic substrate for the Porygon reproduction.
+
+Porygon relies on three primitives:
+
+* **Digital signatures** for witness proofs, consensus votes and signed
+  execution roots. Two interchangeable backends are provided:
+
+  - :class:`~repro.crypto.schnorr.SchnorrBackend` — real Schnorr
+    signatures over secp256k1, implemented from scratch (pure Python).
+  - :class:`~repro.crypto.hashed.HashedBackend` — HMAC-style signatures
+    verified through a key registry that models a PKI. Orders of
+    magnitude faster; used by default for large simulations. Within the
+    simulation the registry makes identities unforgeable, which is
+    exactly the guarantee the paper obtains from TrustZone-backed
+    identities.
+
+* **A VRF** for committee sortition (Section IV-B3). The Schnorr backend
+  ships a DLEQ-proof ECVRF; the hashed backend a registry-verified
+  hash VRF. Both are deterministic per (key, input) and uniform over
+  256-bit outputs.
+
+* **Merkle commitments** for state integrity proofs served by storage
+  nodes: a classic binary Merkle tree (:mod:`repro.crypto.merkle`) and a
+  fixed-depth sparse Merkle tree with O(depth) updates
+  (:mod:`repro.crypto.smt`) used for the account state tree.
+"""
+
+from repro.crypto.backend import KeyPair, SignatureBackend, get_backend
+from repro.crypto.hashed import HashedBackend
+from repro.crypto.hashing import (
+    HASH_SIZE,
+    digest,
+    digest_concat,
+    digest_int,
+    domain_digest,
+    hex_digest,
+)
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.schnorr import SchnorrBackend
+from repro.crypto.smt import (
+    SMT_DEPTH,
+    PartialSparseMerkleTree,
+    SmtProof,
+    SparseMerkleTree,
+)
+
+__all__ = [
+    "HASH_SIZE",
+    "HashedBackend",
+    "KeyPair",
+    "MerkleProof",
+    "MerkleTree",
+    "PartialSparseMerkleTree",
+    "SMT_DEPTH",
+    "SchnorrBackend",
+    "SignatureBackend",
+    "SmtProof",
+    "SparseMerkleTree",
+    "digest",
+    "digest_concat",
+    "digest_int",
+    "domain_digest",
+    "get_backend",
+    "hex_digest",
+]

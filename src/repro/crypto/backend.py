@@ -1,0 +1,95 @@
+"""Backend-agnostic signature and VRF interface.
+
+A :class:`SignatureBackend` creates :class:`KeyPair` objects and verifies
+signatures and VRF proofs against public keys. Protocol code never touches
+a concrete backend type; it is configured once per simulation with
+:func:`get_backend`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class VrfOutput:
+    """Result of a VRF evaluation.
+
+    Attributes:
+        value: 256-bit pseudorandom integer, uniform per (key, input).
+        proof: opaque proof bytes verifiable with the evaluator's
+            public key.
+    """
+
+    value: int
+    proof: bytes
+
+    def as_unit(self) -> float:
+        """The VRF value mapped into [0, 1) — used for sortition."""
+        return self.value / float(1 << 256)
+
+
+class KeyPair(abc.ABC):
+    """A private key plus its public identity."""
+
+    @property
+    @abc.abstractmethod
+    def public_key(self) -> bytes:
+        """Serialized public key (the node's identity)."""
+
+    @abc.abstractmethod
+    def sign(self, message: bytes) -> bytes:
+        """Produce a signature on ``message``."""
+
+    @abc.abstractmethod
+    def vrf_eval(self, alpha: bytes) -> VrfOutput:
+        """Evaluate the VRF on input ``alpha``."""
+
+
+class SignatureBackend(abc.ABC):
+    """Factory + verifier for one signature/VRF scheme."""
+
+    #: Name used by :func:`get_backend`.
+    name: str = "abstract"
+
+    #: Wire size charged per signature, in bytes (matches real schemes so
+    #: the bandwidth model is faithful regardless of backend).
+    signature_size: int = 64
+
+    #: Wire size charged per VRF proof, in bytes.
+    vrf_proof_size: int = 80
+
+    #: Wire size charged per public key, in bytes.
+    public_key_size: int = 33
+
+    @abc.abstractmethod
+    def generate(self, seed: bytes) -> KeyPair:
+        """Deterministically derive a key pair from ``seed``."""
+
+    @abc.abstractmethod
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        """Check ``signature`` on ``message`` under ``public_key``."""
+
+    @abc.abstractmethod
+    def vrf_verify(self, public_key: bytes, alpha: bytes, output: VrfOutput) -> bool:
+        """Check a VRF output/proof for input ``alpha``."""
+
+
+def get_backend(name: str) -> SignatureBackend:
+    """Look up a signature backend by name (``"hashed"`` or ``"schnorr"``).
+
+    Each call returns a fresh backend instance; for the hashed backend the
+    instance carries its own key registry, so key material never leaks
+    between simulations.
+    """
+    # Imported here to avoid a circular import at module load.
+    from repro.crypto.hashed import HashedBackend
+    from repro.crypto.schnorr import SchnorrBackend
+
+    backends = {"hashed": HashedBackend, "schnorr": SchnorrBackend}
+    if name not in backends:
+        raise CryptoError(f"unknown signature backend {name!r}; choose from {sorted(backends)}")
+    return backends[name]()

@@ -1,0 +1,74 @@
+"""Registry-verified hash signatures: the fast simulation backend.
+
+A signature is ``SHA-256(tag ‖ seed ‖ message)``. Verification looks the
+signer's seed up in the backend's key registry and recomputes the MAC.
+The registry plays the role of a PKI (or, in the paper's deployment, of
+TrustZone-backed identities): *within the simulation* no actor can forge
+a signature for a key it does not own, because adversary code only ever
+holds its own :class:`HashedKeyPair` objects and the registry is not part
+of the protocol-facing API.
+
+Wire sizes are still charged as for real primitives (64-byte signatures,
+80-byte VRF proofs) so the bandwidth model is unaffected by backend
+choice.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.backend import KeyPair, SignatureBackend, VrfOutput
+from repro.crypto.hashing import domain_digest
+from repro.errors import CryptoError
+
+_SIG_DOMAIN = "repro/hashed-sig/v1"
+_VRF_DOMAIN = "repro/hashed-vrf/v1"
+_KEY_DOMAIN = "repro/hashed-pk/v1"
+
+
+class HashedKeyPair(KeyPair):
+    """Key pair for the hashed backend; the 'private key' is the seed."""
+
+    def __init__(self, seed: bytes, backend: "HashedBackend"):
+        self._seed = seed
+        self._public = domain_digest(_KEY_DOMAIN, seed)
+        self._backend = backend
+
+    @property
+    def public_key(self) -> bytes:
+        return self._public
+
+    def sign(self, message: bytes) -> bytes:
+        return domain_digest(_SIG_DOMAIN, self._seed, message)
+
+    def vrf_eval(self, alpha: bytes) -> VrfOutput:
+        proof = domain_digest(_VRF_DOMAIN, self._seed, alpha)
+        return VrfOutput(value=int.from_bytes(proof, "big"), proof=proof)
+
+
+class HashedBackend(SignatureBackend):
+    """Fast MAC-style backend with an in-simulation key registry."""
+
+    name = "hashed"
+
+    def __init__(self):
+        #: public key -> seed; the simulated PKI.
+        self._registry: dict[bytes, bytes] = {}
+
+    def generate(self, seed: bytes) -> HashedKeyPair:
+        pair = HashedKeyPair(seed, self)
+        self._registry[pair.public_key] = seed
+        return pair
+
+    def _seed_for(self, public_key: bytes) -> bytes:
+        seed = self._registry.get(public_key)
+        if seed is None:
+            raise CryptoError(f"unknown public key {public_key.hex()[:16]}...")
+        return seed
+
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        seed = self._seed_for(public_key)
+        return signature == domain_digest(_SIG_DOMAIN, seed, message)
+
+    def vrf_verify(self, public_key: bytes, alpha: bytes, output: VrfOutput) -> bool:
+        seed = self._seed_for(public_key)
+        expected = domain_digest(_VRF_DOMAIN, seed, alpha)
+        return output.proof == expected and output.value == int.from_bytes(expected, "big")

@@ -1,0 +1,49 @@
+"""Hashing helpers: SHA-256 with domain separation.
+
+Every hash in the system goes through these helpers so that (a) the hash
+function can be swapped in one place and (b) distinct uses of the hash
+cannot collide (domain separation tags).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Output size of the system hash, in bytes.
+HASH_SIZE = 32
+
+#: All-zero digest, used as "no parent" / empty placeholder.
+NULL_DIGEST = b"\x00" * HASH_SIZE
+
+
+def digest(data: bytes) -> bytes:
+    """SHA-256 of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def digest_concat(*parts: bytes) -> bytes:
+    """SHA-256 over length-prefixed concatenation of ``parts``.
+
+    Length prefixes prevent ambiguity: ``(b"ab", b"c")`` and
+    ``(b"a", b"bc")`` hash differently.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(len(part).to_bytes(4, "big"))
+        hasher.update(part)
+    return hasher.digest()
+
+
+def domain_digest(domain: str, *parts: bytes) -> bytes:
+    """SHA-256 with a domain-separation tag prepended."""
+    return digest_concat(domain.encode("utf-8"), *parts)
+
+
+def digest_int(data: bytes) -> int:
+    """SHA-256 of ``data`` interpreted as a big-endian integer."""
+    return int.from_bytes(digest(data), "big")
+
+
+def hex_digest(data: bytes) -> str:
+    """Hex string of :func:`digest` — handy for logs and debugging."""
+    return digest(data).hex()

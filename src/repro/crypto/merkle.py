@@ -1,0 +1,112 @@
+"""Binary Merkle tree with inclusion proofs.
+
+Used for transaction-block commitments. Leaf and interior hashes are
+domain-separated so a leaf can never be confused with an interior node
+(second-preimage hardening). Odd nodes are promoted to the next level
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import NULL_DIGEST, domain_digest
+from repro.errors import InvalidProof
+
+_LEAF_DOMAIN = "repro/merkle-leaf/v1"
+_NODE_DOMAIN = "repro/merkle-node/v1"
+
+
+def leaf_hash(data: bytes) -> bytes:
+    """Hash of a leaf payload."""
+    return domain_digest(_LEAF_DOMAIN, data)
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """Hash of an interior node from its children."""
+    return domain_digest(_NODE_DOMAIN, left, right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf.
+
+    Attributes:
+        index: position of the proven leaf.
+        siblings: bottom-up list of ``(sibling_digest, sibling_is_left)``.
+    """
+
+    index: int
+    siblings: tuple[tuple[bytes, bool], ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: 4-byte index + 33 bytes per sibling entry."""
+        return 4 + 33 * len(self.siblings)
+
+    def compute_root(self, leaf_data: bytes) -> bytes:
+        """Root implied by this proof for the given leaf payload."""
+        current = leaf_hash(leaf_data)
+        for sibling, sibling_is_left in self.siblings:
+            if sibling_is_left:
+                current = node_hash(sibling, current)
+            else:
+                current = node_hash(current, sibling)
+        return current
+
+    def verify(self, root: bytes, leaf_data: bytes) -> bool:
+        """True iff this proof links ``leaf_data`` to ``root``."""
+        return self.compute_root(leaf_data) == root
+
+
+class MerkleTree:
+    """Merkle tree over an ordered list of byte-string leaves."""
+
+    def __init__(self, leaves: list[bytes]):
+        self._leaves = list(leaves)
+        #: levels[0] is the leaf-hash level; levels[-1] has one element.
+        self._levels: list[list[bytes]] = [[leaf_hash(leaf) for leaf in self._leaves]]
+        self._build()
+
+    def _build(self) -> None:
+        if not self._levels[0]:
+            return
+        current = self._levels[0]
+        while len(current) > 1:
+            nxt = []
+            for i in range(0, len(current) - 1, 2):
+                nxt.append(node_hash(current[i], current[i + 1]))
+            if len(current) % 2 == 1:
+                nxt.append(current[-1])  # promote the odd node
+            self._levels.append(nxt)
+            current = nxt
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def root(self) -> bytes:
+        """Tree root; the null digest for an empty tree."""
+        if not self._leaves:
+            return NULL_DIGEST
+        return self._levels[-1][0]
+
+    def prove(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for leaf ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise InvalidProof(f"leaf index {index} out of range (n={len(self._leaves)})")
+        siblings: list[tuple[bytes, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            if position % 2 == 0:
+                if position + 1 < len(level):
+                    siblings.append((level[position + 1], False))
+                # else: odd node promoted, no sibling at this level
+            else:
+                siblings.append((level[position - 1], True))
+            position //= 2
+        return MerkleProof(index=index, siblings=tuple(siblings))
+
+    def verify(self, index: int, leaf_data: bytes) -> bool:
+        """Convenience: prove + verify against this tree's own root."""
+        return self.prove(index).verify(self.root, leaf_data)

@@ -1,0 +1,300 @@
+"""Fixed-depth sparse Merkle tree (SMT) with O(depth) updates.
+
+The account state tree of each shard is an SMT keyed by the account id
+(an integer below ``2**depth``). Empty subtrees hash to precomputed
+per-level defaults, so the tree supports both inclusion proofs for
+existing accounts and *non-inclusion* proofs (proving an account is
+absent), which storage nodes serve alongside state values (Section
+IV-C1(c) "integrity proofs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import domain_digest
+from repro.errors import InvalidProof, StateError
+
+#: Default key-space depth: 2**32 addressable accounts per shard.
+SMT_DEPTH = 32
+
+_LEAF_DOMAIN = "repro/smt-leaf/v1"
+_NODE_DOMAIN = "repro/smt-node/v1"
+_EMPTY_DOMAIN = "repro/smt-empty/v1"
+
+
+def _leaf_hash(key: int, value: bytes) -> bytes:
+    return domain_digest(_LEAF_DOMAIN, key.to_bytes(8, "big"), value)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return domain_digest(_NODE_DOMAIN, left, right)
+
+
+def _default_hashes(depth: int) -> list[bytes]:
+    """defaults[d] = hash of an empty subtree whose root sits at depth d.
+
+    ``defaults[depth]`` is the empty-leaf hash; ``defaults[0]`` the root
+    of a completely empty tree.
+    """
+    defaults = [b""] * (depth + 1)
+    defaults[depth] = domain_digest(_EMPTY_DOMAIN)
+    for level in range(depth - 1, -1, -1):
+        defaults[level] = _node_hash(defaults[level + 1], defaults[level + 1])
+    return defaults
+
+
+_DEFAULTS_CACHE: dict[int, list[bytes]] = {}
+
+
+@dataclass(frozen=True)
+class SmtProof:
+    """(Non-)inclusion proof: one sibling digest per level, bottom-up."""
+
+    key: int
+    siblings: tuple[bytes, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: 8-byte key + 32 bytes per sibling."""
+        return 8 + 32 * len(self.siblings)
+
+    def compute_root(self, value: bytes | None, depth: int) -> bytes:
+        """Root implied by this proof for ``value`` (None = absent key)."""
+        defaults = _DEFAULTS_CACHE.setdefault(depth, _default_hashes(depth))
+        if value is None:
+            current = defaults[depth]
+        else:
+            current = _leaf_hash(self.key, value)
+        key = self.key
+        for sibling in self.siblings:
+            if key & 1:
+                current = _node_hash(sibling, current)
+            else:
+                current = _node_hash(current, sibling)
+            key >>= 1
+        return current
+
+    def verify(self, root: bytes, value: bytes | None, depth: int = SMT_DEPTH) -> bool:
+        """True iff the proof links ``value`` at ``key`` to ``root``."""
+        if len(self.siblings) != depth:
+            return False
+        return self.compute_root(value, depth) == root
+
+
+class SparseMerkleTree:
+    """Mutable SMT mapping integer keys to byte-string values."""
+
+    def __init__(self, depth: int = SMT_DEPTH):
+        if depth < 1:
+            raise StateError(f"SMT depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._defaults = _DEFAULTS_CACHE.setdefault(depth, _default_hashes(depth))
+        #: (level, prefix) -> digest for non-default nodes only.
+        self._nodes: dict[tuple[int, int], bytes] = {}
+        self._values: dict[int, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._values
+
+    def _check_key(self, key: int) -> None:
+        if not 0 <= key < (1 << self.depth):
+            raise StateError(f"key {key} outside SMT key space (depth={self.depth})")
+
+    def _node(self, level: int, prefix: int) -> bytes:
+        return self._nodes.get((level, prefix), self._defaults[level])
+
+    @property
+    def root(self) -> bytes:
+        """Current tree root."""
+        return self._node(0, 0)
+
+    def get(self, key: int) -> bytes | None:
+        """Value at ``key``, or None if absent."""
+        self._check_key(key)
+        return self._values.get(key)
+
+    def update(self, key: int, value: bytes | None) -> bytes:
+        """Set (or with ``None``, delete) the value at ``key``.
+
+        Returns the new root. O(depth) node recomputations.
+        """
+        self._check_key(key)
+        if value is None:
+            self._values.pop(key, None)
+            current = self._defaults[self.depth]
+        else:
+            self._values[key] = value
+            current = _leaf_hash(key, value)
+        # Walk up from the leaf, rewriting the path.
+        prefix = key
+        for level in range(self.depth, 0, -1):
+            if current == self._defaults[level]:
+                self._nodes.pop((level, prefix), None)
+            else:
+                self._nodes[(level, prefix)] = current
+            sibling = self._node(level, prefix ^ 1)
+            if prefix & 1:
+                current = _node_hash(sibling, current)
+            else:
+                current = _node_hash(current, sibling)
+            prefix >>= 1
+        if current == self._defaults[0]:
+            self._nodes.pop((0, 0), None)
+        else:
+            self._nodes[(0, 0)] = current
+        return current
+
+    def prove(self, key: int) -> SmtProof:
+        """Build a (non-)inclusion proof for ``key``."""
+        self._check_key(key)
+        siblings = []
+        prefix = key
+        for level in range(self.depth, 0, -1):
+            siblings.append(self._node(level, prefix ^ 1))
+            prefix >>= 1
+        return SmtProof(key=key, siblings=tuple(siblings))
+
+    def verify(self, key: int) -> bool:
+        """Convenience self-check of a fresh proof against our own root."""
+        proof = self.prove(key)
+        return proof.verify(self.root, self._values.get(key), self.depth)
+
+    def items(self):
+        """Iterate over (key, value) pairs in key order."""
+        return iter(sorted(self._values.items()))
+
+    def snapshot(self) -> dict[int, bytes]:
+        """Copy of the key-value contents (for checkpoint/rollback)."""
+        return dict(self._values)
+
+    @classmethod
+    def from_items(cls, items, depth: int = SMT_DEPTH) -> "SparseMerkleTree":
+        """Build a tree from an iterable of (key, value) pairs."""
+        tree = cls(depth=depth)
+        for key, value in items:
+            tree.update(key, value)
+        return tree
+
+
+def verify_proof_or_raise(proof: SmtProof, root: bytes, value: bytes | None, depth: int = SMT_DEPTH) -> None:
+    """Verify an SMT proof, raising :class:`InvalidProof` on failure."""
+    if not proof.verify(root, value, depth):
+        raise InvalidProof(f"SMT proof for key {proof.key} does not match root")
+
+
+class PartialSparseMerkleTree:
+    """A stateless client's view of an SMT: proofs in, new root out.
+
+    ESC members are stateless: they download only the accounts their
+    transactions touch, each with an inclusion proof against the shard
+    root recorded in the proposal block. Those proofs collectively pin
+    down every internal node needed to (a) authenticate the downloaded
+    values and (b) recompute the subtree root after updating them — so a
+    member can produce the post-execution root ``T^d`` without ever
+    holding the full subtree.
+
+    Only keys covered by a verified proof may be updated; the final root
+    is recomputed bottom-up over the pinned node map.
+    """
+
+    def __init__(self, root: bytes, depth: int = SMT_DEPTH):
+        self.depth = depth
+        self._defaults = _DEFAULTS_CACHE.setdefault(depth, _default_hashes(depth))
+        self._base_root = root
+        #: (level, prefix) -> known digest (from proofs, pre-update).
+        self._nodes: dict[tuple[int, int], bytes] = {}
+        self._values: dict[int, bytes | None] = {}
+
+    @classmethod
+    def from_proofs(cls, root: bytes, entries, depth: int = SMT_DEPTH) -> "PartialSparseMerkleTree":
+        """Build from verified ``(key, value_or_None, proof)`` triples.
+
+        Raises :class:`InvalidProof` if any proof fails against ``root``.
+        """
+        partial = cls(root, depth=depth)
+        for key, value, proof in entries:
+            partial.add_proof(key, value, proof)
+        return partial
+
+    def add_proof(self, key: int, value: bytes | None, proof: SmtProof) -> None:
+        """Pin one more (key, value, proof) triple into the view."""
+        if proof.key != key:
+            raise InvalidProof(f"proof is for key {proof.key}, not {key}")
+        if len(proof.siblings) != self.depth:
+            raise InvalidProof(
+                f"proof depth {len(proof.siblings)} != tree depth {self.depth}"
+            )
+        if not proof.verify(self._base_root, value, self.depth):
+            raise InvalidProof(f"proof for key {key} does not match the base root")
+        self._values[key] = value
+        # Walk the path bottom-up, pinning both path nodes and siblings.
+        if value is None:
+            current = self._defaults[self.depth]
+        else:
+            current = _leaf_hash(key, value)
+        prefix = key
+        for level_index, sibling in enumerate(proof.siblings):
+            level = self.depth - level_index
+            self._record_node(level, prefix, current)
+            self._record_node(level, prefix ^ 1, sibling)
+            if prefix & 1:
+                current = _node_hash(sibling, current)
+            else:
+                current = _node_hash(current, sibling)
+            prefix >>= 1
+        self._record_node(0, 0, current)
+
+    def _record_node(self, level: int, prefix: int, digest: bytes) -> None:
+        existing = self._nodes.get((level, prefix))
+        if existing is not None and existing != digest:
+            raise InvalidProof(
+                f"conflicting proofs: node ({level},{prefix}) pinned twice "
+                f"with different digests"
+            )
+        self._nodes[(level, prefix)] = digest
+
+    def get(self, key: int) -> bytes | None:
+        """Value of a pinned key."""
+        if key not in self._values:
+            raise StateError(f"key {key} is not covered by any proof")
+        return self._values[key]
+
+    def covered(self, key: int) -> bool:
+        """True iff ``key`` was pinned by a proof."""
+        return key in self._values
+
+    def update(self, key: int, value: bytes | None) -> None:
+        """Stage a new value for a proof-covered key."""
+        if key not in self._values:
+            raise StateError(f"cannot update key {key}: not covered by any proof")
+        self._values[key] = value
+
+    @property
+    def root(self) -> bytes:
+        """Recompute the root over pinned nodes + staged updates."""
+        # Fresh node overlay: start from pinned nodes, overwrite the
+        # paths of every covered key bottom-up, level by level.
+        overlay = dict(self._nodes)
+        for key, value in self._values.items():
+            if value is None:
+                overlay[(self.depth, key)] = self._defaults[self.depth]
+            else:
+                overlay[(self.depth, key)] = _leaf_hash(key, value)
+        # Recompute parents level by level so shared paths combine.
+        dirty = {key for key in self._values}
+        level_prefixes = {self.depth - 1: {key >> 1 for key in dirty}}
+        for level in range(self.depth - 1, -1, -1):
+            prefixes = level_prefixes.get(level, set())
+            next_level = set()
+            for prefix in prefixes:
+                left = overlay.get((level + 1, prefix << 1), self._defaults[level + 1])
+                right = overlay.get((level + 1, (prefix << 1) | 1), self._defaults[level + 1])
+                overlay[(level, prefix)] = _node_hash(left, right)
+                next_level.add(prefix >> 1)
+            if level > 0:
+                level_prefixes[level - 1] = next_level
+        return overlay.get((0, 0), self._base_root)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the Porygon reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one base type. Subtypes map to the major subsystems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class CryptoError(ReproError):
+    """Raised for signature/VRF/Merkle failures (bad proof, bad key...)."""
+
+
+class InvalidSignature(CryptoError):
+    """A signature or VRF proof failed verification."""
+
+
+class InvalidProof(CryptoError):
+    """A Merkle inclusion proof failed verification."""
+
+
+class StateError(ReproError):
+    """Raised for invalid state-layer operations (unknown account...)."""
+
+
+class ChainError(ReproError):
+    """Raised for malformed chain structures (blocks, transactions)."""
+
+
+class ConsensusError(ReproError):
+    """Raised when a consensus instance cannot make progress or is misused."""
+
+
+class ShardingError(ReproError):
+    """Raised for cross-shard coordination violations."""
+
+
+class NetworkError(ReproError):
+    """Raised for network-substrate misuse (unknown endpoint...)."""
+
+
+class ConfigError(ReproError):
+    """Raised when an experiment or protocol configuration is invalid."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator is configured inconsistently."""

@@ -1,0 +1,61 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each ``fig*``/``table*``/``sec*`` function runs the corresponding
+experiment and returns an
+:class:`~repro.harness.base.ExperimentResult` whose rows mirror the
+series the paper reports, alongside the paper's own numbers for
+shape comparison. The ``benchmarks/`` directory calls these functions
+one-to-one.
+
+Protocol-simulator experiments (prototype figures) run at a documented
+scaled-down block size; mesoscale experiments (simulation figures) run
+at the paper's full scale. EXPERIMENTS.md records paper-vs-measured for
+every entry here.
+"""
+
+from repro.harness.ablation import fig7c_ablation_prototype, fig7d_ablation_simulation
+from repro.harness.base import ExperimentResult
+from repro.harness.churn import fig8d_churn
+from repro.harness.comparison import fig8a_comparison_prototype, fig8b_comparison_simulation
+from repro.harness.cross_shard import table1_cross_shard_ratio
+from repro.harness.rate_sweep import fig8c_throughput_latency
+from repro.harness.resources import fig9a_storage, fig9b_network_usage
+from repro.harness.scalability import fig7a_prototype_scalability, fig7b_simulation_scalability
+from repro.harness.theory import sec4e_complexity, sec5_committee_safety, sec5_liveness
+
+#: Experiment id -> callable, for running everything in order.
+ALL_EXPERIMENTS = {
+    "fig7a": fig7a_prototype_scalability,
+    "fig7b": fig7b_simulation_scalability,
+    "fig7c": fig7c_ablation_prototype,
+    "fig7d": fig7d_ablation_simulation,
+    "fig8a": fig8a_comparison_prototype,
+    "fig8b": fig8b_comparison_simulation,
+    "fig8c": fig8c_throughput_latency,
+    "fig8d": fig8d_churn,
+    "fig9a": fig9a_storage,
+    "fig9b": fig9b_network_usage,
+    "table1": table1_cross_shard_ratio,
+    "sec4e": sec4e_complexity,
+    "sec5_safety": sec5_committee_safety,
+    "sec5_liveness": sec5_liveness,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "fig7a_prototype_scalability",
+    "fig7b_simulation_scalability",
+    "fig7c_ablation_prototype",
+    "fig7d_ablation_simulation",
+    "fig8a_comparison_prototype",
+    "fig8b_comparison_simulation",
+    "fig8c_throughput_latency",
+    "fig8d_churn",
+    "fig9a_storage",
+    "fig9b_network_usage",
+    "sec4e_complexity",
+    "sec5_committee_safety",
+    "sec5_liveness",
+    "table1_cross_shard_ratio",
+]

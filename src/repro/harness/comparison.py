@@ -1,0 +1,125 @@
+"""Figure 8(a)/(b): Porygon vs ByShard vs Blockene."""
+
+from __future__ import annotations
+
+from repro.baselines import BlockeneSimulation, ByShardConfig, ByShardSimulation
+from repro.harness.base import (
+    PROTO_TXS_PER_BLOCK,
+    ExperimentResult,
+    build_porygon,
+    saturate,
+)
+from repro.perfmodel import (
+    MesoParams,
+    MesoscaleBlockene,
+    MesoscaleByShard,
+    MesoscalePorygon,
+)
+from repro.workload import WorkloadGenerator
+
+#: Paper Figure 8(a): prototype comparison, nodes 50 -> 300.
+PAPER_FIG8A = {
+    "nodes": [50, 100, 200, 300],
+    "porygon_tps": [4_000, 7_240, 14_500, 21_090],
+    "byshard_tps": [2_260, 3_800, 6_500, 9_150],
+    "blockene_tps": [750, 750, 750, 750],
+}
+
+#: Paper Figure 8(b): simulation comparison, nodes 100 -> 1,000.
+PAPER_FIG8B = {
+    "nodes": [100, 400, 700, 1_000],
+    "porygon_tps": [8_760, 25_000, 41_000, 57_220],
+    "shape": "Porygon grows fastest; Blockene flat",
+}
+
+
+def _run_byshard(num_shards: int, rounds: int, seed: int) -> float:
+    config = ByShardConfig(
+        num_shards=num_shards, nodes_per_shard=10,
+        txs_per_block=PROTO_TXS_PER_BLOCK, max_blocks_per_round=2,
+        round_overhead_s=0.5, consensus_step_timeout_s=0.5,
+    )
+    sim = ByShardSimulation(config, seed=seed)
+    demand = num_shards * 2 * PROTO_TXS_PER_BLOCK * rounds
+    generator = WorkloadGenerator(
+        num_accounts=3 * demand, num_shards=num_shards,
+        cross_shard_ratio=0.1, unique=True, seed=seed,
+    )
+    batch = generator.batch(demand)
+    sim.fund_accounts(sorted({tx.sender for tx in batch}), 1_000)
+    sim.submit(batch)
+    return sim.run(num_rounds=rounds).throughput_tps
+
+
+def _run_blockene(rounds: int, seed: int) -> float:
+    sim = BlockeneSimulation(
+        committee_size=10, txs_per_block=PROTO_TXS_PER_BLOCK,
+        max_blocks_per_shard_round=2,
+        round_overhead_s=0.5, consensus_step_timeout_s=0.5, seed=seed,
+    )
+    demand = 2 * PROTO_TXS_PER_BLOCK * rounds
+    generator = WorkloadGenerator(num_accounts=3 * demand, num_shards=1,
+                                  unique=True, seed=seed)
+    batch = generator.batch(demand)
+    sim.fund_accounts(sorted({tx.sender for tx in batch}), 1_000)
+    sim.submit(batch)
+    return sim.run(num_rounds=rounds).throughput_tps
+
+
+def fig8a_comparison_prototype(
+    shard_counts=(5, 10, 15),
+    rounds: int = 8,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Prototype comparison: all three systems on the same substrate.
+
+    Each sharded system gets 10 nodes per shard (the paper's setting),
+    so the x-axis node count is ``10 * shards``. Blockene's single
+    committee is measured once — its throughput does not scale with
+    network size.
+    """
+    blockene_tps = _run_blockene(rounds, seed)
+    rows = []
+    for shards in shard_counts:
+        sim = build_porygon(shards, seed=seed)
+        saturate(sim, shards, rounds=rounds, seed=seed)
+        porygon_tps = sim.run(num_rounds=rounds).throughput_tps
+        byshard_tps = _run_byshard(shards, rounds, seed)
+        rows.append([10 * shards, porygon_tps, byshard_tps, blockene_tps])
+    return ExperimentResult(
+        experiment_id="fig8a",
+        title="Throughput comparison in prototype experiments",
+        headers=["nodes", "porygon_tps", "byshard_tps", "blockene_tps"],
+        rows=rows,
+        paper=PAPER_FIG8A,
+        notes="Protocol simulator at 1/10 block volume; 10 nodes/shard.",
+    )
+
+
+def fig8b_comparison_simulation(
+    node_counts=(100, 400, 700, 1_000),
+    rounds: int = 40,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Mesoscale comparison, nodes 100 -> 1,000 (10 nodes per shard)."""
+    rows = []
+    for nodes in node_counts:
+        shards = max(1, nodes // 10)
+        params = MesoParams(num_shards=shards, nodes_per_shard=10,
+                            ordering_size=10, seed=seed)
+        porygon = MesoscalePorygon(params).run(rounds)
+        byshard = MesoscaleByShard(params).run(rounds)
+        blockene = MesoscaleBlockene(
+            MesoParams(num_shards=1, nodes_per_shard=nodes, ordering_size=10,
+                       seed=seed)
+        ).run(rounds)
+        rows.append([nodes, porygon.throughput_tps, byshard.throughput_tps,
+                     blockene.throughput_tps])
+    return ExperimentResult(
+        experiment_id="fig8b",
+        title="Throughput comparison in simulations",
+        headers=["nodes", "porygon_tps", "byshard_tps", "blockene_tps"],
+        rows=rows,
+        paper=PAPER_FIG8B,
+        notes="Mesoscale models; shards = nodes / 10.",
+    )

@@ -1,0 +1,43 @@
+"""Table I: throughput/latency under varied cross-shard ratios."""
+
+from __future__ import annotations
+
+from repro.harness.base import ExperimentResult
+from repro.perfmodel import MesoParams, MesoscalePorygon
+
+#: Paper Table I (10-shard setting).
+PAPER_TABLE1 = {
+    "ratio": [0.5, 0.7, 0.9, 0.95, 1.0],
+    "throughput_tps": [9_179, 9_015, 8_911, 8_867, 8_810],
+    "latency_s": [7.60, 7.71, 7.83, 7.84, 7.89],
+}
+
+
+def table1_cross_shard_ratio(
+    ratios=(0.5, 0.7, 0.9, 0.95, 1.0),
+    rounds: int = 40,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Mesoscale ratio sweep at 10 shards, capacity-limited demand."""
+    rows = []
+    for ratio in ratios:
+        params = MesoParams(
+            num_shards=10, cross_shard_ratio=float(ratio),
+            demand_tps_per_shard=5_000,  # saturate so capacity binds
+            witness_window_s=1.08,       # lands the 10-shard baseline near Table I
+            seed=seed,
+        )
+        report = MesoscalePorygon(params).run(rounds)
+        rows.append([ratio, report.throughput_tps, report.block_latency_s])
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Performance under different cross-shard transaction ratios",
+        headers=["ratio", "throughput_tps", "latency_s"],
+        rows=rows,
+        paper=PAPER_TABLE1,
+        notes=(
+            "The paper's ~4% TPS drop from ratio 0.5 to 1.0 is almost "
+            "entirely latency-driven (+0.29 s/block); capacity loss per "
+            "CTx is second-order."
+        ),
+    )

@@ -1,0 +1,92 @@
+"""Figure 8(c): throughput vs latency under varied submission rates."""
+
+from __future__ import annotations
+
+from repro.baselines import BlockeneSimulation, ByShardConfig, ByShardSimulation
+from repro.harness.base import ExperimentResult, build_porygon
+from repro.workload import OpenLoopArrivals, WorkloadGenerator
+
+#: Paper Figure 8(c): 100 nodes, 10 shards; Porygon reaches the highest
+#: capacity (~9+ KTPS) at moderate latency; ByShard saturates earlier;
+#: Blockene at ~0.75 KTPS.
+PAPER_FIG8C = {
+    "shape": (
+        "throughput follows offered rate until capacity, then saturates "
+        "while latency climbs; Porygon has the highest capacity"
+    ),
+    "porygon_capacity_ktps": 9.0,
+}
+
+
+def _drive(sim, num_shards: int, rate: float, rounds: int, seed: int):
+    """Attach an open-loop arrival stream and run ``rounds`` rounds."""
+    # Cap the account space to the shard key space (SMT depth 16); under
+    # saturation the arrival stream simply ends once unique accounts run
+    # out, which cannot affect a capacity-bound measurement.
+    num_accounts = min(max(1_000, 40 * int(rate)), num_shards * (1 << 14))
+    generator = WorkloadGenerator(
+        num_accounts=num_accounts, num_shards=num_shards,
+        cross_shard_ratio=0.1 if num_shards > 1 else 0.0, unique=True, seed=seed,
+    )
+    sim.fund_accounts(generator.funding_accounts(), 1_000)
+    arrivals = OpenLoopArrivals(generator, rate_tps=rate)
+    arrivals.attach(sim)
+    report = sim.run(num_rounds=rounds)
+    return report, arrivals.submitted
+
+
+def fig8c_throughput_latency(
+    rates_tps=(200, 800, 1_600, 3_200),
+    num_shards: int = 5,
+    rounds: int = 12,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Open-loop rate sweep over all three systems.
+
+    For each client-side submission rate, measure the achieved
+    throughput and the mean commit latency — the (x, y) pairs of the
+    paper's throughput-versus-latency curves. ByShard and Blockene are
+    driven at the same offered rates for the capacity comparison.
+    """
+    rows = []
+    for rate in rates_tps:
+        porygon = build_porygon(num_shards, seed=seed)
+        porygon_report, submitted = _drive(porygon, num_shards, rate, rounds, seed)
+
+        byshard = ByShardSimulation(ByShardConfig(
+            num_shards=num_shards, nodes_per_shard=10, txs_per_block=200,
+            max_blocks_per_round=2, round_overhead_s=0.5,
+            consensus_step_timeout_s=0.5,
+        ), seed=seed)
+        byshard_report, _ = _drive(byshard, num_shards, rate, rounds, seed)
+
+        blockene = BlockeneSimulation(
+            committee_size=10, txs_per_block=200, max_blocks_per_shard_round=2,
+            round_overhead_s=0.5, consensus_step_timeout_s=0.5, seed=seed,
+        )
+        blockene_report, _ = _drive(blockene, 1, rate, rounds, seed)
+
+        rows.append([
+            rate,
+            porygon_report.throughput_tps,
+            porygon_report.commit_latency_s,
+            byshard_report.throughput_tps,
+            byshard_report.commit_latency_s,
+            blockene_report.throughput_tps,
+            blockene_report.commit_latency_s,
+        ])
+    return ExperimentResult(
+        experiment_id="fig8c",
+        title="Throughput versus latency under varied submission rates",
+        headers=["offered_rate_tps",
+                 "porygon_tps", "porygon_latency_s",
+                 "byshard_tps", "byshard_latency_s",
+                 "blockene_tps", "blockene_latency_s"],
+        rows=rows,
+        paper=PAPER_FIG8C,
+        notes=(
+            "Protocol simulator at 1/10 block volume; rates scaled "
+            "accordingly. Porygon sustains the highest offered rate; "
+            "Blockene saturates first at its single-committee capacity."
+        ),
+    )

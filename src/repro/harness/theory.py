@@ -1,0 +1,121 @@
+"""Section IV-E and Section V: complexity, safety and liveness tables."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    communication_complexity,
+    empty_run_probability,
+    expected_commit_delay_rounds,
+    simulate_empty_runs,
+    solve_committee_bound,
+    storage_complexity,
+)
+from repro.harness.base import ExperimentResult
+
+#: Paper Section IV-E complexity forms.
+PAPER_SEC4E = {
+    "porygon": "O(m^2 + w n / m)",
+    "rapidchain": "O(m^2 + b n log n)",
+    "elastico/omniledger": "O(m^2 + b n)",
+    "storage": "Porygon O(1) vs O(m |B| / n)",
+}
+
+#: Paper Lemma 1 constants.
+PAPER_SEC5_SAFETY = {
+    "committee_size": 3_500,
+    "benign_min": 2_225,
+    "corrupted_max": 1_075,
+}
+
+#: Paper Theorem 2.
+PAPER_SEC5_LIVENESS = {
+    "corrupted_leader_p": 0.25,
+    "negligible_run_length": 15,
+}
+
+
+def sec4e_complexity(
+    network_sizes=(1_000, 10_000, 100_000, 1_000_000),
+    m: int = 2_000,
+    block_bytes: float = 250_000,
+    forward_bytes: float = 5_000,
+) -> ExperimentResult:
+    """Communication + storage complexity across network sizes."""
+    rows = []
+    for n in network_sizes:
+        eff_m = min(m, n)
+        rows.append([
+            n,
+            communication_complexity("porygon", eff_m, n, block_bytes, forward_bytes),
+            communication_complexity("rapidchain", eff_m, n, block_bytes, forward_bytes),
+            communication_complexity("elastico", eff_m, n, block_bytes, forward_bytes),
+            storage_complexity("porygon", eff_m, n, ledger_bytes=1e9),
+            storage_complexity("rapidchain", eff_m, n, ledger_bytes=1e9),
+        ])
+    return ExperimentResult(
+        experiment_id="sec4e",
+        title="Communication and storage complexity of committing a block",
+        headers=["nodes", "porygon_comm", "rapidchain_comm", "elastico_comm",
+                 "porygon_storage", "fullshard_storage"],
+        rows=rows,
+        paper=PAPER_SEC4E,
+        notes="Closed-form models; Porygon's gap widens with network size.",
+    )
+
+
+def sec5_committee_safety(
+    committee_sizes=(500, 1_000, 2_000, 3_500),
+    population: int = 1_000_000,
+    kappa: float = 30,
+) -> ExperimentResult:
+    """Lemma 1 bounds across committee sizes (paper point: 3,500)."""
+    rows = []
+    for size in committee_sizes:
+        bound = solve_committee_bound(
+            population=population, committee_size=size, kappa=kappa
+        )
+        rows.append([
+            size,
+            bound.benign_min,
+            bound.corrupted_max,
+            bound.two_thirds_safe,
+        ])
+    return ExperimentResult(
+        experiment_id="sec5_safety",
+        title="Committee safety bounds (Lemma 1)",
+        headers=["committee_size", "benign_min", "corrupted_max", "two_thirds_safe"],
+        rows=rows,
+        paper=PAPER_SEC5_SAFETY,
+        notes=(
+            "alpha=0.75, beta=0.5, m=20, kappa=30. At the paper's 3,500 "
+            "our tightest bounds dominate its chosen constants "
+            "(2,225 benign / 1,075 corrupted)."
+        ),
+    )
+
+
+def sec5_liveness(
+    run_lengths=(5, 10, 15, 16, 20),
+    monte_carlo_rounds: int = 200_000,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Theorem 2: empty-run probabilities, closed form + Monte Carlo."""
+    stats = simulate_empty_runs(monte_carlo_rounds, seed=seed)
+    rows = []
+    for length in run_lengths:
+        rows.append([
+            length,
+            empty_run_probability(length),
+            float(length <= stats["longest_empty_run"]),
+        ])
+    rows.append(["expected_delay_rounds", expected_commit_delay_rounds(), ""])
+    rows.append(["mc_longest_run", stats["longest_empty_run"], ""])
+    rows.append(["mc_empty_fraction", stats["empty_fraction"], ""])
+    return ExperimentResult(
+        experiment_id="sec5_liveness",
+        title="Liveness under corrupted leaders (Theorem 2)",
+        headers=["quantity", "value", "observed_in_mc"],
+        rows=rows,
+        paper=PAPER_SEC5_LIVENESS,
+        notes="0.25^16 < 2^-30: >15 successive empty rounds is negligible.",
+    )

@@ -1,0 +1,14 @@
+"""Measurement utilities: tables and paper-vs-measured comparisons.
+
+Raw measurement lives where the data is produced —
+:class:`~repro.core.tracker.BatchTracker` for transaction outcomes and
+:class:`~repro.net.network.TrafficMeter` for bytes. This package holds
+the presentation layer the benchmark harness uses: fixed-width tables
+(the "rows the paper reports") and shape checks for paper-vs-measured
+series.
+"""
+
+from repro.metrics.comparison import SeriesComparison, growth_factor, is_monotonic
+from repro.metrics.tables import format_table
+
+__all__ = ["SeriesComparison", "format_table", "growth_factor", "is_monotonic"]

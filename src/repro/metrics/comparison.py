@@ -1,0 +1,69 @@
+"""Paper-vs-measured shape comparison helpers.
+
+Absolute numbers from a simulator will not match a cloud testbed; what
+must hold is the *shape* of each result — who wins, by roughly what
+factor, whether a series grows or stays flat. These helpers express
+those checks so EXPERIMENTS.md and the benchmark harness can assert
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def is_monotonic(series, increasing: bool = True, tolerance: float = 0.0) -> bool:
+    """Whether ``series`` is (near-)monotonic.
+
+    ``tolerance`` allows small counter-movements relative to the prior
+    value (noise in measured series).
+    """
+    values = list(series)
+    for previous, current in zip(values, values[1:]):
+        if increasing and current < previous * (1 - tolerance):
+            return False
+        if not increasing and current > previous * (1 + tolerance):
+            return False
+    return True
+
+
+def growth_factor(series) -> float:
+    """Last-over-first ratio of a series (0 if degenerate)."""
+    values = list(series)
+    if len(values) < 2 or values[0] == 0:
+        return 0.0
+    return values[-1] / values[0]
+
+
+@dataclass
+class SeriesComparison:
+    """One experiment series: the paper's numbers next to ours.
+
+    Attributes:
+        name: series label (e.g. "Porygon TPS").
+        x_label / x_values: the sweep variable.
+        paper: the paper's reported values.
+        measured: our values (same positions; None where not measured).
+    """
+
+    name: str
+    x_label: str
+    x_values: list
+    paper: list[float]
+    measured: list[float]
+
+    def rows(self) -> list[list]:
+        """Table rows: x, paper, measured, measured/paper ratio."""
+        out = []
+        for x, paper_value, measured_value in zip(self.x_values, self.paper, self.measured):
+            ratio = measured_value / paper_value if paper_value else float("nan")
+            out.append([x, paper_value, measured_value, ratio])
+        return out
+
+    def same_direction(self, tolerance: float = 0.1) -> bool:
+        """Do paper and measured series move the same way?"""
+        paper_up = is_monotonic(self.paper, increasing=True, tolerance=tolerance)
+        measured_up = is_monotonic(self.measured, increasing=True, tolerance=tolerance)
+        paper_down = is_monotonic(self.paper, increasing=False, tolerance=tolerance)
+        measured_down = is_monotonic(self.measured, increasing=False, tolerance=tolerance)
+        return (paper_up and measured_up) or (paper_down and measured_down)

@@ -1,0 +1,33 @@
+"""Network substrate: endpoints, links, gossip and adversarial faults.
+
+The paper's prototype gives every stateless node 1 MB/s of bandwidth and
+~0.5 ms latency to storage nodes (Section VI). This package models that:
+
+* :class:`~repro.net.endpoint.Endpoint` — a participant with an inbox,
+  an uplink and a downlink of finite bandwidth (transfers serialize on
+  both ends), and a fault profile.
+* :class:`~repro.net.network.Network` — point-to-point transfer engine
+  with per-message byte accounting, used for all stateless <-> storage
+  communication.
+* :class:`~repro.net.gossip.GossipOverlay` — flooding dissemination
+  among storage nodes; honest nodes forward everything, malicious nodes
+  silently drop (the Section III-B storage adversary).
+* :class:`~repro.net.faults.FaultProfile` — declarative adversarial
+  behaviour: message dropping and transaction-body withholding (the
+  "unavailable transactions" attack of Challenge 2).
+"""
+
+from repro.net.endpoint import Endpoint
+from repro.net.faults import FaultProfile
+from repro.net.gossip import GossipOverlay
+from repro.net.message import Message
+from repro.net.network import Network, TrafficMeter
+
+__all__ = [
+    "Endpoint",
+    "FaultProfile",
+    "GossipOverlay",
+    "Message",
+    "Network",
+    "TrafficMeter",
+]

@@ -1,0 +1,66 @@
+"""Network endpoints: inbox + finite-bandwidth uplink/downlink."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import NetworkError
+from repro.net.faults import FaultProfile
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim import Environment, Store
+
+#: Bandwidth of a resource-constrained stateless node (Section VI: 1 MB/s).
+STATELESS_BANDWIDTH_BPS = 1_000_000
+
+#: Bandwidth of a well-provisioned storage node (cloud server class).
+STORAGE_BANDWIDTH_BPS = 100_000_000
+
+
+class Endpoint:
+    """A network participant.
+
+    Transfers serialize on both the sender's uplink and the receiver's
+    downlink: each link is modelled by a "free at" timestamp advanced by
+    ``size / bandwidth`` per message, which captures queueing delay
+    without per-packet simulation.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        node_id: int,
+        uplink_bps: float = STATELESS_BANDWIDTH_BPS,
+        downlink_bps: float = STATELESS_BANDWIDTH_BPS,
+        faults: FaultProfile | None = None,
+    ):
+        if uplink_bps <= 0 or downlink_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        self.env = env
+        self.node_id = node_id
+        self.uplink_bps = float(uplink_bps)
+        self.downlink_bps = float(downlink_bps)
+        self.faults = faults or FaultProfile.honest()
+        self.inbox: "Store" = env.store()
+        self._uplink_free_at = 0.0
+        self._downlink_free_at = 0.0
+
+    @property
+    def is_malicious(self) -> bool:
+        return self.faults.malicious
+
+    def reserve_uplink(self, size_bytes: int) -> float:
+        """Reserve uplink time for ``size_bytes``; returns send-done time."""
+        start = max(self.env.now, self._uplink_free_at)
+        self._uplink_free_at = start + size_bytes / self.uplink_bps
+        return self._uplink_free_at
+
+    def reserve_downlink(self, size_bytes: int, not_before: float) -> float:
+        """Reserve downlink time; returns receive-done time."""
+        start = max(not_before, self._downlink_free_at)
+        self._downlink_free_at = start + size_bytes / self.downlink_bps
+        return self._downlink_free_at
+
+    def __repr__(self) -> str:
+        role = "malicious" if self.is_malicious else "honest"
+        return f"<Endpoint {self.node_id} ({role})>"

@@ -1,0 +1,73 @@
+"""Declarative adversarial behaviour for network participants.
+
+Section III-B: malicious *storage* nodes "can discard messages, which
+need to be routed between stateless nodes or decline to broadcast locally
+received transactions to other storage nodes"; they can also fabricate
+*unavailable* transaction blocks — advertising an index whose body they
+refuse to serve (Challenge 2). Malicious *stateless* nodes equivocate
+during consensus; that behaviour lives in :mod:`repro.consensus`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultProfile:
+    """What a node does wrong.
+
+    Attributes:
+        malicious: master switch; an honest profile ignores every other
+            field.
+        drop_routed_messages: silently discard messages this node was
+            asked to route/forward.
+        withhold_bodies: advertise transaction-block headers but refuse
+            to serve the bodies (the unavailable-transaction attack).
+        equivocate: send conflicting consensus votes (consumed by the
+            consensus layer).
+        drop_probability: fraction of forwarded messages dropped when
+            ``drop_routed_messages`` is set (1.0 = drop everything).
+    """
+
+    malicious: bool = False
+    drop_routed_messages: bool = False
+    withhold_bodies: bool = False
+    equivocate: bool = False
+    drop_probability: float = 1.0
+    _rng: random.Random = field(default_factory=random.Random, repr=False)
+
+    @classmethod
+    def honest(cls) -> "FaultProfile":
+        """The default, well-behaved profile."""
+        return cls()
+
+    @classmethod
+    def byzantine_storage(cls, seed: int = 0) -> "FaultProfile":
+        """Full storage-adversary: drops routed messages, withholds bodies."""
+        profile = cls(
+            malicious=True,
+            drop_routed_messages=True,
+            withhold_bodies=True,
+            drop_probability=1.0,
+        )
+        profile._rng.seed(seed)
+        return profile
+
+    @classmethod
+    def byzantine_stateless(cls, seed: int = 0) -> "FaultProfile":
+        """Full stateless-adversary: equivocates in consensus."""
+        profile = cls(malicious=True, equivocate=True)
+        profile._rng.seed(seed)
+        return profile
+
+    def should_drop_forward(self) -> bool:
+        """Decide whether to drop one forwarded message."""
+        if not (self.malicious and self.drop_routed_messages):
+            return False
+        return self._rng.random() < self.drop_probability
+
+    def serves_body(self) -> bool:
+        """Whether this node serves transaction-block bodies on request."""
+        return not (self.malicious and self.withhold_bodies)

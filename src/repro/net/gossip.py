@@ -1,0 +1,113 @@
+"""Flooding gossip among storage nodes.
+
+Honest storage nodes "gossip all valid messages they have received to the
+whole network" (Section V); malicious ones silently drop. The overlay is
+a connected random-regular-ish graph; flooding deduplicates by message
+id, so each node forwards a given message at most once.
+
+The key security property (used by Lemma 1's benign-node definition): a
+message injected at any *honest* storage node reaches every honest
+storage node in the connected honest subgraph. With a full-degree or
+sufficiently dense overlay the honest subgraph stays connected with
+overwhelming probability even at beta = 1/2 malicious.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.errors import NetworkError
+from repro.net.message import Message
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+    from repro.sim import Environment
+
+
+class GossipOverlay:
+    """A push-gossip overlay over a set of storage-node endpoints."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        network: "Network",
+        member_ids: list[int],
+        degree: int | None = None,
+        seed: int = 0,
+    ):
+        if not member_ids:
+            raise NetworkError("gossip overlay needs at least one member")
+        self.env = env
+        self.network = network
+        self.member_ids = list(member_ids)
+        rng = random.Random(seed)
+        self._neighbors: dict[int, set[int]] = {nid: set() for nid in member_ids}
+        self._build_topology(degree, rng)
+        #: node -> set of msg_ids it has already forwarded.
+        self._seen: dict[int, set[int]] = {nid: set() for nid in member_ids}
+        #: callbacks fired on first delivery of a message to a node.
+        self._handlers: dict[int, typing.Callable[[Message], None]] = {}
+
+    def _build_topology(self, degree: int | None, rng: random.Random) -> None:
+        n = len(self.member_ids)
+        if n == 1:
+            return
+        if degree is None or degree >= n - 1:
+            # Full mesh for small overlays.
+            for nid in self.member_ids:
+                self._neighbors[nid] = set(self.member_ids) - {nid}
+            return
+        # Ring (guarantees connectivity) + random chords up to `degree`.
+        ordered = list(self.member_ids)
+        rng.shuffle(ordered)
+        for i, nid in enumerate(ordered):
+            nxt = ordered[(i + 1) % n]
+            self._neighbors[nid].add(nxt)
+            self._neighbors[nxt].add(nid)
+        for nid in ordered:
+            while len(self._neighbors[nid]) < degree:
+                other = rng.choice(ordered)
+                if other != nid:
+                    self._neighbors[nid].add(other)
+                    self._neighbors[other].add(nid)
+
+    def neighbors(self, node_id: int) -> set[int]:
+        """Overlay neighbours of ``node_id``."""
+        if node_id not in self._neighbors:
+            raise NetworkError(f"node {node_id} is not an overlay member")
+        return set(self._neighbors[node_id])
+
+    def on_deliver(self, node_id: int, handler: typing.Callable[[Message], None]) -> None:
+        """Invoke ``handler(message)`` on each first delivery at a node."""
+        self._handlers[node_id] = handler
+
+    def publish(self, origin: int, message: Message) -> None:
+        """Inject ``message`` at ``origin`` and flood it."""
+        if origin not in self._neighbors:
+            raise NetworkError(f"node {origin} is not an overlay member")
+        self._deliver(origin, message)
+
+    def _deliver(self, node_id: int, message: Message) -> None:
+        if message.msg_id in self._seen[node_id]:
+            return
+        self._seen[node_id].add(message.msg_id)
+        handler = self._handlers.get(node_id)
+        if handler is not None:
+            handler(message)
+        endpoint = self.network.endpoint(node_id)
+        if endpoint.faults.should_drop_forward():
+            self.network.drop(message)
+            return
+        for neighbor in self._neighbors[node_id]:
+            hop = message.forwarded_to(sender=node_id, recipient=neighbor)
+            delivery = self.network.send(hop)
+
+            def on_arrival(event, _nbr=neighbor):
+                self._deliver(_nbr, event.value)
+
+            delivery.callbacks.append(on_arrival)
+
+    def reached(self, message_id: int) -> set[int]:
+        """Members that have received the message so far."""
+        return {nid for nid, seen in self._seen.items() if message_id in seen}

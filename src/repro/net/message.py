@@ -1,0 +1,60 @@
+"""Wire messages: typed envelopes with explicit byte sizes."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+
+_msg_counter = itertools.count()
+
+#: Fixed per-message envelope overhead charged on every transfer
+#: (headers, framing, addresses) in bytes.
+ENVELOPE_OVERHEAD = 64
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on the wire.
+
+    Attributes:
+        sender: originating node id.
+        recipient: destination node id.
+        msg_type: protocol-level type tag ("tx_block", "witness_proof",
+            "proposal", "vote", "state_response"...).
+        payload: arbitrary in-simulation object (never serialized; the
+            declared ``body_bytes`` is what the bandwidth model charges).
+        body_bytes: wire size of the payload.
+        phase: accounting label for Figure 9(b) ("witness", "ordering",
+            "execution", "commit", "gossip", "submit").
+    """
+
+    sender: int
+    recipient: int
+    msg_type: str
+    payload: object
+    body_bytes: int
+    phase: str = "other"
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    def __post_init__(self):
+        if self.body_bytes < 0:
+            raise NetworkError(f"body_bytes must be non-negative, got {self.body_bytes}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total transfer size including envelope overhead."""
+        return self.body_bytes + ENVELOPE_OVERHEAD
+
+    def forwarded_to(self, sender: int, recipient: int) -> "Message":
+        """Copy of this message re-addressed for a gossip hop."""
+        return Message(
+            sender=sender,
+            recipient=recipient,
+            msg_type=self.msg_type,
+            payload=self.payload,
+            body_bytes=self.body_bytes,
+            phase=self.phase,
+            msg_id=self.msg_id,
+        )

@@ -1,0 +1,121 @@
+"""Point-to-point transfer engine with per-phase traffic accounting."""
+
+from __future__ import annotations
+
+import typing
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+from repro.net.endpoint import Endpoint
+from repro.net.message import Message
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim import Environment
+
+#: Stateless <-> storage link latency (Section VI: ~0.5 ms).
+DEFAULT_LATENCY_S = 0.0005
+
+
+@dataclass
+class _TrafficRecord:
+    node_id: int
+    direction: str  # "up" or "down"
+    phase: str
+    num_bytes: int
+    time: float
+
+
+class TrafficMeter:
+    """Accumulates per-node, per-phase byte counts (Figure 9(b) data)."""
+
+    def __init__(self):
+        self._records: list[_TrafficRecord] = []
+        self._by_phase: dict[str, int] = defaultdict(int)
+        self._by_node_phase: dict[tuple[int, str], int] = defaultdict(int)
+
+    def record(self, node_id: int, direction: str, phase: str, num_bytes: int, time: float) -> None:
+        self._records.append(_TrafficRecord(node_id, direction, phase, num_bytes, time))
+        self._by_phase[phase] += num_bytes
+        self._by_node_phase[(node_id, phase)] += num_bytes
+
+    def bytes_by_phase(self) -> dict[str, int]:
+        """Total traffic per phase label across all nodes."""
+        return dict(self._by_phase)
+
+    def bytes_for_node(self, node_id: int, phase: str | None = None) -> int:
+        """Traffic attributed to one node (optionally one phase)."""
+        if phase is not None:
+            return self._by_node_phase.get((node_id, phase), 0)
+        return sum(
+            count for (nid, _), count in self._by_node_phase.items() if nid == node_id
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._by_phase.values())
+
+
+class Network:
+    """Delivers messages between registered endpoints.
+
+    Transfer completion time = uplink serialization + propagation latency
+    + downlink serialization. Delivery pushes the message into the
+    recipient's inbox :class:`~repro.sim.store.Store`.
+    """
+
+    def __init__(self, env: "Environment", latency_s: float = DEFAULT_LATENCY_S):
+        self.env = env
+        self.latency_s = latency_s
+        self.meter = TrafficMeter()
+        self._endpoints: dict[int, Endpoint] = {}
+        self.dropped_count = 0
+
+    def register(self, endpoint: Endpoint) -> Endpoint:
+        """Add an endpoint to the fabric."""
+        if endpoint.node_id in self._endpoints:
+            raise NetworkError(f"node id {endpoint.node_id} already registered")
+        self._endpoints[endpoint.node_id] = endpoint
+        return endpoint
+
+    def endpoint(self, node_id: int) -> Endpoint:
+        """Look up a registered endpoint."""
+        found = self._endpoints.get(node_id)
+        if found is None:
+            raise NetworkError(f"unknown node id {node_id}")
+        return found
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._endpoints)
+
+    def send(self, message: Message):
+        """Transfer ``message``; returns an event firing at delivery.
+
+        Bytes are metered on both ends. The caller may ignore the
+        returned event for fire-and-forget sends.
+        """
+        src = self.endpoint(message.sender)
+        dst = self.endpoint(message.recipient)
+        size = message.size_bytes
+        sent_at = src.reserve_uplink(size)
+        arrival = dst.reserve_downlink(size, not_before=sent_at + self.latency_s)
+        self.meter.record(src.node_id, "up", message.phase, size, sent_at)
+        self.meter.record(dst.node_id, "down", message.phase, size, arrival)
+        delivered = self.env.event()
+
+        def deliver(_event):
+            dst.inbox.put(message)
+            delivered.succeed(message)
+
+        timer = self.env.timeout(max(0.0, arrival - self.env.now))
+        timer.callbacks.append(deliver)
+        return delivered
+
+    def drop(self, message: Message) -> None:
+        """Account for an adversarial drop (message never delivered)."""
+        self.dropped_count += 1
+
+    def send_many(self, messages: typing.Iterable[Message]) -> list:
+        """Send a batch; returns the delivery events."""
+        return [self.send(message) for message in messages]

@@ -1,0 +1,34 @@
+"""Mesoscale performance models for large-scale simulations.
+
+The paper validates Porygon "with up to 100,000 nodes" using Python
+simulations that deliberately abstract the distributed engineering:
+committee formation is "a fixed interval of 2 seconds plus random
+numerical values", link latency a constant 0.5 ms (Section VI,
+"Implementation and Setup"). This package follows the same methodology:
+committees are modelled in aggregate, phase durations derive from the
+bandwidth arithmetic of the message-level simulator, and a round loop
+with jitter produces throughput/latency series for the 20,000 to
+100,000-node experiments (Figures 7(b), 7(d), 8(b), 8(d) and Table I)
+that a per-message discrete-event simulation cannot reach in pure
+Python.
+
+Every calibration constant lives in
+:class:`~repro.perfmodel.params.MesoParams` with its derivation
+documented; the message-level simulator (:mod:`repro.core`) validates
+the protocol behaviour these models extrapolate.
+"""
+
+from repro.perfmodel.baseline_models import MesoscaleBlockene, MesoscaleByShard
+from repro.perfmodel.churn import committee_success_probability, survival_probability
+from repro.perfmodel.params import MesoParams
+from repro.perfmodel.porygon_model import MesoReport, MesoscalePorygon
+
+__all__ = [
+    "MesoParams",
+    "MesoReport",
+    "MesoscaleBlockene",
+    "MesoscaleByShard",
+    "MesoscalePorygon",
+    "committee_success_probability",
+    "survival_probability",
+]

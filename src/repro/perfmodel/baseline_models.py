@@ -1,0 +1,150 @@
+"""Mesoscale models of the Blockene and ByShard baselines.
+
+Same methodology and calibration style as
+:class:`~repro.perfmodel.porygon_model.MesoscalePorygon`; the structural
+differences are what produce the paper's comparison shapes:
+
+* **Blockene** — one committee, strictly sequential phases, so the
+  round time grows with the batch and throughput saturates around the
+  single-committee bandwidth bound (~750 TPS) *independent of network
+  size*; its 50-block committee cycle gives it a very long churn
+  exposure window.
+* **ByShard** — full nodes disseminate complete blocks inside each
+  shard and run a three-step consensus, with no pipelining; throughput
+  scales with shards but each shard delivers a fraction of a Porygon
+  shard's rate, and full-node storage grows with chain height.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.perfmodel.churn import committee_success_probability
+from repro.perfmodel.params import MesoParams
+from repro.perfmodel.porygon_model import MesoReport
+
+
+class MesoscaleBlockene:
+    """Single-committee stateless baseline at mesoscale."""
+
+    #: Blocks a committee serves before reconfiguration (Figure 8(d)).
+    blocks_per_cycle = 50
+
+    def __init__(self, params: MesoParams, demand_tps: float = 900.0):
+        self.params = params
+        self.demand_tps = demand_tps
+        self._rng = random.Random(params.seed)
+
+    def round_duration_and_txs(self) -> tuple[float, float]:
+        """Sequential round: witness + order + execute back to back."""
+        params = self.params
+        round_s = params.formation_s + params.consensus_base_s
+        txs = 0.0
+        for _ in range(3):
+            txs = self.demand_tps * round_s
+            phases = (
+                params.witness_phase_s(txs)
+                + params.execution_phase_s(txs)
+                + params.consensus_base_s
+            )
+            round_s = params.formation_s + phases
+        return round_s, txs
+
+    def success_probability(self) -> float:
+        params = self.params
+        if params.mean_stay_s is None:
+            return 1.0
+        round_s, _ = self.round_duration_and_txs()
+        service = self.blocks_per_cycle * round_s
+        return committee_success_probability(
+            params.nodes_per_shard, service, params.mean_stay_s
+        )
+
+    def run(self, num_rounds: int = 50) -> MesoReport:
+        params = self.params
+        success_p = self.success_probability()
+        round_s, txs_round = self.round_duration_and_txs()
+        elapsed = 0.0
+        committed = 0
+        empty = 0
+        per_round = []
+        for _ in range(num_rounds):
+            jitter = self._rng.uniform(0, params.formation_jitter_s)
+            elapsed += round_s + jitter
+            if self._rng.random() > success_p:
+                empty += 1
+                per_round.append(0)
+                continue
+            committed += int(txs_round)
+            per_round.append(int(txs_round))
+        block_latency = elapsed / num_rounds
+        commit_latency = 1.5 * block_latency  # single-round commit + wait
+        return MesoReport(
+            rounds=num_rounds, elapsed_s=elapsed, committed=committed,
+            throughput_tps=committed / elapsed if elapsed else 0.0,
+            block_latency_s=block_latency, commit_latency_s=commit_latency,
+            user_perceived_latency_s=commit_latency + params.notify_s,
+            empty_rounds=empty,
+            total_nodes=params.nodes_per_shard,
+            per_round_committed=per_round,
+        )
+
+
+class MesoscaleByShard:
+    """Full-node sharding baseline at mesoscale."""
+
+    #: Store-and-forward depth of in-shard block dissemination.
+    dissemination_factor = 2.0
+
+    #: Extra consensus step vs BA* (Tendermint's third phase).
+    consensus_factor = 1.35
+
+    def __init__(self, params: MesoParams, demand_tps_per_shard: float = 400.0):
+        self.params = params
+        self.demand_tps_per_shard = demand_tps_per_shard
+        self._rng = random.Random(params.seed)
+
+    def round_duration_and_txs(self) -> tuple[float, float]:
+        """Sequential full-node round for one shard."""
+        params = self.params
+        consensus = params.consensus_base_s * self.consensus_factor
+        round_s = params.formation_s + consensus
+        txs = 0.0
+        for _ in range(3):
+            txs = self.demand_tps_per_shard * round_s
+            dissemination = (
+                self.dissemination_factor * txs * params.tx_bytes
+                / params.node_bandwidth_bps
+            )
+            execute = txs * params.per_tx_execute_s
+            cross_2pc = params.cross_latency_s_per_ratio * params.cross_shard_ratio
+            round_s = params.formation_s + dissemination + consensus + execute + cross_2pc
+        return round_s, txs
+
+    def run(self, num_rounds: int = 50) -> MesoReport:
+        params = self.params
+        round_s, txs_shard = self.round_duration_and_txs()
+        elapsed = 0.0
+        committed = 0
+        per_round = []
+        for _ in range(num_rounds):
+            jitter = self._rng.uniform(0, params.formation_jitter_s)
+            elapsed += round_s + jitter
+            txs = int(txs_shard) * params.num_shards
+            committed += txs
+            per_round.append(txs)
+        block_latency = elapsed / num_rounds
+        commit_latency = (1.5 + params.cross_shard_ratio) * block_latency
+        return MesoReport(
+            rounds=num_rounds, elapsed_s=elapsed, committed=committed,
+            throughput_tps=committed / elapsed if elapsed else 0.0,
+            block_latency_s=block_latency, commit_latency_s=commit_latency,
+            user_perceived_latency_s=commit_latency + params.notify_s,
+            empty_rounds=0,
+            total_nodes=params.num_shards * params.nodes_per_shard,
+            per_round_committed=per_round,
+        )
+
+    def full_node_storage_bytes(self, num_blocks: int) -> int:
+        """Per-node ledger footprint after ``num_blocks`` blocks."""
+        return num_blocks * self.params.txs_per_block * self.params.tx_bytes

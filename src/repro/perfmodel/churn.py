@@ -1,0 +1,44 @@
+"""Churn modelling: committee survival under node departures.
+
+Figure 8(d) varies the time nodes stay in the network. A committee
+member must remain online for its whole service window; with
+exponentially distributed residual stays, the probability one member
+survives a window of ``service_s`` seconds is ``exp(-service_s /
+mean_stay_s)``. A round succeeds when at least a 2/3 quorum of the
+committee survives — otherwise the committee "commits empty blocks"
+(Section VI-B). Porygon's 3-round committee lifetime makes its window
+short; Blockene's 50-block cycle makes its window long, which is exactly
+what collapses its throughput under churn.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats
+
+from repro.errors import ConfigError
+
+
+def survival_probability(service_s: float, mean_stay_s: float) -> float:
+    """P(one member stays online through its service window)."""
+    if service_s < 0:
+        raise ConfigError(f"service_s must be non-negative, got {service_s}")
+    if mean_stay_s <= 0:
+        raise ConfigError(f"mean_stay_s must be positive, got {mean_stay_s}")
+    return math.exp(-service_s / mean_stay_s)
+
+
+def committee_success_probability(
+    committee_size: int, service_s: float, mean_stay_s: float,
+    quorum_fraction: float = 2 / 3,
+) -> float:
+    """P(at least a quorum of the committee survives its service window)."""
+    if committee_size < 1:
+        raise ConfigError(f"committee_size must be >= 1, got {committee_size}")
+    p_survive = survival_probability(service_s, mean_stay_s)
+    quorum = math.floor(committee_size * quorum_fraction) + 1
+    if quorum > committee_size:
+        quorum = committee_size
+    # P(X >= quorum) with X ~ Binomial(size, p_survive).
+    return float(stats.binom.sf(quorum - 1, committee_size, p_survive))

@@ -1,0 +1,127 @@
+"""The mesoscale Porygon model: a calibrated round loop.
+
+A pipelined round lasts ``formation + max(witness, execution, OC lane)``
+— the three lanes run concurrently (Figure 4); without pipelining the
+phases serialize, which is the 2D-vs-1D ablation of Figure 7(d). Per
+round, each shard commits ``min(demand, witness capacity)`` transactions
+(batched into ~2,000-tx blocks); churn turns a round empty with the
+committee-survival probability of :mod:`repro.perfmodel.churn`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.perfmodel.churn import committee_success_probability
+from repro.perfmodel.params import MesoParams
+
+
+@dataclass
+class MesoReport:
+    """Aggregates of one mesoscale run (mirrors SimulationReport)."""
+
+    rounds: int
+    elapsed_s: float
+    committed: int
+    throughput_tps: float
+    block_latency_s: float
+    commit_latency_s: float
+    user_perceived_latency_s: float
+    empty_rounds: int
+    total_nodes: int
+    per_round_committed: list[int] = field(default_factory=list)
+
+
+class MesoscalePorygon:
+    """Large-scale Porygon throughput/latency model."""
+
+    def __init__(self, params: MesoParams):
+        self.params = params
+        self._rng = random.Random(params.seed)
+
+    # ------------------------------------------------------------------
+    # Round arithmetic
+    # ------------------------------------------------------------------
+
+    def txs_per_shard_round(self, round_s: float) -> float:
+        """Transactions a shard processes per round (demand vs capacity)."""
+        params = self.params
+        demand = params.demand_tps_per_shard * round_s
+        return min(demand, params.witness_capacity_txs)
+
+    def round_duration_s(self, jitter: float = 0.0) -> float:
+        """Duration of one round given the configured parallelism."""
+        params = self.params
+        # Fixed point: per-round tx count depends on round length and
+        # vice versa; two iterations converge for all sane parameters.
+        round_s = params.formation_s + params.ordering_phase_s()
+        for _ in range(2):
+            txs = self.txs_per_shard_round(round_s)
+            witness = params.witness_phase_s(txs)
+            execution = params.execution_phase_s(txs)
+            ordering = params.ordering_phase_s()
+            if params.pipelining:
+                lanes = max(witness, execution, ordering)
+            else:
+                lanes = witness + execution + ordering
+            round_s = params.formation_s + lanes
+        return round_s + jitter
+
+    def success_probability(self) -> float:
+        """P(a round's committees survive churn); 1.0 without churn."""
+        params = self.params
+        if params.mean_stay_s is None:
+            return 1.0
+        nominal_round = self.round_duration_s()
+        service = params.ec_lifetime_rounds * nominal_round
+        return committee_success_probability(
+            params.nodes_per_shard, service, params.mean_stay_s
+        )
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self, num_rounds: int = 50) -> MesoReport:
+        """Drive the round loop and aggregate the paper's metrics."""
+        params = self.params
+        success_p = self.success_probability()
+        elapsed = 0.0
+        committed = 0
+        empty_rounds = 0
+        per_round: list[int] = []
+        round_durations: list[float] = []
+        latencies: list[float] = []
+        for _ in range(num_rounds):
+            jitter = self._rng.uniform(0, params.formation_jitter_s)
+            round_s = self.round_duration_s(jitter)
+            round_durations.append(round_s)
+            elapsed += round_s
+            if self._rng.random() > success_p:
+                empty_rounds += 1
+                per_round.append(0)
+                continue
+            txs = int(self.txs_per_shard_round(round_s)) * params.num_shards
+            committed += txs
+            per_round.append(txs)
+            # Commit latency: mean mempool wait (half a round) plus the
+            # pipeline depth — 3 rounds intra, 5 rounds for the
+            # cross-shard fraction (Section IV-D2).
+            depth = 3 + 2 * params.cross_shard_ratio
+            latencies.append((0.5 + depth) * round_s)
+        block_latency = sum(round_durations) / len(round_durations) if round_durations else 0.0
+        commit_latency = sum(latencies) / len(latencies) if latencies else 0.0
+        return MesoReport(
+            rounds=num_rounds,
+            elapsed_s=elapsed,
+            committed=committed,
+            throughput_tps=committed / elapsed if elapsed else 0.0,
+            block_latency_s=block_latency,
+            commit_latency_s=commit_latency,
+            user_perceived_latency_s=commit_latency + params.notify_s
+            if commit_latency else 0.0,
+            empty_rounds=empty_rounds,
+            total_nodes=params.total_nodes,
+            per_round_committed=per_round,
+        )

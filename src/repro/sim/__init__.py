@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, SimPy-flavoured kernel. Protocol code is written
+as generator *processes* that ``yield`` events:
+
+* :class:`~repro.sim.events.Timeout` — resume after simulated seconds.
+* :class:`~repro.sim.events.Event` — resume when another process
+  triggers it.
+* :class:`~repro.sim.process.Process` — resume when a child process ends
+  (its return value becomes the ``yield`` result).
+* :class:`~repro.sim.events.AllOf` / :class:`~repro.sim.events.AnyOf` —
+  resume when all / any of several events have triggered.
+* :meth:`~repro.sim.store.Store.get` — resume when a message is
+  available in a mailbox.
+
+Example::
+
+    from repro.sim import Environment
+
+    def ping(env, mailbox):
+        yield env.timeout(1.0)
+        yield mailbox.put("hello")
+
+    def pong(env, mailbox):
+        msg = yield mailbox.get()
+        return env.now, msg
+
+    env = Environment()
+    box = env.store()
+    env.process(ping(env, box))
+    proc = env.process(pong(env, box))
+    env.run()
+    assert proc.value == (1.0, "hello")
+"""
+
+from repro.sim.environment import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.resource import Resource
+from repro.sim.store import PriorityStore, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,129 @@
+"""The simulation environment: clock, event queue and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+from repro.sim.store import PriorityStore, Store
+
+
+class Environment:
+    """Executes events in simulated-time order.
+
+    :param initial_time: starting value of the simulation clock (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        #: heap of (time, sequence, event); sequence breaks ties FIFO.
+        self._queue: list[tuple[float, int, Event]] = []
+        self._next_id = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: typing.Iterable[Event]) -> AllOf:
+        """Event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Iterable[Event]) -> AnyOf:
+        """Event that fires when any event in ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def store(self) -> Store:
+        """Create an unbounded FIFO message store."""
+        return Store(self)
+
+    def priority_store(self) -> PriorityStore:
+        """Create a store that yields the smallest item first."""
+        return PriorityStore(self)
+
+    # ------------------------------------------------------------------
+    # Scheduling and execution
+    # ------------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue ``event`` for processing ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, self._next_id, event))
+        self._next_id += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        self._now, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            raise SimulationError(f"{event!r} was processed twice")
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            # A failure nobody waited on: surface it instead of silently
+            # dropping it (Zen: errors should never pass silently).
+            raise event._value
+
+    def run(self, until: float | Event | None = None):
+        """Run until the queue drains, time ``until``, or an event fires.
+
+        :param until: ``None`` runs to queue exhaustion; a number runs the
+            clock up to (and including events at) that time; an
+            :class:`Event` runs until that event is processed and returns
+            its value.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError("event queue drained before `until` event fired")
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop.defused = True
+            raise stop._value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(f"cannot run until {horizon} < now ({self._now})")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None

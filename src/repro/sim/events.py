@@ -1,0 +1,190 @@
+"""Core event types for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence at a point in simulated time.
+Processes wait on events by ``yield``-ing them; the environment resumes
+the process when the event is *processed* (its callbacks run).
+
+Lifecycle: *pending* -> *triggered* (value/exception set, scheduled on
+the event queue) -> *processed* (callbacks executed).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+#: Sentinel for "event has not been assigned a value yet".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    :param env: owning environment.
+
+    Attributes:
+        callbacks: functions invoked with the event once it is processed.
+            ``None`` after processing (late additions are an error).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list | None = []
+        self._value = _PENDING
+        self._ok: bool | None = None
+        #: True once a waiter consumed this event's failure, suppressing
+        #: the "unhandled failure" crash in :meth:`Environment.step`.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self):
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value=None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every waiting process.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value=None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class ConditionValue:
+    """Ordered mapping of event -> value for triggered condition members."""
+
+    def __init__(self, events: list[Event]):
+        self.events = events
+
+    def __getitem__(self, event: Event):
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def values(self) -> list:
+        """Values of the triggered events, in original order."""
+        return [event.value for event in self.events]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.events == other.events
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.values()!r}>"
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    def __init__(self, env: "Environment", events: typing.Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("all condition events must share one environment")
+        #: Members that have actually been processed, in firing order.
+        self._done: list[Event] = []
+        if self._evaluate(0, len(self._events)):
+            # Degenerate case (e.g. AllOf([])) - trigger immediately.
+            self.succeed(ConditionValue([]))
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    @staticmethod
+    def _evaluate(count: int, total: int) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._done.append(event)
+        if self._evaluate(len(self._done), len(self._events)):
+            # Preserve the original member order for determinism.
+            done = [ev for ev in self._events if ev in self._done]
+            self.succeed(ConditionValue(done))
+
+
+class AllOf(_Condition):
+    """Triggers once every member event has triggered successfully."""
+
+    @staticmethod
+    def _evaluate(count: int, total: int) -> bool:
+        return count == total
+
+
+class AnyOf(_Condition):
+    """Triggers once at least one member event has triggered successfully."""
+
+    @staticmethod
+    def _evaluate(count: int, total: int) -> bool:
+        return count >= 1 or total == 0

@@ -1,0 +1,118 @@
+"""Generator-backed simulation processes.
+
+A :class:`Process` drives a generator: every value the generator yields
+must be an :class:`~repro.sim.events.Event` (timeouts, store gets, other
+processes...). When that event is processed, the process resumes with the
+event's value — or, if the event failed, the exception is thrown into the
+generator so protocol code can handle faults with ordinary ``try/except``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """Whatever the interrupting party passed to ``interrupt()``."""
+        return self.args[0]
+
+
+class Process(Event):
+    """An event that completes when its generator returns.
+
+    The generator's ``return`` value becomes the process's event value, so
+    parent processes can write ``result = yield env.process(child(env))``.
+    """
+
+    def __init__(self, env: "Environment", generator: typing.Generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None when ready).
+        self._target: Event | None = None
+        # Kick off the process via an immediately-scheduled initial event.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process that is not waiting")
+        # Detach from the awaited event; it may still fire but must no
+        # longer resume us.
+        if self._target.callbacks is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.env._active_process = self
+        self._target = None
+        try:
+            if event.ok:
+                next_target = self._generator.send(event.value)
+            else:
+                event.defused = True
+                next_target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_target, Event):
+            exc = SimulationError(
+                f"process yielded a non-event: {next_target!r} "
+                f"(yield Events, Timeouts, Processes or store gets)"
+            )
+            self._generator.close()
+            self.fail(exc)
+            return
+        if next_target.processed:
+            # Already done: resume on the next scheduling step.
+            relay = Event(self.env)
+            relay._ok = next_target._ok
+            relay._value = next_target._value
+            if not next_target.ok:
+                next_target.defused = True
+                relay.defused = True
+            relay.callbacks.append(self._resume)
+            self.env.schedule(relay)
+            self._target = relay
+        else:
+            next_target.callbacks.append(self._resume)
+            self._target = next_target

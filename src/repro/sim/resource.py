@@ -1,0 +1,69 @@
+"""Capacity-limited resources (e.g. a node's upload slot)."""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class Resource:
+    """A counted resource with FIFO queueing.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[Event] = set()
+        self._waiting: deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for the resource."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Event that fires once the resource is granted to the caller."""
+        event = Event(self.env)
+        if len(self._users) < self.capacity:
+            self._users.add(event)
+            event.succeed()
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Return the resource held by ``request``."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._waiting:
+            # Cancelled before being granted.
+            self._waiting.remove(request)
+            return
+        else:
+            raise SimulationError("release() of a request that holds nothing")
+        if self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()

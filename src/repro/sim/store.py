@@ -1,0 +1,113 @@
+"""Message stores: FIFO and priority mailboxes for process communication."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+from collections import deque
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class Store:
+    """An unbounded FIFO queue that processes can ``get`` from.
+
+    ``put`` never blocks (our network layer models backpressure through
+    explicit transfer delays instead); ``get`` returns an event that fires
+    as soon as an item is available.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item) -> Event:
+        """Deposit ``item``; returns an already-succeeding event."""
+        self._push(item)
+        self._dispatch()
+        return Event(self.env).succeed(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next available item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def cancel(self, get_event: Event) -> None:
+        """Withdraw a pending :meth:`get` (e.g. after a timeout race).
+
+        A no-op if the get already received an item or was never issued
+        by this store.
+        """
+        try:
+            self._getters.remove(get_event)
+        except ValueError:
+            pass
+
+    def _push(self, item) -> None:
+        self._items.append(item)
+
+    def _pop(self):
+        return self._items.popleft()
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(self._pop())
+
+
+class PriorityStore(Store):
+    """A store that releases the *smallest* item first.
+
+    Items must be mutually comparable; use ``(priority, payload)`` tuples
+    or :class:`PriorityItem` when payloads are not comparable.
+    """
+
+    def __init__(self, env: "Environment"):
+        super().__init__(env)
+        self._items: list = []
+
+    def _push(self, item) -> None:
+        heapq.heappush(self._items, item)
+
+    def _pop(self):
+        return heapq.heappop(self._items)
+
+    @property
+    def items(self) -> list:
+        """Snapshot of queued items in ascending priority order."""
+        return sorted(self._items)
+
+
+class PriorityItem:
+    """Pairs an orderable priority with an arbitrary (unordered) payload."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority, item):
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PriorityItem):
+            return self.priority == other.priority and self.item == other.item
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"PriorityItem({self.priority!r}, {self.item!r})"

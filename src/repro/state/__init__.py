@@ -1,0 +1,29 @@
+"""State layer: account stores, shard subtrees and the global state tree.
+
+Storage nodes hold a :class:`~repro.state.global_state.ShardedGlobalState`
+— one :class:`~repro.state.shard_state.ShardState` per shard, each backed
+by a sparse Merkle tree so inclusion proofs can be served with states
+(Section IV-C1(c)). Stateless nodes never own state: during the Execution
+Phase they build a :class:`~repro.state.view.StateView` from downloaded
+(state, proof) pairs and run the deterministic
+:class:`~repro.state.executor.TransactionExecutor` over it, returning
+updated key-value pairs and subtree roots to the Ordering Committee.
+
+Versioned checkpoints on shard states implement the bounded cross-shard
+retry / rollback of Section IV-D2.
+"""
+
+from repro.state.executor import ExecutionOutcome, TransactionExecutor
+from repro.state.global_state import ShardedGlobalState
+from repro.state.shard_state import ShardState
+from repro.state.store import AccountStore
+from repro.state.view import StateView
+
+__all__ = [
+    "AccountStore",
+    "ExecutionOutcome",
+    "ShardState",
+    "ShardedGlobalState",
+    "StateView",
+    "TransactionExecutor",
+]

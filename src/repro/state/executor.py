@@ -1,0 +1,126 @@
+"""Deterministic transaction execution.
+
+"Transactions are sequentially executed, and all failed transactions
+(e.g., duplicate transactions and double-spending transactions) are
+abandoned. Failed transactions are still recorded in the transaction
+block to preserve integrity." (Section IV-C1(c))
+
+Execution is a pure function of (ordered transactions, state view), so
+every benign committee member computes the identical result — the
+property Lemma 3's "deterministic execution process" relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.chain.operations import TxKind
+from repro.chain.transaction import Transaction
+from repro.state.view import StateView
+
+
+class FailureReason(enum.Enum):
+    """Why a transaction failed deterministic checks."""
+
+    BAD_NONCE = "bad_nonce"
+    INSUFFICIENT_BALANCE = "insufficient_balance"
+
+
+@dataclass
+class ExecutionOutcome:
+    """Result of executing an ordered batch of transactions.
+
+    Attributes:
+        applied: transactions that executed successfully, in order.
+        failed: ``(transaction, reason)`` pairs, recorded for integrity.
+    """
+
+    applied: list[Transaction] = field(default_factory=list)
+    failed: list[tuple[Transaction, FailureReason]] = field(default_factory=list)
+
+    @property
+    def applied_count(self) -> int:
+        return len(self.applied)
+
+    @property
+    def failed_tx_ids(self) -> tuple[int, ...]:
+        return tuple(tx.tx_id for tx, _ in self.failed)
+
+
+class TransactionExecutor:
+    """Sequentially executes transfers against a :class:`StateView`."""
+
+    def execute(self, transactions, view: StateView) -> ExecutionOutcome:
+        """Run ``transactions`` in order, mutating ``view``.
+
+        Nonce discipline rejects duplicates and replays; balance checks
+        reject double-spends. Failed transactions leave the view
+        untouched.
+        """
+        outcome = ExecutionOutcome()
+        for tx in transactions:
+            reason = self._apply(tx, view)
+            if reason is None:
+                outcome.applied.append(tx)
+            else:
+                outcome.failed.append((tx, reason))
+        return outcome
+
+    @classmethod
+    def _apply(cls, tx: Transaction, view: StateView) -> FailureReason | None:
+        sender = view.get(tx.sender).copy()
+        if tx.nonce != sender.nonce:
+            return FailureReason.BAD_NONCE
+        if tx.kind is TxKind.BATCH_PAY:
+            return cls._apply_batch_pay(tx, sender, view)
+        if tx.kind is TxKind.SWEEP:
+            return cls._apply_sweep(tx, sender, view)
+        return cls._apply_transfer(tx, sender, view)
+
+    @staticmethod
+    def _apply_transfer(tx: Transaction, sender, view: StateView) -> FailureReason | None:
+        if sender.balance < tx.amount:
+            return FailureReason.INSUFFICIENT_BALANCE
+        receiver = view.get(tx.receiver).copy()
+        sender.balance -= tx.amount
+        sender.nonce += 1
+        if tx.sender == tx.receiver:
+            # Self-transfer: balance unchanged, nonce still bumps.
+            sender.balance += tx.amount
+            view.put(sender)
+            return None
+        receiver.balance += tx.amount
+        view.put(sender)
+        view.put(receiver)
+        return None
+
+    @staticmethod
+    def _apply_batch_pay(tx: Transaction, sender, view: StateView) -> FailureReason | None:
+        """Atomic multi-receiver payment: all credits or none."""
+        total = sum(amount for _, amount in tx.payload)
+        if sender.balance < total:
+            return FailureReason.INSUFFICIENT_BALANCE
+        sender.balance -= total
+        sender.nonce += 1
+        view.put(sender)
+        for receiver_id, amount in tx.payload:
+            receiver = view.get(receiver_id).copy()
+            receiver.balance += amount
+            view.put(receiver)
+        return None
+
+    @staticmethod
+    def _apply_sweep(tx: Transaction, sender, view: StateView) -> FailureReason | None:
+        """State-dependent transfer of everything above ``min_keep``."""
+        (min_keep,) = tx.payload
+        if sender.balance < min_keep:
+            return FailureReason.INSUFFICIENT_BALANCE
+        swept = sender.balance - min_keep
+        receiver = view.get(tx.receiver).copy()
+        sender.balance = min_keep
+        sender.nonce += 1
+        receiver.balance += swept
+        view.put(sender)
+        view.put(receiver)
+        return None

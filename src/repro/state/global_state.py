@@ -1,0 +1,86 @@
+"""The sharded global state: one subtree per shard, one aggregated root.
+
+Per Figure 6 (step 6), "the newest state tree root is calculated
+according to subtree roots" — the global root commits to the ordered
+tuple of shard subtree roots.
+"""
+
+from __future__ import annotations
+
+from repro.chain.account import Account, AccountId, shard_of
+from repro.crypto.hashing import domain_digest
+from repro.crypto.smt import SMT_DEPTH
+from repro.errors import StateError
+from repro.state.shard_state import ShardState
+
+_GLOBAL_ROOT_DOMAIN = "repro/global-root/v1"
+
+
+def aggregate_root(shard_roots: dict[int, bytes]) -> bytes:
+    """Global root from per-shard subtree roots (order-canonical)."""
+    parts = []
+    for shard in sorted(shard_roots):
+        parts.append(shard.to_bytes(8, "big"))
+        parts.append(shard_roots[shard])
+    return domain_digest(_GLOBAL_ROOT_DOMAIN, *parts)
+
+
+class ShardedGlobalState:
+    """Complete blockchain state as held by a storage node."""
+
+    def __init__(self, num_shards: int, depth: int = SMT_DEPTH):
+        if num_shards < 1:
+            raise StateError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.shards = [ShardState(s, num_shards, depth=depth) for s in range(num_shards)]
+
+    def shard_for(self, account_id: AccountId) -> ShardState:
+        """The shard state owning ``account_id``."""
+        return self.shards[shard_of(account_id, self.num_shards)]
+
+    def get_account(self, account_id: AccountId) -> Account:
+        """Read any account through its owning shard."""
+        return self.shard_for(account_id).get_account(account_id)
+
+    def put_account(self, account: Account) -> None:
+        """Write any account through its owning shard."""
+        self.shard_for(account.account_id).put_account(account)
+
+    def credit(self, account_id: AccountId, amount: int) -> None:
+        """Mint ``amount`` into an account (genesis funding)."""
+        account = self.get_account(account_id).copy()
+        account.balance += amount
+        self.put_account(account)
+
+    @property
+    def shard_roots(self) -> dict[int, bytes]:
+        """Current per-shard subtree roots."""
+        return {shard.shard: shard.root for shard in self.shards}
+
+    @property
+    def root(self) -> bytes:
+        """Current global state root ``T``."""
+        return aggregate_root(self.shard_roots)
+
+    def total_balance(self) -> int:
+        """System-wide balance — an invariant under valid transfers."""
+        return sum(shard.accounts.total_balance() for shard in self.shards)
+
+    def checkpoint(self, round_number: int) -> None:
+        """Checkpoint every shard at once."""
+        for shard in self.shards:
+            shard.checkpoint(round_number)
+
+    def rollback(self, round_number: int) -> bytes:
+        """Roll every shard back to ``round_number``; returns new root."""
+        for shard in self.shards:
+            shard.rollback(round_number)
+        return self.root
+
+    def copy(self) -> "ShardedGlobalState":
+        """Deep copy (used to fork a storage node's view)."""
+        clone = ShardedGlobalState(self.num_shards, depth=self.shards[0].depth)
+        for shard in self.shards:
+            for account in shard.accounts.snapshot().values():
+                clone.put_account(account)
+        return clone

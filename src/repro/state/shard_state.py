@@ -1,0 +1,123 @@
+"""Per-shard authenticated state: account store + sparse Merkle subtree.
+
+Each shard ``d`` owns the accounts with ``id % num_shards == d``. The
+shard's SMT key for an account is ``id // num_shards`` — a bijection on
+the shard's id space, so subtree proofs commit to exactly this shard's
+accounts. Checkpoints keyed by round implement the bounded retry /
+rollback of failed cross-shard commits (Section IV-D2).
+"""
+
+from __future__ import annotations
+
+from repro.chain.account import Account, AccountId, shard_of
+from repro.crypto.smt import SMT_DEPTH, SmtProof, SparseMerkleTree
+from repro.errors import StateError
+from repro.state.store import AccountStore
+
+
+class ShardState:
+    """Authenticated account state of one shard."""
+
+    def __init__(self, shard: int, num_shards: int, depth: int = SMT_DEPTH):
+        if not 0 <= shard < num_shards:
+            raise StateError(f"shard {shard} out of range for {num_shards} shards")
+        self.shard = shard
+        self.num_shards = num_shards
+        self.accounts = AccountStore()
+        self._tree = SparseMerkleTree(depth=depth)
+        #: round -> (account snapshot, smt item snapshot)
+        self._checkpoints: dict[int, dict[AccountId, Account]] = {}
+
+    def _smt_key(self, account_id: AccountId) -> int:
+        if shard_of(account_id, self.num_shards) != self.shard:
+            raise StateError(
+                f"account {account_id} belongs to shard "
+                f"{shard_of(account_id, self.num_shards)}, not {self.shard}"
+            )
+        return account_id // self.num_shards
+
+    @property
+    def root(self) -> bytes:
+        """Subtree root ``T^d`` committed to the proposal block."""
+        return self._tree.root
+
+    @property
+    def depth(self) -> int:
+        """Depth of the backing sparse Merkle tree."""
+        return self._tree.depth
+
+    def owns(self, account_id: AccountId) -> bool:
+        """True iff this shard is responsible for ``account_id``."""
+        return shard_of(account_id, self.num_shards) == self.shard
+
+    def get_account(self, account_id: AccountId) -> Account:
+        """Read an account (zero account if never written)."""
+        self._smt_key(account_id)  # ownership check
+        return self.accounts.get(account_id)
+
+    def put_account(self, account: Account) -> None:
+        """Write an account and refresh its SMT leaf."""
+        key = self._smt_key(account.account_id)
+        self.accounts.put(account)
+        self._tree.update(key, account.encode())
+
+    def apply_updates(self, updates) -> bytes:
+        """Apply raw ``(account_id, encoded_state)`` pairs (the U-list).
+
+        This is the Multi-Shard Update step: the shard "directly updates
+        these key-value pairs and the state subtree". Returns the new
+        subtree root.
+        """
+        for account_id, encoded in updates:
+            account = Account.decode(encoded)
+            if account.account_id != account_id:
+                raise StateError(
+                    f"update for account {account_id} encodes account {account.account_id}"
+                )
+            self.put_account(account)
+        return self.root
+
+    def prove(self, account_id: AccountId) -> SmtProof:
+        """Integrity proof served with a state download."""
+        return self._tree.prove(self._smt_key(account_id))
+
+    def verify_account(self, account_id: AccountId, proof: SmtProof, root: bytes) -> bool:
+        """Check a (state, proof) pair a storage node served."""
+        account = self.accounts.get(account_id) if account_id in self.accounts else None
+        value = account.encode() if account is not None else None
+        return proof.verify(root, value, self._tree.depth)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / rollback
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, round_number: int) -> None:
+        """Record a restorable snapshot labelled with ``round_number``."""
+        self._checkpoints[round_number] = self.accounts.snapshot()
+
+    def rollback(self, round_number: int) -> bytes:
+        """Restore the snapshot taken at ``round_number``.
+
+        Used when a cross-shard transaction fails to commit within the
+        bounded retry window and the OC "requires all related shards to
+        roll back". Returns the restored subtree root.
+        """
+        snapshot = self._checkpoints.get(round_number)
+        if snapshot is None:
+            raise StateError(f"no checkpoint for round {round_number}")
+        self.accounts.restore(snapshot)
+        self._tree = SparseMerkleTree(depth=self._tree.depth)
+        for account in snapshot.values():
+            self._tree.update(self._smt_key(account.account_id), account.encode())
+        return self.root
+
+    def prune_checkpoints(self, before_round: int) -> None:
+        """Drop checkpoints older than ``before_round``."""
+        self._checkpoints = {
+            rnd: snap for rnd, snap in self._checkpoints.items() if rnd >= before_round
+        }
+
+    @property
+    def checkpoint_rounds(self) -> list[int]:
+        """Rounds with a restorable checkpoint, sorted."""
+        return sorted(self._checkpoints)

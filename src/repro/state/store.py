@@ -1,0 +1,59 @@
+"""In-memory account store — the key-value heart of a shard's state."""
+
+from __future__ import annotations
+
+from repro.chain.account import Account, AccountId
+from repro.errors import StateError
+
+
+class AccountStore:
+    """Mutable mapping of account id -> :class:`Account`.
+
+    Unknown accounts read as zero-balance, zero-nonce accounts (the usual
+    account-model convention); writing one materializes it.
+    """
+
+    def __init__(self):
+        self._accounts: dict[AccountId, Account] = {}
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def __contains__(self, account_id: AccountId) -> bool:
+        return account_id in self._accounts
+
+    def get(self, account_id: AccountId) -> Account:
+        """Account at ``account_id`` (a fresh zero account if absent)."""
+        existing = self._accounts.get(account_id)
+        if existing is not None:
+            return existing
+        return Account(account_id)
+
+    def put(self, account: Account) -> None:
+        """Store ``account`` (materializing it if new)."""
+        self._accounts[account.account_id] = account
+
+    def credit(self, account_id: AccountId, amount: int) -> Account:
+        """Add ``amount`` to the balance, materializing the account."""
+        if amount < 0:
+            raise StateError(f"credit amount must be non-negative, got {amount}")
+        account = self.get(account_id).copy()
+        account.balance += amount
+        self.put(account)
+        return account
+
+    def account_ids(self) -> list[AccountId]:
+        """Materialized account ids in sorted order."""
+        return sorted(self._accounts)
+
+    def total_balance(self) -> int:
+        """Sum of all balances — conserved by valid transfer execution."""
+        return sum(acct.balance for acct in self._accounts.values())
+
+    def snapshot(self) -> dict[AccountId, Account]:
+        """Deep copy of the store contents."""
+        return {aid: acct.copy() for aid, acct in self._accounts.items()}
+
+    def restore(self, snapshot: dict[AccountId, Account]) -> None:
+        """Replace contents with (a copy of) ``snapshot``."""
+        self._accounts = {aid: acct.copy() for aid, acct in snapshot.items()}

@@ -1,0 +1,67 @@
+"""Detached state views for stateless execution.
+
+An ESC member never owns state. During the Execution Phase it downloads
+the accounts its transactions touch (with integrity proofs) from storage
+nodes and executes against this detached :class:`StateView`. The view
+records every write so the member can return the updated key-value pairs
+(``S^d``) to the Ordering Committee.
+
+Some downloaded states "may belong to accounts maintained by other
+shards" (Section IV-D2) — the view deliberately performs no shard
+ownership checks.
+"""
+
+from __future__ import annotations
+
+from repro.chain.account import Account, AccountId
+from repro.errors import StateError
+
+
+class StateView:
+    """A writable overlay over a set of downloaded account states."""
+
+    def __init__(self, accounts: dict[AccountId, Account] | None = None):
+        self._base: dict[AccountId, Account] = {}
+        if accounts:
+            for account_id, account in accounts.items():
+                if account.account_id != account_id:
+                    raise StateError(
+                        f"view key {account_id} does not match account {account.account_id}"
+                    )
+                self._base[account_id] = account.copy()
+        self._written: dict[AccountId, Account] = {}
+
+    def __contains__(self, account_id: AccountId) -> bool:
+        return account_id in self._written or account_id in self._base
+
+    def load(self, account: Account) -> None:
+        """Add one more downloaded account to the view's base."""
+        self._base[account.account_id] = account.copy()
+
+    def get(self, account_id: AccountId) -> Account:
+        """Read through the overlay (zero account if never downloaded)."""
+        if account_id in self._written:
+            return self._written[account_id]
+        if account_id in self._base:
+            return self._base[account_id]
+        return Account(account_id)
+
+    def put(self, account: Account) -> None:
+        """Write to the overlay."""
+        self._written[account.account_id] = account.copy()
+
+    @property
+    def written(self) -> dict[AccountId, Account]:
+        """Accounts modified through this view (copies)."""
+        return {aid: acct.copy() for aid, acct in self._written.items()}
+
+    def written_encoded(self) -> tuple[tuple[AccountId, bytes], ...]:
+        """Writes as sorted ``(account_id, encoded_state)`` pairs — the
+        ``S`` set returned to the OC."""
+        return tuple(
+            (aid, self._written[aid].encode()) for aid in sorted(self._written)
+        )
+
+    def reset_writes(self) -> None:
+        """Discard the overlay (pre-execution that must not persist)."""
+        self._written = {}

@@ -1,0 +1,15 @@
+"""Workload generation: transfer streams with controllable shape.
+
+The evaluation needs three knobs (Sections VI-A/B, Table I):
+
+* **cross-shard ratio** — fraction of transfers whose sender and
+  receiver live on different shards;
+* **account skew** — uniform or Zipf-like popularity;
+* **submission rate** — open-loop arrivals for the throughput-vs-latency
+  sweep of Figure 8(c).
+"""
+
+from repro.workload.arrival import OpenLoopArrivals
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["OpenLoopArrivals", "WorkloadGenerator"]

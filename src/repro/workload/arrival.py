@@ -1,0 +1,60 @@
+"""Open-loop arrival process for throughput-vs-latency sweeps."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import WorkloadError
+from repro.workload.generator import WorkloadGenerator
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import PorygonSimulation
+
+
+class OpenLoopArrivals:
+    """Submits transactions at a fixed rate, independent of the system.
+
+    This is how Figure 8(c) varies load: the client-side rate is the
+    control variable; throughput and latency are the responses. Attach
+    to a simulation *before* running::
+
+        arrivals = OpenLoopArrivals(gen, rate_tps=500)
+        arrivals.attach(sim)
+        sim.run(num_rounds=10)
+
+    Works with any simulation exposing ``env`` and ``submit`` —
+    Porygon, Blockene and ByShard alike.
+    """
+
+    def __init__(self, generator: WorkloadGenerator, rate_tps: float,
+                 batch_interval_s: float = 0.25):
+        if rate_tps <= 0:
+            raise WorkloadError(f"rate must be positive, got {rate_tps}")
+        if batch_interval_s <= 0:
+            raise WorkloadError(f"interval must be positive, got {batch_interval_s}")
+        self.generator = generator
+        self.rate_tps = rate_tps
+        self.batch_interval_s = batch_interval_s
+        self.submitted = 0
+
+    def attach(self, sim: "PorygonSimulation") -> None:
+        """Start the arrival process inside the simulation."""
+        sim.env.process(self._pump(sim))
+
+    def _pump(self, sim: "PorygonSimulation"):
+        carry = 0.0
+        while True:
+            yield sim.env.timeout(self.batch_interval_s)
+            exact = self.rate_tps * self.batch_interval_s + carry
+            count = int(exact)
+            carry = exact - count
+            if count <= 0:
+                continue
+            try:
+                batch = self.generator.batch(count, at_time=sim.env.now)
+            except WorkloadError:
+                # Unique-account generator exhausted: the stream ends.
+                # (Only reachable under saturation, where the system is
+                # already backlogged and capacity-bound.)
+                return
+            self.submitted += sim.submit(batch)

@@ -1,0 +1,146 @@
+"""Tests for Lemma 1 safety bounds, complexity models and liveness."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    benign_probability,
+    communication_complexity,
+    corrupted_probability,
+    empty_run_probability,
+    expected_commit_delay_rounds,
+    kl_divergence,
+    simulate_empty_runs,
+    solve_committee_bound,
+    storage_complexity,
+)
+from repro.errors import ConfigError
+
+
+class TestKL:
+    def test_zero_at_equal(self):
+        assert kl_divergence(0.3, 0.3) == pytest.approx(0.0)
+
+    def test_positive_otherwise(self):
+        assert kl_divergence(0.1, 0.3) > 0
+        assert kl_divergence(0.5, 0.3) > 0
+
+    def test_edge_p_values(self):
+        assert kl_divergence(0.0, 0.5) == pytest.approx(math.log(2))
+        assert kl_divergence(1.0, 0.5) == pytest.approx(math.log(2))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            kl_divergence(0.5, 0.0)
+        with pytest.raises(ConfigError):
+            kl_divergence(-0.1, 0.5)
+
+
+class TestMembershipProbabilities:
+    def test_benign_formula(self):
+        # p_g = (1 - beta^m) alpha p
+        p_g = benign_probability(alpha=0.75, beta=0.5, m=2, p=0.1)
+        assert p_g == pytest.approx((1 - 0.25) * 0.75 * 0.1)
+
+    def test_corrupted_formula(self):
+        p_c = corrupted_probability(alpha=0.75, beta=0.5, m=2, p=0.1)
+        assert p_c == pytest.approx(0.25 * 0.75 * 0.1 + 0.25 * 0.1)
+
+    def test_partition(self):
+        """Benign + corrupted = all committee members."""
+        p = 0.05
+        p_g = benign_probability(0.75, 0.5, 20, p)
+        p_c = corrupted_probability(0.75, 0.5, 20, p)
+        assert p_g + p_c == pytest.approx(p)
+
+    def test_more_connections_reduce_corruption(self):
+        few = corrupted_probability(0.75, 0.5, 1, 0.1)
+        many = corrupted_probability(0.75, 0.5, 20, 0.1)
+        assert many < few
+
+
+class TestLemma1:
+    def test_paper_parameters_reproduce_lemma(self):
+        """M_c = 3,500, alpha = 0.75, beta = 0.5, m = 20, kappa = 30."""
+        bound = solve_committee_bound()
+        # Our tightest bounds must be at least as strong as the paper's
+        # chosen (valid but looser) constants.
+        assert bound.benign_min >= 2225
+        assert bound.corrupted_max <= 1100
+        assert bound.two_thirds_safe
+        assert bound.benign_tail_log2 <= -30
+        assert bound.corrupted_tail_log2 <= -30
+
+    def test_small_committee_can_fail_two_thirds(self):
+        bound = solve_committee_bound(committee_size=50, kappa=30)
+        assert not bound.two_thirds_safe
+
+    def test_weaker_adversary_improves_margin(self):
+        strong = solve_committee_bound(alpha=0.75)
+        weak = solve_committee_bound(alpha=0.9)
+        assert weak.benign_min > strong.benign_min
+        assert weak.corrupted_max < strong.corrupted_max
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            solve_committee_bound(population=0)
+        with pytest.raises(ConfigError):
+            solve_committee_bound(committee_size=0)
+
+
+class TestComplexity:
+    def test_porygon_lowest_at_scale(self):
+        kwargs = dict(m=2000, n=100_000, b=250_000, w=5_000)
+        porygon = communication_complexity("porygon", **kwargs)
+        rapidchain = communication_complexity("rapidchain", **kwargs)
+        elastico = communication_complexity("elastico", **kwargs)
+        omniledger = communication_complexity("omniledger", **kwargs)
+        assert porygon < elastico == omniledger < rapidchain
+
+    def test_rapidchain_log_factor(self):
+        small = communication_complexity("rapidchain", m=10, n=100, b=1, w=1)
+        assert small == pytest.approx(100 + 100 * math.log(100))
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigError):
+            communication_complexity("bitcoin", m=1, n=1, b=1, w=1)
+        with pytest.raises(ConfigError):
+            storage_complexity("bitcoin", m=1, n=1, ledger_bytes=1)
+
+    def test_storage_flat_vs_growing(self):
+        porygon_small = storage_complexity("porygon", 100, 1000, 1e9)
+        porygon_large = storage_complexity("porygon", 100, 1000, 1e12)
+        assert porygon_small == porygon_large == 5_000_000
+        full_small = storage_complexity("rapidchain", 100, 1000, 1e9)
+        full_large = storage_complexity("rapidchain", 100, 1000, 1e12)
+        assert full_large == 1000 * full_small
+
+    def test_m_n_validation(self):
+        with pytest.raises(ConfigError):
+            communication_complexity("porygon", m=10, n=5, b=1, w=1)
+
+
+class TestLiveness:
+    def test_empty_run_probability(self):
+        assert empty_run_probability(0) == 1.0
+        assert empty_run_probability(1) == 0.25
+        # ">15 successive rounds is negligible": 0.25^16 < 2^-30.
+        assert empty_run_probability(16) < 2**-30
+
+    def test_expected_delay(self):
+        assert expected_commit_delay_rounds(0.25) == pytest.approx(4 / 3)
+        assert expected_commit_delay_rounds(0.0) == 1.0
+
+    def test_monte_carlo_agrees_with_closed_form(self):
+        stats = simulate_empty_runs(200_000, corrupted_leader_p=0.25, seed=1)
+        assert stats["empty_fraction"] == pytest.approx(0.25, abs=0.01)
+        assert stats["longest_empty_run"] <= 15
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            empty_run_probability(-1)
+        with pytest.raises(ConfigError):
+            expected_commit_delay_rounds(1.0)
+        with pytest.raises(ConfigError):
+            simulate_empty_runs(0)

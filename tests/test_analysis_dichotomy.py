@@ -1,0 +1,54 @@
+"""Tests for the safety-liveness dichotomy committee sizing."""
+
+import pytest
+
+from repro.analysis import corruption_tail, dichotomy_summary, minimal_safe_committee
+from repro.errors import ConfigError
+
+
+def test_corruption_tail_monotone_in_q():
+    low = corruption_tail(100, 0.1, 0.5)
+    high = corruption_tail(100, 0.3, 0.5)
+    assert low < high
+
+
+def test_corruption_tail_validation():
+    with pytest.raises(ConfigError):
+        corruption_tail(0, 0.25, 0.5)
+    with pytest.raises(ConfigError):
+        corruption_tail(10, 1.0, 0.5)
+    with pytest.raises(ConfigError):
+        corruption_tail(10, 0.25, 0.0)
+
+
+def test_minimal_safe_committee_meets_kappa():
+    size = minimal_safe_committee(q=0.25, safety_threshold=0.5, kappa=30)
+    assert corruption_tail(size, 0.25, 0.5) < 2**-30
+    # One fewer member must violate the bound (minimality).
+    assert corruption_tail(size - 1, 0.25, 0.5) >= 2**-30
+
+
+def test_dichotomy_shrinks_committees_severalfold():
+    """Decoupling execution (1/2 tolerance) vs classic 1/3 BFT."""
+    summary = dichotomy_summary(q=0.25, kappa=30)
+    assert summary["safety_only_half_threshold"] < 150
+    assert summary["classic_third_threshold"] > 900
+    ratio = summary["classic_third_threshold"] / summary["safety_only_half_threshold"]
+    assert ratio > 5
+
+
+def test_paper_sub_100_claim_at_practical_kappa():
+    """'less than 100 in practice': holds at kappa ~ 23 (about 1e-7)."""
+    size = minimal_safe_committee(q=0.25, safety_threshold=0.5, kappa=23)
+    assert size < 100
+
+
+def test_weaker_adversary_needs_smaller_committee():
+    strong = minimal_safe_committee(q=0.25, safety_threshold=0.5, kappa=30)
+    weak = minimal_safe_committee(q=0.10, safety_threshold=0.5, kappa=30)
+    assert weak < strong
+
+
+def test_impossible_configuration_rejected():
+    with pytest.raises(ConfigError):
+        minimal_safe_committee(q=0.6, safety_threshold=0.5, kappa=30, max_size=1_000)

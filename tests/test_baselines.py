@@ -1,0 +1,103 @@
+"""Tests for the Blockene and ByShard baselines."""
+
+import pytest
+
+from repro.baselines import BlockeneSimulation, ByShardConfig, ByShardSimulation
+from repro.errors import ConfigError
+from repro.workload import WorkloadGenerator
+
+
+def byshard(num_shards=2, nodes_per_shard=4, txs_per_block=10, **overrides):
+    config = ByShardConfig(
+        num_shards=num_shards, nodes_per_shard=nodes_per_shard,
+        txs_per_block=txs_per_block, round_overhead_s=0.5,
+        consensus_step_timeout_s=0.3, **overrides,
+    )
+    return ByShardSimulation(config, seed=1)
+
+
+class TestByShard:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ByShardConfig(num_shards=0)
+        with pytest.raises(ConfigError):
+            ByShardConfig(nodes_per_shard=0)
+
+    def test_intra_shard_commits_and_balances(self):
+        sim = byshard()
+        gen = WorkloadGenerator(num_accounts=40, num_shards=2, seed=2)
+        sim.fund_accounts(gen.funding_accounts(), 100)
+        sim.submit(gen.batch(20))
+        report = sim.run(num_rounds=4)
+        assert report.committed > 0
+        assert sim.total_balance() == 40 * 100
+
+    def test_cross_shard_commits_atomically(self):
+        sim = byshard()
+        gen = WorkloadGenerator(num_accounts=40, num_shards=2,
+                                cross_shard_ratio=1.0, seed=3)
+        sim.fund_accounts(gen.funding_accounts(), 100)
+        sim.submit(gen.batch(20))
+        report = sim.run(num_rounds=6)
+        assert report.commits_by_kind["cross"] > 0
+        assert sim.total_balance() == 40 * 100
+
+    def test_cross_shard_takes_extra_round(self):
+        sim = byshard()
+        gen = WorkloadGenerator(num_accounts=40, num_shards=2,
+                                cross_shard_ratio=1.0, seed=3)
+        sim.fund_accounts(gen.funding_accounts(), 100)
+        sim.submit(gen.batch(10))
+        sim.run(num_rounds=5)
+        for record in sim.tracker.commits:
+            if record.cross_shard:
+                assert record.commit_round == record.witness_round + 1
+
+    def test_full_node_storage_grows_with_height(self):
+        sim = byshard()
+        gen = WorkloadGenerator(num_accounts=40, num_shards=2, seed=4)
+        sim.fund_accounts(gen.funding_accounts(), 1000)
+        sim.submit(gen.batch(40))
+        sim.run(num_rounds=2)
+        first = sim.full_node_storage_bytes()
+        sim.submit(gen.batch(40))
+        sim.run(num_rounds=3)
+        assert sim.full_node_storage_bytes() > first
+
+    def test_sharding_scales_throughput(self):
+        def tps(num_shards):
+            sim = byshard(num_shards=num_shards, txs_per_block=20)
+            gen = WorkloadGenerator(num_accounts=200, num_shards=num_shards, seed=5)
+            sim.fund_accounts(gen.funding_accounts(), 100)
+            sim.submit(gen.batch(400))
+            return sim.run(num_rounds=5).throughput_tps
+
+        assert tps(4) > 1.5 * tps(1)
+
+
+class TestBlockene:
+    def test_commits_transactions(self):
+        sim = BlockeneSimulation(committee_size=6, txs_per_block=10,
+                                 round_overhead_s=0.5,
+                                 consensus_step_timeout_s=0.3)
+        gen = WorkloadGenerator(num_accounts=20, num_shards=1, seed=1)
+        sim.fund_accounts(gen.funding_accounts(), 100)
+        sim.submit(gen.batch(20))
+        report = sim.run(num_rounds=4)
+        assert report.committed > 0
+        assert sim.hub.state.total_balance() == 20 * 100
+
+    def test_single_committee_no_sharding(self):
+        sim = BlockeneSimulation(committee_size=6)
+        assert sim.config.num_shards == 1
+        assert sim.config.pipelining is False
+
+    def test_stateless_storage_still_flat(self):
+        sim = BlockeneSimulation(committee_size=6, txs_per_block=10,
+                                 round_overhead_s=0.5,
+                                 consensus_step_timeout_s=0.3)
+        gen = WorkloadGenerator(num_accounts=20, num_shards=1, seed=1)
+        sim.fund_accounts(gen.funding_accounts(), 100)
+        sim.submit(gen.batch(40))
+        report = sim.run(num_rounds=4)
+        assert report.stateless_storage_bytes < 6_000_000

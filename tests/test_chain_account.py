@@ -1,0 +1,69 @@
+"""Unit tests for accounts and shard placement."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.account import Account, shard_of
+from repro.errors import StateError
+
+
+def test_shard_of_power_of_two_matches_low_bits():
+    for account_id in (0, 1, 7, 8, 255, 1024, 12345):
+        assert shard_of(account_id, 8) == account_id & 0b111
+
+
+def test_shard_of_single_shard_is_zero():
+    assert shard_of(999, 1) == 0
+
+
+def test_shard_of_invalid_count():
+    with pytest.raises(StateError):
+        shard_of(1, 0)
+
+
+def test_account_defaults():
+    acct = Account(5)
+    assert acct.balance == 0
+    assert acct.nonce == 0
+
+
+def test_account_validation():
+    with pytest.raises(StateError):
+        Account(-1)
+    with pytest.raises(StateError):
+        Account(1, balance=-5)
+    with pytest.raises(StateError):
+        Account(1, nonce=-2)
+
+
+def test_account_copy_is_independent():
+    acct = Account(1, balance=10, nonce=2)
+    clone = acct.copy()
+    clone.balance = 99
+    assert acct.balance == 10
+
+
+def test_account_encode_decode_roundtrip():
+    acct = Account(42, balance=10**12, nonce=7)
+    assert Account.decode(acct.encode()) == acct
+
+
+def test_account_decode_bad_length():
+    with pytest.raises(StateError):
+        Account.decode(b"short")
+
+
+@given(
+    st.integers(min_value=0, max_value=2**40),
+    st.integers(min_value=0, max_value=2**60),
+    st.integers(min_value=0, max_value=2**30),
+)
+def test_property_account_codec_roundtrip(account_id, balance, nonce):
+    acct = Account(account_id, balance=balance, nonce=nonce)
+    assert Account.decode(acct.encode()) == acct
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=1, max_value=64))
+def test_property_shard_in_range(account_id, num_shards):
+    assert 0 <= shard_of(account_id, num_shards) < num_shards

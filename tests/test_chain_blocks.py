@@ -1,0 +1,167 @@
+"""Unit tests for transaction blocks, proposal blocks and witness proofs."""
+
+import pytest
+
+from repro.chain.blocks import ProposalBlock, TransactionBlock, WitnessProof
+from repro.chain.results import (
+    ExecutionResult,
+    merge_cross_shard_updates,
+    root_signing_payload,
+)
+from repro.chain.sizes import TX_BLOCK_HEADER_SIZE
+from repro.chain.transaction import Transaction
+from repro.crypto import get_backend
+from repro.errors import ChainError
+
+
+def make_txs(n, base=0):
+    return [
+        Transaction(sender=base + i, receiver=base + i + 1, amount=1, nonce=0)
+        for i in range(n)
+    ]
+
+
+def test_empty_tx_block_rejected():
+    with pytest.raises(ChainError):
+        TransactionBlock([], creator=0, round_created=0)
+
+
+def test_tx_block_hash_depends_on_content():
+    block_a = TransactionBlock(make_txs(3), creator=0, round_created=1)
+    block_b = TransactionBlock(make_txs(3, base=100), creator=0, round_created=1)
+    assert block_a.block_hash != block_b.block_hash
+
+
+def test_tx_block_hash_depends_on_creator():
+    txs = make_txs(2)
+    block_a = TransactionBlock(txs, creator=0, round_created=1)
+    block_b = TransactionBlock(txs, creator=1, round_created=1)
+    assert block_a.block_hash != block_b.block_hash
+
+
+def test_tx_block_header_matches_block():
+    block = TransactionBlock(make_txs(4), creator=2, round_created=3)
+    header = block.header
+    assert header.block_hash == block.block_hash
+    assert header.tx_root == block.tx_root
+    assert header.tx_count == 4
+    assert header.creator == 2
+    assert header.size_bytes == TX_BLOCK_HEADER_SIZE
+
+
+def test_tx_block_size_accounts_for_all_txs():
+    txs = make_txs(50)
+    block = TransactionBlock(txs, creator=0, round_created=0)
+    assert block.size_bytes == TX_BLOCK_HEADER_SIZE + sum(tx.size_bytes for tx in txs)
+    # Header is far smaller than the body (Challenge 1 decoupling).
+    assert block.header.size_bytes < block.size_bytes / 10
+
+
+def test_tx_block_state_keys_union_of_access_lists():
+    txs = [Transaction(sender=1, receiver=2, amount=1, nonce=0),
+           Transaction(sender=3, receiver=4, amount=1, nonce=0)]
+    block = TransactionBlock(txs, creator=0, round_created=0)
+    assert block.state_keys() == {1, 2, 3, 4}
+
+
+def test_tx_block_shards():
+    txs = [Transaction(sender=0, receiver=2, amount=1, nonce=0)]
+    block = TransactionBlock(txs, creator=0, round_created=0)
+    assert block.shards(2) == {0}
+    assert block.shards(4) == {0, 2}
+
+
+def test_witness_proof_roundtrip_and_size():
+    backend = get_backend("hashed")
+    pair = backend.generate(b"witness")
+    block = TransactionBlock(make_txs(2), creator=0, round_created=0)
+    payload = block.header.signing_payload()
+    proof = WitnessProof(
+        block_hash=block.block_hash, signer=pair.public_key, signature=pair.sign(payload)
+    )
+    assert backend.verify(proof.signer, payload, proof.signature)
+    assert proof.size_bytes == 32 + 33 + 64
+
+
+def _proposal(round_number=1, shard_headers=None, updates=None):
+    return ProposalBlock(
+        round_number=round_number,
+        prev_hash=b"\x00" * 32,
+        ordered_blocks=shard_headers or {},
+        update_list=updates or {},
+        state_root=b"\x01" * 32,
+        shard_roots={0: b"\x02" * 32},
+    )
+
+
+def test_proposal_hash_changes_with_round():
+    assert _proposal(1).block_hash != _proposal(2).block_hash
+
+
+def test_proposal_sublists():
+    block = TransactionBlock(make_txs(2), creator=0, round_created=0)
+    proposal = _proposal(shard_headers={0: (block.header,), 1: ()})
+    assert proposal.sublist_for(0) == (block.header,)
+    assert proposal.sublist_for(1) == ()
+    assert proposal.sublist_for(99) == ()
+    assert proposal.tx_block_count == 1
+
+
+def test_proposal_updates_for_shard():
+    updates = {1: ((5, b"v"),)}
+    proposal = _proposal(updates=updates)
+    assert proposal.updates_for(1) == ((5, b"v"),)
+    assert proposal.updates_for(0) == ()
+
+
+def test_proposal_size_is_small_and_sublist_smaller():
+    headers = {s: tuple(TransactionBlock(make_txs(2), creator=0, round_created=0).header
+                        for _ in range(3)) for s in range(4)}
+    proposal = _proposal(shard_headers=headers)
+    assert proposal.size_bytes < 4096
+    assert proposal.sublist_size_bytes(0) < proposal.size_bytes
+
+
+def test_merge_cross_shard_updates_routes_by_owner():
+    backend = get_backend("hashed")
+    pair = backend.generate(b"m")
+    result = ExecutionResult(
+        shard=0,
+        round_number=1,
+        subtree_root=b"\x03" * 32,
+        cross_shard_updates=((0, b"a"), (1, b"b"), (2, b"c")),
+        failed_tx_ids=(),
+        signer=pair.public_key,
+        signature=b"",
+    )
+    merged = merge_cross_shard_updates([result], num_shards=2)
+    assert merged[0] == ((0, b"a"), (2, b"c"))
+    assert merged[1] == ((1, b"b"),)
+
+
+def test_merge_later_results_override():
+    def result_with(updates):
+        return ExecutionResult(
+            shard=0, round_number=1, subtree_root=b"", cross_shard_updates=updates,
+            failed_tx_ids=(), signer=b"", signature=b"",
+        )
+
+    merged = merge_cross_shard_updates(
+        [result_with(((4, b"old"),)), result_with(((4, b"new"),))], num_shards=2
+    )
+    assert merged[0] == ((4, b"new"),)
+
+
+def test_execution_result_digest_sensitive_to_updates():
+    def result_with(updates):
+        return ExecutionResult(
+            shard=0, round_number=1, subtree_root=b"\x00" * 32,
+            cross_shard_updates=updates, failed_tx_ids=(), signer=b"pk", signature=b"",
+        )
+
+    assert result_with(((1, b"a"),)).result_digest() != result_with(((1, b"b"),)).result_digest()
+
+
+def test_root_signing_payload_distinguishes_shards_rounds():
+    assert root_signing_payload(0, 1, b"r") != root_signing_payload(1, 1, b"r")
+    assert root_signing_payload(0, 1, b"r") != root_signing_payload(0, 2, b"r")

@@ -1,0 +1,106 @@
+"""Unit tests for transactions and access lists."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain.sizes import TX_SIZE
+from repro.chain.transaction import AccessList, Transaction
+from repro.errors import ChainError
+
+
+def make_tx(sender=1, receiver=2, amount=10, nonce=0):
+    return Transaction(sender=sender, receiver=receiver, amount=amount, nonce=nonce)
+
+
+def test_default_access_list_covers_both_parties():
+    tx = make_tx(sender=3, receiver=8)
+    assert tx.access_list.touched == {3, 8}
+    assert tx.access_list.reads == {3, 8}
+    assert tx.access_list.writes == {3, 8}
+
+
+def test_negative_amount_rejected():
+    with pytest.raises(ChainError):
+        make_tx(amount=-1)
+
+
+def test_tx_ids_unique():
+    assert make_tx().tx_id != make_tx().tx_id
+
+
+def test_tx_hash_distinguishes_transactions():
+    assert make_tx(amount=1).tx_hash != make_tx(amount=2).tx_hash
+
+
+def test_home_shard_follows_sender():
+    tx = make_tx(sender=5, receiver=6)
+    assert tx.home_shard(4) == 5 % 4
+
+
+def test_intra_shard_detection():
+    # sender=2, receiver=6: both map to shard 2 under 4 shards.
+    tx = make_tx(sender=2, receiver=6)
+    assert not tx.is_cross_shard(4)
+    assert tx.shards(4) == {2}
+
+
+def test_cross_shard_detection():
+    tx = make_tx(sender=1, receiver=2)
+    assert tx.is_cross_shard(4)
+    assert tx.shards(4) == {1, 2}
+
+
+def test_everything_is_intra_shard_with_one_shard():
+    tx = make_tx(sender=1, receiver=2)
+    assert not tx.is_cross_shard(1)
+
+
+def test_tx_size_includes_access_list():
+    tx = make_tx(sender=1, receiver=2)
+    assert tx.size_bytes == TX_SIZE + tx.access_list.size_bytes
+    assert tx.size_bytes > TX_SIZE
+
+
+def test_access_list_conflict_write_write():
+    a = AccessList(reads=frozenset(), writes=frozenset({1}))
+    b = AccessList(reads=frozenset(), writes=frozenset({1}))
+    assert a.conflicts_with(b)
+
+
+def test_access_list_conflict_read_write():
+    a = AccessList(reads=frozenset({1}), writes=frozenset())
+    b = AccessList(reads=frozenset(), writes=frozenset({1}))
+    assert a.conflicts_with(b)
+    assert b.conflicts_with(a)
+
+
+def test_access_list_no_conflict_read_read():
+    a = AccessList(reads=frozenset({1}), writes=frozenset({2}))
+    b = AccessList(reads=frozenset({1}), writes=frozenset({3}))
+    assert not a.conflicts_with(b)
+
+
+def test_access_list_disjoint_no_conflict():
+    a = AccessList.for_transfer(1, 2)
+    b = AccessList.for_transfer(3, 4)
+    assert not a.conflicts_with(b)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=100), max_size=5),
+    st.sets(st.integers(min_value=0, max_value=100), max_size=5),
+    st.sets(st.integers(min_value=0, max_value=100), max_size=5),
+    st.sets(st.integers(min_value=0, max_value=100), max_size=5),
+)
+def test_property_conflict_symmetry(reads_a, writes_a, reads_b, writes_b):
+    a = AccessList(reads=frozenset(reads_a), writes=frozenset(writes_a))
+    b = AccessList(reads=frozenset(reads_b), writes=frozenset(writes_b))
+    assert a.conflicts_with(b) == b.conflicts_with(a)
+
+
+@given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=10**6))
+def test_property_transfer_shards_contains_home(sender, receiver):
+    tx = Transaction(sender=sender, receiver=receiver, amount=1, nonce=0)
+    for num_shards in (1, 2, 4, 8):
+        assert tx.home_shard(num_shards) in tx.shards(num_shards)

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_shows_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in ("fig7a", "fig8d", "table1", "sec5_safety"):
+        assert key in out
+
+
+def test_run_unknown_experiment_errors(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_prints_table(capsys):
+    assert main(["run", "sec5_liveness"]) == 0
+    out = capsys.readouterr().out
+    assert "Liveness under corrupted leaders" in out
+
+
+def test_run_json_output(capsys):
+    assert main(["run", "sec4e", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["experiment_id"] == "sec4e"
+    assert payload["headers"][0] == "nodes"
+    assert payload["rows"]
+
+
+def test_demo_commits(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "committed 2 transactions" in out
+    assert "5.00 MB" in out
+
+
+def test_audit_passes_on_honest_chain(capsys):
+    assert main(["audit", "--rounds", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "hash chain: OK" in out
+    assert "state roots vs replay: OK" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,190 @@
+"""Unit tests for committees and VRF sortition."""
+
+import pytest
+
+from repro.committee import (
+    Committee,
+    CommitteeKind,
+    SortitionParams,
+    committee_thresholds,
+    run_sortition,
+    sortition_alpha,
+)
+from repro.committee.sortition import draw_for_node
+from repro.crypto import get_backend
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def backend():
+    return get_backend("hashed")
+
+
+def make_draws(backend, count, alpha=b"alpha"):
+    draws = []
+    for node_id in range(count):
+        pair = backend.generate(f"node-{node_id}".encode())
+        draws.append(draw_for_node(node_id, pair, alpha))
+    return draws
+
+
+def test_thresholds_exceed_corrupted_bound():
+    t_w, t_e = committee_thresholds(30)
+    assert t_w == t_e == 11  # floor(30/3)+1
+    t_w, _ = committee_thresholds(10, corrupted_fraction_bound=0.5)
+    assert t_w == 6
+
+
+def test_thresholds_validation():
+    with pytest.raises(ConfigError):
+        committee_thresholds(0)
+    with pytest.raises(ConfigError):
+        committee_thresholds(5, corrupted_fraction_bound=1.0)
+
+
+def test_committee_leader_is_lowest_vrf():
+    committee = Committee(
+        kind=CommitteeKind.ORDERING,
+        members=[3, 1, 2],
+        vrf_values={3: 10, 1: 20, 2: 30},
+    )
+    assert committee.leader == 3
+
+
+def test_committee_quorum_two_thirds():
+    committee = Committee(kind=CommitteeKind.EXECUTION, members=list(range(9)), shard=0)
+    assert committee.quorum == 7
+
+
+def test_empty_committee_rejected():
+    with pytest.raises(ConfigError):
+        Committee(kind=CommitteeKind.ORDERING, members=[])
+
+
+def test_ordering_committee_cannot_be_sharded():
+    with pytest.raises(ConfigError):
+        Committee(kind=CommitteeKind.ORDERING, members=[1], shard=0)
+
+
+def test_committee_lifetime():
+    committee = Committee(
+        kind=CommitteeKind.EXECUTION, members=[1], shard=0,
+        round_started=5, lifetime_rounds=3,
+    )
+    assert committee.expires_after() == 7
+    assert committee.is_active(5)
+    assert committee.is_active(7)
+    assert not committee.is_active(8)
+    assert not committee.is_active(4)
+
+
+def test_sortition_alpha_varies_with_round_and_hash():
+    assert sortition_alpha(1, b"h") != sortition_alpha(2, b"h")
+    assert sortition_alpha(1, b"h") != sortition_alpha(1, b"g")
+
+
+def test_sortition_partitions_all_nodes(backend):
+    draws = make_draws(backend, 40)
+    params = SortitionParams(ordering_size=10, num_shards=3)
+    assignment = run_sortition(1, b"prev", draws, params)
+    oc_members = set(assignment.ordering.members)
+    shard_members = set()
+    for committee in assignment.shards.values():
+        assert committee.kind is CommitteeKind.EXECUTION
+        shard_members |= set(committee.members)
+    assert len(oc_members) == 10
+    assert oc_members | shard_members == set(range(40))
+    assert not (oc_members & shard_members)
+
+
+def test_sortition_oc_has_lowest_values(backend):
+    draws = make_draws(backend, 30)
+    params = SortitionParams(ordering_size=5, num_shards=2)
+    assignment = run_sortition(1, b"prev", draws, params)
+    oc_values = [assignment.ordering.vrf_values[m] for m in assignment.ordering.members]
+    others = [d.vrf_value for d in draws if d.node_id not in assignment.ordering.members]
+    assert max(oc_values) == assignment.ordering_threshold
+    assert max(oc_values) < min(others)
+
+
+def test_sortition_shard_follows_vrf_mod(backend):
+    draws = make_draws(backend, 30)
+    params = SortitionParams(ordering_size=5, num_shards=4)
+    assignment = run_sortition(1, b"prev", draws, params)
+    for shard, committee in assignment.shards.items():
+        for node_id in committee.members:
+            assert committee.vrf_values[node_id] % 4 == shard
+
+
+def test_sortition_without_ordering_committee(backend):
+    draws = make_draws(backend, 12)
+    params = SortitionParams(ordering_size=4, num_shards=2)
+    assignment = run_sortition(2, b"prev", draws, params, form_ordering=False)
+    assert assignment.ordering is None
+    shard_members = set()
+    for committee in assignment.shards.values():
+        shard_members |= set(committee.members)
+    assert shard_members == set(range(12))
+
+
+def test_sortition_deterministic(backend):
+    draws = make_draws(backend, 25)
+    params = SortitionParams(ordering_size=5, num_shards=2)
+    a = run_sortition(1, b"prev", draws, params)
+    b = run_sortition(1, b"prev", list(reversed(draws)), params)
+    assert a.ordering.members == b.ordering.members
+    assert {s: c.members for s, c in a.shards.items()} == {
+        s: c.members for s, c in b.shards.items()
+    }
+
+
+def test_sortition_changes_with_round(backend):
+    alpha_1 = sortition_alpha(1, b"prev")
+    alpha_2 = sortition_alpha(2, b"prev")
+    draws_1 = make_draws(backend, 30, alpha=alpha_1)
+    draws_2 = make_draws(backend, 30, alpha=alpha_2)
+    params = SortitionParams(ordering_size=8, num_shards=2)
+    a = run_sortition(1, b"prev", draws_1, params)
+    b = run_sortition(2, b"prev", draws_2, params)
+    assert a.ordering.members != b.ordering.members  # overwhelmingly likely
+
+
+def test_draws_are_verifiable(backend):
+    alpha = sortition_alpha(3, b"prev")
+    pair = backend.generate(b"node-x")
+    draw = draw_for_node(77, pair, alpha)
+    assert draw.verify(backend, alpha)
+    assert not draw.verify(backend, sortition_alpha(4, b"prev"))
+
+
+def test_sortition_too_few_nodes_rejected(backend):
+    draws = make_draws(backend, 3)
+    params = SortitionParams(ordering_size=3, num_shards=1)
+    with pytest.raises(ConfigError):
+        run_sortition(1, b"prev", draws, params)
+
+
+def test_sortition_no_draws_rejected():
+    params = SortitionParams(ordering_size=1, num_shards=1)
+    with pytest.raises(ConfigError):
+        run_sortition(1, b"prev", [], params)
+
+
+def test_execution_committee_of(backend):
+    draws = make_draws(backend, 20)
+    params = SortitionParams(ordering_size=4, num_shards=2)
+    assignment = run_sortition(1, b"prev", draws, params)
+    some_shard = next(iter(assignment.shards.values()))
+    member = some_shard.members[0]
+    assert assignment.execution_committee_of(member) is some_shard
+    oc_member = assignment.ordering.members[0]
+    assert assignment.execution_committee_of(oc_member) is None
+
+
+def test_params_validation():
+    with pytest.raises(ConfigError):
+        SortitionParams(ordering_size=0, num_shards=1)
+    with pytest.raises(ConfigError):
+        SortitionParams(ordering_size=1, num_shards=0)
+    with pytest.raises(ConfigError):
+        SortitionParams(ordering_size=1, num_shards=1, ec_lifetime_rounds=0)

@@ -1,0 +1,181 @@
+"""Unit tests for BA* / Tendermint committee consensus."""
+
+import pytest
+
+from repro.committee import Committee, CommitteeKind
+from repro.consensus import BAStar, DirectTransport, MemberProfile, Tendermint
+from repro.consensus.engine import EMPTY_DIGEST
+from repro.consensus.votes import Vote, tally, vote_signing_payload
+from repro.crypto import get_backend
+from repro.errors import ConsensusError
+from repro.net.endpoint import Endpoint
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+def build_instance(num_members, protocol=BAStar, equivocators=(), silent=(),
+                   leader_equivocates=False, leader_silent=False, step_timeout=0.5):
+    env = Environment()
+    net = Network(env, latency_s=0.0005)
+    backend = get_backend("hashed")
+    profiles = {}
+    for node_id in range(num_members):
+        net.register(Endpoint(env, node_id, uplink_bps=1e7, downlink_bps=1e7))
+        pair = backend.generate(f"member-{node_id}".encode())
+        profile = MemberProfile(node_id=node_id, keypair=pair)
+        if node_id in equivocators or (leader_equivocates and node_id == 0):
+            profile.honest = False
+            profile.equivocate = True
+        if node_id in silent or (leader_silent and node_id == 0):
+            profile.honest = False
+            profile.silent = True
+        profiles[node_id] = profile
+    committee = Committee(
+        kind=CommitteeKind.ORDERING,
+        members=list(range(num_members)),
+        vrf_values={n: n for n in range(num_members)},
+    )
+    transport = DirectTransport(env, net)
+    consensus = protocol(env, transport, committee, backend, profiles,
+                         step_timeout=step_timeout)
+    return env, consensus
+
+
+def run_consensus(env, consensus, value="block-1"):
+    proc = env.process(consensus.run(value, proposal_bytes=1024))
+    env.run()
+    return proc.value
+
+
+def test_all_honest_agree_on_leader_value():
+    env, consensus = build_instance(7)
+    decision = run_consensus(env, consensus)
+    assert decision.success
+    assert not decision.empty
+    assert decision.value == "block-1"
+    assert decision.decided_counts[decision.value_digest] == 7
+
+
+def test_decision_duration_positive_and_bounded():
+    env, consensus = build_instance(5)
+    decision = run_consensus(env, consensus)
+    assert 0 < decision.duration < 1.5  # well under step timeouts
+
+
+def test_tolerates_quarter_silent_members():
+    # 2 of 8 silent (25% as in the adversary model); quorum = 6.
+    env, consensus = build_instance(8, silent={6, 7})
+    decision = run_consensus(env, consensus)
+    assert decision.success
+    assert decision.value == "block-1"
+
+
+def test_tolerates_equivocating_minority():
+    env, consensus = build_instance(9, equivocators={7, 8})
+    decision = run_consensus(env, consensus)
+    assert decision.success
+    assert decision.value == "block-1"
+
+
+def test_silent_leader_yields_empty_decision():
+    env, consensus = build_instance(6, leader_silent=True, step_timeout=0.2)
+    decision = run_consensus(env, consensus)
+    assert decision.empty
+    assert decision.value is None
+    assert decision.value_digest == EMPTY_DIGEST
+
+
+def test_equivocating_leader_yields_empty_decision():
+    env, consensus = build_instance(6, leader_equivocates=True, step_timeout=0.2)
+    decision = run_consensus(env, consensus)
+    assert decision.empty
+    assert decision.value is None
+
+
+def test_no_two_conflicting_decisions():
+    """Safety: the decided_counts never show two quorums."""
+    env, consensus = build_instance(10, equivocators={8, 9})
+    decision = run_consensus(env, consensus)
+    quorums = [d for d, c in decision.decided_counts.items()
+               if c >= consensus.committee.quorum]
+    assert len(quorums) <= 1
+
+
+def test_tendermint_reaches_agreement():
+    env, consensus = build_instance(6, protocol=Tendermint)
+    decision = run_consensus(env, consensus)
+    assert decision.success
+    assert decision.value == "block-1"
+
+
+def test_tendermint_slower_than_bastar():
+    env_b, bastar = build_instance(6)
+    decision_b = run_consensus(env_b, bastar)
+    env_t, tendermint = build_instance(6, protocol=Tendermint)
+    decision_t = run_consensus(env_t, tendermint)
+    assert decision_t.duration > decision_b.duration
+
+
+def test_bandwidth_charged_for_votes():
+    env, consensus = build_instance(5)
+    net = consensus.transport.network
+    run_consensus(env, consensus)
+    assert net.meter.total_bytes > 0
+    assert net.meter.bytes_by_phase().get("ordering", 0) > 0
+
+
+def test_missing_profile_rejected():
+    env, consensus = build_instance(4)
+    committee = Committee(
+        kind=CommitteeKind.ORDERING, members=[0, 1, 2, 3, 99],
+        vrf_values={n: n for n in (0, 1, 2, 3, 99)},
+    )
+    with pytest.raises(ConsensusError):
+        BAStar(env, consensus.transport, committee, consensus.backend, consensus.profiles)
+
+
+def test_instances_do_not_interfere():
+    """Votes carry instance ids; two instances on one transport stay apart."""
+    env, consensus_a = build_instance(5)
+    transport = consensus_a.transport
+    backend = consensus_a.backend
+    consensus_b = BAStar(env, transport, consensus_a.committee, backend,
+                         consensus_a.profiles)
+    proc_a = env.process(consensus_a.run("value-A", 100))
+    proc_b = env.process(consensus_b.run("value-B", 100))
+    env.run()
+    assert proc_a.value.value == "value-A"
+    assert proc_b.value.value == "value-B"
+
+
+def test_tally_counts_one_vote_per_voter():
+    votes = [
+        Vote(instance=0, step=0, value_digest=b"a", voter=b"v1", signature=b""),
+        Vote(instance=0, step=0, value_digest=b"b", voter=b"v1", signature=b""),
+        Vote(instance=0, step=0, value_digest=b"a", voter=b"v2", signature=b""),
+    ]
+    digest, count = tally(votes)
+    assert digest == b"a" and count == 2
+
+
+def test_tally_empty():
+    assert tally([]) == (None, 0)
+
+
+def test_vote_signing_payload_binds_instance_step_value():
+    base = vote_signing_payload(1, 0, b"d")
+    assert base != vote_signing_payload(2, 0, b"d")
+    assert base != vote_signing_payload(1, 1, b"d")
+    assert base != vote_signing_payload(1, 0, b"e")
+
+
+def test_forged_votes_are_ignored():
+    """Votes with bad signatures never count toward quorum."""
+    env, consensus = build_instance(4)
+    backend = consensus.backend
+    good_pair = backend.generate(b"member-0")
+    bad_vote = Vote(instance=consensus.instance, step=0, value_digest=b"evil" * 8,
+                    voter=good_pair.public_key, signature=b"\x00" * 64)
+    buffer = {0: [], 1: []}
+    consensus._buffer_vote(buffer, bad_vote)
+    assert buffer[0] == []

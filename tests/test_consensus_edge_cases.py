@@ -1,0 +1,60 @@
+"""Edge cases for the consensus engine."""
+
+from repro.consensus.engine import EMPTY_DIGEST
+from tests.test_consensus import build_instance, run_consensus
+
+
+def test_committee_of_one_decides_alone():
+    env, consensus = build_instance(1)
+    decision = run_consensus(env, consensus)
+    assert decision.success
+    assert decision.value == "block-1"
+
+
+def test_all_members_silent_yields_nothing_sensible():
+    env, consensus = build_instance(4, silent={0, 1, 2, 3}, step_timeout=0.2)
+    decision = run_consensus(env, consensus)
+    # Nobody runs: no decisions at all -> empty, unsuccessful.
+    assert decision.empty
+    assert not decision.success
+
+
+def test_exactly_quorum_honest_members():
+    # 9 members, quorum 7; 2 silent leaves exactly 7 honest.
+    env, consensus = build_instance(9, silent={7, 8})
+    decision = run_consensus(env, consensus)
+    assert decision.success
+    assert not decision.empty
+
+
+def test_one_below_quorum_fails():
+    # 9 members, quorum 7; 3 silent leaves 6 honest < quorum.
+    env, consensus = build_instance(9, silent={6, 7, 8}, step_timeout=0.2)
+    decision = run_consensus(env, consensus)
+    assert decision.empty
+
+
+def test_empty_decision_reports_empty_digest():
+    env, consensus = build_instance(4, leader_silent=True, step_timeout=0.2)
+    decision = run_consensus(env, consensus)
+    assert decision.value_digest == EMPTY_DIGEST
+
+
+def test_sequential_instances_reuse_transport():
+    env, consensus_a = build_instance(5)
+    decision_a = None
+
+    def driver():
+        nonlocal decision_a
+        decision_a = yield env.process(consensus_a.run("first", 100))
+        from repro.consensus import BAStar
+
+        consensus_b = BAStar(env, consensus_a.transport, consensus_a.committee,
+                             consensus_a.backend, consensus_a.profiles)
+        decision_b = yield env.process(consensus_b.run("second", 100))
+        return decision_b
+
+    proc = env.process(driver())
+    env.run()
+    assert decision_a.value == "first"
+    assert proc.value.value == "second"

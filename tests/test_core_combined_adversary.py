@@ -1,0 +1,76 @@
+"""The full Section III-B adversary in one deployment:
+alpha = 1/4 byzantine stateless nodes AND beta = 1/2 byzantine storage
+nodes, simultaneously, with m-fold storage redundancy."""
+
+import pytest
+
+from repro.core import PorygonConfig, PorygonSimulation
+from repro.core.auditor import ChainAuditor
+from repro.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def combined_run():
+    config = PorygonConfig(
+        num_shards=2,
+        nodes_per_shard=8,
+        ordering_size=8,
+        num_storage_nodes=4,
+        storage_connections=4,           # m-fold redundancy (paper: m=20)
+        malicious_stateless_fraction=0.25,  # alpha = 1/4
+        malicious_storage_fraction=0.5,     # beta = 1/2
+        txs_per_block=10,
+        max_blocks_per_shard_round=3,
+        round_overhead_s=0.4,
+        consensus_step_timeout_s=0.3,
+        stateless_population=60,
+    )
+    sim = PorygonSimulation(config, seed=9)
+    generator = WorkloadGenerator(num_accounts=2_000, num_shards=2,
+                                  cross_shard_ratio=0.2, unique=True, seed=9)
+    batch = generator.batch(80)
+    genesis = {tx.sender: 1_000 for tx in batch}
+    sim.fund_accounts(sorted(genesis), 1_000)
+    sim.submit(batch)
+    report = sim.run(num_rounds=24)
+    return sim, report, genesis, batch
+
+
+def test_adversary_actually_present(combined_run):
+    sim, report, genesis, batch = combined_run
+    malicious_storage = [n for n in sim.storage_nodes if not n.is_honest]
+    malicious_stateless = [n for n in sim.stateless.values() if n.is_malicious]
+    assert len(malicious_storage) == 2
+    assert len(malicious_stateless) == 15  # 25% of 60
+
+
+def test_liveness_under_combined_adversary(combined_run):
+    """Theorem 2: every honest submission eventually commits."""
+    sim, report, genesis, batch = combined_run
+    assert report.committed == len(batch)
+
+
+def test_safety_under_combined_adversary(combined_run):
+    """Theorem 1: state stays consistent — money conserved, roots match."""
+    sim, report, genesis, batch = combined_run
+    assert sim.hub.state.total_balance() == sum(genesis.values())
+
+
+def test_no_double_commits_under_adversary(combined_run):
+    sim, report, genesis, batch = combined_run
+    ids = [record.tx_id for record in sim.tracker.commits]
+    assert len(ids) == len(set(ids))
+
+
+def test_chain_audits_clean_under_adversary(combined_run):
+    sim, report, genesis, batch = combined_run
+    auditor = ChainAuditor(sim.backend, sim.config.num_shards,
+                           sim.config.smt_depth)
+    audit = auditor.audit(sim.hub, genesis)
+    assert audit.ok, audit.problems
+
+
+def test_empty_rounds_bounded(combined_run):
+    """Corrupted leaders cost rounds, but far fewer than all of them."""
+    sim, report, genesis, batch = combined_run
+    assert report.empty_rounds < report.rounds

@@ -1,0 +1,157 @@
+"""Unit tests for the cross-shard coordinator and batch tracker."""
+
+from repro.chain.transaction import AccessList, Transaction
+from repro.core.coordinator import CrossShardCoordinator
+from repro.core.tracker import BatchTracker
+
+
+def tx(sender, receiver, amount=1, nonce=0):
+    return Transaction(sender=sender, receiver=receiver, amount=amount, nonce=nonce)
+
+
+class TestLocks:
+    def test_lock_and_expiry(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        coord.lock([5], until_round=3)
+        assert coord.is_locked(5, 2)
+        assert coord.is_locked(5, 3)
+        assert not coord.is_locked(5, 4)
+
+    def test_lock_extends_never_shrinks(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        coord.lock([5], until_round=5)
+        coord.lock([5], until_round=3)
+        assert coord.is_locked(5, 5)
+
+    def test_expire_locks_prunes_table(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        coord.lock([1], until_round=2)
+        coord.lock([2], until_round=9)
+        coord.expire_locks(5)
+        assert coord.locked_count == 1
+
+
+class TestConflictFilter:
+    def test_disjoint_batch_all_admitted(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        batch = [tx(0, 2), tx(4, 6), tx(1, 3)]
+        decision = coord.filter_batch(batch, ordering_round=1)
+        assert len(decision.admitted) == 3
+        assert not decision.aborted
+
+    def test_locked_account_aborts(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        coord.lock([2], until_round=3)
+        decision = coord.filter_batch([tx(0, 2)], ordering_round=2)
+        assert decision.aborted_ids == (decision.aborted[0].tx_id,)
+        assert not decision.admitted
+
+    def test_cross_cross_conflict_aborts_second(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        first = tx(0, 1)   # cross: shards 0,1
+        second = tx(1, 2)  # cross, shares account 1
+        decision = coord.filter_batch([first, second], ordering_round=1)
+        assert decision.admitted == [first]
+        assert decision.aborted == [second]
+
+    def test_cross_vs_foreign_intra_conflict(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        intra_shard1 = tx(1, 3)  # intra on shard 1
+        cross = tx(0, 3)         # cross touching shard-1 account 3
+        decision = coord.filter_batch([intra_shard1, cross], ordering_round=1)
+        assert decision.admitted == [intra_shard1]
+        assert decision.aborted == [cross]
+
+    def test_same_shard_intra_conflicts_admitted(self):
+        """The ESC serializes same-shard conflicts; the OC admits them."""
+        coord = CrossShardCoordinator(num_shards=2)
+        a = tx(0, 2, nonce=0)
+        b = tx(0, 4, nonce=1)  # same sender, same shard
+        decision = coord.filter_batch([a, b], ordering_round=1)
+        assert decision.admitted == [a, b]
+
+    def test_intra_locks_release_after_two_rounds(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        coord.filter_batch([tx(0, 2)], ordering_round=1)  # locks until 3
+        blocked = coord.filter_batch([tx(2, 4)], ordering_round=3)
+        assert blocked.aborted
+        allowed = coord.filter_batch([tx(2, 4, nonce=1)], ordering_round=4)
+        assert allowed.admitted
+
+    def test_cross_locks_release_after_four_rounds(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        coord.filter_batch([tx(0, 1)], ordering_round=1)  # locks until 5
+        blocked = coord.filter_batch([tx(1, 3)], ordering_round=5)
+        assert blocked.aborted
+        allowed = coord.filter_batch([tx(1, 3, nonce=1)], ordering_round=6)
+        assert allowed.admitted
+
+
+class TestUBatches:
+    def test_batch_completes_when_all_shards_apply(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        ctx = tx(0, 1)
+        coord.open_u_batch(3, {0: ((0, b"a"),), 1: ((1, b"b"),)},
+                           {0: ((0, b"x"),), 1: ((1, b"y"),)}, [ctx])
+        assert coord.mark_applied(3, 0) is None
+        done = coord.mark_applied(3, 1)
+        assert done is not None
+        assert done.cross_txs == [ctx]
+        assert 3 not in coord.u_batches
+
+    def test_mark_applied_unknown_round_is_noop(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        assert coord.mark_applied(99, 0) is None
+
+    def test_expired_batches_and_rollback_updates(self):
+        coord = CrossShardCoordinator(num_shards=2, max_retry_rounds=1)
+        coord.open_u_batch(3, {0: ((0, b"new0"),), 1: ((1, b"new1"),)},
+                           {0: ((0, b"old0"),), 1: ((1, b"old1"),)}, [tx(0, 1)])
+        coord.mark_applied(3, 0)
+        coord.note_failure(3)
+        assert not coord.expired_batches()  # 1 failure <= max 1
+        coord.note_failure(3)
+        expired = coord.expired_batches()
+        assert len(expired) == 1
+        rollback = coord.rollback_updates(expired[0])
+        # Only the shard that applied needs compensation.
+        assert rollback == {0: ((0, b"old0"),)}
+
+
+class TestTracker:
+    def test_latency_statistics(self):
+        tracker = BatchTracker()
+        txs = [tx(0, 2), tx(4, 6)]
+        for t in txs:
+            object.__setattr__(t, "submitted_at", 1.0)
+        tracker.record_commit(txs, committed_at=11.0, witness_round=1,
+                              commit_round=4, cross_shard=False)
+        assert tracker.committed_count == 2
+        assert tracker.mean_commit_latency() == 10.0
+        assert tracker.mean_user_perceived_latency() == 11.0
+        assert tracker.latency_percentile(0.5) == 10.0
+
+    def test_throughput(self):
+        tracker = BatchTracker()
+        tracker.record_commit([tx(0, 2)], 5.0, 1, 4, False)
+        assert tracker.throughput_tps(10.0) == 0.1
+        assert tracker.throughput_tps(0.0) == 0.0
+
+    def test_round_stats(self):
+        tracker = BatchTracker()
+        tracker.record_round(4.0, empty=False)
+        tracker.record_round(6.0, empty=True)
+        assert tracker.mean_block_latency() == 5.0
+        assert tracker.empty_rounds == 1
+
+    def test_commits_by_kind(self):
+        tracker = BatchTracker()
+        tracker.record_commit([tx(0, 2)], 5.0, 1, 4, cross_shard=False)
+        tracker.record_commit([tx(0, 1)], 7.0, 1, 6, cross_shard=True)
+        assert tracker.commits_by_kind() == {"intra": 1, "cross": 1}
+
+    def test_empty_tracker_stats_are_zero(self):
+        tracker = BatchTracker()
+        assert tracker.mean_commit_latency() == 0.0
+        assert tracker.mean_block_latency() == 0.0
+        assert tracker.latency_percentile(0.9) == 0.0

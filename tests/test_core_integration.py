@@ -1,0 +1,185 @@
+"""End-to-end integration tests for the Porygon protocol simulator."""
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import PorygonConfig, PorygonSimulation
+
+
+def make_sim(seed=1, **overrides):
+    defaults = dict(
+        num_shards=2,
+        nodes_per_shard=4,
+        ordering_size=4,
+        num_storage_nodes=2,
+        storage_connections=2,
+        txs_per_block=10,
+        max_blocks_per_shard_round=2,
+        stateless_population=40,
+        round_overhead_s=0.5,
+        consensus_step_timeout_s=0.3,
+    )
+    defaults.update(overrides)
+    return PorygonSimulation(PorygonConfig(**defaults), seed=seed)
+
+
+def intra_transfers(count, num_shards=2, shard=0, amount=1):
+    """Transfers whose sender and receiver live on the same shard."""
+    txs = []
+    for i in range(count):
+        sender = shard + num_shards * (2 * i)
+        receiver = shard + num_shards * (2 * i + 1)
+        txs.append(Transaction(sender=sender, receiver=receiver, amount=amount, nonce=0))
+    return txs
+
+
+def cross_transfers(count, num_shards=2, amount=1, base=1000):
+    """Transfers from shard 0 accounts to shard 1 accounts."""
+    txs = []
+    for i in range(count):
+        sender = base + num_shards * i  # adjust to shard 0
+        sender -= sender % num_shards
+        receiver = sender + 1  # next shard
+        txs.append(Transaction(sender=sender, receiver=receiver, amount=amount, nonce=0))
+    return txs
+
+
+def fund_for(sim, txs, balance=1_000):
+    sim.fund_accounts({tx.sender for tx in txs}, balance)
+
+
+class TestIntraShardCommit:
+    def test_intra_transactions_commit(self):
+        sim = make_sim()
+        txs = intra_transfers(20, shard=0) + intra_transfers(20, shard=1)
+        fund_for(sim, txs)
+        sim.submit(txs)
+        report = sim.run(num_rounds=6)
+        assert report.committed > 0
+        assert report.commits_by_kind["cross"] == 0
+
+    def test_balances_move_after_commit(self):
+        sim = make_sim()
+        tx = Transaction(sender=0, receiver=2, amount=7, nonce=0)
+        sim.fund_accounts([0], 100)
+        sim.submit([tx])
+        sim.run(num_rounds=6)
+        assert sim.hub.state.get_account(0).balance == 93
+        assert sim.hub.state.get_account(2).balance == 7
+        assert sim.hub.state.get_account(0).nonce == 1
+
+    def test_total_balance_conserved(self):
+        sim = make_sim()
+        txs = intra_transfers(30, shard=0)
+        fund_for(sim, txs, balance=50)
+        total_before = sim.hub.state.total_balance()
+        sim.submit(txs)
+        sim.run(num_rounds=6)
+        assert sim.hub.state.total_balance() == total_before
+
+    def test_commit_latency_spans_pipeline_depth(self):
+        """Intra txs witnessed in round i commit in round i+3."""
+        sim = make_sim()
+        txs = intra_transfers(10, shard=0)
+        fund_for(sim, txs)
+        sim.submit(txs)
+        sim.run(num_rounds=6)
+        for record in sim.tracker.commits:
+            assert record.commit_round == record.witness_round + 3
+
+
+class TestCrossShardCommit:
+    def test_cross_transactions_commit_atomically(self):
+        sim = make_sim()
+        tx = Transaction(sender=0, receiver=1, amount=5, nonce=0)
+        sim.fund_accounts([0], 100)
+        sim.submit([tx])
+        sim.run(num_rounds=9)
+        assert sim.hub.state.get_account(0).balance == 95
+        assert sim.hub.state.get_account(1).balance == 5
+        report = sim.report()
+        assert report.commits_by_kind["cross"] == 1
+
+    def test_cross_commit_takes_five_rounds(self):
+        sim = make_sim()
+        tx = Transaction(sender=0, receiver=1, amount=5, nonce=0)
+        sim.fund_accounts([0], 100)
+        sim.submit([tx])
+        sim.run(num_rounds=9)
+        cross_records = [r for r in sim.tracker.commits if r.cross_shard]
+        assert len(cross_records) == 1
+        assert cross_records[0].commit_round == cross_records[0].witness_round + 5
+
+    def test_mixed_workload_commits_both_kinds(self):
+        sim = make_sim()
+        intra = intra_transfers(10, shard=0)
+        cross = cross_transfers(10)
+        fund_for(sim, intra + cross)
+        sim.submit(intra + cross)
+        report = sim.run(num_rounds=10)
+        assert report.commits_by_kind["intra"] > 0
+        assert report.commits_by_kind["cross"] > 0
+
+
+class TestReportSanity:
+    def test_throughput_positive_under_load(self):
+        sim = make_sim()
+        txs = intra_transfers(40, shard=0) + intra_transfers(40, shard=1)
+        fund_for(sim, txs)
+        sim.submit(txs)
+        report = sim.run(num_rounds=8)
+        assert report.throughput_tps > 0
+        assert report.block_latency_s > 0
+        assert report.commit_latency_s > report.block_latency_s
+
+    def test_network_phases_all_metered(self):
+        sim = make_sim()
+        txs = intra_transfers(20, shard=0)
+        fund_for(sim, txs)
+        sim.submit(txs)
+        report = sim.run(num_rounds=6)
+        for phase in ("witness", "ordering", "execution", "commit"):
+            assert report.network_bytes_by_phase.get(phase, 0) > 0, phase
+
+    def test_stateless_storage_stays_small_and_flat(self):
+        sim = make_sim()
+        txs = intra_transfers(40, shard=0)
+        fund_for(sim, txs)
+        sim.submit(txs)
+        first = sim.run(num_rounds=4).stateless_storage_bytes
+        sim.submit(intra_transfers(40, shard=1))
+        second = sim.report().stateless_storage_bytes
+        # ~5 MB and essentially flat as the chain grows.
+        assert 4_000_000 < first < 6_000_000
+        assert abs(second - first) < 100_000
+
+    def test_storage_node_footprint_grows(self):
+        sim = make_sim()
+        txs = intra_transfers(40, shard=0)
+        fund_for(sim, txs)
+        before = sim.hub.ledger_bytes()
+        sim.submit(txs)
+        sim.run(num_rounds=5)
+        assert sim.hub.ledger_bytes() > before
+
+
+class TestSequentialMode:
+    def test_sequential_mode_commits(self):
+        sim = make_sim(pipelining=False, num_shards=1, nodes_per_shard=6,
+                       stateless_population=20)
+        txs = intra_transfers(20, num_shards=1, shard=0)
+        fund_for(sim, txs)
+        sim.submit(txs)
+        report = sim.run(num_rounds=4)
+        assert report.committed > 0
+
+    def test_pipelining_beats_sequential_throughput(self):
+        def throughput(pipelining):
+            sim = make_sim(pipelining=pipelining, num_shards=1, nodes_per_shard=6,
+                           stateless_population=20, txs_per_block=20)
+            txs = intra_transfers(200, num_shards=1, shard=0)
+            fund_for(sim, txs)
+            sim.submit(txs)
+            return sim.run(num_rounds=8).throughput_tps
+
+        assert throughput(True) > throughput(False)

@@ -1,0 +1,60 @@
+"""Leader rotation and liveness under corrupted OC leaders (Theorem 2)."""
+
+from tests.test_core_integration import fund_for, intra_transfers, make_sim
+
+
+def test_leader_rotates_across_rounds():
+    sim = make_sim(ordering_size=6)
+    pipeline = sim.pipeline
+    txs = intra_transfers(10, shard=0)
+    fund_for(sim, txs)
+    sim.submit(txs)
+    sim.run(num_rounds=6)
+    leaders = set()
+    for round_number in range(1, 7):
+        leaders.add(pipeline.round_ordering_committee(round_number).leader)
+    # With 6 members and fresh VRF input per round, the leadership
+    # rotates (overwhelmingly likely to see >= 2 distinct leaders).
+    assert len(leaders) >= 2
+
+
+def test_round_oc_membership_is_stable():
+    sim = make_sim(ordering_size=6)
+    pipeline = sim.pipeline
+    base = set(pipeline.oc.members)
+    for round_number in (1, 5, 9):
+        assert set(pipeline.round_ordering_committee(round_number).members) == base
+
+
+def test_malicious_leader_costs_rounds_not_liveness():
+    """A corrupted leader produces an empty round; a later benign
+    leader commits the carried-forward batch (Theorem 2)."""
+    sim = make_sim(nodes_per_shard=8, ordering_size=8,
+                   stateless_population=60,
+                   malicious_stateless_fraction=0.25, seed=3)
+    malicious_in_oc = [
+        m for m in sim.pipeline.oc.members if sim.stateless[m].is_malicious
+    ]
+    assert malicious_in_oc, "seed must place a malicious node in the OC"
+    txs = intra_transfers(20, shard=0)
+    fund_for(sim, txs)
+    sim.submit(txs)
+    report = sim.run(num_rounds=16)
+    # Empty rounds occurred (corrupted leaders)...
+    assert report.empty_rounds > 0
+    # ...but the batch still committed and state stayed consistent.
+    assert report.committed == 20
+    assert sim.hub.state.total_balance() == 20 * 1_000
+
+
+def test_empty_round_unwinds_locks():
+    """Transactions ordered in a failed round must not self-conflict
+    when re-ordered in the next round."""
+    sim = make_sim(nodes_per_shard=8, ordering_size=8,
+                   stateless_population=60,
+                   malicious_stateless_fraction=0.25, seed=3)
+    txs = intra_transfers(20, shard=0)
+    fund_for(sim, txs)
+    sim.submit(txs)
+    report = sim.run(num_rounds=16)
+    assert report.aborted == 0

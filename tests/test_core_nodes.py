@@ -1,0 +1,78 @@
+"""Unit tests for the stateless-node population builder."""
+
+import pytest
+
+from repro.core.nodes import StatelessNode, build_stateless_population
+from repro.crypto import get_backend
+from repro.errors import ConfigError
+from repro.net.endpoint import Endpoint
+from repro.net.faults import FaultProfile
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+def build(count=20, malicious_fraction=0.0, connections=2, seed=1):
+    env = Environment()
+    net = Network(env)
+    for storage_id in range(4):
+        net.register(Endpoint(env, storage_id, uplink_bps=1e8, downlink_bps=1e8))
+    backend = get_backend("hashed")
+    return build_stateless_population(
+        env, count=count, backend=backend, network=net,
+        storage_ids=[0, 1, 2, 3], connections_per_node=connections,
+        malicious_fraction=malicious_fraction, bandwidth_bps=1e6,
+        first_node_id=4, seed=seed,
+    )
+
+
+def test_population_size_and_ids():
+    nodes = build(count=20)
+    assert len(nodes) == 20
+    assert sorted(nodes) == list(range(4, 24))
+
+
+def test_malicious_fraction_exact():
+    nodes = build(count=40, malicious_fraction=0.25)
+    assert sum(node.is_malicious for node in nodes.values()) == 10
+
+
+def test_malicious_selection_deterministic_per_seed():
+    a = {nid for nid, n in build(count=40, malicious_fraction=0.25, seed=7).items()
+         if n.is_malicious}
+    b = {nid for nid, n in build(count=40, malicious_fraction=0.25, seed=7).items()
+         if n.is_malicious}
+    assert a == b
+
+
+def test_connections_count_and_membership():
+    nodes = build(count=10, connections=3)
+    for node in nodes.values():
+        assert len(node.connections) == 3
+        assert set(node.connections) <= {0, 1, 2, 3}
+        assert len(set(node.connections)) == 3  # sampled w/o replacement
+
+
+def test_unique_keypairs():
+    nodes = build(count=15)
+    keys = {node.public_key for node in nodes.values()}
+    assert len(keys) == 15
+
+
+def test_zero_count_rejected():
+    with pytest.raises(ConfigError):
+        build(count=0)
+
+
+def test_storage_bytes_flat_in_chain_length():
+    env = Environment()
+    net = Network(env)
+    endpoint = net.register(Endpoint(env, 0))
+    backend = get_backend("hashed")
+    node = StatelessNode(0, backend.generate(b"n"), endpoint, [0],
+                         FaultProfile.honest())
+    early = node.storage_bytes(proposal_count=10, committee_size=10)
+    late = node.storage_bytes(proposal_count=100_000, committee_size=10)
+    # Header window is pruned at 64: storage stays O(1) in chain length.
+    assert late == node.storage_bytes(proposal_count=64, committee_size=10)
+    assert late - early < 10_000
+    assert 4_900_000 < late < 5_100_000

@@ -1,0 +1,80 @@
+"""The future-work cross-shard priority rule (Section IV-D2)."""
+
+from repro.chain.transaction import Transaction
+from repro.core.coordinator import CrossShardCoordinator
+from repro.core.storage import StorageHub
+from tests.test_core_integration import fund_for, intra_transfers, make_sim
+
+
+def tx(sender, receiver, amount=1, nonce=0):
+    return Transaction(sender=sender, receiver=receiver, amount=amount, nonce=nonce)
+
+
+class TestFilterPriority:
+    def test_default_earlier_intra_wins(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        intra = tx(1, 3)   # intra shard 1, touches 3
+        cross = tx(0, 3)   # cross, also touches 3
+        decision = coord.filter_batch([intra, cross], ordering_round=1)
+        assert decision.admitted == [intra]
+        assert decision.aborted == [cross]
+
+    def test_priority_flips_outcome_to_cross(self):
+        coord = CrossShardCoordinator(num_shards=2)
+        intra = tx(1, 3)
+        cross = tx(0, 3)
+        decision = coord.filter_batch([intra, cross], ordering_round=1,
+                                      prioritize_cross_shard=True)
+        assert decision.admitted == [cross]
+        assert decision.aborted == [intra]
+
+    def test_priority_is_deterministic(self):
+        coord_a = CrossShardCoordinator(num_shards=2)
+        coord_b = CrossShardCoordinator(num_shards=2)
+        batch = [tx(1, 3), tx(0, 3), tx(5, 7)]
+        a = coord_a.filter_batch(list(batch), 1, prioritize_cross_shard=True)
+        b = coord_b.filter_batch(list(batch), 1, prioritize_cross_shard=True)
+        assert [t.tx_id for t in a.admitted] == [t.tx_id for t in b.admitted]
+
+
+class TestHubPriorityPackaging:
+    def test_cross_txs_packaged_first(self):
+        hub = StorageHub(num_shards=2, smt_depth=16, txs_per_block=2)
+        intra = [tx(0, 2), tx(4, 6)]
+        cross = [tx(8, 9)]
+        for t in intra + cross:
+            hub.submit(t)
+        blocks = hub.cut_blocks(0, 1, max_blocks=1, creators=[0],
+                                prioritize_cross_shard=True)
+        first_block_ids = [t.tx_id for t in blocks[0].transactions]
+        assert cross[0].tx_id == first_block_ids[0]
+
+    def test_without_priority_fifo_order(self):
+        hub = StorageHub(num_shards=2, smt_depth=16, txs_per_block=2)
+        intra = [tx(0, 2), tx(4, 6)]
+        cross = [tx(8, 9)]
+        for t in intra + cross:
+            hub.submit(t)
+        blocks = hub.cut_blocks(0, 1, max_blocks=1, creators=[0])
+        first_block_ids = [t.tx_id for t in blocks[0].transactions]
+        assert first_block_ids == [intra[0].tx_id, intra[1].tx_id]
+
+
+class TestEndToEndPriority:
+    def test_cross_txs_commit_earlier_with_priority(self):
+        """Under a backlog, priority mode moves CTx into earlier blocks
+        and lowers their mean commit latency."""
+
+        def cross_latency(prioritize):
+            sim = make_sim(txs_per_block=5, max_blocks_per_shard_round=1,
+                           prioritize_cross_shard=prioritize)
+            intra = intra_transfers(30, shard=0)
+            cross = [tx(1000 + 2 * i, 1001 + 2 * i) for i in range(4)]
+            fund_for(sim, intra + cross)
+            sim.submit(intra + cross)  # cross arrive last: backlogged
+            sim.run(num_rounds=14)
+            records = [r for r in sim.tracker.commits if r.cross_shard]
+            assert records, "cross txs must commit"
+            return sum(r.committed_at for r in records) / len(records)
+
+        assert cross_latency(True) < cross_latency(False)

@@ -1,0 +1,114 @@
+"""Property-based end-to-end tests of the protocol simulator.
+
+Randomized (but conflict-free) workloads through a full Porygon network
+must preserve the global invariants regardless of mix, volume or seed:
+conservation of money, no double-commits, full accounting of every
+submitted transaction, pipeline commit arithmetic, and a clean audit.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PorygonConfig, PorygonSimulation
+from repro.core.auditor import ChainAuditor
+from repro.workload import WorkloadGenerator
+
+SIM_SETTINGS = dict(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def build_sim(seed):
+    config = PorygonConfig(
+        num_shards=2, nodes_per_shard=4, ordering_size=4,
+        num_storage_nodes=2, storage_connections=2,
+        txs_per_block=8, max_blocks_per_shard_round=3,
+        round_overhead_s=0.3, consensus_step_timeout_s=0.3,
+        stateless_population=30,
+    )
+    return PorygonSimulation(config, seed=seed)
+
+
+def run_workload(seed, num_txs, cross_ratio, rounds=12):
+    sim = build_sim(seed)
+    generator = WorkloadGenerator(
+        num_accounts=max(8, 4 * num_txs), num_shards=2,
+        cross_shard_ratio=cross_ratio, unique=True, seed=seed,
+    )
+    batch = generator.batch(num_txs)
+    genesis = {tx.sender: 100 for tx in batch}
+    sim.fund_accounts(sorted(genesis), 100)
+    sim.submit(batch)
+    sim.run(num_rounds=rounds)
+    return sim, batch, genesis
+
+
+@settings(**SIM_SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_txs=st.integers(min_value=1, max_value=40),
+    cross_ratio=st.sampled_from([0.0, 0.3, 1.0]),
+)
+def test_property_money_conserved(seed, num_txs, cross_ratio):
+    sim, batch, genesis = run_workload(seed, num_txs, cross_ratio)
+    assert sim.hub.state.total_balance() == sum(genesis.values())
+
+
+@settings(**SIM_SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_txs=st.integers(min_value=1, max_value=40),
+    cross_ratio=st.sampled_from([0.0, 0.5]),
+)
+def test_property_no_double_commit_and_full_accounting(seed, num_txs, cross_ratio):
+    sim, batch, genesis = run_workload(seed, num_txs, cross_ratio)
+    committed_ids = [record.tx_id for record in sim.tracker.commits]
+    assert len(committed_ids) == len(set(committed_ids)), "double commit!"
+    submitted_ids = {tx.tx_id for tx in batch}
+    tracked = (set(committed_ids) | sim.tracker.aborted_tx_ids
+               | sim.tracker.failed_tx_ids | sim.tracker.rolled_back_tx_ids)
+    # Every tracked id was actually submitted.
+    assert tracked <= submitted_ids
+    # With a conflict-free unique-account workload nothing aborts/fails.
+    assert not sim.tracker.aborted_tx_ids
+    assert not sim.tracker.failed_tx_ids
+
+
+@settings(**SIM_SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_txs=st.integers(min_value=4, max_value=30),
+)
+def test_property_pipeline_commit_arithmetic(seed, num_txs):
+    """Intra commits at witness+3, cross at witness+5, on every run."""
+    sim, batch, genesis = run_workload(seed, num_txs, cross_ratio=0.5)
+    for record in sim.tracker.commits:
+        expected = 5 if record.cross_shard else 3
+        assert record.commit_round == record.witness_round + expected
+
+
+@settings(**SIM_SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_txs=st.integers(min_value=1, max_value=30),
+    cross_ratio=st.sampled_from([0.0, 0.4, 1.0]),
+)
+def test_property_every_honest_chain_audits_clean(seed, num_txs, cross_ratio):
+    sim, batch, genesis = run_workload(seed, num_txs, cross_ratio)
+    auditor = ChainAuditor(sim.backend, sim.config.num_shards, sim.config.smt_depth)
+    report = auditor.audit(sim.hub, genesis)
+    assert report.ok, report.problems
+
+
+@settings(**SIM_SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_txs=st.integers(min_value=8, max_value=40),
+)
+def test_property_all_txs_eventually_commit(seed, num_txs):
+    """Conflict-free workloads drain completely given enough rounds."""
+    sim, batch, genesis = run_workload(seed, num_txs, cross_ratio=0.25,
+                                       rounds=16)
+    assert sim.tracker.committed_count == num_txs

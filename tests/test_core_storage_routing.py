@@ -1,0 +1,224 @@
+"""Unit tests for the storage hub, storage nodes and routing fabric."""
+
+import pytest
+
+from repro.chain.blocks import WitnessProof
+from repro.chain.transaction import Transaction
+from repro.core.routing import RoutingFabric, StorageRoutedTransport
+from repro.core.storage import StorageHub, StorageNode, wire_fault_registry
+from repro.errors import NetworkError, StateError
+from repro.net.endpoint import Endpoint
+from repro.net.faults import FaultProfile
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+def make_hub(num_shards=2, txs_per_block=5):
+    return StorageHub(num_shards=num_shards, smt_depth=16, txs_per_block=txs_per_block)
+
+
+def transfers(count, shard=0, num_shards=2):
+    return [
+        Transaction(sender=shard + num_shards * (2 * i),
+                    receiver=shard + num_shards * (2 * i + 1), amount=1, nonce=0)
+        for i in range(count)
+    ]
+
+
+class TestStorageHub:
+    def test_submit_routes_to_home_shard(self):
+        hub = make_hub()
+        hub.submit(Transaction(sender=1, receiver=3, amount=1, nonce=0))
+        assert hub.pending_count(1) == 1
+        assert hub.pending_count(0) == 0
+
+    def test_cut_blocks_respects_block_size_and_cap(self):
+        hub = make_hub(txs_per_block=5)
+        for tx in transfers(12):
+            hub.submit(tx)
+        blocks = hub.cut_blocks(0, round_number=1, max_blocks=2, creators=[0])
+        assert [len(b) for b in blocks] == [5, 5]
+        assert hub.pending_count(0) == 2
+
+    def test_cut_blocks_partial_final_block(self):
+        hub = make_hub(txs_per_block=5)
+        for tx in transfers(3):
+            hub.submit(tx)
+        blocks = hub.cut_blocks(0, round_number=1, max_blocks=2, creators=[0])
+        assert [len(b) for b in blocks] == [3]
+        assert hub.pending_count() == 0
+
+    def test_requeue_puts_txs_back_first(self):
+        hub = make_hub(txs_per_block=5)
+        txs = transfers(5)
+        for tx in txs:
+            hub.submit(tx)
+        blocks = hub.cut_blocks(0, 1, 1, creators=[0])
+        hub.requeue(blocks[0].transactions)
+        assert hub.pending_count(0) == 5
+
+    def test_witness_proof_registry(self):
+        hub = make_hub()
+        for tx in transfers(5):
+            hub.submit(tx)
+        block = hub.cut_blocks(0, 1, 1, creators=[0])[0]
+        proof = WitnessProof(block_hash=block.block_hash, signer=b"pk1", signature=b"s")
+        hub.add_witness_proof(proof)
+        hub.add_witness_proof(proof)  # idempotent per signer
+        assert hub.proof_count(block.block_hash) == 1
+        assert hub.proofs_for(block.block_hash) == [proof]
+
+    def test_witness_proof_for_unknown_block_rejected(self):
+        hub = make_hub()
+        with pytest.raises(StateError):
+            hub.add_witness_proof(WitnessProof(block_hash=b"?" * 32, signer=b"", signature=b""))
+
+    def test_read_states_serves_proofs_and_none_for_absent(self):
+        hub = make_hub()
+        hub.state.credit(0, 50)
+        values, proofs, root = hub.read_states(0, [0, 2, 1])
+        assert values[0].balance == 50
+        assert values[2] is None            # absent, same shard
+        assert values[1] is None            # foreign shard
+        assert 0 in proofs and 2 in proofs  # owned keys proven
+        assert 1 not in proofs              # foreign: no proof
+        assert proofs[0].verify(root, values[0].encode(), 16)
+        assert proofs[2].verify(root, None, 16)
+
+    def test_speculative_state_forks_lazily(self):
+        hub = make_hub()
+        hub.state.credit(0, 10)
+        head = hub.speculative_state()
+        assert head.get_account(0).balance == 10
+        hub.apply_speculative(0, [(0, hub.state.get_account(0).copy().encode())], 1)
+        # Committed state untouched by speculation.
+        assert hub.state.get_account(0).balance == 10
+
+    def test_speculative_rollback(self):
+        from repro.chain.account import Account
+
+        hub = make_hub()
+        hub.state.credit(0, 10)
+        hub.speculative_state()
+        root_before = hub.speculative_state().shards[0].root
+        hub.apply_speculative(0, [(0, Account(0, balance=99).encode())], exec_round=5)
+        assert hub.speculative_state().get_account(0).balance == 99
+        hub.rollback_speculative(0, exec_round=5)
+        assert hub.speculative_state().get_account(0).balance == 10
+        assert hub.speculative_state().shards[0].root == root_before
+
+    def test_ledger_bytes_grows_with_content(self):
+        hub = make_hub()
+        empty = hub.ledger_bytes()
+        for tx in transfers(5):
+            hub.submit(tx)
+        hub.cut_blocks(0, 1, 1, creators=[0])
+        assert hub.ledger_bytes() > empty
+
+
+class TestStorageNodeAvailability:
+    def _setup(self, creator_malicious):
+        env = Environment()
+        net = Network(env)
+        hub = make_hub()
+        nodes = []
+        for node_id, malicious in enumerate([creator_malicious, False]):
+            faults = (FaultProfile.byzantine_storage(seed=node_id)
+                      if malicious else FaultProfile.honest())
+            endpoint = net.register(Endpoint(env, node_id, uplink_bps=1e6,
+                                             downlink_bps=1e6, faults=faults))
+            nodes.append(StorageNode(env, node_id, hub, endpoint, faults))
+        wire_fault_registry(hub, nodes)
+        for tx in transfers(5):
+            hub.submit(tx)
+        block = hub.cut_blocks(0, 1, 1, creators=[0])[0]  # creator is node 0
+        return nodes, block
+
+    def test_honest_creator_block_served_by_honest_nodes(self):
+        nodes, block = self._setup(creator_malicious=False)
+        assert nodes[0].serves_body(block.block_hash)
+        assert nodes[1].serves_body(block.block_hash)
+
+    def test_malicious_creator_block_unavailable_everywhere(self):
+        nodes, block = self._setup(creator_malicious=True)
+        assert not nodes[0].serves_body(block.block_hash)  # withholds
+        assert not nodes[1].serves_body(block.block_hash)  # never got it
+
+    def test_unknown_block_not_served(self):
+        nodes, _ = self._setup(creator_malicious=False)
+        assert not nodes[0].serves_body(b"\x00" * 32)
+
+
+class TestRoutingFabric:
+    def _fabric(self, malicious_storage=(), connections=None):
+        env = Environment()
+        net = Network(env, latency_s=0.0005)
+        hub = make_hub()
+        storage = []
+        for node_id in range(2):
+            faults = (FaultProfile.byzantine_storage(seed=node_id)
+                      if node_id in malicious_storage else FaultProfile.honest())
+            endpoint = net.register(Endpoint(env, node_id, uplink_bps=1e8,
+                                             downlink_bps=1e8, faults=faults))
+            storage.append(StorageNode(env, node_id, hub, endpoint, faults))
+        connections = connections or {10: [0, 1], 11: [0, 1], 12: [1]}
+        for stateless_id in connections:
+            net.register(Endpoint(env, stateless_id, uplink_bps=1e6, downlink_bps=1e6))
+        fabric = RoutingFabric(env, net, storage, connections)
+        return env, net, fabric
+
+    def test_relay_reaches_all_recipients(self):
+        env, net, fabric = self._fabric()
+        seen = []
+        fabric.relay(10, [11, 12], "msg", "payload", 100, "ordering",
+                     lambda r, m: seen.append(r))
+        env.run()
+        assert sorted(seen) == [11, 12]
+
+    def test_loopback_when_sender_in_recipients(self):
+        env, net, fabric = self._fabric()
+        seen = []
+        fabric.relay(10, [10, 11], "msg", None, 100, "ordering",
+                     lambda r, m: seen.append(r))
+        env.run()
+        assert sorted(seen) == [10, 11]
+
+    def test_corrupted_recipient_skipped(self):
+        env, net, fabric = self._fabric(malicious_storage={1})
+        seen = []
+        # Node 12 connects only to malicious storage 1: corrupted.
+        fabric.relay(10, [11, 12], "msg", None, 100, "ordering",
+                     lambda r, m: seen.append(r))
+        env.run()
+        assert seen == [11]
+        assert not fabric.is_benign(12)
+        assert fabric.is_benign(11)
+
+    def test_corrupted_sender_reaches_nobody(self):
+        env, net, fabric = self._fabric(malicious_storage={1})
+        seen = []
+        fabric.relay(12, [10, 11], "msg", None, 100, "ordering",
+                     lambda r, m: seen.append(r))
+        env.run()
+        assert seen == []
+
+    def test_sender_without_connections_rejected(self):
+        env, net, fabric = self._fabric()
+        with pytest.raises(NetworkError):
+            fabric.relay(99, [10], "msg", None, 100, "ordering", lambda r, m: None)
+
+    def test_transport_mailboxes_by_channel(self):
+        env, net, fabric = self._fabric()
+        transport = StorageRoutedTransport(env, fabric)
+        transport.multicast(10, [11], "vote", "a", 64, "ordering", channel="x")
+        transport.multicast(10, [11], "vote", "b", 64, "ordering", channel="y")
+        env.run()
+        assert len(transport.mailbox(11, "x")) == 1
+        assert len(transport.mailbox(11, "y")) == 1
+        assert transport.mailbox(11, "x").items[0].payload == "a"
+
+    def test_relay_charges_bandwidth(self):
+        env, net, fabric = self._fabric()
+        fabric.relay(10, [11], "msg", None, 10_000, "witness", lambda r, m: None)
+        env.run()
+        assert net.meter.bytes_by_phase().get("witness", 0) > 10_000

@@ -1,0 +1,77 @@
+"""Tests for the simulation facade (PorygonSimulation / reports)."""
+
+import pytest
+
+from repro.chain.transaction import Transaction
+from repro.core import PorygonConfig
+from repro.errors import ConfigError
+from tests.test_core_integration import fund_for, intra_transfers, make_sim
+
+
+class TestConfigValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError):
+            PorygonConfig(num_shards=0)
+        with pytest.raises(ConfigError):
+            PorygonConfig(ordering_size=0)
+        with pytest.raises(ConfigError):
+            PorygonConfig(storage_connections=5, num_storage_nodes=2)
+        with pytest.raises(ConfigError):
+            PorygonConfig(malicious_stateless_fraction=1.0)
+        with pytest.raises(ConfigError):
+            PorygonConfig(pipelining=True, ec_lifetime_rounds=2)
+        with pytest.raises(ConfigError):
+            PorygonConfig(num_shards=4, nodes_per_shard=10, ordering_size=10,
+                          stateless_population=10)
+
+    def test_population_defaults_to_one_generation(self):
+        config = PorygonConfig(num_shards=4, nodes_per_shard=10, ordering_size=10)
+        assert config.num_stateless_nodes == 50
+        assert config.total_nodes == 50 + config.num_storage_nodes
+
+
+class TestSubmitStamping:
+    def test_mid_run_submissions_get_current_time(self):
+        sim = make_sim()
+        first = intra_transfers(5, shard=0)
+        fund_for(sim, first)
+        sim.submit(first)
+        sim.run(num_rounds=2)
+        late = Transaction(sender=5000, receiver=5002, amount=1, nonce=0)
+        sim.fund_accounts([5000], 100)
+        assert late.submitted_at == 0.0
+        sim.submit([late])
+        queued = [tx for q in sim.hub.mempool.values() for tx in q
+                  if tx.tx_id == late.tx_id]
+        assert queued and queued[0].submitted_at == sim.env.now > 0
+
+    def test_pre_run_submissions_keep_zero_stamp(self):
+        sim = make_sim()
+        txs = intra_transfers(3, shard=0)
+        fund_for(sim, txs)
+        sim.submit(txs)
+        queued = [tx for q in sim.hub.mempool.values() for tx in q]
+        assert all(tx.submitted_at == 0.0 for tx in queued)
+
+
+class TestIncrementalRuns:
+    def test_two_runs_accumulate_rounds_and_commits(self):
+        sim = make_sim()
+        txs = intra_transfers(20, shard=0)
+        fund_for(sim, txs)
+        sim.submit(txs)
+        first = sim.run(num_rounds=4)
+        second = sim.run(num_rounds=4)
+        assert second.rounds == 8
+        assert second.committed >= first.committed
+        # Round numbering continued (proposals 1..8).
+        assert [p.round_number for p in sim.hub.proposals[:8]] == list(range(1, 9))
+
+    def test_report_without_elapsed_uses_clock(self):
+        sim = make_sim()
+        txs = intra_transfers(5, shard=0)
+        fund_for(sim, txs)
+        sim.submit(txs)
+        sim.run(num_rounds=3)
+        report = sim.report()
+        assert report.elapsed_s == pytest.approx(sim.env.now)

@@ -1,0 +1,45 @@
+"""Unit tests for hashing helpers."""
+
+from repro.crypto.hashing import (
+    HASH_SIZE,
+    NULL_DIGEST,
+    digest,
+    digest_concat,
+    digest_int,
+    domain_digest,
+    hex_digest,
+)
+
+
+def test_digest_size():
+    assert len(digest(b"hello")) == HASH_SIZE
+
+
+def test_digest_deterministic():
+    assert digest(b"x") == digest(b"x")
+    assert digest(b"x") != digest(b"y")
+
+
+def test_null_digest_is_all_zero():
+    assert NULL_DIGEST == bytes(HASH_SIZE)
+
+
+def test_digest_concat_length_prefixing_prevents_ambiguity():
+    assert digest_concat(b"ab", b"c") != digest_concat(b"a", b"bc")
+
+
+def test_digest_concat_differs_from_plain_digest():
+    assert digest_concat(b"abc") != digest(b"abc")
+
+
+def test_domain_separation():
+    assert domain_digest("a", b"msg") != domain_digest("b", b"msg")
+
+
+def test_digest_int_range():
+    value = digest_int(b"seed")
+    assert 0 <= value < 2**256
+
+
+def test_hex_digest_matches_digest():
+    assert bytes.fromhex(hex_digest(b"q")) == digest(b"q")

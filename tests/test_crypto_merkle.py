@@ -1,0 +1,107 @@
+"""Unit + property tests for the binary Merkle tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import NULL_DIGEST
+from repro.crypto.merkle import MerkleProof, MerkleTree, leaf_hash, node_hash
+from repro.errors import InvalidProof
+
+
+def test_empty_tree_root_is_null():
+    assert MerkleTree([]).root == NULL_DIGEST
+
+
+def test_single_leaf_root_is_leaf_hash():
+    tree = MerkleTree([b"only"])
+    assert tree.root == leaf_hash(b"only")
+    assert tree.prove(0).siblings == ()
+
+
+def test_two_leaves_root():
+    tree = MerkleTree([b"a", b"b"])
+    assert tree.root == node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+
+
+def test_proof_verifies_for_each_leaf():
+    leaves = [f"leaf-{i}".encode() for i in range(7)]
+    tree = MerkleTree(leaves)
+    for i, leaf in enumerate(leaves):
+        proof = tree.prove(i)
+        assert proof.verify(tree.root, leaf)
+
+
+def test_proof_rejects_wrong_leaf():
+    leaves = [b"a", b"b", b"c", b"d"]
+    tree = MerkleTree(leaves)
+    proof = tree.prove(1)
+    assert not proof.verify(tree.root, b"x")
+
+
+def test_proof_rejects_wrong_root():
+    tree = MerkleTree([b"a", b"b"])
+    other = MerkleTree([b"a", b"c"])
+    proof = tree.prove(0)
+    assert not proof.verify(other.root, b"a")
+
+
+def test_prove_out_of_range():
+    tree = MerkleTree([b"a"])
+    with pytest.raises(InvalidProof):
+        tree.prove(1)
+    with pytest.raises(InvalidProof):
+        tree.prove(-1)
+
+
+def test_order_matters():
+    assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+
+def test_leaf_vs_node_domain_separation():
+    # A one-leaf tree whose leaf equals an interior encoding must not
+    # collide with the two-leaf tree that produced that interior hash.
+    two = MerkleTree([b"a", b"b"])
+    fake = MerkleTree([two.root])
+    assert fake.root != two.root
+
+
+def test_proof_size_accounting():
+    tree = MerkleTree([bytes([i]) for i in range(8)])
+    proof = tree.prove(3)
+    assert proof.size_bytes == 4 + 33 * len(proof.siblings)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.binary(min_size=0, max_size=40), min_size=1, max_size=33))
+def test_property_every_proof_verifies(leaves):
+    tree = MerkleTree(leaves)
+    for i, leaf in enumerate(leaves):
+        assert tree.verify(i, leaf)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=16), min_size=2, max_size=16, unique=True),
+    st.data(),
+)
+def test_property_proof_binds_position(leaves, data):
+    tree = MerkleTree(leaves)
+    i = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    j = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    proof = tree.prove(i)
+    if leaves[i] != leaves[j]:
+        assert not proof.verify(tree.root, leaves[j])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.binary(max_size=8), min_size=1, max_size=20))
+def test_property_rebuild_is_deterministic(leaves):
+    assert MerkleTree(leaves).root == MerkleTree(list(leaves)).root
+
+
+def test_merkle_proof_is_hashable_value_object():
+    tree = MerkleTree([b"a", b"b"])
+    assert tree.prove(0) == tree.prove(0)
+    assert isinstance(hash(tree.prove(0)), int)
+    assert isinstance(tree.prove(0), MerkleProof)

@@ -1,0 +1,152 @@
+"""Unit + property tests for the stateless partial SMT."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.smt import PartialSparseMerkleTree, SparseMerkleTree
+from repro.errors import InvalidProof, StateError
+
+DEPTH = 16
+
+
+def full_tree(mapping):
+    return SparseMerkleTree.from_items(mapping.items(), depth=DEPTH)
+
+
+def partial_for(tree, keys):
+    entries = [(key, tree.get(key), tree.prove(key)) for key in keys]
+    return PartialSparseMerkleTree.from_proofs(tree.root, entries, depth=DEPTH)
+
+
+def test_partial_root_matches_base_without_updates():
+    tree = full_tree({1: b"a", 5: b"b"})
+    partial = partial_for(tree, [1])
+    assert partial.root == tree.root
+
+
+def test_partial_update_matches_full_tree():
+    tree = full_tree({1: b"a", 5: b"b", 9: b"c"})
+    partial = partial_for(tree, [5])
+    partial.update(5, b"B")
+    tree.update(5, b"B")
+    assert partial.root == tree.root
+
+
+def test_partial_multi_key_update_matches_full_tree():
+    tree = full_tree({1: b"a", 2: b"b", 3: b"c", 100: b"d"})
+    partial = partial_for(tree, [1, 2, 100])
+    for key, value in [(1, b"A"), (2, b"B"), (100, b"D")]:
+        partial.update(key, value)
+        tree.update(key, value)
+    assert partial.root == tree.root
+
+
+def test_partial_adjacent_keys_share_path():
+    # Keys 6 and 7 are siblings at the leaf level - the hardest case.
+    tree = full_tree({6: b"x", 7: b"y"})
+    partial = partial_for(tree, [6, 7])
+    partial.update(6, b"X")
+    partial.update(7, b"Y")
+    tree.update(6, b"X")
+    tree.update(7, b"Y")
+    assert partial.root == tree.root
+
+
+def test_partial_insert_via_non_inclusion_proof():
+    tree = full_tree({1: b"a"})
+    partial = partial_for(tree, [8])  # key 8 absent: non-inclusion proof
+    assert partial.get(8) is None
+    partial.update(8, b"new")
+    tree.update(8, b"new")
+    assert partial.root == tree.root
+
+
+def test_partial_delete_key():
+    tree = full_tree({1: b"a", 2: b"b"})
+    partial = partial_for(tree, [2])
+    partial.update(2, None)
+    tree.update(2, None)
+    assert partial.root == tree.root
+
+
+def test_partial_rejects_bad_proof():
+    tree = full_tree({1: b"a"})
+    proof = tree.prove(1)
+    with pytest.raises(InvalidProof):
+        PartialSparseMerkleTree.from_proofs(tree.root, [(1, b"wrong", proof)], depth=DEPTH)
+
+
+def test_partial_rejects_key_mismatch():
+    tree = full_tree({1: b"a"})
+    proof = tree.prove(1)
+    partial = PartialSparseMerkleTree(tree.root, depth=DEPTH)
+    with pytest.raises(InvalidProof):
+        partial.add_proof(2, b"a", proof)
+
+
+def test_partial_rejects_wrong_depth_proof():
+    tree = SparseMerkleTree.from_items([(1, b"a")], depth=8)
+    proof = tree.prove(1)
+    partial = PartialSparseMerkleTree(tree.root, depth=DEPTH)
+    with pytest.raises(InvalidProof):
+        partial.add_proof(1, b"a", proof)
+
+
+def test_partial_update_uncovered_key_rejected():
+    tree = full_tree({1: b"a"})
+    partial = partial_for(tree, [1])
+    with pytest.raises(StateError):
+        partial.update(2, b"x")
+    with pytest.raises(StateError):
+        partial.get(2)
+    assert partial.covered(1)
+    assert not partial.covered(2)
+
+
+def test_partial_rejects_proofs_against_different_roots():
+    tree_a = full_tree({1: b"a"})
+    tree_b = full_tree({1: b"b"})
+    partial = PartialSparseMerkleTree(tree_a.root, depth=DEPTH)
+    with pytest.raises(InvalidProof):
+        partial.add_proof(1, b"b", tree_b.prove(1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=(1 << DEPTH) - 1),
+        st.binary(min_size=1, max_size=8),
+        min_size=1,
+        max_size=12,
+    ),
+    st.data(),
+)
+def test_property_partial_update_equals_full_update(mapping, data):
+    tree = full_tree(mapping)
+    keys = sorted(mapping)
+    covered = data.draw(
+        st.lists(st.sampled_from(keys), min_size=1, max_size=len(keys), unique=True)
+    )
+    partial = partial_for(tree, covered)
+    for key in covered:
+        new_value = data.draw(
+            st.one_of(st.none(), st.binary(min_size=1, max_size=8)), label=f"val-{key}"
+        )
+        partial.update(key, new_value)
+        tree.update(key, new_value)
+    assert partial.root == tree.root
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=(1 << DEPTH) - 1), min_size=2, max_size=10),
+)
+def test_property_fresh_inserts_into_empty_tree(keys):
+    tree = SparseMerkleTree(depth=DEPTH)
+    partial = partial_for(tree, sorted(keys))
+    for i, key in enumerate(sorted(keys)):
+        value = bytes([i + 1])
+        partial.update(key, value)
+        tree.update(key, value)
+    assert partial.root == tree.root

@@ -1,0 +1,169 @@
+"""Signature + VRF backend tests, run against both backends."""
+
+import pytest
+
+from repro.crypto import get_backend
+from repro.crypto.schnorr import G, INFINITY, N, P, Point, hash_to_curve, lift_x, on_curve
+from repro.errors import CryptoError
+
+
+@pytest.fixture(params=["hashed", "schnorr"])
+def backend(request):
+    return get_backend(request.param)
+
+
+def test_get_backend_unknown_name():
+    with pytest.raises(CryptoError):
+        get_backend("rsa")
+
+
+def test_sign_verify_roundtrip(backend):
+    pair = backend.generate(b"seed-1")
+    sig = pair.sign(b"message")
+    assert backend.verify(pair.public_key, b"message", sig)
+
+
+def test_signature_rejects_wrong_message(backend):
+    pair = backend.generate(b"seed-1")
+    sig = pair.sign(b"message")
+    assert not backend.verify(pair.public_key, b"other", sig)
+
+
+def test_signature_rejects_wrong_key(backend):
+    pair_a = backend.generate(b"seed-a")
+    pair_b = backend.generate(b"seed-b")
+    sig = pair_a.sign(b"message")
+    assert not backend.verify(pair_b.public_key, b"message", sig)
+
+
+def test_keygen_deterministic(backend):
+    assert backend.generate(b"same").public_key == backend.generate(b"same").public_key
+    assert backend.generate(b"one").public_key != backend.generate(b"two").public_key
+
+
+def test_vrf_eval_verify_roundtrip(backend):
+    pair = backend.generate(b"seed-vrf")
+    out = pair.vrf_eval(b"round-7")
+    assert backend.vrf_verify(pair.public_key, b"round-7", out)
+
+
+def test_vrf_rejects_wrong_input(backend):
+    pair = backend.generate(b"seed-vrf")
+    out = pair.vrf_eval(b"round-7")
+    assert not backend.vrf_verify(pair.public_key, b"round-8", out)
+
+
+def test_vrf_rejects_wrong_key(backend):
+    pair_a = backend.generate(b"a")
+    pair_b = backend.generate(b"b")
+    out = pair_a.vrf_eval(b"input")
+    assert not backend.vrf_verify(pair_b.public_key, b"input", out)
+
+
+def test_vrf_deterministic_per_key_input(backend):
+    pair = backend.generate(b"seed")
+    assert pair.vrf_eval(b"x").value == pair.vrf_eval(b"x").value
+    assert pair.vrf_eval(b"x").value != pair.vrf_eval(b"y").value
+
+
+def test_vrf_as_unit_in_range(backend):
+    pair = backend.generate(b"seed")
+    unit = pair.vrf_eval(b"alpha").as_unit()
+    assert 0.0 <= unit < 1.0
+
+
+def test_vrf_values_roughly_uniform(backend):
+    pair = backend.generate(b"uniformity")
+    units = [pair.vrf_eval(str(i).encode()).as_unit() for i in range(40)]
+    assert 0.2 < sum(units) / len(units) < 0.8
+
+
+def test_hashed_backend_registry_is_per_instance():
+    backend_a = get_backend("hashed")
+    backend_b = get_backend("hashed")
+    pair = backend_a.generate(b"seed")
+    with pytest.raises(CryptoError):
+        backend_b.verify(pair.public_key, b"m", pair.sign(b"m"))
+
+
+# ---------------------------------------------------------------------------
+# secp256k1 group-law tests
+# ---------------------------------------------------------------------------
+
+
+def test_generator_on_curve():
+    assert on_curve(G.x, G.y)
+
+
+def test_generator_order():
+    assert G * N == INFINITY
+
+
+def test_point_addition_commutative():
+    p2 = G * 2
+    p3 = G * 3
+    assert p2 + p3 == p3 + p2 == G * 5
+
+
+def test_point_doubling_matches_addition():
+    assert G + G == G * 2
+
+
+def test_point_negation():
+    assert G + (-G) == INFINITY
+    assert (G * 5) - (G * 3) == G * 2
+
+
+def test_infinity_is_identity():
+    assert G + INFINITY == G
+    assert INFINITY + G == G
+
+
+def test_point_encode_decode_roundtrip():
+    for k in (1, 2, 12345, N - 1):
+        point = G * k
+        assert Point.decode(point.encode()) == point
+    assert Point.decode(INFINITY.encode()) == INFINITY
+
+
+def test_point_decode_rejects_garbage():
+    with pytest.raises(CryptoError):
+        Point.decode(b"\x05" + bytes(32))
+
+
+def test_lift_x_parity():
+    even = lift_x(G.x, even=True)
+    odd = lift_x(G.x, even=False)
+    assert even.y % 2 == 0
+    assert odd.y % 2 == 1
+    assert even.y + odd.y == P
+
+
+def test_hash_to_curve_produces_curve_points():
+    for tag in (b"a", b"b", b"c"):
+        point = hash_to_curve(tag)
+        assert on_curve(point.x, point.y)
+
+
+def test_schnorr_signature_malleability_guard():
+    backend = get_backend("schnorr")
+    pair = backend.generate(b"seed")
+    sig = pair.sign(b"m")
+    tampered = sig[:-1] + bytes([sig[-1] ^ 1])
+    assert not backend.verify(pair.public_key, b"m", tampered)
+
+
+def test_schnorr_rejects_truncated_signature():
+    backend = get_backend("schnorr")
+    pair = backend.generate(b"seed")
+    assert not backend.verify(pair.public_key, b"m", b"\x00" * 10)
+
+
+def test_schnorr_vrf_rejects_tampered_proof():
+    backend = get_backend("schnorr")
+    pair = backend.generate(b"seed")
+    out = pair.vrf_eval(b"alpha")
+    tampered = out.proof[:-1] + bytes([out.proof[-1] ^ 1])
+    from repro.crypto.backend import VrfOutput
+
+    assert not backend.vrf_verify(pair.public_key, b"alpha", VrfOutput(out.value, tampered))

@@ -1,0 +1,175 @@
+"""Unit + property tests for the sparse Merkle tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.smt import SparseMerkleTree, verify_proof_or_raise
+from repro.errors import InvalidProof, StateError
+
+
+def test_empty_trees_share_root():
+    assert SparseMerkleTree(depth=16).root == SparseMerkleTree(depth=16).root
+
+
+def test_roots_differ_across_depths():
+    assert SparseMerkleTree(depth=8).root != SparseMerkleTree(depth=16).root
+
+
+def test_update_changes_root_and_get_returns_value():
+    tree = SparseMerkleTree(depth=16)
+    empty_root = tree.root
+    tree.update(5, b"hello")
+    assert tree.root != empty_root
+    assert tree.get(5) == b"hello"
+    assert tree.get(6) is None
+
+
+def test_delete_restores_empty_root():
+    tree = SparseMerkleTree(depth=16)
+    empty_root = tree.root
+    tree.update(5, b"hello")
+    tree.update(5, None)
+    assert tree.root == empty_root
+    assert len(tree) == 0
+    assert not tree._nodes  # no garbage left behind
+
+
+def test_inclusion_proof_verifies():
+    tree = SparseMerkleTree(depth=16)
+    tree.update(3, b"x")
+    tree.update(9, b"y")
+    proof = tree.prove(3)
+    assert proof.verify(tree.root, b"x", depth=16)
+
+
+def test_non_inclusion_proof_verifies():
+    tree = SparseMerkleTree(depth=16)
+    tree.update(3, b"x")
+    proof = tree.prove(100)
+    assert proof.verify(tree.root, None, depth=16)
+    assert not proof.verify(tree.root, b"x", depth=16)
+
+
+def test_proof_rejects_wrong_value():
+    tree = SparseMerkleTree(depth=16)
+    tree.update(3, b"x")
+    proof = tree.prove(3)
+    assert not proof.verify(tree.root, b"z", depth=16)
+
+
+def test_proof_rejects_stale_root():
+    tree = SparseMerkleTree(depth=16)
+    tree.update(3, b"x")
+    proof = tree.prove(3)
+    old_root = tree.root
+    tree.update(4, b"w")
+    assert not proof.verify(tree.root, b"x", depth=16) or tree.root == old_root
+
+
+def test_proof_wrong_depth_rejected():
+    tree = SparseMerkleTree(depth=16)
+    tree.update(1, b"v")
+    proof = tree.prove(1)
+    assert not proof.verify(tree.root, b"v", depth=8)
+
+
+def test_verify_proof_or_raise():
+    tree = SparseMerkleTree(depth=16)
+    tree.update(1, b"v")
+    proof = tree.prove(1)
+    verify_proof_or_raise(proof, tree.root, b"v", depth=16)
+    with pytest.raises(InvalidProof):
+        verify_proof_or_raise(proof, tree.root, b"other", depth=16)
+
+
+def test_key_out_of_range():
+    tree = SparseMerkleTree(depth=8)
+    with pytest.raises(StateError):
+        tree.update(1 << 8, b"v")
+    with pytest.raises(StateError):
+        tree.get(-1)
+
+
+def test_bad_depth_rejected():
+    with pytest.raises(StateError):
+        SparseMerkleTree(depth=0)
+
+
+def test_items_sorted_and_contains():
+    tree = SparseMerkleTree(depth=16)
+    tree.update(9, b"b")
+    tree.update(2, b"a")
+    assert list(tree.items()) == [(2, b"a"), (9, b"b")]
+    assert 9 in tree
+    assert 5 not in tree
+
+
+def test_from_items_and_snapshot():
+    tree = SparseMerkleTree.from_items([(1, b"x"), (2, b"y")], depth=16)
+    snap = tree.snapshot()
+    assert snap == {1: b"x", 2: b"y"}
+    snap[3] = b"z"  # mutating the snapshot must not affect the tree
+    assert tree.get(3) is None
+
+
+def test_proof_size_accounting():
+    tree = SparseMerkleTree(depth=16)
+    tree.update(1, b"v")
+    assert tree.prove(1).size_bytes == 8 + 32 * 16
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.binary(min_size=1, max_size=16),
+        max_size=20,
+    )
+)
+def test_property_root_independent_of_insertion_order(mapping):
+    items = list(mapping.items())
+    forward = SparseMerkleTree.from_items(items, depth=16)
+    backward = SparseMerkleTree.from_items(reversed(items), depth=16)
+    assert forward.root == backward.root
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.binary(min_size=1, max_size=16),
+        max_size=15,
+    ),
+    st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+def test_property_all_proofs_verify(mapping, probe_key):
+    tree = SparseMerkleTree.from_items(mapping.items(), depth=16)
+    for key in mapping:
+        assert tree.prove(key).verify(tree.root, mapping[key], depth=16)
+    # Probe key: inclusion if present, non-inclusion otherwise.
+    assert tree.prove(probe_key).verify(tree.root, mapping.get(probe_key), depth=16)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            st.one_of(st.none(), st.binary(min_size=1, max_size=8)),
+        ),
+        max_size=30,
+    )
+)
+def test_property_updates_match_rebuild(operations):
+    tree = SparseMerkleTree(depth=16)
+    reference: dict[int, bytes] = {}
+    for key, value in operations:
+        tree.update(key, value)
+        if value is None:
+            reference.pop(key, None)
+        else:
+            reference[key] = value
+    rebuilt = SparseMerkleTree.from_items(reference.items(), depth=16)
+    assert tree.root == rebuilt.root
+    assert dict(tree.items()) == reference

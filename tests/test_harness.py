@@ -1,0 +1,102 @@
+"""Tests for the experiment harness (cheap experiments only; the
+expensive protocol-sim experiments are exercised by benchmarks/)."""
+
+import pytest
+
+from repro.harness import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    fig7b_simulation_scalability,
+    fig7d_ablation_simulation,
+    fig8b_comparison_simulation,
+    fig8d_churn,
+    sec4e_complexity,
+    sec5_committee_safety,
+    sec5_liveness,
+    table1_cross_shard_ratio,
+)
+from repro.metrics import is_monotonic
+
+
+def test_registry_covers_every_paper_result():
+    expected = {
+        "fig7a", "fig7b", "fig7c", "fig7d",
+        "fig8a", "fig8b", "fig8c", "fig8d",
+        "fig9a", "fig9b", "table1",
+        "sec4e", "sec5_safety", "sec5_liveness",
+    }
+    assert set(ALL_EXPERIMENTS) == expected
+
+
+def test_result_column_and_table():
+    result = ExperimentResult(
+        experiment_id="x", title="t", headers=["a", "b"],
+        rows=[[1, 2], [3, 4]],
+    )
+    assert result.column("b") == [2, 4]
+    assert "x: t" in result.to_table()
+    with pytest.raises(ValueError):
+        result.column("missing")
+
+
+def test_result_to_csv():
+    result = ExperimentResult(
+        experiment_id="x", title="t", headers=["a", "b"],
+        rows=[[1, 2.5], [3, 4.0]],
+    )
+    lines = result.to_csv().strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,2.5"
+    assert len(lines) == 3
+
+
+def test_fig7b_rows_shape():
+    result = fig7b_simulation_scalability(shard_counts=(10, 30), rounds=10)
+    assert len(result.rows) == 2
+    assert is_monotonic(result.column("throughput_tps"))
+    assert result.column("nodes")[0] == 22_000
+
+
+def test_fig7d_staircase():
+    result = fig7d_ablation_simulation(rounds=10)
+    tps = result.column("throughput_tps")
+    assert is_monotonic(tps, increasing=True)
+    assert tps[-1] > 4 * tps[0]
+
+
+def test_fig8b_porygon_leads():
+    result = fig8b_comparison_simulation(node_counts=(100, 500), rounds=10)
+    for row in result.rows:
+        _, porygon, byshard, blockene = row
+        assert porygon > byshard > blockene
+
+
+def test_fig8d_recovery_ordering():
+    result = fig8d_churn(stay_times_s=(30, 120, 4_800), rounds=20)
+    porygon = result.column("porygon_tps")
+    assert porygon[-1] > 0
+    assert is_monotonic(porygon, increasing=True, tolerance=0.01)
+
+
+def test_table1_mild_degradation():
+    result = table1_cross_shard_ratio(ratios=(0.5, 1.0), rounds=10)
+    tps = result.column("throughput_tps")
+    assert 0.9 < tps[1] / tps[0] < 1.0
+
+
+def test_sec4e_porygon_cheapest():
+    result = sec4e_complexity(network_sizes=(1_000, 100_000))
+    for row in result.rows:
+        assert row[1] < row[3] < row[2]  # porygon < elastico < rapidchain
+
+
+def test_sec5_safety_paper_point():
+    result = sec5_committee_safety(committee_sizes=(3_500,))
+    row = result.rows[0]
+    assert row[1] >= 2_225 and row[2] <= 1_100 and row[3]
+
+
+def test_sec5_liveness_negligible_run():
+    result = sec5_liveness(run_lengths=(16,), monte_carlo_rounds=50_000)
+    by_key = {row[0]: row for row in result.rows}
+    assert by_key[16][1] < 2**-30

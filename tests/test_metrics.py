@@ -1,0 +1,57 @@
+"""Unit tests for tables and shape comparisons."""
+
+from repro.metrics import SeriesComparison, format_table, growth_factor, is_monotonic
+
+
+def test_format_table_alignment():
+    text = format_table(["shards", "tps"], [[10, 7240.0], [30, 21090.0]])
+    lines = text.splitlines()
+    assert lines[0].startswith("shards")
+    assert "7,240" in text
+    assert "21,090" in text
+
+
+def test_format_table_title():
+    text = format_table(["a"], [[1]], title="Figure 7(a)")
+    assert text.splitlines()[0] == "Figure 7(a)"
+
+
+def test_format_table_small_floats():
+    text = format_table(["x"], [[0.123456]])
+    assert "0.123" in text
+
+
+def test_is_monotonic_increasing():
+    assert is_monotonic([1, 2, 3])
+    assert not is_monotonic([1, 3, 2])
+    assert is_monotonic([1, 3, 2.95], tolerance=0.05)
+
+
+def test_is_monotonic_decreasing():
+    assert is_monotonic([3, 2, 1], increasing=False)
+    assert not is_monotonic([1, 2], increasing=False)
+
+
+def test_growth_factor():
+    assert growth_factor([10, 30]) == 3.0
+    assert growth_factor([0, 5]) == 0.0
+    assert growth_factor([7]) == 0.0
+
+
+def test_series_comparison_rows_and_direction():
+    series = SeriesComparison(
+        name="TPS", x_label="shards", x_values=[10, 30],
+        paper=[7240, 21090], measured=[5000, 14000],
+    )
+    rows = series.rows()
+    assert rows[0][:3] == [10, 7240, 5000]
+    assert abs(rows[0][3] - 5000 / 7240) < 1e-9
+    assert series.same_direction()
+
+
+def test_series_comparison_detects_divergence():
+    series = SeriesComparison(
+        name="TPS", x_label="n", x_values=[1, 2],
+        paper=[100, 200], measured=[200, 100],
+    )
+    assert not series.same_direction()

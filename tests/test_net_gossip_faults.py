@@ -1,0 +1,132 @@
+"""Unit tests for gossip dissemination and fault profiles."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.endpoint import Endpoint
+from repro.net.faults import FaultProfile
+from repro.net.gossip import GossipOverlay
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+def build_overlay(num_nodes, malicious_ids=(), degree=None, seed=0):
+    env = Environment()
+    net = Network(env, latency_s=0.0001)
+    for node_id in range(num_nodes):
+        faults = (FaultProfile.byzantine_storage(seed=node_id)
+                  if node_id in malicious_ids else FaultProfile.honest())
+        net.register(Endpoint(env, node_id, uplink_bps=1e8, downlink_bps=1e8, faults=faults))
+    overlay = GossipOverlay(env, net, list(range(num_nodes)), degree=degree, seed=seed)
+    return env, net, overlay
+
+
+def gossip_msg(origin):
+    return Message(sender=origin, recipient=origin, msg_type="tx_block",
+                   payload="data", body_bytes=256, phase="gossip")
+
+
+def test_empty_overlay_rejected():
+    env = Environment()
+    net = Network(env)
+    with pytest.raises(NetworkError):
+        GossipOverlay(env, net, [])
+
+
+def test_flood_reaches_all_honest_full_mesh():
+    env, net, overlay = build_overlay(6)
+    message = gossip_msg(0)
+    overlay.publish(0, message)
+    env.run()
+    assert overlay.reached(message.msg_id) == set(range(6))
+
+
+def test_flood_reaches_all_honest_sparse_topology():
+    env, net, overlay = build_overlay(20, degree=4, seed=3)
+    message = gossip_msg(5)
+    overlay.publish(5, message)
+    env.run()
+    assert overlay.reached(message.msg_id) == set(range(20))
+
+
+def test_malicious_members_do_not_forward():
+    # Node 1 is malicious; in a full mesh everyone still hears from 0.
+    env, net, overlay = build_overlay(5, malicious_ids={1})
+    message = gossip_msg(0)
+    overlay.publish(0, message)
+    env.run()
+    assert overlay.reached(message.msg_id) == set(range(5))
+    assert net.dropped_count >= 1
+
+
+def test_origin_at_malicious_node_stalls():
+    # All-but-origin malicious ring: nothing propagates beyond direct sends.
+    env, net, overlay = build_overlay(4, malicious_ids={0})
+    message = gossip_msg(0)
+    overlay.publish(0, message)
+    env.run()
+    assert overlay.reached(message.msg_id) == {0}
+
+
+def test_duplicate_publication_is_deduplicated():
+    env, net, overlay = build_overlay(4)
+    message = gossip_msg(0)
+    overlay.publish(0, message)
+    env.run()
+    sent_before = net.meter.total_bytes
+    overlay.publish(0, message)  # same msg_id again
+    env.run()
+    assert net.meter.total_bytes == sent_before
+
+
+def test_on_deliver_handler_fires_once_per_node():
+    env, net, overlay = build_overlay(5)
+    deliveries = []
+    for node_id in range(5):
+        overlay.on_deliver(node_id, lambda m, nid=node_id: deliveries.append(nid))
+    message = gossip_msg(2)
+    overlay.publish(2, message)
+    env.run()
+    assert sorted(deliveries) == [0, 1, 2, 3, 4]
+
+
+def test_neighbors_requires_membership():
+    env, net, overlay = build_overlay(3)
+    with pytest.raises(NetworkError):
+        overlay.neighbors(99)
+    with pytest.raises(NetworkError):
+        overlay.publish(99, gossip_msg(0))
+
+
+def test_single_member_overlay():
+    env, net, overlay = build_overlay(1)
+    message = gossip_msg(0)
+    overlay.publish(0, message)
+    env.run()
+    assert overlay.reached(message.msg_id) == {0}
+
+
+def test_fault_profile_honest_never_drops():
+    profile = FaultProfile.honest()
+    assert not any(profile.should_drop_forward() for _ in range(50))
+    assert profile.serves_body()
+
+
+def test_fault_profile_byzantine_storage():
+    profile = FaultProfile.byzantine_storage()
+    assert profile.should_drop_forward()
+    assert not profile.serves_body()
+
+
+def test_fault_profile_partial_drop_probability():
+    profile = FaultProfile(malicious=True, drop_routed_messages=True, drop_probability=0.5)
+    profile._rng.seed(42)
+    outcomes = [profile.should_drop_forward() for _ in range(400)]
+    assert 120 < sum(outcomes) < 280
+
+
+def test_fault_profile_byzantine_stateless_serves_bodies():
+    profile = FaultProfile.byzantine_stateless()
+    assert profile.equivocate
+    assert profile.serves_body()

@@ -1,0 +1,141 @@
+"""Unit tests for messages, endpoints and the transfer engine."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.endpoint import Endpoint
+from repro.net.message import ENVELOPE_OVERHEAD, Message
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+def make_net(num_nodes=2, bandwidth=1_000_000, latency=0.0005):
+    env = Environment()
+    net = Network(env, latency_s=latency)
+    for node_id in range(num_nodes):
+        net.register(Endpoint(env, node_id, uplink_bps=bandwidth, downlink_bps=bandwidth))
+    return env, net
+
+
+def msg(sender=0, recipient=1, body=1000, phase="other"):
+    return Message(sender=sender, recipient=recipient, msg_type="test",
+                   payload=None, body_bytes=body, phase=phase)
+
+
+def test_message_size_includes_envelope():
+    assert msg(body=100).size_bytes == 100 + ENVELOPE_OVERHEAD
+
+
+def test_message_negative_body_rejected():
+    with pytest.raises(NetworkError):
+        msg(body=-1)
+
+
+def test_forwarded_message_keeps_id_and_payload():
+    original = msg()
+    hop = original.forwarded_to(sender=5, recipient=6)
+    assert hop.msg_id == original.msg_id
+    assert hop.sender == 5 and hop.recipient == 6
+    assert hop.body_bytes == original.body_bytes
+
+
+def test_duplicate_registration_rejected():
+    env, net = make_net()
+    with pytest.raises(NetworkError):
+        net.register(Endpoint(env, 0))
+
+
+def test_unknown_endpoint_rejected():
+    _, net = make_net()
+    with pytest.raises(NetworkError):
+        net.endpoint(99)
+
+
+def test_delivery_lands_in_inbox():
+    env, net = make_net()
+    net.send(msg(body=1000))
+    env.run()
+    inbox = net.endpoint(1).inbox
+    assert len(inbox) == 1
+    assert inbox.items[0].body_bytes == 1000
+
+
+def test_transfer_time_matches_bandwidth_and_latency():
+    # 1 MB/s both ends, 0.5 ms latency, ~1 KB message:
+    env, net = make_net(bandwidth=1_000_000, latency=0.0005)
+    received_at = []
+
+    def consumer(env, inbox):
+        yield inbox.get()
+        received_at.append(env.now)
+
+    env.process(consumer(env, net.endpoint(1).inbox))
+    net.send(msg(body=1000 - ENVELOPE_OVERHEAD))
+    env.run()
+    expected = 0.001 + 0.0005 + 0.001  # up + latency + down
+    assert received_at[0] == pytest.approx(expected, rel=1e-6)
+
+
+def test_uplink_serializes_back_to_back_sends():
+    env, net = make_net(num_nodes=3, bandwidth=1_000_000, latency=0.0)
+    arrivals = {}
+
+    def consumer(env, node_id):
+        yield net.endpoint(node_id).inbox.get()
+        arrivals[node_id] = env.now
+
+    env.process(consumer(env, 1))
+    env.process(consumer(env, 2))
+    size = 10_000
+    net.send(msg(recipient=1, body=size - ENVELOPE_OVERHEAD))
+    net.send(msg(recipient=2, body=size - ENVELOPE_OVERHEAD))
+    env.run()
+    # Second message waits for the first on node 0's uplink.
+    assert arrivals[2] == pytest.approx(arrivals[1] + size / 1_000_000, rel=1e-6)
+
+
+def test_meter_accounts_both_directions_and_phases():
+    env, net = make_net()
+    net.send(msg(body=500, phase="witness"))
+    net.send(msg(body=300, phase="execution"))
+    env.run()
+    by_phase = net.meter.bytes_by_phase()
+    size_witness = 500 + ENVELOPE_OVERHEAD
+    size_exec = 300 + ENVELOPE_OVERHEAD
+    assert by_phase["witness"] == 2 * size_witness  # up + down
+    assert by_phase["execution"] == 2 * size_exec
+    assert net.meter.bytes_for_node(0, "witness") == size_witness
+    assert net.meter.bytes_for_node(1) == size_witness + size_exec
+    assert net.meter.total_bytes == 2 * (size_witness + size_exec)
+
+
+def test_send_many_returns_delivery_events():
+    env, net = make_net()
+    events = net.send_many([msg(body=10), msg(body=20)])
+    env.run()
+    assert all(event.processed and event.ok for event in events)
+    assert len(net.endpoint(1).inbox) == 2
+
+
+def test_asymmetric_bandwidth_uses_slower_receiver():
+    env = Environment()
+    net = Network(env, latency_s=0.0)
+    net.register(Endpoint(env, 0, uplink_bps=10_000_000, downlink_bps=10_000_000))
+    net.register(Endpoint(env, 1, uplink_bps=1_000, downlink_bps=1_000))
+    received_at = []
+
+    def consumer(env, inbox):
+        yield inbox.get()
+        received_at.append(env.now)
+
+    env.process(consumer(env, net.endpoint(1).inbox))
+    net.send(msg(body=1000 - ENVELOPE_OVERHEAD))
+    env.run()
+    # Downlink at 1 KB/s dominates: ~1 second.
+    assert received_at[0] == pytest.approx(1000 / 10_000_000 + 1.0, rel=1e-3)
+
+
+def test_endpoint_bad_bandwidth_rejected():
+    env = Environment()
+    with pytest.raises(NetworkError):
+        Endpoint(env, 0, uplink_bps=0)

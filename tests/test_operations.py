@@ -1,0 +1,169 @@
+"""Tests for generalized operations: batch payments and sweeps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.account import Account
+from repro.chain.operations import TxKind
+from repro.chain.transaction import Transaction
+from repro.core.auditor import ChainAuditor
+from repro.errors import ChainError
+from repro.state.executor import FailureReason, TransactionExecutor
+from repro.state.view import StateView
+from tests.test_core_integration import make_sim
+
+
+def funded_view(balances):
+    return StateView({aid: Account(aid, balance=bal) for aid, bal in balances.items()})
+
+
+class TestBatchPayConstruction:
+    def test_factory_sets_kind_total_and_access_list(self):
+        tx = Transaction.batch_pay(0, [(2, 10), (4, 5), (1, 3)], nonce=0)
+        assert tx.kind is TxKind.BATCH_PAY
+        assert tx.amount == 18
+        assert tx.access_list.touched == {0, 1, 2, 4}
+
+    def test_empty_payments_rejected(self):
+        with pytest.raises(ChainError):
+            Transaction.batch_pay(0, [], nonce=0)
+
+    def test_negative_payment_rejected(self):
+        with pytest.raises(ChainError):
+            Transaction.batch_pay(0, [(2, -1)], nonce=0)
+
+    def test_self_payment_rejected(self):
+        with pytest.raises(ChainError):
+            Transaction.batch_pay(0, [(0, 5)], nonce=0)
+
+    def test_multi_shard_detection(self):
+        tx = Transaction.batch_pay(0, [(1, 1), (2, 1), (3, 1)], nonce=0)
+        assert tx.shards(4) == {0, 1, 2, 3}
+        assert tx.is_cross_shard(4)
+
+    def test_hash_depends_on_payload(self):
+        a = Transaction.batch_pay(0, [(2, 10)], nonce=0)
+        b = Transaction.batch_pay(0, [(2, 11)], nonce=0)
+        assert a.tx_hash != b.tx_hash
+
+    def test_size_grows_with_payload(self):
+        small = Transaction.batch_pay(0, [(2, 1)], nonce=0)
+        large = Transaction.batch_pay(0, [(2, 1), (4, 1), (6, 1)], nonce=0)
+        assert large.size_bytes > small.size_bytes
+
+
+class TestBatchPayExecution:
+    def test_all_receivers_credited(self):
+        view = funded_view({0: 100})
+        tx = Transaction.batch_pay(0, [(2, 10), (4, 5)], nonce=0)
+        outcome = TransactionExecutor().execute([tx], view)
+        assert outcome.applied == [tx]
+        assert view.get(0).balance == 85
+        assert view.get(2).balance == 10
+        assert view.get(4).balance == 5
+
+    def test_atomic_on_insufficient_balance(self):
+        view = funded_view({0: 10})
+        tx = Transaction.batch_pay(0, [(2, 8), (4, 8)], nonce=0)
+        outcome = TransactionExecutor().execute([tx], view)
+        assert outcome.failed[0][1] == FailureReason.INSUFFICIENT_BALANCE
+        assert view.get(2).balance == 0
+        assert view.get(4).balance == 0
+        assert view.get(0).balance == 10
+
+    def test_duplicate_receiver_accumulates(self):
+        view = funded_view({0: 100})
+        tx = Transaction.batch_pay(0, [(2, 10), (2, 5)], nonce=0)
+        TransactionExecutor().execute([tx], view)
+        assert view.get(2).balance == 15
+
+
+class TestSweep:
+    def test_sweep_moves_everything_above_floor(self):
+        view = funded_view({0: 120})
+        tx = Transaction.sweep(0, 2, min_keep=20, nonce=0)
+        outcome = TransactionExecutor().execute([tx], view)
+        assert outcome.applied == [tx]
+        assert view.get(0).balance == 20
+        assert view.get(2).balance == 100
+
+    def test_sweep_below_floor_fails(self):
+        view = funded_view({0: 5})
+        tx = Transaction.sweep(0, 2, min_keep=20, nonce=0)
+        outcome = TransactionExecutor().execute([tx], view)
+        assert outcome.failed[0][1] == FailureReason.INSUFFICIENT_BALANCE
+
+    def test_sweep_amount_is_state_dependent_but_deterministic(self):
+        results = []
+        for _ in range(2):
+            view = funded_view({0: 77})
+            tx = Transaction.sweep(0, 2, min_keep=7, nonce=0)
+            TransactionExecutor().execute([tx], view)
+            results.append(view.written_encoded())
+        assert results[0] == results[1]
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ChainError):
+            Transaction.sweep(0, 2, min_keep=-1, nonce=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=6),
+                  st.integers(min_value=0, max_value=40)),
+        min_size=1, max_size=5,
+    )
+)
+def test_property_batch_pay_conserves_money(payments):
+    view = funded_view({0: 200})
+    tx = Transaction.batch_pay(0, payments, nonce=0)
+    TransactionExecutor().execute([tx], view)
+    total = view.get(0).balance + sum(
+        view.get(aid).balance for aid in {rcv for rcv, _ in payments}
+    )
+    assert total == 200
+
+
+class TestOperationsThroughPipeline:
+    def test_batch_pay_across_three_shards_commits_atomically(self):
+        """A single CTx touching 3 shards: the coordinator's U list
+        routes per-owner updates to every involved shard."""
+        sim = make_sim(num_shards=4, nodes_per_shard=4, ordering_size=4,
+                       stateless_population=60)
+        sim.fund_accounts([0], 100)
+        tx = Transaction.batch_pay(0, [(1, 10), (2, 20), (3, 30)], nonce=0)
+        sim.submit([tx])
+        sim.run(num_rounds=10)
+        assert sim.hub.state.get_account(0).balance == 40
+        assert sim.hub.state.get_account(1).balance == 10
+        assert sim.hub.state.get_account(2).balance == 20
+        assert sim.hub.state.get_account(3).balance == 30
+        assert sim.tracker.commits_by_kind()["cross"] == 1
+
+    def test_sweep_through_pipeline(self):
+        sim = make_sim()
+        sim.fund_accounts([0], 500)
+        tx = Transaction.sweep(0, 2, min_keep=50, nonce=0)  # intra shard 0
+        sim.submit([tx])
+        sim.run(num_rounds=7)
+        assert sim.hub.state.get_account(0).balance == 50
+        assert sim.hub.state.get_account(2).balance == 450
+
+    def test_mixed_operations_chain_audits_clean(self):
+        sim = make_sim(num_shards=4, nodes_per_shard=4, ordering_size=4,
+                       stateless_population=60)
+        genesis = {0: 100, 4: 300, 8: 50}
+        for account_id, balance in genesis.items():
+            sim.fund_accounts([account_id], balance)
+        sim.submit([
+            Transaction.batch_pay(0, [(1, 10), (2, 20)], nonce=0),
+            Transaction.sweep(4, 12, min_keep=100, nonce=0),  # intra shard 0
+            Transaction(sender=8, receiver=16, amount=5, nonce=0),
+        ])
+        sim.run(num_rounds=10)
+        auditor = ChainAuditor(sim.backend, 4, sim.config.smt_depth)
+        report = auditor.audit(sim.hub, genesis)
+        assert report.ok, report.problems
+        assert sim.hub.state.total_balance() == 450

@@ -1,0 +1,142 @@
+"""Tests for the mesoscale performance models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfmodel import (
+    MesoParams,
+    MesoscaleBlockene,
+    MesoscaleByShard,
+    MesoscalePorygon,
+    committee_success_probability,
+    survival_probability,
+)
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MesoParams(num_shards=0)
+        with pytest.raises(ConfigError):
+            MesoParams(cross_shard_ratio=1.5)
+        with pytest.raises(ConfigError):
+            MesoParams(mean_stay_s=0)
+
+    def test_total_nodes(self):
+        params = MesoParams(num_shards=10, nodes_per_shard=2000, ordering_size=2000)
+        assert params.total_nodes == 22_000
+
+    def test_cross_ratio_shrinks_capacity(self):
+        base = MesoParams(cross_shard_ratio=0.0).witness_capacity_txs
+        loaded = MesoParams(cross_shard_ratio=1.0).witness_capacity_txs
+        assert loaded < base
+
+
+class TestPorygonModel:
+    def test_throughput_scales_with_shards(self):
+        tps = [
+            MesoscalePorygon(MesoParams(num_shards=s)).run(20).throughput_tps
+            for s in (10, 30, 50)
+        ]
+        assert tps[0] < tps[1] < tps[2]
+        # Near-linear: 5x shards -> > 4x throughput (paper: 4.7x).
+        assert tps[2] > 4 * tps[0]
+
+    def test_latency_grows_slightly_with_shards(self):
+        lat10 = MesoscalePorygon(MesoParams(num_shards=10)).run(20).block_latency_s
+        lat50 = MesoscalePorygon(MesoParams(num_shards=50)).run(20).block_latency_s
+        assert lat10 < lat50 < lat10 * 1.15
+
+    def test_matches_paper_ballpark_at_10_shards(self):
+        report = MesoscalePorygon(MesoParams(num_shards=10)).run(30)
+        assert 6_000 < report.throughput_tps < 11_000  # paper: 8,310
+        assert 7.0 < report.block_latency_s < 9.0      # paper: 7.8
+
+    def test_pipelining_off_is_slower(self):
+        # Saturating demand: the ablation (Figure 7(d)) is about
+        # capacity, so capacity must bind, not offered load.
+        saturated = dict(num_shards=10, demand_tps_per_shard=50_000)
+        on = MesoscalePorygon(MesoParams(**saturated)).run(20)
+        off = MesoscalePorygon(MesoParams(pipelining=False, **saturated)).run(20)
+        assert off.block_latency_s > on.block_latency_s
+        assert off.throughput_tps < on.throughput_tps
+
+    def test_cross_ratio_reduces_tps_increases_latency(self):
+        def run(ratio):
+            params = MesoParams(num_shards=10, cross_shard_ratio=ratio,
+                                demand_tps_per_shard=5000, witness_window_s=1.08)
+            return MesoscalePorygon(params).run(30)
+
+        low, high = run(0.5), run(1.0)
+        assert high.throughput_tps < low.throughput_tps
+        assert high.block_latency_s > low.block_latency_s
+        # Paper's drop is mild: ~4%.
+        assert high.throughput_tps > 0.9 * low.throughput_tps
+
+    def test_churn_can_zero_throughput(self):
+        harsh = MesoscalePorygon(MesoParams(num_shards=10, mean_stay_s=5.0)).run(20)
+        assert harsh.throughput_tps == 0.0
+        assert harsh.empty_rounds == 20
+
+    def test_no_churn_no_empty_rounds(self):
+        report = MesoscalePorygon(MesoParams(num_shards=10)).run(20)
+        assert report.empty_rounds == 0
+
+    def test_deterministic_per_seed(self):
+        a = MesoscalePorygon(MesoParams(num_shards=10, seed=5)).run(10)
+        b = MesoscalePorygon(MesoParams(num_shards=10, seed=5)).run(10)
+        assert a.throughput_tps == b.throughput_tps
+
+
+class TestBaselines:
+    def test_blockene_flat_regardless_of_network_size(self):
+        small = MesoscaleBlockene(MesoParams(num_shards=1, nodes_per_shard=100)).run(20)
+        large = MesoscaleBlockene(MesoParams(num_shards=1, nodes_per_shard=5000)).run(20)
+        assert small.throughput_tps == pytest.approx(large.throughput_tps, rel=0.05)
+        assert 500 < small.throughput_tps < 1100  # paper: ~750
+
+    def test_byshard_scales_but_slower_than_porygon(self):
+        params10 = MesoParams(num_shards=10)
+        porygon = MesoscalePorygon(params10).run(20)
+        byshard = MesoscaleByShard(params10).run(20)
+        assert byshard.throughput_tps < porygon.throughput_tps
+        # Paper: Porygon ~2.3x the sharding baseline.
+        assert porygon.throughput_tps > 1.5 * byshard.throughput_tps
+        byshard30 = MesoscaleByShard(MesoParams(num_shards=30)).run(20)
+        assert byshard30.throughput_tps > 2 * byshard.throughput_tps
+
+    def test_byshard_storage_grows(self):
+        model = MesoscaleByShard(MesoParams(num_shards=10))
+        assert model.full_node_storage_bytes(100) > model.full_node_storage_bytes(10)
+
+    def test_blockene_fragile_under_churn_where_porygon_robust(self):
+        """Figure 8(d): at moderate stay times Porygon keeps committing
+        while Blockene's 50-block committee cycle collapses."""
+        stay = 120.0
+        porygon = MesoscalePorygon(MesoParams(num_shards=10, mean_stay_s=stay)).run(30)
+        blockene = MesoscaleBlockene(MesoParams(num_shards=1, mean_stay_s=stay)).run(30)
+        assert porygon.throughput_tps > 0
+        assert blockene.throughput_tps == 0.0
+
+
+class TestChurnMath:
+    def test_survival_probability_bounds(self):
+        assert survival_probability(0, 100) == 1.0
+        assert survival_probability(100, 100) == pytest.approx(0.3679, rel=1e-3)
+        with pytest.raises(ConfigError):
+            survival_probability(10, 0)
+        with pytest.raises(ConfigError):
+            survival_probability(-1, 10)
+
+    def test_committee_success_monotone_in_stay(self):
+        probs = [
+            committee_success_probability(2000, service_s=30, mean_stay_s=stay)
+            for stay in (20, 50, 100, 500)
+        ]
+        assert probs == sorted(probs)
+        assert probs[0] < 1e-6
+        assert probs[-1] > 0.999
+
+    def test_committee_success_validation(self):
+        with pytest.raises(ConfigError):
+            committee_success_probability(0, 10, 10)

@@ -1,0 +1,289 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+from repro.sim.events import ConditionValue
+from repro.sim.process import Interrupt
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.5)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 2.5
+    assert env.now == 2.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_timeouts_fire_in_order():
+    env = Environment()
+    order = []
+
+    def proc(env, delay, label):
+        yield env.timeout(delay)
+        order.append(label)
+
+    env.process(proc(env, 3.0, "c"))
+    env.process(proc(env, 1.0, "a"))
+    env.process(proc(env, 2.0, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, label):
+        yield env.timeout(1.0)
+        order.append(label)
+
+    for label in ("first", "second", "third"):
+        env.process(proc(env, label))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_process_return_value_propagates_to_parent():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 42
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return result + 1
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == 43
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    evt = env.event()
+    seen = []
+
+    def waiter(env):
+        value = yield evt
+        seen.append((env.now, value))
+
+    def trigger(env):
+        yield env.timeout(4.0)
+        evt.succeed("payload")
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert seen == [(4.0, "payload")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    evt = env.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    evt = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield evt
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    evt.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failure_surfaces():
+    env = Environment()
+    evt = env.event()
+    evt.fail(RuntimeError("nobody catches me"))
+    with pytest.raises(RuntimeError, match="nobody catches me"):
+        env.run()
+
+
+def test_process_exception_fails_parent():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise KeyError("oops")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except KeyError:
+            return "handled"
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "handled"
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad(env):
+        yield 7
+
+    p = env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+    assert p.triggered and not p.ok
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=3.5)
+    assert env.now == 3.5
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_all_of_waits_for_every_member():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        result = yield env.all_of([t1, t2])
+        return env.now, result.values()
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (3.0, ["a", "b"])
+
+
+def test_any_of_fires_on_first_member():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(9.0, value="slow")
+        result = yield env.any_of([t1, t2])
+        return env.now, result.values()
+
+    p = env.process(proc(env))
+    env.run(until=20.0)
+    assert p.value == (1.0, ["fast"])
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield env.all_of([])
+        return len(result)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0
+
+
+def test_condition_value_mapping():
+    env = Environment()
+    t1 = env.timeout(0, value=1)
+    cv = ConditionValue([t1])
+    env.run()
+    assert cv[t1] == 1
+    assert t1 in cv
+    with pytest.raises(KeyError):
+        cv[env.event()]
+
+
+def test_interrupt_reaches_waiting_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt(cause="reconfigure")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(2.0, "reconfigure")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7.0)
+    assert env.peek() == 0.0 or env.peek() == 7.0  # Timeout schedules at +7
+
+
+def test_step_with_empty_queue_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()

@@ -1,0 +1,170 @@
+"""Unit tests for stores, priority stores and resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource
+from repro.sim.store import PriorityItem
+
+
+def test_store_fifo_order():
+    env = Environment()
+    box = env.store()
+    received = []
+
+    def consumer(env, box):
+        for _ in range(3):
+            item = yield box.get()
+            received.append(item)
+
+    env.process(consumer(env, box))
+    box.put("a")
+    box.put("b")
+    box.put("c")
+    env.run()
+    assert received == ["a", "b", "c"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    box = env.store()
+    arrival = []
+
+    def consumer(env, box):
+        item = yield box.get()
+        arrival.append((env.now, item))
+
+    def producer(env, box):
+        yield env.timeout(5.0)
+        box.put("late")
+
+    env.process(consumer(env, box))
+    env.process(producer(env, box))
+    env.run()
+    assert arrival == [(5.0, "late")]
+
+
+def test_store_len_and_items():
+    env = Environment()
+    box = env.store()
+    box.put(1)
+    box.put(2)
+    assert len(box) == 2
+    assert box.items == [1, 2]
+
+
+def test_multiple_getters_served_fifo():
+    env = Environment()
+    box = env.store()
+    got = {}
+
+    def consumer(env, box, name):
+        item = yield box.get()
+        got[name] = item
+
+    env.process(consumer(env, box, "first"))
+    env.process(consumer(env, box, "second"))
+
+    def producer(env, box):
+        yield env.timeout(1.0)
+        box.put("x")
+        box.put("y")
+
+    env.process(producer(env, box))
+    env.run()
+    assert got == {"first": "x", "second": "y"}
+
+
+def test_priority_store_orders_items():
+    env = Environment()
+    box = env.priority_store()
+    received = []
+
+    def consumer(env, box):
+        for _ in range(3):
+            item = yield box.get()
+            received.append(item)
+
+    box.put((3, "low"))
+    box.put((1, "high"))
+    box.put((2, "mid"))
+    env.process(consumer(env, box))
+    env.run()
+    assert received == [(1, "high"), (2, "mid"), (3, "low")]
+
+
+def test_priority_item_wraps_unorderable_payloads():
+    a = PriorityItem(1, {"payload": "a"})
+    b = PriorityItem(2, {"payload": "b"})
+    assert a < b
+    assert a == PriorityItem(1, {"payload": "a"})
+    assert "PriorityItem" in repr(a)
+
+
+def test_resource_serializes_access():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    timeline = []
+
+    def worker(env, resource, name, hold):
+        req = resource.request()
+        yield req
+        timeline.append((env.now, name, "acquired"))
+        yield env.timeout(hold)
+        resource.release(req)
+        timeline.append((env.now, name, "released"))
+
+    env.process(worker(env, resource, "w1", 2.0))
+    env.process(worker(env, resource, "w2", 1.0))
+    env.run()
+    assert timeline == [
+        (0.0, "w1", "acquired"),
+        (2.0, "w1", "released"),
+        (2.0, "w2", "acquired"),
+        (3.0, "w2", "released"),
+    ]
+
+
+def test_resource_capacity_two_allows_parallel_holders():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    acquired_at = {}
+
+    def worker(env, resource, name):
+        req = resource.request()
+        yield req
+        acquired_at[name] = env.now
+        yield env.timeout(1.0)
+        resource.release(req)
+
+    for name in ("a", "b", "c"):
+        env.process(worker(env, resource, name))
+    env.run()
+    assert acquired_at["a"] == 0.0
+    assert acquired_at["b"] == 0.0
+    assert acquired_at["c"] == 1.0
+
+
+def test_resource_release_of_waiting_request_cancels_it():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    holder = resource.request()
+    waiter = resource.request()
+    assert resource.queue_length == 1
+    resource.release(waiter)  # cancel before grant
+    assert resource.queue_length == 0
+    resource.release(holder)
+    assert resource.count == 0
+
+
+def test_resource_invalid_release_rejected():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release(env.event())
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)

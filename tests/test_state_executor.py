@@ -1,0 +1,130 @@
+"""Unit + property tests for the deterministic transaction executor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.account import Account
+from repro.chain.transaction import Transaction
+from repro.state.executor import FailureReason, TransactionExecutor
+from repro.state.view import StateView
+
+
+def funded_view(balances):
+    return StateView({aid: Account(aid, balance=bal) for aid, bal in balances.items()})
+
+
+def test_successful_transfer():
+    view = funded_view({1: 100})
+    tx = Transaction(sender=1, receiver=2, amount=30, nonce=0)
+    outcome = TransactionExecutor().execute([tx], view)
+    assert outcome.applied == [tx]
+    assert view.get(1).balance == 70
+    assert view.get(1).nonce == 1
+    assert view.get(2).balance == 30
+
+
+def test_insufficient_balance_fails_without_side_effects():
+    view = funded_view({1: 10})
+    tx = Transaction(sender=1, receiver=2, amount=30, nonce=0)
+    outcome = TransactionExecutor().execute([tx], view)
+    assert outcome.failed == [(tx, FailureReason.INSUFFICIENT_BALANCE)]
+    assert view.get(1).balance == 10
+    assert view.get(1).nonce == 0
+    assert view.get(2).balance == 0
+
+
+def test_bad_nonce_rejected():
+    view = funded_view({1: 100})
+    tx = Transaction(sender=1, receiver=2, amount=1, nonce=5)
+    outcome = TransactionExecutor().execute([tx], view)
+    assert outcome.failed[0][1] == FailureReason.BAD_NONCE
+
+
+def test_duplicate_transaction_rejected_by_nonce():
+    view = funded_view({1: 100})
+    tx = Transaction(sender=1, receiver=2, amount=10, nonce=0)
+    outcome = TransactionExecutor().execute([tx, tx], view)
+    assert outcome.applied_count == 1
+    assert outcome.failed[0][1] == FailureReason.BAD_NONCE
+    assert view.get(2).balance == 10
+
+
+def test_double_spend_second_tx_fails():
+    view = funded_view({1: 100})
+    tx_a = Transaction(sender=1, receiver=2, amount=80, nonce=0)
+    tx_b = Transaction(sender=1, receiver=3, amount=80, nonce=1)
+    outcome = TransactionExecutor().execute([tx_a, tx_b], view)
+    assert outcome.applied == [tx_a]
+    assert outcome.failed[0][1] == FailureReason.INSUFFICIENT_BALANCE
+
+
+def test_sequential_nonces_apply():
+    view = funded_view({1: 100})
+    txs = [Transaction(sender=1, receiver=2, amount=10, nonce=n) for n in range(3)]
+    outcome = TransactionExecutor().execute(txs, view)
+    assert outcome.applied_count == 3
+    assert view.get(1).nonce == 3
+    assert view.get(2).balance == 30
+
+
+def test_self_transfer_preserves_balance_bumps_nonce():
+    view = funded_view({1: 50})
+    tx = Transaction(sender=1, receiver=1, amount=20, nonce=0)
+    outcome = TransactionExecutor().execute([tx], view)
+    assert outcome.applied_count == 1
+    assert view.get(1).balance == 50
+    assert view.get(1).nonce == 1
+
+
+def test_failed_tx_ids_recorded_for_integrity():
+    view = funded_view({1: 0})
+    tx = Transaction(sender=1, receiver=2, amount=5, nonce=0)
+    outcome = TransactionExecutor().execute([tx], view)
+    assert outcome.failed_tx_ids == (tx.tx_id,)
+
+
+def test_execution_is_deterministic_across_views():
+    txs = [Transaction(sender=1, receiver=2, amount=10, nonce=0),
+           Transaction(sender=2, receiver=3, amount=5, nonce=0)]
+    results = []
+    for _ in range(2):
+        view = funded_view({1: 100, 2: 0})
+        TransactionExecutor().execute(txs, view)
+        results.append(view.written_encoded())
+    assert results[0] == results[1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),  # sender
+            st.integers(min_value=0, max_value=4),  # receiver
+            st.integers(min_value=0, max_value=120),  # amount
+        ),
+        max_size=25,
+    )
+)
+def test_property_balance_conserved_and_non_negative(transfers):
+    """Total balance is invariant; no account ever goes negative."""
+    view = funded_view({aid: 100 for aid in range(5)})
+    nonces = {aid: 0 for aid in range(5)}
+    txs = []
+    for sender, receiver, amount in transfers:
+        txs.append(Transaction(sender=sender, receiver=receiver, amount=amount,
+                               nonce=nonces[sender]))
+        nonces[sender] += 1  # optimistic; failures burn no nonce
+    TransactionExecutor().execute(txs, view)
+    balances = [view.get(aid).balance for aid in range(5)]
+    assert all(bal >= 0 for bal in balances)
+    assert sum(balances) == 500
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=15))
+def test_property_applied_plus_failed_equals_input(amounts):
+    view = funded_view({1: 100})
+    txs = [Transaction(sender=1, receiver=2, amount=a, nonce=i)
+           for i, a in enumerate(amounts)]
+    outcome = TransactionExecutor().execute(txs, view)
+    assert outcome.applied_count + len(outcome.failed) == len(txs)

@@ -1,0 +1,137 @@
+"""Unit tests for ShardState and ShardedGlobalState."""
+
+import pytest
+
+from repro.chain.account import Account
+from repro.errors import StateError
+from repro.state.global_state import ShardedGlobalState, aggregate_root
+from repro.state.shard_state import ShardState
+
+
+def test_shard_state_rejects_foreign_account():
+    shard = ShardState(0, num_shards=2, depth=16)
+    with pytest.raises(StateError):
+        shard.put_account(Account(1, balance=5))  # account 1 -> shard 1
+
+
+def test_shard_state_owns():
+    shard = ShardState(1, num_shards=4, depth=16)
+    assert shard.owns(5)
+    assert not shard.owns(4)
+
+
+def test_put_changes_root():
+    shard = ShardState(0, num_shards=2, depth=16)
+    empty = shard.root
+    shard.put_account(Account(0, balance=5))
+    assert shard.root != empty
+
+
+def test_root_reflects_value_not_history():
+    shard_a = ShardState(0, num_shards=2, depth=16)
+    shard_b = ShardState(0, num_shards=2, depth=16)
+    shard_a.put_account(Account(0, balance=1))
+    shard_a.put_account(Account(0, balance=5))
+    shard_b.put_account(Account(0, balance=5))
+    assert shard_a.root == shard_b.root
+
+
+def test_apply_updates_direct_kv():
+    shard = ShardState(0, num_shards=2, depth=16)
+    updated = Account(2, balance=77, nonce=1)
+    root = shard.apply_updates([(2, updated.encode())])
+    assert shard.get_account(2).balance == 77
+    assert root == shard.root
+
+
+def test_apply_updates_mismatched_encoding_rejected():
+    shard = ShardState(0, num_shards=2, depth=16)
+    with pytest.raises(StateError):
+        shard.apply_updates([(2, Account(4, balance=1).encode())])
+
+
+def test_prove_and_verify_account():
+    shard = ShardState(0, num_shards=2, depth=16)
+    shard.put_account(Account(4, balance=9))
+    proof = shard.prove(4)
+    assert shard.verify_account(4, proof, shard.root)
+    # Non-inclusion for an account never written:
+    missing_proof = shard.prove(6)
+    assert shard.verify_account(6, missing_proof, shard.root)
+
+
+def test_checkpoint_rollback_restores_root_and_values():
+    shard = ShardState(0, num_shards=2, depth=16)
+    shard.put_account(Account(0, balance=10))
+    root_before = shard.root
+    shard.checkpoint(5)
+    shard.put_account(Account(0, balance=0))
+    shard.put_account(Account(2, balance=10))
+    assert shard.root != root_before
+    restored_root = shard.rollback(5)
+    assert restored_root == root_before
+    assert shard.get_account(0).balance == 10
+    assert shard.get_account(2).balance == 0
+
+
+def test_rollback_unknown_round_rejected():
+    shard = ShardState(0, num_shards=2, depth=16)
+    with pytest.raises(StateError):
+        shard.rollback(3)
+
+
+def test_prune_checkpoints():
+    shard = ShardState(0, num_shards=2, depth=16)
+    for rnd in (1, 2, 3):
+        shard.checkpoint(rnd)
+    shard.prune_checkpoints(before_round=3)
+    assert shard.checkpoint_rounds == [3]
+
+
+def test_global_state_routes_accounts():
+    state = ShardedGlobalState(num_shards=4, depth=16)
+    state.put_account(Account(6, balance=3))
+    assert state.shards[2].get_account(6).balance == 3
+    assert state.get_account(6).balance == 3
+
+
+def test_global_root_aggregates_shard_roots():
+    state = ShardedGlobalState(num_shards=2, depth=16)
+    assert state.root == aggregate_root(state.shard_roots)
+    before = state.root
+    state.credit(1, 10)
+    assert state.root != before
+
+
+def test_global_total_balance():
+    state = ShardedGlobalState(num_shards=3, depth=16)
+    state.credit(0, 5)
+    state.credit(1, 7)
+    state.credit(2, 11)
+    assert state.total_balance() == 23
+
+
+def test_global_checkpoint_rollback():
+    state = ShardedGlobalState(num_shards=2, depth=16)
+    state.credit(0, 10)
+    root_before = state.root
+    state.checkpoint(1)
+    state.credit(1, 99)
+    assert state.rollback(1) == root_before
+
+
+def test_global_copy_is_deep():
+    state = ShardedGlobalState(num_shards=2, depth=16)
+    state.credit(0, 10)
+    clone = state.copy()
+    clone.credit(0, 5)
+    assert state.get_account(0).balance == 10
+    assert clone.get_account(0).balance == 15
+    assert state.root != clone.root
+
+
+def test_invalid_shard_count():
+    with pytest.raises(StateError):
+        ShardedGlobalState(num_shards=0)
+    with pytest.raises(StateError):
+        ShardState(2, num_shards=2)

@@ -1,0 +1,116 @@
+"""Unit tests for AccountStore and StateView."""
+
+import pytest
+
+from repro.chain.account import Account
+from repro.errors import StateError
+from repro.state.store import AccountStore
+from repro.state.view import StateView
+
+
+def test_store_unknown_account_reads_as_zero():
+    store = AccountStore()
+    acct = store.get(7)
+    assert acct.balance == 0 and acct.nonce == 0
+    assert 7 not in store
+
+
+def test_store_put_materializes():
+    store = AccountStore()
+    store.put(Account(7, balance=5))
+    assert 7 in store
+    assert store.get(7).balance == 5
+    assert len(store) == 1
+
+
+def test_store_credit():
+    store = AccountStore()
+    store.credit(1, 100)
+    store.credit(1, 50)
+    assert store.get(1).balance == 150
+
+
+def test_store_credit_negative_rejected():
+    store = AccountStore()
+    with pytest.raises(StateError):
+        store.credit(1, -1)
+
+
+def test_store_total_balance_and_ids():
+    store = AccountStore()
+    store.credit(3, 10)
+    store.credit(1, 20)
+    assert store.total_balance() == 30
+    assert store.account_ids() == [1, 3]
+
+
+def test_store_snapshot_restore_roundtrip():
+    store = AccountStore()
+    store.credit(1, 10)
+    snap = store.snapshot()
+    store.credit(1, 90)
+    store.credit(2, 5)
+    store.restore(snap)
+    assert store.get(1).balance == 10
+    assert 2 not in store
+
+
+def test_store_snapshot_is_deep():
+    store = AccountStore()
+    store.credit(1, 10)
+    snap = store.snapshot()
+    snap[1].balance = 999
+    assert store.get(1).balance == 10
+
+
+def test_view_reads_through_base():
+    view = StateView({1: Account(1, balance=10)})
+    assert view.get(1).balance == 10
+    assert view.get(2).balance == 0  # absent -> zero account
+
+
+def test_view_key_mismatch_rejected():
+    with pytest.raises(StateError):
+        StateView({2: Account(1)})
+
+
+def test_view_put_overlays_base():
+    view = StateView({1: Account(1, balance=10)})
+    view.put(Account(1, balance=4))
+    assert view.get(1).balance == 4
+    assert view.written[1].balance == 4
+
+
+def test_view_written_encoded_is_sorted():
+    view = StateView()
+    view.put(Account(9, balance=1))
+    view.put(Account(2, balance=1))
+    encoded = view.written_encoded()
+    assert [aid for aid, _ in encoded] == [2, 9]
+    assert Account.decode(encoded[0][1]).account_id == 2
+
+
+def test_view_reset_writes():
+    view = StateView({1: Account(1, balance=10)})
+    view.put(Account(1, balance=0))
+    view.reset_writes()
+    assert view.get(1).balance == 10
+    assert view.written == {}
+
+
+def test_view_load_and_contains():
+    view = StateView()
+    assert 5 not in view
+    view.load(Account(5, balance=3))
+    assert 5 in view
+    assert view.get(5).balance == 3
+
+
+def test_view_copies_do_not_alias():
+    base = Account(1, balance=10)
+    view = StateView({1: base})
+    got = view.get(1)
+    got.balance = 999
+    # Mutating the returned object must not corrupt the view base...
+    # unless put() is called. We only guarantee base isolation on input.
+    assert base.balance == 10

@@ -1,0 +1,92 @@
+"""Unit tests for workload generation."""
+
+import pytest
+
+from repro.chain.account import shard_of
+from repro.errors import WorkloadError
+from repro.workload import WorkloadGenerator
+
+
+def test_generator_validation():
+    with pytest.raises(WorkloadError):
+        WorkloadGenerator(num_accounts=2, num_shards=2)  # too few accounts
+    with pytest.raises(WorkloadError):
+        WorkloadGenerator(num_accounts=100, num_shards=2, cross_shard_ratio=1.5)
+    with pytest.raises(WorkloadError):
+        WorkloadGenerator(num_accounts=100, num_shards=1, cross_shard_ratio=0.5)
+    with pytest.raises(WorkloadError):
+        WorkloadGenerator(num_accounts=100, num_shards=2, zipf_s=-1)
+
+
+def test_nonces_increase_per_sender():
+    gen = WorkloadGenerator(num_accounts=8, num_shards=2, seed=1)
+    txs = gen.batch(100)
+    seen = {}
+    for tx in txs:
+        expected = seen.get(tx.sender, 0)
+        assert tx.nonce == expected
+        seen[tx.sender] = expected + 1
+
+
+def test_zero_ratio_generates_only_intra():
+    gen = WorkloadGenerator(num_accounts=40, num_shards=4, cross_shard_ratio=0.0, seed=2)
+    txs = gen.batch(200)
+    assert gen.observed_cross_ratio(txs) == 0.0
+
+
+def test_full_ratio_generates_only_cross():
+    gen = WorkloadGenerator(num_accounts=40, num_shards=4, cross_shard_ratio=1.0, seed=2)
+    txs = gen.batch(200)
+    assert gen.observed_cross_ratio(txs) == 1.0
+
+
+def test_half_ratio_approximately_honoured():
+    gen = WorkloadGenerator(num_accounts=200, num_shards=4, cross_shard_ratio=0.5, seed=3)
+    txs = gen.batch(1000)
+    assert 0.42 < gen.observed_cross_ratio(txs) < 0.58
+
+
+def test_no_self_transfers():
+    gen = WorkloadGenerator(num_accounts=8, num_shards=2, seed=4)
+    assert all(tx.sender != tx.receiver for tx in gen.batch(200))
+
+
+def test_deterministic_per_seed():
+    def stream(seed):
+        gen = WorkloadGenerator(num_accounts=20, num_shards=2, cross_shard_ratio=0.3,
+                                seed=seed)
+        return [(tx.sender, tx.receiver) for tx in gen.batch(50)]
+
+    assert stream(7) == stream(7)
+    assert stream(7) != stream(8)
+
+
+def test_zipf_skews_toward_low_ranks():
+    gen = WorkloadGenerator(num_accounts=400, num_shards=2, zipf_s=1.2, seed=5)
+    txs = gen.batch(2000)
+    counts = {}
+    for tx in txs:
+        counts[tx.sender] = counts.get(tx.sender, 0) + 1
+    hot = sum(counts.get(aid, 0) for aid in range(20))
+    cold = sum(counts.get(aid, 0) for aid in range(380, 400))
+    assert hot > 3 * max(1, cold)
+
+
+def test_submitted_time_stamped():
+    gen = WorkloadGenerator(num_accounts=8, num_shards=2, seed=1)
+    tx = gen.next_transfer(at_time=42.0)
+    assert tx.submitted_at == 42.0
+
+
+def test_funding_accounts_covers_space():
+    gen = WorkloadGenerator(num_accounts=10, num_shards=2)
+    assert gen.funding_accounts() == list(range(10))
+
+
+def test_transfers_stay_in_declared_shards():
+    gen = WorkloadGenerator(num_accounts=40, num_shards=4, cross_shard_ratio=0.5, seed=6)
+    for tx in gen.batch(300):
+        if tx.is_cross_shard(4):
+            assert shard_of(tx.sender, 4) != shard_of(tx.receiver, 4)
+        else:
+            assert shard_of(tx.sender, 4) == shard_of(tx.receiver, 4)
