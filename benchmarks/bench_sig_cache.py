@@ -1,0 +1,126 @@
+"""Micro-bench: verified-signature cache + batch verification.
+
+Replays the Ordering Committee's validation pattern: a wave of witness
+proofs/execution results is verified once during ordering, then the same
+triples are re-presented (carry-over after an empty round, retry
+re-validation, end-of-run audit). Measures:
+
+* uncached ``verify`` loop vs ``verify_batch`` (first presentation);
+* re-verification of the same wave, where the bounded LRU of verified
+  ``(pk, msg-digest, sig)`` triples turns each check into a dict lookup.
+
+Run as a script (``python benchmarks/bench_sig_cache.py [--smoke]``) or
+under pytest. Prints before/after ops/sec per backend and persists
+``BENCH_sig_cache.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.crypto.backend import get_backend  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_sig_cache.json"
+
+
+def _build_wave(backend, signers: int, messages: int):
+    """Sign ``messages`` block payloads by each of ``signers`` members."""
+    pairs = [backend.generate(b"bench-signer-%d" % i) for i in range(signers)]
+    items = []
+    for m in range(messages):
+        payload = b"witness-payload-%d" % m
+        for pair in pairs:
+            items.append((pair.public_key, payload, pair.sign(payload)))
+    return items
+
+
+def _bench_backend(name: str, signers: int, messages: int) -> dict:
+    backend = get_backend(name)
+    items = _build_wave(backend, signers, messages)
+    total = len(items)
+
+    start = time.perf_counter()
+    plain = [backend.verify(pk, msg, sig) for pk, msg, sig in items]
+    plain_s = time.perf_counter() - start
+    assert all(plain)
+
+    start = time.perf_counter()
+    first = backend.verify_batch(items)
+    first_s = time.perf_counter() - start
+    assert all(first)
+
+    start = time.perf_counter()
+    cached = backend.verify_batch(items)
+    cached_s = time.perf_counter() - start
+    assert all(cached)
+
+    stats = backend.verify_cache_stats
+    return {
+        "backend": name,
+        "signatures": total,
+        "verify_loop_ops_per_s": round(total / plain_s, 1),
+        "verify_batch_cold_ops_per_s": round(total / first_s, 1),
+        "verify_batch_cached_ops_per_s": round(total / cached_s, 1),
+        "cached_speedup_vs_loop": round(plain_s / cached_s, 2),
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+    }
+
+
+def run_bench(smoke: bool = False) -> dict:
+    if smoke:
+        plans = [("hashed", 8, 40), ("schnorr", 3, 4)]
+    else:
+        plans = [("hashed", 20, 250), ("schnorr", 5, 20)]
+    return {
+        "smoke": smoke,
+        "backends": [_bench_backend(*plan) for plan in plans],
+    }
+
+
+def print_result(result: dict) -> None:
+    for row in result["backends"]:
+        print(f"{row['backend']} backend ({row['signatures']} signatures):")
+        print(f"  before (verify loop)      : "
+              f"{row['verify_loop_ops_per_s']:>12,.0f} sigs/s")
+        print(f"  after  (batch, cold cache): "
+              f"{row['verify_batch_cold_ops_per_s']:>12,.0f} sigs/s")
+        print(f"  after  (batch, warm cache): "
+              f"{row['verify_batch_cached_ops_per_s']:>12,.0f} sigs/s")
+        print(f"  warm-cache speedup        : "
+              f"{row['cached_speedup_vs_loop']:.2f}x  "
+              f"(hits={row['cache_hits']}, misses={row['cache_misses']})")
+
+
+def persist(result: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+def test_sig_cache_speedup(smoke):
+    """Warm-cache batch verification beats the plain verify loop."""
+    result = run_bench(smoke=smoke)
+    print_result(result)
+    persist(result)
+    for row in result["backends"]:
+        assert row["cached_speedup_vs_loop"] > 1.0
+        assert row["cache_hits"] >= row["signatures"]
+
+
+def main(argv=None) -> int:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    result = run_bench(smoke=smoke)
+    print_result(result)
+    persist(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Micro-bench: batched SMT commits and compressed multiproofs.
+
+Measures the authenticated-state hot path before/after batching:
+
+* ``SparseMerkleTree.update`` loop vs ``update_many`` for a B-key batch
+  commit on a depth-32 tree (the per-shard root recompute every Porygon
+  round pays in the execution and commit lanes);
+* per-key ``SmtProof`` prove+verify vs one compressed ``SmtMultiProof``
+  ``prove_batch``/``verify_batch`` pass, plus the wire-size reduction
+  charged to the bandwidth model.
+
+Keys are clustered (a dense window, like real per-shard SMT keys
+``account_id // num_shards``), which is exactly where the dirty-prefix
+sweep wins: shared path prefixes are rehashed once instead of once per
+key.
+
+Run as a script (``python benchmarks/bench_smt_batch.py [--smoke]``) or
+under pytest (``pytest benchmarks/bench_smt_batch.py [--smoke]``).
+Results are printed as ops/sec and persisted to ``BENCH_smt_batch.json``
+at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.crypto.smt import SparseMerkleTree  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_smt_batch.json"
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall-clock seconds of ``repeats`` runs of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(batch: int = 1000, depth: int = 32, repeats: int = 3,
+              smoke: bool = False) -> dict:
+    """Run the commit + proof benches; returns the result record."""
+    if smoke:
+        batch, repeats = min(batch, 256), 1
+    items = [(key, b"account-%d" % key) for key in range(batch)]
+
+    # -- Batch commit: sequential update loop vs update_many -----------
+    def sequential():
+        tree = SparseMerkleTree(depth=depth)
+        for key, value in items:
+            tree.update(key, value)
+        return tree
+
+    def batched():
+        tree = SparseMerkleTree(depth=depth)
+        tree.update_many(items)
+        return tree
+
+    # Correctness gate before timing: identical roots.
+    assert sequential().root == batched().root, "batch/sequential root mismatch"
+
+    seq_s = _best_of(sequential, repeats)
+    bat_s = _best_of(batched, repeats)
+    seq_ops = batch / seq_s
+    bat_ops = batch / bat_s
+    commit_speedup = seq_s / bat_s
+
+    # -- Proof service: per-key proofs vs one compressed multiproof ----
+    tree = batched()
+    keys = [key for key, _ in items]
+    values = {key: tree.get(key) for key in keys}
+
+    def per_key_proofs():
+        proofs = [tree.prove(key) for key in keys]
+        root = tree.root
+        assert all(p.verify(root, values[p.key], depth) for p in proofs)
+        return sum(p.size_bytes for p in proofs)
+
+    def multiproof():
+        proof = tree.prove_batch(keys)
+        assert proof.verify_batch(tree.root, values)
+        return proof.size_bytes
+
+    per_key_bytes = per_key_proofs()
+    multi_bytes = multiproof()
+    per_key_s = _best_of(per_key_proofs, repeats)
+    multi_s = _best_of(multiproof, repeats)
+
+    result = {
+        "batch_size": batch,
+        "depth": depth,
+        "smoke": smoke,
+        "commit": {
+            "sequential_ops_per_s": round(seq_ops, 1),
+            "batched_ops_per_s": round(bat_ops, 1),
+            "sequential_s": seq_s,
+            "batched_s": bat_s,
+            "speedup": round(commit_speedup, 2),
+        },
+        "proofs": {
+            "per_key_ops_per_s": round(batch / per_key_s, 1),
+            "multiproof_ops_per_s": round(batch / multi_s, 1),
+            "speedup": round(per_key_s / multi_s, 2),
+            "per_key_bytes": per_key_bytes,
+            "multiproof_bytes": multi_bytes,
+            "compression": round(per_key_bytes / multi_bytes, 2),
+        },
+    }
+    return result
+
+
+def print_result(result: dict) -> None:
+    commit, proofs = result["commit"], result["proofs"]
+    print(f"SMT batch commit ({result['batch_size']} keys, "
+          f"depth {result['depth']}):")
+    print(f"  before (update loop) : {commit['sequential_ops_per_s']:>12,.0f} keys/s")
+    print(f"  after  (update_many) : {commit['batched_ops_per_s']:>12,.0f} keys/s")
+    print(f"  speedup              : {commit['speedup']:.2f}x")
+    print("Proof service (same batch):")
+    print(f"  before (per-key)     : {proofs['per_key_ops_per_s']:>12,.0f} proofs/s, "
+          f"{proofs['per_key_bytes']:,} bytes")
+    print(f"  after  (multiproof)  : {proofs['multiproof_ops_per_s']:>12,.0f} proofs/s, "
+          f"{proofs['multiproof_bytes']:,} bytes")
+    print(f"  speedup              : {proofs['speedup']:.2f}x, "
+          f"wire compression {proofs['compression']:.1f}x")
+
+
+def persist(result: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+def test_smt_batch_commit_speedup(smoke):
+    """Batched commit is >=3x the sequential loop (full mode)."""
+    result = run_bench(smoke=smoke)
+    print_result(result)
+    persist(result)
+    # The acceptance bar applies to the full 1,000-key run; the smoke
+    # run only checks correctness + a sane (>1x) direction.
+    floor = 1.0 if smoke else 3.0
+    assert result["commit"]["speedup"] >= floor
+    assert result["proofs"]["multiproof_bytes"] < result["proofs"]["per_key_bytes"]
+
+
+def main(argv=None) -> int:
+    smoke = "--smoke" in (argv if argv is not None else sys.argv[1:])
+    result = run_bench(smoke=smoke)
+    print_result(result)
+    persist(result)
+    if not smoke and result["commit"]["speedup"] < 3.0:
+        print("FAIL: commit speedup below 3x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,30 @@
-"""Shared benchmark fixtures: result recording."""
+"""Shared benchmark fixtures: result recording + smoke mode."""
 
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    """``--smoke``: shrink micro-bench workloads for CI sanity runs.
+
+    Smoke mode trades statistical quality for wall-clock time (<30 s for
+    the whole smoke step); speedup assertions relax to direction-only.
+    """
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benchmarks with reduced workloads (CI smoke mode)",
+    )
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """Whether the run is in CI smoke mode (see ``--smoke``)."""
+    return bool(request.config.getoption("--smoke"))
 
 
 @pytest.fixture

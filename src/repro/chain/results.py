@@ -121,7 +121,10 @@ def merge_cross_shard_updates(results: list[ExecutionResult], num_shards: int) -
         for account_id, value in result.cross_shard_updates:
             owner = shard_of(account_id, num_shards)
             per_shard.setdefault(owner, {})[account_id] = value
+    # Canonical shard order: ``U`` rides the consensus proposal, whose
+    # digest covers the container ordering — it must not depend on the
+    # (timing-sensitive) order in which shard results arrived.
     return {
-        shard: tuple(sorted(updates.items()))
-        for shard, updates in per_shard.items()
+        shard: tuple(sorted(per_shard[shard].items()))
+        for shard in sorted(per_shard)
     }

@@ -251,7 +251,9 @@ class CommitteeConsensus:
         if vote.step not in vote_buffer:
             return
         payload = vote_signing_payload(vote.instance, vote.step, vote.value_digest)
-        if not self.backend.verify(vote.voter, payload, vote.signature):
+        # verify_cached: a re-delivered vote (gossip echo, step
+        # rebroadcast) costs a dict lookup, not a fresh curve check.
+        if not self.backend.verify_cached(vote.voter, payload, vote.signature):
             return
         vote_buffer[vote.step].append(vote)
 

@@ -132,21 +132,28 @@ def compute_canonical_execution(
     for tx in cross:
         cross_keys |= tx.access_list.touched
 
-    values, proofs, served_root = hub.read_states(
-        shard, sorted(owned_keys | cross_keys), speculative=True
+    all_keys = sorted(owned_keys | cross_keys)
+    values, multiproof, served_root = hub.read_states_batch(
+        shard, all_keys, speculative=True
     )
     base_root = served_root
 
-    # Stateless verification: pin every owned key into a partial tree.
+    # Stateless verification: authenticate and pin every shard-local
+    # key the batch download served — the root-recomputation set
+    # (owned_keys) plus any of this shard's accounts a cross-shard
+    # transaction reads — with one compressed multiproof pass. The
+    # per-key ``add_proof`` path remains for single-account service.
     partial = PartialSparseMerkleTree(base_root, depth=hub.state.shards[shard].depth)
-    smt_key = {}
-    for account_id in sorted(owned_keys):
-        key = account_id // num_shards
-        smt_key[account_id] = key
+    proof_values: dict[int, bytes | None] = {}
+    for account_id in all_keys:
+        if account_id % num_shards != shard:
+            continue
         value = values[account_id]
-        encoded = value.encode() if value is not None else None
-        proof = proofs[account_id]
-        partial.add_proof(key, encoded, proof)
+        proof_values[account_id // num_shards] = (
+            value.encode() if value is not None else None
+        )
+    partial.add_multiproof(multiproof, proof_values)
+    smt_key = {account_id: account_id // num_shards for account_id in owned_keys}
 
     # Build the execution view (zero accounts for never-written ids).
     view = StateView()
@@ -154,16 +161,21 @@ def compute_canonical_execution(
         view.load(value if value is not None else Account(account_id))
 
     # 1. Apply the U list (Multi-Shard Update application).
+    u_staged = []
     for account_id, encoded in u_entries:
         account = Account.decode(encoded)
         view.put(account)
-        partial.update(smt_key[account_id], encoded)
+        u_staged.append((smt_key[account_id], encoded))
+    if u_staged:
+        partial.update_many(u_staged)
 
     # 2. Execute intra-shard transactions.
     outcome = TransactionExecutor().execute(intra, view)
-    for account_id, account in view.written.items():
-        if account_id in smt_key:
-            partial.update(smt_key[account_id], account.encode())
+    partial.update_many(
+        (smt_key[account_id], account.encode())
+        for account_id, account in view.written.items()
+        if account_id in smt_key
+    )
 
     # 3. Pre-execute cross-shard transactions on a scratch overlay
     #    seeded from the post-intra view; writes become S, not root.
@@ -177,8 +189,12 @@ def compute_canonical_execution(
         (account_id, account.encode())
         for account_id, account in sorted(view.written.items())
     )
-    download_bytes = state_transfer_bytes(
-        len(owned_keys | cross_keys), hub.state.shards[shard].depth
+    # Honest wire accounting: each requested state entry plus the actual
+    # serialized size of the compressed multiproof that authenticates the
+    # owned subset (shared siblings once, default siblings one bit) —
+    # not the analytic per-key approximation of state_transfer_bytes.
+    download_bytes = (
+        len(all_keys) * STATE_ENTRY_SIZE + multiproof.size_bytes
     )
     return CanonicalExecution(
         shard=shard,

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.chain.blocks import ProposalBlock, TransactionBlock, WitnessProof
 from repro.chain.results import ExecutionResult, merge_cross_shard_updates
+from repro.chain.sizes import STATE_ENTRY_SIZE
 from repro.chain.transaction import Transaction
 from repro.committee import Committee, SortitionParams, run_sortition, sortition_alpha
 from repro.committee.sortition import draw_for_node
@@ -329,7 +330,7 @@ class PorygonPipeline:
 
     def _member_execute(self, member_id: int, shard: int,
                         canonical: CanonicalExecution, body_bytes: int,
-                        sublist_bytes: int):
+                        sublist_bytes: int, payload_carrier: list):
         """Charge one member's Execution Phase and produce its result."""
         node = self.stateless[member_id]
         if not self.fabric.is_benign(member_id) and not node.is_malicious:
@@ -365,9 +366,25 @@ class PorygonPipeline:
             result, signature=node.keypair.sign(result.result_digest())
         )
         # Return the result to the Ordering Committee via storage routing.
+        # Honest members of a shard compute identical results, so the
+        # storage relay content-deduplicates the bulky part: the first
+        # reporter uploads the full S-list/failed-id payload, every other
+        # member ships only the compact signed record (header + root +
+        # signature) — the OC checks per-member signatures over the shared
+        # ``result_digest`` and fetches the payload once.  Without this,
+        # each OC member would download ~|members| redundant S-list copies
+        # per shard, head-of-line blocking consensus votes on its downlink.
+        payload_bytes = (
+            len(result.cross_shard_updates) * STATE_ENTRY_SIZE
+            + len(result.failed_tx_ids) * 8
+        )
+        wire_size = result.size_bytes - payload_bytes
+        if not payload_carrier:
+            payload_carrier.append(member_id)
+            wire_size = result.size_bytes
         self.fabric.relay(
             member_id, list(self.oc.members), "exec_result", result,
-            result.size_bytes, "execution", lambda _r, _m: None,
+            wire_size, "execution", lambda _r, _m: None,
         )
         return result
 
@@ -416,10 +433,11 @@ class PorygonPipeline:
                 if block is not None:
                     body_bytes += block.size_bytes
         sublist_bytes = proposal.sublist_size_bytes(shard)
+        payload_carrier: list[int] = []  # first reporter carries the S-list
         member_procs = [
             self.env.process(
                 self._member_execute(member_id, shard, canonical, body_bytes,
-                                     sublist_bytes)
+                                     sublist_bytes, payload_carrier)
             )
             for member_id in committee.members
         ]
@@ -458,7 +476,13 @@ class PorygonPipeline:
         # -- Collect inputs ------------------------------------------------
         witnessed = self.pending_witnessed
         self.pending_witnessed = []
-        results = self.pending_results
+        # Shard results arrive in execution-completion order, which is
+        # timing-sensitive; sort them so everything derived from the
+        # list (the U list, retry bookkeeping, the proposal digest) is
+        # canonical regardless of how fast each shard's download ran.
+        results = sorted(
+            self.pending_results, key=lambda sr: (sr.exec_round, sr.shard)
+        )
         self.pending_results = []
 
         # OC members download headers + witness proofs (bulk, per member).
@@ -479,16 +503,26 @@ class PorygonPipeline:
             if transfers:
                 yield self.env.all_of(transfers)
 
-        # Verify witness proofs (real signature checks + simulated time).
+        # Verify witness proofs: one batched signature pass over every
+        # proof of every witnessed block. The backend's verified-
+        # signature cache also absorbs re-presentations (carried-over
+        # blocks after an empty round, retry re-validation).
         valid_witnessed = []
-        proof_checks = 0
+        batch_items: list[tuple[bytes, bytes, bytes]] = []
+        batch_slices: list[tuple[WitnessedBlock, int, int]] = []
         for wb in witnessed:
             payload = wb.block.header.signing_payload()
+            start = len(batch_items)
+            batch_items.extend(
+                (proof.signer, payload, proof.signature) for proof in wb.proofs
+            )
+            batch_slices.append((wb, start, len(batch_items)))
+        verdicts = self.backend.verify_batch(batch_items) if batch_items else []
+        proof_checks = len(batch_items)
+        for wb, start, end in batch_slices:
             valid = [
-                proof for proof in wb.proofs
-                if self.backend.verify(proof.signer, payload, proof.signature)
+                proof for proof, ok in zip(wb.proofs, verdicts[start:end]) if ok
             ]
-            proof_checks += len(wb.proofs)
             threshold_committee = self.assignments.get(wb.witnessed_by_round, {}).get(wb.shard)
             threshold = (threshold_committee.witness_threshold
                          if threshold_committee else max(1, len(valid)))
@@ -511,13 +545,23 @@ class PorygonPipeline:
                 continue
             digest_counts: dict[bytes, int] = {}
             canonical_digest = None
-            for member_result in shard_result.member_results:
-                if not self.backend.verify(
-                    member_result.signer, member_result.result_digest(),
-                    member_result.signature,
-                ):
+            # Hoist result_digest (it is both message and tally key) and
+            # verify the whole member-result set in one batched pass.
+            member_digests = [
+                member_result.result_digest()
+                for member_result in shard_result.member_results
+            ]
+            member_verdicts = self.backend.verify_batch(
+                (member_result.signer, digest, member_result.signature)
+                for member_result, digest in zip(
+                    shard_result.member_results, member_digests
+                )
+            )
+            for member_result, digest, ok in zip(
+                shard_result.member_results, member_digests, member_verdicts
+            ):
+                if not ok:
                     continue
-                digest = member_result.result_digest()
                 digest_counts[digest] = digest_counts.get(digest, 0) + 1
                 if member_result.subtree_root == shard_result.canonical.new_root:
                     canonical_digest = digest
@@ -781,7 +825,13 @@ class PorygonPipeline:
         if shard_procs:
             yield self.env.all_of(shard_procs)
         # Second consensus round commits the roots (Commit Phase).
-        results = self.pending_results
+        # Shard results arrive in execution-completion order, which is
+        # timing-sensitive; sort them so everything derived from the
+        # list (the U list, retry bookkeeping, the proposal digest) is
+        # canonical regardless of how fast each shard's download ran.
+        results = sorted(
+            self.pending_results, key=lambda sr: (sr.exec_round, sr.shard)
+        )
         self.pending_results = []
         new_roots = dict(proposal.shard_roots)
         accepted = []

@@ -21,7 +21,7 @@ from collections import deque
 from repro.chain.account import Account, AccountId, shard_of
 from repro.chain.blocks import TransactionBlock, WitnessProof
 from repro.chain.transaction import Transaction
-from repro.crypto.smt import SmtProof
+from repro.crypto.smt import SmtMultiProof, SmtProof
 from repro.errors import StateError
 from repro.net.endpoint import Endpoint
 from repro.net.faults import FaultProfile
@@ -189,6 +189,36 @@ class StorageHub:
             if shard_of(account_id, self.num_shards) == shard:
                 proofs[account_id] = shard_state.prove(account_id)
         return accounts, proofs, shard_state.root
+
+    def read_states_batch(
+        self,
+        shard: int,
+        account_ids: typing.Iterable[AccountId],
+        speculative: bool = False,
+    ) -> tuple[dict[AccountId, Account | None], SmtMultiProof, bytes]:
+        """Batched :meth:`read_states`: one compressed multiproof.
+
+        The integrity material for all of ``shard``'s own accounts in
+        the request is a single :class:`~repro.crypto.smt.SmtMultiProof`
+        instead of one full Merkle path per account — what a storage
+        node actually puts on the wire when an ESC downloads witness
+        state for a whole transaction batch. Foreign accounts are served
+        value-only, exactly as in :meth:`read_states`.
+        """
+        source = self.speculative_state() if speculative else self.state
+        shard_state = source.shards[shard]
+        accounts: dict[AccountId, Account | None] = {}
+        owned: list[AccountId] = []
+        for account_id in account_ids:
+            owner = source.shard_for(account_id)
+            if account_id in owner.accounts:
+                accounts[account_id] = owner.get_account(account_id).copy()
+            else:
+                accounts[account_id] = None
+            if shard_of(account_id, self.num_shards) == shard:
+                owned.append(account_id)
+        multiproof = shard_state.prove_batch(owned)
+        return accounts, multiproof, shard_state.root
 
     # ------------------------------------------------------------------
     # Proposal chain

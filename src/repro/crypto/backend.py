@@ -9,12 +9,18 @@ a concrete backend type; it is configured once per simulation with
 from __future__ import annotations
 
 import abc
+import typing
+from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.crypto.hashing import digest
 from repro.errors import CryptoError
 
+#: One (public_key, message, signature) triple submitted for verification.
+VerifyItem = typing.Tuple[bytes, bytes, bytes]
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class VrfOutput:
     """Result of a VRF evaluation.
 
@@ -50,7 +56,24 @@ class KeyPair(abc.ABC):
 
 
 class SignatureBackend(abc.ABC):
-    """Factory + verifier for one signature/VRF scheme."""
+    """Factory + verifier for one signature/VRF scheme.
+
+    Besides the abstract single-item :meth:`verify`, every backend
+    offers a *verified-signature cache* (:meth:`verify_cached`) and a
+    batch entry point (:meth:`verify_batch`). The same witness proof or
+    execution result routinely crosses several validation sites per
+    round (OC threshold check, retry re-validation, end-of-run audit);
+    re-running the cryptographic check each time is pure waste because
+    verification is deterministic. The cache is sound because:
+
+    * entries are keyed by the full ``(public_key, SHA-256(message),
+      signature)`` triple — any change to any component misses;
+    * only *successful* verifications are cached, so a forged signature
+      is re-checked (and re-rejected) every time it is presented;
+    * backends are instantiated once per simulation
+      (:func:`get_backend` returns fresh instances), so cached verdicts
+      never leak across simulations or key registries.
+    """
 
     #: Name used by :func:`get_backend`.
     name: str = "abstract"
@@ -65,6 +88,14 @@ class SignatureBackend(abc.ABC):
     #: Wire size charged per public key, in bytes.
     public_key_size: int = 33
 
+    #: Bound on the verified-signature LRU cache (entries).
+    verify_cache_size: int = 8192
+
+    #: Instrumentation: verified-cache hits / misses (per instance —
+    #: reads fall back to these class defaults until the first event).
+    cache_hits: int = 0
+    cache_misses: int = 0
+
     @abc.abstractmethod
     def generate(self, seed: bytes) -> KeyPair:
         """Deterministically derive a key pair from ``seed``."""
@@ -76,6 +107,64 @@ class SignatureBackend(abc.ABC):
     @abc.abstractmethod
     def vrf_verify(self, public_key: bytes, alpha: bytes, output: VrfOutput) -> bool:
         """Check a VRF output/proof for input ``alpha``."""
+
+    # ------------------------------------------------------------------
+    # Verified-signature cache + batch verification
+    # ------------------------------------------------------------------
+
+    def _verified_lru(self) -> "OrderedDict[tuple[bytes, bytes, bytes], None]":
+        """The per-instance LRU of verified triples (lazily created, so
+        subclasses need not call ``super().__init__``)."""
+        cache = getattr(self, "_verified_cache", None)
+        if cache is None:
+            cache = OrderedDict()
+            self._verified_cache = cache
+        return cache
+
+    def verify_cached(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        """Like :meth:`verify`, but memoizes *successful* checks.
+
+        Failed verifications are never cached: an invalid signature is
+        re-verified (and re-rejected) on every presentation, so cache
+        state can never turn a forgery into an accept.
+        """
+        cache = self._verified_lru()
+        key = (public_key, digest(message), signature)
+        if key in cache:
+            cache.move_to_end(key)
+            self.cache_hits += 1
+            return True
+        self.cache_misses += 1
+        if not self.verify(public_key, message, signature):
+            return False
+        cache[key] = None
+        if len(cache) > self.verify_cache_size:
+            cache.popitem(last=False)
+        return True
+
+    def verify_batch(self, items: typing.Iterable[VerifyItem]) -> list[bool]:
+        """Verify many ``(public_key, message, signature)`` triples.
+
+        The default implementation loops :meth:`verify_cached` —
+        semantically one :meth:`verify` per item, with cache reuse.
+        Backends override this with scheme-specific fast paths (see
+        :class:`~repro.crypto.hashed.HashedBackend` and
+        :class:`~repro.crypto.schnorr.SchnorrBackend`); every override
+        must return exactly what the per-item loop would.
+        """
+        return [
+            self.verify_cached(public_key, message, signature)
+            for public_key, message, signature in items
+        ]
+
+    @property
+    def verify_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/size counters of the verified-signature cache."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._verified_lru()),
+        }
 
 
 def get_backend(name: str) -> SignatureBackend:

@@ -34,9 +34,39 @@ def digest_concat(*parts: bytes) -> bytes:
     return hasher.digest()
 
 
+#: domain string -> precomputed ``len(tag)-prefix + tag`` bytes.
+#:
+#: Domain tags are module-level constants (a few dozen distinct strings
+#: per process), yet ``domain_digest`` sits on every hot path in the
+#: system — SMT node hashing alone calls it millions of times per
+#: simulation. Re-encoding the same constant string and re-building its
+#: 4-byte length prefix on each call is pure waste, so we cache the
+#: encoded prefix per domain. The cache is unbounded by design: its key
+#: set is the fixed set of domain constants, not attacker-controlled.
+_DOMAIN_PREFIX_CACHE: dict[str, bytes] = {}
+
+
+def _domain_prefix(domain: str) -> bytes:
+    """Length-prefixed encoding of a domain tag (cached per domain)."""
+    prefix = _DOMAIN_PREFIX_CACHE.get(domain)
+    if prefix is None:
+        encoded = domain.encode("utf-8")
+        prefix = len(encoded).to_bytes(4, "big") + encoded
+        _DOMAIN_PREFIX_CACHE[domain] = prefix
+    return prefix
+
+
 def domain_digest(domain: str, *parts: bytes) -> bytes:
-    """SHA-256 with a domain-separation tag prepended."""
-    return digest_concat(domain.encode("utf-8"), *parts)
+    """SHA-256 with a domain-separation tag prepended.
+
+    Equivalent to ``digest_concat(domain.encode(), *parts)`` but the
+    encoded, length-prefixed domain tag is cached per domain string.
+    """
+    hasher = hashlib.sha256(_domain_prefix(domain))
+    for part in parts:
+        hasher.update(len(part).to_bytes(4, "big"))
+        hasher.update(part)
+    return hasher.digest()
 
 
 def digest_int(data: bytes) -> int:

@@ -192,19 +192,44 @@ class SchnorrKeyPair(KeyPair):
 
 
 class SchnorrBackend(SignatureBackend):
-    """Real Schnorr + ECVRF backend (pure Python, secp256k1)."""
+    """Real Schnorr + ECVRF backend (pure Python, secp256k1).
+
+    Per-instance fast paths: decoding a compressed public key costs a
+    modular square root (a full ``pow`` mod p), and the same committee
+    keys verify hundreds of signatures per round — so decoded
+    :class:`Point` objects are memoized per backend instance (bounded),
+    and :meth:`verify_batch` reuses one decode per distinct signer on
+    top of the inherited verified-signature cache.
+    """
 
     name = "schnorr"
 
+    #: Bound on the decoded public-key point cache.
+    pk_cache_size: int = 4096
+
     def generate(self, seed: bytes) -> SchnorrKeyPair:
         return SchnorrKeyPair(seed)
+
+    def _decode_pk(self, public_key: bytes) -> Point:
+        """Decode (and memoize) a compressed public key."""
+        cache = getattr(self, "_pk_points", None)
+        if cache is None:
+            cache = {}
+            self._pk_points = cache
+        point = cache.get(public_key)
+        if point is None:
+            point = Point.decode(public_key)
+            if len(cache) >= self.pk_cache_size:
+                cache.clear()
+            cache[public_key] = point
+        return point
 
     def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
         if len(signature) != 65:
             return False
         try:
             r_point = Point.decode(signature[:33])
-            pk_point = Point.decode(public_key)
+            pk_point = self._decode_pk(public_key)
         except CryptoError:
             return False
         s = int.from_bytes(signature[33:], "big")
@@ -213,13 +238,29 @@ class SchnorrBackend(SignatureBackend):
         e = _scalar(domain_digest(_CHALLENGE_DOMAIN, signature[:33], public_key, message))
         return G * s == r_point + pk_point * e
 
+    def verify_batch(self, items) -> list[bool]:
+        """Batch path: verified-cache + shared pubkey decoding.
+
+        Semantically identical to one :meth:`verify` per item. The
+        expensive curve equation still runs once per *uncached*
+        signature (each check must be attributable — the OC counts
+        per-member signatures against thresholds, so an all-or-nothing
+        aggregate check would lose which member equivocated), but
+        repeated presentations of the same triple are served from the
+        LRU and signer points are decoded once.
+        """
+        return [
+            self.verify_cached(public_key, message, signature)
+            for public_key, message, signature in items
+        ]
+
     def vrf_verify(self, public_key: bytes, alpha: bytes, output: VrfOutput) -> bool:
         proof = output.proof
         if len(proof) != 97:
             return False
         try:
             gamma = Point.decode(proof[:33])
-            pk_point = Point.decode(public_key)
+            pk_point = self._decode_pk(public_key)
         except CryptoError:
             return False
         c = int.from_bytes(proof[33:65], "big")

@@ -10,6 +10,7 @@ IV-C1(c) "integrity proofs").
 
 from __future__ import annotations
 
+import typing
 from dataclasses import dataclass
 
 from repro.crypto.hashing import domain_digest
@@ -47,7 +48,22 @@ def _default_hashes(depth: int) -> list[bytes]:
 _DEFAULTS_CACHE: dict[int, list[bytes]] = {}
 
 
-@dataclass(frozen=True)
+def _defaults_for(depth: int) -> list[bytes]:
+    """Per-depth empty-subtree hashes, computed once per process.
+
+    Unlike ``dict.setdefault(depth, _default_hashes(depth))`` — which
+    eagerly re-derives all ``depth+1`` hashes on *every* call even when
+    the entry is already cached — this only pays the derivation cost on
+    the first lookup for a given depth.
+    """
+    defaults = _DEFAULTS_CACHE.get(depth)
+    if defaults is None:
+        defaults = _default_hashes(depth)
+        _DEFAULTS_CACHE[depth] = defaults
+    return defaults
+
+
+@dataclass(frozen=True, slots=True)
 class SmtProof:
     """(Non-)inclusion proof: one sibling digest per level, bottom-up."""
 
@@ -61,7 +77,7 @@ class SmtProof:
 
     def compute_root(self, value: bytes | None, depth: int) -> bytes:
         """Root implied by this proof for ``value`` (None = absent key)."""
-        defaults = _DEFAULTS_CACHE.setdefault(depth, _default_hashes(depth))
+        defaults = _defaults_for(depth)
         if value is None:
             current = defaults[depth]
         else:
@@ -82,6 +98,136 @@ class SmtProof:
         return self.compute_root(value, depth) == root
 
 
+def _multiproof_levels(keys: tuple[int, ...], depth: int):
+    """Canonical level walk shared by multiproof prove/verify.
+
+    Yields ``(level, on_path, sibling_prefixes)`` bottom-up, where
+    ``on_path`` are the sorted node prefixes on some key's path at
+    ``level`` and ``sibling_prefixes`` the sorted prefixes whose digests
+    the proof must carry (siblings of path nodes that are not themselves
+    on any path). Both prove and verify iterate this walk, so the
+    sibling serialization order never has to be stored explicitly.
+    """
+    prefixes = sorted(set(keys))
+    for level in range(depth, 0, -1):
+        pref_set = set(prefixes)
+        sibling_prefixes = sorted(
+            prefix ^ 1 for prefix in pref_set if prefix ^ 1 not in pref_set
+        )
+        yield level, prefixes, sibling_prefixes
+        prefixes = sorted({prefix >> 1 for prefix in pref_set})
+
+
+@dataclass(frozen=True, slots=True)
+class SmtMultiProof:
+    """Compressed (non-)inclusion proof for a *batch* of keys.
+
+    Per-key :class:`SmtProof` objects ship ``depth`` siblings per key
+    even though proofs for clustered keys share almost all interior
+    nodes near the root. A multiproof stores each needed off-path
+    sibling exactly once, in the canonical order of
+    :func:`_multiproof_levels`, and elides default (empty-subtree)
+    siblings entirely — the verifier regenerates both from the key set.
+    Verification is a single bottom-up pass that rebuilds the root over
+    all keys at once.
+
+    ``siblings[i] is None`` encodes "the i-th canonical sibling slot is
+    the default hash for its level"; on the wire that costs one bitmap
+    bit instead of 32 bytes.
+    """
+
+    keys: tuple[int, ...]
+    siblings: tuple[bytes | None, ...]
+    depth: int = SMT_DEPTH
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: header + keys + presence bitmap + real digests."""
+        present = sum(1 for sibling in self.siblings if sibling is not None)
+        bitmap = (len(self.siblings) + 7) // 8
+        return 8 + 8 * len(self.keys) + bitmap + 32 * present
+
+    def compute_root(self, values: typing.Mapping[int, bytes | None],
+                     _record=None) -> bytes:
+        """Root implied by this proof for ``values`` (None = absent key).
+
+        ``values`` must cover every key in :attr:`keys`; missing keys are
+        treated as absent (non-inclusion). ``_record(level, prefix,
+        digest)``, if given, observes every node the pass touches — used
+        by :class:`PartialSparseMerkleTree` to pin the whole frontier in
+        one sweep.
+
+        Raises :class:`InvalidProof` if the sibling count does not match
+        the canonical slot count for this key set.
+        """
+        defaults = _defaults_for(self.depth)
+        if not self.keys:
+            if self.siblings:
+                raise InvalidProof("empty multiproof carries siblings")
+            return defaults[0]
+        nodes: dict[int, bytes] = {}
+        for key in self.keys:
+            value = values.get(key)
+            nodes[key] = (
+                defaults[self.depth] if value is None else _leaf_hash(key, value)
+            )
+        index = 0
+        total = len(self.siblings)
+        for level, on_path, sibling_prefixes in _multiproof_levels(self.keys, self.depth):
+            for prefix in sibling_prefixes:
+                if index >= total:
+                    raise InvalidProof("multiproof has too few siblings")
+                digest = self.siblings[index]
+                index += 1
+                nodes[prefix] = defaults[level] if digest is None else digest
+            if _record is not None:
+                for prefix, digest in nodes.items():
+                    _record(level, prefix, digest)
+            parents: dict[int, bytes] = {}
+            for prefix in on_path:
+                parent = prefix >> 1
+                if parent in parents:
+                    continue
+                left = nodes[parent << 1]
+                right = nodes[(parent << 1) | 1]
+                parents[parent] = _node_hash(left, right)
+            nodes = parents
+        if index != total:
+            raise InvalidProof("multiproof has extra siblings")
+        (root,) = nodes.values()
+        if _record is not None:
+            _record(0, 0, root)
+        return root
+
+    def verify_batch(self, root: bytes,
+                     values: typing.Mapping[int, bytes | None]) -> bool:
+        """True iff the proof links all ``values`` to ``root``.
+
+        Equivalent to verifying one :class:`SmtProof` per key against
+        the same root, but with one shared bottom-up pass.
+        """
+        if not self.keys:
+            return not self.siblings
+        if list(self.keys) != sorted(set(self.keys)):
+            return False
+        if any(not 0 <= key < (1 << self.depth) for key in self.keys):
+            return False
+        try:
+            return self.compute_root(values) == root
+        except InvalidProof:
+            return False
+
+
+def verify_multiproof_or_raise(
+    proof: SmtMultiProof, root: bytes, values: typing.Mapping[int, bytes | None]
+) -> None:
+    """Verify a multiproof, raising :class:`InvalidProof` on failure."""
+    if not proof.verify_batch(root, values):
+        raise InvalidProof(
+            f"SMT multiproof for {len(proof.keys)} keys does not match root"
+        )
+
+
 class SparseMerkleTree:
     """Mutable SMT mapping integer keys to byte-string values."""
 
@@ -89,10 +235,13 @@ class SparseMerkleTree:
         if depth < 1:
             raise StateError(f"SMT depth must be >= 1, got {depth}")
         self.depth = depth
-        self._defaults = _DEFAULTS_CACHE.setdefault(depth, _default_hashes(depth))
+        self._defaults = _defaults_for(depth)
         #: (level, prefix) -> digest for non-default nodes only.
         self._nodes: dict[tuple[int, int], bytes] = {}
         self._values: dict[int, bytes] = {}
+        #: Sorted (key, value) list for :meth:`items`, built lazily and
+        #: invalidated on every write.
+        self._sorted_items: list[tuple[int, bytes]] | None = None
 
     def __len__(self) -> int:
         return len(self._values)
@@ -123,6 +272,7 @@ class SparseMerkleTree:
         Returns the new root. O(depth) node recomputations.
         """
         self._check_key(key)
+        self._sorted_items = None
         if value is None:
             self._values.pop(key, None)
             current = self._defaults[self.depth]
@@ -148,6 +298,63 @@ class SparseMerkleTree:
             self._nodes[(0, 0)] = current
         return current
 
+    def update_many(self, items) -> bytes:
+        """Apply a batch of ``(key, value_or_None)`` writes at once.
+
+        Semantically identical to calling :meth:`update` per item (later
+        entries for the same key win), but the internal-node rehash is
+        amortized: all leaves are written first, then each *dirty*
+        internal node — the union of the written keys' path prefixes,
+        deduplicated per level — is recomputed exactly once, bottom-up.
+        For ``B`` keys sharing paths this collapses ``B * depth`` node
+        hashes into one hash per distinct dirty node, which for
+        clustered keys approaches ``B + depth`` instead of ``B * depth``.
+
+        Returns the new root.
+        """
+        leaf_level = self.depth
+        defaults = self._defaults
+        dirty: set[int] = set()
+        nodes = self._nodes
+        values = self._values
+        for key, value in items:
+            self._check_key(key)
+            if value is None:
+                values.pop(key, None)
+                leaf = defaults[leaf_level]
+            else:
+                values[key] = value
+                leaf = _leaf_hash(key, value)
+            if leaf == defaults[leaf_level]:
+                nodes.pop((leaf_level, key), None)
+            else:
+                nodes[(leaf_level, key)] = leaf
+            dirty.add(key)
+        if not dirty:
+            return self.root
+        self._sorted_items = None
+        # Bottom-up dirty-prefix sweep: recompute each affected internal
+        # node once per level.
+        prefixes = dirty
+        for level in range(self.depth - 1, -1, -1):
+            child_level = level + 1
+            child_default = defaults[child_level]
+            level_default = defaults[level]
+            parents = {prefix >> 1 for prefix in prefixes}
+            for prefix in parents:
+                left_key = (child_level, prefix << 1)
+                right_key = (child_level, (prefix << 1) | 1)
+                digest = _node_hash(
+                    nodes.get(left_key, child_default),
+                    nodes.get(right_key, child_default),
+                )
+                if digest == level_default:
+                    nodes.pop((level, prefix), None)
+                else:
+                    nodes[(level, prefix)] = digest
+            prefixes = parents
+        return self.root
+
     def prove(self, key: int) -> SmtProof:
         """Build a (non-)inclusion proof for ``key``."""
         self._check_key(key)
@@ -158,14 +365,39 @@ class SparseMerkleTree:
             prefix >>= 1
         return SmtProof(key=key, siblings=tuple(siblings))
 
+    def prove_batch(self, keys) -> SmtMultiProof:
+        """Build one compressed :class:`SmtMultiProof` covering ``keys``.
+
+        Shared interior siblings are serialized once; default siblings
+        are elided (``None`` placeholders, one bitmap bit on the wire).
+        """
+        key_tuple = tuple(sorted(set(keys)))
+        for key in key_tuple:
+            self._check_key(key)
+        siblings: list[bytes | None] = []
+        nodes = self._nodes
+        for level, _on_path, sibling_prefixes in _multiproof_levels(key_tuple, self.depth):
+            for prefix in sibling_prefixes:
+                siblings.append(nodes.get((level, prefix)))
+        return SmtMultiProof(
+            keys=key_tuple, siblings=tuple(siblings), depth=self.depth
+        )
+
     def verify(self, key: int) -> bool:
         """Convenience self-check of a fresh proof against our own root."""
         proof = self.prove(key)
         return proof.verify(self.root, self._values.get(key), self.depth)
 
     def items(self):
-        """Iterate over (key, value) pairs in key order."""
-        return iter(sorted(self._values.items()))
+        """Iterate over (key, value) pairs in key order.
+
+        The sorted view is cached between writes, so repeated iteration
+        (snapshots, audits) stops paying an O(n log n) re-sort per call;
+        any :meth:`update`/:meth:`update_many` invalidates the cache.
+        """
+        if self._sorted_items is None:
+            self._sorted_items = sorted(self._values.items())
+        return iter(self._sorted_items)
 
     def snapshot(self) -> dict[int, bytes]:
         """Copy of the key-value contents (for checkpoint/rollback)."""
@@ -173,10 +405,14 @@ class SparseMerkleTree:
 
     @classmethod
     def from_items(cls, items, depth: int = SMT_DEPTH) -> "SparseMerkleTree":
-        """Build a tree from an iterable of (key, value) pairs."""
+        """Build a tree from an iterable of (key, value) pairs.
+
+        Uses :meth:`update_many`, so bulk construction (genesis state,
+        checkpoint restore) costs one dirty-prefix sweep instead of a
+        full path rehash per key.
+        """
         tree = cls(depth=depth)
-        for key, value in items:
-            tree.update(key, value)
+        tree.update_many(items)
         return tree
 
 
@@ -203,11 +439,13 @@ class PartialSparseMerkleTree:
 
     def __init__(self, root: bytes, depth: int = SMT_DEPTH):
         self.depth = depth
-        self._defaults = _DEFAULTS_CACHE.setdefault(depth, _default_hashes(depth))
+        self._defaults = _defaults_for(depth)
         self._base_root = root
         #: (level, prefix) -> known digest (from proofs, pre-update).
         self._nodes: dict[tuple[int, int], bytes] = {}
         self._values: dict[int, bytes | None] = {}
+        #: Memoized recomputed root; invalidated by proofs and updates.
+        self._root_cache: bytes | None = None
 
     @classmethod
     def from_proofs(cls, root: bytes, entries, depth: int = SMT_DEPTH) -> "PartialSparseMerkleTree":
@@ -219,6 +457,58 @@ class PartialSparseMerkleTree:
         for key, value, proof in entries:
             partial.add_proof(key, value, proof)
         return partial
+
+    @classmethod
+    def from_multiproof(
+        cls,
+        root: bytes,
+        proof: SmtMultiProof,
+        values: typing.Mapping[int, bytes | None],
+        depth: int = SMT_DEPTH,
+    ) -> "PartialSparseMerkleTree":
+        """Build from one verified compressed multiproof.
+
+        Raises :class:`InvalidProof` if the multiproof fails against
+        ``root``.
+        """
+        partial = cls(root, depth=depth)
+        partial.add_multiproof(proof, values)
+        return partial
+
+    def add_multiproof(
+        self, proof: SmtMultiProof, values: typing.Mapping[int, bytes | None]
+    ) -> None:
+        """Pin every key of a compressed multiproof in one pass.
+
+        The single bottom-up root recomputation both authenticates the
+        batch against the base root and records every touched node (path
+        nodes *and* siblings), so the partial view afterwards supports
+        updating any covered key — at a fraction of the per-key
+        ``add_proof`` hashing cost.
+        """
+        if proof.depth != self.depth:
+            raise InvalidProof(
+                f"multiproof depth {proof.depth} != tree depth {self.depth}"
+            )
+        if not proof.keys:
+            if proof.siblings:
+                raise InvalidProof("empty multiproof carries siblings")
+            return  # vacuous proof: nothing to authenticate or pin
+        recorded: list[tuple[int, int, bytes]] = []
+        computed = proof.compute_root(
+            values, _record=lambda level, prefix, digest: recorded.append(
+                (level, prefix, digest)
+            )
+        )
+        if computed != self._base_root:
+            raise InvalidProof(
+                f"multiproof for {len(proof.keys)} keys does not match the base root"
+            )
+        for level, prefix, digest in recorded:
+            self._record_node(level, prefix, digest)
+        for key in proof.keys:
+            self._values[key] = values.get(key)
+        self._root_cache = None
 
     def add_proof(self, key: int, value: bytes | None, proof: SmtProof) -> None:
         """Pin one more (key, value, proof) triple into the view."""
@@ -247,6 +537,7 @@ class PartialSparseMerkleTree:
                 current = _node_hash(current, sibling)
             prefix >>= 1
         self._record_node(0, 0, current)
+        self._root_cache = None
 
     def _record_node(self, level: int, prefix: int, digest: bytes) -> None:
         existing = self._nodes.get((level, prefix))
@@ -272,10 +563,35 @@ class PartialSparseMerkleTree:
         if key not in self._values:
             raise StateError(f"cannot update key {key}: not covered by any proof")
         self._values[key] = value
+        self._root_cache = None
+
+    def update_many(self, items) -> None:
+        """Stage a batch of ``(key, value_or_None)`` writes.
+
+        All keys must be proof-covered; the root is recomputed lazily
+        (once) on the next :attr:`root` access, sharing one dirty-prefix
+        sweep across the whole batch.
+        """
+        staged = list(items)
+        for key, _value in staged:
+            if key not in self._values:
+                raise StateError(
+                    f"cannot update key {key}: not covered by any proof"
+                )
+        for key, value in staged:
+            self._values[key] = value
+        self._root_cache = None
 
     @property
     def root(self) -> bytes:
-        """Recompute the root over pinned nodes + staged updates."""
+        """Recompute the root over pinned nodes + staged updates.
+
+        The result is memoized until the next proof or staged write, so
+        back-to-back reads (e.g. signing then publishing ``T^d``) hash
+        only once.
+        """
+        if self._root_cache is not None:
+            return self._root_cache
         # Fresh node overlay: start from pinned nodes, overwrite the
         # paths of every covered key bottom-up, level by level.
         overlay = dict(self._nodes)
@@ -297,4 +613,6 @@ class PartialSparseMerkleTree:
                 next_level.add(prefix >> 1)
             if level > 0:
                 level_prefixes[level - 1] = next_level
-        return overlay.get((0, 0), self._base_root)
+        result = overlay.get((0, 0), self._base_root)
+        self._root_cache = result
+        return result

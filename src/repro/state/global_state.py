@@ -7,6 +7,8 @@ tuple of shard subtree roots.
 
 from __future__ import annotations
 
+import typing
+
 from repro.chain.account import Account, AccountId, shard_of
 from repro.crypto.hashing import domain_digest
 from repro.crypto.smt import SMT_DEPTH
@@ -15,14 +17,40 @@ from repro.state.shard_state import ShardState
 
 _GLOBAL_ROOT_DOMAIN = "repro/global-root/v1"
 
+#: Memo of recently aggregated root tuples. The commit lane recomputes
+#: the global root several times per round over mostly-unchanged shard
+#: roots (proposal build, empty-round fallback, sequential commit), so a
+#: small bounded cache turns the repeats into one dict lookup. Bounded
+#: FIFO: a handful of root tuples are live at any time.
+_AGGREGATE_CACHE: dict[tuple[tuple[int, bytes], ...], bytes] = {}
+_AGGREGATE_CACHE_MAX = 256
 
-def aggregate_root(shard_roots: dict[int, bytes]) -> bytes:
-    """Global root from per-shard subtree roots (order-canonical)."""
+
+def aggregate_root(
+    shard_roots: dict[int, bytes],
+    dirty_shards: "typing.Iterable[int] | None" = None,
+) -> bytes:
+    """Global root from per-shard subtree roots (order-canonical).
+
+    ``dirty_shards`` is an optional hint naming the shards whose roots
+    changed since the caller's previous aggregation. It never changes
+    the result — the digest always covers *all* shards — but an empty
+    hint lets the caller's cached tuple short-circuit straight to the
+    memoized digest without re-deriving anything.
+    """
+    key = tuple(sorted(shard_roots.items()))
+    cached = _AGGREGATE_CACHE.get(key)
+    if cached is not None:
+        return cached
     parts = []
-    for shard in sorted(shard_roots):
+    for shard, root in key:
         parts.append(shard.to_bytes(8, "big"))
-        parts.append(shard_roots[shard])
-    return domain_digest(_GLOBAL_ROOT_DOMAIN, *parts)
+        parts.append(root)
+    result = domain_digest(_GLOBAL_ROOT_DOMAIN, *parts)
+    if len(_AGGREGATE_CACHE) >= _AGGREGATE_CACHE_MAX:
+        _AGGREGATE_CACHE.pop(next(iter(_AGGREGATE_CACHE)))
+    _AGGREGATE_CACHE[key] = result
+    return result
 
 
 class ShardedGlobalState:
@@ -45,6 +73,16 @@ class ShardedGlobalState:
     def put_account(self, account: Account) -> None:
         """Write any account through its owning shard."""
         self.shard_for(account.account_id).put_account(account)
+
+    def put_accounts(self, accounts: typing.Iterable[Account]) -> None:
+        """Write many accounts, one batched SMT commit per owning shard."""
+        per_shard: dict[int, list[Account]] = {}
+        for account in accounts:
+            per_shard.setdefault(
+                shard_of(account.account_id, self.num_shards), []
+            ).append(account)
+        for shard, batch in per_shard.items():
+            self.shards[shard].put_accounts(batch)
 
     def credit(self, account_id: AccountId, amount: int) -> None:
         """Mint ``amount`` into an account (genesis funding)."""
@@ -81,6 +119,7 @@ class ShardedGlobalState:
         """Deep copy (used to fork a storage node's view)."""
         clone = ShardedGlobalState(self.num_shards, depth=self.shards[0].depth)
         for shard in self.shards:
-            for account in shard.accounts.snapshot().values():
-                clone.put_account(account)
+            clone.shards[shard.shard].put_accounts(
+                shard.accounts.snapshot().values()
+            )
         return clone

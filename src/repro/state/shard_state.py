@@ -10,7 +10,7 @@ rollback of failed cross-shard commits (Section IV-D2).
 from __future__ import annotations
 
 from repro.chain.account import Account, AccountId, shard_of
-from repro.crypto.smt import SMT_DEPTH, SmtProof, SparseMerkleTree
+from repro.crypto.smt import SMT_DEPTH, SmtMultiProof, SmtProof, SparseMerkleTree
 from repro.errors import StateError
 from repro.state.store import AccountStore
 
@@ -61,31 +61,77 @@ class ShardState:
         self.accounts.put(account)
         self._tree.update(key, account.encode())
 
+    def put_accounts(self, accounts) -> bytes:
+        """Write many accounts with one batched SMT commit.
+
+        Semantically equal to :meth:`put_account` per entry, but the
+        subtree recomputes each dirty internal node only once
+        (:meth:`~repro.crypto.smt.SparseMerkleTree.update_many`).
+        Returns the new subtree root.
+        """
+        items = []
+        for account in accounts:
+            key = self._smt_key(account.account_id)
+            self.accounts.put(account)
+            items.append((key, account.encode()))
+        return self._tree.update_many(items)
+
     def apply_updates(self, updates) -> bytes:
         """Apply raw ``(account_id, encoded_state)`` pairs (the U-list).
 
         This is the Multi-Shard Update step: the shard "directly updates
-        these key-value pairs and the state subtree". Returns the new
-        subtree root.
+        these key-value pairs and the state subtree". The whole batch
+        lands in one dirty-prefix SMT commit. Returns the new subtree
+        root.
         """
+        batch = []
         for account_id, encoded in updates:
             account = Account.decode(encoded)
             if account.account_id != account_id:
                 raise StateError(
                     f"update for account {account_id} encodes account {account.account_id}"
                 )
-            self.put_account(account)
+            batch.append(account)
+        self.put_accounts(batch)
         return self.root
 
     def prove(self, account_id: AccountId) -> SmtProof:
         """Integrity proof served with a state download."""
         return self._tree.prove(self._smt_key(account_id))
 
+    def prove_batch(self, account_ids) -> SmtMultiProof:
+        """One compressed multiproof over many of this shard's accounts.
+
+        What a storage node serves for a transaction batch instead of
+        per-account proofs: shared interior siblings appear once and
+        default siblings cost one bit, so the wire size scales with the
+        dirty frontier rather than ``len(ids) * depth``.
+        """
+        return self._tree.prove_batch(
+            self._smt_key(account_id) for account_id in account_ids
+        )
+
+    def smt_key(self, account_id: AccountId) -> int:
+        """Public SMT key of an owned account (ownership-checked)."""
+        return self._smt_key(account_id)
+
     def verify_account(self, account_id: AccountId, proof: SmtProof, root: bytes) -> bool:
         """Check a (state, proof) pair a storage node served."""
         account = self.accounts.get(account_id) if account_id in self.accounts else None
         value = account.encode() if account is not None else None
         return proof.verify(root, value, self._tree.depth)
+
+    def verify_accounts(self, account_ids, proof: SmtMultiProof, root: bytes) -> bool:
+        """Check a served (states, multiproof) batch against ``root``."""
+        values: dict[int, bytes | None] = {}
+        for account_id in account_ids:
+            key = self._smt_key(account_id)
+            account = (
+                self.accounts.get(account_id)
+                if account_id in self.accounts else None
+            )
+            values[key] = account.encode() if account is not None else None
+        return proof.verify_batch(root, values)
 
     # ------------------------------------------------------------------
     # Checkpoint / rollback
@@ -106,9 +152,13 @@ class ShardState:
         if snapshot is None:
             raise StateError(f"no checkpoint for round {round_number}")
         self.accounts.restore(snapshot)
-        self._tree = SparseMerkleTree(depth=self._tree.depth)
-        for account in snapshot.values():
-            self._tree.update(self._smt_key(account.account_id), account.encode())
+        self._tree = SparseMerkleTree.from_items(
+            (
+                (self._smt_key(account.account_id), account.encode())
+                for account in snapshot.values()
+            ),
+            depth=self._tree.depth,
+        )
         return self.root
 
     def prune_checkpoints(self, before_round: int) -> None:

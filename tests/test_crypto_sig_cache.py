@@ -1,0 +1,140 @@
+"""Tests for the verified-signature cache and batch verification."""
+
+import pytest
+
+from repro.crypto.backend import SignatureBackend, VrfOutput, get_backend
+from repro.crypto.hashed import HashedBackend
+
+
+class CountingBackend(SignatureBackend):
+    """Stub backend that counts raw verify calls; 'valid' == sig b"ok"."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.verify_calls = 0
+
+    def generate(self, seed):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def verify(self, public_key, message, signature):
+        self.verify_calls += 1
+        return signature == b"ok"
+
+    def vrf_verify(self, public_key, alpha, output):  # pragma: no cover
+        raise NotImplementedError
+
+
+def test_verify_cached_memoizes_successes():
+    backend = CountingBackend()
+    assert backend.verify_cached(b"pk", b"msg", b"ok")
+    assert backend.verify_cached(b"pk", b"msg", b"ok")
+    assert backend.verify_calls == 1
+    assert backend.verify_cache_stats["hits"] == 1
+    assert backend.verify_cache_stats["entries"] == 1
+
+
+def test_failed_verification_is_never_cached():
+    """Regression: a rejected signature must be re-checked every time."""
+    backend = CountingBackend()
+    for _ in range(3):
+        assert not backend.verify_cached(b"pk", b"msg", b"bad")
+    assert backend.verify_calls == 3  # no negative caching
+    assert backend.verify_cache_stats["entries"] == 0
+    # ... and a later success for the same (pk, msg) is still accepted.
+    assert backend.verify_cached(b"pk", b"msg", b"ok")
+
+
+def test_cache_key_covers_all_components():
+    backend = CountingBackend()
+    assert backend.verify_cached(b"pk", b"msg", b"ok")
+    # Different message, pk or signature each miss the cache.
+    assert backend.verify_cached(b"pk", b"other", b"ok")
+    assert backend.verify_cached(b"pk2", b"msg", b"ok")
+    assert backend.verify_calls == 3
+
+
+def test_cache_is_bounded_lru():
+    backend = CountingBackend()
+    backend.verify_cache_size = 4
+    for i in range(10):
+        assert backend.verify_cached(b"pk", b"msg-%d" % i, b"ok")
+    assert backend.verify_cache_stats["entries"] == 4
+    # Oldest entries were evicted: re-verifying msg-0 is a miss.
+    calls = backend.verify_calls
+    assert backend.verify_cached(b"pk", b"msg-0", b"ok")
+    assert backend.verify_calls == calls + 1
+    # Newest entry is still cached.
+    assert backend.verify_cached(b"pk", b"msg-9", b"ok")
+    assert backend.verify_calls == calls + 1
+
+
+def test_default_verify_batch_matches_loop():
+    backend = CountingBackend()
+    items = [
+        (b"pk", b"m1", b"ok"),
+        (b"pk", b"m2", b"bad"),
+        (b"pk", b"m1", b"ok"),  # cache hit
+    ]
+    assert backend.verify_batch(items) == [True, False, True]
+    assert backend.verify_calls == 2
+
+
+@pytest.mark.parametrize("name", ["hashed", "schnorr"])
+def test_real_backend_batch_equals_per_item(name):
+    backend = get_backend(name)
+    pair_a = backend.generate(b"seed-a")
+    pair_b = backend.generate(b"seed-b")
+    msg1, msg2 = b"payload-1", b"payload-2"
+    items = [
+        (pair_a.public_key, msg1, pair_a.sign(msg1)),
+        (pair_b.public_key, msg1, pair_b.sign(msg1)),
+        (pair_a.public_key, msg2, pair_a.sign(msg2)),
+        (pair_a.public_key, msg2, pair_b.sign(msg2)),  # wrong signer
+        (pair_a.public_key, msg1, pair_a.sign(msg1)),  # repeat -> cache
+    ]
+    expected = [backend.verify(pk, msg, sig) for pk, msg, sig in items]
+    assert expected == [True, True, True, False, True]
+    assert backend.verify_batch(items) == expected
+    # Warm run: all successes come from the cache, same verdicts.
+    assert backend.verify_batch(items) == expected
+    assert backend.verify_cache_stats["hits"] >= 4
+
+
+def test_hashed_batch_never_caches_failures():
+    backend = HashedBackend()
+    pair = backend.generate(b"seed")
+    good = pair.sign(b"msg")
+    bad = b"\x00" * len(good)
+    first = backend.verify_batch([(pair.public_key, b"msg", bad)] * 2)
+    assert first == [False, False]
+    assert backend.verify_cache_stats["entries"] == 0
+    assert backend.verify_batch([(pair.public_key, b"msg", good)]) == [True]
+
+
+def test_backend_instances_have_isolated_caches():
+    one, two = CountingBackend(), CountingBackend()
+    assert one.verify_cached(b"pk", b"msg", b"ok")
+    assert two.verify_cache_stats["entries"] == 0
+    assert two.verify_cache_stats["hits"] == 0
+
+
+def test_schnorr_pk_point_cache_consistency():
+    backend = get_backend("schnorr")
+    pair = backend.generate(b"seed")
+    sig = pair.sign(b"m")
+    assert backend.verify(pair.public_key, b"m", sig)
+    # Cached decode path returns the same verdicts, incl. rejections.
+    assert backend.verify(pair.public_key, b"m", sig)
+    assert not backend.verify(pair.public_key, b"other", sig)
+    output = pair.vrf_eval(b"alpha")
+    assert backend.vrf_verify(pair.public_key, b"alpha", output)
+    assert not backend.vrf_verify(
+        pair.public_key, b"beta", output
+    )
+
+
+def test_vrf_output_is_slotted():
+    output = VrfOutput(value=1, proof=b"p")
+    with pytest.raises((AttributeError, TypeError)):
+        output.extra = 1

@@ -1,0 +1,219 @@
+"""Property + unit tests for batched SMT commits and multiproofs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.smt import (
+    PartialSparseMerkleTree,
+    SmtMultiProof,
+    SparseMerkleTree,
+    verify_multiproof_or_raise,
+)
+from repro.errors import InvalidProof, StateError
+
+KEYS16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+# ----------------------------------------------------------------------
+# update_many == sequential update
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(KEYS16, st.one_of(st.none(), st.binary(min_size=1, max_size=8))),
+        max_size=40,
+    )
+)
+def test_property_update_many_matches_sequential(operations):
+    """Batch commit root == sequential root, incl. deletions + repeats."""
+    sequential = SparseMerkleTree(depth=16)
+    for key, value in operations:
+        sequential.update(key, value)
+    batched = SparseMerkleTree(depth=16)
+    batched.update_many(operations)
+    assert batched.root == sequential.root
+    assert batched._nodes == sequential._nodes  # no stale interior nodes
+    assert dict(batched.items()) == dict(sequential.items())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(KEYS16, st.binary(min_size=1, max_size=8), max_size=25),
+    st.lists(
+        st.tuples(KEYS16, st.one_of(st.none(), st.binary(min_size=1, max_size=8))),
+        max_size=25,
+    ),
+)
+def test_property_update_many_on_nonempty_tree(initial, operations):
+    """Batching on a pre-populated tree equals per-key updates."""
+    sequential = SparseMerkleTree.from_items(initial.items(), depth=16)
+    batched = SparseMerkleTree.from_items(initial.items(), depth=16)
+    for key, value in operations:
+        sequential.update(key, value)
+    batched.update_many(operations)
+    assert batched.root == sequential.root
+
+
+def test_update_many_later_entries_win():
+    tree = SparseMerkleTree(depth=16)
+    tree.update_many([(3, b"first"), (3, b"second")])
+    assert tree.get(3) == b"second"
+    reference = SparseMerkleTree(depth=16)
+    reference.update(3, b"second")
+    assert tree.root == reference.root
+
+
+def test_update_many_empty_batch_is_noop():
+    tree = SparseMerkleTree(depth=16)
+    tree.update(1, b"v")
+    before = tree.root
+    assert tree.update_many([]) == before
+    assert tree.root == before
+
+
+def test_update_many_checks_keys():
+    tree = SparseMerkleTree(depth=8)
+    with pytest.raises(StateError):
+        tree.update_many([(1 << 8, b"v")])
+
+
+def test_from_items_uses_batch_and_matches_sequential():
+    items = [(i * 7 % 64, b"v%d" % i) for i in range(40)]
+    batched = SparseMerkleTree.from_items(items, depth=16)
+    sequential = SparseMerkleTree(depth=16)
+    for key, value in items:
+        sequential.update(key, value)
+    assert batched.root == sequential.root
+
+
+def test_items_cache_invalidated_on_writes():
+    tree = SparseMerkleTree(depth=16)
+    tree.update(9, b"b")
+    assert list(tree.items()) == [(9, b"b")]
+    tree.update(2, b"a")
+    assert list(tree.items()) == [(2, b"a"), (9, b"b")]
+    tree.update_many([(1, b"c"), (9, None)])
+    assert list(tree.items()) == [(1, b"c"), (2, b"a")]
+    # Repeated iteration returns identical content (cached path).
+    assert list(tree.items()) == [(1, b"c"), (2, b"a")]
+
+
+# ----------------------------------------------------------------------
+# Multiproofs == per-key proofs
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.dictionaries(KEYS16, st.binary(min_size=1, max_size=8), max_size=20),
+    st.sets(KEYS16, max_size=12),
+)
+def test_property_multiproof_matches_per_key_proofs(mapping, probe_keys):
+    """verify_batch accepts exactly when every per-key proof accepts."""
+    tree = SparseMerkleTree.from_items(mapping.items(), depth=16)
+    keys = sorted(probe_keys)
+    values = {key: mapping.get(key) for key in keys}
+    proof = tree.prove_batch(keys)
+    assert proof.verify_batch(tree.root, values)
+    for key in keys:
+        assert tree.prove(key).verify(tree.root, values[key], depth=16)
+    # Tampering with any single value breaks the batch, like per-key.
+    if keys:
+        bad = dict(values)
+        bad[keys[0]] = b"bogus-value"
+        if bad[keys[0]] != values[keys[0]]:
+            assert not proof.verify_batch(tree.root, bad)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(KEYS16, st.binary(min_size=1, max_size=8), min_size=2, max_size=20))
+def test_property_multiproof_smaller_than_per_key(mapping):
+    tree = SparseMerkleTree.from_items(mapping.items(), depth=16)
+    keys = sorted(mapping)
+    multi = tree.prove_batch(keys).size_bytes
+    per_key = sum(tree.prove(key).size_bytes for key in keys)
+    assert multi < per_key
+
+
+def test_multiproof_rejects_stale_root():
+    tree = SparseMerkleTree.from_items([(1, b"a"), (2, b"b")], depth=16)
+    proof = tree.prove_batch([1, 2])
+    values = {1: b"a", 2: b"b"}
+    old_root = tree.root
+    tree.update(3, b"c")
+    assert not proof.verify_batch(tree.root, values)
+    assert proof.verify_batch(old_root, values)
+
+
+def test_multiproof_rejects_malformed():
+    tree = SparseMerkleTree.from_items([(1, b"a")], depth=16)
+    proof = tree.prove_batch([1])
+    # Truncated sibling list.
+    truncated = SmtMultiProof(keys=proof.keys, siblings=proof.siblings[:-1],
+                              depth=proof.depth)
+    assert not truncated.verify_batch(tree.root, {1: b"a"})
+    # Unsorted / duplicated key sets are rejected.
+    assert not SmtMultiProof(keys=(2, 1), siblings=proof.siblings, depth=16).verify_batch(
+        tree.root, {1: b"a", 2: None}
+    )
+    with pytest.raises(InvalidProof):
+        verify_multiproof_or_raise(truncated, tree.root, {1: b"a"})
+
+
+def test_empty_multiproof():
+    tree = SparseMerkleTree(depth=16)
+    proof = tree.prove_batch([])
+    assert proof.verify_batch(tree.root, {})
+    assert proof.size_bytes == 8
+
+
+def test_multiproof_non_inclusion():
+    tree = SparseMerkleTree.from_items([(5, b"x")], depth=16)
+    proof = tree.prove_batch([5, 6, 100])
+    assert proof.verify_batch(tree.root, {5: b"x", 6: None, 100: None})
+    assert not proof.verify_batch(tree.root, {5: b"x", 6: b"forged", 100: None})
+
+
+# ----------------------------------------------------------------------
+# Partial tree: multiproof ingestion + batched staging
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(KEYS16, st.binary(min_size=1, max_size=8), max_size=15),
+    st.sets(KEYS16, min_size=1, max_size=8),
+    st.binary(min_size=1, max_size=8),
+)
+def test_property_partial_from_multiproof_updates_match_full(mapping, touched, new_value):
+    """A stateless client's batched root matches the full tree's."""
+    tree = SparseMerkleTree.from_items(mapping.items(), depth=16)
+    keys = sorted(touched)
+    values = {key: mapping.get(key) for key in keys}
+    proof = tree.prove_batch(keys)
+    partial = PartialSparseMerkleTree.from_multiproof(tree.root, proof, values, depth=16)
+    staged = [(key, new_value) for key in keys]
+    partial.update_many(staged)
+    tree.update_many(staged)
+    assert partial.root == tree.root
+
+
+def test_partial_add_multiproof_rejects_wrong_root():
+    tree = SparseMerkleTree.from_items([(1, b"a")], depth=16)
+    other = SparseMerkleTree.from_items([(1, b"z")], depth=16)
+    proof = tree.prove_batch([1])
+    with pytest.raises(InvalidProof):
+        PartialSparseMerkleTree.from_multiproof(other.root, proof, {1: b"a"}, depth=16)
+
+
+def test_partial_update_many_requires_coverage():
+    tree = SparseMerkleTree.from_items([(1, b"a")], depth=16)
+    proof = tree.prove_batch([1])
+    partial = PartialSparseMerkleTree.from_multiproof(tree.root, proof, {1: b"a"}, depth=16)
+    with pytest.raises(StateError):
+        partial.update_many([(1, b"x"), (2, b"y")])
+    # Failed batch must not partially apply.
+    assert partial.root == tree.root

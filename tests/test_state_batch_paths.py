@@ -1,0 +1,101 @@
+"""State-layer batch paths: put_accounts, prove_batch, read_states_batch."""
+
+import pytest
+
+from repro.chain.account import Account
+from repro.core.storage import StorageHub
+from repro.errors import StateError
+from repro.state.global_state import ShardedGlobalState, aggregate_root
+from repro.state.shard_state import ShardState
+
+
+def _accounts(ids, balance=100):
+    return [Account(account_id=i, balance=balance + i, nonce=i % 3) for i in ids]
+
+
+# ----------------------------------------------------------------------
+# ShardState batch writes + multiproofs
+# ----------------------------------------------------------------------
+
+
+def test_put_accounts_matches_per_account_writes():
+    batched = ShardState(shard=1, num_shards=4, depth=16)
+    sequential = ShardState(shard=1, num_shards=4, depth=16)
+    accounts = _accounts([1, 5, 9, 13, 17])
+    root = batched.put_accounts(accounts)
+    for account in accounts:
+        sequential.put_account(account)
+    assert root == batched.root == sequential.root
+    for account in accounts:
+        assert batched.get_account(account.account_id) == account
+
+
+def test_put_accounts_rejects_foreign_ids():
+    state = ShardState(shard=0, num_shards=4, depth=16)
+    with pytest.raises(StateError):
+        state.put_accounts(_accounts([0, 1]))  # id 1 belongs to shard 1
+
+
+def test_prove_batch_round_trips_through_verify_accounts():
+    server = ShardState(shard=2, num_shards=4, depth=16)
+    server.put_accounts(_accounts([2, 6, 10]))
+    ids = [2, 6, 10, 14]  # 14 was never written: non-inclusion
+    proof = server.prove_batch(ids)
+    assert server.verify_accounts(ids, proof, server.root)
+    # A client with a diverging view of one account rejects the batch.
+    tampered = ShardState(shard=2, num_shards=4, depth=16)
+    tampered.put_accounts(_accounts([2, 6, 10]))
+    tampered.put_account(Account(account_id=6, balance=1))
+    assert not tampered.verify_accounts(ids, proof, server.root)
+
+
+# ----------------------------------------------------------------------
+# ShardedGlobalState batch writes + aggregate_root memo
+# ----------------------------------------------------------------------
+
+
+def test_global_put_accounts_routes_to_owning_shards():
+    batched = ShardedGlobalState(num_shards=3, depth=16)
+    sequential = ShardedGlobalState(num_shards=3, depth=16)
+    accounts = _accounts(range(12))
+    batched.put_accounts(accounts)
+    for account in accounts:
+        sequential.put_account(account)
+    assert batched.root == sequential.root
+    assert batched.shard_roots == sequential.shard_roots
+
+
+def test_aggregate_root_memo_and_dirty_hint_do_not_change_result():
+    roots = {0: b"\x01" * 32, 1: b"\x02" * 32}
+    plain = aggregate_root(roots)
+    assert aggregate_root(roots) == plain  # memoized path
+    assert aggregate_root(dict(reversed(list(roots.items())))) == plain
+    assert aggregate_root(roots, dirty_shards=[1]) == plain
+    assert aggregate_root(roots, dirty_shards=[]) == plain
+    changed = {**roots, 1: b"\x03" * 32}
+    assert aggregate_root(changed) != plain
+
+
+# ----------------------------------------------------------------------
+# StorageHub: read_states_batch == read_states
+# ----------------------------------------------------------------------
+
+
+def test_read_states_batch_matches_read_states():
+    hub = StorageHub(num_shards=2, smt_depth=16, txs_per_block=4)
+    hub.state.put_accounts(_accounts([0, 1, 2, 3, 5]))
+    ids = [0, 2, 4, 1, 5]  # shard-0 owned (incl. unwritten 4) + foreign
+    accounts, proofs, root = hub.read_states(0, ids)
+    b_accounts, multiproof, b_root = hub.read_states_batch(0, ids)
+    assert b_root == root
+    assert b_accounts == accounts
+    # Per-key proofs and the single multiproof authenticate the same view.
+    shard_state = hub.state.shards[0]
+    owned = [i for i in ids if i % 2 == 0]
+    assert set(proofs) == set(owned)
+    for account_id in owned:
+        value = accounts[account_id]
+        encoded = value.encode() if value is not None else None
+        assert proofs[account_id].verify(root, encoded, shard_state.depth)
+    assert shard_state.verify_accounts(owned, multiproof, b_root)
+    assert multiproof.size_bytes < sum(p.size_bytes for p in proofs.values())
