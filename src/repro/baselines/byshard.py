@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.chain.account import Account, shard_of
+from repro.chain.account import shard_of
 from repro.chain.blocks import TransactionBlock
 from repro.chain.transaction import Transaction
 from repro.committee import Committee, CommitteeKind

@@ -7,6 +7,8 @@ Usage::
     python -m repro run table1 --json
     python -m repro demo
     python -m repro audit --rounds 9
+    python -m repro lint src --strict
+    python -m repro replay --seed 7 --rounds 6
 """
 
 from __future__ import annotations
@@ -98,6 +100,18 @@ def _cmd_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.devtools.lint import main as lint_main
+
+    return lint_main(list(args.lint_args))
+
+
+def _cmd_replay(args) -> int:
+    from repro.devtools.replay import main as replay_main
+
+    return replay_main(list(args.replay_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -121,10 +135,36 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--rounds", type=int, default=9)
     audit.add_argument("--seed", type=int, default=7)
     audit.set_defaults(func=_cmd_audit)
+
+    lint = sub.add_parser(
+        "lint",
+        help="porylint: determinism & protocol-safety static analysis",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to repro.devtools.lint")
+    lint.set_defaults(func=_cmd_lint)
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay-divergence harness (same-seed double run + trace diff)",
+        add_help=False,
+    )
+    replay.add_argument("replay_args", nargs=argparse.REMAINDER,
+                        help="arguments forwarded to repro.devtools.replay")
+    replay.set_defaults(func=_cmd_replay)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Delegating subcommands are dispatched before argparse: REMAINDER
+    # does not capture a leading option (``repro replay --rounds 3``
+    # would otherwise be rejected as an unrecognized argument).
+    if argv and argv[0] == "lint":
+        return _cmd_lint(argparse.Namespace(lint_args=argv[1:]))
+    if argv and argv[0] == "replay":
+        return _cmd_replay(argparse.Namespace(replay_args=argv[1:]))
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -173,7 +173,7 @@ def compute_canonical_execution(
     outcome = TransactionExecutor().execute(intra, view)
     partial.update_many(
         (smt_key[account_id], account.encode())
-        for account_id, account in view.written.items()
+        for account_id, account in sorted(view.written.items())
         if account_id in smt_key
     )
 

@@ -132,6 +132,12 @@ class PorygonPipeline:
         self.block_meta: dict[bytes, WitnessedBlock] = {}
         self.current_round = 0
         self._storage_ids = [node.node_id for node in storage_nodes]
+        #: Optional per-phase digest trace sink (duck-typed: anything
+        #: with ``record(round_number, phase, parts)``), attached by the
+        #: replay-divergence harness (:mod:`repro.devtools.replay`).
+        #: ``None`` disables tracing entirely — the hot path pays one
+        #: attribute check per phase per round.
+        self.trace = None
 
         # Form the (long-lived) Ordering Committee at genesis.
         self.oc = self._form_ordering_committee()
@@ -153,6 +159,17 @@ class PorygonPipeline:
             equivocate=node.faults.equivocate,
             silent=not benign and not node.is_malicious,  # isolated honest node
         )
+
+    def _trace_phase(self, round_number: int, phase: str, parts) -> None:
+        """Feed one phase digest to the attached replay trace, if any.
+
+        ``parts`` are hashed in the order given: canonical ordering is
+        *this* pipeline's responsibility, so a timing-dependent ordering
+        shows up as a trace divergence — the bug class the harness
+        exists to catch (DESIGN.md §8).
+        """
+        if self.trace is not None:
+            self.trace.record(round_number, phase, list(parts))
 
     def _draws(self, round_number: int, node_ids) -> list:
         alpha = sortition_alpha(round_number, self.hub.latest_proposal_hash)
@@ -316,6 +333,7 @@ class PorygonPipeline:
         committees = self.assignments[round_number]
         wave1 = yield from self._witness_wave(round_number, committees, round_number)
         self.pending_witnessed.extend(wave1)
+        witnessed_this_lane = list(wave1)
         if self.config.cross_batch_witness:
             previous = self.assignments.get(round_number - 1)
             if previous and self.hub.pending_count() > 0:
@@ -323,6 +341,11 @@ class PorygonPipeline:
                     round_number, previous, round_number - 1
                 )
                 self.pending_witnessed.extend(wave2)
+                witnessed_this_lane.extend(wave2)
+        self._trace_phase(
+            round_number, "witness",
+            (wb.block.block_hash for wb in witnessed_this_lane),
+        )
 
     # ------------------------------------------------------------------
     # Execution Phase (Sections IV-C1(c) and IV-D)
@@ -575,6 +598,14 @@ class PorygonPipeline:
                 self.hub.rollback_speculative(shard_result.shard, shard_result.exec_round)
                 self.exec_epoch[shard_result.shard] += 1
                 self._schedule_retry(shard_result)
+        self._trace_phase(
+            round_number, "execution",
+            (
+                sr.shard.to_bytes(4, "big") + sr.exec_round.to_bytes(4, "big")
+                + sr.canonical.new_root
+                for sr in accepted
+            ),
+        )
 
         # -- Cross-shard bookkeeping ---------------------------------------
         completed_batches = []
@@ -605,12 +636,15 @@ class PorygonPipeline:
                 update_list[shard] = tuple(sorted(merged.items()))
             rollback_tx_ids.extend(tx.tx_id for tx in expired.cross_txs)
         if update_list and (cross_txs or not rollback_tx_ids):
+            # Canonical iteration order: update_list is keyed by shard
+            # and populated in result-arrival order, so anything derived
+            # from its iteration must be shard-sorted (PL003).
             old_values = {
                 shard: tuple(
                     (account_id, self.hub.state.get_account(account_id).encode())
                     for account_id, _ in entries
                 )
-                for shard, entries in update_list.items()
+                for shard, entries in sorted(update_list.items())
             }
             self.coordinator.open_u_batch(
                 round_number, update_list, old_values, cross_txs
@@ -643,7 +677,7 @@ class PorygonPipeline:
         proposal = ProposalBlock(
             round_number=round_number,
             prev_hash=self.hub.latest_proposal_hash,
-            ordered_blocks={s: tuple(h) for s, h in ordered_blocks.items()},
+            ordered_blocks={s: tuple(h) for s, h in sorted(ordered_blocks.items())},
             update_list=update_list,
             state_root=aggregate_root(new_roots),
             shard_roots=new_roots,
@@ -683,6 +717,7 @@ class PorygonPipeline:
             phase_label="ordering",
         )
         decision = yield self.env.process(consensus.run(proposal, proposal_bytes))
+        self._trace_phase(round_number, "ordering", (decision.value_digest,))
 
         if decision.empty or not decision.success:
             # Empty round: the proposal never existed. Unwind the
@@ -738,6 +773,9 @@ class PorygonPipeline:
         self._gossip_content(first_storage, "proposal_gossip", proposal.size_bytes)
         self.hub.append_proposal(proposal)
         self.proposals[round_number] = proposal
+        self._trace_phase(
+            round_number, "commit", (proposal.block_hash, proposal.state_root)
+        )
         now = self.env.now
         self.tracker.publish_times[round_number] = now
 

@@ -15,7 +15,14 @@ choice.
 
 from __future__ import annotations
 
-from repro.crypto.backend import KeyPair, SignatureBackend, VrfOutput
+import typing
+
+from repro.crypto.backend import (
+    KeyPair,
+    SignatureBackend,
+    VerifyItem,
+    VrfOutput,
+)
 from repro.crypto.hashing import digest, domain_digest
 from repro.errors import CryptoError
 
@@ -68,7 +75,7 @@ class HashedBackend(SignatureBackend):
         seed = self._seed_for(public_key)
         return signature == domain_digest(_SIG_DOMAIN, seed, message)
 
-    def verify_batch(self, items) -> list[bool]:
+    def verify_batch(self, items: typing.Iterable[VerifyItem]) -> list[bool]:
         """Fast batch path: one registry lookup per distinct signer.
 
         Functionally identical to the base per-item loop (and it still

@@ -20,7 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.backend import KeyPair, SignatureBackend, VrfOutput
+import typing
+
+from repro.crypto.backend import (
+    KeyPair,
+    SignatureBackend,
+    VerifyItem,
+    VrfOutput,
+)
 from repro.crypto.hashing import digest_concat, domain_digest
 from repro.errors import CryptoError, InvalidSignature
 
@@ -238,7 +245,7 @@ class SchnorrBackend(SignatureBackend):
         e = _scalar(domain_digest(_CHALLENGE_DOMAIN, signature[:33], public_key, message))
         return G * s == r_point + pk_point * e
 
-    def verify_batch(self, items) -> list[bool]:
+    def verify_batch(self, items: typing.Iterable[VerifyItem]) -> list[bool]:
         """Batch path: verified-cache + shared pubkey decoding.
 
         Semantically identical to one :meth:`verify` per item. The

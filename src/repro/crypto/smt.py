@@ -98,7 +98,9 @@ class SmtProof:
         return self.compute_root(value, depth) == root
 
 
-def _multiproof_levels(keys: tuple[int, ...], depth: int):
+def _multiproof_levels(
+    keys: tuple[int, ...], depth: int,
+) -> "typing.Iterator[tuple[int, list[int], list[int]]]":
     """Canonical level walk shared by multiproof prove/verify.
 
     Yields ``(level, on_path, sibling_prefixes)`` bottom-up, where
@@ -147,8 +149,10 @@ class SmtMultiProof:
         bitmap = (len(self.siblings) + 7) // 8
         return 8 + 8 * len(self.keys) + bitmap + 32 * present
 
-    def compute_root(self, values: typing.Mapping[int, bytes | None],
-                     _record=None) -> bytes:
+    def compute_root(
+        self, values: typing.Mapping[int, bytes | None],
+        _record: "typing.Callable[[int, int, bytes], None] | None" = None,
+    ) -> bytes:
         """Root implied by this proof for ``values`` (None = absent key).
 
         ``values`` must cover every key in :attr:`keys`; missing keys are
@@ -298,7 +302,8 @@ class SparseMerkleTree:
             self._nodes[(0, 0)] = current
         return current
 
-    def update_many(self, items) -> bytes:
+    def update_many(
+        self, items: "typing.Iterable[tuple[int, bytes | None]]") -> bytes:
         """Apply a batch of ``(key, value_or_None)`` writes at once.
 
         Semantically identical to calling :meth:`update` per item (later
@@ -365,7 +370,7 @@ class SparseMerkleTree:
             prefix >>= 1
         return SmtProof(key=key, siblings=tuple(siblings))
 
-    def prove_batch(self, keys) -> SmtMultiProof:
+    def prove_batch(self, keys: "typing.Iterable[int]") -> SmtMultiProof:
         """Build one compressed :class:`SmtMultiProof` covering ``keys``.
 
         Shared interior siblings are serialized once; default siblings
@@ -388,7 +393,7 @@ class SparseMerkleTree:
         proof = self.prove(key)
         return proof.verify(self.root, self._values.get(key), self.depth)
 
-    def items(self):
+    def items(self) -> "typing.Iterator[tuple[int, bytes]]":
         """Iterate over (key, value) pairs in key order.
 
         The sorted view is cached between writes, so repeated iteration
@@ -404,7 +409,10 @@ class SparseMerkleTree:
         return dict(self._values)
 
     @classmethod
-    def from_items(cls, items, depth: int = SMT_DEPTH) -> "SparseMerkleTree":
+    def from_items(
+        cls, items: "typing.Iterable[tuple[int, bytes]]",
+        depth: int = SMT_DEPTH,
+    ) -> "SparseMerkleTree":
         """Build a tree from an iterable of (key, value) pairs.
 
         Uses :meth:`update_many`, so bulk construction (genesis state,
@@ -448,7 +456,11 @@ class PartialSparseMerkleTree:
         self._root_cache: bytes | None = None
 
     @classmethod
-    def from_proofs(cls, root: bytes, entries, depth: int = SMT_DEPTH) -> "PartialSparseMerkleTree":
+    def from_proofs(
+        cls, root: bytes,
+        entries: "typing.Iterable[tuple[int, bytes | None, SmtProof]]",
+        depth: int = SMT_DEPTH,
+    ) -> "PartialSparseMerkleTree":
         """Build from verified ``(key, value_or_None, proof)`` triples.
 
         Raises :class:`InvalidProof` if any proof fails against ``root``.
@@ -565,7 +577,8 @@ class PartialSparseMerkleTree:
         self._values[key] = value
         self._root_cache = None
 
-    def update_many(self, items) -> None:
+    def update_many(
+        self, items: "typing.Iterable[tuple[int, bytes | None]]") -> None:
         """Stage a batch of ``(key, value_or_None)`` writes.
 
         All keys must be proof-covered; the root is recomputed lazily

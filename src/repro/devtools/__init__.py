@@ -1,0 +1,51 @@
+"""Developer tooling for determinism and protocol safety.
+
+Porygon's consensus is only sound if every replica derives byte-identical
+digests from the same event history.  This package makes that property
+machine-checked instead of reviewer-checked:
+
+* :mod:`repro.devtools.lint` — ``porylint``, an AST-based static
+  analyzer with determinism/protocol-safety rules (raw RNG use,
+  wall-clock reads, unordered iteration flowing into digests, floats in
+  digest inputs, mutable defaults, swallowed exceptions).  Run it as
+  ``python -m repro.devtools.lint src --strict`` or via the ``porylint``
+  console script.
+* :mod:`repro.devtools.replay` — a dynamic replay-divergence harness:
+  run the same seeded simulation twice, record a per-phase digest trace
+  (witness / ordering / execution / commit), and bisect to the first
+  divergent event when the traces differ.
+
+See DESIGN.md §8 for the determinism contract and the rule catalog.
+"""
+
+from __future__ import annotations
+
+import importlib
+import typing
+
+#: public name -> defining submodule.  Resolved lazily so that
+#: ``python -m repro.devtools.lint`` does not import the simulation
+#: stack (and runpy does not warn about re-imported submodules).
+_EXPORTS = {
+    "Finding": "repro.devtools.findings",
+    "Severity": "repro.devtools.findings",
+    "LintConfig": "repro.devtools.lint",
+    "lint_paths": "repro.devtools.lint",
+    "lint_source": "repro.devtools.lint",
+    "Divergence": "repro.devtools.replay",
+    "PhaseDigest": "repro.devtools.replay",
+    "ReplayReport": "repro.devtools.replay",
+    "TraceRecorder": "repro.devtools.replay",
+    "first_divergence": "repro.devtools.replay",
+    "replay_check": "repro.devtools.replay",
+    "run_traced": "repro.devtools.replay",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> typing.Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), name)

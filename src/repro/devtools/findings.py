@@ -1,0 +1,78 @@
+"""Finding and severity types shared by the lint engine and reporters."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break the determinism/protocol-safety contract
+    (DESIGN.md §8) and gate CI; ``WARNING`` findings are hygiene issues
+    that are still reported (and still gate ``--strict`` runs).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        code: rule code, e.g. ``"PL003"``.
+        name: short rule name, e.g. ``"UNORDERED-ITER-DIGEST"``.
+        message: human-readable description of this occurrence.
+        path: path of the offending file as given to the engine.
+        line: 1-based line number.
+        col: 0-based column offset.
+        severity: see :class:`Severity`.
+        hint: per-finding fix-it hint (how to repair the code).
+        source_line: the stripped source text of the offending line,
+            used for baseline matching that survives line drift.
+    """
+
+    code: str
+    name: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: Severity = Severity.ERROR
+    hint: str = ""
+    source_line: str = field(default="", compare=False)
+
+    def location(self) -> str:
+        """``path:line:col`` — clickable in most terminals/editors."""
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def baseline_key(self) -> str:
+        """Stable identity used by the baseline file.
+
+        Keyed on ``(path, code, hash(stripped source line))`` rather
+        than the line *number*, so unrelated edits above a baselined
+        finding do not invalidate the baseline entry.
+        """
+        content = self.source_line.strip().encode("utf-8", "replace")
+        line_hash = hashlib.sha256(content).hexdigest()[:12]
+        return f"{self.path}:{self.code}:{line_hash}"
+
+    def as_dict(self) -> dict:
+        """JSON-reporter representation."""
+        return {
+            "code": self.code,
+            "name": self.name,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "hint": self.hint,
+        }

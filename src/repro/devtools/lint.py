@@ -1,0 +1,370 @@
+"""porylint: the determinism & protocol-safety lint engine.
+
+Usage::
+
+    python -m repro.devtools.lint src --strict
+    python -m repro.devtools.lint src --format json
+    python -m repro.devtools.lint src --write-baseline   # snapshot debt
+    porylint src --select PL001,PL003                    # console script
+
+Exit codes: ``0`` clean, ``1`` findings (or, under ``--strict``, stale
+baseline entries / unparseable files), ``2`` usage errors.
+
+Suppression policy (DESIGN.md §8):
+
+* inline — ``# porylint: disable=PL003`` on the offending line (comma
+  separated codes, or ``all``), with a justification comment;
+* file-level — ``# porylint: disable-file=PL002`` within the first ten
+  lines of a module;
+* baseline — ``porylint-baseline.txt`` at the repo root records known
+  debt as ``path:code:hash(source line)`` entries.  The checked-in
+  baseline must stay empty: new debt is fixed, not baselined.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+import typing
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules import RULES, ModuleContext
+
+#: Default name of the checked-in baseline file (repo root).
+BASELINE_NAME = "porylint-baseline.txt"
+
+#: Comment marker for inline suppressions.
+_MARKER = "# porylint:"
+
+
+@dataclass
+class LintConfig:
+    """Engine options (mirrors the CLI flags)."""
+
+    select: frozenset[str] | None = None
+    ignore: frozenset[str] = frozenset()
+    strict: bool = False
+    baseline: dict[str, int] = field(default_factory=dict)
+
+    def active_rules(self) -> list:
+        rules = []
+        for code in sorted(RULES):
+            if self.select is not None and code not in self.select:
+                continue
+            if code in self.ignore:
+                continue
+            rules.append(RULES[code])
+        return rules
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    def exit_code(self, strict: bool) -> int:
+        if self.findings:
+            return 1
+        if strict and (self.stale_baseline or self.parse_errors):
+            return 1
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Inline ``# porylint: disable=...`` markers.
+
+    Returns ``(line -> codes, file-level codes)``; the special code
+    ``"all"`` suppresses every rule.
+    """
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+
+    def _codes(raw: str) -> set[str]:
+        # Tolerate trailing prose after the code list: each comma part
+        # contributes its first whitespace-separated token only, so
+        # ``disable=PL001  (why)`` suppresses PL001.
+        out: set[str] = set()
+        for part in raw.split(","):
+            tokens = part.split()
+            if tokens:
+                out.add(tokens[0])
+        return out
+
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        idx = text.find(_MARKER)
+        if idx < 0:
+            continue
+        directive = text[idx + len(_MARKER):].strip()
+        if directive.startswith("disable-file="):
+            if lineno <= 10:
+                per_file |= _codes(directive[len("disable-file="):])
+        elif directive.startswith("disable="):
+            per_line.setdefault(lineno, set()).update(
+                _codes(directive[len("disable="):]))
+    return per_line, per_file
+
+
+def _is_suppressed(finding: Finding, per_line: dict[int, set[str]],
+                   per_file: set[str]) -> bool:
+    if "all" in per_file or finding.code in per_file:
+        return True
+    codes = per_line.get(finding.line, set())
+    return "all" in codes or finding.code in codes
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Read a baseline file into ``key -> allowed occurrence count``."""
+    entries: dict[str, int] = {}
+    if not path.is_file():
+        return entries
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        entries[line] = entries.get(line, 0) + 1
+    return entries
+
+
+def write_baseline(path: Path, findings: "typing.Iterable[Finding]") -> int:
+    """Snapshot current findings as the new baseline; returns count."""
+    keys = sorted(finding.baseline_key() for finding in findings)
+    header = (
+        "# porylint baseline — known debt, one `path:code:linehash` entry per\n"
+        "# finding.  Policy (DESIGN.md §8): this file must stay empty on main;\n"
+        "# new findings are fixed or inline-suppressed with a justification.\n"
+    )
+    path.write_text(header + "".join(key + "\n" for key in keys), encoding="utf-8")
+    return len(keys)
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "src/repro/module.py",
+                config: LintConfig | None = None) -> list[Finding]:
+    """Lint one in-memory module; returns unsuppressed findings.
+
+    This is the API the self-tests use: ``path`` participates in rule
+    scoping (e.g. PL002 only fires under ``repro/sim|consensus|core``).
+    """
+    config = config or LintConfig()
+    result = LintResult()
+    _lint_one(path, source, config, result)
+    return result.findings
+
+
+def _lint_one(path: str, source: str, config: LintConfig,
+              result: LintResult) -> None:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.parse_errors.append((path, str(exc)))
+        return
+    result.files_checked += 1
+    ctx = ModuleContext(path=path, source=source, tree=tree)
+    per_line, per_file = _parse_suppressions(source)
+    baseline = config.baseline
+    for rule in config.active_rules():
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if _is_suppressed(finding, per_line, per_file):
+                result.suppressed.append(finding)
+                continue
+            key = finding.baseline_key()
+            if baseline.get(key, 0) > 0:
+                baseline[key] -= 1
+                result.baselined.append(finding)
+                continue
+            result.findings.append(finding)
+
+
+def _iter_py_files(paths: "typing.Iterable[str]") -> "typing.Iterator[Path]":
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            yield root
+        elif root.is_dir():
+            yield from sorted(
+                p for p in root.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+
+
+def _display_path(file_path: Path) -> str:
+    """Path used for scoping + reporting: posix, relative to cwd if under it."""
+    try:
+        rel = file_path.resolve().relative_to(Path.cwd().resolve())
+        return rel.as_posix()
+    except ValueError:
+        return file_path.as_posix()
+
+
+def lint_paths(paths: "typing.Iterable[str]",
+               config: LintConfig | None = None) -> LintResult:
+    """Lint every ``.py`` file under ``paths``."""
+    config = config or LintConfig()
+    result = LintResult()
+    for file_path in _iter_py_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.parse_errors.append((str(file_path), str(exc)))
+            continue
+        _lint_one(_display_path(file_path), source, config, result)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    # Baseline entries never matched by a finding are stale.
+    result.stale_baseline = sorted(
+        key for key, remaining in config.baseline.items() if remaining > 0
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------------
+
+
+def report_text(result: LintResult, stream: "typing.TextIO") -> None:
+    for finding in result.findings:
+        stream.write(
+            f"{finding.location()}: {finding.code} [{finding.name}] "
+            f"{finding.message}\n"
+        )
+        if finding.hint:
+            stream.write(f"    hint: {finding.hint}\n")
+    for path, error in result.parse_errors:
+        stream.write(f"{path}: parse error: {error}\n")
+    for key in result.stale_baseline:
+        stream.write(f"stale baseline entry (fixed or moved): {key}\n")
+    summary = (
+        f"porylint: {result.files_checked} file(s), "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined"
+    )
+    if result.stale_baseline:
+        summary += f", {len(result.stale_baseline)} stale baseline entr(ies)"
+    stream.write(summary + "\n")
+
+
+def report_json(result: LintResult, stream: "typing.TextIO") -> None:
+    payload = {
+        "files_checked": result.files_checked,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+        "stale_baseline": result.stale_baseline,
+        "parse_errors": [
+            {"path": path, "error": error}
+            for path, error in result.parse_errors
+        ],
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="porylint",
+        description="determinism & protocol-safety linter for the Porygon "
+                    "reproduction (rules PL001..PL006; see DESIGN.md §8)",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on stale baseline entries and "
+                             "unparseable files")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run (default all)")
+    parser.add_argument("--ignore", default="",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default ./{BASELINE_NAME} "
+                             "when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="snapshot current findings into the baseline "
+                             "file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _codes(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    return frozenset(code.strip().upper() for code in raw.split(",") if code.strip())
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            scope = " [scoped]" if rule.path_patterns else ""
+            print(f"{code} {rule.name}: {rule.summary}{scope}")
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(BASELINE_NAME)
+    baseline: dict[str, int] = {}
+    if not args.no_baseline and not args.write_baseline:
+        baseline = load_baseline(baseline_path)
+
+    select = _codes(args.select)
+    unknown = (select or frozenset()) - set(RULES)
+    if unknown:
+        print(f"unknown rule code(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    config = LintConfig(
+        select=select,
+        ignore=_codes(args.ignore) or frozenset(),
+        strict=args.strict,
+        baseline=baseline,
+    )
+    result = lint_paths(args.paths, config)
+
+    if args.write_baseline:
+        count = write_baseline(baseline_path, result.findings)
+        print(f"porylint: wrote {count} baseline entr(ies) to {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        report_json(result, sys.stdout)
+    else:
+        report_text(result, sys.stdout)
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,315 @@
+"""Replay-divergence harness: run twice, diff the digest trace, bisect.
+
+The static rules in :mod:`repro.devtools.lint` catch nondeterminism
+*patterns*; this harness catches nondeterminism *behaviour*.  It runs a
+small end-to-end :class:`~repro.core.system.PorygonSimulation` twice
+under the same seed with a :class:`TraceRecorder` attached to the
+pipeline, recording one digest per protocol phase per round:
+
+* ``witness``  — the witnessed-block set of the round,
+* ``execution``— the accepted per-shard subtree roots,
+* ``ordering`` — the proposal block digest BA* agreed on,
+* ``commit``   — the published block hash + global state root.
+
+If the two traces differ, :func:`first_divergence` bisects to the first
+differing event, localizing *which phase of which round* went
+nondeterministic — that turns "the commit roots differ" into "shard
+results entered round 3's execution validation in arrival order".
+
+CLI::
+
+    python -m repro.devtools.replay --seed 7 --rounds 6 --shards 2
+
+Exit code 0 when the traces are identical, 1 on divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import typing
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import domain_digest
+
+_TRACE_DOMAIN = "repro/replay-trace/v1"
+
+#: Base for the harness's seed-derived transaction ids — far above
+#: anything the process-global counter hands out, so a traced run can
+#: coexist with other simulations in one test process.
+_REPLAY_TX_ID_BASE = 1 << 40
+
+#: Canonical phase order inside one pipelined round (reporting only —
+#: the recorder preserves actual event order, which is itself part of
+#: the determinism contract).
+PHASES = ("witness", "execution", "ordering", "commit")
+
+
+@dataclass(frozen=True)
+class PhaseDigest:
+    """One recorded event: a phase of a round collapsed to one digest."""
+
+    index: int
+    round_number: int
+    phase: str
+    digest: bytes
+
+    def label(self) -> str:
+        return f"round {self.round_number} / {self.phase}"
+
+
+class TraceRecorder:
+    """Collects the per-phase digest trace of one simulation run.
+
+    The recorder hashes the parts **in the order the pipeline supplies
+    them**: canonical ordering is the pipeline's responsibility, and a
+    pipeline that hands over timing-dependent orderings *should* produce
+    a divergent trace — that is precisely the bug class this harness
+    exists to catch.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[PhaseDigest] = []
+
+    def record(self, round_number: int, phase: str,
+               parts: "typing.Sequence[bytes]") -> None:
+        digest = domain_digest(
+            _TRACE_DOMAIN,
+            phase.encode("utf-8"),
+            round_number.to_bytes(8, "big"),
+            *parts,
+        )
+        self.events.append(
+            PhaseDigest(
+                index=len(self.events),
+                round_number=round_number,
+                phase=phase,
+                digest=digest,
+            )
+        )
+
+    def digests(self) -> list[bytes]:
+        return [event.digest for event in self.events]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First point where two traces disagree."""
+
+    index: int
+    round_number: int
+    phase: str
+    digest_a: bytes | None
+    digest_b: bytes | None
+
+    def describe(self) -> str:
+        a = self.digest_a.hex()[:16] if self.digest_a else "<missing>"
+        b = self.digest_b.hex()[:16] if self.digest_b else "<missing>"
+        return (
+            f"first divergence at event {self.index} "
+            f"(round {self.round_number}, {self.phase} phase): "
+            f"run A {a}… vs run B {b}…"
+        )
+
+
+def first_divergence(a: "typing.Sequence[PhaseDigest]",
+                     b: "typing.Sequence[PhaseDigest]") -> Divergence | None:
+    """Bisect to the first event where the traces differ.
+
+    Trace prefixes agree up to the first divergent event, so "prefixes
+    of length ``i`` match" is monotone in ``i`` — binary search finds
+    the boundary in ``O(log n)`` digest comparisons.
+    """
+    n = min(len(a), len(b))
+
+    def events_match(index: int) -> bool:
+        ea, eb = a[index], b[index]
+        return (
+            ea.digest == eb.digest
+            and ea.phase == eb.phase
+            and ea.round_number == eb.round_number
+        )
+
+    def prefix_matches(length: int) -> bool:
+        return all(events_match(i) for i in range(length))
+
+    # Bisect on *prefix equality*, which is monotone by construction
+    # (a matching prefix of length L implies every shorter prefix
+    # matches) — individual post-divergence events could in principle
+    # re-coincide, so event-at-a-time monotonicity would be unsound.
+    # Invariant: prefixes of length `left` match, length `right` do not.
+    mismatch_at: int | None = None
+    if not prefix_matches(n):
+        left, right = 0, n
+        while right - left > 1:
+            mid = (left + right) // 2
+            if prefix_matches(mid):
+                left = mid
+            else:
+                right = mid
+        mismatch_at = right - 1
+    if mismatch_at is None:
+        if len(a) == len(b):
+            return None
+        # One run recorded more events: diverges right after the prefix.
+        longer = a if len(a) > len(b) else b
+        extra = longer[n]
+        return Divergence(
+            index=n,
+            round_number=extra.round_number,
+            phase=extra.phase,
+            digest_a=a[n].digest if len(a) > n else None,
+            digest_b=b[n].digest if len(b) > n else None,
+        )
+    ea, eb = a[mismatch_at], b[mismatch_at]
+    return Divergence(
+        index=mismatch_at,
+        round_number=ea.round_number,
+        phase=ea.phase if ea.phase == eb.phase else f"{ea.phase}|{eb.phase}",
+        digest_a=ea.digest,
+        digest_b=eb.digest,
+    )
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of a two-run replay check."""
+
+    seed: int
+    rounds: int
+    identical: bool
+    events: int
+    divergence: Divergence | None = None
+    commit_root_a: bytes = b""
+    commit_root_b: bytes = b""
+    trace_a: list[PhaseDigest] = field(default_factory=list)
+    trace_b: list[PhaseDigest] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "identical": self.identical,
+            "events": self.events,
+            "commit_root_a": self.commit_root_a.hex(),
+            "commit_root_b": self.commit_root_b.hex(),
+            "divergence": None if self.divergence is None else {
+                "index": self.divergence.index,
+                "round": self.divergence.round_number,
+                "phase": self.divergence.phase,
+                "digest_a": (self.divergence.digest_a or b"").hex(),
+                "digest_b": (self.divergence.digest_b or b"").hex(),
+            },
+        }
+
+
+def _build_simulation(seed: int, num_shards: int, config_overrides: dict | None):
+    from repro.core import PorygonConfig, PorygonSimulation
+
+    overrides = {
+        "num_shards": num_shards,
+        "nodes_per_shard": 6,
+        "ordering_size": 6,
+        "txs_per_block": 8,
+        "round_overhead_s": 0.5,
+        "consensus_step_timeout_s": 0.3,
+    }
+    overrides.update(config_overrides or {})
+    config = PorygonConfig(**overrides)
+    return PorygonSimulation(config, seed=seed)
+
+
+def run_traced(seed: int = 7, rounds: int = 6, num_shards: int = 2,
+               num_txs: int = 24, cross_shard_ratio: float = 0.25,
+               config_overrides: dict | None = None,
+               ) -> tuple[TraceRecorder, bytes]:
+    """One seeded end-to-end run with a trace recorder attached.
+
+    Returns ``(recorder, final commit root)``.  The workload is itself
+    derived deterministically from ``seed`` — including transaction
+    identity: ``Transaction.tx_id`` defaults to a *process-global*
+    counter, so two same-seed runs in one process would otherwise get
+    different tx ids (and therefore different block hashes).  The very
+    first run of this harness caught exactly that; replica-relative
+    identity must always be seed-derived (DESIGN.md §8).
+    """
+    import dataclasses
+
+    from repro.workload import WorkloadGenerator
+
+    sim = _build_simulation(seed, num_shards, config_overrides)
+    recorder = TraceRecorder()
+    sim.pipeline.trace = recorder
+    generator = WorkloadGenerator(
+        num_accounts=max(64, 4 * num_txs), num_shards=num_shards,
+        cross_shard_ratio=cross_shard_ratio, unique=True, seed=seed,
+    )
+    batch = [
+        dataclasses.replace(tx, tx_id=_REPLAY_TX_ID_BASE + index)
+        for index, tx in enumerate(generator.batch(num_txs))
+    ]
+    genesis = sorted({tx.sender for tx in batch})
+    sim.fund_accounts(genesis, 1_000)
+    sim.submit(batch)
+    sim.run(num_rounds=rounds)
+    final_root = (
+        sim.hub.proposals[-1].state_root if sim.hub.proposals else b""
+    )
+    return recorder, final_root
+
+
+def replay_check(seed: int = 7, rounds: int = 6, num_shards: int = 2,
+                 num_txs: int = 24, cross_shard_ratio: float = 0.25,
+                 config_overrides: dict | None = None) -> ReplayReport:
+    """Run the same seeded workload twice and diff the digest traces."""
+    recorder_a, root_a = run_traced(seed, rounds, num_shards, num_txs,
+                                    cross_shard_ratio, config_overrides)
+    recorder_b, root_b = run_traced(seed, rounds, num_shards, num_txs,
+                                    cross_shard_ratio, config_overrides)
+    divergence = first_divergence(recorder_a.events, recorder_b.events)
+    return ReplayReport(
+        seed=seed,
+        rounds=rounds,
+        identical=divergence is None and root_a == root_b,
+        events=len(recorder_a.events),
+        divergence=divergence,
+        commit_root_a=root_a,
+        commit_root_b=root_b,
+        trace_a=recorder_a.events,
+        trace_b=recorder_b.events,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.replay",
+        description="replay-divergence harness: same-seed double run + "
+                    "digest-trace diff with bisection",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--txs", type=int, default=24)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    report = replay_check(seed=args.seed, rounds=args.rounds,
+                          num_shards=args.shards, num_txs=args.txs)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    elif report.identical:
+        print(f"replay OK: {report.events} trace events identical across "
+              f"two seed={report.seed} runs; commit root "
+              f"{report.commit_root_a.hex()[:16]}…")
+    else:
+        print("replay DIVERGED:")
+        if report.divergence is not None:
+            print("  " + report.divergence.describe())
+        print(f"  commit roots: {report.commit_root_a.hex()[:16]}… vs "
+              f"{report.commit_root_b.hex()[:16]}…")
+    return 0 if report.identical else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

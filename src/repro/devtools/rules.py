@@ -1,0 +1,473 @@
+"""porylint rule registry and the built-in rule set.
+
+Every rule is registered in :data:`RULES` via the :func:`register`
+decorator and checked by the engine in :mod:`repro.devtools.lint`.
+Rules receive a :class:`ModuleContext` (parsed AST + path metadata) and
+yield :class:`~repro.devtools.findings.Finding` objects with per-finding
+fix-it hints.
+
+Rule catalog (see DESIGN.md §8 for rationale and suppression policy):
+
+======  ======================  ==============================================
+code    name                    what it catches
+======  ======================  ==============================================
+PL001   RAW-RANDOM              global ``random.*`` / unseeded ``Random()``
+PL002   WALL-CLOCK              ``time.time()`` etc. in sim/consensus/core
+PL003   UNORDERED-ITER-DIGEST   unsorted set/dict-view iteration -> digest
+PL004   MUTABLE-DEFAULT         mutable default argument values
+PL005   FLOAT-IN-DIGEST         float values tainting digest inputs
+PL006   SWALLOWED-EXCEPT        bare/over-broad except that drops the error
+======  ======================  ==============================================
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import typing
+from dataclasses import dataclass, field
+
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.taint import FLOAT, UNORDERED, DigestTaintAnalyzer, TaintFinding
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: cache slot for the shared digest-taint analysis (PL003 + PL005).
+    _taint_findings: "list[TaintFinding] | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def norm_path(self) -> str:
+        return self.path.replace("\\", "/")
+
+    def taint_findings(self) -> "list[TaintFinding]":
+        if self._taint_findings is None:
+            self._taint_findings = DigestTaintAnalyzer(self.tree).run()
+        return self._taint_findings
+
+
+class Rule:
+    """Base class: one code, one name, an optional path scope."""
+
+    code: str = "PL000"
+    name: str = "BASE"
+    summary: str = ""
+    #: fnmatch patterns a module path must match for the rule to apply;
+    #: empty means "applies everywhere".
+    path_patterns: tuple[str, ...] = ()
+    severity: Severity = Severity.ERROR
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if not self.path_patterns:
+            return True
+        path = ctx.norm_path()
+        return any(fnmatch.fnmatch(path, pat) for pat in self.path_patterns)
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str,
+                hint: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            code=self.code,
+            name=self.name,
+            message=message,
+            path=ctx.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            severity=self.severity,
+            hint=hint,
+            source_line=ctx.line_text(line),
+        )
+
+
+#: code -> rule instance.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one rule instance to the registry."""
+    rule = cls()
+    if rule.code in RULES:  # pragma: no cover - registry misuse guard
+        raise ValueError(f"duplicate rule code {rule.code}")
+    RULES[rule.code] = rule
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# PL001 RAW-RANDOM
+# ---------------------------------------------------------------------------
+
+_RANDOM_MODULE_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "lognormvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "triangular", "getrandbits",
+    "randbytes", "seed", "setstate", "getstate",
+}
+
+
+@register
+class RawRandomRule(Rule):
+    """Module-level ``random.*`` or unseeded ``Random()``.
+
+    Global-module RNG state is shared across the whole process: any
+    import-order or call-order change silently reshuffles every draw,
+    and two replicas can disagree.  Sim-reachable code must draw from a
+    seeded ``random.Random`` instance plumbed from config.
+    """
+
+    code = "PL001"
+    name = "RAW-RANDOM"
+    summary = "global random module / unseeded Random() in sim-reachable code"
+    _hint = (
+        "draw from a seeded `random.Random(seed)` instance plumbed from "
+        "config instead of process-global RNG state"
+    )
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        module_aliases: set[str] = set()
+        func_aliases: set[str] = set()  # from random import random, ...
+        random_cls_aliases: set[str] = set()  # from random import Random
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        module_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name == "Random":
+                        random_cls_aliases.add(alias.asname or alias.name)
+                    elif alias.name in _RANDOM_MODULE_FUNCS:
+                        func_aliases.add(alias.asname or alias.name)
+        if not (module_aliases or func_aliases or random_cls_aliases):
+            return
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                    if func.value.id in module_aliases:
+                        if func.attr in _RANDOM_MODULE_FUNCS:
+                            yield self.finding(
+                                ctx, node,
+                                f"call to process-global `random.{func.attr}()`",
+                                self._hint,
+                            )
+                        elif func.attr in {"Random", "SystemRandom"} and not (
+                            node.args or node.keywords
+                        ):
+                            yield self.finding(
+                                ctx, node,
+                                f"unseeded `random.{func.attr}()` instance",
+                                "pass an explicit seed: `random.Random(seed)`",
+                            )
+                elif isinstance(func, ast.Name):
+                    if func.id in func_aliases:
+                        yield self.finding(
+                            ctx, node,
+                            f"call to process-global `{func.id}()` "
+                            "(imported from random)",
+                            self._hint,
+                        )
+                    elif func.id in random_cls_aliases and not (
+                        node.args or node.keywords
+                    ):
+                        yield self.finding(
+                            ctx, node,
+                            "unseeded `Random()` instance",
+                            "pass an explicit seed: `Random(seed)`",
+                        )
+            elif isinstance(node, ast.keyword) and node.arg == "default_factory":
+                # `field(default_factory=random.Random)` constructs an
+                # *unseeded* Random at every instantiation.
+                value = node.value
+                is_random_ref = (
+                    isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in module_aliases
+                    and value.attr == "Random"
+                ) or (
+                    isinstance(value, ast.Name) and value.id in random_cls_aliases
+                )
+                if is_random_ref:
+                    yield self.finding(
+                        ctx, value,
+                        "`default_factory=random.Random` builds an unseeded "
+                        "RNG per instance",
+                        "derive the RNG from an explicit seed field in "
+                        "`__post_init__` (e.g. `random.Random(self.seed)`)",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# PL002 WALL-CLOCK
+# ---------------------------------------------------------------------------
+
+_TIME_FUNCS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads inside simulated/consensus-critical code.
+
+    Simulated components must read time from ``env.now`` (virtual time);
+    a host-clock read makes behaviour depend on scheduler jitter and can
+    never replay identically.
+    """
+
+    code = "PL002"
+    name = "WALL-CLOCK"
+    summary = "host wall-clock read inside sim/, consensus/ or core/"
+    path_patterns = (
+        "*repro/sim/*", "*repro/consensus/*", "*repro/core/*",
+        "repro/sim/*", "repro/consensus/*", "repro/core/*",
+    )
+    _hint = "use the simulation clock (`env.now`) or plumb a time source"
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        time_aliases: set[str] = set()
+        datetime_mod_aliases: set[str] = set()
+        datetime_cls_aliases: set[str] = set()
+        time_func_aliases: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        datetime_mod_aliases.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FUNCS:
+                            time_func_aliases.add(alias.asname or alias.name)
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in {"datetime", "date"}:
+                            datetime_cls_aliases.add(alias.asname or alias.name)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                if isinstance(base, ast.Name):
+                    if base.id in time_aliases and func.attr in _TIME_FUNCS:
+                        yield self.finding(
+                            ctx, node,
+                            f"host wall-clock read `time.{func.attr}()`",
+                            self._hint,
+                        )
+                    elif base.id in datetime_cls_aliases and func.attr in _DATETIME_FUNCS:
+                        yield self.finding(
+                            ctx, node,
+                            f"host wall-clock read `datetime.{func.attr}()`",
+                            self._hint,
+                        )
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in datetime_mod_aliases
+                    and base.attr in {"datetime", "date"}
+                    and func.attr in _DATETIME_FUNCS
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"host wall-clock read `datetime.{base.attr}.{func.attr}()`",
+                        self._hint,
+                    )
+            elif isinstance(func, ast.Name) and func.id in time_func_aliases:
+                yield self.finding(
+                    ctx, node,
+                    f"host wall-clock read `{func.id}()` (imported from time)",
+                    self._hint,
+                )
+
+
+# ---------------------------------------------------------------------------
+# PL003 UNORDERED-ITER-DIGEST / PL005 FLOAT-IN-DIGEST (shared dataflow)
+# ---------------------------------------------------------------------------
+
+
+@register
+class UnorderedIterDigestRule(Rule):
+    """Unsorted set/dict-view iteration flowing into a digest sink.
+
+    This is the exact bug class PR 1 had to hand-patch: consensus
+    payload digests depended on timing-sensitive arrival order.  Any
+    value produced by iterating a ``set`` or a dict view without
+    ``sorted(...)`` must never reach a hashing sink, ``.encode()``-based
+    serialization or consensus payload construction.
+    """
+
+    code = "PL003"
+    name = "UNORDERED-ITER-DIGEST"
+    summary = "unsorted set/dict-view iteration flows into a digest sink"
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for taint in ctx.taint_findings():
+            if taint.kind != UNORDERED:
+                continue
+            node = _FakeNode(taint.line, taint.col)
+            yield self.finding(
+                ctx, node,
+                f"value tainted by {taint.reason} (line {taint.source_line}) "
+                f"reaches digest sink {taint.sink}",
+                "wrap the iteration in `sorted(...)` (or iterate a "
+                "canonically ordered list) before it reaches the digest",
+            )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default argument values (shared across calls)."""
+
+    code = "PL004"
+    name = "MUTABLE-DEFAULT"
+    summary = "mutable default argument value"
+    severity = Severity.WARNING
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in [*args.defaults, *args.kw_defaults]:
+                if default is None:
+                    continue
+                if self._is_mutable(default):
+                    func_name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default value in `{func_name}(...)` is shared "
+                        "across every call",
+                        "default to `None` and create the container inside "
+                        "the function body",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = node.func
+            if isinstance(name, ast.Name) and name.id in self._MUTABLE_CALLS:
+                return True
+            if isinstance(name, ast.Attribute) and name.attr in self._MUTABLE_CALLS:
+                return True
+        return False
+
+
+@register
+class FloatInDigestRule(Rule):
+    """Float values tainting digest inputs.
+
+    Float encodings are representation-sensitive (``str(x)`` precision,
+    platform ``struct`` quirks, non-associative arithmetic upstream);
+    digests must be computed over integers/bytes only.
+    """
+
+    code = "PL005"
+    name = "FLOAT-IN-DIGEST"
+    summary = "float value flows into a digest sink"
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for taint in ctx.taint_findings():
+            if taint.kind != FLOAT:
+                continue
+            node = _FakeNode(taint.line, taint.col)
+            yield self.finding(
+                ctx, node,
+                f"value tainted by {taint.reason} (line {taint.source_line}) "
+                f"reaches digest sink {taint.sink}",
+                "hash a fixed-point integer encoding instead (e.g. "
+                "`int(x * 10**6).to_bytes(8, 'big')`), never the float",
+            )
+
+
+# ---------------------------------------------------------------------------
+# PL006 SWALLOWED-EXCEPT
+# ---------------------------------------------------------------------------
+
+
+@register
+class SwallowedExceptRule(Rule):
+    """Bare/over-broad except that swallows the error.
+
+    In the consensus engine and the round pipeline a swallowed exception
+    turns a loud divergence into a silent one: the replica keeps running
+    with corrupted per-round state.  Catch precise exception types, or
+    re-raise after cleanup.
+    """
+
+    code = "PL006"
+    name = "SWALLOWED-EXCEPT"
+    summary = "bare/over-broad except hides failures in protocol-critical code"
+    path_patterns = (
+        "*repro/consensus/engine.py",
+        "*repro/core/pipeline.py",
+        "*repro/core/coordinator.py",
+        "repro/consensus/engine.py",
+        "repro/core/pipeline.py",
+        "repro/core/coordinator.py",
+    )
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = node.type is None or self._is_broad(node.type)
+            if not broad:
+                continue
+            if any(isinstance(sub, ast.Raise) for stmt in node.body
+                   for sub in ast.walk(stmt)):
+                continue  # re-raised: the failure stays loud
+            label = "bare `except:`" if node.type is None else (
+                f"over-broad `except {ast.unparse(node.type)}:`"
+            )
+            yield self.finding(
+                ctx, node,
+                f"{label} swallows the error in protocol-critical code",
+                "catch the precise exception type(s) from repro.errors, "
+                "or re-raise after cleanup",
+            )
+
+    def _is_broad(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._BROAD
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad(element) for element in node.elts)
+        return False
+
+
+class _FakeNode:
+    """Location carrier for findings derived from taint records."""
+
+    def __init__(self, lineno: int, col_offset: int):
+        self.lineno = lineno
+        self.col_offset = col_offset

@@ -1,0 +1,517 @@
+"""Intraprocedural digest-taint dataflow.
+
+The determinism contract (DESIGN.md §8) requires every byte that flows
+into a digest to be derived canonically: iteration over ``set`` objects
+or dict views must pass through ``sorted(...)`` first, and floating-point
+values must never reach a digest at all (their textual/binary encodings
+are representation- and platform-sensitive).
+
+This module implements the shared dataflow engine behind rules **PL003
+UNORDERED-ITER-DIGEST** and **PL005 FLOAT-IN-DIGEST**:
+
+* **Sources** — unordered: ``set`` literals/comprehensions,
+  ``set(...)``/``frozenset(...)`` calls, dict ``.keys()/.values()/
+  .items()`` views.  Float: float literals, ``float(...)``, true
+  division, ``struct.pack`` with a float format.
+* **Propagation** — assignments, augmented assignment, ``for`` targets,
+  comprehension variables, container ``append/extend/add`` mutation, and
+  any expression syntactically containing a tainted name.
+* **Sanitizers** — ``sorted(...)`` launders *unordered* taint (it
+  restores a canonical order) but not *float* taint; order-insensitive
+  scalarizers (``len``/``any``/``all``/``int``/``bool``) launder both.
+* **Sinks** — the :mod:`repro.crypto.hashing` helpers (``digest``,
+  ``digest_concat``, ``domain_digest``, ``digest_int``, ``hex_digest``),
+  ``hashlib`` constructions and ``<hasher>.update``, ``.encode()``-based
+  serialization of tainted values, and consensus payload construction
+  (``vote_signing_payload`` / ``signing_payload`` / ``ProposalBlock``).
+
+The analysis is intraprocedural (one function body at a time, module
+top-level included) and deliberately conservative about attributes: only
+local names are tracked, which keeps the false-positive rate near zero
+on idiomatic code (see the corpus test in ``tests/test_devtools_lint.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+#: Taint kinds produced by the source classifiers.
+UNORDERED = "unordered"
+FLOAT = "float"
+
+#: Names (from ``repro.crypto.hashing``) that are digest sinks.
+HASHING_SINKS = {"digest", "digest_concat", "domain_digest", "digest_int", "hex_digest"}
+
+#: hashlib constructors treated as digest sinks.
+HASHLIB_ALGOS = {
+    "sha256", "sha1", "sha512", "sha384", "sha224", "md5", "blake2b",
+    "blake2s", "sha3_256", "sha3_512", "new",
+}
+
+#: Consensus payload constructors — bytes signed/agreed on by replicas.
+PAYLOAD_SINKS = {"vote_signing_payload", "signing_payload", "ProposalBlock"}
+
+#: ``sorted(...)`` restores canonical order: launders UNORDERED only.
+ORDER_SANITIZERS = {"sorted"}
+
+#: Order-insensitive scalar reductions / integral casts: launder both.
+SCALARIZERS = {"len", "any", "all", "bool", "int", "abs", "round", "id", "hash"}
+
+#: dict/set view methods whose iteration order is not canonical.
+VIEW_METHODS = {"keys", "values", "items"}
+
+#: Mutating container methods that propagate taint into the receiver.
+MUTATORS = {"append", "extend", "add", "update", "insert"}
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Why a value is suspect: the kind, a reason, and its origin line."""
+
+    kind: str
+    reason: str
+    line: int
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """One tainted value reaching one digest sink."""
+
+    kind: str
+    line: int
+    col: int
+    sink: str
+    reason: str
+    source_line: int
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """The terminal name of a call target (``f`` or ``mod.f`` -> ``f``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _ScopeAnalyzer:
+    """Analyze one function body (or the module top level)."""
+
+    def __init__(self, engine: "DigestTaintAnalyzer", body: list[ast.stmt]):
+        self.engine = engine
+        self.body = body
+        #: local name -> {kind: Taint}
+        self.env: dict[str, dict[str, Taint]] = {}
+        #: local names bound to hashlib hasher objects.
+        self.hashers: set[str] = set()
+        self.findings: set[TaintFinding] = set()
+
+    # -- driver ---------------------------------------------------------
+
+    def run(self) -> set[TaintFinding]:
+        # Two passes reach a fixpoint for loop-carried taint (a value
+        # tainted late in a loop body and consumed early next iteration).
+        for record in (False, True):
+            self._visit_block(self.body, record=record)
+        return self.findings
+
+    def _visit_block(self, stmts: list[ast.stmt], record: bool) -> None:
+        for stmt in stmts:
+            self._visit_stmt(stmt, record)
+
+    def _visit_stmt(self, stmt: ast.stmt, record: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are analyzed separately
+        if record:
+            self._check_sinks(stmt)
+        if isinstance(stmt, ast.Assign):
+            taint = self._taint_of(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, self._taint_of(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._taint_of(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                self._merge(stmt.target.id, taint)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind(stmt.target, self._iteration_taint(stmt.iter))
+            self._visit_block(stmt.body, record)
+            self._visit_block(stmt.orelse, record)
+        elif isinstance(stmt, ast.While):
+            self._visit_block(stmt.body, record)
+            self._visit_block(stmt.orelse, record)
+        elif isinstance(stmt, ast.If):
+            self._visit_block(stmt.body, record)
+            self._visit_block(stmt.orelse, record)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, self._taint_of(item.context_expr))
+            self._visit_block(stmt.body, record)
+        elif isinstance(stmt, ast.Try):
+            self._visit_block(stmt.body, record)
+            for handler in stmt.handlers:
+                self._visit_block(handler.body, record)
+            self._visit_block(stmt.orelse, record)
+            self._visit_block(stmt.finalbody, record)
+        elif isinstance(stmt, ast.Expr):
+            self._track_mutation(stmt.value)
+
+    # -- environment ----------------------------------------------------
+
+    def _bind(self, target: ast.expr, taint: dict[str, Taint]) -> None:
+        """Assign ``taint`` to a (possibly destructuring) target."""
+        if isinstance(target, ast.Name):
+            if taint:
+                self._merge(target.id, taint)
+            else:
+                self.env.pop(target.id, None)  # strong update kills taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint)
+        # attribute / subscript targets: not tracked (conservative).
+
+    def _merge(self, name: str, taint: dict[str, Taint]) -> None:
+        if not taint:
+            return
+        slot = self.env.setdefault(name, {})
+        for kind, info in taint.items():
+            slot.setdefault(kind, info)
+
+    def _track_mutation(self, expr: ast.expr) -> None:
+        """``parts.append(tainted)`` taints ``parts``."""
+        if not (isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute)):
+            return
+        func = expr.func
+        if func.attr in MUTATORS and isinstance(func.value, ast.Name):
+            merged: dict[str, Taint] = {}
+            for arg in expr.args:
+                merged.update(self._taint_of(arg))
+            self._merge(func.value.id, merged)
+        # Track hashlib hasher construction assigned via walrus etc. is
+        # handled in _taint_of / Assign above.
+
+    # -- expression taint -----------------------------------------------
+
+    def _iteration_taint(self, iterable: ast.expr) -> dict[str, Taint]:
+        """Taint for loop/comprehension targets drawn from ``iterable``."""
+        taint = dict(self._taint_of(iterable))
+        source = self._classify_source(iterable)
+        if source is not None:
+            taint.setdefault(source.kind, source)
+        return taint
+
+    def _classify_source(self, node: ast.expr) -> Taint | None:
+        """Is this expression *itself* a taint source?"""
+        line = getattr(node, "lineno", 0)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return Taint(UNORDERED, "set literal/comprehension iterates in hash order", line)
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return Taint(FLOAT, "float literal", line)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return Taint(FLOAT, "true division produces a float", line)
+        if isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            if name in {"set", "frozenset"} and isinstance(node.func, ast.Name):
+                return Taint(UNORDERED, f"{name}() iterates in hash order", line)
+            if name == "float" and isinstance(node.func, ast.Name):
+                return Taint(FLOAT, "float() conversion", line)
+            if (
+                name in VIEW_METHODS
+                and isinstance(node.func, ast.Attribute)
+                and not node.args
+            ):
+                return Taint(
+                    UNORDERED,
+                    f".{name}() view iterated without sorted(...)",
+                    line,
+                )
+            if name == "pack" and node.args:
+                fmt = node.args[0]
+                if isinstance(fmt, ast.Constant) and isinstance(fmt.value, str):
+                    if any(ch in fmt.value for ch in "efd"):
+                        return Taint(FLOAT, "struct.pack with float format", line)
+        return None
+
+    def _taint_of(self, node: ast.expr | None) -> dict[str, Taint]:
+        """All taint kinds carried by ``node`` under the current env."""
+        if node is None:
+            return {}
+        if isinstance(node, ast.Name):
+            return dict(self.env.get(node.id, {}))
+        source = self._classify_source(node)
+        result: dict[str, Taint] = {}
+        if source is not None:
+            result[source.kind] = source
+        if isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            if isinstance(node.func, ast.Name):
+                if name in SCALARIZERS:
+                    return result  # launders both kinds
+                if name in ORDER_SANITIZERS:
+                    # sorted(...) restores canonical order but a sorted
+                    # list of floats is still floats.
+                    merged: dict[str, Taint] = {}
+                    for arg in node.args:
+                        merged.update(self._taint_of(arg))
+                    merged.pop(UNORDERED, None)
+                    merged.update(result)
+                    return merged
+            # Generic call: propagate over func expr, args and keywords.
+            for child in [node.func, *node.args, *[kw.value for kw in node.keywords]]:
+                result.update(self._taint_of(child))
+            return result
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            saved: dict[str, dict[str, Taint] | None] = {}
+            bound: list[str] = []
+            for gen in node.generators:
+                gen_taint = self._iteration_taint(gen.iter)
+                result.update(gen_taint)
+                for target_name in _target_names(gen.target):
+                    bound.append(target_name)
+                    saved.setdefault(target_name, self.env.get(target_name))
+                    if gen_taint:
+                        self.env[target_name] = dict(gen_taint)
+            if isinstance(node, ast.DictComp):
+                result.update(self._taint_of(node.key))
+                result.update(self._taint_of(node.value))
+            else:
+                result.update(self._taint_of(node.elt))
+            for target_name in bound:  # restore outer bindings
+                previous = saved.get(target_name)
+                if previous is None:
+                    self.env.pop(target_name, None)
+                else:
+                    self.env[target_name] = previous
+            return result
+        if isinstance(node, ast.Starred):
+            result.update(self._taint_of(node.value))
+            return result
+        # Generic: union over child expressions.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                result.update(self._taint_of(child))
+        return result
+
+    # -- sinks ----------------------------------------------------------
+
+    def _is_hashing_sink(self, call: ast.Call) -> str | None:
+        name = _call_name(call.func)
+        if name is None:
+            return None
+        engine = self.engine
+        if isinstance(call.func, ast.Name):
+            if name in engine.hashing_names:
+                return f"{name}()"
+            if name in engine.hashlib_names:
+                return f"hashlib {name}()"
+            if name in PAYLOAD_SINKS:
+                return f"{name}()"
+        if isinstance(call.func, ast.Attribute):
+            value = call.func.value
+            if isinstance(value, ast.Name):
+                if value.id in engine.hashing_module_aliases and name in HASHING_SINKS:
+                    return f"{value.id}.{name}()"
+                if value.id in engine.hashlib_aliases and name in HASHLIB_ALGOS:
+                    return f"{value.id}.{name}()"
+                if name == "update" and value.id in self.hashers:
+                    return f"{value.id}.update()"
+            if name in PAYLOAD_SINKS:
+                return f"{name}()"
+        return None
+
+    def _stmt_header_exprs(self, stmt: ast.stmt) -> list[ast.expr]:
+        """The expressions evaluated *by this statement itself*.
+
+        Compound statements (``for``/``if``/``while``/``with``/``try``)
+        only evaluate their header expressions; their bodies are visited
+        as separate statements with an up-to-date environment.  Walking
+        the whole subtree here would both double-report nested sinks and
+        check them against a stale environment.
+        """
+        if isinstance(stmt, ast.Assign):
+            return [stmt.value]
+        if isinstance(stmt, ast.AnnAssign):
+            return [stmt.value] if stmt.value is not None else []
+        if isinstance(stmt, ast.AugAssign):
+            return [stmt.value]
+        if isinstance(stmt, (ast.Expr, ast.Return)):
+            return [stmt.value] if stmt.value is not None else []
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        if isinstance(stmt, ast.Raise):
+            return [e for e in (stmt.exc, stmt.cause) if e is not None]
+        if isinstance(stmt, ast.Assert):
+            return [e for e in (stmt.test, stmt.msg) if e is not None]
+        if isinstance(stmt, ast.Delete):
+            return list(stmt.targets)
+        return []
+
+    def _check_sinks(self, stmt: ast.stmt) -> None:
+        for header in self._stmt_header_exprs(stmt):
+            self._check_expr_sinks(header)
+        self._track_hasher_binding(stmt)
+
+    def _check_expr_sinks(self, expr: ast.expr) -> None:
+        """Recursive sink walk that respects comprehension bindings.
+
+        A plain ``ast.walk`` would evaluate calls inside comprehensions
+        against the *outer* environment, where a same-named loop
+        variable from an unrelated earlier statement may be tainted —
+        comprehension targets must shadow outer bindings while the
+        comprehension body is examined.
+        """
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            saved: dict[str, dict[str, Taint] | None] = {}
+            bound: list[str] = []
+            for gen in expr.generators:
+                self._check_expr_sinks(gen.iter)
+                gen_taint = self._iteration_taint(gen.iter)
+                for target_name in _target_names(gen.target):
+                    bound.append(target_name)
+                    saved.setdefault(target_name, self.env.get(target_name))
+                    if gen_taint:
+                        self.env[target_name] = dict(gen_taint)
+                    else:
+                        self.env.pop(target_name, None)
+                for condition in gen.ifs:
+                    self._check_expr_sinks(condition)
+            if isinstance(expr, ast.DictComp):
+                self._check_expr_sinks(expr.key)
+                self._check_expr_sinks(expr.value)
+            else:
+                self._check_expr_sinks(expr.elt)
+            for target_name in bound:
+                previous = saved.get(target_name)
+                if previous is None:
+                    self.env.pop(target_name, None)
+                else:
+                    self.env[target_name] = previous
+            return
+        if isinstance(expr, ast.Call):
+            node = expr
+            sink = self._is_hashing_sink(node)
+            if sink is not None:
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    for kind, info in self._taint_of(arg).items():
+                        self._report(kind, node, sink, info)
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "encode"
+                and not isinstance(node.func.value, ast.Constant)
+            ):
+                # .encode()-based serialization of a tainted value.
+                for kind, info in self._taint_of(node.func.value).items():
+                    self._report(kind, node, ".encode() serialization", info)
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._check_expr_sinks(child)
+
+    def _track_hasher_binding(self, stmt: ast.stmt) -> None:
+        """Track hasher construction for ``<hasher>.update`` sinks."""
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            name = _call_name(stmt.value.func)
+            is_hashlib = (
+                isinstance(stmt.value.func, ast.Attribute)
+                and isinstance(stmt.value.func.value, ast.Name)
+                and stmt.value.func.value.id in self.engine.hashlib_aliases
+            ) or (
+                isinstance(stmt.value.func, ast.Name)
+                and name in self.engine.hashlib_names
+            )
+            if is_hashlib and name in HASHLIB_ALGOS:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.hashers.add(target.id)
+
+    def _report(self, kind: str, call: ast.Call, sink: str, info: Taint) -> None:
+        self.findings.add(
+            TaintFinding(
+                kind=kind,
+                line=call.lineno,
+                col=call.col_offset,
+                sink=sink,
+                reason=info.reason,
+                source_line=info.line,
+            )
+        )
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+class DigestTaintAnalyzer:
+    """Run the digest-taint dataflow over every scope of one module."""
+
+    def __init__(self, tree: ast.Module):
+        self.tree = tree
+        #: plain names bound to repro.crypto.hashing sink functions.
+        self.hashing_names: set[str] = set()
+        #: module aliases for repro.crypto.hashing (``hashing.digest``).
+        self.hashing_module_aliases: set[str] = set()
+        #: module aliases for hashlib.
+        self.hashlib_aliases: set[str] = set()
+        #: plain names bound to hashlib constructors (``from hashlib
+        #: import sha256``).
+        self.hashlib_names: set[str] = set()
+        self._collect_imports()
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "hashlib":
+                        self.hashlib_aliases.add(local)
+                    elif alias.name.endswith("hashing") and alias.asname:
+                        self.hashing_module_aliases.add(alias.asname)
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.endswith("hashing") or module == "repro.crypto":
+                    for alias in node.names:
+                        if alias.name in HASHING_SINKS:
+                            self.hashing_names.add(alias.asname or alias.name)
+                        if alias.name == "hashing":
+                            self.hashing_module_aliases.add(alias.asname or alias.name)
+                elif module == "hashlib":
+                    for alias in node.names:
+                        if alias.name in HASHLIB_ALGOS:
+                            self.hashlib_names.add(alias.asname or alias.name)
+
+    def run(self) -> list[TaintFinding]:
+        findings: set[TaintFinding] = set()
+        # Module top level (excluding nested function/class bodies).
+        findings |= _ScopeAnalyzer(self, self.tree.body).run()
+        # Every function body, at any nesting depth.
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings |= _ScopeAnalyzer(self, node.body).run()
+        # One diagnostic per (kind, line): a single expression can hit
+        # several sinks at once (``digest(str(keys).encode())`` is both a
+        # hashing-call sink and an ``.encode()`` sink) — report the
+        # leftmost occurrence only.
+        deduped: dict[tuple[str, int], TaintFinding] = {}
+        for finding in sorted(
+            findings, key=lambda f: (f.line, f.col, f.kind, f.sink)
+        ):
+            deduped.setdefault((finding.kind, finding.line), finding)
+        return sorted(deduped.values(), key=lambda f: (f.line, f.col, f.kind))

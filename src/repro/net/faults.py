@@ -29,6 +29,10 @@ class FaultProfile:
             consensus layer).
         drop_probability: fraction of forwarded messages dropped when
             ``drop_routed_messages`` is set (1.0 = drop everything).
+        seed: seed for the profile's private RNG.  Determinism contract
+            (DESIGN.md §8): fault decisions must replay identically, so
+            the RNG is always derived from an explicit seed — never from
+            process-global entropy.
     """
 
     malicious: bool = False
@@ -36,7 +40,11 @@ class FaultProfile:
     withhold_bodies: bool = False
     equivocate: bool = False
     drop_probability: float = 1.0
-    _rng: random.Random = field(default_factory=random.Random, repr=False)
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
 
     @classmethod
     def honest(cls) -> "FaultProfile":
@@ -46,21 +54,18 @@ class FaultProfile:
     @classmethod
     def byzantine_storage(cls, seed: int = 0) -> "FaultProfile":
         """Full storage-adversary: drops routed messages, withholds bodies."""
-        profile = cls(
+        return cls(
             malicious=True,
             drop_routed_messages=True,
             withhold_bodies=True,
             drop_probability=1.0,
+            seed=seed,
         )
-        profile._rng.seed(seed)
-        return profile
 
     @classmethod
     def byzantine_stateless(cls, seed: int = 0) -> "FaultProfile":
         """Full stateless-adversary: equivocates in consensus."""
-        profile = cls(malicious=True, equivocate=True)
-        profile._rng.seed(seed)
-        return profile
+        return cls(malicious=True, equivocate=True, seed=seed)
 
     def should_drop_forward(self) -> bool:
         """Decide whether to drop one forwarded message."""

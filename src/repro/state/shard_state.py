@@ -154,8 +154,8 @@ class ShardState:
         self.accounts.restore(snapshot)
         self._tree = SparseMerkleTree.from_items(
             (
-                (self._smt_key(account.account_id), account.encode())
-                for account in snapshot.values()
+                (self._smt_key(account_id), account.encode())
+                for account_id, account in sorted(snapshot.items())
             ),
             depth=self._tree.depth,
         )

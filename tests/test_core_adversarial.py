@@ -1,9 +1,7 @@
 """Adversarial integration tests: the paper's Section III-B threat model."""
 
-import pytest
 
 from repro.chain.transaction import Transaction
-from repro.core import PorygonConfig, PorygonSimulation
 from tests.test_core_integration import fund_for, intra_transfers, make_sim
 
 

@@ -1,6 +1,6 @@
 """Unit tests for the cross-shard coordinator and batch tracker."""
 
-from repro.chain.transaction import AccessList, Transaction
+from repro.chain.transaction import Transaction
 from repro.core.coordinator import CrossShardCoordinator
 from repro.core.tracker import BatchTracker
 

@@ -1,6 +1,5 @@
 """End-to-end integration tests for the Porygon protocol simulator."""
 
-import pytest
 
 from repro.chain.transaction import Transaction
 from repro.core import PorygonConfig, PorygonSimulation

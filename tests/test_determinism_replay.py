@@ -1,0 +1,220 @@
+"""Determinism regression tests: replay harness + trace bisection.
+
+Two layers:
+
+* Unit tests of :func:`repro.devtools.replay.first_divergence` on
+  hand-built traces (bisection correctness, length mismatch, phase
+  mismatch labelling).
+* End-to-end replay checks: two same-seed runs must produce identical
+  digest traces and commit roots; and an *injected* nondeterminism —
+  flipping the pipeline's canonical shard-result ordering, the exact
+  arrival-order bug class the harness exists to catch — must be
+  localized to the execution phase by the bisector, even though the
+  final commit roots still agree (downstream aggregation re-sorts, so
+  end-state comparison alone would miss the bug).
+"""
+
+from __future__ import annotations
+
+import builtins
+import contextlib
+import io
+
+import pytest
+
+from repro.devtools.replay import (
+    PHASES,
+    Divergence,
+    PhaseDigest,
+    first_divergence,
+    main as replay_main,
+    replay_check,
+    run_traced,
+)
+
+SEED = 7
+ROUNDS = 6
+
+
+def _trace(*digests: bytes) -> list[PhaseDigest]:
+    events = []
+    for index, digest in enumerate(digests):
+        events.append(
+            PhaseDigest(
+                index=index,
+                round_number=index // len(PHASES),
+                phase=PHASES[index % len(PHASES)],
+                digest=digest,
+            )
+        )
+    return events
+
+
+class TestFirstDivergence:
+    def test_identical_traces(self):
+        a = _trace(b"a", b"b", b"c", b"d")
+        assert first_divergence(a, list(a)) is None
+
+    def test_empty_traces(self):
+        assert first_divergence([], []) is None
+
+    def test_single_mismatch_located(self):
+        a = _trace(b"a", b"b", b"c", b"d", b"e")
+        b = _trace(b"a", b"b", b"X", b"d", b"e")
+        div = first_divergence(a, b)
+        assert div is not None
+        assert div.index == 2
+        assert div.phase == PHASES[2]
+        assert div.digest_a == a[2].digest
+        assert div.digest_b == b[2].digest
+
+    def test_first_of_many_mismatches(self):
+        # Bisection must find the *first* divergence even when later
+        # events coincidentally re-converge (post-divergence digests
+        # matching again would break naive event-at-a-time bisection).
+        a = _trace(b"a", b"b", b"c", b"d", b"e", b"f", b"g", b"h")
+        b = _trace(b"a", b"X", b"c", b"d", b"Y", b"f", b"g", b"Z")
+        div = first_divergence(a, b)
+        assert div is not None
+        assert div.index == 1
+
+    def test_mismatch_at_first_event(self):
+        div = first_divergence(_trace(b"a", b"b"), _trace(b"X", b"b"))
+        assert div is not None
+        assert div.index == 0
+
+    def test_mismatch_at_last_event(self):
+        div = first_divergence(_trace(b"a", b"b"), _trace(b"a", b"X"))
+        assert div is not None
+        assert div.index == 1
+
+    def test_length_mismatch_after_common_prefix(self):
+        a = _trace(b"a", b"b", b"c")
+        b = _trace(b"a", b"b")
+        div = first_divergence(a, b)
+        assert div is not None
+        assert div.index == 2
+        assert div.digest_a == a[2].digest
+        assert div.digest_b is None
+        assert "<missing>" in div.describe()
+
+    def test_phase_mismatch_labelled(self):
+        a = [PhaseDigest(0, 0, "witness", b"a")]
+        b = [PhaseDigest(0, 0, "ordering", b"a")]
+        div = first_divergence(a, b)
+        assert div is not None
+        assert div.phase == "witness|ordering"
+
+    def test_describe_mentions_round_and_phase(self):
+        div = Divergence(index=3, round_number=1, phase="execution",
+                         digest_a=b"\x01" * 32, digest_b=b"\x02" * 32)
+        text = div.describe()
+        assert "round 1" in text and "execution" in text
+
+
+class TestSameSeedReplay:
+    """Acceptance: two seeded runs → identical commit roots and traces."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return replay_check(seed=SEED, rounds=ROUNDS, num_shards=2)
+
+    def test_traces_identical(self, report):
+        assert report.identical
+        assert report.divergence is None
+
+    def test_commit_roots_identical_and_nonempty(self, report):
+        assert report.commit_root_a == report.commit_root_b
+        assert report.commit_root_a != b""
+
+    def test_trace_covers_all_phases(self, report):
+        phases = {event.phase for event in report.trace_a}
+        assert phases == set(PHASES)
+        assert report.events == len(report.trace_a) == len(report.trace_b)
+        assert report.events > 0
+
+    def test_rounds_progress_monotonically_per_phase(self, report):
+        by_phase: dict[str, list[int]] = {}
+        for event in report.trace_a:
+            by_phase.setdefault(event.phase, []).append(event.round_number)
+        for phase, rounds in by_phase.items():
+            assert rounds == sorted(rounds), phase
+
+    def test_different_seed_diverges(self, report):
+        """Guard against trivially-constant trace digests."""
+        recorder, _root = run_traced(seed=SEED + 1, rounds=ROUNDS,
+                                     num_shards=2)
+        assert recorder.digests() != [e.digest for e in report.trace_a]
+
+
+class TestInjectedNondeterminism:
+    """Flip one canonicalizing sort; the harness must localize it.
+
+    ``PorygonPipeline`` sorts shard results before anything is derived
+    from them (U list, retry bookkeeping, proposal digest) because they
+    arrive in timing-dependent completion order.  Shadowing ``sorted``
+    inside the pipeline module with a variant that reverses exactly the
+    shard-result sort reproduces the unsorted-arrival-order bug — the
+    PR-1 bug class PL003 exists for — without touching source.
+    """
+
+    def test_flip_localized_to_execution_phase(self):
+        import repro.core.pipeline as pipeline_mod
+
+        recorder_clean, root_clean = run_traced(
+            seed=SEED, rounds=ROUNDS, num_shards=2)
+
+        def flipped(iterable, *args, **kwargs):
+            out = builtins.sorted(iterable, *args, **kwargs)
+            if out and isinstance(out[0], pipeline_mod.ShardRoundResult):
+                out.reverse()
+            return out
+
+        # Module-global shadowing: name lookup inside pipeline functions
+        # hits the module dict before builtins.
+        pipeline_mod.sorted = flipped
+        try:
+            recorder_flip, root_flip = run_traced(
+                seed=SEED, rounds=ROUNDS, num_shards=2)
+        finally:
+            del pipeline_mod.sorted
+
+        div = first_divergence(recorder_clean.events, recorder_flip.events)
+        assert div is not None, (
+            "reversing the shard-result ordering must change the trace"
+        )
+        # Localized to the phase where shard results enter validation.
+        assert div.phase == "execution"
+        # The commit roots can still agree: downstream aggregation
+        # re-sorts, so end-state comparison alone misses this bug —
+        # which is exactly why the per-phase trace exists.
+        assert root_clean == root_flip
+
+    def test_clean_rerun_after_flip(self):
+        """The shadow must not leak into later runs."""
+        import repro.core.pipeline as pipeline_mod
+
+        assert "sorted" not in vars(pipeline_mod)
+        report = replay_check(seed=SEED, rounds=3, num_shards=2, num_txs=12)
+        assert report.identical
+
+
+class TestReplayCli:
+    def test_cli_exit_zero_and_message(self, capsys):
+        rc = replay_main(["--seed", "11", "--rounds", "3", "--txs", "12"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "replay OK" in out
+
+    def test_cli_json(self):
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            rc = replay_main(
+                ["--seed", "11", "--rounds", "3", "--txs", "12", "--json"])
+        assert rc == 0
+        import json
+
+        payload = json.loads(buf.getvalue())
+        assert payload["identical"] is True
+        assert payload["divergence"] is None
+        assert payload["commit_root_a"] == payload["commit_root_b"]

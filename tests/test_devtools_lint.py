@@ -1,0 +1,604 @@
+"""Self-tests for porylint (repro.devtools.lint).
+
+Two layers:
+
+* fixture snippets per rule asserting exact finding codes and line
+  numbers (including the seeded PL003 corpus with planted violations);
+* a no-false-positive corpus: idioms drawn from the real source tree
+  must produce zero findings, and the real ``src/`` tree itself must be
+  clean under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.findings import Severity
+from repro.devtools.lint import (
+    LintConfig,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    main,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def _lint(code: str, path: str = "src/repro/core/example.py", **kwargs):
+    return lint_source(textwrap.dedent(code), path=path, **kwargs)
+
+
+def _codes(findings):
+    return [finding.code for finding in findings]
+
+
+def _lines(findings, code=None):
+    return [f.line for f in findings if code is None or f.code == code]
+
+
+# ---------------------------------------------------------------------------
+# PL001 RAW-RANDOM
+# ---------------------------------------------------------------------------
+
+
+class TestRawRandom:
+    def test_module_level_random_call(self):
+        findings = _lint(
+            """
+            import random
+
+            def jitter():
+                return random.random() * 2
+            """
+        )
+        assert _codes(findings).count("PL001") == 1
+        assert _lines(findings, "PL001") == [5]
+
+    def test_from_import_function(self):
+        findings = _lint(
+            """
+            from random import choice
+
+            def pick(xs):
+                return choice(xs)
+            """
+        )
+        assert _lines(findings, "PL001") == [5]
+
+    def test_unseeded_random_instance(self):
+        findings = _lint(
+            """
+            import random
+
+            rng = random.Random()
+            """
+        )
+        assert _lines(findings, "PL001") == [4]
+
+    def test_default_factory_reference(self):
+        findings = _lint(
+            """
+            import random
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Profile:
+                rng: random.Random = field(default_factory=random.Random)
+            """
+        )
+        assert _lines(findings, "PL001") == [7]
+
+    def test_seeded_random_is_clean(self):
+        findings = _lint(
+            """
+            import random
+
+            def build(seed: int):
+                rng = random.Random(seed)
+                return rng.random()
+            """
+        )
+        assert _codes(findings) == []
+
+    def test_finding_carries_fixit_hint(self):
+        findings = _lint(
+            """
+            import random
+
+            x = random.randint(0, 10)
+            """
+        )
+        assert findings and "seeded" in findings[0].hint
+
+
+# ---------------------------------------------------------------------------
+# PL002 WALL-CLOCK (path-scoped)
+# ---------------------------------------------------------------------------
+
+
+class TestWallClock:
+    SNIPPET = """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+    def test_flagged_in_core(self):
+        findings = _lint(self.SNIPPET, path="src/repro/core/example.py")
+        assert _lines(findings, "PL002") == [5]
+
+    def test_flagged_in_sim_and_consensus(self):
+        for scope in ("sim", "consensus"):
+            findings = _lint(self.SNIPPET, path=f"src/repro/{scope}/example.py")
+            assert _lines(findings, "PL002") == [5], scope
+
+    def test_not_flagged_outside_scope(self):
+        findings = _lint(self.SNIPPET, path="src/repro/harness/example.py")
+        assert _codes(findings) == []
+
+    def test_datetime_now(self):
+        findings = _lint(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+            path="src/repro/consensus/example.py",
+        )
+        assert _lines(findings, "PL002") == [5]
+
+    def test_env_now_is_clean(self):
+        findings = _lint(
+            """
+            def stamp(env):
+                return env.now
+            """,
+            path="src/repro/core/example.py",
+        )
+        assert _codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# PL003 UNORDERED-ITER-DIGEST — seeded fixture corpus
+# ---------------------------------------------------------------------------
+
+#: Each entry: (name, code snippet, lines where PL003 must fire).
+#: Planted violations modelled on the PR-1 consensus-payload bug.
+PL003_PLANTED = [
+    (
+        "set_comprehension_into_digest",
+        """
+        from repro.crypto.hashing import domain_digest
+
+        def payload(ids):
+            parts = [i.to_bytes(8, "big") for i in {x for x in ids}]
+            return domain_digest("d", *parts)
+        """,
+        [6],
+    ),
+    (
+        "dict_values_into_digest",
+        """
+        from repro.crypto.hashing import digest_concat
+
+        def root(results):
+            parts = []
+            for value in results.values():
+                parts.append(value)
+            return digest_concat(*parts)
+        """,
+        [8],
+    ),
+    (
+        "dict_items_loop_into_hasher",
+        """
+        import hashlib
+
+        def root(roots):
+            hasher = hashlib.sha256()
+            for shard, value in roots.items():
+                hasher.update(value)
+            return hasher.digest()
+        """,
+        [7],
+    ),
+    (
+        "set_call_into_payload_construction",
+        """
+        def build(tx_ids, vote_signing_payload):
+            unique = set(tx_ids)
+            return vote_signing_payload(1, 2, tuple(unique))
+        """,
+        [4],
+    ),
+    (
+        "keys_view_through_str_encode",
+        """
+        from repro.crypto.hashing import digest
+
+        def fingerprint(mapping):
+            keys = mapping.keys()
+            return digest(str(keys).encode())
+        """,
+        [6],
+    ),
+    (
+        "loop_carried_taint",
+        """
+        from repro.crypto.hashing import domain_digest
+
+        def trace(batches):
+            acc = []
+            for batch in batches:
+                acc.append(domain_digest("d", *acc_parts))
+                acc_parts = [x for x in set(batch)]
+            return acc
+        """,
+        [7],
+    ),
+]
+
+#: Negative corpus: idioms lifted from the real tree that must be clean.
+PL003_CLEAN = [
+    (
+        "sorted_items_into_digest",
+        """
+        from repro.crypto.hashing import domain_digest
+
+        def root(shard_roots):
+            parts = []
+            for shard, value in sorted(shard_roots.items()):
+                parts.append(shard.to_bytes(8, "big"))
+                parts.append(value)
+            return domain_digest("d", *parts)
+        """,
+    ),
+    (
+        "sorted_dict_keys_into_digest",
+        """
+        from repro.crypto.hashing import domain_digest
+
+        def block_hash(ordered_blocks):
+            parts = []
+            for shard in sorted(ordered_blocks):
+                for header in ordered_blocks[shard]:
+                    parts.append(header)
+            return domain_digest("d", *parts)
+        """,
+    ),
+    (
+        "list_iteration_into_digest",
+        """
+        from repro.crypto.hashing import domain_digest
+
+        def commit(members):
+            return domain_digest("d", *(m.public_key for m in members))
+        """,
+    ),
+    (
+        "set_for_membership_only",
+        """
+        from repro.crypto.hashing import digest
+
+        def filter_and_hash(ids, allowed, payload):
+            wanted = set(allowed)
+            kept = [i for i in ids if i in wanted]
+            return digest(payload)
+        """,
+    ),
+    (
+        "len_of_set_is_order_insensitive",
+        """
+        from repro.crypto.hashing import digest
+
+        def count_hash(ids):
+            count = len(set(ids))
+            return digest(count.to_bytes(8, "big"))
+        """,
+    ),
+    (
+        "sorted_set_into_digest",
+        """
+        from repro.crypto.hashing import digest_concat
+
+        def canonical(ids):
+            parts = [i.to_bytes(8, "big") for i in sorted(set(ids))]
+            return digest_concat(*parts)
+        """,
+    ),
+]
+
+
+class TestUnorderedIterDigest:
+    @pytest.mark.parametrize("name,snippet,lines",
+                             PL003_PLANTED, ids=[p[0] for p in PL003_PLANTED])
+    def test_planted_violation_detected(self, name, snippet, lines):
+        findings = _lint(snippet)
+        assert _lines(findings, "PL003") == lines
+
+    @pytest.mark.parametrize("name,snippet",
+                             PL003_CLEAN, ids=[c[0] for c in PL003_CLEAN])
+    def test_clean_idiom_not_flagged(self, name, snippet):
+        findings = _lint(snippet)
+        assert [f for f in findings if f.code == "PL003"] == []
+
+
+# ---------------------------------------------------------------------------
+# PL004 MUTABLE-DEFAULT
+# ---------------------------------------------------------------------------
+
+
+class TestMutableDefault:
+    def test_list_and_dict_defaults(self):
+        findings = _lint(
+            """
+            def collect(items=[], registry={}):
+                return items, registry
+            """
+        )
+        assert _lines(findings, "PL004") == [2, 2]
+        assert all(f.severity is Severity.WARNING
+                   for f in findings if f.code == "PL004")
+
+    def test_constructor_call_default(self):
+        findings = _lint(
+            """
+            def collect(seen=set()):
+                return seen
+            """
+        )
+        assert _lines(findings, "PL004") == [2]
+
+    def test_none_default_is_clean(self):
+        findings = _lint(
+            """
+            def collect(items=None, count=0, name="x"):
+                return items or []
+            """
+        )
+        assert _codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# PL005 FLOAT-IN-DIGEST
+# ---------------------------------------------------------------------------
+
+
+class TestFloatInDigest:
+    def test_float_literal_through_str_encode(self):
+        findings = _lint(
+            """
+            from repro.crypto.hashing import digest
+
+            def stamp(payload):
+                latency = 0.25
+                return digest(str(latency).encode())
+            """
+        )
+        assert "PL005" in _codes(findings)
+        assert 6 in _lines(findings, "PL005")
+
+    def test_division_into_digest(self):
+        findings = _lint(
+            """
+            from repro.crypto.hashing import domain_digest
+
+            def rate_digest(hits, total):
+                rate = hits / total
+                return domain_digest("d", str(rate).encode())
+            """
+        )
+        assert 6 in _lines(findings, "PL005")
+
+    def test_struct_pack_float(self):
+        findings = _lint(
+            """
+            import struct
+            from repro.crypto.hashing import digest
+
+            def pack_digest(x):
+                blob = struct.pack(">d", x)
+                return digest(blob)
+            """
+        )
+        assert 7 in _lines(findings, "PL005")
+
+    def test_integer_encoding_is_clean(self):
+        findings = _lint(
+            """
+            from repro.crypto.hashing import digest
+
+            def stamp(latency: float) -> bytes:
+                fixed_point = int(latency * 10**6)
+                return digest(fixed_point.to_bytes(8, "big"))
+            """
+        )
+        assert _codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# PL006 SWALLOWED-EXCEPT (path-scoped)
+# ---------------------------------------------------------------------------
+
+
+class TestSwallowedExcept:
+    SNIPPET = """
+    def commit(block):
+        try:
+            apply(block)
+        except Exception:
+            pass
+    """
+
+    def test_flagged_in_pipeline(self):
+        findings = _lint(self.SNIPPET, path="src/repro/core/pipeline.py")
+        assert _lines(findings, "PL006") == [5]
+
+    def test_flagged_in_engine_and_coordinator(self):
+        for path in ("src/repro/consensus/engine.py",
+                     "src/repro/core/coordinator.py"):
+            findings = _lint(self.SNIPPET, path=path)
+            assert _lines(findings, "PL006") == [5], path
+
+    def test_bare_except_flagged(self):
+        findings = _lint(
+            """
+            def commit(block):
+                try:
+                    apply(block)
+                except:
+                    pass
+            """,
+            path="src/repro/core/pipeline.py",
+        )
+        assert _lines(findings, "PL006") == [5]
+
+    def test_reraise_is_clean(self):
+        findings = _lint(
+            """
+            def commit(block):
+                try:
+                    apply(block)
+                except Exception:
+                    unwind(block)
+                    raise
+            """,
+            path="src/repro/core/pipeline.py",
+        )
+        assert _codes(findings) == []
+
+    def test_precise_exception_is_clean(self):
+        findings = _lint(
+            """
+            def commit(block):
+                try:
+                    apply(block)
+                except ValueError:
+                    return None
+            """,
+            path="src/repro/core/pipeline.py",
+        )
+        assert _codes(findings) == []
+
+    def test_out_of_scope_file_not_flagged(self):
+        findings = _lint(self.SNIPPET, path="src/repro/sim/process.py")
+        assert _codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions, baseline, select/ignore, reporters
+# ---------------------------------------------------------------------------
+
+
+class TestEngineMechanics:
+    def test_inline_suppression(self):
+        findings = _lint(
+            """
+            import random
+
+            x = random.randint(0, 3)  # porylint: disable=PL001  (fixture)
+            """
+        )
+        assert _codes(findings) == []
+
+    def test_file_level_suppression(self):
+        findings = _lint(
+            """
+            # porylint: disable-file=PL001
+            import random
+
+            x = random.randint(0, 3)
+            """
+        )
+        assert _codes(findings) == []
+
+    def test_select_restricts_rules(self):
+        code = """
+        import random
+
+        def f(xs=[]):
+            return random.random(), xs
+        """
+        only_pl004 = _lint(code, config=LintConfig(select=frozenset({"PL004"})))
+        assert set(_codes(only_pl004)) == {"PL004"}
+        ignored = _lint(code, config=LintConfig(ignore=frozenset({"PL001"})))
+        assert "PL001" not in _codes(ignored)
+
+    def test_baseline_roundtrip(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import random\n\nx = random.random()\n", encoding="utf-8"
+        )
+        first = lint_paths([str(bad)])
+        assert len(first.findings) == 1
+
+        baseline_file = tmp_path / "baseline.txt"
+        write_baseline(baseline_file, first.findings)
+        config = LintConfig(baseline=load_baseline(baseline_file))
+        second = lint_paths([str(bad)], config)
+        assert second.findings == [] and len(second.baselined) == 1
+        assert second.stale_baseline == []
+
+        # After the debt is fixed the baseline entry goes stale.
+        bad.write_text("x = 3\n", encoding="utf-8")
+        config = LintConfig(baseline=load_baseline(baseline_file))
+        third = lint_paths([str(bad)], config)
+        assert third.findings == [] and len(third.stale_baseline) == 1
+        assert third.exit_code(strict=True) == 1
+        assert third.exit_code(strict=False) == 0
+
+    def test_cli_json_reporter(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n", encoding="utf-8")
+        exit_code = main([str(bad), "--format", "json", "--no-baseline"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["findings"][0]["code"] == "PL001"
+        assert payload["findings"][0]["hint"]
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules", "src"]) == 0
+        out = capsys.readouterr().out
+        for code in ("PL001", "PL002", "PL003", "PL004", "PL005", "PL006"):
+            assert code in out
+
+    def test_cli_unknown_rule_code(self, capsys):
+        assert main(["src", "--select", "PL999"]) == 2
+
+    def test_parse_error_reported(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n", encoding="utf-8")
+        result = lint_paths([str(bad)])
+        assert result.parse_errors and result.exit_code(strict=True) == 1
+        assert result.exit_code(strict=False) == 0
+
+
+# ---------------------------------------------------------------------------
+# The real tree is the ultimate no-false-positive corpus
+# ---------------------------------------------------------------------------
+
+
+class TestRealSourceCorpus:
+    def test_src_tree_is_clean_strict(self):
+        result = lint_paths([str(SRC)])
+        assert result.parse_errors == []
+        assert result.findings == [], [
+            f"{f.location()} {f.code} {f.message}" for f in result.findings
+        ]
+        assert result.exit_code(strict=True) == 0
+        # The whole tree participates — the linter must keep scaling
+        # with the codebase (ROADMAP: correctness infra).
+        assert result.files_checked >= 85
+
+    def test_checked_in_baseline_is_empty(self):
+        baseline = load_baseline(REPO_ROOT / "porylint-baseline.txt")
+        assert baseline == {}, "policy: the checked-in baseline must stay empty"
