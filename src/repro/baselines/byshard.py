@@ -39,7 +39,7 @@ from repro.net.network import Network
 from repro.sim import Environment
 from repro.state.executor import TransactionExecutor
 from repro.state.store import AccountStore
-from repro.state.view import StateView
+from repro.state.view import build_view
 
 #: Simulated compute cost per executed transaction (seconds).
 PER_TX_EXECUTE_S = 20e-6
@@ -58,12 +58,19 @@ class ByShardConfig:
     round_overhead_s: float = 1.0
     consensus_step_timeout_s: float = 0.5
     crypto_backend: str = "hashed"
+    #: Access-list runtime sanitizer mode ("" = defer to REPRO_SANITIZE,
+    #: "record", "strict") — same contract as PorygonConfig.sanitize.
+    sanitize: str = ""
 
     def __post_init__(self):
         if self.num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {self.num_shards}")
         if self.nodes_per_shard < 1:
             raise ConfigError(f"nodes_per_shard must be >= 1, got {self.nodes_per_shard}")
+        if self.sanitize not in ("", "record", "strict"):
+            raise ConfigError(
+                f"sanitize must be '', 'record' or 'strict', got {self.sanitize!r}"
+            )
 
     @property
     def total_nodes(self) -> int:
@@ -216,7 +223,10 @@ class ByShardSimulation:
         cross = [tx for tx in batch if tx.is_cross_shard(config.num_shards)]
         yield self.env.timeout(PER_TX_EXECUTE_S * max(1, len(batch)))
 
-        view = StateView()
+        view = build_view(
+            label=f"byshard-shard{shard}-r{round_number}",
+            mode=config.sanitize or None,
+        )
         touched = set()
         for tx in intra + cross:
             touched |= tx.access_list.touched

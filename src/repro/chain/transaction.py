@@ -21,8 +21,48 @@ from repro.crypto.hashing import domain_digest
 from repro.errors import ChainError
 
 _TX_DOMAIN = "repro/tx/v1"
+_TX_ID_DOMAIN = "repro/tx-id/v1"
 
+#: Fallback id source for ad-hoc / interactive construction only.
+#: Reproducible workloads must allocate ids from a seeded
+#: :class:`TxIdSequence` instead — the process-global counter depends
+#: on construction order across the whole process, so two same-seed
+#: runs sharing a process would disagree on ids (DESIGN.md §8).
 _tx_counter = itertools.count()
+
+
+class TxIdSequence:
+    """Seed-derived transaction-id allocator.
+
+    Ids pack into the 8 bytes :attr:`Transaction.tx_hash` serializes:
+
+    * bit 63 — set, so seeded ids never collide with the process-global
+      counter's small integers;
+    * bits 24..62 — a 39-bit digest of ``(domain, seed)``, so sequences
+      with different seeds (or domains) occupy disjoint id ranges;
+    * bits 0..23 — the per-sequence counter (16.7M ids per sequence).
+
+    Two sequences constructed with the same seed and domain allocate
+    identical id streams — the property same-seed replay relies on.
+    """
+
+    SEQ_BITS = 24
+
+    def __init__(self, seed: int, domain: str = "workload"):
+        digest = domain_digest(
+            _TX_ID_DOMAIN, domain.encode("utf-8"), str(seed).encode("utf-8")
+        )
+        prefix = int.from_bytes(digest[:8], "big") >> (64 - 39)
+        self._base = (1 << 63) | (prefix << self.SEQ_BITS)
+        self._next = 0
+
+    def next_id(self) -> int:
+        """Allocate the next id of this sequence."""
+        if self._next >= (1 << self.SEQ_BITS):
+            raise ChainError("TxIdSequence exhausted its 24-bit counter")
+        tx_id = self._base | self._next
+        self._next += 1
+        return tx_id
 
 
 class TxStatus(enum.Enum):

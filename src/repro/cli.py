@@ -8,7 +8,9 @@ Usage::
     python -m repro demo
     python -m repro audit --rounds 9
     python -m repro lint src --strict
+    python -m repro lint src --access
     python -m repro replay --seed 7 --rounds 6
+    python -m repro sanitize --mode strict --baseline
 """
 
 from __future__ import annotations
@@ -112,6 +114,12 @@ def _cmd_replay(args) -> int:
     return replay_main(list(args.replay_args))
 
 
+def _cmd_sanitize(args) -> int:
+    from repro.devtools.sanitizer import main as sanitize_main
+
+    return sanitize_main(list(args.sanitize_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -153,6 +161,16 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("replay_args", nargs=argparse.REMAINDER,
                         help="arguments forwarded to repro.devtools.replay")
     replay.set_defaults(func=_cmd_replay)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="access-list runtime sanitizer (sanitized end-to-end run + "
+             "touched-vs-declared report)",
+        add_help=False,
+    )
+    sanitize.add_argument("sanitize_args", nargs=argparse.REMAINDER,
+                          help="arguments forwarded to repro.devtools.sanitizer")
+    sanitize.set_defaults(func=_cmd_sanitize)
     return parser
 
 
@@ -165,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(argparse.Namespace(lint_args=argv[1:]))
     if argv and argv[0] == "replay":
         return _cmd_replay(argparse.Namespace(replay_args=argv[1:]))
+    if argv and argv[0] == "sanitize":
+        return _cmd_sanitize(argparse.Namespace(sanitize_args=argv[1:]))
     args = build_parser().parse_args(argv)
     return args.func(args)
 

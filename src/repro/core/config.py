@@ -96,8 +96,17 @@ class PorygonConfig:
     #: without affecting the basic design of our pipeline",
     #: Section IV-C2). ``None`` keeps one long-lived OC.
     oc_reconfig_rounds: int | None = None
+    #: Access-list runtime sanitizer mode for execution views: ``""``
+    #: defers to the ``REPRO_SANITIZE`` environment variable,
+    #: ``"record"`` logs undeclared touches, ``"strict"`` raises
+    #: :class:`~repro.errors.AccessListViolation` (DESIGN.md §9).
+    sanitize: str = ""
 
     def __post_init__(self):
+        if self.sanitize not in ("", "record", "strict"):
+            raise ConfigError(
+                f"sanitize must be '', 'record' or 'strict', got {self.sanitize!r}"
+            )
         if self.num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {self.num_shards}")
         if self.nodes_per_shard < 1:

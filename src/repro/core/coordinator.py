@@ -25,6 +25,16 @@ from dataclasses import dataclass, field
 from repro.chain.account import AccountId
 from repro.chain.transaction import Transaction
 
+#: Lock-window widths in ordering rounds (Section IV-D2).  A batch
+#: ordered in round *i* commits at *i + 2* for intra-shard transactions
+#: and at *i + 4* for cross-shard transactions (the Multi-Shard Update
+#: commit).  Every lock-window expression in this module MUST use these
+#: named constants — porylint rule PL105 (LOCK-WINDOW-DRIFT) fails the
+#: build on inline ``ordering_round + <literal>`` arithmetic or on a
+#: drifted constant value (DESIGN.md §9).
+INTRA_COMMIT_ROUNDS = 2
+CROSS_COMMIT_ROUNDS = 4
+
 
 @dataclass
 class ConflictDecision:
@@ -170,11 +180,11 @@ class CrossShardCoordinator:
             decision.admitted.append(tx)
             if is_cross:
                 cross_claims.update(touched)
-                new_locks.append((touched, ordering_round + 4))
+                new_locks.append((touched, ordering_round + CROSS_COMMIT_ROUNDS))
             else:
                 for account in touched:
                     intra_claims.setdefault(account, home)
-                new_locks.append((touched, ordering_round + 2))
+                new_locks.append((touched, ordering_round + INTRA_COMMIT_ROUNDS))
         for accounts, until_round in new_locks:
             self.lock(accounts, until_round)
         return decision

@@ -25,7 +25,7 @@ from repro.chain.sizes import MERKLE_PATH_ENTRY_SIZE, STATE_ENTRY_SIZE
 from repro.crypto.smt import PartialSparseMerkleTree
 from repro.errors import ShardingError
 from repro.state.executor import TransactionExecutor
-from repro.state.view import StateView
+from repro.state.view import build_view
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.chain.transaction import Transaction
@@ -95,6 +95,7 @@ def compute_canonical_execution(
     round_executed: int,
     witness_round: int,
     u_from_round: int | None = None,
+    sanitize: str | None = None,
 ) -> CanonicalExecution:
     """Run one shard's Execution Phase for ``proposal`` deterministically.
 
@@ -103,6 +104,10 @@ def compute_canonical_execution(
     in-flight predecessor batch (account-disjoint by the OC's locks).
     Members authenticate the head root via the predecessor execution's
     T_e signature set.
+
+    ``sanitize`` selects the execution-view mode (``""``/``"record"``/
+    ``"strict"``); ``None`` defers to the ``REPRO_SANITIZE`` environment
+    variable (DESIGN.md §9).
     """
     if shard not in proposal.shard_roots:
         raise ShardingError(f"proposal has no root for shard {shard}")
@@ -156,7 +161,7 @@ def compute_canonical_execution(
     smt_key = {account_id: account_id // num_shards for account_id in owned_keys}
 
     # Build the execution view (zero accounts for never-written ids).
-    view = StateView()
+    view = build_view(label=f"exec-shard{shard}-r{round_executed}", mode=sanitize)
     for account_id, value in values.items():
         view.load(value if value is not None else Account(account_id))
 
@@ -179,7 +184,9 @@ def compute_canonical_execution(
 
     # 3. Pre-execute cross-shard transactions on a scratch overlay
     #    seeded from the post-intra view; writes become S, not root.
-    scratch = StateView()
+    scratch = build_view(
+        label=f"cross-shard{shard}-r{round_executed}", mode=sanitize
+    )
     for account_id in sorted(cross_keys):
         scratch.load(view.get(account_id))
     cross_outcome = TransactionExecutor().execute(cross, scratch)

@@ -444,6 +444,8 @@ class PorygonPipeline:
             round_executed=round_number,
             witness_round=self._witness_round_of(proposal, shard),
             u_from_round=u_round,
+            # "" defers to the REPRO_SANITIZE environment variable.
+            sanitize=self.config.sanitize or None,
         )
         # Members re-download bodies only for blocks they did not witness
         # ("they do not have to download transactions that they have

@@ -14,8 +14,17 @@ machine-checked instead of reviewer-checked:
   run the same seeded simulation twice, record a per-phase digest trace
   (witness / ordering / execution / commit), and bisect to the first
   divergent event when the traces differ.
+* :mod:`repro.devtools.accessset` — PorySan's static head:
+  interprocedural read/write-set inference over executor handlers and
+  ``StateView`` consumers, powering the access-list soundness rules
+  PL101..PL105 (``python -m repro.devtools.lint src --access``).
+* :mod:`repro.devtools.sanitizer` — PorySan's runtime head: seeded
+  end-to-end runs with every execution view wrapped in a
+  ``SanitizedStateView``, plus the per-run touched-vs-declared JSON
+  report (``python -m repro.devtools.sanitizer --mode strict``).
 
-See DESIGN.md §8 for the determinism contract and the rule catalog.
+See DESIGN.md §8 for the determinism contract and rule catalog, and §9
+for the access-list soundness contract.
 """
 
 from __future__ import annotations
@@ -39,6 +48,12 @@ _EXPORTS = {
     "first_divergence": "repro.devtools.replay",
     "replay_check": "repro.devtools.replay",
     "run_traced": "repro.devtools.replay",
+    "ACCESS_RULE_CODES": "repro.devtools.accessset",
+    "AccessEvent": "repro.devtools.accessset",
+    "analyze_module": "repro.devtools.accessset",
+    "ReportCollector": "repro.devtools.sanitizer",
+    "collect_reports": "repro.devtools.sanitizer",
+    "sanitize_check": "repro.devtools.sanitizer",
 }
 
 __all__ = sorted(_EXPORTS)

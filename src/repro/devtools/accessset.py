@@ -1,0 +1,968 @@
+"""PorySan static head: interprocedural access-set inference (PL101-PL105).
+
+Porygon's cross-shard conflict detection is sound only if every executor
+handler's *actual* reads and writes are a subset of the transaction's
+pre-declared access list (``tx.access_list.touched``) — the Ordering
+Committee never sees the execution, only the declaration (Section
+IV-D2).  This module infers, per module, the read/write set of every
+:class:`~repro.state.view.StateView` consumer and classifies each key
+expression that flows into ``view.get(...)`` / ``view.put(...)`` /
+``view.load(...)``:
+
+* **declared-derivable** — reachable from ``tx.sender``, ``tx.receiver``,
+  ``tx.payload`` elements, or ``tx.access_list`` itself (the fields the
+  access-list builder includes);
+* **undeclared-field** — derived from a transaction field *no* access-list
+  builder includes (``tx.amount``, ``tx.nonce``, ...);
+* **foreign** — provably from outside the transaction entirely (literal
+  keys, arithmetic on declared values such as ``tx.sender + 1``, account
+  metadata like ``.balance``);
+* **unresolved** — cannot be classified statically.  Unresolved keys are
+  *silent*: the static head trades completeness for a zero-false-positive
+  sweep over real ``src/``; the runtime sanitizer
+  (:mod:`repro.devtools.sanitizer`) covers the remainder dynamically.
+
+The inference is interprocedural within a module: when a view object is
+passed to another function of the same module (helper, ``self.``/``cls.``
+method), the callee is re-analyzed with the caller's argument provenance
+bound to its parameters, so a helper that touches an undeclared key is
+flagged even though the key expression lives at the call site.
+
+Rule catalog (see DESIGN.md §9):
+
+======  ====================  ================================================
+code    name                  what it catches
+======  ====================  ================================================
+PL101   UNDECLARED-READ       ``view.get``/``load`` key provably undeclared
+PL102   UNDECLARED-WRITE      ``view.put`` key provably undeclared
+PL103   ACCESS-FIELD-DRIFT    handler keys from tx fields the access-list
+                              builder does not include
+PL104   VIEW-ESCAPE           a StateView stored on ``self`` (escapes the
+                              execution-phase boundary)
+PL105   LOCK-WINDOW-DRIFT     coordinator lock windows drifting from the
+                              named i+2 / i+4 commit-round constants
+======  ====================  ================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+from dataclasses import dataclass
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules import ModuleContext, Rule, register
+
+# ---------------------------------------------------------------------------
+# Provenance lattice
+# ---------------------------------------------------------------------------
+
+#: Transaction fields the default access-list builders derive keys from.
+DECLARED_TX_FIELDS = frozenset({"sender", "receiver", "payload", "access_list"})
+
+#: Parameter names treated as view objects even without an annotation.
+VIEW_PARAM_NAMES = frozenset({"view", "scratch", "state_view"})
+
+#: Callables that construct (or alias) a view object.
+VIEW_CTOR_NAMES = frozenset({"StateView", "SanitizedStateView", "build_view"})
+
+#: Builtins that preserve the provenance of their (single) iterable arg.
+_TRANSPARENT_CALLS = frozenset({
+    "sorted", "list", "set", "tuple", "frozenset", "reversed", "iter",
+})
+
+
+@dataclass(frozen=True)
+class Prov:
+    """Provenance of one expression value.
+
+    ``kind`` is one of:
+
+    * ``"tx"`` — a transaction object itself;
+    * ``"view"`` — a StateView object;
+    * ``"declared"`` — key derivable from a declared tx field (``detail``
+      names the field);
+    * ``"txfield"`` — key from an undeclared tx field (``detail`` = field);
+    * ``"foreign"`` — key provably from outside the transaction;
+    * ``"account"`` — an Account object whose id has provenance ``inner``;
+    * ``"empty"`` — empty container (neutral element);
+    * ``"unknown"`` — unresolvable (never reported).
+    """
+
+    kind: str
+    detail: str = ""
+    inner: "Prov | None" = None
+
+
+UNKNOWN = Prov("unknown")
+EMPTY = Prov("empty")
+TX = Prov("tx")
+VIEW = Prov("view")
+
+
+def _declared(field: str) -> Prov:
+    return Prov("declared", field)
+
+
+def _foreign(detail: str) -> Prov:
+    return Prov("foreign", detail)
+
+
+def _combine(a: Prov, b: Prov) -> Prov:
+    """Join two provenances (container elements, branch merges)."""
+    if a.kind == "empty":
+        return b
+    if b.kind == "empty":
+        return a
+    if a.kind == "unknown" or b.kind == "unknown":
+        return UNKNOWN
+    if a.kind == b.kind and a.detail == b.detail:
+        return a
+    # A definite undeclared source contaminates the container: iterating
+    # it definitely yields at least one undeclared key.
+    for kind in ("foreign", "txfield"):
+        for prov in (a, b):
+            if prov.kind == kind:
+                return prov
+    if a.kind == "declared" and b.kind == "declared":
+        return Prov("declared", f"{a.detail}|{b.detail}")
+    return UNKNOWN
+
+
+def _element_of(container: Prov) -> Prov:
+    """Provenance of an element drawn from ``container``."""
+    if container.kind in {"declared", "txfield", "foreign"}:
+        return container
+    return UNKNOWN
+
+
+def _key_of(value: Prov) -> Prov:
+    """Key provenance of an Account-valued expression (for put/load)."""
+    if value.kind == "account" and value.inner is not None:
+        return value.inner
+    if value.kind in {"declared", "txfield", "foreign"}:
+        return value
+    return UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One inferred view access (or escape) at one source location."""
+
+    kind: str  # "read" | "write" | "load" | "escape"
+    line: int
+    col: int
+    prov: Prov
+    func: str
+    #: call-site lines for interprocedurally reached events (outermost
+    #: first); empty for direct accesses.
+    via: tuple[int, ...] = ()
+
+    def dedupe_key(self) -> tuple:
+        return (self.kind, self.line, self.col, self.prov.kind, self.prov.detail)
+
+
+# ---------------------------------------------------------------------------
+# Function table
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _FuncInfo:
+    node: ast.FunctionDef
+    class_name: str | None
+    is_static: bool
+    is_classmethod: bool
+
+    @property
+    def params(self) -> list[ast.arg]:
+        args = self.node.args
+        params = [*args.posonlyargs, *args.args]
+        if self.class_name is not None and not self.is_static and params:
+            # drop the implicit self/cls receiver
+            if params[0].arg in {"self", "cls"}:
+                params = params[1:]
+        return params
+
+
+def _decorator_names(node: ast.FunctionDef) -> set[str]:
+    names = set()
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Name):
+            names.add(dec.id)
+        elif isinstance(dec, ast.Attribute):
+            names.add(dec.attr)
+    return names
+
+
+def _collect_functions(tree: ast.Module) -> dict[str, list[_FuncInfo]]:
+    """Module-level functions and class methods, keyed by bare name."""
+    table: dict[str, list[_FuncInfo]] = {}
+
+    def add(node: ast.FunctionDef, class_name: str | None) -> None:
+        decs = _decorator_names(node)
+        table.setdefault(node.name, []).append(_FuncInfo(
+            node=node,
+            class_name=class_name,
+            is_static="staticmethod" in decs,
+            is_classmethod="classmethod" in decs,
+        ))
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add(typing.cast(ast.FunctionDef, stmt), None)
+        elif isinstance(stmt, ast.ClassDef):
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    add(typing.cast(ast.FunctionDef, sub), stmt.name)
+    return table
+
+
+def _annotation_text(node: ast.arg) -> str:
+    if node.annotation is None:
+        return ""
+    try:
+        return ast.unparse(node.annotation)
+    except Exception:  # pragma: no cover - malformed annotation
+        return ""
+
+
+def _default_param_prov(param: ast.arg) -> Prov:
+    annotation = _annotation_text(param)
+    if param.arg in VIEW_PARAM_NAMES or "StateView" in annotation:
+        return VIEW
+    if param.arg == "tx" or "Transaction" in annotation:
+        return TX
+    return UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# Per-function abstract interpreter
+# ---------------------------------------------------------------------------
+
+_MAX_CALL_DEPTH = 5
+
+
+class _FunctionAnalysis:
+    """Abstract interpretation of one function body.
+
+    Two passes over the statement list stabilize loop-carried provenance
+    (a set built inside a loop from declared keys reads as declared on
+    the second pass), mirroring :mod:`repro.devtools.taint`.
+    """
+
+    def __init__(self, analyzer: "AccessSetAnalyzer", info: _FuncInfo,
+                 env: dict[str, Prov], via: tuple[int, ...]):
+        self.analyzer = analyzer
+        self.info = info
+        self.env = env
+        self.via = via
+        self.qualname = (
+            f"{info.class_name}.{info.node.name}" if info.class_name
+            else info.node.name
+        )
+
+    # -- events ---------------------------------------------------------
+
+    def _emit(self, kind: str, node: ast.AST, prov: Prov) -> None:
+        self.analyzer.add_event(AccessEvent(
+            kind=kind,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            prov=prov,
+            func=self.qualname,
+            via=self.via,
+        ))
+
+    # -- expression evaluation ------------------------------------------
+
+    def eval(self, node: ast.expr | None) -> Prov:
+        if node is None:
+            return UNKNOWN
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        # Default: visit children for side effects (nested view calls)
+        # but produce no provenance.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return UNKNOWN
+
+    def _eval_Name(self, node: ast.Name) -> Prov:
+        if node.id == "tx":
+            return self.env.get(node.id, TX)
+        return self.env.get(node.id, UNKNOWN)
+
+    def _eval_Constant(self, node: ast.Constant) -> Prov:
+        if isinstance(node.value, bool) or not isinstance(node.value, int):
+            return UNKNOWN
+        return _foreign(f"literal key {node.value!r}")
+
+    def _eval_Attribute(self, node: ast.Attribute) -> Prov:
+        base = self.eval(node.value)
+        if base.kind == "tx":
+            if node.attr == "access_list":
+                return _declared("access_list")
+            if node.attr in DECLARED_TX_FIELDS:
+                return _declared(node.attr)
+            return Prov("txfield", node.attr)
+        if base.kind == "account":
+            if node.attr == "account_id":
+                return base.inner or UNKNOWN
+            if node.attr in {"balance", "nonce"}:
+                return _foreign(f"account metadata .{node.attr}")
+            return UNKNOWN
+        if base.kind in {"declared", "txfield", "foreign"}:
+            # attribute of a derived value stays in the same class
+            # (e.g. ``tx.access_list.touched``).
+            return base
+        return UNKNOWN
+
+    def _eval_BinOp(self, node: ast.BinOp) -> Prov:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(node.op, (ast.BitOr, ast.BitAnd)):
+            # set algebra: union/intersection preserves key provenance
+            return _combine(left, right)
+        for side in (left, right):
+            if side.kind in {"declared", "txfield", "account"}:
+                return _foreign(f"arithmetic on {side.kind} value")
+            if side.kind == "foreign":
+                return side
+        return UNKNOWN
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> Prov:
+        operand = self.eval(node.operand)
+        if operand.kind in {"declared", "txfield", "account"}:
+            return _foreign(f"arithmetic on {operand.kind} value")
+        if operand.kind == "foreign":
+            return operand
+        return UNKNOWN
+
+    def _eval_IfExp(self, node: ast.IfExp) -> Prov:
+        self.eval(node.test)
+        return _combine(self.eval(node.body), self.eval(node.orelse))
+
+    def _eval_Tuple(self, node: ast.Tuple) -> Prov:
+        return self._container(node.elts)
+
+    def _eval_List(self, node: ast.List) -> Prov:
+        return self._container(node.elts)
+
+    def _eval_Set(self, node: ast.Set) -> Prov:
+        return self._container(node.elts)
+
+    def _container(self, elts: list[ast.expr]) -> Prov:
+        prov = EMPTY
+        for elt in elts:
+            prov = _combine(prov, self.eval(elt))
+        return prov
+
+    def _eval_Dict(self, node: ast.Dict) -> Prov:
+        prov = EMPTY
+        for key, value in zip(node.keys, node.values):
+            if key is not None:
+                prov = _combine(prov, self.eval(key))
+            prov = _combine(prov, self.eval(value))
+        return prov
+
+    def _eval_Subscript(self, node: ast.Subscript) -> Prov:
+        self.eval(node.slice)
+        return _element_of(self.eval(node.value))
+
+    def _eval_Starred(self, node: ast.Starred) -> Prov:
+        return self.eval(node.value)
+
+    def _comprehension(self, generators: list[ast.comprehension],
+                       elts: list[ast.expr]) -> Prov:
+        saved: dict[str, Prov | None] = {}
+        for gen in generators:
+            element = _element_of(self.eval(gen.iter))
+            for name in self._target_names(gen.target):
+                saved.setdefault(name, self.env.get(name))
+                self.env[name] = element
+            for cond in gen.ifs:
+                self.eval(cond)
+        prov = EMPTY
+        for elt in elts:
+            prov = _combine(prov, self.eval(elt))
+        for name, old in saved.items():
+            if old is None:
+                self.env.pop(name, None)
+            else:
+                self.env[name] = old
+        return prov
+
+    def _eval_ListComp(self, node: ast.ListComp) -> Prov:
+        return self._comprehension(node.generators, [node.elt])
+
+    def _eval_SetComp(self, node: ast.SetComp) -> Prov:
+        return self._comprehension(node.generators, [node.elt])
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp) -> Prov:
+        return self._comprehension(node.generators, [node.elt])
+
+    def _eval_DictComp(self, node: ast.DictComp) -> Prov:
+        return self._comprehension(node.generators, [node.key, node.value])
+
+    def _eval_Call(self, node: ast.Call) -> Prov:
+        func = node.func
+        # view method calls: the access events themselves
+        if isinstance(func, ast.Attribute):
+            receiver = self.eval(func.value)
+            if receiver.kind == "view":
+                return self._view_call(node, func.attr)
+            if func.attr == "copy":
+                for arg in node.args:
+                    self.eval(arg)
+                return receiver
+            if func.attr == "decode" and isinstance(func.value, ast.Name) \
+                    and func.value.id == "Account":
+                for arg in node.args:
+                    self.eval(arg)
+                return Prov("account", inner=UNKNOWN)
+            if func.attr in {"items", "keys", "values", "union"}:
+                return _element_of(receiver) if receiver.kind in {
+                    "declared", "txfield", "foreign"} else UNKNOWN
+        if isinstance(func, ast.Name):
+            if func.id in _TRANSPARENT_CALLS and node.args:
+                provs = [self.eval(arg) for arg in node.args]
+                return provs[0]
+            if func.id == "Account" and node.args:
+                key = self.eval(node.args[0])
+                for arg in node.args[1:]:
+                    self.eval(arg)
+                return Prov("account", inner=key)
+            if func.id in VIEW_CTOR_NAMES:
+                for arg in node.args:
+                    self.eval(arg)
+                for kw in node.keywords:
+                    self.eval(kw.value)
+                return VIEW
+        # interprocedural descent when a view flows into a known callee
+        self._maybe_descend(node)
+        for arg in node.args:
+            self.eval(arg)
+        for kw in node.keywords:
+            self.eval(kw.value)
+        return UNKNOWN
+
+    def _view_call(self, node: ast.Call, method: str) -> Prov:
+        args = node.args
+        if method == "get" and args:
+            key = self.eval(args[0])
+            self._emit("read", node, key)
+            return Prov("account", inner=key)
+        if method == "put" and args:
+            value = self.eval(args[0])
+            self._emit("write", node, _key_of(value))
+            return UNKNOWN
+        if method == "load" and args:
+            value = self.eval(args[0])
+            self._emit("load", node, _key_of(value))
+            return UNKNOWN
+        # written / written_encoded / reset_writes / begin_tx / end_tx ...
+        for arg in args:
+            self.eval(arg)
+        return UNKNOWN
+
+    # -- interprocedural ------------------------------------------------
+
+    def _resolve_callee(self, func: ast.expr) -> _FuncInfo | None:
+        table = self.analyzer.functions
+        if isinstance(func, ast.Name):
+            for info in table.get(func.id, ()):
+                if info.class_name is None:
+                    return info
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id in {"self", "cls"}:
+                candidates = table.get(func.attr, ())
+                for info in candidates:
+                    if info.class_name == self.info.class_name:
+                        return info
+                return candidates[0] if candidates else None
+        return None
+
+    def _maybe_descend(self, node: ast.Call) -> None:
+        if len(self.via) >= _MAX_CALL_DEPTH:
+            return
+        callee = self._resolve_callee(node.func)
+        if callee is None or callee.node is self.info.node:
+            return
+        arg_provs = [self.eval(arg) for arg in node.args]
+        kw_provs = {kw.arg: self.eval(kw.value)
+                    for kw in node.keywords if kw.arg is not None}
+        if not any(p.kind == "view" for p in [*arg_provs, *kw_provs.values()]):
+            return
+        params = callee.params
+        env: dict[str, Prov] = {}
+        for param, prov in zip(params, arg_provs):
+            env[param.arg] = prov if prov.kind != "unknown" \
+                else _default_param_prov(param)
+        for param in params[len(arg_provs):]:
+            prov = kw_provs.get(param.arg, UNKNOWN)
+            env[param.arg] = prov if prov.kind != "unknown" \
+                else _default_param_prov(param)
+        self.analyzer.analyze_function(
+            callee, env, self.via + (node.lineno,)
+        )
+
+    # -- statements ------------------------------------------------------
+
+    def _target_names(self, target: ast.expr) -> list[str]:
+        if isinstance(target, ast.Name):
+            return [target.id]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            names = []
+            for elt in target.elts:
+                names.extend(self._target_names(elt))
+            return names
+        return []
+
+    def _bind_target(self, target: ast.expr, prov: Prov) -> None:
+        if isinstance(target, ast.Name):
+            # any name literally called ``tx`` is a transaction root
+            # (loop variables over transaction batches).
+            if target.id == "tx":
+                self.env[target.id] = TX
+            else:
+                self.env[target.id] = prov
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            element = _element_of(prov) if prov.kind in {
+                "declared", "txfield", "foreign"} else prov
+            for elt in target.elts:
+                self._bind_target(elt, _element_of(element)
+                                  if isinstance(elt, (ast.Tuple, ast.List))
+                                  else element)
+        elif isinstance(target, ast.Attribute):
+            # ``self.x = <view>`` — the PL104 escape.
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in {"self", "cls"} \
+                    and prov.kind == "view":
+                self._emit("escape", target, prov)
+        elif isinstance(target, ast.Subscript):
+            self.eval(target.value)
+            self.eval(target.slice)
+
+    def run(self) -> None:
+        body = self.info.node.body
+        for _pass in range(2):
+            for stmt in body:
+                self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            prov = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, prov)
+        elif isinstance(stmt, ast.AnnAssign):
+            prov = self.eval(stmt.value) if stmt.value is not None else UNKNOWN
+            annotation = ""
+            try:
+                annotation = ast.unparse(stmt.annotation)
+            except Exception:  # pragma: no cover
+                pass
+            if "StateView" in annotation:
+                prov = VIEW
+            self._bind_target(stmt.target, prov)
+        elif isinstance(stmt, ast.AugAssign):
+            prov = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id, UNKNOWN)
+                if isinstance(stmt.op, (ast.BitOr, ast.Add, ast.BitAnd)):
+                    self.env[stmt.target.id] = _combine(
+                        current if current.kind != "unknown" else EMPTY
+                        if stmt.target.id in self.env else UNKNOWN,
+                        prov,
+                    ) if current.kind != "unknown" or stmt.target.id in self.env \
+                        else UNKNOWN
+                else:
+                    self.env[stmt.target.id] = UNKNOWN
+        elif isinstance(stmt, ast.For):
+            element = _element_of(self.eval(stmt.iter))
+            self._bind_target(stmt.target, element)
+            for sub in stmt.body:
+                self._exec(sub)
+            for sub in stmt.orelse:
+                self._exec(sub)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self.eval(stmt.test)
+            for sub in stmt.body:
+                self._exec(sub)
+            for sub in stmt.orelse:
+                self._exec(sub)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                prov = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, prov)
+            for sub in stmt.body:
+                self._exec(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body:
+                self._exec(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._exec(sub)
+            for sub in [*stmt.orelse, *stmt.finalbody]:
+                self._exec(sub)
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test)
+        # nested function/class definitions are analyzed separately;
+        # pass/break/continue/raise/import need no provenance work.
+
+
+# ---------------------------------------------------------------------------
+# Module analyzer
+# ---------------------------------------------------------------------------
+
+
+class AccessSetAnalyzer:
+    """Runs the access-set inference over every function of a module."""
+
+    def __init__(self, tree: ast.Module):
+        self.tree = tree
+        self.functions = _collect_functions(tree)
+        self._events: list[AccessEvent] = []
+        self._seen: set[tuple] = set()
+        self._active: set[int] = set()
+
+    def add_event(self, event: AccessEvent) -> None:
+        key = event.dedupe_key()
+        if key not in self._seen:
+            self._seen.add(key)
+            self._events.append(event)
+
+    def analyze_function(self, info: _FuncInfo, env: dict[str, Prov],
+                         via: tuple[int, ...]) -> None:
+        marker = id(info.node)
+        if marker in self._active:
+            return
+        self._active.add(marker)
+        try:
+            _FunctionAnalysis(self, info, env, via).run()
+        finally:
+            self._active.discard(marker)
+
+    def run(self) -> list[AccessEvent]:
+        for infos in self.functions.values():
+            for info in infos:
+                env = {p.arg: _default_param_prov(p) for p in info.params}
+                self.analyze_function(info, env, ())
+        self._events.sort(key=lambda e: (e.line, e.col, e.kind))
+        return self._events
+
+
+def analyze_module(tree: ast.Module) -> list[AccessEvent]:
+    """Public entry point: all access events of one parsed module."""
+    return AccessSetAnalyzer(tree).run()
+
+
+# ---------------------------------------------------------------------------
+# Builder-field extraction (PL103 narrowing)
+# ---------------------------------------------------------------------------
+
+
+def builder_fields(tree: ast.Module) -> frozenset[str] | None:
+    """Transaction fields used by this module's access-list builder(s).
+
+    A *builder* is any function whose body constructs an ``AccessList``
+    (direct call, ``AccessList.for_transfer(...)``, or ``cls(reads=...)``
+    inside a class named ``AccessList``).  Returns ``None`` when the
+    module has no builder — callers then fall back to the default
+    declared-field set.
+    """
+
+    def _constructs_access_list(func: ast.FunctionDef, class_name: str | None) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id == "AccessList":
+                return True
+            if isinstance(callee, ast.Attribute) and isinstance(callee.value, ast.Name):
+                if callee.value.id == "AccessList":
+                    return True
+            if class_name == "AccessList" and isinstance(callee, ast.Name) \
+                    and callee.id == "cls":
+                return True
+        return False
+
+    fields: set[str] = set()
+    found = False
+
+    def _scan(func: ast.FunctionDef, class_name: str | None) -> None:
+        nonlocal found
+        if not _constructs_access_list(func, class_name):
+            return
+        found = True
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                if node.value.id in {"tx", "self"}:
+                    fields.add(node.attr)
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            _scan(stmt, None)
+        elif isinstance(stmt, ast.ClassDef):
+            for sub in stmt.body:
+                if isinstance(sub, ast.FunctionDef):
+                    _scan(sub, stmt.name)
+    return frozenset(fields) if found else None
+
+
+# ---------------------------------------------------------------------------
+# Rules PL101-PL104
+# ---------------------------------------------------------------------------
+
+_OP_LABEL = {"read": "read", "load": "download", "write": "write"}
+
+
+def _via_suffix(event: AccessEvent) -> str:
+    if not event.via:
+        return ""
+    chain = " -> ".join(f"line {line}" for line in event.via)
+    return f" (reached via call at {chain})"
+
+
+class _AccessRule(Rule):
+    """Shared helpers for the access-set rules."""
+
+    def _events(self, ctx: ModuleContext) -> list[AccessEvent]:
+        return ctx.access_events()
+
+
+@register
+class UndeclaredReadRule(_AccessRule):
+    """``view.get``/``view.load`` keyed by a provably undeclared value.
+
+    ``StateView.get`` silently manufactures a zero account for any
+    undeclared key, so an undeclared read never fails loudly — it just
+    executes against state the OC's conflict detection cannot see.
+    """
+
+    code = "PL101"
+    name = "UNDECLARED-READ"
+    summary = "view read keyed outside the pre-declared access list"
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for event in self._events(ctx):
+            if event.kind not in {"read", "load"} or event.prov.kind != "foreign":
+                continue
+            node = _loc(event)
+            yield self.finding(
+                ctx, node,
+                f"`{self.qual(event)}` {_OP_LABEL[event.kind]}s a key from "
+                f"{event.prov.detail}, which no access list declares"
+                f"{_via_suffix(event)}",
+                "key every view access on `tx.sender`, `tx.receiver` or a "
+                "`tx.payload` element, or extend the access-list builder",
+            )
+
+    @staticmethod
+    def qual(event: AccessEvent) -> str:
+        return event.func
+
+
+@register
+class UndeclaredWriteRule(_AccessRule):
+    """``view.put`` keyed by a provably undeclared value.
+
+    Undeclared writes are worse than undeclared reads: they enter ``S^d``
+    and the Multi-Shard Update list without ever being lockable by the
+    OC, breaking conflict-detection soundness outright.
+    """
+
+    code = "PL102"
+    name = "UNDECLARED-WRITE"
+    summary = "view write keyed outside the pre-declared access list"
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for event in self._events(ctx):
+            if event.kind != "write" or event.prov.kind != "foreign":
+                continue
+            yield self.finding(
+                ctx, _loc(event),
+                f"`{event.func}` writes an account keyed from "
+                f"{event.prov.detail}, which no access list declares"
+                f"{_via_suffix(event)}",
+                "only write accounts obtained from declared keys "
+                "(`view.get(tx.sender)`, payload receivers); extend the "
+                "access-list builder if the handler legitimately needs more",
+            )
+
+
+@register
+class AccessFieldDriftRule(_AccessRule):
+    """Handler touches tx fields the access-list builder does not include.
+
+    The declaration and the execution must be built from the *same*
+    transaction fields; a handler keying on ``tx.amount`` while the
+    builder only includes sender/receiver/payload silently desynchronizes
+    the OC's view of the transaction's footprint.
+    """
+
+    code = "PL103"
+    name = "ACCESS-FIELD-DRIFT"
+    summary = "handler keys on tx fields the access-list builder omits"
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        declared = builder_fields(ctx.tree)
+        for event in self._events(ctx):
+            if event.kind not in {"read", "load", "write"}:
+                continue
+            prov = event.prov
+            drifted_field: str | None = None
+            if prov.kind == "txfield":
+                drifted_field = prov.detail
+            elif prov.kind == "declared" and declared is not None:
+                fields = set(prov.detail.split("|"))
+                missing = fields - declared - {"access_list"}
+                if missing:
+                    drifted_field = "|".join(sorted(missing))
+            if drifted_field is None:
+                continue
+            yield self.finding(
+                ctx, _loc(event),
+                f"`{event.func}` {_OP_LABEL[event.kind]}s a key from "
+                f"`tx.{drifted_field}`, a field the access-list builder "
+                f"does not include{_via_suffix(event)}",
+                "derive handler keys only from the fields the access-list "
+                "builder covers (sender/receiver/payload), or add the field "
+                "to the builder",
+            )
+
+
+@register
+class ViewEscapeRule(_AccessRule):
+    """A StateView stored on ``self`` — escaping the phase boundary.
+
+    A view is a *per-execution-phase* object: its base is a snapshot of
+    one round's downloads and its overlay is one round's ``S`` set.
+    Stashing it on an object that outlives the phase lets a later round
+    read stale state (or double-report writes) without any download.
+    """
+
+    code = "PL104"
+    name = "VIEW-ESCAPE"
+    summary = "StateView stored on self, escaping the execution phase"
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for event in self._events(ctx):
+            if event.kind != "escape":
+                continue
+            yield self.finding(
+                ctx, _loc(event),
+                f"`{event.func}` stores a StateView on `self`, letting it "
+                "outlive the execution phase that downloaded its base state",
+                "keep views function-local; persist only "
+                "`view.written_encoded()` (the S set) across phases",
+            )
+
+
+# ---------------------------------------------------------------------------
+# PL105 — coordinator lock-window drift
+# ---------------------------------------------------------------------------
+
+#: The paper's commit rounds (Section IV-D2): a batch ordered at round i
+#: commits intra-shard effects at i+2 and the Multi-Shard Update at i+4.
+EXPECTED_LOCK_WINDOWS = {
+    "INTRA_COMMIT_ROUNDS": 2,
+    "CROSS_COMMIT_ROUNDS": 4,
+}
+
+
+@register
+class LockWindowDriftRule(Rule):
+    """Coordinator lock windows must come from the named constants.
+
+    ``CrossShardCoordinator.filter_batch`` locks admitted accounts until
+    the batch's commit round — i+2 for intra, i+4 for cross (Section
+    IV-D2).  Those windows are protocol constants; an inline literal that
+    drifts from them (``ordering_round + 3``) silently changes when
+    conflicting transactions are admitted.  The coordinator must define
+    ``INTRA_COMMIT_ROUNDS = 2`` and ``CROSS_COMMIT_ROUNDS = 4`` and use
+    the names in every lock-window expression.
+    """
+
+    code = "PL105"
+    name = "LOCK-WINDOW-DRIFT"
+    summary = "coordinator lock-window literal drifts from i+2 / i+4 constants"
+    path_patterns = ("*coordinator*.py", "coordinator*.py")
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        defined: dict[str, tuple[int | None, ast.AST]] = {}
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                name = stmt.targets[0].id
+                if name in EXPECTED_LOCK_WINDOWS:
+                    value = stmt.value.value \
+                        if isinstance(stmt.value, ast.Constant) else None
+                    defined[name] = (
+                        value if isinstance(value, int) else None, stmt)
+        for name, expected in sorted(EXPECTED_LOCK_WINDOWS.items()):
+            if name not in defined:
+                yield self.finding(
+                    ctx, ctx.tree.body[0] if ctx.tree.body else ast.Module(),
+                    f"coordinator module does not define `{name}` "
+                    f"(paper value {expected})",
+                    f"add `{name} = {expected}` and use it for every "
+                    "lock-window expression",
+                )
+                continue
+            value, node = defined[name]
+            if value != expected:
+                yield self.finding(
+                    ctx, node,
+                    f"`{name}` is {value!r}, but the paper's commit round "
+                    f"is ordering_round + {expected} (Section IV-D2)",
+                    f"restore `{name} = {expected}`; the conflict-detection "
+                    "soundness argument depends on the exact window",
+                )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            names = {
+                sub.id for sub in (node.left, node.right)
+                if isinstance(sub, ast.Name)
+            }
+            literals = [
+                sub.value for sub in (node.left, node.right)
+                if isinstance(sub, ast.Constant)
+                and isinstance(sub.value, int)
+                and not isinstance(sub.value, bool)
+            ]
+            if "ordering_round" in names and literals:
+                yield self.finding(
+                    ctx, node,
+                    f"lock-window arithmetic `ordering_round "
+                    f"{'+' if isinstance(node.op, ast.Add) else '-'} "
+                    f"{literals[0]}` uses an inline literal",
+                    "use the named constants (INTRA_COMMIT_ROUNDS / "
+                    "CROSS_COMMIT_ROUNDS) so drift is machine-checked",
+                )
+
+
+class _loc:  # noqa: N801 - tiny location adapter
+    """Location carrier mapping an AccessEvent onto the Rule API."""
+
+    def __init__(self, event: AccessEvent):
+        self.lineno = event.line
+        self.col_offset = event.col
+
+
+#: Codes belonging to the PorySan access-soundness rule family (the
+#: ``porylint --access`` selection).
+ACCESS_RULE_CODES = frozenset({"PL101", "PL102", "PL103", "PL104", "PL105"})

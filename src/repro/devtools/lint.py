@@ -34,6 +34,11 @@ from pathlib import Path
 from repro.devtools.findings import Finding
 from repro.devtools.rules import RULES, ModuleContext
 
+# Imported for the registration side-effect: the PorySan access-list
+# soundness rules (PL101..PL105) add themselves to RULES on import.
+import repro.devtools.accessset  # noqa: E402,F401
+from repro.devtools.accessset import ACCESS_RULE_CODES
+
 #: Default name of the checked-in baseline file (repo root).
 BASELINE_NAME = "porylint-baseline.txt"
 
@@ -295,9 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="porylint",
         description="determinism & protocol-safety linter for the Porygon "
-                    "reproduction (rules PL001..PL006; see DESIGN.md §8)",
+                    "reproduction (determinism rules PL001..PL006, DESIGN.md "
+                    "§8; access-list soundness rules PL101..PL105, §9)",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument("--access", action="store_true",
+                        help="run the PorySan access-list soundness rules "
+                             "(PL101..PL105); combines with --select")
     parser.add_argument("--strict", action="store_true",
                         help="also fail on stale baseline entries and "
                              "unparseable files")
@@ -340,6 +349,10 @@ def main(argv: list[str] | None = None) -> int:
         baseline = load_baseline(baseline_path)
 
     select = _codes(args.select)
+    if args.access:
+        # --access focuses the run on PL101..PL105; with an explicit
+        # --select the two sets are unioned.
+        select = ACCESS_RULE_CODES if select is None else select | ACCESS_RULE_CODES
     unknown = (select or frozenset()) - set(RULES)
     if unknown:
         print(f"unknown rule code(s): {', '.join(sorted(unknown))}",

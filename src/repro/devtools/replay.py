@@ -35,11 +35,6 @@ from repro.crypto.hashing import domain_digest
 
 _TRACE_DOMAIN = "repro/replay-trace/v1"
 
-#: Base for the harness's seed-derived transaction ids — far above
-#: anything the process-global counter hands out, so a traced run can
-#: coexist with other simulations in one test process.
-_REPLAY_TX_ID_BASE = 1 << 40
-
 #: Canonical phase order inside one pipelined round (reporting only —
 #: the recorder preserves actual event order, which is itself part of
 #: the determinism contract).
@@ -228,14 +223,13 @@ def run_traced(seed: int = 7, rounds: int = 6, num_shards: int = 2,
 
     Returns ``(recorder, final commit root)``.  The workload is itself
     derived deterministically from ``seed`` — including transaction
-    identity: ``Transaction.tx_id`` defaults to a *process-global*
-    counter, so two same-seed runs in one process would otherwise get
-    different tx ids (and therefore different block hashes).  The very
-    first run of this harness caught exactly that; replica-relative
-    identity must always be seed-derived (DESIGN.md §8).
+    identity: :class:`~repro.workload.WorkloadGenerator` allocates ids
+    from a seeded :class:`~repro.chain.transaction.TxIdSequence`, so two
+    same-seed runs get identical tx ids (and block hashes) even when
+    they share a process.  The very first run of this harness caught the
+    previous process-global-counter behaviour; replica-relative identity
+    must always be seed-derived (DESIGN.md §8).
     """
-    import dataclasses
-
     from repro.workload import WorkloadGenerator
 
     sim = _build_simulation(seed, num_shards, config_overrides)
@@ -245,10 +239,7 @@ def run_traced(seed: int = 7, rounds: int = 6, num_shards: int = 2,
         num_accounts=max(64, 4 * num_txs), num_shards=num_shards,
         cross_shard_ratio=cross_shard_ratio, unique=True, seed=seed,
     )
-    batch = [
-        dataclasses.replace(tx, tx_id=_REPLAY_TX_ID_BASE + index)
-        for index, tx in enumerate(generator.batch(num_txs))
-    ]
+    batch = generator.batch(num_txs)
     genesis = sorted({tx.sender for tx in batch})
     sim.fund_accounts(genesis, 1_000)
     sim.submit(batch)

@@ -18,6 +18,10 @@ PL004   MUTABLE-DEFAULT         mutable default argument values
 PL005   FLOAT-IN-DIGEST         float values tainting digest inputs
 PL006   SWALLOWED-EXCEPT        bare/over-broad except that drops the error
 ======  ======================  ==============================================
+
+The PorySan access-list soundness rules (PL101..PL105, DESIGN.md §9)
+live in :mod:`repro.devtools.accessset` and register themselves here via
+the same decorator when that module is imported.
 """
 
 from __future__ import annotations
@@ -41,6 +45,8 @@ class ModuleContext:
     lines: list[str] = field(default_factory=list)
     #: cache slot for the shared digest-taint analysis (PL003 + PL005).
     _taint_findings: "list[TaintFinding] | None" = None
+    #: cache slot for the shared access-set analysis (PL101..PL104).
+    _access_events: "list | None" = None
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -58,6 +64,15 @@ class ModuleContext:
         if self._taint_findings is None:
             self._taint_findings = DigestTaintAnalyzer(self.tree).run()
         return self._taint_findings
+
+    def access_events(self) -> "list":
+        """Shared read/write-set inference (PorySan PL101..PL104)."""
+        if self._access_events is None:
+            # Local import: accessset imports this module for Rule/register,
+            # so the dependency must stay lazy to avoid a cycle.
+            from repro.devtools.accessset import analyze_module
+            self._access_events = analyze_module(self.tree)
+        return self._access_events
 
 
 class Rule:

@@ -1,0 +1,204 @@
+"""PorySan runtime head: sanitized end-to-end runs + JSON reports.
+
+The static rules (PL101..PL105 in :mod:`repro.devtools.accessset`) prove
+the *patterns* are sound; this harness proves the *behaviour* is: it
+runs a seeded end-to-end :class:`~repro.core.system.PorygonSimulation`
+(and optionally the ByShard baseline) with every execution view wrapped
+in a :class:`~repro.state.view.SanitizedStateView`, collects the
+per-transaction touched-vs-declared entries through the report sink, and
+emits a machine-readable report of the run.
+
+Modes (DESIGN.md §9):
+
+* ``record`` — undeclared touches are logged into the report;
+* ``strict`` — the first undeclared touch (or silent zero-account read)
+  raises :class:`~repro.errors.AccessListViolation`; the CLI converts it
+  into a failing report.
+
+CLI::
+
+    python -m repro.devtools.sanitizer --seed 7 --rounds 6 --shards 2
+    repro sanitize --mode strict --baseline --json
+
+Exit code 0 when the run is clean, 1 on any access-list violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import sys
+import typing
+
+from repro.errors import AccessListViolation
+from repro.state.view import set_report_sink
+
+
+class ReportCollector:
+    """Duck-typed sink accumulating per-transaction sanitizer entries."""
+
+    def __init__(self) -> None:
+        self.entries: list[dict[str, object]] = []
+
+    def record(self, entry: dict[str, object]) -> None:
+        self.entries.append(entry)
+
+    @property
+    def violations(self) -> list[dict[str, object]]:
+        out: list[dict[str, object]] = []
+        for entry in self.entries:
+            out.extend(typing.cast(list, entry.get("undeclared", ())))
+        return out
+
+    def summary(self) -> dict[str, object]:
+        labels = sorted({str(entry.get("label", "")) for entry in self.entries})
+        return {
+            "txs_checked": len(self.entries),
+            "views": labels,
+            "undeclared": self.violations,
+            "clean": not self.violations,
+        }
+
+
+@contextlib.contextmanager
+def collect_reports() -> "typing.Iterator[ReportCollector]":
+    """Install a fresh collector as the global sink for the block."""
+    collector = ReportCollector()
+    previous = set_report_sink(collector)
+    try:
+        yield collector
+    finally:
+        set_report_sink(previous)
+
+
+def _run_porygon(seed: int, rounds: int, num_shards: int, num_txs: int,
+                 cross_shard_ratio: float, mode: str) -> dict[str, object]:
+    from repro.devtools.replay import _build_simulation
+    from repro.workload import WorkloadGenerator
+
+    sim = _build_simulation(seed, num_shards, {"sanitize": mode})
+    generator = WorkloadGenerator(
+        num_accounts=max(64, 4 * num_txs), num_shards=num_shards,
+        cross_shard_ratio=cross_shard_ratio, unique=True, seed=seed,
+    )
+    batch = generator.batch(num_txs)
+    sim.fund_accounts(sorted({tx.sender for tx in batch}), 1_000)
+    sim.submit(batch)
+    with collect_reports() as collector:
+        violation: str | None = None
+        try:
+            sim.run(num_rounds=rounds)
+        except AccessListViolation as exc:
+            violation = str(exc)
+    summary = collector.summary()
+    summary["system"] = "porygon"
+    summary["strict_violation"] = violation
+    summary["clean"] = bool(summary["clean"]) and violation is None
+    return summary
+
+
+def _run_byshard(seed: int, rounds: int, num_shards: int, num_txs: int,
+                 cross_shard_ratio: float, mode: str) -> dict[str, object]:
+    from repro.baselines.byshard import ByShardConfig, ByShardSimulation
+    from repro.workload import WorkloadGenerator
+
+    config = ByShardConfig(
+        num_shards=num_shards, nodes_per_shard=4, txs_per_block=8,
+        round_overhead_s=0.5, consensus_step_timeout_s=0.3, sanitize=mode,
+    )
+    sim = ByShardSimulation(config, seed=seed)
+    generator = WorkloadGenerator(
+        num_accounts=max(64, 4 * num_txs), num_shards=num_shards,
+        cross_shard_ratio=cross_shard_ratio, unique=True, seed=seed + 1,
+    )
+    batch = generator.batch(num_txs)
+    sim.fund_accounts(sorted({tx.sender for tx in batch}), 1_000)
+    sim.submit(batch)
+    with collect_reports() as collector:
+        violation: str | None = None
+        try:
+            sim.run(num_rounds=rounds)
+        except AccessListViolation as exc:
+            violation = str(exc)
+    summary = collector.summary()
+    summary["system"] = "byshard"
+    summary["strict_violation"] = violation
+    summary["clean"] = bool(summary["clean"]) and violation is None
+    return summary
+
+
+def sanitize_check(seed: int = 7, rounds: int = 6, num_shards: int = 2,
+                   num_txs: int = 24, cross_shard_ratio: float = 0.25,
+                   mode: str = "strict",
+                   include_baseline: bool = False) -> dict[str, object]:
+    """One sanitized end-to-end run; returns the full JSON-able report."""
+    systems = [
+        _run_porygon(seed, rounds, num_shards, num_txs, cross_shard_ratio, mode)
+    ]
+    if include_baseline:
+        systems.append(
+            _run_byshard(seed, rounds, num_shards, num_txs, cross_shard_ratio, mode)
+        )
+    return {
+        "mode": mode,
+        "seed": seed,
+        "rounds": rounds,
+        "shards": num_shards,
+        "txs": num_txs,
+        "systems": systems,
+        "clean": all(bool(system["clean"]) for system in systems),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.sanitizer",
+        description="access-list runtime sanitizer: seeded end-to-end run "
+                    "with every state touch checked against the declared "
+                    "access list (DESIGN.md §9)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--txs", type=int, default=24)
+    parser.add_argument("--cross", type=float, default=0.25,
+                        help="cross-shard ratio of the generated workload")
+    parser.add_argument("--mode", choices=("record", "strict"),
+                        default="strict")
+    parser.add_argument("--baseline", action="store_true",
+                        help="also run the ByShard baseline sanitized")
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--output", default=None,
+                        help="also write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    report = sanitize_check(
+        seed=args.seed, rounds=args.rounds, num_shards=args.shards,
+        num_txs=args.txs, cross_shard_ratio=args.cross, mode=args.mode,
+        include_baseline=args.baseline,
+    )
+    rendered = json.dumps(report, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    if args.json:
+        print(rendered)
+    else:
+        for system in typing.cast(list, report["systems"]):
+            status = "clean" if system["clean"] else "VIOLATIONS"
+            line = (
+                f"sanitize [{system['system']}] {status}: "
+                f"{system['txs_checked']} tx scope(s) checked across "
+                f"{len(typing.cast(list, system['views']))} view(s), "
+                f"{len(typing.cast(list, system['undeclared']))} undeclared "
+                f"touch(es)"
+            )
+            if system["strict_violation"]:
+                line += f"; strict stop: {system['strict_violation']}"
+            print(line)
+    return 0 if report["clean"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

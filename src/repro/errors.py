@@ -29,6 +29,16 @@ class StateError(ReproError):
     """Raised for invalid state-layer operations (unknown account...)."""
 
 
+class AccessListViolation(StateError):
+    """A handler touched an account outside the declared access list.
+
+    Raised by :class:`repro.state.view.SanitizedStateView` in strict
+    mode: the OC's conflict detection is only sound if every actual
+    read/write is a subset of ``tx.access_list.touched`` (DESIGN.md §9),
+    so an undeclared touch is a protocol-safety bug, not a state bug.
+    """
+
+
 class ChainError(ReproError):
     """Raised for malformed chain structures (blocks, transactions)."""
 

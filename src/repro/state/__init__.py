@@ -11,19 +11,26 @@ updated key-value pairs and subtree roots to the Ordering Committee.
 
 Versioned checkpoints on shard states implement the bounded cross-shard
 retry / rollback of Section IV-D2.
+
+:class:`~repro.state.view.SanitizedStateView` (built through
+:func:`~repro.state.view.build_view` under the ``REPRO_SANITIZE`` gate)
+is the runtime half of the access-list soundness checker — see
+DESIGN.md §9.
 """
 
 from repro.state.executor import ExecutionOutcome, TransactionExecutor
 from repro.state.global_state import ShardedGlobalState
 from repro.state.shard_state import ShardState
 from repro.state.store import AccountStore
-from repro.state.view import StateView
+from repro.state.view import SanitizedStateView, StateView, build_view
 
 __all__ = [
     "AccountStore",
     "ExecutionOutcome",
+    "SanitizedStateView",
     "ShardState",
     "ShardedGlobalState",
     "StateView",
     "TransactionExecutor",
+    "build_view",
 ]

@@ -13,8 +13,10 @@ property Lemma 3's "deterministic execution process" relies on.
 from __future__ import annotations
 
 import enum
+import typing
 from dataclasses import dataclass, field
 
+from repro.chain.account import Account
 from repro.chain.operations import TxKind
 from repro.chain.transaction import Transaction
 from repro.state.view import StateView
@@ -51,16 +53,29 @@ class ExecutionOutcome:
 class TransactionExecutor:
     """Sequentially executes transfers against a :class:`StateView`."""
 
-    def execute(self, transactions, view: StateView) -> ExecutionOutcome:
+    def execute(
+        self,
+        transactions: "typing.Iterable[Transaction]",
+        view: StateView,
+    ) -> ExecutionOutcome:
         """Run ``transactions`` in order, mutating ``view``.
 
         Nonce discipline rejects duplicates and replays; balance checks
         reject double-spends. Failed transactions leave the view
         untouched.
+
+        Every transaction is bracketed by ``view.begin_tx`` /
+        ``view.end_tx`` so a sanitized view can attribute each state
+        touch to the transaction's declared access list (DESIGN.md §9);
+        on plain views the brackets are no-ops.
         """
         outcome = ExecutionOutcome()
         for tx in transactions:
-            reason = self._apply(tx, view)
+            view.begin_tx(tx)
+            try:
+                reason = self._apply(tx, view)
+            finally:
+                view.end_tx()
             if reason is None:
                 outcome.applied.append(tx)
             else:
@@ -79,7 +94,8 @@ class TransactionExecutor:
         return cls._apply_transfer(tx, sender, view)
 
     @staticmethod
-    def _apply_transfer(tx: Transaction, sender, view: StateView) -> FailureReason | None:
+    def _apply_transfer(tx: Transaction, sender: Account,
+                        view: StateView) -> FailureReason | None:
         if sender.balance < tx.amount:
             return FailureReason.INSUFFICIENT_BALANCE
         receiver = view.get(tx.receiver).copy()
@@ -96,7 +112,8 @@ class TransactionExecutor:
         return None
 
     @staticmethod
-    def _apply_batch_pay(tx: Transaction, sender, view: StateView) -> FailureReason | None:
+    def _apply_batch_pay(tx: Transaction, sender: Account,
+                         view: StateView) -> FailureReason | None:
         """Atomic multi-receiver payment: all credits or none."""
         total = sum(amount for _, amount in tx.payload)
         if sender.balance < total:
@@ -111,7 +128,8 @@ class TransactionExecutor:
         return None
 
     @staticmethod
-    def _apply_sweep(tx: Transaction, sender, view: StateView) -> FailureReason | None:
+    def _apply_sweep(tx: Transaction, sender: Account,
+                     view: StateView) -> FailureReason | None:
         """State-dependent transfer of everything above ``min_keep``."""
         (min_keep,) = tx.payload
         if sender.balance < min_keep:

@@ -42,7 +42,7 @@ def aggregate_root(
     cached = _AGGREGATE_CACHE.get(key)
     if cached is not None:
         return cached
-    parts = []
+    parts: list[bytes] = []
     for shard, root in key:
         parts.append(shard.to_bytes(8, "big"))
         parts.append(root)
@@ -56,7 +56,7 @@ def aggregate_root(
 class ShardedGlobalState:
     """Complete blockchain state as held by a storage node."""
 
-    def __init__(self, num_shards: int, depth: int = SMT_DEPTH):
+    def __init__(self, num_shards: int, depth: int = SMT_DEPTH) -> None:
         if num_shards < 1:
             raise StateError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = num_shards

@@ -9,6 +9,8 @@ rollback of failed cross-shard commits (Section IV-D2).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.chain.account import Account, AccountId, shard_of
 from repro.crypto.smt import SMT_DEPTH, SmtMultiProof, SmtProof, SparseMerkleTree
 from repro.errors import StateError
@@ -18,7 +20,7 @@ from repro.state.store import AccountStore
 class ShardState:
     """Authenticated account state of one shard."""
 
-    def __init__(self, shard: int, num_shards: int, depth: int = SMT_DEPTH):
+    def __init__(self, shard: int, num_shards: int, depth: int = SMT_DEPTH) -> None:
         if not 0 <= shard < num_shards:
             raise StateError(f"shard {shard} out of range for {num_shards} shards")
         self.shard = shard
@@ -61,7 +63,7 @@ class ShardState:
         self.accounts.put(account)
         self._tree.update(key, account.encode())
 
-    def put_accounts(self, accounts) -> bytes:
+    def put_accounts(self, accounts: Iterable[Account]) -> bytes:
         """Write many accounts with one batched SMT commit.
 
         Semantically equal to :meth:`put_account` per entry, but the
@@ -69,14 +71,14 @@ class ShardState:
         (:meth:`~repro.crypto.smt.SparseMerkleTree.update_many`).
         Returns the new subtree root.
         """
-        items = []
+        items: list[tuple[int, bytes]] = []
         for account in accounts:
             key = self._smt_key(account.account_id)
             self.accounts.put(account)
             items.append((key, account.encode()))
         return self._tree.update_many(items)
 
-    def apply_updates(self, updates) -> bytes:
+    def apply_updates(self, updates: Iterable[tuple[AccountId, bytes]]) -> bytes:
         """Apply raw ``(account_id, encoded_state)`` pairs (the U-list).
 
         This is the Multi-Shard Update step: the shard "directly updates
@@ -84,7 +86,7 @@ class ShardState:
         lands in one dirty-prefix SMT commit. Returns the new subtree
         root.
         """
-        batch = []
+        batch: list[Account] = []
         for account_id, encoded in updates:
             account = Account.decode(encoded)
             if account.account_id != account_id:
@@ -99,7 +101,7 @@ class ShardState:
         """Integrity proof served with a state download."""
         return self._tree.prove(self._smt_key(account_id))
 
-    def prove_batch(self, account_ids) -> SmtMultiProof:
+    def prove_batch(self, account_ids: Iterable[AccountId]) -> SmtMultiProof:
         """One compressed multiproof over many of this shard's accounts.
 
         What a storage node serves for a transaction batch instead of
@@ -121,7 +123,8 @@ class ShardState:
         value = account.encode() if account is not None else None
         return proof.verify(root, value, self._tree.depth)
 
-    def verify_accounts(self, account_ids, proof: SmtMultiProof, root: bytes) -> bool:
+    def verify_accounts(self, account_ids: Iterable[AccountId],
+                        proof: SmtMultiProof, root: bytes) -> bool:
         """Check a served (states, multiproof) batch against ``root``."""
         values: dict[int, bytes | None] = {}
         for account_id in account_ids:

@@ -13,7 +13,7 @@ class AccountStore:
     account-model convention); writing one materializes it.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._accounts: dict[AccountId, Account] = {}
 
     def __len__(self) -> int:

@@ -9,18 +9,90 @@ records every write so the member can return the updated key-value pairs
 Some downloaded states "may belong to accounts maintained by other
 shards" (Section IV-D2) — the view deliberately performs no shard
 ownership checks.
+
+Access-list soundness (DESIGN.md §9)
+------------------------------------
+The OC detects conflicts *solely* from pre-declared access lists, so the
+whole protocol is sound only if every actual read/write during execution
+is a subset of ``tx.access_list.touched``.  :class:`SanitizedStateView`
+is the runtime half of the PorySan checker: it scopes every ``get`` /
+``put`` / ``load`` to the transaction declared via :meth:`begin_tx`,
+records touched-vs-declared sets, and (in strict mode) raises
+:class:`~repro.errors.AccessListViolation` on any undeclared touch —
+including the silent zero-account manufacture path of a plain view.
 """
 
 from __future__ import annotations
 
+import os
+import typing
+
 from repro.chain.account import Account, AccountId
-from repro.errors import StateError
+from repro.errors import AccessListViolation, StateError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.chain.transaction import Transaction
+
+#: Environment variable gating sanitized execution ("", record, strict).
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+#: Valid sanitizer modes; "" disables the sanitizer entirely.
+SANITIZE_MODES = ("", "record", "strict")
+
+
+def sanitize_mode() -> str:
+    """The process-wide sanitizer mode from ``REPRO_SANITIZE``.
+
+    Unknown values raise :class:`~repro.errors.StateError` loudly rather
+    than silently running unsanitized.
+    """
+    mode = os.environ.get(SANITIZE_ENV, "").strip().lower()
+    if mode not in SANITIZE_MODES:
+        raise StateError(
+            f"invalid {SANITIZE_ENV}={mode!r}; expected one of "
+            f"{', '.join(repr(m) for m in SANITIZE_MODES)}"
+        )
+    return mode
+
+
+class SanitizerSink(typing.Protocol):
+    """Anything that can receive per-transaction sanitizer entries."""
+
+    def record(self, entry: dict[str, object]) -> None:
+        ...  # pragma: no cover - protocol
+
+
+#: Process-global report sink.  ``state`` must not depend on
+#: ``devtools``, so the sanitizer CLI/pytest plumbing injects a
+#: duck-typed collector here; violations raise regardless of the sink.
+_report_sink: SanitizerSink | None = None
+
+
+def set_report_sink(sink: SanitizerSink | None) -> SanitizerSink | None:
+    """Install (or clear, with ``None``) the global report sink.
+
+    Returns the previous sink so callers can restore it.
+    """
+    global _report_sink
+    previous = _report_sink
+    _report_sink = sink
+    return previous
 
 
 class StateView:
     """A writable overlay over a set of downloaded account states."""
 
-    def __init__(self, accounts: dict[AccountId, Account] | None = None):
+    def __init__(
+        self,
+        accounts: dict[AccountId, Account] | None = None,
+        *,
+        strict: bool = False,
+    ) -> None:
+        #: With ``strict=True``, reading a never-downloaded account
+        #: raises :class:`StateError` instead of silently returning a
+        #: zero :class:`Account` — the witness must have served every
+        #: key execution touches.
+        self.strict = strict
         self._base: dict[AccountId, Account] = {}
         if accounts:
             for account_id, account in accounts.items():
@@ -34,16 +106,37 @@ class StateView:
     def __contains__(self, account_id: AccountId) -> bool:
         return account_id in self._written or account_id in self._base
 
+    def begin_tx(self, tx: "Transaction") -> None:
+        """Open a per-transaction access scope (no-op on plain views).
+
+        :class:`TransactionExecutor` brackets every transaction with
+        ``begin_tx`` / ``end_tx`` so a :class:`SanitizedStateView` can
+        attribute each touch to the declaring transaction.
+        """
+
+    def end_tx(self) -> None:
+        """Close the per-transaction access scope (no-op here)."""
+
     def load(self, account: Account) -> None:
         """Add one more downloaded account to the view's base."""
         self._base[account.account_id] = account.copy()
 
     def get(self, account_id: AccountId) -> Account:
-        """Read through the overlay (zero account if never downloaded)."""
+        """Read through the overlay (zero account if never downloaded).
+
+        In strict mode the zero-account manufacture path is an error:
+        every readable key must have been explicitly downloaded
+        (:meth:`load`) or written first.
+        """
         if account_id in self._written:
             return self._written[account_id]
         if account_id in self._base:
             return self._base[account_id]
+        if self.strict:
+            raise StateError(
+                f"strict view: account {account_id} was never downloaded "
+                "(silent zero-account reads are disabled)"
+            )
         return Account(account_id)
 
     def put(self, account: Account) -> None:
@@ -65,3 +158,143 @@ class StateView:
     def reset_writes(self) -> None:
         """Discard the overlay (pre-execution that must not persist)."""
         self._written = {}
+
+
+class SanitizedStateView(StateView):
+    """A :class:`StateView` that checks touches against the access list.
+
+    Between :meth:`begin_tx` and :meth:`end_tx` every ``get`` / ``put``
+    is compared to the transaction's declared ``access_list.touched``:
+
+    * **record** mode logs undeclared touches (and zero-account reads)
+      into :attr:`violations` and the per-run report sink;
+    * **strict** mode additionally raises
+      :class:`~repro.errors.AccessListViolation` at the first one.
+
+    Touches outside any transaction scope (view population, U-list
+    application, S-set extraction) are recorded but never violations —
+    they are protocol plumbing, not handler behaviour.
+    """
+
+    def __init__(
+        self,
+        accounts: dict[AccountId, Account] | None = None,
+        *,
+        mode: str = "strict",
+        label: str = "",
+    ) -> None:
+        if mode not in ("record", "strict"):
+            raise StateError(
+                f"invalid sanitizer mode {mode!r}; expected 'record' or 'strict'"
+            )
+        # Strict sanitizing also forbids the silent zero-account read
+        # (satellite: StateView.get strict ctor flag).
+        super().__init__(accounts, strict=(mode == "strict"))
+        self.mode = mode
+        self.label = label
+        #: every undeclared touch seen so far (per run, all txs).
+        self.violations: list[dict[str, object]] = []
+        #: transactions whose scopes have closed.
+        self.txs_checked = 0
+        self._tx_id: int | None = None
+        self._declared: frozenset[AccountId] | None = None
+        self._tx_touched: dict[str, set[AccountId]] = {}
+
+    # -- transaction scoping -------------------------------------------
+
+    def begin_tx(self, tx: "Transaction") -> None:
+        if self._tx_id is not None:
+            raise StateError(
+                f"sanitizer scope for tx {self._tx_id} still open "
+                f"(begin_tx({tx.tx_id}) without end_tx)"
+            )
+        self._tx_id = tx.tx_id
+        self._declared = frozenset(tx.access_list.touched)
+        self._tx_touched = {"read": set(), "write": set(), "load": set()}
+
+    def end_tx(self) -> None:
+        if self._tx_id is None:
+            raise StateError("sanitizer end_tx without begin_tx")
+        entry: dict[str, object] = {
+            "label": self.label,
+            "mode": self.mode,
+            "tx_id": self._tx_id,
+            "declared": sorted(self._declared or ()),
+            "reads": sorted(self._tx_touched["read"]),
+            "writes": sorted(self._tx_touched["write"]),
+            "undeclared": [
+                dict(v) for v in self.violations if v["tx_id"] == self._tx_id
+            ],
+        }
+        if _report_sink is not None:
+            _report_sink.record(entry)
+        self.txs_checked += 1
+        self._tx_id = None
+        self._declared = None
+        self._tx_touched = {}
+
+    # -- checked accessors ---------------------------------------------
+
+    def _check(self, kind: str, account_id: AccountId) -> None:
+        if self._declared is None:
+            return  # outside any tx scope: plumbing, not handler code
+        self._tx_touched[kind].add(account_id)
+        if account_id in self._declared:
+            return
+        violation: dict[str, object] = {
+            "label": self.label,
+            "tx_id": self._tx_id,
+            "kind": kind,
+            "account_id": account_id,
+            "declared": sorted(self._declared),
+        }
+        self.violations.append(violation)
+        if self.mode == "strict":
+            raise AccessListViolation(
+                f"undeclared {kind} of account {account_id} by tx "
+                f"{self._tx_id} (declared: {sorted(self._declared)}) "
+                f"[{self.label or 'view'}]"
+            )
+
+    def get(self, account_id: AccountId) -> Account:
+        self._check("read", account_id)
+        return super().get(account_id)
+
+    def put(self, account: Account) -> None:
+        self._check("write", account.account_id)
+        super().put(account)
+
+    def load(self, account: Account) -> None:
+        self._check("load", account.account_id)
+        super().load(account)
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self) -> dict[str, object]:
+        """Per-view summary of the run so far."""
+        return {
+            "label": self.label,
+            "mode": self.mode,
+            "txs_checked": self.txs_checked,
+            "violations": [dict(v) for v in self.violations],
+            "clean": not self.violations,
+        }
+
+
+def build_view(
+    accounts: dict[AccountId, Account] | None = None,
+    *,
+    label: str = "",
+    mode: str | None = None,
+) -> StateView:
+    """View factory honouring the sanitizer gate.
+
+    ``mode=None`` consults :func:`sanitize_mode` (the ``REPRO_SANITIZE``
+    environment variable); ``""`` builds a plain permissive view;
+    ``"record"`` / ``"strict"`` build a :class:`SanitizedStateView`.
+    """
+    if mode is None:
+        mode = sanitize_mode()
+    if mode == "":
+        return StateView(accounts)
+    return SanitizedStateView(accounts, mode=mode, label=label)

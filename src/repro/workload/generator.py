@@ -5,7 +5,7 @@ from __future__ import annotations
 import random
 
 from repro.chain.account import shard_of
-from repro.chain.transaction import Transaction
+from repro.chain.transaction import Transaction, TxIdSequence
 from repro.errors import WorkloadError
 
 
@@ -55,6 +55,9 @@ class WorkloadGenerator:
         self.zipf_s = zipf_s
         self.amount = amount
         self._rng = random.Random(seed)
+        #: seed-derived tx ids: same-seed generators emit identical id
+        #: streams, so replay runs need no special-case stamping.
+        self._tx_ids = TxIdSequence(seed)
         self._nonces: dict[int, int] = {}
         #: accounts grouped by shard, in popularity-rank order.
         self._by_shard: dict[int, list[int]] = {s: [] for s in range(num_shards)}
@@ -118,7 +121,7 @@ class WorkloadGenerator:
         self._nonces[sender] = nonce + 1
         return Transaction(
             sender=sender, receiver=receiver, amount=self.amount,
-            nonce=nonce, submitted_at=at_time,
+            nonce=nonce, submitted_at=at_time, tx_id=self._tx_ids.next_id(),
         )
 
     def batch(self, count: int, at_time: float = 0.0) -> list[Transaction]:

@@ -1,0 +1,280 @@
+"""PorySan runtime-head tests (repro.devtools.sanitizer + sanitized views).
+
+Covers the strict StateView ctor flag, the SanitizedStateView scoping
+contract (record vs strict), the report-sink plumbing, env/config
+gating of ``build_view``, and a seeded end-to-end ``sanitize_check``
+run that must come back clean.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chain.account import Account
+from repro.chain.transaction import AccessList, Transaction
+from repro.devtools.sanitizer import (
+    ReportCollector,
+    collect_reports,
+    main as sanitizer_main,
+    sanitize_check,
+)
+from repro.errors import AccessListViolation, ConfigError, StateError
+from repro.state.executor import TransactionExecutor
+from repro.state.view import (
+    SANITIZE_ENV,
+    SanitizedStateView,
+    StateView,
+    build_view,
+    sanitize_mode,
+    set_report_sink,
+)
+
+
+def narrowed_tx(sender=1, receiver=2, amount=5, nonce=0):
+    """A transfer whose access list deliberately omits the receiver."""
+    return Transaction(
+        sender=sender, receiver=receiver, amount=amount, nonce=nonce,
+        access_list=AccessList(reads=frozenset({sender}),
+                               writes=frozenset({sender})),
+    )
+
+
+def funded_view(mode=None, balance=100, account_id=1, **kwargs):
+    accounts = {account_id: Account(account_id, balance=balance)}
+    if mode is None:
+        return StateView(accounts, **kwargs)
+    return SanitizedStateView(accounts, mode=mode, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# StateView strict ctor flag (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestStrictStateView:
+    def test_default_view_manufactures_zero_accounts(self):
+        view = StateView()
+        account = view.get(404)
+        assert account.account_id == 404
+        assert account.balance == 0
+
+    def test_strict_view_rejects_never_downloaded_read(self):
+        view = StateView(strict=True)
+        with pytest.raises(StateError, match="never downloaded"):
+            view.get(404)
+
+    def test_strict_view_allows_loaded_and_written_keys(self):
+        view = StateView(strict=True)
+        view.load(Account(1, balance=10))
+        view.put(Account(2, balance=20))
+        assert view.get(1).balance == 10
+        assert view.get(2).balance == 20
+
+    def test_plain_view_tx_brackets_are_noops(self):
+        view = StateView()
+        view.begin_tx(narrowed_tx())
+        view.end_tx()  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# SanitizedStateView scoping + modes
+# ---------------------------------------------------------------------------
+
+
+class TestSanitizedStateView:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(StateError, match="invalid sanitizer mode"):
+            SanitizedStateView(mode="audit")
+
+    def test_nested_begin_tx_rejected(self):
+        view = funded_view(mode="record")
+        view.begin_tx(narrowed_tx())
+        with pytest.raises(StateError, match="still open"):
+            view.begin_tx(narrowed_tx())
+
+    def test_end_tx_without_begin_rejected(self):
+        view = funded_view(mode="record")
+        with pytest.raises(StateError, match="without begin_tx"):
+            view.end_tx()
+
+    def test_declared_touches_are_clean(self):
+        tx = Transaction(sender=1, receiver=2, amount=5, nonce=0)
+        view = SanitizedStateView(
+            {1: Account(1, balance=100), 2: Account(2)}, mode="strict"
+        )
+        outcome = TransactionExecutor().execute([tx], view)
+        assert outcome.applied == [tx]
+        assert view.violations == []
+        assert view.txs_checked == 1
+        assert view.report()["clean"] is True
+
+    def test_strict_mode_raises_on_undeclared_receiver_read(self):
+        view = funded_view(mode="strict")
+        with pytest.raises(AccessListViolation, match="undeclared read of account 2"):
+            TransactionExecutor().execute([narrowed_tx()], view)
+        # the scope still closed (executor brackets with try/finally)
+        assert view.txs_checked == 1
+
+    def test_record_mode_logs_read_and_write_violations(self):
+        view = funded_view(mode="record", label="unit")
+        outcome = TransactionExecutor().execute([narrowed_tx()], view)
+        # record mode never interferes with execution
+        assert outcome.applied_count == 1
+        kinds = [(v["kind"], v["account_id"]) for v in view.violations]
+        assert kinds == [("read", 2), ("write", 2)]
+        assert all(v["declared"] == [1] for v in view.violations)
+        report = view.report()
+        assert report["clean"] is False
+        assert report["label"] == "unit"
+
+    def test_touches_outside_tx_scope_are_plumbing(self):
+        """View population / U-list application never count as
+        violations — only handler touches inside begin/end do."""
+        view = funded_view(mode="strict")
+        view.load(Account(99, balance=1))
+        view.put(Account(98, balance=2))
+        assert view.get(99).balance == 1
+        assert view.violations == []
+
+    def test_strict_inherits_zero_account_guard(self):
+        """Strict sanitizing also forbids silent zero-account reads for
+        *declared* keys that were never downloaded."""
+        view = SanitizedStateView(mode="strict")
+        tx = Transaction(sender=1, receiver=2, amount=0, nonce=0)
+        view.begin_tx(tx)
+        with pytest.raises(StateError, match="never downloaded"):
+            view.get(1)
+
+    def test_record_mode_permits_zero_account_reads(self):
+        view = SanitizedStateView(mode="record")
+        tx = Transaction(sender=1, receiver=2, amount=0, nonce=0)
+        view.begin_tx(tx)
+        assert view.get(1).balance == 0
+        view.end_tx()
+        assert view.violations == []
+
+
+# ---------------------------------------------------------------------------
+# Report sink plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestReportSink:
+    def test_entries_flow_to_collector(self):
+        tx = Transaction(sender=1, receiver=2, amount=5, nonce=0)
+        with collect_reports() as collector:
+            view = funded_view(mode="record", label="sink-test")
+            TransactionExecutor().execute([tx, narrowed_tx(nonce=1)], view)
+        assert len(collector.entries) == 2
+        clean, dirty = collector.entries
+        assert clean["label"] == "sink-test"
+        assert clean["declared"] == [1, 2]
+        assert clean["reads"] == [1, 2]
+        assert clean["undeclared"] == []
+        assert dirty["declared"] == [1]
+        assert [v["account_id"] for v in dirty["undeclared"]] == [2, 2]
+        assert collector.summary()["clean"] is False
+        assert collector.summary()["txs_checked"] == 2
+
+    def test_sink_restored_after_block(self):
+        sentinel = ReportCollector()
+        previous = set_report_sink(sentinel)
+        try:
+            with collect_reports() as collector:
+                assert collector is not sentinel
+            view = funded_view(mode="record")
+            view.begin_tx(Transaction(sender=1, receiver=2, amount=0, nonce=0))
+            view.end_tx()
+            assert len(sentinel.entries) == 1
+        finally:
+            set_report_sink(previous)
+
+    def test_violations_raise_even_without_sink(self):
+        assert set_report_sink(None) is None or True  # ensure no sink
+        view = funded_view(mode="strict")
+        with pytest.raises(AccessListViolation):
+            TransactionExecutor().execute([narrowed_tx()], view)
+
+
+# ---------------------------------------------------------------------------
+# Env + config gating
+# ---------------------------------------------------------------------------
+
+
+class TestGating:
+    def test_sanitize_mode_defaults_off(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        assert sanitize_mode() == ""
+        assert type(build_view()) is StateView
+
+    def test_env_selects_sanitized_view(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "strict")
+        view = build_view(label="env")
+        assert isinstance(view, SanitizedStateView)
+        assert view.mode == "strict"
+        assert view.label == "env"
+
+    def test_invalid_env_value_is_loud(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "paranoid")
+        with pytest.raises(StateError, match="invalid REPRO_SANITIZE"):
+            sanitize_mode()
+
+    def test_explicit_mode_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "strict")
+        assert type(build_view(mode="")) is StateView
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        assert isinstance(build_view(mode="record"), SanitizedStateView)
+
+    def test_porygon_config_validates_sanitize(self):
+        from repro.core import PorygonConfig
+
+        with pytest.raises(ConfigError, match="sanitize"):
+            PorygonConfig(num_shards=2, nodes_per_shard=4, sanitize="bogus")
+
+    def test_byshard_config_validates_sanitize(self):
+        from repro.baselines.byshard import ByShardConfig
+
+        with pytest.raises(ConfigError, match="sanitize"):
+            ByShardConfig(num_shards=2, nodes_per_shard=4, sanitize="bogus")
+
+
+# ---------------------------------------------------------------------------
+# End-to-end sanitized runs (the acceptance bar)
+# ---------------------------------------------------------------------------
+
+
+class TestSanitizeCheck:
+    def test_strict_end_to_end_run_is_clean(self):
+        report = sanitize_check(seed=11, rounds=6, num_shards=2, num_txs=16,
+                                mode="strict")
+        assert report["clean"] is True
+        (porygon,) = report["systems"]
+        assert porygon["system"] == "porygon"
+        assert porygon["strict_violation"] is None
+        assert porygon["undeclared"] == []
+        assert porygon["txs_checked"] > 0
+
+    def test_baseline_included_and_clean(self):
+        report = sanitize_check(seed=5, rounds=5, num_shards=2, num_txs=10,
+                                mode="record", include_baseline=True)
+        assert [s["system"] for s in report["systems"]] == ["porygon", "byshard"]
+        assert report["clean"] is True
+
+    def test_cli_json_and_exit_code(self, capsys, tmp_path):
+        out_path = tmp_path / "sanitize.json"
+        code = sanitizer_main([
+            "--seed", "3", "--rounds", "5", "--txs", "8",
+            "--json", "--output", str(out_path),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert json.loads(stdout)["clean"] is True
+        assert json.loads(out_path.read_text())["mode"] == "strict"
+
+    def test_cli_human_summary(self, capsys):
+        code = sanitizer_main(["--seed", "3", "--rounds", "5", "--txs", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sanitize [porygon] clean" in out
