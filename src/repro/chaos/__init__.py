@@ -1,0 +1,21 @@
+"""Deterministic chaos: timed fault schedules and their runtime engine.
+
+The package turns the paper's static adversary model into *scheduled*
+misbehaviour: a :class:`FaultSchedule` of windowed :class:`FaultEvent`\\ s
+compiled by :class:`ChaosEngine` into hooks the network, storage, routing
+and pipeline layers consult at their choke points. Everything is driven
+by a single seed (DESIGN.md §8), so a schedule replays byte-identically.
+"""
+
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.events import KINDS, FaultEvent
+from repro.chaos.schedule import PRESETS, FaultSchedule, preset
+
+__all__ = [
+    "ChaosEngine",
+    "FaultEvent",
+    "FaultSchedule",
+    "KINDS",
+    "PRESETS",
+    "preset",
+]

@@ -1,0 +1,142 @@
+"""The chaos engine: a fault schedule compiled into runtime hooks.
+
+One :class:`ChaosEngine` is shared by every layer of a simulation:
+
+* :class:`~repro.net.network.Network` consults :meth:`drop_reason` and
+  :meth:`extra_delay_s` on every ``send`` — crashed endpoints,
+  partitions and link windows act at the single choke point every
+  message crosses;
+* :class:`~repro.core.storage.StorageNode` consults :meth:`is_crashed`
+  / :meth:`withholds_body` when asked for a transaction-block body;
+* :class:`~repro.core.routing.RoutingFabric` consults
+  :meth:`is_crashed` for replica failover;
+* :class:`~repro.core.pipeline.PorygonPipeline` calls
+  :meth:`begin_round` at each round boundary, skips crashed committee
+  members, and scales execution compute by :meth:`straggle_factor`.
+
+Determinism (DESIGN.md §8): the only randomness is the link-drop coin,
+drawn from a private RNG seeded by ``(schedule.seed, salt)``. Because
+the simulator itself is deterministic, the coin-consumption order — and
+therefore every drop decision — replays identically for the same seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro.chaos.schedule import FaultSchedule
+
+#: Mixing constant separating the engine's RNG stream from other
+#: consumers of the same user-facing seed (golden-ratio constant).
+_RNG_DOMAIN = 0x9E3779B9
+
+
+class ChaosEngine:
+    """Answers "what is misbehaving right now?" for every layer."""
+
+    def __init__(self, schedule: FaultSchedule, salt: int = 0):
+        self.schedule = schedule
+        self.current_round = 0
+        self._rng = random.Random((schedule.seed << 17) ^ salt ^ _RNG_DOMAIN)
+        #: drop reason -> count, for the soak report.
+        self.drops: dict[str, int] = defaultdict(int)
+        self.delayed_messages = 0
+
+    # ------------------------------------------------------------------
+    # Clock hook
+    # ------------------------------------------------------------------
+
+    def begin_round(self, round_number: int) -> None:
+        """Advance the chaos clock (called by the pipeline per round)."""
+        self.current_round = round_number
+
+    def _active(self, kind: str):
+        for event in self.schedule.events:
+            if event.kind == kind and event.active(self.current_round):
+                yield event
+
+    # ------------------------------------------------------------------
+    # Node-level queries
+    # ------------------------------------------------------------------
+
+    def is_crashed(self, node_id: int) -> bool:
+        """Whether ``node_id`` is inside a crash window right now."""
+        return any(e.node == node_id for e in self._active("crash"))
+
+    def withholds_body(self, node_id: int) -> bool:
+        """Whether storage ``node_id`` is inside a withholding window."""
+        return any(e.node == node_id for e in self._active("withhold"))
+
+    def straggle_factor(self, shard: int) -> float:
+        """Execution slowdown multiplier for ``shard`` (1.0 = healthy)."""
+        factor = 1.0
+        for event in self._active("straggle"):
+            if event.shard == shard:
+                factor = max(factor, event.slowdown)
+        return factor
+
+    # ------------------------------------------------------------------
+    # Link-level queries (Network.send hook)
+    # ------------------------------------------------------------------
+
+    def _partitioned(self, src: int, dst: int) -> bool:
+        for event in self._active("partition"):
+            src_group = dst_group = None
+            for index, group in enumerate(event.groups):
+                if src in group:
+                    src_group = index
+                if dst in group:
+                    dst_group = index
+            if src_group is not None and dst_group is not None \
+                    and src_group != dst_group:
+                return True
+        return False
+
+    def _link_matches(self, event, src: int, dst: int) -> bool:
+        return ((event.src is None or event.src == src)
+                and (event.dst is None or event.dst == dst))
+
+    def drop_reason(self, src: int, dst: int) -> str | None:
+        """Why a (src -> dst) message is lost right now, or ``None``.
+
+        Reasons: ``"src-crashed"``, ``"dst-crashed"``, ``"partition"``,
+        ``"link-drop"`` (seeded coin). The caller records the returned
+        reason via the engine's ``drops`` counter.
+        """
+        if self.is_crashed(src):
+            return self._count("src-crashed")
+        if self.is_crashed(dst):
+            return self._count("dst-crashed")
+        if self._partitioned(src, dst):
+            return self._count("partition")
+        for event in self._active("link"):
+            if event.drop_probability > 0.0 and self._link_matches(event, src, dst):
+                if self._rng.random() < event.drop_probability:
+                    return self._count("link-drop")
+        return None
+
+    def _count(self, reason: str) -> str:
+        self.drops[reason] += 1
+        return reason
+
+    def extra_delay_s(self, src: int, dst: int) -> float:
+        """Additional propagation delay for a delivered (src, dst) message."""
+        delay = 0.0
+        for event in self._active("link"):
+            if event.extra_delay_s > 0.0 and self._link_matches(event, src, dst):
+                delay += event.extra_delay_s
+        if delay > 0.0:
+            self.delayed_messages += 1
+        return delay
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Canonical (sorted) counter snapshot for the soak report."""
+        return {
+            "dropped": {reason: self.drops[reason] for reason in sorted(self.drops)},
+            "delayed_messages": self.delayed_messages,
+        }

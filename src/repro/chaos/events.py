@@ -1,0 +1,197 @@
+"""Timed fault events for the deterministic chaos engine.
+
+A :class:`FaultEvent` is a *window* of misbehaviour on the simulated
+network, expressed in pipeline rounds: it activates at ``start_round``
+(inclusive) and heals at ``end_round`` (exclusive; ``None`` never
+heals). Windows subsume the classic crash/restart pair — a node crashed
+at round 2 and restarted at round 5 is one ``crash`` event with
+``start_round=2, end_round=5``.
+
+Event kinds (each maps onto one adversary behaviour of the paper, or a
+benign partial failure the paper's recovery machinery must survive):
+
+``crash``
+    The node (storage or stateless) is down for the window: it neither
+    sends nor receives messages and serves nothing. Covers storage-node
+    crash/restart and EC-member crash mid-witness / mid-execution.
+``partition``
+    Node groups cannot exchange messages across group boundaries for
+    the window; nodes listed in no group are unaffected.
+``link``
+    A per-link degradation window: messages matching (src, dst) —
+    ``None`` is a wildcard — are dropped with ``drop_probability``
+    and/or delayed by ``extra_delay_s``.
+``withhold``
+    A storage node advertises transaction-block headers but refuses to
+    serve bodies for the window (Challenge 2's unavailable-transaction
+    attack, but timed).
+``straggle``
+    Every execution by the shard's committee runs ``slowdown`` times
+    slower for the window (straggler-shard model; a large factor makes
+    the shard miss the OC's per-round result deadline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Every recognised event kind, in canonical order.
+KINDS = ("crash", "partition", "link", "withhold", "straggle")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault window (see module docstring for kinds)."""
+
+    kind: str
+    start_round: int
+    end_round: int | None = None  # exclusive; None = never heals
+    #: crash / withhold target node id.
+    node: int | None = None
+    #: partition groups (tuple of tuples of node ids).
+    groups: tuple[tuple[int, ...], ...] = ()
+    #: link endpoints; ``None`` matches any node.
+    src: int | None = None
+    dst: int | None = None
+    drop_probability: float = 0.0
+    extra_delay_s: float = 0.0
+    #: straggler shard and its execution slowdown factor.
+    shard: int | None = None
+    slowdown: float = 1.0
+    #: free-form label echoed into reports.
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if self.start_round < 0:
+            raise ConfigError(f"start_round must be >= 0, got {self.start_round}")
+        if self.end_round is not None and self.end_round <= self.start_round:
+            raise ConfigError(
+                f"end_round ({self.end_round}) must be > start_round ({self.start_round})"
+            )
+        if self.kind in ("crash", "withhold") and self.node is None:
+            raise ConfigError(f"{self.kind} event needs a target `node`")
+        if self.kind == "partition":
+            if len(self.groups) < 2:
+                raise ConfigError("partition event needs >= 2 node groups")
+            seen: set[int] = set()
+            for group in self.groups:
+                for node_id in group:
+                    if node_id in seen:
+                        raise ConfigError(
+                            f"partition groups overlap on node {node_id}"
+                        )
+                    seen.add(node_id)
+        if self.kind == "link":
+            if not 0.0 <= self.drop_probability <= 1.0:
+                raise ConfigError(
+                    f"drop_probability must be in [0, 1], got {self.drop_probability}"
+                )
+            if self.extra_delay_s < 0.0:
+                raise ConfigError(
+                    f"extra_delay_s must be >= 0, got {self.extra_delay_s}"
+                )
+            if self.drop_probability == 0.0 and self.extra_delay_s == 0.0:
+                raise ConfigError("link event must drop or delay (both are zero)")
+        if self.kind == "straggle":
+            if self.shard is None:
+                raise ConfigError("straggle event needs a target `shard`")
+            if self.slowdown <= 1.0:
+                raise ConfigError(
+                    f"straggle slowdown must be > 1.0, got {self.slowdown}"
+                )
+
+    # ------------------------------------------------------------------
+    # Windowing
+    # ------------------------------------------------------------------
+
+    def active(self, round_number: int) -> bool:
+        """Whether this fault window covers ``round_number``."""
+        if round_number < self.start_round:
+            return False
+        return self.end_round is None or round_number < self.end_round
+
+    @property
+    def heals(self) -> bool:
+        """Whether the window ever closes."""
+        return self.end_round is not None
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def crash(cls, node: int, start_round: int, end_round: int | None = None,
+              label: str = "") -> "FaultEvent":
+        """Crash ``node`` at ``start_round``; restart at ``end_round``."""
+        return cls(kind="crash", start_round=start_round, end_round=end_round,
+                   node=node, label=label)
+
+    @classmethod
+    def partition(cls, groups, start_round: int, end_round: int | None = None,
+                  label: str = "") -> "FaultEvent":
+        """Partition node ``groups``; heal at ``end_round``."""
+        frozen = tuple(tuple(group) for group in groups)
+        return cls(kind="partition", start_round=start_round,
+                   end_round=end_round, groups=frozen, label=label)
+
+    @classmethod
+    def link(cls, start_round: int, end_round: int | None = None, *,
+             src: int | None = None, dst: int | None = None,
+             drop_probability: float = 0.0, extra_delay_s: float = 0.0,
+             label: str = "") -> "FaultEvent":
+        """Degrade the (src, dst) link — drop and/or delay — for a window."""
+        return cls(kind="link", start_round=start_round, end_round=end_round,
+                   src=src, dst=dst, drop_probability=drop_probability,
+                   extra_delay_s=extra_delay_s, label=label)
+
+    @classmethod
+    def withhold(cls, node: int, start_round: int, end_round: int | None = None,
+                 label: str = "") -> "FaultEvent":
+        """Storage ``node`` withholds transaction-block bodies for a window."""
+        return cls(kind="withhold", start_round=start_round,
+                   end_round=end_round, node=node, label=label)
+
+    @classmethod
+    def straggle(cls, shard: int, slowdown: float, start_round: int,
+                 end_round: int | None = None, label: str = "") -> "FaultEvent":
+        """Slow shard ``shard``'s execution by ``slowdown``x for a window."""
+        return cls(kind="straggle", start_round=start_round,
+                   end_round=end_round, shard=shard, slowdown=slowdown,
+                   label=label)
+
+    # ------------------------------------------------------------------
+    # Serialization (for CLI schedules and JSON reports)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-friendly form (only the fields the kind uses)."""
+        out: dict = {
+            "kind": self.kind,
+            "start_round": self.start_round,
+            "end_round": self.end_round,
+        }
+        if self.label:
+            out["label"] = self.label
+        if self.kind in ("crash", "withhold"):
+            out["node"] = self.node
+        elif self.kind == "partition":
+            out["groups"] = [list(group) for group in self.groups]
+        elif self.kind == "link":
+            out.update(src=self.src, dst=self.dst,
+                       drop_probability=self.drop_probability,
+                       extra_delay_s=self.extra_delay_s)
+        elif self.kind == "straggle":
+            out.update(shard=self.shard, slowdown=self.slowdown)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Inverse of :meth:`to_dict` (validates via ``__post_init__``)."""
+        kwargs = dict(data)
+        if "groups" in kwargs:
+            kwargs["groups"] = tuple(tuple(g) for g in kwargs["groups"])
+        return cls(**kwargs)

@@ -1,0 +1,253 @@
+"""Declarative, seeded fault schedules and the preset library.
+
+A :class:`FaultSchedule` is the unit of chaos: an ordered tuple of
+:class:`~repro.chaos.events.FaultEvent` windows plus the seed that
+drives every probabilistic decision derived from it. Per the DESIGN.md
+§8 determinism contract, the same (schedule, seed, simulation seed)
+triple must replay to a byte-identical run — the soak harness
+(:mod:`repro.harness.chaos`) enforces exactly that.
+
+The static :class:`~repro.net.faults.FaultProfile` adversary is the
+degenerate case: :meth:`FaultSchedule.from_profile` compiles a profile
+into always-on windows, so everything the old adversary model could
+express is a chaos schedule that starts at round 0 and never heals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.chaos.events import FaultEvent
+from repro.errors import ConfigError
+from repro.net.faults import FaultProfile
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seeded, replayable set of timed fault windows."""
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigError(f"schedule events must be FaultEvents, got {event!r}")
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Window queries
+    # ------------------------------------------------------------------
+
+    def active(self, round_number: int) -> tuple[FaultEvent, ...]:
+        """Events whose window covers ``round_number``, in schedule order."""
+        return tuple(e for e in self.events if e.active(round_number))
+
+    def heal_round(self) -> int | None:
+        """First round by which every fault window has closed.
+
+        ``None`` when the schedule is empty or any event never heals —
+        the bounded-recovery invariant is then unverifiable and the
+        harness reports it as skipped.
+        """
+        if not self.events or any(not e.heals for e in self.events):
+            return None
+        return max(e.end_round for e in self.events)  # type: ignore[type-var]
+
+    # ------------------------------------------------------------------
+    # FaultProfile subsumption
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_profile(cls, node_id: int, profile: FaultProfile,
+                     seed: int | None = None) -> "FaultSchedule":
+        """Compile a static profile into the always-on degenerate schedule.
+
+        ``drop_routed_messages`` becomes a never-healing wildcard-source
+        link-drop window at the node; ``withhold_bodies`` a never-healing
+        withhold window. Equivocation stays a consensus-layer behaviour
+        (it has no network-visible window to schedule).
+        """
+        events: list[FaultEvent] = []
+        if profile.malicious and profile.drop_routed_messages:
+            events.append(FaultEvent.link(
+                0, src=node_id, drop_probability=profile.drop_probability,
+                label=f"profile:drop@{node_id}",
+            ))
+        if profile.malicious and profile.withhold_bodies:
+            events.append(FaultEvent.withhold(
+                node_id, 0, label=f"profile:withhold@{node_id}",
+            ))
+        return cls(
+            events=tuple(events),
+            seed=profile.seed if seed is None else seed,
+            name=f"profile-node{node_id}",
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        return cls(
+            events=tuple(FaultEvent.from_dict(e) for e in data.get("events", ())),
+            seed=int(data.get("seed", 0)),
+            name=str(data.get("name", "custom")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# Preset library
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _PresetSpec:
+    """Description + builder for one named preset schedule."""
+
+    summary: str
+    builder: "object" = field(repr=False)
+
+
+def _storage_crash_heal(num_storage_nodes: int, num_shards: int,
+                        seed: int) -> FaultSchedule:
+    """Crash one storage node for 3 rounds; a second withholds bodies."""
+    crashed = 1 % num_storage_nodes
+    withholder = 2 % num_storage_nodes
+    return FaultSchedule(
+        events=(
+            FaultEvent.crash(crashed, 2, 5, label="storage crash"),
+            FaultEvent.withhold(withholder, 2, 5, label="storage withhold"),
+        ),
+        seed=seed,
+        name="storage-crash-heal",
+    )
+
+
+def _shard_straggler(num_storage_nodes: int, num_shards: int,
+                     seed: int) -> FaultSchedule:
+    """One shard runs 50x slower for 3 rounds, then recovers."""
+    shard = (num_shards - 1) if num_shards > 1 else 0
+    return FaultSchedule(
+        events=(FaultEvent.straggle(shard, 50.0, 2, 5, label="straggler"),),
+        seed=seed,
+        name="shard-straggler",
+    )
+
+
+def _shard_blackout(num_storage_nodes: int, num_shards: int,
+                    seed: int) -> FaultSchedule:
+    """One shard effectively never reports: a permanent extreme straggle.
+
+    Exercises the §IV-D2 path end-to-end: OC result deadline, successor-
+    ESC retry, retry exhaustion and cross-shard rollback.
+    """
+    shard = (num_shards - 1) if num_shards > 1 else 0
+    return FaultSchedule(
+        events=(FaultEvent.straggle(shard, 1e6, 2, label="blackout"),),
+        seed=seed,
+        name="shard-blackout",
+    )
+
+
+def _partition_heal(num_storage_nodes: int, num_shards: int,
+                    seed: int) -> FaultSchedule:
+    """Split the storage tier in two for 2 rounds, then heal."""
+    nodes = list(range(num_storage_nodes))
+    left, right = nodes[: max(1, len(nodes) // 2)], nodes[max(1, len(nodes) // 2):]
+    if not right:  # single storage node: fall back to a flaky-link window
+        return _flaky_links(num_storage_nodes, num_shards, seed)
+    return FaultSchedule(
+        events=(FaultEvent.partition((left, right), 3, 5, label="storage split"),),
+        seed=seed,
+        name="partition-heal",
+    )
+
+
+def _flaky_links(num_storage_nodes: int, num_shards: int,
+                 seed: int) -> FaultSchedule:
+    """Storage node 0's links drop 30% of traffic and jitter for 4 rounds."""
+    return FaultSchedule(
+        events=(
+            FaultEvent.link(2, 6, src=0, drop_probability=0.3,
+                            extra_delay_s=0.002, label="flaky uplink"),
+            FaultEvent.link(2, 6, dst=0, drop_probability=0.3,
+                            extra_delay_s=0.002, label="flaky downlink"),
+        ),
+        seed=seed,
+        name="flaky-links",
+    )
+
+
+def _combo(num_storage_nodes: int, num_shards: int, seed: int) -> FaultSchedule:
+    """Crash + withhold + straggler + flaky link, staggered windows."""
+    crashed = 1 % num_storage_nodes
+    withholder = 2 % num_storage_nodes
+    shard = (num_shards - 1) if num_shards > 1 else 0
+    return FaultSchedule(
+        events=(
+            FaultEvent.crash(crashed, 2, 4, label="early crash"),
+            FaultEvent.withhold(withholder, 3, 6, label="mid withhold"),
+            FaultEvent.straggle(shard, 40.0, 4, 7, label="late straggler"),
+            FaultEvent.link(5, 8, src=0, drop_probability=0.2,
+                            label="tail flake"),
+        ),
+        seed=seed,
+        name="combo",
+    )
+
+
+#: name -> (summary, builder(num_storage_nodes, num_shards, seed)).
+PRESETS: dict[str, _PresetSpec] = {
+    "storage-crash-heal": _PresetSpec(
+        "crash one storage node for 3 rounds while another withholds bodies",
+        _storage_crash_heal),
+    "shard-straggler": _PresetSpec(
+        "one shard runs 50x slower for 3 rounds, then recovers",
+        _shard_straggler),
+    "shard-blackout": _PresetSpec(
+        "one shard never reports: deadline -> successor retry -> rollback",
+        _shard_blackout),
+    "partition-heal": _PresetSpec(
+        "split the storage tier in two for 2 rounds, then heal",
+        _partition_heal),
+    "flaky-links": _PresetSpec(
+        "storage node 0 drops 30% of traffic with jitter for 4 rounds",
+        _flaky_links),
+    "combo": _PresetSpec(
+        "crash + withhold + straggler + flaky link, staggered",
+        _combo),
+}
+
+
+def preset(name: str, num_storage_nodes: int = 3, num_shards: int = 2,
+           seed: int = 0) -> FaultSchedule:
+    """Build a named preset schedule sized for the given deployment."""
+    spec = PRESETS.get(name)
+    if spec is None:
+        raise ConfigError(
+            f"unknown chaos preset {name!r}; available: {sorted(PRESETS)}"
+        )
+    return spec.builder(num_storage_nodes, num_shards, seed)

@@ -11,6 +11,8 @@ Usage::
     python -m repro lint src --access
     python -m repro replay --seed 7 --rounds 6
     python -m repro sanitize --mode strict --baseline
+    python -m repro chaos --preset storage-crash-heal --rounds 10 --seed 7
+    python -m repro chaos --list-presets
 """
 
 from __future__ import annotations
@@ -120,6 +122,12 @@ def _cmd_sanitize(args) -> int:
     return sanitize_main(list(args.sanitize_args))
 
 
+def _cmd_chaos(args) -> int:
+    from repro.harness.chaos import main as chaos_main
+
+    return chaos_main(list(args.chaos_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -171,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument("sanitize_args", nargs=argparse.REMAINDER,
                           help="arguments forwarded to repro.devtools.sanitizer")
     sanitize.set_defaults(func=_cmd_sanitize)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos soak harness (seeded fault schedule + invariant report)",
+        add_help=False,
+    )
+    chaos.add_argument("chaos_args", nargs=argparse.REMAINDER,
+                       help="arguments forwarded to repro.harness.chaos")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 
@@ -185,6 +202,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_replay(argparse.Namespace(replay_args=argv[1:]))
     if argv and argv[0] == "sanitize":
         return _cmd_sanitize(argparse.Namespace(sanitize_args=argv[1:]))
+    if argv and argv[0] == "chaos":
+        return _cmd_chaos(argparse.Namespace(chaos_args=argv[1:]))
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -101,6 +101,22 @@ class PorygonConfig:
     #: ``"record"`` logs undeclared touches, ``"strict"`` raises
     #: :class:`~repro.errors.AccessListViolation` (DESIGN.md §9).
     sanitize: str = ""
+    #: Witness/body fetch timeout (seconds); ``0.0`` disables the
+    #: hardened fetch path entirely (legacy oracle behaviour). A chaos
+    #: run arms it with a default even when left at 0.0.
+    fetch_timeout_s: float = 0.0
+    #: Base delay for the seeded exponential-backoff retry between
+    #: failed fetch attempts (doubles per attempt, plus seeded jitter).
+    fetch_backoff_base_s: float = 0.05
+    #: Fetch attempts per item before the round gives up on it (each
+    #: attempt fails over to the next replica in deterministic order).
+    fetch_max_attempts: int = 4
+    #: OC-side deadline for a shard's round result (seconds); ``0.0``
+    #: disables supervision (legacy: a silent shard stalls the run). A
+    #: chaos run arms it with a default even when left at 0.0. On expiry
+    #: the OC synthesizes a failed result so the §IV-D2 successor-ESC
+    #: retry path runs instead of the pipeline stalling.
+    shard_result_deadline_s: float = 0.0
 
     def __post_init__(self):
         if self.sanitize not in ("", "record", "strict"):
@@ -128,6 +144,20 @@ class PorygonConfig:
             raise ConfigError("malicious_storage_fraction must be in [0, 1]")
         if self.ec_lifetime_rounds < 3 and self.pipelining:
             raise ConfigError("pipelining needs ec_lifetime_rounds >= 3 (witness..execute)")
+        if self.fetch_timeout_s < 0.0:
+            raise ConfigError(f"fetch_timeout_s must be >= 0, got {self.fetch_timeout_s}")
+        if self.fetch_backoff_base_s < 0.0:
+            raise ConfigError(
+                f"fetch_backoff_base_s must be >= 0, got {self.fetch_backoff_base_s}"
+            )
+        if self.fetch_max_attempts < 1:
+            raise ConfigError(
+                f"fetch_max_attempts must be >= 1, got {self.fetch_max_attempts}"
+            )
+        if self.shard_result_deadline_s < 0.0:
+            raise ConfigError(
+                f"shard_result_deadline_s must be >= 0, got {self.shard_result_deadline_s}"
+            )
         minimum_pool = self.ordering_size + self.num_shards * self.nodes_per_shard
         if self.stateless_population is not None and self.stateless_population < minimum_pool:
             raise ConfigError(

@@ -228,6 +228,18 @@ class CrossShardCoordinator:
         if batch is not None:
             batch.retries += 1
 
+    def note_shard_failure(self, shard: int) -> None:
+        """One failed application round for every batch awaiting ``shard``.
+
+        Used by the OC's shard-result deadline (§IV-D2): when a shard
+        misses its per-round deadline, every pending Multi-Shard Update
+        waiting on that shard burned one retry round — whichever
+        proposal happened to carry the entries.
+        """
+        for batch in self.u_batches.values():
+            if shard in batch.remaining_shards:
+                batch.retries += 1
+
     def expired_batches(self) -> list[UBatch]:
         """Batches past the retry window, removed and due for rollback.
 

@@ -22,6 +22,7 @@ the ablation baseline of Figure 7(c)/(d).
 from __future__ import annotations
 
 import dataclasses
+import random
 import typing
 from dataclasses import dataclass, field
 
@@ -55,6 +56,15 @@ PER_TX_EXECUTE_S = 20e-6
 #: Simulated verification cost per witness signature at the OC.
 PER_PROOF_VERIFY_S = 2e-6
 
+#: Fetch timeout a chaos run arms when ``config.fetch_timeout_s`` is
+#: left at 0.0 (seconds). Without chaos, 0.0 keeps the legacy
+#: unbounded-wait fetch path byte-identical to the pre-chaos pipeline.
+DEFAULT_FETCH_TIMEOUT_S = 0.25
+
+#: OC shard-result deadline a chaos run arms when
+#: ``config.shard_result_deadline_s`` is left at 0.0 (seconds).
+DEFAULT_SHARD_DEADLINE_S = 20.0
+
 
 @dataclass
 class WitnessedBlock:
@@ -84,6 +94,22 @@ class ShardRoundResult:
     #: Speculation epoch at execution time; results from a rolled-back
     #: epoch are stale and get re-dispatched instead of validated.
     epoch: int = 0
+    #: Round of the proposal whose work this result executed (``-1``
+    #: when unknown); consumed by the chaos harness's commit log to
+    #: drive its clean-replay invariant.
+    source_round: int = -1
+
+
+@dataclass
+class _StalledExecution:
+    """Placeholder canonical for a shard that missed its OC deadline.
+
+    Carries just enough for :meth:`PorygonPipeline._schedule_retry`
+    (the coordinator's failure accounting needs ``u_from_round``);
+    a stalled shard produced no real canonical execution.
+    """
+
+    u_from_round: int | None = None
 
 
 class PorygonPipeline:
@@ -101,6 +127,8 @@ class PorygonPipeline:
         stateless: dict[int, "StatelessNode"],
         tracker: BatchTracker,
         gossip=None,
+        seed: int = 0,
+        chaos=None,
     ):
         self.env = env
         #: Storage-node gossip overlay: broadcast bytes for freshly cut
@@ -132,6 +160,29 @@ class PorygonPipeline:
         self.block_meta: dict[bytes, WitnessedBlock] = {}
         self.current_round = 0
         self._storage_ids = [node.node_id for node in storage_nodes]
+        #: Optional :class:`~repro.chaos.engine.ChaosEngine`. Attaching
+        #: one arms the hardened fetch path and the OC result deadline
+        #: even when the config leaves their knobs at 0.0.
+        self.chaos = chaos
+        #: Seeded RNG for fetch-backoff jitter (DESIGN.md §8: every
+        #: probabilistic decision derives from an explicit seed).
+        self._retry_rng = random.Random((seed << 9) ^ 0x5DEECE66D)
+        #: (shard, exec_round) pairs whose OC deadline fired; a late
+        #: result for such a pair is discarded (double-commit hazard).
+        self._timed_out: set[tuple[int, int]] = set()
+        #: shard -> consecutive missed-deadline count, cleared when the
+        #: shard next lands an accepted result (bounds §IV-D2 retries).
+        self._stall_retries: dict[int, int] = {}
+        #: (applying shard, proposal round) -> original U-batch rounds.
+        #: Re-dispatched U entries ride a *later* proposal than the one
+        #: that opened their batch; this alias map keeps the coordinator's
+        #: mark_applied / note_failure accounting anchored to the batch's
+        #: original ordering round (§IV-D2 retry attribution).
+        self._u_alias: dict[tuple[int, int], set[int]] = {}
+        #: Optional commit-log sink (duck-typed: anything with
+        #: ``record(round_number, proposal, accepted)``), attached by the
+        #: chaos soak harness to drive its clean-replay invariant.
+        self.commit_log = None
         #: Optional per-phase digest trace sink (duck-typed: anything
         #: with ``record(round_number, phase, parts)``), attached by the
         #: replay-divergence harness (:mod:`repro.devtools.replay`).
@@ -252,25 +303,124 @@ class PorygonPipeline:
         return assignment.shards
 
     # ------------------------------------------------------------------
+    # Hardened fetches: timeout + seeded backoff + replica failover
+    # ------------------------------------------------------------------
+
+    def _fetch_timeout_s(self) -> float:
+        """Per-attempt fetch timeout; 0.0 = legacy unbounded waits."""
+        if self.config.fetch_timeout_s > 0.0:
+            return self.config.fetch_timeout_s
+        if self.chaos is not None:
+            return DEFAULT_FETCH_TIMEOUT_S
+        return 0.0
+
+    def _result_deadline_s(self) -> float:
+        """OC per-round shard-result deadline; 0.0 = no supervision."""
+        if self.config.shard_result_deadline_s > 0.0:
+            return self.config.shard_result_deadline_s
+        if self.chaos is not None:
+            return DEFAULT_SHARD_DEADLINE_S
+        return 0.0
+
+    def _transfer_deadline_s(self, size_bytes: int) -> float:
+        """Deadline for one transfer, scaled by its serialization time."""
+        serial = size_bytes / self.config.stateless_bandwidth_bps
+        return self._fetch_timeout_s() + 4.0 * (serial + self.config.latency_s)
+
+    def _backoff(self, attempt: int):
+        """Seeded exponential backoff (with jitter) before a retry."""
+        delay = self.config.fetch_backoff_base_s * (2 ** attempt)
+        delay *= 1.0 + 0.25 * self._retry_rng.random()
+        return self.env.timeout(delay)
+
+    def _await_transfer(self, event, size_bytes: int):
+        """Wait for a transfer; hardened path bounds the wait.
+
+        Returns whether the transfer actually completed (a chaos-dropped
+        message's delivery event never fires; only the deadline does).
+        """
+        if self._fetch_timeout_s() <= 0.0:
+            yield event
+            return True
+        deadline = self.env.timeout(self._transfer_deadline_s(size_bytes))
+        yield self.env.any_of([event, deadline])
+        return event.triggered
+
+    def _await_transfers(self, events, size_bytes: int):
+        """All-of over transfers; hardened path bounds the wait."""
+        if not events:
+            return
+        if self._fetch_timeout_s() <= 0.0:
+            yield self.env.all_of(events)
+            return
+        deadline = self.env.timeout(self._transfer_deadline_s(size_bytes))
+        yield self.env.any_of([self.env.all_of(events), deadline])
+
+    def _routed_fetch(self, member_id: int, size_bytes: int, msg_type: str,
+                      phase: str, payload=None, block_hash: bytes | None = None):
+        """Download from a serving storage replica; returns success.
+
+        Legacy path (no timeout armed): first serving replica among the
+        member's own connections, unbounded wait — byte-identical to the
+        pre-chaos pipeline. Hardened path: per-attempt deadline, seeded
+        exponential backoff with jitter, and failover across the hub's
+        deterministic replica order (own connections first, then every
+        other honest replica; crashed replicas sort last).
+        """
+        node = self.stateless[member_id]
+
+        def serves(storage) -> bool:
+            if block_hash is not None:
+                return storage.serves_body(block_hash)
+            if self.chaos is not None and self.chaos.is_crashed(storage.node_id):
+                return False
+            return storage.is_honest
+
+        if self._fetch_timeout_s() <= 0.0:
+            for storage_id in node.connections:
+                storage = self.fabric.storage_by_id[storage_id]
+                if serves(storage):
+                    yield self.network.send(
+                        Message(storage.node_id, member_id, msg_type, payload,
+                                size_bytes, phase=phase)
+                    )
+                    return True
+            return False
+        order = self.hub.replica_order(node.connections)
+        for attempt in range(self.config.fetch_max_attempts):
+            storage = None
+            if order:
+                candidate = order[attempt % len(order)]
+                candidate_node = self.fabric.storage_by_id.get(candidate)
+                if candidate_node is not None and serves(candidate_node):
+                    storage = candidate_node
+            if storage is not None:
+                transfer = self.network.send(
+                    Message(storage.node_id, member_id, msg_type, payload,
+                            size_bytes, phase=phase)
+                )
+                ok = yield from self._await_transfer(transfer, size_bytes)
+                if ok:
+                    return True
+            if attempt + 1 < self.config.fetch_max_attempts:
+                yield self._backoff(attempt)
+        return False
+
+    # ------------------------------------------------------------------
     # Witness Phase (Section IV-C1(a))
     # ------------------------------------------------------------------
 
     def _member_witness(self, member_id: int, block: TransactionBlock, shard: int):
         """One member downloads one block and (maybe) signs a proof."""
         node = self.stateless[member_id]
-        serving = None
-        for storage_id in node.connections:
-            storage = self.fabric.storage_by_id[storage_id]
-            if storage.serves_body(block.block_hash):
-                serving = storage
-                break
-        if serving is None:
-            return None  # unavailable transactions: no proof possible
-        download = self.network.send(
-            Message(serving.node_id, member_id, "tx_block", block,
-                    block.size_bytes, phase="witness")
+        if self.chaos is not None and self.chaos.is_crashed(member_id):
+            return None  # EC member crashed mid-witness: contributes nothing
+        fetched = yield from self._routed_fetch(
+            member_id, block.size_bytes, "tx_block", "witness",
+            payload=block, block_hash=block.block_hash,
         )
-        yield download
+        if not fetched:
+            return None  # unavailable transactions: no proof possible
         if node.is_malicious:
             return None  # worst case: malicious members withhold proofs
         payload = block.header.signing_payload()
@@ -295,10 +445,18 @@ class PorygonPipeline:
         results: list[WitnessedBlock] = []
         member_procs = []
         cut: list[tuple[int, TransactionBlock, Committee]] = []
+        creators = self._storage_ids
+        if self.chaos is not None:
+            # A crashed storage node cannot package blocks this round;
+            # healthy replicas take over its packaging slots.
+            alive = [nid for nid in self._storage_ids
+                     if not self.chaos.is_crashed(nid)]
+            if alive:
+                creators = alive
         for shard, committee in sorted(committees.items()):
             blocks = self.hub.cut_blocks(
                 shard, round_number, self.config.max_blocks_per_shard_round,
-                self._storage_ids,
+                creators,
                 prioritize_cross_shard=self.config.prioritize_cross_shard,
             )
             for block in blocks:
@@ -356,19 +514,20 @@ class PorygonPipeline:
                         sublist_bytes: int, payload_carrier: list):
         """Charge one member's Execution Phase and produce its result."""
         node = self.stateless[member_id]
+        if self.chaos is not None and self.chaos.is_crashed(member_id):
+            return None  # EC member crashed mid-execution: no result
         if not self.fabric.is_benign(member_id) and not node.is_malicious:
             return None  # corrupted member: cannot download states
-        storage = self.fabric.honest_connection(member_id)
-        if storage is None:
-            return None
         download_size = sublist_bytes + canonical.state_download_bytes + body_bytes
-        transfer = self.network.send(
-            Message(storage.node_id, member_id, "exec_inputs", None,
-                    download_size, phase="execution")
+        fetched = yield from self._routed_fetch(
+            member_id, download_size, "exec_inputs", "execution",
         )
-        yield transfer
+        if not fetched:
+            return None  # inputs unavailable: the member sits out this round
         work = len(canonical.intra_applied) + len(canonical.cross_executed)
-        yield self.env.timeout(PER_TX_EXECUTE_S * max(1, work))
+        straggle = (self.chaos.straggle_factor(shard)
+                    if self.chaos is not None else 1.0)
+        yield self.env.timeout(PER_TX_EXECUTE_S * max(1, work) * straggle)
         if node.is_malicious:
             # Equivocate: sign a junk root; never matches the canonical digest.
             junk_root = domain_digest("repro/junk-root/v1", node.public_key)
@@ -419,22 +578,82 @@ class PorygonPipeline:
         committees = self.assignments.get(round_number - 2)
         if not committees:
             return
+        deadline_s = self._result_deadline_s()
         shard_procs = []
         for shard, committee in sorted(committees.items()):
             has_work = proposal.sublist_for(shard) or proposal.updates_for(shard)
             if not has_work:
                 continue
-            shard_procs.append(
-                self.env.process(
-                    self._execute_shard(round_number, shard, committee, proposal)
-                )
+            proc = self.env.process(
+                self._execute_shard(round_number, shard, committee, proposal)
             )
+            if deadline_s > 0.0:
+                proc = self.env.process(self._supervise_shard(
+                    proc, round_number, shard, committee, proposal, deadline_s
+                ))
+            shard_procs.append(proc)
         if shard_procs:
             yield self.env.all_of(shard_procs)
+
+    def _supervise_shard(self, proc, round_number: int, shard: int,
+                         committee: Committee, proposal: ProposalBlock,
+                         deadline_s: float):
+        """OC per-round result deadline around one shard's execution.
+
+        Section IV-D2: a shard that misses the deadline does not stall
+        the pipeline. The OC treats it as failed — its speculative
+        effects (if any) are rolled back, its epoch is bumped so a late
+        result reads as stale, and the same work is re-dispatched to the
+        successor ESC via :meth:`_schedule_retry`; after
+        ``cross_shard_retry_rounds`` exhaustion the coordinator's
+        expired-batch rollback compensates the cross-shard effects and
+        the shard's transactions return to the mempool. Healthy shards
+        never wait on the faulted one.
+        """
+        deadline = self.env.timeout(deadline_s)
+        yield self.env.any_of([proc, deadline])
+        if proc.triggered:
+            return
+        self._timed_out.add((shard, round_number))
+        count = self._stall_retries.get(shard, 0) + 1
+        self._stall_retries[shard] = count
+        head = self.hub.speculative_state().shards[shard]
+        if round_number in head.checkpoint_rounds:
+            self.hub.rollback_speculative(shard, round_number)
+        self.exec_epoch[shard] += 1
+        u_round = proposal.round_number if proposal.updates_for(shard) else None
+        stalled = ShardRoundResult(
+            shard=shard,
+            exec_round=round_number,
+            committee=committee,
+            canonical=_StalledExecution(u_from_round=u_round),
+            source_headers=proposal.sublist_for(shard),
+            source_updates=proposal.updates_for(shard),
+            retry_count=count - 1,
+            epoch=self.exec_epoch[shard],
+            source_round=proposal.round_number,
+        )
+        # Deadline expiry burns one retry round for *every* pending
+        # Multi-Shard Update awaiting this shard — re-dispatched entries
+        # ride later proposals, so per-u_round attribution would miss
+        # the original batches (count_failure=False avoids doubling).
+        self.coordinator.note_shard_failure(shard)
+        self._schedule_retry(stalled, count_failure=False)
+        if count > self.config.cross_shard_retry_rounds + 1:
+            # Retry budget exhausted: the work is abandoned, not
+            # re-dispatched. Return the blocks' transactions to the
+            # mempool so conservation holds while the shard recovers.
+            for header in stalled.source_headers:
+                block = self.hub.tx_blocks.get(header.block_hash)
+                if block is not None:
+                    self.hub.requeue(block.transactions)
 
     def _execute_shard(self, round_number: int, shard: int, committee: Committee,
                        proposal: ProposalBlock):
         """One shard's Execution Phase: canonical compute + member charges."""
+        # Capture the epoch *before* executing: a rollback that lands
+        # while this shard is mid-flight must mark the result stale.
+        epoch = self.exec_epoch[shard]
         u_round = proposal.round_number if proposal.updates_for(shard) else None
         canonical = compute_canonical_execution(
             shard=shard,
@@ -467,6 +686,11 @@ class PorygonPipeline:
             for member_id in committee.members
         ]
         results = yield self.env.all_of(member_procs)
+        if (shard, round_number) in self._timed_out:
+            # The OC's result deadline already fired for this shard-
+            # round: the work was re-dispatched, so a late result must
+            # not apply speculative effects (double-commit hazard).
+            return
         # Advance the speculative head so the next batch chains its root.
         self.hub.apply_speculative(shard, canonical.written_owned, round_number)
         shard_result = ShardRoundResult(
@@ -477,7 +701,8 @@ class PorygonPipeline:
             member_results=[r for r in results.values() if r is not None],
             source_headers=proposal.sublist_for(shard),
             source_updates=proposal.updates_for(shard),
-            epoch=self.exec_epoch[shard],
+            epoch=epoch,
+            source_round=proposal.round_number,
         )
         self.pending_results.append(shard_result)
 
@@ -518,7 +743,7 @@ class PorygonPipeline:
         if header_bytes:
             transfers = []
             for member_id in self.oc.members:
-                storage = self.fabric.honest_connection(member_id)
+                storage = self.fabric.serving_connection(member_id)
                 if storage is None:
                     continue
                 transfers.append(self.network.send(
@@ -526,7 +751,7 @@ class PorygonPipeline:
                             header_bytes, phase="ordering")
                 ))
             if transfers:
-                yield self.env.all_of(transfers)
+                yield from self._await_transfers(transfers, header_bytes)
 
         # Verify witness proofs: one batched signature pass over every
         # proof of every witnessed block. The backend's verified-
@@ -594,6 +819,9 @@ class PorygonPipeline:
             if canonical_digest is not None and digest_counts.get(canonical_digest, 0) >= threshold:
                 accepted.append(shard_result)
                 new_roots[shard_result.shard] = shard_result.canonical.new_root
+                # An accepted result proves the shard recovered: reset
+                # its consecutive missed-deadline counter.
+                self._stall_retries.pop(shard_result.shard, None)
             else:
                 # Not enough consistent results: discard the speculative
                 # effects and redo the work (Section IV-D2 retry).
@@ -613,8 +841,8 @@ class PorygonPipeline:
         completed_batches = []
         for shard_result in accepted:
             u_round = shard_result.canonical.u_from_round
-            if u_round is not None:
-                done = self.coordinator.mark_applied(u_round, shard_result.shard)
+            for batch_round in self._u_rounds_for(shard_result.shard, u_round):
+                done = self.coordinator.mark_applied(batch_round, shard_result.shard)
                 if done is not None:
                     completed_batches.append(done)
 
@@ -674,6 +902,12 @@ class PorygonPipeline:
                 for account_id, value in stale.source_updates:
                     merged.setdefault(account_id, value)
                 update_list[shard] = tuple(sorted(merged.items()))
+                # The re-dispatched entries will ride *this* proposal:
+                # alias (shard, this round) back to the original batch
+                # round(s) so application / failure accounting resolves.
+                carried = self._u_rounds_for(shard, stale.canonical.u_from_round)
+                if carried:
+                    self._u_alias.setdefault((shard, round_number), set()).update(carried)
             del self.retry_exec[shard]
 
         proposal = ProposalBlock(
@@ -749,13 +983,27 @@ class PorygonPipeline:
         yield from self._publish(proposal, accepted, completed_batches,
                                  round_number, empty=False, leader=round_oc.leader)
 
+    def _u_rounds_for(self, shard: int, u_round: int | None) -> tuple[int, ...]:
+        """Original U-batch rounds behind a result's ``u_from_round``.
+
+        A first-dispatch result maps to its own round; a re-dispatched
+        one resolves through :attr:`_u_alias` back to the batch round(s)
+        whose entries its proposal carried.
+        """
+        if u_round is None:
+            return ()
+        rounds = {u_round}
+        rounds |= self._u_alias.get((shard, u_round), set())
+        return tuple(sorted(rounds))
+
     def _schedule_retry(self, shard_result: ShardRoundResult,
                         count_failure: bool = True) -> None:
         """Stall handling: re-dispatch the same work to the next ESC."""
         shard_result.retry_count += 1
         u_round = shard_result.canonical.u_from_round
-        if count_failure and u_round is not None:
-            self.coordinator.note_failure(u_round)
+        if count_failure:
+            for batch_round in self._u_rounds_for(shard_result.shard, u_round):
+                self.coordinator.note_failure(batch_round)
         if shard_result.retry_count <= self.config.cross_shard_retry_rounds + 1:
             self.retry_exec[shard_result.shard] = shard_result
 
@@ -770,11 +1018,13 @@ class PorygonPipeline:
                 Message(leader, storage_id, "proposal_commit", proposal,
                         proposal.size_bytes, phase="commit")
             ))
-        yield self.env.all_of(uploads)
+        yield from self._await_transfers(uploads, proposal.size_bytes)
         first_storage = self.stateless[leader].connections[0]
         self._gossip_content(first_storage, "proposal_gossip", proposal.size_bytes)
         self.hub.append_proposal(proposal)
         self.proposals[round_number] = proposal
+        if self.commit_log is not None:
+            self.commit_log.record(round_number, proposal, accepted)
         self._trace_phase(
             round_number, "commit", (proposal.block_hash, proposal.state_root)
         )
@@ -815,6 +1065,8 @@ class PorygonPipeline:
         """One pipelined round: all three lanes concurrently."""
         started = self.env.now
         self.current_round = round_number
+        if self.chaos is not None:
+            self.chaos.begin_round(round_number)
         yield self.env.timeout(self.config.round_overhead_s)
         reconfig = self.config.oc_reconfig_rounds
         if reconfig and round_number > 1 and (round_number - 1) % reconfig == 0:
@@ -838,6 +1090,8 @@ class PorygonPipeline:
         """
         started = self.env.now
         self.current_round = round_number
+        if self.chaos is not None:
+            self.chaos.begin_round(round_number)
         yield self.env.timeout(self.config.round_overhead_s)
         self.form_execution_committees(round_number)
         yield self.env.process(self.witness_lane(round_number))

@@ -44,12 +44,41 @@ class RoutingFabric:
         self.storage_by_id = {node.node_id: node for node in storage_nodes}
         #: stateless node id -> connected storage node ids.
         self.connections = connections
+        #: Optional :class:`~repro.chaos.engine.ChaosEngine`. When
+        #: attached, recipient hops fail over from crashed replicas:
+        #: first to a live honest *own* connection, then to any live
+        #: honest replica. A crash is a benign availability failure, so
+        #: the global fallback does not weaken the paper's security
+        #: argument (a node whose connections are all *malicious* stays
+        #: corrupted either way — malicious replicas are never used).
+        self.chaos = None
 
     def honest_connection(self, stateless_id: int) -> "StorageNode | None":
         """First honest storage node this stateless node connects to."""
         for storage_id in self.connections.get(stateless_id, []):
             node = self.storage_by_id[storage_id]
             if node.is_honest:
+                return node
+        return None
+
+    def serving_connection(self, stateless_id: int) -> "StorageNode | None":
+        """Honest storage node currently able to serve ``stateless_id``.
+
+        Without a chaos engine this is exactly
+        :meth:`honest_connection`. With one, crashed replicas are
+        skipped and — since a crash window is a benign outage, not a
+        corruption — the search falls over to any live honest replica
+        in node-id order.
+        """
+        if self.chaos is None:
+            return self.honest_connection(stateless_id)
+        for storage_id in self.connections.get(stateless_id, []):
+            node = self.storage_by_id[storage_id]
+            if node.is_honest and not self.chaos.is_crashed(storage_id):
+                return node
+        for storage_id in sorted(self.storage_by_id):
+            node = self.storage_by_id[storage_id]
+            if node.is_honest and not self.chaos.is_crashed(storage_id):
                 return node
         return None
 
@@ -97,7 +126,7 @@ class RoutingFabric:
 
         def after_upload(_event):
             for recipient in recipients:
-                serving = self.honest_connection(recipient)
+                serving = self.serving_connection(recipient)
                 if serving is None:
                     continue  # honest-yet-corrupted recipient
                 hop = Message(serving.node_id, recipient, msg_type, payload,

@@ -43,6 +43,12 @@ class StorageHub:
         self.num_shards = num_shards
         self.txs_per_block = txs_per_block
         self.state = ShardedGlobalState(num_shards, depth=smt_depth)
+        #: node id -> :class:`FaultProfile`; populated by
+        #: :func:`wire_fault_registry` once nodes exist.
+        self.node_faults: dict[int, FaultProfile] = {}
+        #: Optional :class:`~repro.chaos.engine.ChaosEngine` consulted by
+        #: :meth:`replica_order` so crashed replicas sort last.
+        self.chaos = None
         #: Speculative head: committed state plus T_e-validated-but-not-
         #: yet-committed execution effects. Because in-flight batches are
         #: account-disjoint (the OC's locks), consecutive executions must
@@ -221,6 +227,32 @@ class StorageHub:
         return accounts, multiproof, shard_state.root
 
     # ------------------------------------------------------------------
+    # Replica failover
+    # ------------------------------------------------------------------
+
+    def replica_order(self, preferred: typing.Iterable[int]) -> list[int]:
+        """Deterministic replica try-order for state+proof serving.
+
+        Starts from ``preferred`` (a client's own connections, in
+        connection order), then appends every other registered honest
+        replica in node-id order — the failover tail. Replicas currently
+        inside a chaos crash window sort to the back of their group, so
+        a hardened fetch naturally tries a live replica first while a
+        crashed-but-preferred one still gets retried last (it may heal
+        mid-backoff).
+        """
+        preferred = list(preferred)
+        seen = set(preferred)
+        tail = [node_id for node_id in sorted(self.node_faults)
+                if node_id not in seen
+                and not self.node_faults[node_id].malicious]
+        order = preferred + tail
+        if self.chaos is None:
+            return order
+        return sorted(order, key=lambda nid: (1 if self.chaos.is_crashed(nid) else 0,
+                                              order.index(nid)))
+
+    # ------------------------------------------------------------------
     # Proposal chain
     # ------------------------------------------------------------------
 
@@ -259,6 +291,10 @@ class StorageNode:
         self.hub = hub
         self.endpoint = endpoint
         self.faults = faults or endpoint.faults
+        #: Optional :class:`~repro.chaos.engine.ChaosEngine`; when
+        #: attached, crash and withhold *windows* gate body service in
+        #: addition to the static fault profile.
+        self.chaos = None
 
     @property
     def is_honest(self) -> bool:
@@ -288,6 +324,11 @@ class StorageNode:
 
     def serves_body(self, block_hash: bytes) -> bool:
         """Whether a download request for a block body succeeds here."""
+        if self.chaos is not None:
+            if self.chaos.is_crashed(self.node_id):
+                return False
+            if self.chaos.withholds_body(self.node_id):
+                return False
         return self.has_block_body(block_hash) and self.faults.serves_body()
 
 

@@ -70,7 +70,7 @@ class PorygonSimulation:
         report = sim.run(num_rounds=8)
     """
 
-    def __init__(self, config: PorygonConfig, seed: int = 0):
+    def __init__(self, config: PorygonConfig, seed: int = 0, chaos=None):
         self.config = config
         self.seed = seed
         self.env = Environment()
@@ -78,6 +78,20 @@ class PorygonSimulation:
         self.network = Network(self.env, latency_s=config.latency_s)
         self.hub = StorageHub(config.num_shards, config.smt_depth, config.txs_per_block)
         self._rng = random.Random(seed)
+
+        # Optional chaos: accept a FaultSchedule or a pre-built engine.
+        # The engine's RNG is salted by the simulation seed so distinct
+        # runs draw distinct (but replayable) link-drop coins.
+        self.chaos = None
+        if chaos is not None:
+            from repro.chaos import ChaosEngine, FaultSchedule
+
+            if isinstance(chaos, FaultSchedule):
+                self.chaos = ChaosEngine(chaos, salt=seed)
+            else:
+                self.chaos = chaos
+            self.network.chaos = self.chaos
+            self.hub.chaos = self.chaos
 
         # Storage nodes (ids 0 .. S-1).
         num_malicious_storage = int(config.num_storage_nodes * config.malicious_storage_fraction)
@@ -99,9 +113,9 @@ class PorygonSimulation:
                     faults=faults,
                 )
             )
-            self.storage_nodes.append(
-                StorageNode(self.env, node_id, self.hub, endpoint, faults)
-            )
+            node = StorageNode(self.env, node_id, self.hub, endpoint, faults)
+            node.chaos = self.chaos
+            self.storage_nodes.append(node)
         wire_fault_registry(self.hub, self.storage_nodes)
 
         # Stateless nodes (ids S .. S+M-1).
@@ -121,6 +135,7 @@ class PorygonSimulation:
             self.env, self.network, self.storage_nodes,
             {node_id: node.connections for node_id, node in self.stateless.items()},
         )
+        self.fabric.chaos = self.chaos
         # Storage nodes gossip new content (transaction blocks, witness
         # proofs, proposal blocks) over a flooding overlay; malicious
         # members drop instead of forwarding (Section IV-B1, Section V).
@@ -133,7 +148,7 @@ class PorygonSimulation:
         self.pipeline = PorygonPipeline(
             self.env, config, self.backend, self.network, self.hub,
             self.storage_nodes, self.fabric, self.stateless, self.tracker,
-            gossip=self.gossip,
+            gossip=self.gossip, seed=seed, chaos=self.chaos,
         )
         self._rounds_run = 0
 

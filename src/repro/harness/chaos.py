@@ -1,0 +1,332 @@
+"""Chaos soak harness: seeded fault schedules + hard invariants.
+
+Runs a :class:`~repro.chaos.FaultSchedule` against a full Porygon
+deployment end-to-end and checks four invariants that must hold no
+matter what the schedule throws at the runtime:
+
+``single_root_per_height``
+    Exactly one committed proposal per height, hash-chained, with a
+    consistent aggregate state root — the safety core.
+``replay_equality``
+    Re-applying the committed ordering (the per-round accepted state
+    updates recorded by the pipeline's commit log) to a *fresh* copy of
+    the genesis state reproduces every committed shard root — commits
+    are a pure function of the ordering, not of fault timing.
+``tx_conservation``
+    Every accepted transaction ends in at most one terminal state
+    (committed / failed / rolled-back / aborted), nothing commits
+    twice, and every unresolved transaction is still accounted for in
+    the mempool or a packaged block.
+``bounded_recovery``
+    Once the last fault window heals, the chain makes commit progress
+    within ``recovery_k`` rounds (skipped for never-healing schedules).
+
+The report is canonical JSON (sorted keys, no timestamps beyond the
+deterministic sim clock), so the same (schedule, seed) pair must
+produce a byte-identical report — the determinism contract of
+DESIGN.md §8, enforced by the ``chaos-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.chaos import PRESETS, ChaosEngine, FaultSchedule, preset
+from repro.core import PorygonConfig, PorygonSimulation
+from repro.errors import ConfigError
+from repro.state.global_state import aggregate_root
+from repro.workload import WorkloadGenerator
+
+#: Default bounded-recovery window (rounds after the last heal).
+DEFAULT_RECOVERY_K = 4
+
+
+def chaos_config(num_shards: int = 2, num_storage_nodes: int = 3) -> PorygonConfig:
+    """Deployment sized for soak runs: small, fast, failover-capable."""
+    return PorygonConfig(
+        num_shards=num_shards,
+        nodes_per_shard=4,
+        ordering_size=4,
+        num_storage_nodes=num_storage_nodes,
+        storage_connections=min(2, num_storage_nodes),
+        txs_per_block=8,
+        max_blocks_per_shard_round=2,
+        round_overhead_s=0.25,
+        consensus_step_timeout_s=0.25,
+        fetch_timeout_s=0.3,
+        shard_result_deadline_s=6.0,
+    )
+
+
+class CommitLog:
+    """Pipeline commit-log sink feeding the replay-equality invariant.
+
+    Duck-typed for :attr:`PorygonPipeline.commit_log`: records, per
+    published proposal, the state updates of every accepted shard
+    result in commit order.
+    """
+
+    def __init__(self):
+        #: (round_number, proposal, ((shard, source_round, updates), ...))
+        self.entries: list[tuple] = []
+
+    def record(self, round_number, proposal, accepted) -> None:
+        self.entries.append((
+            round_number,
+            proposal,
+            tuple(
+                (sr.shard, sr.source_round, sr.canonical.written_owned)
+                for sr in accepted
+            ),
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Invariants
+# ---------------------------------------------------------------------------
+
+def _check_single_root_per_height(sim: PorygonSimulation) -> dict:
+    """One hash-chained proposal per height, aggregate root consistent."""
+    problems: list[str] = []
+    rounds_seen: list[int] = []
+    prev_hash = b"\x00" * 32
+    for proposal in sim.hub.proposals:
+        rounds_seen.append(proposal.round_number)
+        if proposal.prev_hash != prev_hash:
+            problems.append(f"round {proposal.round_number}: broken hash chain")
+        prev_hash = proposal.block_hash
+        if proposal.state_root != aggregate_root(proposal.shard_roots):
+            problems.append(
+                f"round {proposal.round_number}: state_root != aggregate(shard_roots)"
+            )
+    if len(set(rounds_seen)) != len(rounds_seen):
+        problems.append("duplicate proposal height (two committed roots)")
+    if rounds_seen != sorted(rounds_seen):
+        problems.append("proposal heights out of order")
+    return {
+        "ok": not problems,
+        "heights": len(rounds_seen),
+        "problems": problems,
+    }
+
+
+def _check_replay_equality(commit_log: CommitLog, genesis_state) -> dict:
+    """Clean replay of the committed ordering reproduces every root."""
+    replica = genesis_state.copy()
+    problems: list[str] = []
+    checked = 0
+    for round_number, proposal, accepted in commit_log.entries:
+        for shard, _source_round, updates in accepted:
+            replica.shards[shard].apply_updates(updates)
+        for shard, root in proposal.shard_roots.items():
+            if replica.shards[shard].root != root:
+                problems.append(
+                    f"round {round_number} shard {shard}: replayed root diverges"
+                )
+        checked += 1
+    return {"ok": not problems, "rounds_checked": checked, "problems": problems}
+
+
+def _check_tx_conservation(sim: PorygonSimulation, submitted_ids: set[int]) -> dict:
+    """Each tx ends in at most one terminal state; residuals accounted."""
+    tracker = sim.tracker
+    committed_ids = [record.tx_id for record in tracker.commits]
+    committed = set(committed_ids)
+    problems: list[str] = []
+    if len(committed_ids) != len(committed):
+        problems.append("a transaction committed more than once")
+    terminal = {
+        "committed": committed,
+        "failed": set(tracker.failed_tx_ids),
+        "rolled_back": set(tracker.rolled_back_tx_ids),
+        "aborted": set(tracker.aborted_tx_ids),
+    }
+    names = sorted(terminal)
+    for i, left in enumerate(names):
+        for right in names[i + 1:]:
+            overlap = terminal[left] & terminal[right]
+            if overlap:
+                problems.append(
+                    f"{len(overlap)} tx in both {left} and {right}"
+                )
+    resolved = set().union(*terminal.values())
+    unresolved = submitted_ids - resolved
+    accounted = {tx.tx_id for queue in sim.hub.mempool.values() for tx in queue}
+    accounted |= {
+        tx.tx_id for block in sim.hub.tx_blocks.values()
+        for tx in block.transactions
+    }
+    unaccounted = unresolved - accounted
+    if unaccounted:
+        problems.append(f"{len(unaccounted)} tx vanished without a terminal state")
+    phantom = resolved - submitted_ids
+    if phantom:
+        problems.append(f"{len(phantom)} terminal tx were never submitted")
+    return {
+        "ok": not problems,
+        "submitted": len(submitted_ids),
+        "committed": len(committed),
+        "failed": len(terminal["failed"]),
+        "rolled_back": len(terminal["rolled_back"]),
+        "aborted": len(terminal["aborted"]),
+        "unresolved": len(unresolved),
+        "problems": problems,
+    }
+
+
+def _check_bounded_recovery(sim: PorygonSimulation, schedule: FaultSchedule,
+                            rounds: int, recovery_k: int) -> dict:
+    """Commit progress within ``recovery_k`` rounds of the last heal."""
+    heal = schedule.heal_round()
+    if heal is None:
+        return {"ok": True, "skipped": True,
+                "reason": "schedule never heals (or is empty)"}
+    window = [r for r in range(heal, heal + recovery_k + 1) if r <= rounds]
+    if not window:
+        return {"ok": False, "skipped": False, "heal_round": heal,
+                "problems": [f"run too short: no rounds after heal at {heal}"]}
+    commit_rounds = {record.commit_round for record in sim.tracker.commits}
+    recovered = sorted(set(window) & commit_rounds)
+    nothing_left = sim.hub.pending_count() == 0 and not sim.pipeline.pending_witnessed
+    ok = bool(recovered) or nothing_left
+    return {
+        "ok": ok,
+        "skipped": False,
+        "heal_round": heal,
+        "recovery_k": recovery_k,
+        "recovered_round": recovered[0] if recovered else None,
+        "problems": [] if ok else [
+            f"no commit progress in rounds {window[0]}..{window[-1]} after heal"
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# The soak run
+# ---------------------------------------------------------------------------
+
+def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
+              num_txs: int = 400, cross_shard_ratio: float = 0.2,
+              recovery_k: int = DEFAULT_RECOVERY_K,
+              config: PorygonConfig | None = None) -> dict:
+    """Run one seeded chaos soak; returns the canonical report dict."""
+    config = config or chaos_config()
+    sim = PorygonSimulation(config, seed=seed,
+                            chaos=ChaosEngine(schedule, salt=seed))
+    generator = WorkloadGenerator(
+        num_accounts=max(4 * num_txs, 16), num_shards=config.num_shards,
+        cross_shard_ratio=cross_shard_ratio, unique=True, seed=seed,
+    )
+    batch = generator.batch(num_txs)
+    genesis = sorted({tx.sender for tx in batch})
+    sim.fund_accounts(genesis, 1_000)
+    genesis_state = sim.hub.state.copy()
+    commit_log = CommitLog()
+    sim.pipeline.commit_log = commit_log
+    sim.submit(batch)
+    report = sim.run(num_rounds=rounds)
+
+    submitted_ids = {tx.tx_id for tx in batch}
+    invariants = {
+        "single_root_per_height": _check_single_root_per_height(sim),
+        "replay_equality": _check_replay_equality(commit_log, genesis_state),
+        "tx_conservation": _check_tx_conservation(sim, submitted_ids),
+        "bounded_recovery": _check_bounded_recovery(
+            sim, schedule, rounds, recovery_k
+        ),
+    }
+    commits_per_round = {str(r): 0 for r in range(1, rounds + 1)}
+    for record in sim.tracker.commits:
+        commits_per_round[str(record.commit_round)] = (
+            commits_per_round.get(str(record.commit_round), 0) + 1
+        )
+    return {
+        "schedule": schedule.to_dict(),
+        "seed": seed,
+        "rounds": rounds,
+        "ok": all(inv["ok"] for inv in invariants.values()),
+        "invariants": invariants,
+        "commits_per_round": commits_per_round,
+        "chaos": sim.chaos.counters(),
+        "summary": {
+            "committed": report.committed,
+            "commits_by_kind": report.commits_by_kind,
+            "aborted": report.aborted,
+            "failed": report.failed,
+            "rolled_back": report.rolled_back,
+            "empty_rounds": report.empty_rounds,
+            "elapsed_s": round(report.elapsed_s, 6),
+            "final_state_root": aggregate_root(
+                dict(sim.hub.state.shard_roots)
+            ).hex(),
+        },
+    }
+
+
+def report_json(report: dict) -> str:
+    """Canonical (byte-stable) JSON encoding of a soak report."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# CLI (``repro chaos``)
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="seeded chaos soak: run a fault schedule, check invariants",
+    )
+    parser.add_argument("--preset", default="storage-crash-heal",
+                        help="named schedule from the preset library")
+    parser.add_argument("--schedule", default=None, metavar="FILE",
+                        help="JSON FaultSchedule file (overrides --preset)")
+    parser.add_argument("--list-presets", action="store_true",
+                        help="list preset schedules and exit")
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--txs", type=int, default=400,
+                        help="workload size (transactions submitted upfront)")
+    parser.add_argument("--recovery-k", type=int, default=DEFAULT_RECOVERY_K,
+                        help="bounded-recovery window in rounds")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the JSON report here instead of stdout")
+    args = parser.parse_args(argv)
+
+    if args.list_presets:
+        print("available chaos presets:")
+        for name in sorted(PRESETS):
+            print(f"  {name:20s} {PRESETS[name].summary}")
+        return 0
+
+    config = chaos_config()
+    if args.schedule is not None:
+        with open(args.schedule, encoding="utf-8") as handle:
+            schedule = FaultSchedule.from_json(handle.read())
+    else:
+        try:
+            schedule = preset(args.preset,
+                              num_storage_nodes=config.num_storage_nodes,
+                              num_shards=config.num_shards, seed=args.seed)
+        except ConfigError as exc:
+            parser.error(str(exc))
+
+    report = run_chaos(schedule, rounds=args.rounds, seed=args.seed,
+                       num_txs=args.txs, recovery_k=args.recovery_k,
+                       config=config)
+    text = report_json(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    status = "PASS" if report["ok"] else "FAIL"
+    print(f"chaos soak [{schedule.name}] seed={args.seed} "
+          f"rounds={args.rounds}: {status}", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the repro CLI
+    sys.exit(main())

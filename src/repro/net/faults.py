@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
+
 
 @dataclass
 class FaultProfile:
@@ -44,6 +46,21 @@ class FaultProfile:
     _rng: random.Random = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ConfigError(
+                f"drop_probability must be in [0.0, 1.0], got {self.drop_probability}"
+            )
+        if not self.malicious:
+            flags = [
+                name for name in
+                ("drop_routed_messages", "withhold_bodies", "equivocate")
+                if getattr(self, name)
+            ]
+            if flags:
+                raise ConfigError(
+                    "honest profile (malicious=False) must not set adversarial "
+                    f"flags: {', '.join(flags)}"
+                )
         self._rng = random.Random(self.seed)
 
     @classmethod

@@ -70,6 +70,12 @@ class Network:
         self.meter = TrafficMeter()
         self._endpoints: dict[int, Endpoint] = {}
         self.dropped_count = 0
+        #: Optional :class:`~repro.chaos.engine.ChaosEngine`. When
+        #: attached, every ``send`` consults it: chaos drops return a
+        #: never-firing event (the message vanishes in flight — callers
+        #: must guard awaited deliveries with timeouts), chaos delay
+        #: windows add propagation latency.
+        self.chaos = None
 
     def register(self, endpoint: Endpoint) -> Endpoint:
         """Add an endpoint to the fabric."""
@@ -98,8 +104,22 @@ class Network:
         src = self.endpoint(message.sender)
         dst = self.endpoint(message.recipient)
         size = message.size_bytes
+        if self.chaos is not None:
+            reason = self.chaos.drop_reason(message.sender, message.recipient)
+            if reason is not None:
+                # A crashed sender never serializes the message; every
+                # other loss happens in flight, after the uplink spent
+                # its bandwidth.
+                if reason != "src-crashed":
+                    sent_at = src.reserve_uplink(size)
+                    self.meter.record(src.node_id, "up", message.phase, size, sent_at)
+                self.dropped_count += 1
+                return self.env.event()  # never fires
         sent_at = src.reserve_uplink(size)
-        arrival = dst.reserve_downlink(size, not_before=sent_at + self.latency_s)
+        latency = self.latency_s
+        if self.chaos is not None:
+            latency += self.chaos.extra_delay_s(message.sender, message.recipient)
+        arrival = dst.reserve_downlink(size, not_before=sent_at + latency)
         self.meter.record(src.node_id, "up", message.phase, size, sent_at)
         self.meter.record(dst.node_id, "down", message.phase, size, arrival)
         delivered = self.env.event()

@@ -224,6 +224,30 @@ class TestUBatches:
         # Only the shard that applied needs compensation.
         assert rollback == {0: ((0, b"old0"),)}
 
+    def test_note_shard_failure_hits_every_batch_awaiting_shard(self):
+        coord = CrossShardCoordinator(num_shards=2, max_retry_rounds=1)
+        # Batch 3 still awaits shard 1; batch 5 only awaits shard 0.
+        coord.open_u_batch(3, {0: ((0, b"a"),), 1: ((1, b"b"),)},
+                           {0: ((0, b"x"),), 1: ((1, b"y"),)}, [tx(0, 1)])
+        coord.open_u_batch(5, {0: ((2, b"c"),)},
+                           {0: ((2, b"z"),)}, [tx(2, 3)])
+        coord.mark_applied(3, 0)
+        coord.note_shard_failure(1)
+        assert coord.u_batches[3].retries == 1
+        assert coord.u_batches[5].retries == 0  # not waiting on shard 1
+        coord.note_shard_failure(1)
+        expired = coord.expired_batches()
+        assert [b.ordering_round for b in expired] == [3]
+        assert 5 in coord.u_batches
+
+    def test_note_shard_failure_ignores_applied_shards(self):
+        coord = CrossShardCoordinator(num_shards=2, max_retry_rounds=2)
+        coord.open_u_batch(4, {0: ((0, b"a"),), 1: ((1, b"b"),)},
+                           {0: ((0, b"x"),), 1: ((1, b"y"),)}, [tx(0, 1)])
+        coord.mark_applied(4, 1)
+        coord.note_shard_failure(1)  # shard 1 already applied: no-op
+        assert coord.u_batches[4].retries == 0
+
 
 class TestTracker:
     def test_latency_statistics(self):

@@ -1,0 +1,142 @@
+"""Retry/stall hardening tests: §IV-D2 re-dispatch budget and rollback.
+
+Covers the OC's successor-ESC retry path end to end:
+
+* the `_schedule_retry` re-dispatch budget boundary against
+  ``cross_shard_retry_rounds`` (the ``<= ... + 1`` off-by-one);
+* U-batch retry attribution through the proposal-round alias map;
+* a never-reporting shard (shard-blackout schedule) no longer stalling
+  the pipeline — the deadline fires, retries exhaust, and the blocked
+  cross-shard transactions are rolled back while the healthy shard
+  keeps committing.
+"""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultSchedule
+from repro.core import PorygonConfig, PorygonSimulation
+from repro.core.pipeline import ShardRoundResult, _StalledExecution
+from repro.harness.chaos import chaos_config, run_chaos
+
+
+def tiny_sim(**overrides) -> PorygonSimulation:
+    defaults = dict(num_shards=2, nodes_per_shard=4, ordering_size=4,
+                    num_storage_nodes=3, storage_connections=2,
+                    txs_per_block=8, round_overhead_s=0.25,
+                    consensus_step_timeout_s=0.25)
+    defaults.update(overrides)
+    return PorygonSimulation(PorygonConfig(**defaults), seed=1)
+
+
+def stalled_result(shard=1, u_round=None):
+    return ShardRoundResult(
+        shard=shard, exec_round=3, committee=None,
+        canonical=_StalledExecution(u_from_round=u_round),
+    )
+
+
+class TestScheduleRetryBoundary:
+    def test_redispatch_budget_is_retry_rounds_plus_one(self):
+        # cross_shard_retry_rounds=2: a result may be re-dispatched on
+        # attempts 1, 2 and 3 (the original dispatch plus the paper's two
+        # retry rounds); the fourth failure is dropped, not re-queued.
+        sim = tiny_sim(cross_shard_retry_rounds=2)
+        pipeline = sim.pipeline
+        result = stalled_result()
+        for expected_count in (1, 2, 3):
+            pipeline._schedule_retry(result)
+            assert result.retry_count == expected_count
+            assert pipeline.retry_exec[result.shard] is result
+            del pipeline.retry_exec[result.shard]
+        pipeline._schedule_retry(result)
+        assert result.retry_count == 4
+        assert result.shard not in pipeline.retry_exec
+
+    def test_zero_retry_rounds_still_allows_one_redispatch(self):
+        sim = tiny_sim(cross_shard_retry_rounds=0)
+        pipeline = sim.pipeline
+        result = stalled_result()
+        pipeline._schedule_retry(result)
+        assert result.shard in pipeline.retry_exec
+        del pipeline.retry_exec[result.shard]
+        pipeline._schedule_retry(result)
+        assert result.shard not in pipeline.retry_exec
+
+    def test_count_failure_notes_coordinator_via_alias(self):
+        sim = tiny_sim(cross_shard_retry_rounds=2)
+        pipeline = sim.pipeline
+        coord = pipeline.coordinator
+        coord.open_u_batch(3, {1: ((1, b"a"),)}, {1: ((1, b"x"),)}, [])
+        # The re-dispatched entries rode the round-5 proposal.
+        pipeline._u_alias[(1, 5)] = {3}
+        pipeline._schedule_retry(stalled_result(shard=1, u_round=5))
+        assert coord.u_batches[3].retries == 1
+        # count_failure=False (epoch-stale path) must not double-count.
+        pipeline._schedule_retry(stalled_result(shard=1, u_round=5),
+                                 count_failure=False)
+        assert coord.u_batches[3].retries == 1
+
+    def test_u_rounds_for_resolves_aliases(self):
+        pipeline = tiny_sim().pipeline
+        assert pipeline._u_rounds_for(0, None) == ()
+        assert pipeline._u_rounds_for(0, 7) == (7,)
+        pipeline._u_alias[(0, 7)] = {3, 5}
+        assert pipeline._u_rounds_for(0, 7) == (3, 5, 7)
+        assert pipeline._u_rounds_for(1, 7) == (7,)  # other shard unaffected
+
+
+class TestNeverReportingShard:
+    @pytest.fixture(scope="class")
+    def blackout_report(self):
+        schedule = FaultSchedule(
+            events=(FaultEvent.straggle(shard=1, slowdown=1e6, start_round=2,
+                                        label="blackout"),),
+            seed=3, name="blackout-test",
+        )
+        return run_chaos(schedule, rounds=12, seed=3, num_txs=400,
+                         config=chaos_config())
+
+    def test_pipeline_does_not_stall(self, blackout_report):
+        assert blackout_report["rounds"] == 12
+        assert blackout_report["summary"]["committed"] > 0
+
+    def test_healthy_shard_keeps_committing(self, blackout_report):
+        assert blackout_report["summary"]["commits_by_kind"]["intra"] > 0
+        committing_rounds = {
+            round_number
+            for round_number, count in blackout_report["commits_per_round"].items()
+            if count > 0
+        }
+        # Commits land well after the blackout begins at round 2.
+        assert any(int(r) >= 6 for r in committing_rounds)
+
+    def test_blocked_cross_txs_roll_back(self, blackout_report):
+        # §IV-D2: after the retry budget exhausts, the coordinator's
+        # compensating rollback reverts cross-shard transactions stuck
+        # on the dead shard instead of leaving them pending forever.
+        assert blackout_report["summary"]["rolled_back"] > 0
+
+    def test_invariants_hold_under_blackout(self, blackout_report):
+        assert blackout_report["ok"]
+        for name, inv in blackout_report["invariants"].items():
+            assert inv["ok"] or inv.get("skipped"), (name, inv)
+
+
+class TestDeadlineConfig:
+    def test_deadline_disabled_without_chaos_or_knob(self):
+        pipeline = tiny_sim().pipeline
+        assert pipeline._result_deadline_s() == 0.0
+
+    def test_deadline_armed_by_config_knob(self):
+        pipeline = tiny_sim(shard_result_deadline_s=4.5).pipeline
+        assert pipeline._result_deadline_s() == 4.5
+
+    def test_deadline_armed_by_chaos_attachment(self):
+        from repro.core.pipeline import DEFAULT_SHARD_DEADLINE_S
+
+        config = chaos_config()
+        schedule = FaultSchedule(seed=0, name="empty")
+        sim = PorygonSimulation(config, seed=0, chaos=schedule)
+        assert sim.pipeline._result_deadline_s() == config.shard_result_deadline_s
+        sim.pipeline.config.shard_result_deadline_s = 0.0
+        assert sim.pipeline._result_deadline_s() == DEFAULT_SHARD_DEADLINE_S

@@ -130,3 +130,91 @@ def test_fault_profile_byzantine_stateless_serves_bodies():
     profile = FaultProfile.byzantine_stateless()
     assert profile.equivocate
     assert profile.serves_body()
+
+
+# ---------------------------------------------------------------------------
+# FaultProfile construction validation
+# ---------------------------------------------------------------------------
+
+def test_fault_profile_rejects_out_of_range_drop_probability():
+    from repro.errors import ConfigError
+
+    for bad in (-0.1, 1.5, 2.0):
+        with pytest.raises(ConfigError):
+            FaultProfile(malicious=True, drop_routed_messages=True,
+                         drop_probability=bad)
+
+
+def test_fault_profile_rejects_adversarial_flags_without_malicious():
+    from repro.errors import ConfigError
+
+    for flag in ("drop_routed_messages", "withhold_bodies", "equivocate"):
+        with pytest.raises(ConfigError, match=flag):
+            FaultProfile(**{flag: True})
+
+
+def test_fault_profile_boundary_probabilities_accepted():
+    # 0.0 and 1.0 are both legal: never-drop and always-drop forwarders.
+    never = FaultProfile(malicious=True, drop_routed_messages=True,
+                         drop_probability=0.0)
+    always = FaultProfile(malicious=True, drop_routed_messages=True,
+                          drop_probability=1.0)
+    assert not any(never.should_drop_forward() for _ in range(50))
+    assert all(always.should_drop_forward() for _ in range(50))
+
+
+# ---------------------------------------------------------------------------
+# Gossip under partial drop probabilities
+# ---------------------------------------------------------------------------
+
+def build_partial_drop_overlay(num_nodes, drop_ids, drop_probability,
+                               degree=None, seed=0):
+    """Overlay where ``drop_ids`` forward with per-message drop coin."""
+    env = Environment()
+    net = Network(env, latency_s=0.0001)
+    for node_id in range(num_nodes):
+        if node_id in drop_ids:
+            faults = FaultProfile(
+                malicious=True, drop_routed_messages=True,
+                drop_probability=drop_probability, seed=100 + node_id,
+            )
+        else:
+            faults = FaultProfile.honest()
+        net.register(Endpoint(env, node_id, uplink_bps=1e8, downlink_bps=1e8,
+                              faults=faults))
+    overlay = GossipOverlay(env, net, list(range(num_nodes)), degree=degree,
+                            seed=seed)
+    return env, net, overlay
+
+
+def _partial_drop_run(drop_probability, seed=3):
+    env, net, overlay = build_partial_drop_overlay(
+        16, drop_ids={3, 6, 9, 12}, drop_probability=drop_probability,
+        degree=3, seed=seed,
+    )
+    message = gossip_msg(0)
+    overlay.publish(0, message)
+    env.run()
+    return overlay.reached(message.msg_id), net.dropped_count
+
+
+def test_partial_drop_flood_is_seed_deterministic():
+    for p in (0.3, 0.7):
+        reached_a, dropped_a = _partial_drop_run(p)
+        reached_b, dropped_b = _partial_drop_run(p)
+        assert reached_a == reached_b
+        assert dropped_a == dropped_b
+
+
+def test_partial_drop_degrades_with_probability():
+    reached_03, dropped_03 = _partial_drop_run(0.3)
+    reached_07, dropped_07 = _partial_drop_run(0.7)
+    # Both lossy runs actually dropped something...
+    assert dropped_03 > 0 and dropped_07 > 0
+    # ...honest relaying still floods most of the overlay at p=0.3...
+    assert len(reached_03) >= len(reached_07)
+    assert len(reached_03) >= 12
+    # ...and a lossless control run reaches everyone.
+    reached_clean, dropped_clean = _partial_drop_run(0.0)
+    assert reached_clean == set(range(16))
+    assert dropped_clean == 0
