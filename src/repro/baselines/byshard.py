@@ -61,6 +61,10 @@ class ByShardConfig:
     #: Access-list runtime sanitizer mode ("" = defer to REPRO_SANITIZE,
     #: "record", "strict") — same contract as PorygonConfig.sanitize.
     sanitize: str = ""
+    #: Record telemetry (network message/byte counters) — same contract
+    #: as PorygonConfig.telemetry: disabled runs use the no-op bundle
+    #: and commit identical results.
+    telemetry: bool = False
 
     def __post_init__(self):
         if self.num_shards < 1:
@@ -100,6 +104,15 @@ class ByShardSimulation:
         self.env = Environment()
         self.backend = get_backend(config.crypto_backend)
         self.network = Network(self.env, latency_s=config.latency_s)
+        # Telemetry: the baseline reuses the instrumented Network.send,
+        # so enabling it yields net_messages_total / net_bytes_total
+        # counters comparable with Porygon's (fig9b reads both).
+        from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+        self.telemetry = NULL_TELEMETRY
+        if config.telemetry:
+            self.telemetry = Telemetry(lambda: self.env.now)
+            self.network.telemetry = self.telemetry
         self.tracker = BatchTracker()
         self.executor = TransactionExecutor()
 

@@ -13,6 +13,8 @@ Usage::
     python -m repro sanitize --mode strict --baseline
     python -m repro chaos --preset storage-crash-heal --rounds 10 --seed 7
     python -m repro chaos --list-presets
+    python -m repro trace --preset default --seed 7 --out trace-out --occupancy
+    python -m repro metrics --preset cross-heavy --seed 7
 """
 
 from __future__ import annotations
@@ -128,6 +130,18 @@ def _cmd_chaos(args) -> int:
     return chaos_main(list(args.chaos_args))
 
 
+def _cmd_trace(args) -> int:
+    from repro.telemetry.runner import main_trace
+
+    return main_trace(list(args.trace_args))
+
+
+def _cmd_metrics(args) -> int:
+    from repro.telemetry.runner import main_metrics
+
+    return main_metrics(list(args.metrics_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -188,6 +202,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("chaos_args", nargs=argparse.REMAINDER,
                        help="arguments forwarded to repro.harness.chaos")
     chaos.set_defaults(func=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace",
+        help="telemetry trace run (seeded preset -> JSONL/Chrome/Prometheus "
+             "exports, occupancy table, ASCII timeline)",
+        add_help=False,
+    )
+    trace.add_argument("trace_args", nargs=argparse.REMAINDER,
+                       help="arguments forwarded to repro.telemetry.runner")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="telemetry metrics run (seeded preset -> Prometheus/JSON dump)",
+        add_help=False,
+    )
+    metrics.add_argument("metrics_args", nargs=argparse.REMAINDER,
+                         help="arguments forwarded to repro.telemetry.runner")
+    metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 
@@ -204,6 +237,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sanitize(argparse.Namespace(sanitize_args=argv[1:]))
     if argv and argv[0] == "chaos":
         return _cmd_chaos(argparse.Namespace(chaos_args=argv[1:]))
+    if argv and argv[0] == "trace":
+        return _cmd_trace(argparse.Namespace(trace_args=argv[1:]))
+    if argv and argv[0] == "metrics":
+        return _cmd_metrics(argparse.Namespace(metrics_args=argv[1:]))
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -117,6 +117,13 @@ class PorygonConfig:
     #: the OC synthesizes a failed result so the §IV-D2 successor-ESC
     #: retry path runs instead of the pipeline stalling.
     shard_result_deadline_s: float = 0.0
+    #: Enable the telemetry substrate (DESIGN.md §11): a sim-clock span
+    #: tracer plus a labelled metrics registry wired through the
+    #: network, pipeline, coordinator and crypto layers. Disabled (the
+    #: default), every instrumented call site hits shared no-op
+    #: singletons — runs are byte-identical to an uninstrumented build
+    #: and commit identical roots.
+    telemetry: bool = False
 
     def __post_init__(self):
         if self.sanitize not in ("", "record", "strict"):

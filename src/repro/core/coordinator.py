@@ -92,6 +92,11 @@ class CrossShardCoordinator:
         self._locks: dict[AccountId, int] = {}
         #: in-flight U batches by ordering round.
         self.u_batches: dict[int, UBatch] = {}
+        #: Optional :class:`~repro.telemetry.MetricsRegistry`.  When
+        #: attached, conflict decisions, CTx batch lifecycle, retries and
+        #: rollbacks feed labelled counters; the lock-table size feeds
+        #: the ``coordinator_locks`` gauge.  Purely observational.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Locks
@@ -115,6 +120,8 @@ class CrossShardCoordinator:
             for account, release in self._locks.items()
             if release >= current_round
         }
+        if self.metrics is not None:
+            self.metrics.gauge("coordinator_locks").set(len(self._locks))
 
     @property
     def locked_count(self) -> int:
@@ -187,6 +194,14 @@ class CrossShardCoordinator:
                 new_locks.append((touched, ordering_round + INTRA_COMMIT_ROUNDS))
         for accounts, until_round in new_locks:
             self.lock(accounts, until_round)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "ctx_txs_total", outcome="admitted"
+            ).inc(len(decision.admitted))
+            self.metrics.counter(
+                "ctx_txs_total", outcome="aborted"
+            ).inc(len(decision.aborted))
+            self.metrics.gauge("coordinator_locks").set(len(self._locks))
         return decision
 
     # ------------------------------------------------------------------
@@ -208,6 +223,8 @@ class CrossShardCoordinator:
             cross_txs=list(cross_txs),
         )
         self.u_batches[ordering_round] = batch
+        if self.metrics is not None:
+            self.metrics.counter("ctx_batches_opened_total").inc()
         return batch
 
     def mark_applied(self, ordering_round: int, shard: int) -> UBatch | None:
@@ -219,6 +236,8 @@ class CrossShardCoordinator:
         batch.applied_shards.add(shard)
         if batch.complete:
             del self.u_batches[ordering_round]
+            if self.metrics is not None:
+                self.metrics.counter("ctx_batches_completed_total").inc()
             return batch
         return None
 
@@ -227,6 +246,8 @@ class CrossShardCoordinator:
         batch = self.u_batches.get(ordering_round)
         if batch is not None:
             batch.retries += 1
+            if self.metrics is not None:
+                self.metrics.counter("ctx_retries_total").inc()
 
     def note_shard_failure(self, shard: int) -> None:
         """One failed application round for every batch awaiting ``shard``.
@@ -239,6 +260,8 @@ class CrossShardCoordinator:
         for batch in self.u_batches.values():
             if shard in batch.remaining_shards:
                 batch.retries += 1
+                if self.metrics is not None:
+                    self.metrics.counter("ctx_retries_total").inc()
 
     def expired_batches(self) -> list[UBatch]:
         """Batches past the retry window, removed and due for rollback.
@@ -252,6 +275,8 @@ class CrossShardCoordinator:
         ]
         for batch in expired:
             del self.u_batches[batch.ordering_round]
+        if expired and self.metrics is not None:
+            self.metrics.counter("ctx_rollbacks_total").inc(len(expired))
         return expired
 
     # ------------------------------------------------------------------

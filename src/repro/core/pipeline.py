@@ -41,6 +41,7 @@ from repro.crypto.hashing import domain_digest
 from repro.errors import ShardingError
 from repro.net.message import Message
 from repro.state.global_state import aggregate_root
+from repro.telemetry import NULL_TELEMETRY
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.config import PorygonConfig
@@ -189,6 +190,22 @@ class PorygonPipeline:
         #: ``None`` disables tracing entirely — the hot path pays one
         #: attribute check per phase per round.
         self.trace = None
+        #: Telemetry bundle (sim-clock span tracer + metrics registry;
+        #: DESIGN.md §11). Defaults to the process-wide null bundle —
+        #: every instrumented site then hits reusable no-op singletons,
+        #: so disabled runs stay byte-identical to an uninstrumented
+        #: build. :class:`~repro.core.system.PorygonSimulation` swaps in
+        #: an enabled :class:`~repro.telemetry.Telemetry` when
+        #: ``config.telemetry`` is set.
+        self.telemetry = NULL_TELEMETRY
+        #: Optional round-boundary observer (duck-typed: any callable
+        #: taking the just-finished round number), invoked after each
+        #: round's processes complete. Purely observational — it runs
+        #: between rounds, outside any simulator event — so attaching
+        #: one cannot perturb the event order. The chaos soak harness
+        #: uses it to snapshot the metrics registry per round and report
+        #: per-fault-window metric deltas.
+        self.round_observer = None
 
         # Form the (long-lived) Ordering Committee at genesis.
         self.oc = self._form_ordering_committee()
@@ -376,6 +393,7 @@ class PorygonPipeline:
                 return False
             return storage.is_honest
 
+        metrics = self.telemetry.metrics
         if self._fetch_timeout_s() <= 0.0:
             for storage_id in node.connections:
                 storage = self.fabric.storage_by_id[storage_id]
@@ -384,26 +402,40 @@ class PorygonPipeline:
                         Message(storage.node_id, member_id, msg_type, payload,
                                 size_bytes, phase=phase)
                     )
+                    metrics.counter("fetch_total", outcome="ok").inc()
                     return True
+            metrics.counter("fetch_total", outcome="miss").inc()
             return False
         order = self.hub.replica_order(node.connections)
-        for attempt in range(self.config.fetch_max_attempts):
-            storage = None
-            if order:
-                candidate = order[attempt % len(order)]
-                candidate_node = self.fabric.storage_by_id.get(candidate)
-                if candidate_node is not None and serves(candidate_node):
-                    storage = candidate_node
-            if storage is not None:
-                transfer = self.network.send(
-                    Message(storage.node_id, member_id, msg_type, payload,
-                            size_bytes, phase=phase)
-                )
-                ok = yield from self._await_transfer(transfer, size_bytes)
-                if ok:
-                    return True
-            if attempt + 1 < self.config.fetch_max_attempts:
-                yield self._backoff(attempt)
+        tracer = self.telemetry.tracer
+        with tracer.span("fetch", track="fetch", round=self.current_round,
+                         member=member_id, type=msg_type) as fetch_span:
+            for attempt in range(self.config.fetch_max_attempts):
+                storage = None
+                if order:
+                    candidate = order[attempt % len(order)]
+                    candidate_node = self.fabric.storage_by_id.get(candidate)
+                    if candidate_node is not None and serves(candidate_node):
+                        storage = candidate_node
+                if storage is not None:
+                    transfer = self.network.send(
+                        Message(storage.node_id, member_id, msg_type, payload,
+                                size_bytes, phase=phase)
+                    )
+                    ok = yield from self._await_transfer(transfer, size_bytes)
+                    if ok:
+                        fetch_span.annotate(attempts=attempt + 1, ok=1)
+                        metrics.counter("fetch_total", outcome="ok").inc()
+                        return True
+                if attempt + 1 < self.config.fetch_max_attempts:
+                    tracer.event(
+                        "fetch.retry", track="fetch", round=self.current_round,
+                        member=member_id, attempt=attempt,
+                    )
+                    metrics.counter("fetch_retries_total").inc()
+                    yield self._backoff(attempt)
+            fetch_span.annotate(attempts=self.config.fetch_max_attempts, ok=0)
+        metrics.counter("fetch_total", outcome="miss").inc()
         return False
 
     # ------------------------------------------------------------------
@@ -489,17 +521,30 @@ class PorygonPipeline:
     def witness_lane(self, round_number: int):
         """Witness Phase lane: wave 1 by EC_r, wave 2 by EC_{r-1}."""
         committees = self.assignments[round_number]
-        wave1 = yield from self._witness_wave(round_number, committees, round_number)
-        self.pending_witnessed.extend(wave1)
-        witnessed_this_lane = list(wave1)
-        if self.config.cross_batch_witness:
-            previous = self.assignments.get(round_number - 1)
-            if previous and self.hub.pending_count() > 0:
-                wave2 = yield from self._witness_wave(
-                    round_number, previous, round_number - 1
+        tracer = self.telemetry.tracer
+        with tracer.span("phase.witness", track="witness",
+                         round=round_number) as phase_span:
+            with tracer.span("witness.wave", track="witness",
+                             round=round_number, wave=1):
+                wave1 = yield from self._witness_wave(
+                    round_number, committees, round_number
                 )
-                self.pending_witnessed.extend(wave2)
-                witnessed_this_lane.extend(wave2)
+            self.pending_witnessed.extend(wave1)
+            witnessed_this_lane = list(wave1)
+            if self.config.cross_batch_witness:
+                previous = self.assignments.get(round_number - 1)
+                if previous and self.hub.pending_count() > 0:
+                    with tracer.span("witness.wave", track="witness",
+                                     round=round_number, wave=2):
+                        wave2 = yield from self._witness_wave(
+                            round_number, previous, round_number - 1
+                        )
+                    self.pending_witnessed.extend(wave2)
+                    witnessed_this_lane.extend(wave2)
+            phase_span.annotate(blocks=len(witnessed_this_lane))
+        self.telemetry.metrics.counter(
+            "witness_blocks_total"
+        ).inc(len(witnessed_this_lane))
         self._trace_phase(
             round_number, "witness",
             (wb.block.block_hash for wb in witnessed_this_lane),
@@ -617,6 +662,11 @@ class PorygonPipeline:
         self._timed_out.add((shard, round_number))
         count = self._stall_retries.get(shard, 0) + 1
         self._stall_retries[shard] = count
+        self.telemetry.tracer.event(
+            "exec.deadline", track=f"shard-{shard}",
+            round=round_number, shard=shard, retries=count,
+        )
+        self.telemetry.metrics.counter("exec_deadline_misses_total").inc()
         head = self.hub.speculative_state().shards[shard]
         if round_number in head.checkpoint_rounds:
             self.hub.rollback_speculative(shard, round_number)
@@ -655,56 +705,72 @@ class PorygonPipeline:
         # while this shard is mid-flight must mark the result stale.
         epoch = self.exec_epoch[shard]
         u_round = proposal.round_number if proposal.updates_for(shard) else None
-        canonical = compute_canonical_execution(
-            shard=shard,
-            num_shards=self.config.num_shards,
-            proposal=proposal,
-            hub=self.hub,
-            round_executed=round_number,
-            witness_round=self._witness_round_of(proposal, shard),
-            u_from_round=u_round,
-            # "" defers to the REPRO_SANITIZE environment variable.
-            sanitize=self.config.sanitize or None,
-        )
-        # Members re-download bodies only for blocks they did not witness
-        # ("they do not have to download transactions that they have
-        # witnessed during the Witness Phase").
-        body_bytes = 0
-        for header in proposal.sublist_for(shard):
-            meta = self.block_meta.get(header.block_hash)
-            if meta is None or meta.witnessed_by_round != round_number - 2:
-                block = self.hub.tx_blocks.get(header.block_hash)
-                if block is not None:
-                    body_bytes += block.size_bytes
-        sublist_bytes = proposal.sublist_size_bytes(shard)
-        payload_carrier: list[int] = []  # first reporter carries the S-list
-        member_procs = [
-            self.env.process(
-                self._member_execute(member_id, shard, canonical, body_bytes,
-                                     sublist_bytes, payload_carrier)
+        with self.telemetry.tracer.span(
+            "phase.execution", track=f"shard-{shard}",
+            round=round_number, shard=shard,
+        ) as exec_span:
+            canonical = compute_canonical_execution(
+                shard=shard,
+                num_shards=self.config.num_shards,
+                proposal=proposal,
+                hub=self.hub,
+                round_executed=round_number,
+                witness_round=self._witness_round_of(proposal, shard),
+                u_from_round=u_round,
+                # "" defers to the REPRO_SANITIZE environment variable.
+                sanitize=self.config.sanitize or None,
             )
-            for member_id in committee.members
-        ]
-        results = yield self.env.all_of(member_procs)
-        if (shard, round_number) in self._timed_out:
-            # The OC's result deadline already fired for this shard-
-            # round: the work was re-dispatched, so a late result must
-            # not apply speculative effects (double-commit hazard).
-            return
-        # Advance the speculative head so the next batch chains its root.
-        self.hub.apply_speculative(shard, canonical.written_owned, round_number)
-        shard_result = ShardRoundResult(
-            shard=shard,
-            exec_round=round_number,
-            committee=committee,
-            canonical=canonical,
-            member_results=[r for r in results.values() if r is not None],
-            source_headers=proposal.sublist_for(shard),
-            source_updates=proposal.updates_for(shard),
-            epoch=epoch,
-            source_round=proposal.round_number,
-        )
-        self.pending_results.append(shard_result)
+            exec_span.annotate(
+                intra=len(canonical.intra_applied),
+                cross=len(canonical.cross_executed),
+            )
+            # Members re-download bodies only for blocks they did not witness
+            # ("they do not have to download transactions that they have
+            # witnessed during the Witness Phase").
+            body_bytes = 0
+            for header in proposal.sublist_for(shard):
+                meta = self.block_meta.get(header.block_hash)
+                if meta is None or meta.witnessed_by_round != round_number - 2:
+                    block = self.hub.tx_blocks.get(header.block_hash)
+                    if block is not None:
+                        body_bytes += block.size_bytes
+            sublist_bytes = proposal.sublist_size_bytes(shard)
+            payload_carrier: list[int] = []  # first reporter carries the S-list
+            member_procs = [
+                self.env.process(
+                    self._member_execute(member_id, shard, canonical, body_bytes,
+                                         sublist_bytes, payload_carrier)
+                )
+                for member_id in committee.members
+            ]
+            results = yield self.env.all_of(member_procs)
+            if (shard, round_number) in self._timed_out:
+                # The OC's result deadline already fired for this shard-
+                # round: the work was re-dispatched, so a late result must
+                # not apply speculative effects (double-commit hazard).
+                exec_span.annotate(stale=1)
+                return
+            # Advance the speculative head so the next batch chains its root.
+            self.hub.apply_speculative(shard, canonical.written_owned, round_number)
+            shard_result = ShardRoundResult(
+                shard=shard,
+                exec_round=round_number,
+                committee=committee,
+                canonical=canonical,
+                member_results=[r for r in results.values() if r is not None],
+                source_headers=proposal.sublist_for(shard),
+                source_updates=proposal.updates_for(shard),
+                epoch=epoch,
+                source_round=proposal.round_number,
+            )
+            self.pending_results.append(shard_result)
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "txs_executed_total", kind="intra"
+        ).inc(len(canonical.intra_applied))
+        metrics.counter(
+            "txs_executed_total", kind="cross"
+        ).inc(len(canonical.cross_executed))
 
     def _witness_round_of(self, proposal: ProposalBlock, shard: int) -> int:
         for header in proposal.sublist_for(shard):
@@ -718,270 +784,321 @@ class PorygonPipeline:
     # ------------------------------------------------------------------
 
     def ordering_commit_lane(self, round_number: int):
-        """Build, agree on, publish and apply proposal block B_r."""
-        self.coordinator.expire_locks(round_number)
-        coordinator_snapshot = self.coordinator.snapshot_state()
-        round_oc = self.round_ordering_committee(round_number)
+        """Build, agree on, publish and apply proposal block B_r.
 
-        # -- Collect inputs ------------------------------------------------
-        witnessed = self.pending_witnessed
-        self.pending_witnessed = []
-        # Shard results arrive in execution-completion order, which is
-        # timing-sensitive; sort them so everything derived from the
-        # list (the U list, retry bookkeeping, the proposal digest) is
-        # canonical regardless of how fast each shard's download ran.
-        results = sorted(
-            self.pending_results, key=lambda sr: (sr.exec_round, sr.shard)
-        )
-        self.pending_results = []
-
-        # OC members download headers + witness proofs (bulk, per member).
-        header_bytes = sum(
-            wb.block.header.size_bytes + len(wb.proofs) * wb.proofs[0].size_bytes
-            for wb in witnessed if wb.proofs
-        )
-        if header_bytes:
-            transfers = []
-            for member_id in self.oc.members:
-                storage = self.fabric.serving_connection(member_id)
-                if storage is None:
-                    continue
-                transfers.append(self.network.send(
-                    Message(storage.node_id, member_id, "headers_proofs", None,
-                            header_bytes, phase="ordering")
-                ))
-            if transfers:
-                yield from self._await_transfers(transfers, header_bytes)
-
-        # Verify witness proofs: one batched signature pass over every
-        # proof of every witnessed block. The backend's verified-
-        # signature cache also absorbs re-presentations (carried-over
-        # blocks after an empty round, retry re-validation).
-        valid_witnessed = []
-        batch_items: list[tuple[bytes, bytes, bytes]] = []
-        batch_slices: list[tuple[WitnessedBlock, int, int]] = []
-        for wb in witnessed:
-            payload = wb.block.header.signing_payload()
-            start = len(batch_items)
-            batch_items.extend(
-                (proof.signer, payload, proof.signature) for proof in wb.proofs
+        Instrumentation note: the ``phase.ordering`` span closes *before*
+        :meth:`_publish` runs (the Commit Phase opens its own
+        ``phase.commit`` span), so the occupancy table attributes each
+        sim-second to exactly one pipeline stage. The restructure only
+        moves where the publish arguments are computed — no ``yield``
+        crosses the span boundary in a different order than before.
+        """
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
+        with tracer.span("phase.ordering", track="oc",
+                         round=round_number) as ordering_span:
+            self.coordinator.expire_locks(round_number)
+            tracer.event(
+                "coordinator.locks", track="oc", round=round_number,
+                locked=self.coordinator.locked_count,
             )
-            batch_slices.append((wb, start, len(batch_items)))
-        verdicts = self.backend.verify_batch(batch_items) if batch_items else []
-        proof_checks = len(batch_items)
-        for wb, start, end in batch_slices:
-            valid = [
-                proof for proof, ok in zip(wb.proofs, verdicts[start:end]) if ok
-            ]
-            threshold_committee = self.assignments.get(wb.witnessed_by_round, {}).get(wb.shard)
-            threshold = (threshold_committee.witness_threshold
-                         if threshold_committee else max(1, len(valid)))
-            if len(valid) >= threshold:
-                valid_witnessed.append(wb)
-            else:
-                self.hub.requeue(wb.block.transactions)
-        if proof_checks:
-            yield self.env.timeout(PER_PROOF_VERIFY_S * proof_checks)
+            coordinator_snapshot = self.coordinator.snapshot_state()
+            round_oc = self.round_ordering_committee(round_number)
 
-        # -- Validate execution results (T_e) ------------------------------
-        new_roots = dict(self.hub.state.shard_roots)
-        if self.proposals.get(round_number - 1) is not None:
-            new_roots = dict(self.proposals[round_number - 1].shard_roots)
-        accepted: list[ShardRoundResult] = []
-        for shard_result in results:
-            if shard_result.epoch != self.exec_epoch[shard_result.shard]:
-                # Computed on a rolled-back speculative head: re-dispatch.
-                self._schedule_retry(shard_result, count_failure=False)
-                continue
-            digest_counts: dict[bytes, int] = {}
-            canonical_digest = None
-            # Hoist result_digest (it is both message and tally key) and
-            # verify the whole member-result set in one batched pass.
-            member_digests = [
-                member_result.result_digest()
-                for member_result in shard_result.member_results
-            ]
-            member_verdicts = self.backend.verify_batch(
-                (member_result.signer, digest, member_result.signature)
-                for member_result, digest in zip(
-                    shard_result.member_results, member_digests
-                )
+            # -- Collect inputs --------------------------------------------
+            witnessed = self.pending_witnessed
+            self.pending_witnessed = []
+            # Shard results arrive in execution-completion order, which is
+            # timing-sensitive; sort them so everything derived from the
+            # list (the U list, retry bookkeeping, the proposal digest) is
+            # canonical regardless of how fast each shard's download ran.
+            results = sorted(
+                self.pending_results, key=lambda sr: (sr.exec_round, sr.shard)
             )
-            for member_result, digest, ok in zip(
-                shard_result.member_results, member_digests, member_verdicts
-            ):
-                if not ok:
-                    continue
-                digest_counts[digest] = digest_counts.get(digest, 0) + 1
-                if member_result.subtree_root == shard_result.canonical.new_root:
-                    canonical_digest = digest
-            threshold = shard_result.committee.execution_threshold
-            if canonical_digest is not None and digest_counts.get(canonical_digest, 0) >= threshold:
-                accepted.append(shard_result)
-                new_roots[shard_result.shard] = shard_result.canonical.new_root
-                # An accepted result proves the shard recovered: reset
-                # its consecutive missed-deadline counter.
-                self._stall_retries.pop(shard_result.shard, None)
-            else:
-                # Not enough consistent results: discard the speculative
-                # effects and redo the work (Section IV-D2 retry).
-                self.hub.rollback_speculative(shard_result.shard, shard_result.exec_round)
-                self.exec_epoch[shard_result.shard] += 1
-                self._schedule_retry(shard_result)
-        self._trace_phase(
-            round_number, "execution",
-            (
-                sr.shard.to_bytes(4, "big") + sr.exec_round.to_bytes(4, "big")
-                + sr.canonical.new_root
-                for sr in accepted
-            ),
-        )
+            self.pending_results = []
+            metrics.gauge("pending_witnessed_depth").set(len(witnessed))
+            metrics.gauge("pending_results_depth").set(len(results))
 
-        # -- Cross-shard bookkeeping ---------------------------------------
-        completed_batches = []
-        for shard_result in accepted:
-            u_round = shard_result.canonical.u_from_round
-            for batch_round in self._u_rounds_for(shard_result.shard, u_round):
-                done = self.coordinator.mark_applied(batch_round, shard_result.shard)
-                if done is not None:
-                    completed_batches.append(done)
-
-        new_s_results = [
-            ExecutionResult(
-                shard=sr.shard, round_number=sr.exec_round,
-                subtree_root=sr.canonical.new_root,
-                cross_shard_updates=sr.canonical.cross_updates,
-                failed_tx_ids=(), signer=b"", signature=b"",
+            # OC members download headers + witness proofs (bulk, per member).
+            header_bytes = sum(
+                wb.block.header.size_bytes + len(wb.proofs) * wb.proofs[0].size_bytes
+                for wb in witnessed if wb.proofs
             )
-            for sr in accepted if sr.canonical.cross_updates
-        ]
-        update_list = merge_cross_shard_updates(new_s_results, self.config.num_shards)
-        cross_txs = [tx for sr in accepted for tx in sr.canonical.cross_executed]
-        rollback_tx_ids: list[int] = []
-        for expired in self.coordinator.expired_batches():
-            compensation = self.coordinator.rollback_updates(expired)
-            for shard, entries in compensation.items():
-                merged = dict(update_list.get(shard, ()))
-                merged.update(dict(entries))
-                update_list[shard] = tuple(sorted(merged.items()))
-            rollback_tx_ids.extend(tx.tx_id for tx in expired.cross_txs)
-        if update_list and (cross_txs or not rollback_tx_ids):
-            # Canonical iteration order: update_list is keyed by shard
-            # and populated in result-arrival order, so anything derived
-            # from its iteration must be shard-sorted (PL003).
-            old_values = {
-                shard: tuple(
-                    (account_id, self.hub.state.get_account(account_id).encode())
-                    for account_id, _ in entries
-                )
-                for shard, entries in sorted(update_list.items())
-            }
-            self.coordinator.open_u_batch(
-                round_number, update_list, old_values, cross_txs
-            )
-
-        # -- Conflict detection over the new batch --------------------------
-        ordered_blocks: dict[int, list] = {}
-        aborted_ids: list[int] = []
-        all_txs: list[Transaction] = []
-        for wb in sorted(valid_witnessed, key=lambda w: (w.shard, w.block.round_created)):
-            all_txs.extend(wb.block.transactions)
-        decision = self.coordinator.filter_batch(
-            all_txs, round_number,
-            prioritize_cross_shard=self.config.prioritize_cross_shard,
-        )
-        aborted_ids.extend(decision.aborted_ids)
-        for wb in valid_witnessed:
-            ordered_blocks.setdefault(wb.shard, []).append(wb.block.header)
-        # Re-dispatch stalled execution work (retry path), including the
-        # U entries the stalled execution was supposed to apply.
-        for shard, stale in list(self.retry_exec.items()):
-            ordered_blocks.setdefault(shard, []).extend(stale.source_headers)
-            if stale.source_updates:
-                merged = dict(update_list.get(shard, ()))
-                for account_id, value in stale.source_updates:
-                    merged.setdefault(account_id, value)
-                update_list[shard] = tuple(sorted(merged.items()))
-                # The re-dispatched entries will ride *this* proposal:
-                # alias (shard, this round) back to the original batch
-                # round(s) so application / failure accounting resolves.
-                carried = self._u_rounds_for(shard, stale.canonical.u_from_round)
-                if carried:
-                    self._u_alias.setdefault((shard, round_number), set()).update(carried)
-            del self.retry_exec[shard]
-
-        proposal = ProposalBlock(
-            round_number=round_number,
-            prev_hash=self.hub.latest_proposal_hash,
-            ordered_blocks={s: tuple(h) for s, h in sorted(ordered_blocks.items())},
-            update_list=update_list,
-            state_root=aggregate_root(new_roots),
-            shard_roots=new_roots,
-            aborted_tx_ids=tuple(aborted_ids),
-            leader=self.stateless[round_oc.leader].public_key,
-            leader_vrf=round_oc.vrf_values.get(round_oc.leader, 0),
-            committee_digest=domain_digest(
-                "repro/committee/v1",
-                *(self.stateless[m].public_key for m in self.oc.members),
-            ),
-        )
-
-        # -- BA* consensus ---------------------------------------------------
-        proposal_bytes = proposal.size_bytes
-        if not self.config.decouple_blocks:
-            # Challenge-1 ablation: without proposal/transaction block
-            # decoupling, the full bodies ride the consensus proposal and
-            # the OC leader must push them to every member over its own
-            # (1 MB/s) uplink — the bottleneck the decoupling removes.
-            body_bytes = sum(
-                self.hub.tx_blocks[h.block_hash].size_bytes
-                for headers in proposal.ordered_blocks.values() for h in headers
-            )
-            if body_bytes:
-                leader = round_oc.leader
-                pushes = [
-                    self.network.send(Message(
-                        leader, member, "proposal_bodies", None,
-                        body_bytes, phase="ordering",
+            if header_bytes:
+                transfers = []
+                for member_id in self.oc.members:
+                    storage = self.fabric.serving_connection(member_id)
+                    if storage is None:
+                        continue
+                    transfers.append(self.network.send(
+                        Message(storage.node_id, member_id, "headers_proofs", None,
+                                header_bytes, phase="ordering")
                     ))
-                    for member in round_oc.members if member != leader
-                ]
-                yield self.env.all_of(pushes)
-        consensus = BAStar(
-            self.env, self.transport, round_oc, self.backend, self.oc_profiles,
-            step_timeout=self.config.consensus_step_timeout_s,
-            phase_label="ordering",
-        )
-        decision = yield self.env.process(consensus.run(proposal, proposal_bytes))
-        self._trace_phase(round_number, "ordering", (decision.value_digest,))
+                if transfers:
+                    yield from self._await_transfers(transfers, header_bytes)
 
-        if decision.empty or not decision.success:
-            # Empty round: the proposal never existed. Unwind the
-            # coordinator (locks, U batches) and carry all inputs
-            # forward to the next round.
-            self.coordinator.restore_state(coordinator_snapshot)
-            self.pending_witnessed = witnessed + self.pending_witnessed
-            self.pending_results = results + self.pending_results
-            for batch_round in list(self.coordinator.u_batches):
-                self.coordinator.note_failure(batch_round)
-            empty = ProposalBlock(
+            # Verify witness proofs: one batched signature pass over every
+            # proof of every witnessed block. The backend's verified-
+            # signature cache also absorbs re-presentations (carried-over
+            # blocks after an empty round, retry re-validation).
+            valid_witnessed = []
+            batch_items: list[tuple[bytes, bytes, bytes]] = []
+            batch_slices: list[tuple[WitnessedBlock, int, int]] = []
+            for wb in witnessed:
+                payload = wb.block.header.signing_payload()
+                start = len(batch_items)
+                batch_items.extend(
+                    (proof.signer, payload, proof.signature) for proof in wb.proofs
+                )
+                batch_slices.append((wb, start, len(batch_items)))
+            if batch_items:
+                metrics.histogram("sig_batch_size").observe(len(batch_items))
+            verdicts = self.backend.verify_batch(batch_items) if batch_items else []
+            proof_checks = len(batch_items)
+            for wb, start, end in batch_slices:
+                valid = [
+                    proof for proof, ok in zip(wb.proofs, verdicts[start:end]) if ok
+                ]
+                threshold_committee = self.assignments.get(wb.witnessed_by_round, {}).get(wb.shard)
+                threshold = (threshold_committee.witness_threshold
+                             if threshold_committee else max(1, len(valid)))
+                if len(valid) >= threshold:
+                    valid_witnessed.append(wb)
+                else:
+                    self.hub.requeue(wb.block.transactions)
+            if proof_checks:
+                yield self.env.timeout(PER_PROOF_VERIFY_S * proof_checks)
+
+            # -- Validate execution results (T_e) --------------------------
+            new_roots = dict(self.hub.state.shard_roots)
+            if self.proposals.get(round_number - 1) is not None:
+                new_roots = dict(self.proposals[round_number - 1].shard_roots)
+            accepted: list[ShardRoundResult] = []
+            for shard_result in results:
+                if shard_result.epoch != self.exec_epoch[shard_result.shard]:
+                    # Computed on a rolled-back speculative head: re-dispatch.
+                    self._schedule_retry(shard_result, count_failure=False)
+                    continue
+                digest_counts: dict[bytes, int] = {}
+                canonical_digest = None
+                # Hoist result_digest (it is both message and tally key) and
+                # verify the whole member-result set in one batched pass.
+                member_digests = [
+                    member_result.result_digest()
+                    for member_result in shard_result.member_results
+                ]
+                if shard_result.member_results:
+                    metrics.histogram(
+                        "sig_batch_size"
+                    ).observe(len(shard_result.member_results))
+                member_verdicts = self.backend.verify_batch(
+                    (member_result.signer, digest, member_result.signature)
+                    for member_result, digest in zip(
+                        shard_result.member_results, member_digests
+                    )
+                )
+                for member_result, digest, ok in zip(
+                    shard_result.member_results, member_digests, member_verdicts
+                ):
+                    if not ok:
+                        continue
+                    digest_counts[digest] = digest_counts.get(digest, 0) + 1
+                    if member_result.subtree_root == shard_result.canonical.new_root:
+                        canonical_digest = digest
+                threshold = shard_result.committee.execution_threshold
+                if canonical_digest is not None and digest_counts.get(canonical_digest, 0) >= threshold:
+                    accepted.append(shard_result)
+                    new_roots[shard_result.shard] = shard_result.canonical.new_root
+                    # An accepted result proves the shard recovered: reset
+                    # its consecutive missed-deadline counter.
+                    self._stall_retries.pop(shard_result.shard, None)
+                else:
+                    # Not enough consistent results: discard the speculative
+                    # effects and redo the work (Section IV-D2 retry).
+                    self.hub.rollback_speculative(shard_result.shard, shard_result.exec_round)
+                    self.exec_epoch[shard_result.shard] += 1
+                    self._schedule_retry(shard_result)
+            self._trace_phase(
+                round_number, "execution",
+                (
+                    sr.shard.to_bytes(4, "big") + sr.exec_round.to_bytes(4, "big")
+                    + sr.canonical.new_root
+                    for sr in accepted
+                ),
+            )
+
+            # -- Cross-shard bookkeeping -----------------------------------
+            completed_batches = []
+            for shard_result in accepted:
+                u_round = shard_result.canonical.u_from_round
+                for batch_round in self._u_rounds_for(shard_result.shard, u_round):
+                    done = self.coordinator.mark_applied(batch_round, shard_result.shard)
+                    if done is not None:
+                        completed_batches.append(done)
+                        tracer.event(
+                            "ctx.complete", track="oc", round=round_number,
+                            opened=done.ordering_round, txs=len(done.cross_txs),
+                        )
+
+            new_s_results = [
+                ExecutionResult(
+                    shard=sr.shard, round_number=sr.exec_round,
+                    subtree_root=sr.canonical.new_root,
+                    cross_shard_updates=sr.canonical.cross_updates,
+                    failed_tx_ids=(), signer=b"", signature=b"",
+                )
+                for sr in accepted if sr.canonical.cross_updates
+            ]
+            update_list = merge_cross_shard_updates(new_s_results, self.config.num_shards)
+            cross_txs = [tx for sr in accepted for tx in sr.canonical.cross_executed]
+            rollback_tx_ids: list[int] = []
+            for expired in self.coordinator.expired_batches():
+                compensation = self.coordinator.rollback_updates(expired)
+                for shard, entries in compensation.items():
+                    merged = dict(update_list.get(shard, ()))
+                    merged.update(dict(entries))
+                    update_list[shard] = tuple(sorted(merged.items()))
+                rollback_tx_ids.extend(tx.tx_id for tx in expired.cross_txs)
+                tracer.event(
+                    "ctx.rollback", track="oc", round=round_number,
+                    opened=expired.ordering_round, txs=len(expired.cross_txs),
+                )
+            if update_list and (cross_txs or not rollback_tx_ids):
+                # Canonical iteration order: update_list is keyed by shard
+                # and populated in result-arrival order, so anything derived
+                # from its iteration must be shard-sorted (PL003).
+                old_values = {
+                    shard: tuple(
+                        (account_id, self.hub.state.get_account(account_id).encode())
+                        for account_id, _ in entries
+                    )
+                    for shard, entries in sorted(update_list.items())
+                }
+                self.coordinator.open_u_batch(
+                    round_number, update_list, old_values, cross_txs
+                )
+                tracer.event(
+                    "ctx.open", track="oc", round=round_number,
+                    shards=len(update_list), txs=len(cross_txs),
+                )
+
+            # -- Conflict detection over the new batch ----------------------
+            ordered_blocks: dict[int, list] = {}
+            aborted_ids: list[int] = []
+            all_txs: list[Transaction] = []
+            for wb in sorted(valid_witnessed, key=lambda w: (w.shard, w.block.round_created)):
+                all_txs.extend(wb.block.transactions)
+            decision = self.coordinator.filter_batch(
+                all_txs, round_number,
+                prioritize_cross_shard=self.config.prioritize_cross_shard,
+            )
+            aborted_ids.extend(decision.aborted_ids)
+            for wb in valid_witnessed:
+                ordered_blocks.setdefault(wb.shard, []).append(wb.block.header)
+            # Re-dispatch stalled execution work (retry path), including the
+            # U entries the stalled execution was supposed to apply.
+            for shard, stale in list(self.retry_exec.items()):
+                ordered_blocks.setdefault(shard, []).extend(stale.source_headers)
+                if stale.source_updates:
+                    merged = dict(update_list.get(shard, ()))
+                    for account_id, value in stale.source_updates:
+                        merged.setdefault(account_id, value)
+                    update_list[shard] = tuple(sorted(merged.items()))
+                    # The re-dispatched entries will ride *this* proposal:
+                    # alias (shard, this round) back to the original batch
+                    # round(s) so application / failure accounting resolves.
+                    carried = self._u_rounds_for(shard, stale.canonical.u_from_round)
+                    if carried:
+                        self._u_alias.setdefault((shard, round_number), set()).update(carried)
+                del self.retry_exec[shard]
+
+            proposal = ProposalBlock(
                 round_number=round_number,
                 prev_hash=self.hub.latest_proposal_hash,
-                ordered_blocks={},
-                update_list={},
+                ordered_blocks={s: tuple(h) for s, h in sorted(ordered_blocks.items())},
+                update_list=update_list,
                 state_root=aggregate_root(new_roots),
                 shard_roots=new_roots,
+                aborted_tx_ids=tuple(aborted_ids),
+                leader=self.stateless[round_oc.leader].public_key,
+                leader_vrf=round_oc.vrf_values.get(round_oc.leader, 0),
+                committee_digest=domain_digest(
+                    "repro/committee/v1",
+                    *(self.stateless[m].public_key for m in self.oc.members),
+                ),
             )
-            yield from self._publish(empty, accepted=[], completed_batches=[],
-                                     round_number=round_number, empty=True,
-                                     leader=round_oc.leader)
-            return
 
-        self.tracker.record_aborted(aborted_ids)
-        if rollback_tx_ids:
-            self.tracker.record_rolled_back(rollback_tx_ids)
-        yield from self._publish(proposal, accepted, completed_batches,
-                                 round_number, empty=False, leader=round_oc.leader)
+            # -- BA* consensus -----------------------------------------------
+            proposal_bytes = proposal.size_bytes
+            if not self.config.decouple_blocks:
+                # Challenge-1 ablation: without proposal/transaction block
+                # decoupling, the full bodies ride the consensus proposal and
+                # the OC leader must push them to every member over its own
+                # (1 MB/s) uplink — the bottleneck the decoupling removes.
+                body_bytes = sum(
+                    self.hub.tx_blocks[h.block_hash].size_bytes
+                    for headers in proposal.ordered_blocks.values() for h in headers
+                )
+                if body_bytes:
+                    leader = round_oc.leader
+                    pushes = [
+                        self.network.send(Message(
+                            leader, member, "proposal_bodies", None,
+                            body_bytes, phase="ordering",
+                        ))
+                        for member in round_oc.members if member != leader
+                    ]
+                    yield self.env.all_of(pushes)
+            consensus = BAStar(
+                self.env, self.transport, round_oc, self.backend, self.oc_profiles,
+                step_timeout=self.config.consensus_step_timeout_s,
+                phase_label="ordering",
+            )
+            with tracer.span("consensus", track="oc",
+                             round=round_number) as consensus_span:
+                decision = yield self.env.process(
+                    consensus.run(proposal, proposal_bytes)
+                )
+                consensus_span.annotate(
+                    empty=int(decision.empty), success=int(decision.success),
+                )
+            self._trace_phase(round_number, "ordering", (decision.value_digest,))
+
+            if decision.empty or not decision.success:
+                # Empty round: the proposal never existed. Unwind the
+                # coordinator (locks, U batches) and carry all inputs
+                # forward to the next round.
+                self.coordinator.restore_state(coordinator_snapshot)
+                self.pending_witnessed = witnessed + self.pending_witnessed
+                self.pending_results = results + self.pending_results
+                for batch_round in list(self.coordinator.u_batches):
+                    self.coordinator.note_failure(batch_round)
+                publish_block = ProposalBlock(
+                    round_number=round_number,
+                    prev_hash=self.hub.latest_proposal_hash,
+                    ordered_blocks={},
+                    update_list={},
+                    state_root=aggregate_root(new_roots),
+                    shard_roots=new_roots,
+                )
+                publish_accepted: list[ShardRoundResult] = []
+                publish_completed: list = []
+                publish_empty = True
+            else:
+                self.tracker.record_aborted(aborted_ids)
+                if rollback_tx_ids:
+                    self.tracker.record_rolled_back(rollback_tx_ids)
+                publish_block = proposal
+                publish_accepted = accepted
+                publish_completed = completed_batches
+                publish_empty = False
+            ordering_span.annotate(
+                blocks=len(valid_witnessed), aborted=len(aborted_ids),
+                empty=int(publish_empty),
+            )
+        yield from self._publish(publish_block, publish_accepted,
+                                 publish_completed, round_number,
+                                 empty=publish_empty, leader=round_oc.leader)
 
     def _u_rounds_for(self, shard: int, u_round: int | None) -> tuple[int, ...]:
         """Original U-batch rounds behind a result's ``u_from_round``.
@@ -1012,50 +1129,65 @@ class PorygonPipeline:
         """Commit Phase: publish B_r to storage and apply its effects."""
         if leader is None:
             leader = self.oc.leader
-        uploads = []
-        for storage_id in self.stateless[leader].connections:
-            uploads.append(self.network.send(
-                Message(leader, storage_id, "proposal_commit", proposal,
-                        proposal.size_bytes, phase="commit")
-            ))
-        yield from self._await_transfers(uploads, proposal.size_bytes)
-        first_storage = self.stateless[leader].connections[0]
-        self._gossip_content(first_storage, "proposal_gossip", proposal.size_bytes)
-        self.hub.append_proposal(proposal)
-        self.proposals[round_number] = proposal
-        if self.commit_log is not None:
-            self.commit_log.record(round_number, proposal, accepted)
-        self._trace_phase(
-            round_number, "commit", (proposal.block_hash, proposal.state_root)
-        )
-        now = self.env.now
-        self.tracker.publish_times[round_number] = now
+        metrics = self.telemetry.metrics
+        with self.telemetry.tracer.span(
+            "phase.commit", track="commit", round=round_number,
+            empty=int(empty),
+        ) as commit_span:
+            uploads = []
+            for storage_id in self.stateless[leader].connections:
+                uploads.append(self.network.send(
+                    Message(leader, storage_id, "proposal_commit", proposal,
+                            proposal.size_bytes, phase="commit")
+                ))
+            yield from self._await_transfers(uploads, proposal.size_bytes)
+            first_storage = self.stateless[leader].connections[0]
+            self._gossip_content(first_storage, "proposal_gossip", proposal.size_bytes)
+            self.hub.append_proposal(proposal)
+            self.proposals[round_number] = proposal
+            if self.commit_log is not None:
+                self.commit_log.record(round_number, proposal, accepted)
+            self._trace_phase(
+                round_number, "commit", (proposal.block_hash, proposal.state_root)
+            )
+            now = self.env.now
+            self.tracker.publish_times[round_number] = now
 
-        # Storage nodes apply the committed effects and verify roots.
-        for shard_result in accepted:
-            canonical = shard_result.canonical
-            shard_state = self.hub.state.shards[canonical.shard]
-            shard_state.apply_updates(canonical.written_owned)
-            if shard_state.root != canonical.new_root:
-                raise ShardingError(
-                    f"shard {canonical.shard}: storage full-tree root diverged "
-                    f"from the committee's partial-tree root"
-                )
-            self.tracker.record_failed(canonical.failed_tx_ids)
-            if canonical.intra_applied:
-                self.tracker.record_commit(
-                    canonical.intra_applied, now,
-                    witness_round=canonical.witness_round,
-                    commit_round=round_number, cross_shard=False,
-                )
-        for batch in completed_batches:
-            if batch.cross_txs:
-                # U opened at round k realizes CTx witnessed at k-3.
-                self.tracker.record_commit(
-                    batch.cross_txs, now,
-                    witness_round=max(0, batch.ordering_round - 3),
-                    commit_round=round_number, cross_shard=True,
-                )
+            # Storage nodes apply the committed effects and verify roots.
+            committed_intra = 0
+            committed_cross = 0
+            for shard_result in accepted:
+                canonical = shard_result.canonical
+                shard_state = self.hub.state.shards[canonical.shard]
+                shard_state.apply_updates(canonical.written_owned)
+                if shard_state.root != canonical.new_root:
+                    raise ShardingError(
+                        f"shard {canonical.shard}: storage full-tree root diverged "
+                        f"from the committee's partial-tree root"
+                    )
+                self.tracker.record_failed(canonical.failed_tx_ids)
+                metrics.counter(
+                    "txs_failed_total"
+                ).inc(len(canonical.failed_tx_ids))
+                if canonical.intra_applied:
+                    self.tracker.record_commit(
+                        canonical.intra_applied, now,
+                        witness_round=canonical.witness_round,
+                        commit_round=round_number, cross_shard=False,
+                    )
+                    committed_intra += len(canonical.intra_applied)
+            for batch in completed_batches:
+                if batch.cross_txs:
+                    # U opened at round k realizes CTx witnessed at k-3.
+                    self.tracker.record_commit(
+                        batch.cross_txs, now,
+                        witness_round=max(0, batch.ordering_round - 3),
+                        commit_round=round_number, cross_shard=True,
+                    )
+                    committed_cross += len(batch.cross_txs)
+            commit_span.annotate(intra=committed_intra, cross=committed_cross)
+        metrics.counter("txs_committed_total", kind="intra").inc(committed_intra)
+        metrics.counter("txs_committed_total", kind="cross").inc(committed_cross)
 
     # ------------------------------------------------------------------
     # Round drivers
@@ -1067,18 +1199,26 @@ class PorygonPipeline:
         self.current_round = round_number
         if self.chaos is not None:
             self.chaos.begin_round(round_number)
-        yield self.env.timeout(self.config.round_overhead_s)
-        reconfig = self.config.oc_reconfig_rounds
-        if reconfig and round_number > 1 and (round_number - 1) % reconfig == 0:
-            self.reconfigure_ordering_committee(round_number)
-        self.form_execution_committees(round_number)
-        lanes = [self.env.process(self.witness_lane(round_number))]
-        if round_number >= 2:
-            lanes.append(self.env.process(self.execution_lane(round_number)))
-        lanes.append(self.env.process(self.ordering_commit_lane(round_number)))
-        yield self.env.all_of(lanes)
-        proposal = self.proposals.get(round_number)
-        empty = proposal is None or proposal.tx_block_count == 0
+        with self.telemetry.tracer.span(
+            "round", track="round", round=round_number,
+        ) as round_span:
+            yield self.env.timeout(self.config.round_overhead_s)
+            reconfig = self.config.oc_reconfig_rounds
+            if reconfig and round_number > 1 and (round_number - 1) % reconfig == 0:
+                self.reconfigure_ordering_committee(round_number)
+            self.form_execution_committees(round_number)
+            lanes = [self.env.process(self.witness_lane(round_number))]
+            if round_number >= 2:
+                lanes.append(self.env.process(self.execution_lane(round_number)))
+            lanes.append(self.env.process(self.ordering_commit_lane(round_number)))
+            yield self.env.all_of(lanes)
+            proposal = self.proposals.get(round_number)
+            empty = proposal is None or proposal.tx_block_count == 0
+            round_span.annotate(empty=int(empty))
+        metrics = self.telemetry.metrics
+        metrics.counter("rounds_total").inc()
+        if empty:
+            metrics.counter("empty_rounds_total").inc()
         self.tracker.record_round(self.env.now - started, empty)
 
     def run_round_sequential(self, round_number: int):
@@ -1092,18 +1232,26 @@ class PorygonPipeline:
         self.current_round = round_number
         if self.chaos is not None:
             self.chaos.begin_round(round_number)
-        yield self.env.timeout(self.config.round_overhead_s)
-        self.form_execution_committees(round_number)
-        yield self.env.process(self.witness_lane(round_number))
-        yield self.env.process(self.ordering_commit_lane(round_number))
-        # Execute this round's own proposal immediately (no pipelining):
-        # the same committee that witnessed also executes.
-        proposal = self.proposals.get(round_number)
-        if proposal is not None and proposal.tx_block_count:
-            yield self.env.process(
-                self._sequential_execute_and_commit(round_number, proposal)
-            )
-        empty = proposal is None or proposal.tx_block_count == 0
+        with self.telemetry.tracer.span(
+            "round", track="round", round=round_number,
+        ) as round_span:
+            yield self.env.timeout(self.config.round_overhead_s)
+            self.form_execution_committees(round_number)
+            yield self.env.process(self.witness_lane(round_number))
+            yield self.env.process(self.ordering_commit_lane(round_number))
+            # Execute this round's own proposal immediately (no pipelining):
+            # the same committee that witnessed also executes.
+            proposal = self.proposals.get(round_number)
+            if proposal is not None and proposal.tx_block_count:
+                yield self.env.process(
+                    self._sequential_execute_and_commit(round_number, proposal)
+                )
+            empty = proposal is None or proposal.tx_block_count == 0
+            round_span.annotate(empty=int(empty))
+        metrics = self.telemetry.metrics
+        metrics.counter("rounds_total").inc()
+        if empty:
+            metrics.counter("empty_rounds_total").inc()
         self.tracker.record_round(self.env.now - started, empty)
 
     def _sequential_execute_and_commit(self, round_number: int,
@@ -1181,3 +1329,5 @@ class PorygonPipeline:
                 yield self.env.process(self.run_round(round_number))
             else:
                 yield self.env.process(self.run_round_sequential(round_number))
+            if self.round_observer is not None:
+                self.round_observer(round_number)

@@ -18,6 +18,7 @@ from repro.net.faults import FaultProfile
 from repro.net.gossip import GossipOverlay
 from repro.net.network import Network
 from repro.sim import Environment
+from repro.telemetry import NULL_TELEMETRY, Telemetry, wire_crypto
 
 
 @dataclass
@@ -150,6 +151,17 @@ class PorygonSimulation:
             self.storage_nodes, self.fabric, self.stateless, self.tracker,
             gossip=self.gossip, seed=seed, chaos=self.chaos,
         )
+        #: Telemetry bundle (DESIGN.md §11). ``NULL_TELEMETRY`` unless
+        #: ``config.telemetry`` asks for the real tracer + registry; the
+        #: enabled bundle is wired through the pipeline, the network,
+        #: the coordinator and the crypto hot paths.
+        self.telemetry = NULL_TELEMETRY
+        if config.telemetry:
+            self.telemetry = Telemetry(lambda: self.env.now)
+            self.pipeline.telemetry = self.telemetry
+            self.network.telemetry = self.telemetry
+            self.pipeline.coordinator.metrics = self.telemetry.metrics
+            wire_crypto(self.telemetry, self.backend, state=self.hub.state)
         self._rounds_run = 0
 
     # ------------------------------------------------------------------

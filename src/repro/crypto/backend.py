@@ -96,6 +96,12 @@ class SignatureBackend(abc.ABC):
     cache_hits: int = 0
     cache_misses: int = 0
 
+    #: Optional telemetry hook called with ``True`` on a cache hit and
+    #: ``False`` on a miss.  ``None`` (the default) keeps the hot path
+    #: at a single attribute check; :func:`repro.telemetry.wire_crypto`
+    #: installs a registry-fed observer when telemetry is enabled.
+    cache_observer: typing.Optional[typing.Callable[[bool], None]] = None
+
     @abc.abstractmethod
     def generate(self, seed: bytes) -> KeyPair:
         """Deterministically derive a key pair from ``seed``."""
@@ -133,8 +139,12 @@ class SignatureBackend(abc.ABC):
         if key in cache:
             cache.move_to_end(key)
             self.cache_hits += 1
+            if self.cache_observer is not None:
+                self.cache_observer(True)
             return True
         self.cache_misses += 1
+        if self.cache_observer is not None:
+            self.cache_observer(False)
         if not self.verify(public_key, message, signature):
             return False
         cache[key] = None

@@ -92,9 +92,13 @@ class HashedBackend(SignatureBackend):
             if key in cache:
                 cache.move_to_end(key)
                 self.cache_hits += 1
+                if self.cache_observer is not None:
+                    self.cache_observer(True)
                 results.append(True)
                 continue
             self.cache_misses += 1
+            if self.cache_observer is not None:
+                self.cache_observer(False)
             seed = seeds.get(public_key)
             if seed is None:
                 seed = self._seed_for(public_key)

@@ -246,6 +246,11 @@ class SparseMerkleTree:
         #: Sorted (key, value) list for :meth:`items`, built lazily and
         #: invalidated on every write.
         self._sorted_items: list[tuple[int, bytes]] | None = None
+        #: Optional telemetry hook called with the distinct-key count of
+        #: every :meth:`update_many` batch.  ``None`` (the default)
+        #: keeps the hot path untouched; :func:`repro.telemetry.wire_crypto`
+        #: installs a registry-fed observer when telemetry is enabled.
+        self.batch_observer: typing.Callable[[int], None] | None = None
 
     def __len__(self) -> int:
         return len(self._values)
@@ -358,6 +363,8 @@ class SparseMerkleTree:
                 else:
                     nodes[(level, prefix)] = digest
             prefixes = parents
+        if self.batch_observer is not None:
+            self.batch_observer(len(dirty))
         return self.root
 
     def prove(self, key: int) -> SmtProof:

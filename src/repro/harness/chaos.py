@@ -44,7 +44,13 @@ DEFAULT_RECOVERY_K = 4
 
 
 def chaos_config(num_shards: int = 2, num_storage_nodes: int = 3) -> PorygonConfig:
-    """Deployment sized for soak runs: small, fast, failover-capable."""
+    """Deployment sized for soak runs: small, fast, failover-capable.
+
+    Telemetry is on: the soak report attributes metric deltas to each
+    fault window, and the instrumentation is observational-only so the
+    run (and the report's invariant sections) stays byte-identical to a
+    telemetry-off soak.
+    """
     return PorygonConfig(
         num_shards=num_shards,
         nodes_per_shard=4,
@@ -57,6 +63,7 @@ def chaos_config(num_shards: int = 2, num_storage_nodes: int = 3) -> PorygonConf
         consensus_step_timeout_s=0.25,
         fetch_timeout_s=0.3,
         shard_result_deadline_s=6.0,
+        telemetry=True,
     )
 
 
@@ -204,6 +211,59 @@ def _check_bounded_recovery(sim: PorygonSimulation, schedule: FaultSchedule,
 
 
 # ---------------------------------------------------------------------------
+# Per-fault-window metric deltas
+# ---------------------------------------------------------------------------
+
+#: Metric-name prefixes snapshotted per round for window attribution
+#: (counters whose movement tells the fault story; span/event meta
+#: series are excluded to keep the report focused).
+METRIC_PREFIXES = (
+    "net_", "ctx_", "txs_", "fetch_", "exec_", "witness_",
+    "rounds_", "empty_rounds_", "sig_", "smt_",
+)
+
+
+def _diff_snapshots(before: dict, after: dict) -> dict:
+    """Nonzero ``after - before`` per series (canonical key order)."""
+    out: dict[str, float] = {}
+    for key in after:
+        delta = after[key] - before.get(key, 0)
+        if delta:
+            out[key] = delta
+    return out
+
+
+def fault_window_deltas(schedule: FaultSchedule,
+                        snapshots: dict[int, dict],
+                        rounds: int) -> list[dict]:
+    """Metric deltas attributed to each fault window of ``schedule``.
+
+    ``snapshots`` maps a round number to the registry snapshot taken
+    when that round finished (round 0 = genesis = empty). A window
+    active over rounds ``[start, end)`` is charged the counter movement
+    between the snapshot *before* its first active round and the one
+    *after* its last active round (both clipped to the run).
+    """
+    windows: list[dict] = []
+    for event in schedule.events:
+        first = max(event.start_round, 1)
+        last = rounds if event.end_round is None else min(event.end_round - 1, rounds)
+        entry = event.to_dict()
+        if first > rounds or last < first:
+            entry.update({"observed_rounds": None, "deltas": {}})
+            windows.append(entry)
+            continue
+        before = snapshots.get(first - 1, {})
+        after = snapshots.get(last, {})
+        entry.update({
+            "observed_rounds": [first, last],
+            "deltas": _diff_snapshots(before, after),
+        })
+        windows.append(entry)
+    return windows
+
+
+# ---------------------------------------------------------------------------
 # The soak run
 # ---------------------------------------------------------------------------
 
@@ -225,6 +285,18 @@ def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
     genesis_state = sim.hub.state.copy()
     commit_log = CommitLog()
     sim.pipeline.commit_log = commit_log
+
+    # Per-round registry snapshots, taken at round boundaries via the
+    # pipeline's round observer (observational-only hook — the event
+    # order is untouched, so the invariant sections below are identical
+    # with or without telemetry).
+    registry = sim.telemetry.metrics
+    snapshots: dict[int, dict] = {0: registry.snapshot(METRIC_PREFIXES)}
+
+    def _observe_round(round_number: int) -> None:
+        snapshots[round_number] = registry.snapshot(METRIC_PREFIXES)
+
+    sim.pipeline.round_observer = _observe_round
     sim.submit(batch)
     report = sim.run(num_rounds=rounds)
 
@@ -250,6 +322,13 @@ def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
         "invariants": invariants,
         "commits_per_round": commits_per_round,
         "chaos": sim.chaos.counters(),
+        "telemetry": {
+            "enabled": bool(config.telemetry),
+            "fault_windows": fault_window_deltas(schedule, snapshots, rounds),
+            "totals": _diff_snapshots(
+                snapshots.get(0, {}), registry.snapshot(METRIC_PREFIXES)
+            ),
+        },
         "summary": {
             "committed": report.committed,
             "commits_by_kind": report.commits_by_kind,

@@ -81,18 +81,25 @@ def fig9b_network_usage(
     seed: int = 1,
 ) -> ExperimentResult:
     """Per-node, per-round network usage by phase vs a full node."""
-    sim = build_porygon(num_shards, seed=seed)
+    sim = build_porygon(num_shards, seed=seed, telemetry=True)
     saturate(sim, num_shards, rounds=rounds, seed=seed)
-    report = sim.run(num_rounds=rounds)
+    sim.run(num_rounds=rounds)
     ec_nodes = num_shards * sim.config.nodes_per_shard
     oc_nodes = sim.config.ordering_size
-    by_phase = report.network_bytes_by_phase
-    # Bytes are metered on both endpoints; halve for per-node traffic.
+    # Phase bytes come from the telemetry registry
+    # (net_bytes_total{phase,direction}); total() sums both directions,
+    # matching the meter's both-endpoints accounting — halve for
+    # per-node traffic.
+    registry = sim.telemetry.metrics
+
+    def phase_bytes(phase: str) -> float:
+        return registry.total("net_bytes_total", phase=phase)
+
     phase_rows = {
-        "witness": by_phase.get("witness", 0) / 2 / ec_nodes / rounds,
-        "ordering": by_phase.get("ordering", 0) / 2 / oc_nodes / rounds,
-        "execution": by_phase.get("execution", 0) / 2 / ec_nodes / rounds,
-        "commit": by_phase.get("commit", 0) / 2 / oc_nodes / rounds,
+        "witness": phase_bytes("witness") / 2 / ec_nodes / rounds,
+        "ordering": phase_bytes("ordering") / 2 / oc_nodes / rounds,
+        "execution": phase_bytes("execution") / 2 / ec_nodes / rounds,
+        "commit": phase_bytes("commit") / 2 / oc_nodes / rounds,
     }
 
     # ByShard full node: total traffic per node per round (block
@@ -100,7 +107,8 @@ def fig9b_network_usage(
     # cross-shard 2PC).
     config = ByShardConfig(num_shards=num_shards, nodes_per_shard=10,
                            txs_per_block=200, max_blocks_per_round=2,
-                           round_overhead_s=0.5, consensus_step_timeout_s=0.5)
+                           round_overhead_s=0.5, consensus_step_timeout_s=0.5,
+                           telemetry=True)
     byshard = ByShardSimulation(config, seed=seed)
     demand = num_shards * 2 * 200 * rounds
     generator = WorkloadGenerator(num_accounts=3 * demand, num_shards=num_shards,
@@ -108,9 +116,9 @@ def fig9b_network_usage(
     batch = generator.batch(demand)
     byshard.fund_accounts(sorted({tx.sender for tx in batch}), 1_000)
     byshard.submit(batch)
-    byshard_report = byshard.run(num_rounds=rounds)
+    byshard.run(num_rounds=rounds)
     full_node_bytes = (
-        sum(byshard_report.network_bytes_by_phase.values())
+        byshard.telemetry.metrics.total("net_bytes_total")
         / 2 / config.total_nodes / rounds
     )
 

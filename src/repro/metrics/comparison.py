@@ -28,11 +28,23 @@ def is_monotonic(series, increasing: bool = True, tolerance: float = 0.0) -> boo
 
 
 def growth_factor(series) -> float:
-    """Last-over-first ratio of a series (0 if degenerate)."""
+    """Last-over-first ratio of a series.
+
+    Degenerate inputs (fewer than two points) return ``0.0``. A series
+    that *starts* at zero is not degenerate: if it also ends at zero it
+    is legitimately flat and the factor is ``1.0`` (previously this
+    returned ``0.0``, which made flat-at-zero counter series — e.g. a
+    fault metric that never fired — read as "shrank to nothing");
+    if it ends nonzero the growth is unbounded and the factor is
+    ``inf``.
+    """
     values = list(series)
-    if len(values) < 2 or values[0] == 0:
+    if len(values) < 2:
         return 0.0
-    return values[-1] / values[0]
+    first, last = values[0], values[-1]
+    if first == 0:
+        return 1.0 if last == 0 else float("inf")
+    return last / first
 
 
 @dataclass

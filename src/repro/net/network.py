@@ -76,6 +76,13 @@ class Network:
         #: must guard awaited deliveries with timeouts), chaos delay
         #: windows add propagation latency.
         self.chaos = None
+        #: Optional :class:`~repro.telemetry.Telemetry` bundle.  When
+        #: attached, ``send`` feeds ``net_messages_total{phase}``,
+        #: ``net_bytes_total{phase,direction}``, ``net_dropped_total{reason}``
+        #: and ``net_chaos_delays_total`` into its metrics registry.  The
+        #: hook is purely observational: it never touches the event loop,
+        #: so attaching it cannot change delivery order or timing.
+        self.telemetry = None
 
     def register(self, endpoint: Endpoint) -> Endpoint:
         """Add an endpoint to the fabric."""
@@ -104,6 +111,7 @@ class Network:
         src = self.endpoint(message.sender)
         dst = self.endpoint(message.recipient)
         size = message.size_bytes
+        metrics = self.telemetry.metrics if self.telemetry is not None else None
         if self.chaos is not None:
             reason = self.chaos.drop_reason(message.sender, message.recipient)
             if reason is not None:
@@ -113,15 +121,32 @@ class Network:
                 if reason != "src-crashed":
                     sent_at = src.reserve_uplink(size)
                     self.meter.record(src.node_id, "up", message.phase, size, sent_at)
+                    if metrics is not None:
+                        metrics.counter(
+                            "net_bytes_total", phase=message.phase, direction="up"
+                        ).inc(size)
                 self.dropped_count += 1
+                if metrics is not None:
+                    metrics.counter("net_dropped_total", reason=reason).inc()
                 return self.env.event()  # never fires
         sent_at = src.reserve_uplink(size)
         latency = self.latency_s
         if self.chaos is not None:
-            latency += self.chaos.extra_delay_s(message.sender, message.recipient)
+            extra = self.chaos.extra_delay_s(message.sender, message.recipient)
+            if extra > 0.0 and metrics is not None:
+                metrics.counter("net_chaos_delays_total").inc()
+            latency += extra
         arrival = dst.reserve_downlink(size, not_before=sent_at + latency)
         self.meter.record(src.node_id, "up", message.phase, size, sent_at)
         self.meter.record(dst.node_id, "down", message.phase, size, arrival)
+        if metrics is not None:
+            metrics.counter("net_messages_total", phase=message.phase).inc()
+            metrics.counter(
+                "net_bytes_total", phase=message.phase, direction="up"
+            ).inc(size)
+            metrics.counter(
+                "net_bytes_total", phase=message.phase, direction="down"
+            ).inc(size)
         delivered = self.env.event()
 
         def deliver(_event):
@@ -135,6 +160,10 @@ class Network:
     def drop(self, message: Message) -> None:
         """Account for an adversarial drop (message never delivered)."""
         self.dropped_count += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(
+                "net_dropped_total", reason="adversarial"
+            ).inc()
 
     def send_many(self, messages: typing.Iterable[Message]) -> list:
         """Send a batch; returns the delivery events."""

@@ -9,7 +9,7 @@ rollback of failed cross-shard commits (Section IV-D2).
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 from repro.chain.account import Account, AccountId, shard_of
 from repro.crypto.smt import SMT_DEPTH, SmtMultiProof, SmtProof, SparseMerkleTree
@@ -116,6 +116,16 @@ class ShardState:
     def smt_key(self, account_id: AccountId) -> int:
         """Public SMT key of an owned account (ownership-checked)."""
         return self._smt_key(account_id)
+
+    def set_batch_observer(self, observer: Callable[[int], None] | None) -> None:
+        """Install (or clear) the subtree's batch-commit telemetry hook.
+
+        The observer receives the distinct-key count of every batched
+        SMT commit (:meth:`put_accounts` / :meth:`apply_updates`);
+        :func:`repro.telemetry.wire_crypto` wires it into the metrics
+        registry when telemetry is enabled.
+        """
+        self._tree.batch_observer = observer
 
     def verify_account(self, account_id: AccountId, proof: SmtProof, root: bytes) -> bool:
         """Check a (state, proof) pair a storage node served."""

@@ -1,0 +1,119 @@
+"""Porygon telemetry: deterministic tracing, metrics, per-phase profiling.
+
+The observability substrate of the reproduction (DESIGN.md §11):
+
+* :mod:`repro.telemetry.tracer` — sim-clock span tracer (replay
+  deterministic; no wall clock anywhere);
+* :mod:`repro.telemetry.metrics` — labelled counter/gauge/histogram
+  registry with canonical exports;
+* :mod:`repro.telemetry.export` — JSONL event traces, Chrome
+  trace-event JSON (one track per committee/shard, loads in Perfetto)
+  and Prometheus text dumps, all byte-stable for a given seed;
+* :mod:`repro.telemetry.occupancy` — per-round pipeline occupancy
+  table proving the §IV-B "no stage idles" claim;
+* :mod:`repro.telemetry.runner` — seeded presets behind the
+  ``repro trace`` / ``repro metrics`` CLI subcommands.
+
+Enable with ``PorygonConfig(telemetry=True)``; when disabled every
+instrumented call site hits :data:`NULL_TELEMETRY` (a no-op tracer +
+registry pair), which adds no allocations per event and leaves runs
+byte-identical to an uninstrumented build.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.telemetry.export import (
+    ascii_timeline,
+    chrome_trace,
+    chrome_trace_json,
+    prometheus_text,
+    trace_jsonl,
+)
+from repro.telemetry.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.occupancy import occupancy_table, render_occupancy
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+
+class Telemetry:
+    """One enabled tracer + registry pair sharing a sim clock."""
+
+    enabled = True
+
+    def __init__(self, clock: typing.Callable[[], float]):
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock, metrics=self.metrics)
+
+
+class _NullTelemetry:
+    """Disabled bundle: shared null tracer + null registry."""
+
+    enabled = False
+    tracer = NULL_TRACER
+    metrics = NULL_METRICS
+
+
+#: Process-wide disabled telemetry bundle.
+NULL_TELEMETRY = _NullTelemetry()
+
+
+def wire_crypto(telemetry, backend, state=None) -> None:
+    """Attach registry-fed observers to the crypto hot paths.
+
+    ``backend`` gains a verified-signature-cache observer
+    (``sig_cache_hits_total`` / ``sig_cache_misses_total``); each shard
+    tree of ``state`` (a ``ShardedGlobalState``) reports batch-commit
+    sizes into ``smt_batch_size`` / ``smt_batch_commits_total``.
+    Call with an enabled :class:`Telemetry` only — the null bundle
+    leaves the crypto layer untouched (its observers stay ``None``).
+    """
+    metrics = telemetry.metrics
+    hit_counter = metrics.counter("sig_cache_hits_total")
+    miss_counter = metrics.counter("sig_cache_misses_total")
+
+    def observe_cache(hit: bool) -> None:
+        (hit_counter if hit else miss_counter).inc()
+
+    backend.cache_observer = observe_cache
+    if state is not None:
+        batch_counter = metrics.counter("smt_batch_commits_total")
+        batch_sizes = metrics.histogram("smt_batch_size")
+
+        def observe_batch(size: int) -> None:
+            batch_counter.inc()
+            batch_sizes.observe(size)
+
+        for shard_state in state.shards:
+            shard_state.set_batch_observer(observe_batch)
+
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "trace_jsonl",
+    "chrome_trace",
+    "chrome_trace_json",
+    "prometheus_text",
+    "ascii_timeline",
+    "occupancy_table",
+    "render_occupancy",
+    "wire_crypto",
+]

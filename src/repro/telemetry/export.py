@@ -1,0 +1,133 @@
+"""Trace/metric exporters: JSONL, Chrome trace-event JSON, Prometheus.
+
+All three exports are canonical byte streams: records are sorted by
+``(start, seq)`` (JSONL) or ``(track, ts, seq)`` (Chrome), JSON is
+dumped with sorted keys and fixed separators, and all timestamps come
+from the deterministic sim clock — so two same-seed runs export
+byte-identical files (asserted by ``tests/test_telemetry.py`` and the
+``telemetry-smoke`` CI job).
+
+The Chrome trace-event output loads directly in Perfetto / legacy
+``chrome://tracing``: one *thread* per tracer track (``oc``,
+``shard-0``, ``witness``, ...), so the Witness/Execution/Ordering
+overlap of the 3D pipeline is visible as stacked lanes.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.telemetry.tracer import KIND_SPAN, SpanRecord
+
+#: Seconds -> Chrome trace microseconds.
+_US = 1e6
+
+
+def _canonical_json(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def trace_jsonl(tracer, meta: dict | None = None) -> str:
+    """One canonical JSON object per line; optional leading meta line.
+
+    The meta line (if given) is tagged ``{"meta": ...}`` so consumers
+    can skip it; every other line is one :class:`SpanRecord` dict.
+    """
+    lines: list[str] = []
+    if meta is not None:
+        lines.append(_canonical_json({"meta": meta}))
+    for record in tracer.sorted_records():
+        lines.append(_canonical_json(record.to_dict()))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _track_ids(records: typing.Iterable[SpanRecord]) -> dict[str, int]:
+    """Stable track -> tid mapping (sorted track names, tid from 1)."""
+    tracks = sorted({record.track for record in records})
+    return {track: index + 1 for index, track in enumerate(tracks)}
+
+
+def chrome_trace(tracer, pid: int = 1) -> dict:
+    """Chrome trace-event JSON dict (``traceEvents`` container format).
+
+    Spans become complete (``"X"``) events; instants become ``"i"``
+    events with thread scope. Events are ordered by ``(tid, ts, seq)``
+    so per-track timestamps are monotonically non-decreasing — asserted
+    by the round-trip test.
+    """
+    records = list(tracer.sorted_records())
+    tids = _track_ids(records)
+    events: list[dict] = []
+    for track, tid in sorted(tids.items()):
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": track},
+        })
+    body: list[tuple[int, float, int, dict]] = []
+    for record in records:
+        tid = tids[record.track]
+        args: dict[str, typing.Any] = {
+            "round": record.round, "shard": record.shard,
+        }
+        for key, value in record.fields:
+            args[key] = value
+        if record.kind == KIND_SPAN:
+            event = {
+                "ph": "X", "name": record.name, "cat": "porygon",
+                "pid": pid, "tid": tid,
+                "ts": record.start * _US,
+                "dur": record.duration * _US,
+                "args": args,
+            }
+        else:
+            event = {
+                "ph": "i", "name": record.name, "cat": "porygon",
+                "pid": pid, "tid": tid, "s": "t",
+                "ts": record.start * _US,
+                "args": args,
+            }
+        body.append((tid, event["ts"], record.seq, event))
+    body.sort(key=lambda item: (item[0], item[1], item[2]))
+    events.extend(event for _tid, _ts, _seq, event in body)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer, pid: int = 1) -> str:
+    """Canonical serialized Chrome trace (byte-stable)."""
+    return _canonical_json(chrome_trace(tracer, pid=pid)) + "\n"
+
+
+def prometheus_text(metrics) -> str:
+    """Prometheus text dump of a registry (deterministic)."""
+    return metrics.render_prometheus()
+
+
+def ascii_timeline(tracer, width: int = 64, max_tracks: int = 12) -> str:
+    """Perfetto-screenshot-equivalent ASCII rendering of the trace.
+
+    One row per track, time left to right, ``█`` where any span on the
+    track is active — enough to *see* the Witness/Execution/Ordering
+    lanes overlapping in a terminal (README quickstart).
+    """
+    spans = [r for r in tracer.sorted_records() if r.kind == KIND_SPAN]
+    if not spans:
+        return "(no spans recorded)\n"
+    t0 = min(r.start for r in spans)
+    t1 = max(r.end for r in spans)
+    horizon = max(t1 - t0, 1e-9)
+    tracks = sorted({r.track for r in spans})[:max_tracks]
+    label_width = max(len(track) for track in tracks)
+    lines = []
+    for track in tracks:
+        cells = [" "] * width
+        for record in spans:
+            if record.track != track:
+                continue
+            lo = int((record.start - t0) / horizon * (width - 1))
+            hi = int((record.end - t0) / horizon * (width - 1))
+            for cell in range(lo, hi + 1):
+                cells[cell] = "█"
+        lines.append(f"{track:>{label_width}} │{''.join(cells)}│")
+    axis = f"{'':>{label_width}} {t0:>8.2f}s{'':{max(0, width - 16)}}{t1:>6.2f}s"
+    return "\n".join(lines + [axis]) + "\n"

@@ -1,0 +1,312 @@
+"""Labelled counters / gauges / histograms with deterministic export.
+
+A :class:`MetricsRegistry` is the single sink every instrumented layer
+feeds: the network meters messages and bytes per phase, the crypto
+layer reports signature-cache hits and SMT batch sizes, the pipeline
+reports stage occupancy and queue depths, the coordinator reports CTx
+conflicts/retries/rollbacks (DESIGN.md §11 metric catalog).
+
+Determinism contract: instruments are plain Python numbers updated in
+simulation order, and every export (``render_prometheus``,
+``snapshot``, ``to_dict``) iterates instruments in sorted
+``(name, labels)`` order — two same-seed runs render byte-identical
+text.  The disabled path (:class:`NullMetricsRegistry`) hands back one
+shared no-op instrument so instrumented hot paths cost an attribute
+check and nothing else.
+"""
+
+from __future__ import annotations
+
+import typing
+
+#: Default histogram bucket upper bounds (sizes/counts; +Inf implicit).
+DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+#: Label tuple type: sorted ((key, value), ...) pairs.
+LabelItems = typing.Tuple[typing.Tuple[str, str], ...]
+
+
+def _label_items(labels: dict) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(items: LabelItems) -> str:
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in items)
+    return "{" + body + "}"
+
+
+def _format_number(value: float) -> str:
+    """Canonical number rendering: integral floats drop the fraction."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative export, Prometheus-style)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, labels: LabelItems,
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +Inf last
+        self.count = 0
+        self.sum: float = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def value(self) -> float:
+        """Scalar view (snapshot/total helpers): the observation sum."""
+        return self.sum
+
+
+class MetricsRegistry:
+    """Instrument factory + deterministic exporter."""
+
+    enabled = True
+
+    def __init__(self):
+        #: (name, labels) -> instrument; insertion order irrelevant —
+        #: every export sorts.
+        self._instruments: dict[tuple[str, LabelItems], typing.Any] = {}
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (name, _label_items(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], **kwargs)
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, bounds=buckets)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def value(self, name: str, **labels) -> float:
+        """Scalar value of one instrument (0 if absent)."""
+        instrument = self._instruments.get((name, _label_items(labels)))
+        return instrument.value if instrument is not None else 0
+
+    def total(self, name: str, **labels) -> float:
+        """Sum of every instrument named ``name`` whose labels contain
+        the given (key, value) pairs — e.g. total bytes for one phase
+        across both directions."""
+        wanted = set(_label_items(labels))
+        out: float = 0
+        for (metric_name, label_items), instrument in self._instruments.items():
+            if metric_name == name and wanted <= set(label_items):
+                out += instrument.value
+        return out
+
+    def _sorted(self) -> list:
+        return [
+            self._instruments[key] for key in sorted(self._instruments)
+        ]
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+
+    def snapshot(self, prefixes: tuple[str, ...] | None = None) -> dict[str, float]:
+        """Flat ``name{labels}`` -> value map (canonical key order).
+
+        Histograms contribute their ``_count`` and ``_sum`` series.
+        ``prefixes`` optionally restricts to metric-name prefixes.
+        """
+        out: dict[str, float] = {}
+        for instrument in self._sorted():
+            if prefixes is not None and not any(
+                instrument.name.startswith(p) for p in prefixes
+            ):
+                continue
+            label_text = _render_labels(instrument.labels)
+            if instrument.kind == "histogram":
+                out[f"{instrument.name}_count{label_text}"] = instrument.count
+                out[f"{instrument.name}_sum{label_text}"] = instrument.sum
+            else:
+                out[f"{instrument.name}{label_text}"] = instrument.value
+        return out
+
+    def to_dict(self) -> dict:
+        """Nested canonical dict (JSON-friendly)."""
+        out: dict = {}
+        for instrument in self._sorted():
+            entry = out.setdefault(
+                instrument.name, {"type": instrument.kind, "series": []}
+            )
+            series: dict[str, typing.Any] = {
+                "labels": {k: v for k, v in instrument.labels},
+            }
+            if instrument.kind == "histogram":
+                series["count"] = instrument.count
+                series["sum"] = instrument.sum
+                series["buckets"] = [
+                    [bound, count] for bound, count in
+                    zip(list(instrument.bounds) + ["+Inf"],
+                        instrument.bucket_counts)
+                ]
+            else:
+                series["value"] = instrument.value
+            entry["series"].append(series)
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (deterministic ordering)."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for instrument in self._sorted():
+            if instrument.name not in seen_types:
+                seen_types.add(instrument.name)
+                lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            label_items = instrument.labels
+            if instrument.kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(instrument.bounds,
+                                        instrument.bucket_counts):
+                    cumulative += count
+                    le_items = label_items + (("le", _format_number(bound)),)
+                    # Keep label order sorted for canonical rendering.
+                    le_items = tuple(sorted(le_items))
+                    lines.append(
+                        f"{instrument.name}_bucket{_render_labels(le_items)} "
+                        f"{cumulative}"
+                    )
+                inf_items = tuple(sorted(label_items + (("le", "+Inf"),)))
+                lines.append(
+                    f"{instrument.name}_bucket{_render_labels(inf_items)} "
+                    f"{instrument.count}"
+                )
+                lines.append(
+                    f"{instrument.name}_sum{_render_labels(label_items)} "
+                    f"{_format_number(instrument.sum)}"
+                )
+                lines.append(
+                    f"{instrument.name}_count{_render_labels(label_items)} "
+                    f"{instrument.count}"
+                )
+            else:
+                lines.append(
+                    f"{instrument.name}{_render_labels(label_items)} "
+                    f"{_format_number(instrument.value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    kind = "null"
+    __slots__ = ()
+    name = ""
+    labels: LabelItems = ()
+    value: float = 0
+    count = 0
+    sum: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every factory returns one shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str = "", **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str = "", **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str = "", buckets=DEFAULT_BUCKETS,
+                  **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def value(self, name: str, **labels) -> float:
+        return 0
+
+    def total(self, name: str, **labels) -> float:
+        return 0
+
+    def snapshot(self, prefixes: tuple[str, ...] | None = None) -> dict[str, float]:
+        return {}
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def render_prometheus(self) -> str:
+        return ""
+
+
+#: Process-wide disabled registry instance.
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,173 @@
+"""Seeded telemetry presets behind ``repro trace`` / ``repro metrics``.
+
+Each preset builds a prototype-scale simulation with
+``PorygonConfig(telemetry=True)``, saturates it with a seeded workload
+and drives a fixed round count — so the resulting trace is a pure
+function of ``(preset, seed, rounds)`` and two same-seed invocations
+write byte-identical ``trace.jsonl`` / ``trace.chrome.json`` /
+``metrics.prom`` files (the CI ``telemetry-smoke`` job ``cmp``-checks
+exactly that).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import typing
+
+from repro.telemetry.export import (
+    ascii_timeline,
+    chrome_trace_json,
+    prometheus_text,
+    trace_jsonl,
+)
+from repro.telemetry.occupancy import occupancy_table, render_occupancy
+
+#: preset name -> (description, build overrides, workload overrides).
+PRESETS: dict[str, dict] = {
+    "default": {
+        "description": "2 shards, pipelined, 10% cross-shard, saturated",
+        "num_shards": 2,
+        "cross_shard_ratio": 0.1,
+        "rounds": 8,
+        "overrides": {},
+    },
+    "cross-heavy": {
+        "description": "2 shards, 50% cross-shard traffic",
+        "num_shards": 2,
+        "cross_shard_ratio": 0.5,
+        "rounds": 8,
+        "overrides": {},
+    },
+    "sequential": {
+        "description": "1D ablation: no pipelining, phases serialized",
+        "num_shards": 2,
+        "cross_shard_ratio": 0.1,
+        "rounds": 6,
+        "overrides": {"pipelining": False},
+    },
+}
+
+
+def run_traced(preset: str = "default", seed: int = 7,
+               rounds: int | None = None):
+    """Run one telemetry preset; returns ``(sim, report)``.
+
+    The simulation's :attr:`~repro.core.system.PorygonSimulation.telemetry`
+    bundle holds the recorded tracer and metrics registry.
+    """
+    # Imported here: the harness imports repro.core which imports this
+    # package's __init__; a module-level import would tie the knot.
+    from repro.harness.base import build_porygon, saturate
+
+    if preset not in PRESETS:
+        raise KeyError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        )
+    spec = PRESETS[preset]
+    num_rounds = spec["rounds"] if rounds is None else rounds
+    sim = build_porygon(
+        num_shards=spec["num_shards"], seed=seed, telemetry=True,
+        **spec["overrides"],
+    )
+    saturate(
+        sim, spec["num_shards"], rounds=num_rounds,
+        cross_shard_ratio=spec["cross_shard_ratio"], seed=seed,
+    )
+    report = sim.run(num_rounds=num_rounds)
+    return sim, report
+
+
+def _trace_meta(preset: str, seed: int, rounds: int) -> dict:
+    return {
+        "schema": "repro-trace/v1",
+        "preset": preset,
+        "seed": seed,
+        "rounds": rounds,
+    }
+
+
+def _write(path: str, content: str) -> None:
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(content)
+
+
+def main_trace(argv: typing.Sequence[str] | None = None) -> int:
+    """``repro trace``: run a preset and export its telemetry."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run a seeded telemetry preset and export the trace "
+                    "(JSONL + Chrome trace-event JSON + Prometheus text).",
+    )
+    parser.add_argument("--preset", default="default",
+                        choices=sorted(PRESETS),
+                        help="seeded scenario to run")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override the preset's round count")
+    parser.add_argument("--out", default="trace-out",
+                        help="output directory for the export files")
+    parser.add_argument("--occupancy", action="store_true",
+                        help="print the per-round pipeline occupancy table")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print an ASCII span timeline")
+    parser.add_argument("--list-presets", action="store_true",
+                        help="list presets and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_presets:
+        for name in sorted(PRESETS):
+            print(f"  {name:12s} {PRESETS[name]['description']}")
+        return 0
+
+    spec = PRESETS[args.preset]
+    rounds = spec["rounds"] if args.rounds is None else args.rounds
+    sim, report = run_traced(args.preset, seed=args.seed, rounds=rounds)
+    tracer = sim.telemetry.tracer
+    metrics = sim.telemetry.metrics
+    meta = _trace_meta(args.preset, args.seed, rounds)
+
+    os.makedirs(args.out, exist_ok=True)
+    jsonl_path = os.path.join(args.out, "trace.jsonl")
+    chrome_path = os.path.join(args.out, "trace.chrome.json")
+    prom_path = os.path.join(args.out, "metrics.prom")
+    _write(jsonl_path, trace_jsonl(tracer, meta=meta))
+    _write(chrome_path, chrome_trace_json(tracer))
+    _write(prom_path, prometheus_text(metrics))
+
+    print(f"preset={args.preset} seed={args.seed} rounds={rounds}: "
+          f"{len(tracer.records)} records, "
+          f"{report.committed} txs committed in {report.elapsed_s:.2f}s sim")
+    print(f"wrote {jsonl_path}, {chrome_path}, {prom_path}")
+    if args.timeline:
+        print()
+        print(ascii_timeline(tracer), end="")
+    if args.occupancy:
+        print()
+        print(render_occupancy(occupancy_table(tracer)), end="")
+    return 0
+
+
+def main_metrics(argv: typing.Sequence[str] | None = None) -> int:
+    """``repro metrics``: run a preset and dump its metrics registry."""
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Run a seeded telemetry preset and print its metrics "
+                    "registry (Prometheus text or JSON).",
+    )
+    parser.add_argument("--preset", default="default",
+                        choices=sorted(PRESETS))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the registry as canonical JSON instead")
+    args = parser.parse_args(argv)
+
+    sim, _report = run_traced(args.preset, seed=args.seed, rounds=args.rounds)
+    metrics = sim.telemetry.metrics
+    if args.json:
+        print(json.dumps(metrics.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(prometheus_text(metrics), end="")
+    return 0

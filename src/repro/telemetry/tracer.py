@@ -1,0 +1,228 @@
+"""Deterministic span tracer stamped from the simulation clock.
+
+Every timestamp comes from the discrete-event simulator's clock
+(``Environment.now``) — never the wall clock — so a trace is a pure
+function of ``(config, seed, workload)`` and two same-seed runs yield
+byte-identical exports (DESIGN.md §11 determinism contract; porylint
+rule PL002 keeps wall-clock reads out of this package).
+
+Two tracer implementations share one duck-typed surface:
+
+* :class:`Tracer` records :class:`SpanRecord` entries (closed spans and
+  instant events) and optionally feeds per-span-name duration counters
+  into a :class:`~repro.telemetry.metrics.MetricsRegistry`;
+* :class:`NullTracer` is the disabled path: ``span`` returns one
+  process-wide reusable context manager and ``event`` returns
+  immediately, so an instrumented hot path allocates nothing per event
+  (guarded by a micro-test in ``tests/test_telemetry.py``).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+#: Record kind markers (Chrome trace phase letters are derived at export).
+KIND_SPAN = "span"
+KIND_INSTANT = "instant"
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One closed span (or instant event) of a traced run.
+
+    Attributes:
+        name: span taxonomy name (e.g. ``"phase.witness"``).
+        track: display lane — one per committee/shard (``"oc"``,
+            ``"shard-0"``, ``"witness"``...). Chrome-trace export maps
+            each track to its own thread so pipeline overlap is visible
+            side by side in Perfetto.
+        kind: :data:`KIND_SPAN` or :data:`KIND_INSTANT`.
+        start: sim-clock seconds at open (== ``end`` for instants).
+        end: sim-clock seconds at close.
+        round: protocol round the record belongs to (-1 = n/a).
+        shard: shard the record belongs to (-1 = n/a).
+        seq: open-order sequence number (stable sort/tie-break key).
+        fields: extra key/value annotations, sorted by key.
+    """
+
+    name: str
+    track: str
+    kind: str
+    start: float
+    end: float
+    round: int
+    shard: int
+    seq: int
+    fields: tuple[tuple[str, typing.Any], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """Canonical flat dict (JSONL line payload)."""
+        out = {
+            "name": self.name,
+            "track": self.track,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "round": self.round,
+            "shard": self.shard,
+            "seq": self.seq,
+        }
+        for key, value in self.fields:
+            out[f"f.{key}"] = value
+        return out
+
+
+class _Span:
+    """Context manager recording one span on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "track", "round", "shard",
+                 "seq", "start", "_fields")
+
+    def __init__(self, tracer: "Tracer", name: str, track: str,
+                 round: int, shard: int, seq: int, fields: dict):
+        self._tracer = tracer
+        self.name = name
+        self.track = track
+        self.round = round
+        self.shard = shard
+        self.seq = seq
+        self.start = 0.0
+        self._fields = fields
+
+    def annotate(self, **fields) -> "_Span":
+        """Attach extra fields before the span closes."""
+        self._fields.update(fields)
+        return self
+
+    def __enter__(self) -> "_Span":
+        self.start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._finish(self)
+        return False
+
+
+class Tracer:
+    """Collects spans and instant events against the sim clock.
+
+    :param clock: zero-argument callable returning the current
+        simulated time in seconds (``lambda: env.now``).
+    :param metrics: optional registry; when given, every closed span
+        additionally feeds ``span_seconds_total{name=...}`` and
+        ``span_total{name=...}`` so stage-occupancy counters come for
+        free with tracing.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: typing.Callable[[], float], metrics=None):
+        self._clock = clock
+        self._metrics = metrics
+        self.records: list[SpanRecord] = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def span(self, name: str, track: str = "main", round: int = -1,
+             shard: int = -1, **fields) -> _Span:
+        """Open a span; use as a context manager."""
+        return _Span(self, name, track, round, shard, self._next_seq(), fields)
+
+    def event(self, name: str, track: str = "main", round: int = -1,
+              shard: int = -1, **fields) -> None:
+        """Record an instant (zero-duration) event."""
+        now = self._clock()
+        self.records.append(SpanRecord(
+            name=name, track=track, kind=KIND_INSTANT, start=now, end=now,
+            round=round, shard=shard, seq=self._next_seq(),
+            fields=tuple(sorted(fields.items())),
+        ))
+        if self._metrics is not None:
+            self._metrics.counter("event_total", event=name).inc()
+
+    def _finish(self, span: _Span) -> None:
+        end = self._clock()
+        self.records.append(SpanRecord(
+            name=span.name, track=span.track, kind=KIND_SPAN,
+            start=span.start, end=end, round=span.round, shard=span.shard,
+            seq=span.seq, fields=tuple(sorted(span._fields.items())),
+        ))
+        if self._metrics is not None:
+            self._metrics.counter("span_total", span=span.name).inc()
+            self._metrics.counter(
+                "span_seconds_total", span=span.name
+            ).inc(end - span.start)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def spans(self, name: str | None = None) -> list[SpanRecord]:
+        """Closed spans, optionally filtered by name."""
+        return [r for r in self.records
+                if r.kind == KIND_SPAN and (name is None or r.name == name)]
+
+    def sorted_records(self) -> list[SpanRecord]:
+        """Records in canonical export order: (start, seq)."""
+        return sorted(self.records, key=lambda r: (r.start, r.seq))
+
+
+class _NullSpan:
+    """Reusable no-op context manager (one instance per process)."""
+
+    __slots__ = ()
+
+    def annotate(self, **fields) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every call is a constant-return no-op.
+
+    ``span``/``event`` accept the full instrumented signature but touch
+    neither the clock nor any buffer; ``span`` hands back one shared
+    :class:`_NullSpan`, so the hot path performs zero allocations that
+    survive the call (transient argument packing is freed immediately —
+    the micro-test asserts no net block growth).
+    """
+
+    enabled = False
+
+    #: Shared empty record list (read-only by convention).
+    records: tuple = ()
+
+    def span(self, name: str = "", track: str = "main", round: int = -1,
+             shard: int = -1, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str = "", track: str = "main", round: int = -1,
+              shard: int = -1, **fields) -> None:
+        return None
+
+    def spans(self, name: str | None = None) -> list:
+        return []
+
+    def sorted_records(self) -> list:
+        return []
+
+
+#: Process-wide disabled tracer instance.
+NULL_TRACER = NullTracer()

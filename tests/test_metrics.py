@@ -34,8 +34,22 @@ def test_is_monotonic_decreasing():
 
 def test_growth_factor():
     assert growth_factor([10, 30]) == 3.0
-    assert growth_factor([0, 5]) == 0.0
     assert growth_factor([7]) == 0.0
+    assert growth_factor([]) == 0.0
+
+
+def test_growth_factor_flat_at_zero_is_one():
+    # Regression: a series that sits at zero the whole way is
+    # legitimately flat (factor 1.0), not degenerate — e.g. a fault
+    # counter that never fired across a sweep.
+    assert growth_factor([0, 0, 0]) == 1.0
+    assert growth_factor([0, 0]) == 1.0
+
+
+def test_growth_factor_zero_start_growth_is_inf():
+    # Growing away from a zero start is unbounded growth, not "0x".
+    assert growth_factor([0, 5]) == float("inf")
+    assert growth_factor([0, 0, 3]) == float("inf")
 
 
 def test_series_comparison_rows_and_direction():

@@ -1,0 +1,237 @@
+"""Unit tests for the telemetry substrate: tracer, registry, exports.
+
+End-to-end properties (byte-identical same-seed exports, occupancy,
+on/off root equality) live in ``tests/test_telemetry_pipeline.py``.
+"""
+
+import gc
+import json
+import sys
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    ascii_timeline,
+    chrome_trace,
+    chrome_trace_json,
+    prometheus_text,
+    trace_jsonl,
+)
+
+
+class FakeClock:
+    """Manually advanced sim clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_tracer():
+    clock = FakeClock()
+    return clock, Tracer(clock)
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+def test_span_records_start_end_and_fields():
+    clock, tracer = make_tracer()
+    with tracer.span("phase.witness", track="witness", round=3, shard=1,
+                     wave=1) as span:
+        clock.now = 2.5
+        span.annotate(blocks=4)
+    (record,) = tracer.spans("phase.witness")
+    assert record.start == 0.0 and record.end == 2.5
+    assert record.duration == 2.5
+    assert record.round == 3 and record.shard == 1
+    assert record.fields == (("blocks", 4), ("wave", 1))
+
+
+def test_event_is_instant_and_sequenced():
+    clock, tracer = make_tracer()
+    clock.now = 1.0
+    tracer.event("fetch.retry", track="fetch", member=9)
+    (record,) = tracer.records
+    assert record.start == record.end == 1.0
+    assert record.duration == 0.0
+    assert tracer.spans() == []  # instants are not spans
+
+
+def test_sorted_records_orders_by_start_then_seq():
+    clock, tracer = make_tracer()
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    with outer:
+        clock.now = 1.0
+        with inner:
+            clock.now = 2.0
+    # Both spans start at 0.0 / 1.0; inner closes first but seq breaks
+    # the tie deterministically when starts collide.
+    names = [r.name for r in tracer.sorted_records()]
+    assert names == ["outer", "inner"]
+
+
+def test_tracer_feeds_metrics_registry():
+    clock = FakeClock()
+    telemetry = Telemetry(clock)
+    with telemetry.tracer.span("phase.ordering"):
+        clock.now = 3.0
+    telemetry.tracer.event("ctx.rollback")
+    metrics = telemetry.metrics
+    assert metrics.value("span_total", span="phase.ordering") == 1
+    assert metrics.value("span_seconds_total", span="phase.ordering") == 3.0
+    assert metrics.value("event_total", event="ctx.rollback") == 1
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+def test_counter_gauge_histogram_basics():
+    registry = MetricsRegistry()
+    registry.counter("net_messages_total", phase="witness").inc()
+    registry.counter("net_messages_total", phase="witness").inc(2)
+    registry.gauge("coordinator_locks").set(7)
+    hist = registry.histogram("smt_batch_size")
+    hist.observe(3)
+    hist.observe(400)
+    assert registry.value("net_messages_total", phase="witness") == 3
+    assert registry.value("coordinator_locks") == 7
+    assert hist.count == 2 and hist.sum == 403
+
+
+def test_total_sums_over_label_supersets():
+    registry = MetricsRegistry()
+    registry.counter("net_bytes_total", phase="witness", direction="up").inc(10)
+    registry.counter("net_bytes_total", phase="witness", direction="down").inc(5)
+    registry.counter("net_bytes_total", phase="commit", direction="up").inc(99)
+    assert registry.total("net_bytes_total", phase="witness") == 15
+    assert registry.total("net_bytes_total") == 114
+    assert registry.total("net_bytes_total", phase="absent") == 0
+
+
+def test_snapshot_prefix_filter_and_prometheus_determinism():
+    def build():
+        registry = MetricsRegistry()
+        # Insert in different orders; exports must not care.
+        registry.counter("b_total", x="2").inc(2)
+        registry.counter("a_total").inc()
+        registry.histogram("h").observe(1)
+        return registry
+
+    left, right = build(), build()
+    assert prometheus_text(left) == prometheus_text(right)
+    snap = left.snapshot(prefixes=("a_",))
+    assert list(snap) == ["a_total"]
+    full = left.snapshot()
+    assert "h_count" in full and "h_sum" in full
+    assert list(full) == sorted(full, key=lambda k: k)  # canonical order
+
+
+# ---------------------------------------------------------------------------
+# Exports
+# ---------------------------------------------------------------------------
+
+def _small_trace():
+    clock, tracer = make_tracer()
+    with tracer.span("phase.witness", track="witness", round=1):
+        clock.now = 1.0
+        with tracer.span("phase.ordering", track="oc", round=1):
+            clock.now = 2.0
+    tracer.event("ctx.open", track="oc", round=1, batch=0)
+    with tracer.span("phase.commit", track="commit", round=1):
+        clock.now = 3.0
+    return tracer
+
+
+def test_trace_jsonl_round_trips_and_meta_line():
+    tracer = _small_trace()
+    text = trace_jsonl(tracer, meta={"seed": 7})
+    lines = text.strip().splitlines()
+    head = json.loads(lines[0])
+    assert head == {"meta": {"seed": 7}}
+    payload = [json.loads(line) for line in lines[1:]]
+    assert len(payload) == len(tracer.records)
+    assert all("name" in entry and "start" in entry for entry in payload)
+
+
+def test_chrome_trace_round_trip_and_monotonic_ts_per_track():
+    tracer = _small_trace()
+    parsed = json.loads(chrome_trace_json(tracer))
+    events = parsed["traceEvents"]
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert names == {"witness", "oc", "commit"}
+    by_tid: dict = {}
+    for event in events:
+        if "ts" not in event:
+            continue
+        by_tid.setdefault(event["tid"], []).append(event["ts"])
+    assert by_tid, "no timed events exported"
+    for series in by_tid.values():
+        assert series == sorted(series)
+
+
+def test_chrome_instants_use_thread_scope():
+    tracer = _small_trace()
+    instants = [e for e in chrome_trace(tracer)["traceEvents"]
+                if e["ph"] == "i"]
+    assert instants and all(e["s"] == "t" for e in instants)
+
+
+def test_ascii_timeline_draws_each_track():
+    tracer = _small_trace()
+    art = ascii_timeline(tracer)
+    for track in ("witness", "oc", "commit"):
+        assert track in art
+    assert "█" in art
+
+
+def test_exports_handle_empty_tracer():
+    _clock, tracer = make_tracer()
+    assert trace_jsonl(tracer) == ""
+    assert json.loads(chrome_trace_json(tracer))["traceEvents"] == []
+    assert ascii_timeline(tracer) == "(no spans recorded)\n"
+
+
+# ---------------------------------------------------------------------------
+# Disabled path
+# ---------------------------------------------------------------------------
+
+def test_null_telemetry_surface():
+    assert not NULL_TELEMETRY.enabled
+    with NULL_TELEMETRY.tracer.span("x", track="y", round=1) as span:
+        span.annotate(a=1)
+    NULL_TELEMETRY.tracer.event("x")
+    assert NULL_TELEMETRY.tracer.spans() == []
+    NULL_TELEMETRY.metrics.counter("c", k="v").inc()
+    NULL_TELEMETRY.metrics.histogram("h").observe(3)
+    assert NULL_TELEMETRY.metrics.total("c") == 0
+    assert NULL_TELEMETRY.metrics.snapshot() == {}
+
+
+def test_null_tracer_hot_path_allocates_nothing():
+    """The disabled span/event path must not grow the heap (ISSUE §4)."""
+
+    def hammer():
+        for _ in range(200):
+            with NULL_TRACER.span("phase.witness", track="w", round=1,
+                                  shard=0, wave=2):
+                pass
+            NULL_TRACER.event("fetch.retry", track="fetch", member=3)
+
+    deltas = []
+    for _ in range(3):
+        hammer()  # warm caches (ints, code objects, method wrappers)
+        gc.collect()
+        before = sys.getallocatedblocks()
+        hammer()
+        gc.collect()
+        deltas.append(sys.getallocatedblocks() - before)
+    assert min(deltas) <= 0, f"null tracer leaked blocks: {deltas}"
