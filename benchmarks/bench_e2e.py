@@ -1,0 +1,227 @@
+"""End-to-end pipeline benchmark: whole-run throughput, serial vs OCC.
+
+Drives the full Porygon simulation (witness / order / execute / commit,
+pipelined) under a saturated seeded workload at two deployment presets:
+
+* ``prototype`` — the paper's laptop-scale prototype (2 shards);
+* ``large`` — 4 shards, double the committee surface.
+
+Each preset runs twice from the same seed — ``parallel_exec=0`` (serial
+executor) and ``parallel_exec=4`` (OCC lanes + state prefetcher) — and
+reports simulated transactions/second. A correctness gate asserts both
+runs commit byte-identical state roots at every height before any
+number is reported (DESIGN.md §12: speculation must not change what
+commits, only when).
+
+Simulated throughput is a pure function of (preset, seed), so the
+numbers are bit-reproducible on any machine; wall-clock run time is
+informational. Run as a script (``python benchmarks/bench_e2e.py
+[--smoke] [--check]``) or under pytest. ``--check`` compares the
+deterministic fields against the checked-in ``BENCH_e2e.json`` and
+fails on regression; without it the baseline (full + smoke sections) is
+regenerated.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness.base import build_porygon, saturate  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_e2e.json"
+
+SEED = 11
+PARALLEL_WORKERS = 4
+
+#: preset -> (build overrides, workload overrides) per mode.
+PRESETS = {
+    "prototype": {
+        "full": {"num_shards": 2, "rounds": 6, "overrides": {}},
+        "smoke": {
+            "num_shards": 2, "rounds": 4,
+            "overrides": {"nodes_per_shard": 4, "ordering_size": 4,
+                          "txs_per_block": 40},
+        },
+    },
+    "large": {
+        "full": {"num_shards": 4, "rounds": 6, "overrides": {}},
+        "smoke": {
+            "num_shards": 4, "rounds": 4,
+            "overrides": {"nodes_per_shard": 4, "ordering_size": 4,
+                          "txs_per_block": 40},
+        },
+    },
+}
+
+
+def _run(spec: dict, parallel_exec: int):
+    """One full simulation; returns (report, per-height roots, wall_s)."""
+    started = time.perf_counter()
+    sim = build_porygon(
+        num_shards=spec["num_shards"], seed=SEED,
+        parallel_exec=parallel_exec, **spec["overrides"],
+    )
+    saturate(sim, spec["num_shards"], rounds=spec["rounds"],
+             cross_shard_ratio=0.1, seed=SEED)
+    report = sim.run(spec["rounds"])
+    roots = [
+        proposal.state_root.hex()
+        for _, proposal in sorted(sim.pipeline.proposals.items())
+    ]
+    return report, roots, time.perf_counter() - started
+
+
+def run_preset(name: str, mode: str) -> dict:
+    """Bench one preset in one mode; returns its result record."""
+    spec = PRESETS[name][mode]
+    serial_report, serial_roots, serial_wall = _run(spec, 0)
+    parallel_report, parallel_roots, parallel_wall = _run(
+        spec, PARALLEL_WORKERS
+    )
+
+    # Correctness gate: same commits at every height, bit-identical.
+    assert serial_roots == parallel_roots, \
+        f"{name}: state-root divergence between serial and parallel runs"
+    assert serial_report.committed == parallel_report.committed
+
+    serial_tps = serial_report.committed / serial_report.elapsed_s
+    parallel_tps = parallel_report.committed / parallel_report.elapsed_s
+    return {
+        "preset": name,
+        "num_shards": spec["num_shards"],
+        "rounds": spec["rounds"],
+        "committed": serial_report.committed,
+        "serial": {
+            "elapsed_sim_s": round(serial_report.elapsed_s, 9),
+            "txs_per_s": round(serial_tps, 3),
+        },
+        "parallel": {
+            "workers": PARALLEL_WORKERS,
+            "elapsed_sim_s": round(parallel_report.elapsed_s, 9),
+            "txs_per_s": round(parallel_tps, 3),
+        },
+        "speedup": round(parallel_tps / serial_tps, 4),
+        "final_root": serial_roots[-1] if serial_roots else "",
+        # Wall clock is machine-dependent: informational, never checked.
+        "wall": {
+            "serial_s": round(serial_wall, 3),
+            "parallel_s": round(parallel_wall, 3),
+        },
+    }
+
+
+def run_bench(smoke: bool = False) -> dict:
+    """Run both presets in one mode; returns the mode record."""
+    mode = "smoke" if smoke else "full"
+    return {
+        "bench": "e2e",
+        "seed": SEED,
+        "smoke": smoke,
+        "presets": {name: run_preset(name, mode) for name in PRESETS},
+    }
+
+
+def run_all_modes() -> dict:
+    """Full + smoke records in one artifact (see bench_parallel_exec)."""
+    return {
+        "bench": "e2e",
+        "seed": SEED,
+        "modes": {
+            "full": run_bench(smoke=False),
+            "smoke": run_bench(smoke=True),
+        },
+    }
+
+
+def check_result(result: dict) -> list[str]:
+    """Acceptance floor: parallel is never slower end-to-end."""
+    failures = []
+    for name, record in result["presets"].items():
+        if record["speedup"] < 0.95:
+            failures.append(
+                f"{name}: parallel e2e throughput {record['speedup']:.3f}x "
+                "of serial (< 0.95 floor)"
+            )
+    return failures
+
+
+#: Deterministic per-preset fields ``--check`` compares exactly.
+_CHECKED_FIELDS = ("committed", "serial", "parallel", "speedup",
+                   "final_root")
+
+
+def check_regression(result: dict, baseline: dict) -> list[str]:
+    """Exact compare of deterministic fields vs the mode's baseline."""
+    mode = "smoke" if result["smoke"] else "full"
+    base_mode = baseline.get("modes", {}).get(mode)
+    if base_mode is None:
+        return [f"baseline lacks mode {mode!r}"]
+    failures = []
+    for name, record in result["presets"].items():
+        base = base_mode.get("presets", {}).get(name)
+        if base is None:
+            failures.append(f"baseline lacks preset {name!r}")
+            continue
+        for fld in _CHECKED_FIELDS:
+            if record[fld] != base.get(fld):
+                failures.append(
+                    f"{name}.{fld}: {record[fld]!r} != baseline "
+                    f"{base.get(fld)!r}"
+                )
+    return failures
+
+
+def print_result(result: dict) -> None:
+    print(f"End-to-end pipeline (seed {result['seed']}, "
+          f"{'smoke' if result['smoke'] else 'full'} mode):")
+    for name, record in result["presets"].items():
+        print(f"  {name:10s} {record['num_shards']} shards, "
+              f"{record['committed']:5d} committed: "
+              f"serial {record['serial']['txs_per_s']:8.1f} tx/s, "
+              f"parallel {record['parallel']['txs_per_s']:8.1f} tx/s "
+              f"({record['speedup']:.3f}x) "
+              f"[wall {record['wall']['serial_s']:.1f}s/"
+              f"{record['wall']['parallel_s']:.1f}s]")
+
+
+def persist(artifact: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+def test_e2e_throughput(smoke):
+    """Roots identical serial-vs-parallel; parallel never slower e2e."""
+    result = run_bench(smoke=smoke)
+    print_result(result)
+    assert check_result(result) == []
+
+
+def main(argv=None) -> int:
+    argv = list(argv if argv is not None else sys.argv[1:])
+    smoke = "--smoke" in argv
+    check = "--check" in argv
+    result = run_bench(smoke=smoke)
+    print_result(result)
+    failures = check_result(result)
+    if check:
+        if RESULT_PATH.exists():
+            baseline = json.loads(RESULT_PATH.read_text())
+            failures += check_regression(result, baseline)
+        else:
+            failures.append(f"--check: no baseline at {RESULT_PATH}")
+    else:
+        persist(run_all_modes())
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

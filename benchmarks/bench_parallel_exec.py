@@ -1,0 +1,283 @@
+"""Micro-bench: OCC parallel executor vs the serial executor.
+
+Runs the same seeded batches through
+:class:`~repro.state.executor.TransactionExecutor` and
+:class:`~repro.state.parallel.ParallelTransactionExecutor` under three
+conflict regimes:
+
+* ``low-conflict`` — unique-account transfers (the paper's payment-
+  network regime): near-zero conflicts, speculation adopts almost the
+  whole batch;
+* ``zipf`` — Zipf-skewed hot keys (s = 0.6): a realistic mid-conflict
+  batch where the commit pass re-executes a tail;
+* ``all-conflict`` — one sender's nonce chain: every transaction
+  conflicts with its predecessor, so the pre-scan triggers the serial
+  fallback and the batch must cost no more than serial + epsilon.
+
+The headline numbers are *modeled* speedups from the deterministic
+:class:`~repro.state.parallel.ParallelReport` unit accounting (the same
+units the pipeline charges against the sim clock), so they are
+bit-reproducible on any machine; wall-clock timings are informational.
+A correctness gate asserts the parallel outcome (applied order, failed
+set, final written state) is identical to serial before anything is
+timed.
+
+Run as a script (``python benchmarks/bench_parallel_exec.py [--smoke]
+[--check]``) or under pytest. ``--check`` compares the deterministic
+fields against the checked-in ``BENCH_parallel_exec.json`` and fails on
+any regression. Results are persisted to that file at the repo root
+(``--check`` skips the rewrite).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.chain.account import Account  # noqa: E402
+from repro.state.executor import TransactionExecutor  # noqa: E402
+from repro.state.parallel import ParallelTransactionExecutor  # noqa: E402
+from repro.state.view import build_view  # noqa: E402
+from repro.workload.generator import WorkloadGenerator  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_parallel_exec.json"
+
+#: Mirror of the pipeline's time model (seconds per unit); keep in sync
+#: with ``repro.core.pipeline``.
+PER_TX_EXECUTE_S = 20e-6
+PER_TX_VALIDATE_S = 0.5e-6
+
+WORKERS = 4
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall-clock seconds of ``repeats`` runs of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _batch(preset: str, size: int, seed: int = 11):
+    """Seeded transaction batch + genesis accounts for one regime."""
+    if preset == "low-conflict":
+        gen = WorkloadGenerator(
+            num_accounts=4 * size, num_shards=1, unique=True, seed=seed
+        )
+        txs = gen.batch(size)
+    elif preset == "zipf":
+        # Skew tuned to land the pre-scan near a ~30% conflict estimate:
+        # speculation stays armed and the commit pass re-executes a real
+        # tail (steeper skews trip the serial fallback, same as
+        # all-conflict, and stop exercising the OCC path).
+        gen = WorkloadGenerator(
+            num_accounts=16 * size, num_shards=1, zipf_s=0.6, seed=seed,
+        )
+        txs = gen.batch(size)
+    elif preset == "all-conflict":
+        from repro.chain.transaction import Transaction, TxIdSequence
+        ids = TxIdSequence(seed, domain="bench-all-conflict")
+        txs = [
+            Transaction(sender=0, receiver=1 + i, amount=1, nonce=i,
+                        tx_id=ids.next_id())
+            for i in range(size)
+        ]
+    else:  # pragma: no cover - guarded by the preset table
+        raise ValueError(preset)
+    accounts = sorted({a for tx in txs for a in tx.access_list.touched})
+    return txs, accounts
+
+
+def _fresh_view(accounts):
+    view = build_view()
+    for account_id in accounts:
+        view.load(Account(account_id, balance=1_000_000))
+    return view
+
+
+def run_preset(preset: str, size: int, repeats: int) -> dict:
+    """Bench one conflict regime; returns its result record."""
+    txs, accounts = _batch(preset, size)
+
+    serial_view = _fresh_view(accounts)
+    serial_outcome = TransactionExecutor().execute(txs, serial_view)
+    parallel = ParallelTransactionExecutor(WORKERS)
+    parallel_view = _fresh_view(accounts)
+    parallel_outcome = parallel.execute(txs, parallel_view)
+    report = parallel.last_report
+
+    # Correctness gate before timing: outcome and state bit-identical.
+    assert [t.tx_id for t in parallel_outcome.applied] == \
+        [t.tx_id for t in serial_outcome.applied], "applied-set divergence"
+    assert [(t.tx_id, r) for t, r in parallel_outcome.failed] == \
+        [(t.tx_id, r) for t, r in serial_outcome.failed], "failed-set divergence"
+    assert parallel_view.written_encoded() == serial_view.written_encoded(), \
+        "final-state divergence"
+
+    serial_model_s = report.serial_units * PER_TX_EXECUTE_S
+    parallel_model_s = (report.parallel_units * PER_TX_EXECUTE_S
+                        + report.batch_size * PER_TX_VALIDATE_S)
+    wall_serial = _best_of(
+        lambda: TransactionExecutor().execute(txs, _fresh_view(accounts)),
+        repeats,
+    )
+    wall_parallel = _best_of(
+        lambda: ParallelTransactionExecutor(WORKERS).execute(
+            txs, _fresh_view(accounts)
+        ),
+        repeats,
+    )
+    return {
+        "preset": preset,
+        "report": report.to_dict(),
+        "serial_model_s": round(serial_model_s, 9),
+        "parallel_model_s": round(parallel_model_s, 9),
+        "model_speedup": round(serial_model_s / parallel_model_s, 4),
+        # Wall clock is machine-dependent: informational, never checked.
+        "wall": {
+            "serial_s": wall_serial,
+            "parallel_s": wall_parallel,
+        },
+    }
+
+
+def run_bench(smoke: bool = False) -> dict:
+    """Run all three regimes; returns one mode's result record."""
+    size, repeats = (256, 1) if smoke else (2000, 3)
+    presets = {}
+    for preset in ("low-conflict", "zipf", "all-conflict"):
+        presets[preset] = run_preset(preset, size, repeats)
+    return {
+        "bench": "parallel_exec",
+        "workers": WORKERS,
+        "batch_size": size,
+        "smoke": smoke,
+        "presets": presets,
+    }
+
+
+def run_all_modes() -> dict:
+    """Full + smoke records in one artifact.
+
+    The checked-in baseline carries both, so CI's ``--smoke --check``
+    run has an exact deterministic baseline for its own batch size.
+    """
+    return {
+        "bench": "parallel_exec",
+        "workers": WORKERS,
+        "modes": {
+            "full": run_bench(smoke=False),
+            "smoke": run_bench(smoke=True),
+        },
+    }
+
+
+def check_result(result: dict) -> list[str]:
+    """Absolute acceptance floors (DESIGN.md §12); returns failures."""
+    failures = []
+    low = result["presets"]["low-conflict"]
+    if low["model_speedup"] < 2.0:
+        failures.append(
+            f"low-conflict speedup {low['model_speedup']} < 2.0x"
+        )
+    worst = result["presets"]["all-conflict"]
+    if worst["report"]["mode"] != "fallback":
+        failures.append(
+            f"all-conflict ran {worst['report']['mode']!r}, expected fallback"
+        )
+    if worst["parallel_model_s"] > worst["serial_model_s"] * 1.05:
+        failures.append(
+            "all-conflict fallback costs more than serial + 5% epsilon"
+        )
+    return failures
+
+
+#: Deterministic per-preset fields ``--check`` compares exactly.
+_CHECKED_FIELDS = ("report", "serial_model_s", "parallel_model_s",
+                   "model_speedup")
+
+
+def check_regression(result: dict, baseline: dict) -> list[str]:
+    """Compare deterministic fields against a checked-in baseline.
+
+    ``baseline`` is the full artifact ({"modes": {...}}); the section
+    matching ``result``'s mode gates it. The compared fields are pure
+    functions of (preset, batch, workers), so the comparison is exact —
+    any schedule change shows up as a loud diff, not a tolerance drift.
+    """
+    mode = "smoke" if result["smoke"] else "full"
+    base_mode = baseline.get("modes", {}).get(mode)
+    if base_mode is None:
+        return [f"baseline lacks mode {mode!r}"]
+    failures = []
+    for name, record in result["presets"].items():
+        base = base_mode.get("presets", {}).get(name)
+        if base is None:
+            failures.append(f"baseline lacks preset {name!r}")
+            continue
+        for fld in _CHECKED_FIELDS:
+            if record[fld] != base.get(fld):
+                failures.append(
+                    f"{name}.{fld}: {record[fld]!r} != baseline "
+                    f"{base.get(fld)!r}"
+                )
+    return failures
+
+
+def print_result(result: dict) -> None:
+    print(f"OCC parallel executor ({result['workers']} lanes, "
+          f"batch {result['batch_size']}):")
+    for name, record in result["presets"].items():
+        rep = record["report"]
+        wall = record["wall"]
+        print(f"  {name:13s} mode={rep['mode']:8s} "
+              f"conflicts={rep['conflicts']:4d} "
+              f"modeled {record['model_speedup']:.2f}x "
+              f"(wall serial {wall['serial_s'] * 1e3:.1f}ms / "
+              f"parallel {wall['parallel_s'] * 1e3:.1f}ms)")
+
+
+def persist(artifact: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+def test_parallel_exec_speedup(smoke):
+    """Low-conflict >=2x modeled; all-conflict never worse than serial+eps."""
+    result = run_bench(smoke=smoke)
+    print_result(result)
+    assert check_result(result) == []
+
+
+def main(argv=None) -> int:
+    argv = list(argv if argv is not None else sys.argv[1:])
+    smoke = "--smoke" in argv
+    check = "--check" in argv
+    result = run_bench(smoke=smoke)
+    print_result(result)
+    failures = check_result(result)
+    if check:
+        if RESULT_PATH.exists():
+            baseline = json.loads(RESULT_PATH.read_text())
+            failures += check_regression(result, baseline)
+        else:
+            failures.append(f"--check: no baseline at {RESULT_PATH}")
+    else:
+        # Regenerate the baseline: both modes, so CI smoke runs have an
+        # exact section to compare against.
+        persist(run_all_modes())
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

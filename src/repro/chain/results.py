@@ -20,6 +20,7 @@ from repro.chain.sizes import (
     SIGNATURE_WIRE_SIZE,
     STATE_ENTRY_SIZE,
 )
+from repro.chain.transaction import tx_id_bytes
 from repro.crypto.hashing import domain_digest
 
 _ROOT_DOMAIN = "repro/signed-root/v1"
@@ -87,7 +88,7 @@ class ExecutionResult:
             parts.append(account_id.to_bytes(8, "big"))
             parts.append(value)
         for tx_id in self.failed_tx_ids:
-            parts.append(tx_id.to_bytes(8, "big"))
+            parts.append(tx_id_bytes(tx_id))
         return domain_digest(_RESULT_DOMAIN, *parts)
 
     @property

@@ -11,6 +11,7 @@ lists, exactly as the paper's coordinator does.
 from __future__ import annotations
 
 import enum
+import functools
 import itertools
 from dataclasses import dataclass, field
 
@@ -29,6 +30,20 @@ _TX_ID_DOMAIN = "repro/tx-id/v1"
 #: on construction order across the whole process, so two same-seed
 #: runs sharing a process would disagree on ids (DESIGN.md §8).
 _tx_counter = itertools.count()
+
+#: Interned 8-byte big-endian transaction-id encodings. A transaction's
+#: id is serialized on every digest/wire path that mentions it (its own
+#: ``tx_hash``, failed-id lists in execution results, ...), so the
+#: encoding is computed once per distinct id instead of per call.
+_tx_id_bytes_cache: dict[int, bytes] = {}
+
+
+def tx_id_bytes(tx_id: int) -> bytes:
+    """The interned 8-byte big-endian encoding of a transaction id."""
+    encoded = _tx_id_bytes_cache.get(tx_id)
+    if encoded is None:
+        encoded = _tx_id_bytes_cache[tx_id] = tx_id.to_bytes(8, "big")
+    return encoded
 
 
 class TxIdSequence:
@@ -193,16 +208,21 @@ class Transaction:
             submitted_at=submitted_at, kind=TxKind.SWEEP, payload=(min_keep,),
         )
 
-    @property
+    @functools.cached_property
     def tx_hash(self) -> bytes:
-        """Content hash identifying this transaction on the wire."""
+        """Content hash identifying this transaction on the wire.
+
+        Memoized on first use (``cached_property`` writes straight into
+        ``__dict__``, which a frozen dataclass still has): every block
+        cut, Merkle build and receipt proof re-reads the same digest.
+        """
         parts = [
             self.kind.value.encode(),
             self.sender.to_bytes(8, "big"),
             self.receiver.to_bytes(8, "big"),
             self.amount.to_bytes(16, "big"),
             self.nonce.to_bytes(8, "big"),
-            self.tx_id.to_bytes(8, "big"),
+            tx_id_bytes(self.tx_id),
         ]
         for item in self.payload:
             if isinstance(item, tuple):

@@ -117,6 +117,16 @@ class PorygonConfig:
     #: the OC synthesizes a failed result so the §IV-D2 successor-ESC
     #: retry path runs instead of the pipeline stalling.
     shard_result_deadline_s: float = 0.0
+    #: Speculative executor lanes per shard batch (DESIGN.md §12).
+    #: ``0``/``1`` keep the serial executor (byte-identical legacy
+    #: behaviour); ``>= 2`` arms the OCC parallel executor *and* the
+    #: execution-phase state prefetcher. Commit roots are bit-identical
+    #: either way — only the modeled execution time changes.
+    parallel_exec: int = 0
+    #: Estimated-conflict fraction at which a batch abandons speculation
+    #: and runs on the serial executor (pre-scan over declared access
+    #: lists; see :func:`repro.state.parallel.prescan_conflicts`).
+    parallel_conflict_fallback: float = 0.5
     #: Enable the telemetry substrate (DESIGN.md §11): a sim-clock span
     #: tracer plus a labelled metrics registry wired through the
     #: network, pipeline, coordinator and crypto layers. Disabled (the
@@ -164,6 +174,15 @@ class PorygonConfig:
         if self.shard_result_deadline_s < 0.0:
             raise ConfigError(
                 f"shard_result_deadline_s must be >= 0, got {self.shard_result_deadline_s}"
+            )
+        if self.parallel_exec < 0:
+            raise ConfigError(
+                f"parallel_exec must be >= 0, got {self.parallel_exec}"
+            )
+        if not 0.0 < self.parallel_conflict_fallback <= 1.0:
+            raise ConfigError(
+                f"parallel_conflict_fallback must be in (0, 1], "
+                f"got {self.parallel_conflict_fallback}"
             )
         minimum_pool = self.ordering_size + self.num_shards * self.nodes_per_shard
         if self.stateless_population is not None and self.stateless_population < minimum_pool:

@@ -25,11 +25,13 @@ from repro.chain.sizes import MERKLE_PATH_ENTRY_SIZE, STATE_ENTRY_SIZE
 from repro.crypto.smt import PartialSparseMerkleTree
 from repro.errors import ShardingError
 from repro.state.executor import TransactionExecutor
+from repro.state.parallel import ParallelReport, ParallelTransactionExecutor
 from repro.state.view import build_view
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.chain.transaction import Transaction
     from repro.core.storage import StorageHub
+    from repro.crypto.smt import SmtMultiProof
 
 
 @dataclass
@@ -68,6 +70,141 @@ class CanonicalExecution:
     u_from_round: int | None = None
     witness_round: int = -1
     state_download_bytes: int = 0
+    #: OCC schedule accounting when the parallel executor ran the intra
+    #: batch (``None`` on the legacy serial path).
+    exec_report: ParallelReport | None = None
+    #: Prefetch outcome for this execution's state download:
+    #: ``"off"`` (no prefetcher), ``"hit"`` (snapshot reused) or
+    #: ``"miss"`` (stale/mismatched snapshot; refetched live).
+    prefetch: str = "off"
+
+
+@dataclass
+class ExecutionKeys:
+    """The deterministic input set of one shard's Execution Phase.
+
+    A pure function of ``(shard, proposal, stored blocks)`` — computed
+    identically by the execution lane and by the prefetcher one round
+    earlier, which is what makes a prefetched snapshot verifiable at
+    use time (key-set equality + source-root fingerprints).
+    """
+
+    intra: list["Transaction"]
+    cross: list["Transaction"]
+    u_entries: tuple
+    owned_keys: frozenset[AccountId]
+    cross_keys: frozenset[AccountId]
+    #: Sorted union of owned and cross keys — the batch download request.
+    all_keys: tuple[AccountId, ...]
+
+
+def collect_execution_keys(
+    shard: int,
+    num_shards: int,
+    proposal: ProposalBlock,
+    hub: "StorageHub",
+) -> ExecutionKeys:
+    """Resolve the transactions and state keys ``proposal`` needs on ``shard``."""
+    aborted = set(proposal.aborted_tx_ids)
+    transactions: list["Transaction"] = []
+    for header in proposal.sublist_for(shard):
+        block = hub.tx_blocks.get(header.block_hash)
+        if block is None:
+            raise ShardingError("ordered transaction block is missing from storage")
+        transactions.extend(
+            tx for tx in block.transactions if tx.tx_id not in aborted
+        )
+
+    intra = [tx for tx in transactions if not tx.is_cross_shard(num_shards)]
+    cross = [
+        tx for tx in transactions
+        if tx.is_cross_shard(num_shards) and tx.home_shard(num_shards) == shard
+    ]
+    u_entries = proposal.updates_for(shard)
+
+    # Keys this shard owns and will recompute the root over.
+    owned_keys: set[AccountId] = set()
+    for tx in intra:
+        owned_keys |= tx.access_list.touched
+    owned_keys |= {account_id for account_id, _ in u_entries}
+    # Foreign (and own) keys cross-shard pre-execution reads.
+    cross_keys: set[AccountId] = set()
+    for tx in cross:
+        cross_keys |= tx.access_list.touched
+
+    return ExecutionKeys(
+        intra=intra,
+        cross=cross,
+        u_entries=u_entries,
+        owned_keys=frozenset(owned_keys),
+        cross_keys=frozenset(cross_keys),
+        all_keys=tuple(sorted(owned_keys | cross_keys)),
+    )
+
+
+@dataclass
+class PrefetchedStates:
+    """One shard's execution inputs, fetched ahead of the execution lane.
+
+    Snapshotted from the speculative head at commit time of the source
+    proposal (batch *k*), while the transfer cost was already charged
+    against the sim clock concurrently with batch *k-1*'s execution.
+    Consumed by :func:`compute_canonical_execution` for batch *k* only
+    after validation: the key set must match exactly and every touched
+    shard's speculative root must equal the snapshot's fingerprint (a
+    root commits to all of a shard's values, so foreign-value staleness
+    is detectable too). Any mismatch is a miss — the lane refetches
+    live and the run stays bit-identical to the unprefetched one.
+    """
+
+    shard: int
+    exec_round: int
+    all_keys: tuple[AccountId, ...]
+    values: dict[AccountId, Account | None]
+    multiproof: "SmtMultiProof"
+    served_root: bytes
+    #: Sorted ``(shard, speculative root)`` fingerprints of every shard
+    #: the key set touches (own shard always included).
+    source_roots: tuple[tuple[int, bytes], ...]
+
+
+def snapshot_prefetch(
+    shard: int,
+    num_shards: int,
+    proposal: ProposalBlock,
+    hub: "StorageHub",
+    exec_round: int,
+) -> PrefetchedStates:
+    """Snapshot the state download for ``proposal``'s execution on ``shard``."""
+    keys = collect_execution_keys(shard, num_shards, proposal, hub)
+    values, multiproof, served_root = hub.read_states_batch(
+        shard, keys.all_keys, speculative=True
+    )
+    head = hub.speculative_state()
+    touched_shards = {key % num_shards for key in keys.all_keys} | {shard}
+    source_roots = tuple(sorted(
+        (s, head.shards[s].root) for s in touched_shards
+    ))
+    return PrefetchedStates(
+        shard=shard,
+        exec_round=exec_round,
+        all_keys=keys.all_keys,
+        values=values,
+        multiproof=multiproof,
+        served_root=served_root,
+        source_roots=source_roots,
+    )
+
+
+def prefetch_is_fresh(prefetched: PrefetchedStates, keys: ExecutionKeys,
+                      hub: "StorageHub") -> bool:
+    """Whether a snapshot still matches the live speculative head."""
+    if prefetched.all_keys != keys.all_keys:
+        return False
+    head = hub.speculative_state()
+    return all(
+        head.shards[s].root == root for s, root in prefetched.source_roots
+    )
 
 
 def state_transfer_bytes(num_accounts: int, smt_depth: int) -> int:
@@ -96,6 +233,8 @@ def compute_canonical_execution(
     witness_round: int,
     u_from_round: int | None = None,
     sanitize: str | None = None,
+    parallel: ParallelTransactionExecutor | None = None,
+    prefetched: PrefetchedStates | None = None,
 ) -> CanonicalExecution:
     """Run one shard's Execution Phase for ``proposal`` deterministically.
 
@@ -108,39 +247,32 @@ def compute_canonical_execution(
     ``sanitize`` selects the execution-view mode (``""``/``"record"``/
     ``"strict"``); ``None`` defers to the ``REPRO_SANITIZE`` environment
     variable (DESIGN.md §9).
+
+    ``parallel`` runs the intra-shard batch on the OCC executor
+    (bit-identical outcome; only the modeled schedule differs) and
+    ``prefetched`` supplies an ahead-of-time state snapshot, reused only
+    if it validates against the live speculative head (DESIGN.md §12).
     """
     if shard not in proposal.shard_roots:
         raise ShardingError(f"proposal has no root for shard {shard}")
-    aborted = set(proposal.aborted_tx_ids)
+    keys = collect_execution_keys(shard, num_shards, proposal, hub)
+    intra, cross, u_entries = keys.intra, keys.cross, keys.u_entries
+    owned_keys, cross_keys = keys.owned_keys, keys.cross_keys
 
-    transactions: list["Transaction"] = []
-    for header in proposal.sublist_for(shard):
-        block = hub.tx_blocks.get(header.block_hash)
-        if block is None:
-            raise ShardingError("ordered transaction block is missing from storage")
-        transactions.extend(tx for tx in block.transactions if tx.tx_id not in aborted)
-
-    intra = [tx for tx in transactions if not tx.is_cross_shard(num_shards)]
-    cross = [
-        tx for tx in transactions
-        if tx.is_cross_shard(num_shards) and tx.home_shard(num_shards) == shard
-    ]
-    u_entries = proposal.updates_for(shard)
-
-    # Keys this shard owns and will recompute the root over.
-    owned_keys: set[AccountId] = set()
-    for tx in intra:
-        owned_keys |= tx.access_list.touched
-    owned_keys |= {account_id for account_id, _ in u_entries}
-    # Foreign (and own) keys cross-shard pre-execution reads.
-    cross_keys: set[AccountId] = set()
-    for tx in cross:
-        cross_keys |= tx.access_list.touched
-
-    all_keys = sorted(owned_keys | cross_keys)
-    values, multiproof, served_root = hub.read_states_batch(
-        shard, all_keys, speculative=True
-    )
+    all_keys = list(keys.all_keys)
+    prefetch_state = "off"
+    if prefetched is not None:
+        if prefetch_is_fresh(prefetched, keys, hub):
+            prefetch_state = "hit"
+            values = prefetched.values
+            multiproof = prefetched.multiproof
+            served_root = prefetched.served_root
+        else:
+            prefetch_state = "miss"
+    if prefetch_state != "hit":
+        values, multiproof, served_root = hub.read_states_batch(
+            shard, all_keys, speculative=True
+        )
     base_root = served_root
 
     # Stateless verification: authenticate and pin every shard-local
@@ -174,8 +306,14 @@ def compute_canonical_execution(
     if u_staged:
         partial.update_many(u_staged)
 
-    # 2. Execute intra-shard transactions.
-    outcome = TransactionExecutor().execute(intra, view)
+    # 2. Execute intra-shard transactions (serial, or OCC lanes with a
+    #    bit-identical outcome when a parallel executor is armed).
+    if parallel is not None:
+        outcome = parallel.execute(intra, view)
+        exec_report = parallel.last_report
+    else:
+        outcome = TransactionExecutor().execute(intra, view)
+        exec_report = None
     partial.update_many(
         (smt_key[account_id], account.encode())
         for account_id, account in sorted(view.written.items())
@@ -216,4 +354,6 @@ def compute_canonical_execution(
         u_from_round=u_from_round,
         witness_round=witness_round,
         state_download_bytes=download_bytes,
+        exec_report=exec_report,
+        prefetch=prefetch_state,
     )

@@ -34,13 +34,20 @@ from repro.committee import Committee, SortitionParams, run_sortition, sortition
 from repro.committee.sortition import draw_for_node
 from repro.consensus import BAStar, MemberProfile
 from repro.core.coordinator import CrossShardCoordinator
-from repro.core.execution import CanonicalExecution, compute_canonical_execution
+from repro.core.execution import (
+    CanonicalExecution,
+    PrefetchedStates,
+    collect_execution_keys,
+    compute_canonical_execution,
+    snapshot_prefetch,
+)
 from repro.core.routing import RoutingFabric, StorageRoutedTransport
 from repro.core.tracker import BatchTracker
 from repro.crypto.hashing import domain_digest
 from repro.errors import ShardingError
 from repro.net.message import Message
 from repro.state.global_state import aggregate_root
+from repro.state.parallel import ParallelTransactionExecutor
 from repro.telemetry import NULL_TELEMETRY
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -56,6 +63,12 @@ PER_TX_EXECUTE_S = 20e-6
 
 #: Simulated verification cost per witness signature at the OC.
 PER_PROOF_VERIFY_S = 2e-6
+
+#: Simulated per-transaction cost of the OCC commit pass (conflict
+#: detection + adoption) when the parallel executor is armed — the
+#: epsilon that keeps "fallback" honest: a pathological batch costs
+#: serial + batch * epsilon, never speculation twice.
+PER_TX_VALIDATE_S = 0.5e-6
 
 #: Fetch timeout a chaos run arms when ``config.fetch_timeout_s`` is
 #: left at 0.0 (seconds). Without chaos, 0.0 keeps the legacy
@@ -99,6 +112,26 @@ class ShardRoundResult:
     #: when unknown); consumed by the chaos harness's commit log to
     #: drive its clean-replay invariant.
     source_round: int = -1
+
+
+@dataclass
+class _PrefetchRecord:
+    """Bookkeeping for one shard's in-flight execution-state prefetch.
+
+    The member *transfers* are issued optimistically when the proposal
+    is built (overlapping the current round's execution lane); the
+    *data snapshot* is taken later, at commit time, once the proposal —
+    and the speculative head the next execution chains from — is final.
+    """
+
+    #: Ordering round whose proposal this prefetch serves.
+    source_round: int
+    #: Estimated state+proof transfer size charged per member.
+    size_bytes: int
+    #: member id -> in-flight transfer process (returns ok: bool).
+    procs: dict[int, typing.Any] = field(default_factory=dict)
+    #: Filled at commit time; ``None`` until the proposal publishes.
+    data: PrefetchedStates | None = None
 
 
 @dataclass
@@ -155,6 +188,16 @@ class PorygonPipeline:
         self.pending_results: list[ShardRoundResult] = []
         #: shard -> stalled execution work to re-dispatch (retry).
         self.retry_exec: dict[int, ShardRoundResult] = {}
+        #: OCC executor shared by every shard's canonical computation
+        #: (stateless between batches); ``None`` keeps the serial path
+        #: byte-identical to the pre-parallel pipeline (DESIGN.md §12).
+        self.parallel: ParallelTransactionExecutor | None = None
+        if config.parallel_exec > 1:
+            self.parallel = ParallelTransactionExecutor(
+                config.parallel_exec, config.parallel_conflict_fallback
+            )
+        #: (shard, exec round) -> in-flight execution-state prefetch.
+        self._prefetch: dict[tuple[int, int], _PrefetchRecord] = {}
         #: per-shard speculation epoch, bumped on every rollback.
         self.exec_epoch: dict[int, int] = {s: 0 for s in range(config.num_shards)}
         #: proposal round -> witness metadata per shard for exec lane.
@@ -556,23 +599,54 @@ class PorygonPipeline:
 
     def _member_execute(self, member_id: int, shard: int,
                         canonical: CanonicalExecution, body_bytes: int,
-                        sublist_bytes: int, payload_carrier: list):
-        """Charge one member's Execution Phase and produce its result."""
+                        sublist_bytes: int, payload_carrier: list,
+                        prefetch_proc=None):
+        """Charge one member's Execution Phase and produce its result.
+
+        ``prefetch_proc`` is the member's in-flight state prefetch when
+        the snapshot validated (a hit): the state bytes were already
+        charged asynchronously, so the synchronous download shrinks to
+        sublist + bodies and the member merely joins the prefetch if it
+        has not finished yet. On a failed prefetch transfer the member
+        falls back to fetching the states inline.
+        """
         node = self.stateless[member_id]
         if self.chaos is not None and self.chaos.is_crashed(member_id):
             return None  # EC member crashed mid-execution: no result
         if not self.fabric.is_benign(member_id) and not node.is_malicious:
             return None  # corrupted member: cannot download states
-        download_size = sublist_bytes + canonical.state_download_bytes + body_bytes
+        download_size = sublist_bytes + body_bytes
+        if prefetch_proc is None:
+            download_size += canonical.state_download_bytes
         fetched = yield from self._routed_fetch(
             member_id, download_size, "exec_inputs", "execution",
         )
         if not fetched:
             return None  # inputs unavailable: the member sits out this round
-        work = len(canonical.intra_applied) + len(canonical.cross_executed)
+        if prefetch_proc is not None:
+            prefetched_ok = yield prefetch_proc
+            if not prefetched_ok:
+                fetched = yield from self._routed_fetch(
+                    member_id, canonical.state_download_bytes,
+                    "exec_inputs", "execution",
+                )
+                if not fetched:
+                    return None
+        report = canonical.exec_report
         straggle = (self.chaos.straggle_factor(shard)
                     if self.chaos is not None else 1.0)
-        yield self.env.timeout(PER_TX_EXECUTE_S * max(1, work) * straggle)
+        if report is not None and report.mode != "serial":
+            # OCC schedule: deepest lane + re-executed tail (+ cross
+            # pre-execution, still serial) plus the per-tx commit-pass
+            # validation epsilon. Unit accounting is deterministic, so
+            # every honest member charges the identical time.
+            units = report.parallel_units + len(canonical.cross_executed)
+            exec_s = (PER_TX_EXECUTE_S * max(1, units)
+                      + PER_TX_VALIDATE_S * report.batch_size)
+        else:
+            work = len(canonical.intra_applied) + len(canonical.cross_executed)
+            exec_s = PER_TX_EXECUTE_S * max(1, work)
+        yield self.env.timeout(exec_s * straggle)
         if node.is_malicious:
             # Equivocate: sign a junk root; never matches the canonical digest.
             junk_root = domain_digest("repro/junk-root/v1", node.public_key)
@@ -705,6 +779,8 @@ class PorygonPipeline:
         # while this shard is mid-flight must mark the result stale.
         epoch = self.exec_epoch[shard]
         u_round = proposal.round_number if proposal.updates_for(shard) else None
+        prefetch_record = self._prefetch.pop((shard, round_number), None)
+        metrics = self.telemetry.metrics
         with self.telemetry.tracer.span(
             "phase.execution", track=f"shard-{shard}",
             round=round_number, shard=shard,
@@ -719,11 +795,38 @@ class PorygonPipeline:
                 u_from_round=u_round,
                 # "" defers to the REPRO_SANITIZE environment variable.
                 sanitize=self.config.sanitize or None,
+                parallel=self.parallel,
+                prefetched=(prefetch_record.data
+                            if prefetch_record is not None else None),
             )
             exec_span.annotate(
                 intra=len(canonical.intra_applied),
                 cross=len(canonical.cross_executed),
             )
+            if canonical.prefetch != "off":
+                exec_span.annotate(prefetch=canonical.prefetch)
+                metrics.counter(
+                    "prefetch_total", outcome=canonical.prefetch
+                ).inc()
+            report = canonical.exec_report
+            if report is not None:
+                exec_span.annotate(
+                    exec_mode=report.mode, conflicts=report.conflicts,
+                )
+                metrics.counter(
+                    "exec_parallel_batches_total", mode=report.mode
+                ).inc()
+                metrics.counter("exec_conflicts_total").inc(report.conflicts)
+                if self.telemetry.tracer.enabled and report.mode == "parallel":
+                    # Visualization only: pure timeouts on their own spans
+                    # (one per speculation lane), spawned fire-and-forget.
+                    # They never gate any state transition, so enabling the
+                    # tracer cannot perturb the event order of the run.
+                    for lane, count in enumerate(report.lane_txs):
+                        if count:
+                            self.env.process(self._lane_span(
+                                round_number, shard, lane, count
+                            ))
             # Members re-download bodies only for blocks they did not witness
             # ("they do not have to download transactions that they have
             # witnessed during the Witness Phase").
@@ -736,10 +839,14 @@ class PorygonPipeline:
                         body_bytes += block.size_bytes
             sublist_bytes = proposal.sublist_size_bytes(shard)
             payload_carrier: list[int] = []  # first reporter carries the S-list
+            prefetch_procs: dict[int, typing.Any] = {}
+            if prefetch_record is not None and canonical.prefetch == "hit":
+                prefetch_procs = prefetch_record.procs
             member_procs = [
                 self.env.process(
                     self._member_execute(member_id, shard, canonical, body_bytes,
-                                         sublist_bytes, payload_carrier)
+                                         sublist_bytes, payload_carrier,
+                                         prefetch_procs.get(member_id))
                 )
                 for member_id in committee.members
             ]
@@ -764,7 +871,6 @@ class PorygonPipeline:
                 source_round=proposal.round_number,
             )
             self.pending_results.append(shard_result)
-        metrics = self.telemetry.metrics
         metrics.counter(
             "txs_executed_total", kind="intra"
         ).inc(len(canonical.intra_applied))
@@ -778,6 +884,89 @@ class PorygonPipeline:
             if meta is not None:
                 return meta.witness_round
         return -1
+
+    # ------------------------------------------------------------------
+    # Execution-state prefetch (DESIGN.md §12)
+    # ------------------------------------------------------------------
+
+    def _launch_prefetch(self, round_number: int, proposal: ProposalBlock) -> None:
+        """Issue next-round state transfers while this round still runs.
+
+        Called from the ordering lane the moment proposal ``B_r`` is
+        built (before BA* even starts): the execution lane for ``B_r``
+        runs in round ``r + 1``, so members of the committee that will
+        execute it start downloading the touched states *now* —
+        overlapping this round's execution/ordering work instead of
+        serializing into the next round's critical path.
+
+        Only the byte *transfers* start here. The data snapshot those
+        bytes stand for is taken at commit time (:meth:`_publish`), once
+        this round's execution lane has advanced the speculative head
+        the next execution will chain from; if consensus voids the
+        proposal, :meth:`_publish` discards the records as wasted.
+        """
+        exec_round = round_number + 1
+        committees = self.assignments.get(round_number - 1)
+        if not committees:
+            return
+        tracer = self.telemetry.tracer
+        for shard, committee in sorted(committees.items()):
+            if not (proposal.sublist_for(shard) or proposal.updates_for(shard)):
+                continue
+            try:
+                keys = collect_execution_keys(
+                    shard, self.config.num_shards, proposal, self.hub
+                )
+            except ShardingError:
+                continue  # a body is missing; the execution lane will cope
+            if not keys.all_keys:
+                continue
+            # Charge the *real* wire size of the batch at issue time:
+            # entries plus the compressed multiproof — the same formula
+            # the execution lane charges, so a hit moves bytes earlier
+            # instead of inventing extra ones (the analytic
+            # ``state_transfer_bytes`` estimate runs ~3-4x high).
+            _, multiproof, _ = self.hub.read_states_batch(
+                shard, list(keys.all_keys), speculative=True
+            )
+            size = (len(keys.all_keys) * STATE_ENTRY_SIZE
+                    + multiproof.size_bytes)
+            record = _PrefetchRecord(source_round=round_number, size_bytes=size)
+            for member_id in committee.members:
+                record.procs[member_id] = self.env.process(
+                    self._member_prefetch(member_id, shard, round_number,
+                                          exec_round, size)
+                )
+            self._prefetch[(shard, exec_round)] = record
+            tracer.event(
+                "prefetch.issue", track=f"prefetch-{shard}",
+                round=round_number, shard=shard, keys=len(keys.all_keys),
+            )
+
+    def _member_prefetch(self, member_id: int, shard: int, launch_round: int,
+                         exec_round: int, size_bytes: int):
+        """One member's asynchronous state download for the next round."""
+        node = self.stateless[member_id]
+        if self.chaos is not None and self.chaos.is_crashed(member_id):
+            return False
+        if not self.fabric.is_benign(member_id) and not node.is_malicious:
+            return False
+        with self.telemetry.tracer.span(
+            "phase.prefetch", track=f"prefetch-{shard}",
+            round=launch_round, shard=shard, exec_round=exec_round,
+        ):
+            ok = yield from self._routed_fetch(
+                member_id, size_bytes, "state_prefetch", "prefetch",
+            )
+        return ok
+
+    def _lane_span(self, round_number: int, shard: int, lane: int, count: int):
+        """Tracer-only span visualizing one OCC speculation lane."""
+        with self.telemetry.tracer.span(
+            "exec.lane", track=f"shard-{shard}-lane{lane}",
+            round=round_number, shard=shard, lane=lane, txs=count,
+        ):
+            yield self.env.timeout(PER_TX_EXECUTE_S * count)
 
     # ------------------------------------------------------------------
     # Ordering + Commit Phases (Sections IV-C1(b), IV-C1(d), IV-D2)
@@ -1027,6 +1216,12 @@ class PorygonPipeline:
                     *(self.stateless[m].public_key for m in self.oc.members),
                 ),
             )
+            if self.parallel is not None and self.config.pipelining:
+                # Optimistic: start next round's state downloads before
+                # consensus even votes on B_r. If the round goes empty
+                # the transfers are wasted bytes — the common case wins
+                # a full execute/prefetch overlap (DESIGN.md §12).
+                self._launch_prefetch(round_number, proposal)
 
             # -- BA* consensus -----------------------------------------------
             proposal_bytes = proposal.size_bytes
@@ -1189,6 +1384,33 @@ class PorygonPipeline:
         metrics.counter("txs_committed_total", kind="intra").inc(committed_intra)
         metrics.counter("txs_committed_total", kind="cross").inc(committed_cross)
 
+    def _resolve_prefetch(self, proposal: ProposalBlock, round_number: int,
+                          empty: bool) -> None:
+        """Snapshot (or discard) the prefetch records this round settles.
+
+        Called from :meth:`run_round` after *all* lanes joined: the
+        proposal is final and this round's execution lane has advanced
+        the speculative heads, so the snapshot's source roots
+        fingerprint exactly the state the next execution chains from.
+        (Snapshotting at publish time would race the execution lane —
+        whichever of consensus and member execution finishes later would
+        decide freshness.) A voided proposal turns its records into
+        accounted waste.
+        """
+        metrics = self.telemetry.metrics
+        for key in sorted(self._prefetch):
+            record = self._prefetch[key]
+            if record.source_round != round_number or record.data is not None:
+                continue
+            shard, exec_round = key
+            if empty:
+                del self._prefetch[key]
+                metrics.counter("prefetch_total", outcome="wasted").inc()
+                continue
+            record.data = snapshot_prefetch(
+                shard, self.config.num_shards, proposal, self.hub, exec_round
+            )
+
     # ------------------------------------------------------------------
     # Round drivers
     # ------------------------------------------------------------------
@@ -1199,6 +1421,15 @@ class PorygonPipeline:
         self.current_round = round_number
         if self.chaos is not None:
             self.chaos.begin_round(round_number)
+        # Drop prefetches whose execution round already passed (their
+        # shard's execution was skipped or re-dispatched): accounted as
+        # waste so the telemetry never under-reports speculative bytes.
+        for key in sorted(self._prefetch):
+            if key[1] < round_number:
+                del self._prefetch[key]
+                self.telemetry.metrics.counter(
+                    "prefetch_total", outcome="wasted"
+                ).inc()
         with self.telemetry.tracer.span(
             "round", track="round", round=round_number,
         ) as round_span:
@@ -1214,6 +1445,12 @@ class PorygonPipeline:
             yield self.env.all_of(lanes)
             proposal = self.proposals.get(round_number)
             empty = proposal is None or proposal.tx_block_count == 0
+            if self.parallel is not None and proposal is not None:
+                self._resolve_prefetch(
+                    proposal, round_number,
+                    empty=(proposal.tx_block_count == 0
+                           and not proposal.update_list),
+                )
             round_span.annotate(empty=int(empty))
         metrics = self.telemetry.metrics
         metrics.counter("rounds_total").inc()

@@ -50,6 +50,11 @@ def chaos_config(num_shards: int = 2, num_storage_nodes: int = 3) -> PorygonConf
     fault window, and the instrumentation is observational-only so the
     run (and the report's invariant sections) stays byte-identical to a
     telemetry-off soak.
+
+    The OCC parallel executor (+ state prefetcher) is armed too: chaos
+    soaks must uphold all four invariants with speculation in the loop,
+    since commit roots are contractually bit-identical to serial
+    (DESIGN.md §12).
     """
     return PorygonConfig(
         num_shards=num_shards,
@@ -63,6 +68,7 @@ def chaos_config(num_shards: int = 2, num_storage_nodes: int = 3) -> PorygonConf
         consensus_step_timeout_s=0.25,
         fetch_timeout_s=0.3,
         shard_result_deadline_s=6.0,
+        parallel_exec=2,
         telemetry=True,
     )
 

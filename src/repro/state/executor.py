@@ -71,16 +71,28 @@ class TransactionExecutor:
         """
         outcome = ExecutionOutcome()
         for tx in transactions:
-            view.begin_tx(tx)
-            try:
-                reason = self._apply(tx, view)
-            finally:
-                view.end_tx()
+            reason = self.execute_one(tx, view)
             if reason is None:
                 outcome.applied.append(tx)
             else:
                 outcome.failed.append((tx, reason))
         return outcome
+
+    def execute_one(self, tx: Transaction,
+                    view: StateView) -> FailureReason | None:
+        """Run one transaction inside its sanitizer bracket.
+
+        ``end_tx`` runs even when the handler raises (strict-mode
+        access violation or zero-read), so the partial scope entry is
+        recorded before the exception propagates — the parallel
+        executor (:mod:`repro.state.parallel`) relies on this to keep
+        its sanitizer report stream identical to serial execution.
+        """
+        view.begin_tx(tx)
+        try:
+            return self._apply(tx, view)
+        finally:
+            view.end_tx()
 
     @classmethod
     def _apply(cls, tx: Transaction, view: StateView) -> FailureReason | None:

@@ -1,0 +1,334 @@
+"""Deterministic OCC parallel transaction execution (DESIGN.md §12).
+
+The serial :class:`~repro.state.executor.TransactionExecutor` runs a
+shard batch one transaction at a time. This module executes the same
+ordered batch across a pool of speculative *lanes* and commits the
+results so that the outcome — applied/failed sets, final written state,
+sanitizer report stream — is **bit-identical to serial execution**:
+
+1. **Speculate.** Every transaction executes against the frozen
+   batch-start view through its own overlay (:class:`_LaneView`); lane
+   assignment is ``index % workers``, a pure function of the ordered
+   batch. On a sanitized parent each lane gets a private
+   :class:`LaneRecorder` sink, so concurrent ``begin_tx``/``end_tx``
+   brackets never interleave in the shared report sink.
+2. **Validate in order.** A commit pass walks the batch in order,
+   maintaining the set of accounts written by the applied prefix
+   (declared write sets — sound because PorySan enforces
+   actual ⊆ declared, DESIGN.md §9). A transaction whose declared
+   ``touched`` set is disjoint from that dirty set saw exactly the
+   state serial execution would have shown it, so its speculative
+   outcome is adopted and its lane scope merged
+   (:meth:`~repro.state.view.SanitizedStateView.merge_scope`).
+3. **Re-execute the conflicting tail.** A conflicting transaction's
+   speculation is discarded and it re-executes serially against the
+   live parent view — the exact serial prefix state.
+4. **Fall back.** A pre-scan over the declared access lists estimates
+   the batch's conflict fraction; at or above
+   ``conflict_fallback`` the whole batch runs on the serial executor
+   (pathological batches never pay speculation twice).
+
+Nothing here depends on threads or wall-clock: "parallelism" is a
+deterministic schedule whose *modeled* cost (lane depth + re-executed
+tail) the pipeline charges against the sim clock. Unit accounting lives
+in :class:`ParallelReport`; the time model (seconds per unit) belongs to
+the caller.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.chain.account import Account, AccountId
+from repro.errors import AccessListViolation, StateError
+from repro.state.executor import (
+    ExecutionOutcome,
+    FailureReason,
+    TransactionExecutor,
+)
+from repro.state.view import SanitizedStateView, StateView
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.chain.transaction import Transaction
+
+
+class LaneRecorder:
+    """Per-lane sanitizer sink: buffers entries until commit order.
+
+    The shared report sink assumes serially closed transaction scopes;
+    speculative lanes close scopes in speculation order instead, so each
+    lane buffers its entries here and the commit pass replays the
+    adopted ones through the parent view in batch order.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: list[dict[str, object]] = []
+
+    def record(self, entry: dict[str, object]) -> None:
+        self.entries.append(entry)
+
+
+class _LaneView(StateView):
+    """Speculative overlay reading through the batch-start parent view."""
+
+    def __init__(self, parent: StateView) -> None:
+        super().__init__(strict=False)
+        # A lane view *is* itself phase-scoped: it lives only inside one
+        # batch execution, strictly shorter than its parent's phase.
+        self._parent = parent  # porylint: disable=PL104 (lane-scoped)
+
+    def _missing(self, account_id: AccountId) -> Account:
+        # Plain StateView.get bypasses the parent's sanitizer checks
+        # (the lane does its own) while honouring the parent's strict
+        # zero-read semantics.
+        return StateView.get(self._parent, account_id)
+
+
+class _SanitizedLaneView(SanitizedStateView):
+    """Sanitized speculative overlay: own scope checks, buffered sink."""
+
+    def __init__(self, parent: SanitizedStateView,
+                 recorder: LaneRecorder) -> None:
+        super().__init__(mode=parent.mode, label=parent.label, sink=recorder)
+        self._parent = parent  # porylint: disable=PL104 (lane-scoped)
+
+    def _missing(self, account_id: AccountId) -> Account:
+        return StateView.get(self._parent, account_id)
+
+
+@dataclass
+class _Speculation:
+    """One transaction's speculative execution result."""
+
+    tx: "Transaction"
+    lane: int
+    reason: FailureReason | None
+    writes: dict[AccountId, Account]
+    entry: dict[str, object] | None
+    error: Exception | None
+
+
+@dataclass
+class ParallelReport:
+    """Deterministic accounting of one batch execution.
+
+    Unit = one transaction execution. The pipeline converts units to
+    simulated seconds; benchmarks convert them to speedups.
+
+    Attributes:
+        workers: configured lane count.
+        batch_size: transactions in the batch.
+        mode: ``"parallel"`` (speculate + validate), ``"fallback"``
+            (pre-scan predicted too many conflicts; ran serially) or
+            ``"serial"`` (degenerate batch or single worker).
+        estimated_conflict_fraction: the pre-scan's declared-list
+            conflict estimate that drove the fallback decision.
+        conflicts: transactions re-executed by the commit pass.
+        adopted: speculative outcomes adopted unchanged.
+        lane_txs: transactions speculated per lane.
+    """
+
+    workers: int
+    batch_size: int
+    mode: str
+    estimated_conflict_fraction: float
+    conflicts: int = 0
+    adopted: int = 0
+    lane_txs: tuple[int, ...] = ()
+
+    @property
+    def spec_units(self) -> int:
+        """Critical-path depth of the speculation pass (deepest lane)."""
+        return max(self.lane_txs) if self.lane_txs else 0
+
+    @property
+    def serial_units(self) -> int:
+        """What a serial executor would pay for the same batch."""
+        return self.batch_size
+
+    @property
+    def parallel_units(self) -> int:
+        """Modeled critical path: lane depth + re-executed tail.
+
+        Fallback/serial modes pay the full serial cost (the validate
+        epsilon the caller adds on top models conflict detection).
+        """
+        if self.mode != "parallel":
+            return self.batch_size
+        return self.spec_units + self.conflicts
+
+    def to_dict(self) -> dict[str, object]:
+        """Canonical flat dict for benchmark JSON artifacts."""
+        return {
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "mode": self.mode,
+            "estimated_conflict_fraction": round(
+                self.estimated_conflict_fraction, 6
+            ),
+            "conflicts": self.conflicts,
+            "adopted": self.adopted,
+            "spec_units": self.spec_units,
+            "parallel_units": self.parallel_units,
+            "serial_units": self.serial_units,
+        }
+
+
+def prescan_conflicts(transactions: typing.Iterable["Transaction"]) -> int:
+    """Conflicting-transaction count from declared access lists alone.
+
+    A pure function of the ordered batch (no state reads): walk the
+    batch accumulating declared write sets and count transactions whose
+    declared ``touched`` set intersects the writes of any predecessor.
+    This over-approximates the commit pass (which only dirties the
+    writes of *applied* transactions), so the fallback decision is
+    conservative — and, crucially, independent of execution outcomes.
+    """
+    written: set[AccountId] = set()
+    conflicts = 0
+    for tx in transactions:
+        if not tx.access_list.touched.isdisjoint(written):
+            conflicts += 1
+        written |= tx.access_list.writes
+    return conflicts
+
+
+class ParallelTransactionExecutor:
+    """OCC executor: speculate in lanes, validate in order, re-exec tail.
+
+    Drop-in for :class:`~repro.state.executor.TransactionExecutor`:
+    ``execute(transactions, view)`` returns the identical
+    :class:`~repro.state.executor.ExecutionOutcome` and leaves ``view``
+    in the identical final state. :attr:`last_report` carries the
+    deterministic schedule accounting of the most recent batch.
+    """
+
+    def __init__(self, workers: int, conflict_fallback: float = 0.5) -> None:
+        if workers < 1:
+            raise StateError(f"workers must be >= 1, got {workers}")
+        if not 0.0 < conflict_fallback <= 1.0:
+            raise StateError(
+                f"conflict_fallback must be in (0, 1], got {conflict_fallback}"
+            )
+        self.workers = workers
+        self.conflict_fallback = conflict_fallback
+        self._serial = TransactionExecutor()
+        self.last_report: ParallelReport | None = None
+
+    def execute(
+        self,
+        transactions: typing.Iterable["Transaction"],
+        view: StateView,
+    ) -> ExecutionOutcome:
+        """Run the ordered batch; outcome and view bit-identical to serial."""
+        txs = list(transactions)
+        estimated = prescan_conflicts(txs)
+        fraction = estimated / len(txs) if txs else 0.0
+        if self.workers <= 1 or len(txs) <= 1:
+            self.last_report = ParallelReport(
+                workers=self.workers, batch_size=len(txs), mode="serial",
+                estimated_conflict_fraction=fraction,
+            )
+            return self._serial.execute(txs, view)
+        if fraction >= self.conflict_fallback:
+            self.last_report = ParallelReport(
+                workers=self.workers, batch_size=len(txs), mode="fallback",
+                estimated_conflict_fraction=fraction, conflicts=estimated,
+            )
+            return self._serial.execute(txs, view)
+        specs = self._speculate(txs, view)
+        return self._commit(specs, view, fraction)
+
+    # ------------------------------------------------------------------
+    # Phase 1: speculation against the frozen batch-start view
+    # ------------------------------------------------------------------
+
+    def _speculate(self, txs: list["Transaction"],
+                   view: StateView) -> list[_Speculation]:
+        sanitized = isinstance(view, SanitizedStateView)
+        specs: list[_Speculation] = []
+        for index, tx in enumerate(txs):
+            recorder: LaneRecorder | None = None
+            lane_view: StateView
+            if sanitized:
+                recorder = LaneRecorder()
+                lane_view = _SanitizedLaneView(view, recorder)
+            else:
+                lane_view = _LaneView(view)
+            reason: FailureReason | None = None
+            error: Exception | None = None
+            try:
+                reason = self._serial.execute_one(tx, lane_view)
+            except (AccessListViolation, StateError) as exc:
+                # Deferred: if this speculation is adopted, the commit
+                # pass re-raises at the transaction's batch position —
+                # exactly where serial execution would have raised.
+                error = exc
+            entry = recorder.entries[-1] if recorder and recorder.entries \
+                else None
+            specs.append(_Speculation(
+                tx=tx, lane=index % self.workers, reason=reason,
+                writes=lane_view._written, entry=entry, error=error,
+            ))
+        return specs
+
+    # ------------------------------------------------------------------
+    # Phase 2: in-order validation + conflicting-tail re-execution
+    # ------------------------------------------------------------------
+
+    def _commit(self, specs: list[_Speculation], view: StateView,
+                fraction: float) -> ExecutionOutcome:
+        sanitized = isinstance(view, SanitizedStateView)
+        outcome = ExecutionOutcome()
+        dirty: set[AccountId] = set()
+        conflicts = 0
+        adopted = 0
+        lane_txs = [0] * self.workers
+        for spec in specs:
+            lane_txs[spec.lane] += 1
+        for spec in specs:
+            tx = spec.tx
+            if not tx.access_list.touched.isdisjoint(dirty):
+                # Conflict: an applied predecessor wrote a key this
+                # transaction touches. Discard the speculation and
+                # re-execute against the live view (= the serial prefix
+                # state). Strict-mode errors propagate exactly as the
+                # serial executor's would.
+                conflicts += 1
+                reason = self._serial.execute_one(tx, view)
+            else:
+                # Adoption: every key the transaction touched still
+                # holds its batch-start value (actual ⊆ declared, and
+                # no applied predecessor declared a write to it), so
+                # the speculative outcome equals the serial one.
+                adopted += 1
+                if sanitized and spec.entry is not None:
+                    view.merge_scope(spec.entry)  # type: ignore[attr-defined]
+                if spec.error is not None:
+                    self._finish_report(specs, fraction, conflicts,
+                                        adopted, lane_txs)
+                    raise spec.error
+                for account in spec.writes.values():
+                    # Raw adoption: outside any tx scope, so a
+                    # sanitized parent records no extra touches.
+                    view.put(account)
+                reason = spec.reason
+            if reason is None:
+                outcome.applied.append(tx)
+                dirty |= tx.access_list.writes
+            else:
+                outcome.failed.append((tx, reason))
+        self._finish_report(specs, fraction, conflicts, adopted, lane_txs)
+        return outcome
+
+    def _finish_report(self, specs: list[_Speculation], fraction: float,
+                       conflicts: int, adopted: int,
+                       lane_txs: list[int]) -> None:
+        self.last_report = ParallelReport(
+            workers=self.workers, batch_size=len(specs), mode="parallel",
+            estimated_conflict_fraction=fraction, conflicts=conflicts,
+            adopted=adopted, lane_txs=tuple(lane_txs),
+        )

@@ -132,6 +132,15 @@ class StateView:
             return self._written[account_id]
         if account_id in self._base:
             return self._base[account_id]
+        return self._missing(account_id)
+
+    def _missing(self, account_id: AccountId) -> Account:
+        """Resolve a key absent from both overlays.
+
+        Overridden by the speculative lane views of
+        :mod:`repro.state.parallel` to read through the batch-start
+        parent view instead of manufacturing a zero account.
+        """
         if self.strict:
             raise StateError(
                 f"strict view: account {account_id} was never downloaded "
@@ -182,6 +191,7 @@ class SanitizedStateView(StateView):
         *,
         mode: str = "strict",
         label: str = "",
+        sink: SanitizerSink | None = None,
     ) -> None:
         if mode not in ("record", "strict"):
             raise StateError(
@@ -192,6 +202,13 @@ class SanitizedStateView(StateView):
         super().__init__(accounts, strict=(mode == "strict"))
         self.mode = mode
         self.label = label
+        #: Instance-level report sink; ``None`` falls through to the
+        #: process-global one. Speculative lane views get a private
+        #: per-lane recorder here so concurrent ``begin_tx``/``end_tx``
+        #: brackets never interleave entries in the shared sink — the
+        #: lanes' scopes are merged back in commit order instead
+        #: (:meth:`merge_scope`).
+        self._sink = sink
         #: every undeclared touch seen so far (per run, all txs).
         self.violations: list[dict[str, object]] = []
         #: transactions whose scopes have closed.
@@ -226,12 +243,28 @@ class SanitizedStateView(StateView):
                 dict(v) for v in self.violations if v["tx_id"] == self._tx_id
             ],
         }
-        if _report_sink is not None:
-            _report_sink.record(entry)
+        sink = self._sink if self._sink is not None else _report_sink
+        if sink is not None:
+            sink.record(entry)
         self.txs_checked += 1
         self._tx_id = None
         self._declared = None
         self._tx_touched = {}
+
+    def merge_scope(self, entry: dict[str, object]) -> None:
+        """Adopt one speculative lane's closed transaction scope.
+
+        The parallel executor buffers each lane's ``end_tx`` entries in
+        a private per-lane sink and replays the adopted ones here in
+        commit order, so the parent view's :attr:`violations`,
+        :attr:`txs_checked` and report-sink stream are identical to a
+        serial execution of the same batch.
+        """
+        self.violations.extend(dict(v) for v in entry["undeclared"])  # type: ignore[union-attr]
+        sink = self._sink if self._sink is not None else _report_sink
+        if sink is not None:
+            sink.record(entry)
+        self.txs_checked += 1
 
     # -- checked accessors ---------------------------------------------
 
@@ -286,15 +319,18 @@ def build_view(
     *,
     label: str = "",
     mode: str | None = None,
+    sink: SanitizerSink | None = None,
 ) -> StateView:
     """View factory honouring the sanitizer gate.
 
     ``mode=None`` consults :func:`sanitize_mode` (the ``REPRO_SANITIZE``
     environment variable); ``""`` builds a plain permissive view;
     ``"record"`` / ``"strict"`` build a :class:`SanitizedStateView`.
+    ``sink`` scopes the sanitized view's report entries to an
+    instance-level recorder instead of the process-global sink.
     """
     if mode is None:
         mode = sanitize_mode()
     if mode == "":
         return StateView(accounts)
-    return SanitizedStateView(accounts, mode=mode, label=label)
+    return SanitizedStateView(accounts, mode=mode, label=label, sink=sink)

@@ -39,7 +39,11 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
-from repro.telemetry.occupancy import occupancy_table, render_occupancy
+from repro.telemetry.occupancy import (
+    execute_prefetch_overlap,
+    occupancy_table,
+    render_occupancy,
+)
 from repro.telemetry.tracer import NULL_TRACER, NullTracer, SpanRecord, Tracer
 
 
@@ -115,5 +119,6 @@ __all__ = [
     "ascii_timeline",
     "occupancy_table",
     "render_occupancy",
+    "execute_prefetch_overlap",
     "wire_crypto",
 ]

@@ -25,6 +25,13 @@ STAGES = (
     ("commit", "phase.commit"),
 )
 
+#: Extra columns reported per round but excluded from ``overlap_ratio``
+#: (they are speculative background work, not a pipeline stage — with
+#: the prefetcher disarmed they are identically zero).
+EXTRA_STAGES = (
+    ("prefetch", "phase.prefetch"),
+)
+
 
 def _union_length(intervals: list[tuple[float, float]]) -> float:
     """Total length of the union of ``[start, end]`` intervals."""
@@ -50,18 +57,22 @@ def occupancy_table(tracer) -> list[dict]:
     """One row per traced round: stage busy seconds + occupancy.
 
     Row keys: ``round``, ``duration_s``, ``<stage>_s`` and
-    ``<stage>_frac`` for each of the four stages, and
-    ``overlap_ratio`` (sum of stage busy / round duration).
+    ``<stage>_frac`` for each of the four stages (plus the
+    :data:`EXTRA_STAGES` columns, attributed to their *launch* round),
+    and ``overlap_ratio`` (sum of pipeline-stage busy / round duration —
+    extra stages excluded).
     """
     spans = tracer.spans()
     windows: dict[int, tuple[float, float]] = {}
     for record in spans:
         if record.name == "round" and record.round >= 0:
             windows[record.round] = (record.start, record.end)
-    by_stage: dict[str, list] = {name: [] for _, name in STAGES}
+    all_stages = STAGES + EXTRA_STAGES
+    by_stage: dict[str, list] = {name: [] for _, name in all_stages}
     for record in spans:
         if record.name in by_stage:
             by_stage[record.name].append(record)
+    overlap_stages = {name for _, name in STAGES}
     rows: list[dict] = []
     for round_number in sorted(windows):
         window_start, window_end = windows[round_number]
@@ -71,7 +82,7 @@ def occupancy_table(tracer) -> list[dict]:
             "duration_s": window_end - window_start,
         }
         busy_total = 0.0
-        for column, span_name in STAGES:
+        for column, span_name in all_stages:
             intervals = [
                 (max(record.start, window_start), min(record.end, window_end))
                 for record in by_stage[span_name]
@@ -79,7 +90,8 @@ def occupancy_table(tracer) -> list[dict]:
             ]
             intervals = [(s, e) for s, e in intervals if e > s]
             busy = _union_length(intervals)
-            busy_total += busy
+            if span_name in overlap_stages:
+                busy_total += busy
             row[f"{column}_s"] = busy
             row[f"{column}_frac"] = busy / duration
         row["overlap_ratio"] = busy_total / duration
@@ -87,12 +99,41 @@ def occupancy_table(tracer) -> list[dict]:
     return rows
 
 
+def execute_prefetch_overlap(tracer) -> float:
+    """Run-level execute/prefetch overlap ratio.
+
+    ``(busy(execution) + busy(prefetch)) / busy(execution ∪ prefetch)``
+    over the whole trace: exactly 1.0 when the two never coincide on the
+    sim clock (or no prefetch ran), above 1.0 iff state prefetching
+    genuinely overlapped execution — the DESIGN.md §12 acceptance
+    signal. Returns 0.0 for a trace with no execution spans at all.
+    """
+    exec_iv = [(r.start, r.end) for r in tracer.spans("phase.execution")
+               if r.end > r.start]
+    pre_iv = [(r.start, r.end) for r in tracer.spans("phase.prefetch")
+              if r.end > r.start]
+    if not exec_iv:
+        return 0.0
+    combined = _union_length(exec_iv + pre_iv)
+    if combined <= 0.0:
+        return 0.0
+    return (_union_length(exec_iv) + _union_length(pre_iv)) / combined
+
+
 def render_occupancy(rows: list[dict]) -> str:
     """Fixed-width occupancy table for terminals / CI logs."""
+    # Background columns appear only when some round recorded them, so
+    # prefetch-less traces render the exact legacy table.
+    extras = [
+        column for column, _ in EXTRA_STAGES
+        if any(row.get(f"{column}_s", 0.0) > 0.0 for row in rows)
+    ]
     headers = ["round", "dur_s"]
     for column, _ in STAGES:
         headers.append(f"{column}_s")
         headers.append(f"{column}%")
+    for column in extras:
+        headers.append(f"{column}_s")
     headers.append("overlap")
     table: list[list[str]] = [headers]
     for row in rows:
@@ -100,6 +141,8 @@ def render_occupancy(rows: list[dict]) -> str:
         for column, _ in STAGES:
             cells.append(f"{row[f'{column}_s']:.3f}")
             cells.append(f"{100 * row[f'{column}_frac']:.0f}")
+        for column in extras:
+            cells.append(f"{row.get(f'{column}_s', 0.0):.3f}")
         cells.append(f"{row['overlap_ratio']:.2f}")
         table.append(cells)
     widths = [max(len(line[i]) for line in table) for i in range(len(headers))]

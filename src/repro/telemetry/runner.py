@@ -47,6 +47,13 @@ PRESETS: dict[str, dict] = {
         "rounds": 6,
         "overrides": {"pipelining": False},
     },
+    "parallel": {
+        "description": "2 shards, OCC parallel executor + state prefetch",
+        "num_shards": 2,
+        "cross_shard_ratio": 0.1,
+        "rounds": 8,
+        "overrides": {"parallel_exec": 4},
+    },
 }
 
 

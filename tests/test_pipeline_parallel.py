@@ -1,0 +1,98 @@
+"""Pipeline-level acceptance tests for OCC execution + state prefetch.
+
+The ISSUE acceptance criteria at the whole-system level: same-seed runs
+with the parallel executor on and off commit identical roots at every
+height; prefetch hits land while batch k executes; telemetry exports
+stay byte-identical same-seed with speculation armed; and the occupancy
+accounting shows genuine execute/prefetch overlap (ratio > 1).
+"""
+
+import pytest
+
+from repro.harness.base import build_porygon, saturate
+from repro.telemetry import (
+    chrome_trace_json,
+    execute_prefetch_overlap,
+    prometheus_text,
+    trace_jsonl,
+)
+from repro.telemetry.occupancy import occupancy_table, render_occupancy
+from repro.telemetry.runner import run_traced
+
+
+def _roots(parallel_exec: int, seed: int = 11):
+    sim = build_porygon(2, seed=seed, nodes_per_shard=4, ordering_size=4,
+                        txs_per_block=40, parallel_exec=parallel_exec)
+    saturate(sim, 2, rounds=4, seed=seed)
+    report = sim.run(num_rounds=4)
+    return report.committed, [
+        (p.round_number, p.state_root) for p in sim.hub.proposals
+    ]
+
+
+def test_parallel_on_off_commit_identical_roots_every_height():
+    serial = _roots(parallel_exec=0)
+    for workers in (2, 4):
+        assert _roots(parallel_exec=workers) == serial
+    assert serial[0] > 0, "runs committed nothing; test proves nothing"
+
+
+@pytest.fixture(scope="module")
+def parallel_run():
+    """One shared parallel-preset run (module-scoped: read-only)."""
+    return run_traced("parallel", seed=7, rounds=6)
+
+
+def test_parallel_preset_records_prefetch_and_exec_counters(parallel_run):
+    sim, report = parallel_run
+    assert report.committed > 0
+    metrics = sim.telemetry.metrics
+    assert metrics.total("prefetch_total", outcome="hit") > 0
+    assert metrics.total("exec_parallel_batches_total", mode="parallel") > 0
+    # The saturated transfer workload is low-conflict: hits dominate.
+    hits = metrics.total("prefetch_total", outcome="hit")
+    misses = metrics.total("prefetch_total", outcome="miss")
+    assert hits > misses
+
+
+def test_parallel_preset_emits_prefetch_and_lane_spans(parallel_run):
+    sim, _report = parallel_run
+    tracer = sim.telemetry.tracer
+    assert tracer.spans("phase.prefetch"), "no prefetch transfer spans"
+    assert tracer.spans("exec.lane"), "no executor-lane spans"
+    lanes = {span.track for span in tracer.spans("exec.lane")}
+    assert len(lanes) > 1, "lane spans collapsed onto a single track"
+
+
+def test_execute_prefetch_overlap_exceeds_one(parallel_run):
+    sim, _report = parallel_run
+    ratio = execute_prefetch_overlap(sim.telemetry.tracer)
+    assert ratio > 1.0, (
+        f"prefetch shows no overlap with execution (ratio {ratio:.3f})"
+    )
+
+
+def test_occupancy_table_gains_prefetch_column_only_when_present(
+        parallel_run):
+    sim, _report = parallel_run
+    rows = occupancy_table(sim.telemetry.tracer)
+    assert any(row["prefetch_s"] > 0 for row in rows)
+    rendered = render_occupancy(rows)
+    assert "prefetch_s" in rendered
+    # A run without the prefetcher renders the legacy table unchanged.
+    plain_sim, _ = run_traced("default", seed=7, rounds=4)
+    plain_rows = occupancy_table(plain_sim.telemetry.tracer)
+    assert all(row["prefetch_s"] == 0 for row in plain_rows)
+    assert "prefetch_s" not in render_occupancy(plain_rows)
+
+
+def test_parallel_preset_same_seed_exports_byte_identical(parallel_run):
+    sim_a, _ = parallel_run
+    sim_b, _ = run_traced("parallel", seed=7, rounds=6)
+    meta = {"preset": "parallel", "seed": 7, "rounds": 6}
+    assert trace_jsonl(sim_a.telemetry.tracer, meta=meta) == \
+        trace_jsonl(sim_b.telemetry.tracer, meta=meta)
+    assert chrome_trace_json(sim_a.telemetry.tracer) == \
+        chrome_trace_json(sim_b.telemetry.tracer)
+    assert prometheus_text(sim_a.telemetry.metrics) == \
+        prometheus_text(sim_b.telemetry.metrics)

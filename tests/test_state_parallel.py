@@ -1,0 +1,319 @@
+"""Property + regression tests for the OCC parallel executor.
+
+The contract under test (DESIGN.md §12): for any ordered batch and any
+worker count, :class:`~repro.state.parallel.ParallelTransactionExecutor`
+produces an outcome — applied order, failed set, final written state,
+sanitizer report stream — bit-identical to the serial
+:class:`~repro.state.executor.TransactionExecutor`, while its
+:class:`~repro.state.parallel.ParallelReport` accounts the speculative
+schedule deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.account import Account
+from repro.chain.transaction import AccessList, Transaction, TxIdSequence
+from repro.errors import AccessListViolation, StateError
+from repro.state.executor import TransactionExecutor
+from repro.state.parallel import (
+    LaneRecorder,
+    ParallelReport,
+    ParallelTransactionExecutor,
+    prescan_conflicts,
+)
+from repro.state.view import SanitizedStateView, StateView
+from repro.workload.generator import WorkloadGenerator
+
+
+def funded_view(balances):
+    return StateView(
+        {aid: Account(aid, balance=bal) for aid, bal in balances.items()}
+    )
+
+
+def outcome_key(outcome):
+    return (
+        [tx.tx_id for tx in outcome.applied],
+        [(tx.tx_id, reason) for tx, reason in outcome.failed],
+    )
+
+
+def assert_equivalent(txs, balances, workers=4):
+    """Run serial and parallel on twin views; assert bit-identity."""
+    serial_view = funded_view(balances)
+    serial_outcome = TransactionExecutor().execute(txs, serial_view)
+    executor = ParallelTransactionExecutor(workers)
+    parallel_view = funded_view(balances)
+    parallel_outcome = executor.execute(txs, parallel_view)
+    assert outcome_key(parallel_outcome) == outcome_key(serial_outcome)
+    assert parallel_view.written_encoded() == serial_view.written_encoded()
+    return executor.last_report
+
+
+# ---------------------------------------------------------------------------
+# Conflict regimes (the three benchmark presets, shrunk)
+# ---------------------------------------------------------------------------
+
+
+def test_low_conflict_batch_parallelizes_without_conflicts():
+    gen = WorkloadGenerator(num_accounts=256, num_shards=1, unique=True,
+                            seed=11)
+    txs = gen.batch(64)
+    balances = {a: 1_000_000
+                for tx in txs for a in tx.access_list.touched}
+    report = assert_equivalent(txs, balances)
+    assert report.mode == "parallel"
+    assert report.conflicts == 0
+    assert report.adopted == len(txs)
+    # 4 lanes, disjoint batch: the modeled critical path is the deepest
+    # lane, so the speedup is the lane fan-out.
+    assert report.parallel_units == len(txs) // report.workers
+
+
+def test_zipf_hot_keys_identical_to_serial_with_reexecuted_tail():
+    gen = WorkloadGenerator(num_accounts=2048, num_shards=1, zipf_s=0.6,
+                            seed=11)
+    txs = gen.batch(128)
+    balances = {a: 1_000_000
+                for tx in txs for a in tx.access_list.touched}
+    report = assert_equivalent(txs, balances)
+    assert report.mode == "parallel"
+    assert report.conflicts > 0, "skew too low to exercise the OCC tail"
+    assert report.adopted + report.conflicts == len(txs)
+    assert report.parallel_units == report.spec_units + report.conflicts
+
+
+def test_all_conflict_nonce_chain_triggers_serial_fallback():
+    ids = TxIdSequence(3, domain="test-all-conflict")
+    txs = [
+        Transaction(sender=0, receiver=1 + i, amount=1, nonce=i,
+                    tx_id=ids.next_id())
+        for i in range(40)
+    ]
+    balances = {a: 1_000 for tx in txs for a in tx.access_list.touched}
+    report = assert_equivalent(txs, balances)
+    assert report.mode == "fallback"
+    assert report.estimated_conflict_fraction >= 0.5
+    # Fallback pays exactly the serial unit cost — never worse.
+    assert report.parallel_units == report.serial_units == len(txs)
+
+
+def test_degenerate_batches_run_serial_mode():
+    executor = ParallelTransactionExecutor(4)
+    view = funded_view({1: 100})
+    executor.execute([Transaction(sender=1, receiver=2, amount=5, nonce=0)],
+                     view)
+    assert executor.last_report.mode == "serial"
+    executor.execute([], view)
+    assert executor.last_report.mode == "serial"
+    assert executor.last_report.batch_size == 0
+    single = ParallelTransactionExecutor(1)
+    single.execute([Transaction(sender=1, receiver=2, amount=5, nonce=1),
+                    Transaction(sender=1, receiver=2, amount=5, nonce=2)],
+                   view)
+    assert single.last_report.mode == "serial"
+
+
+def test_constructor_validates_parameters():
+    with pytest.raises(StateError, match="workers"):
+        ParallelTransactionExecutor(0)
+    with pytest.raises(StateError, match="conflict_fallback"):
+        ParallelTransactionExecutor(2, conflict_fallback=0.0)
+    with pytest.raises(StateError, match="conflict_fallback"):
+        ParallelTransactionExecutor(2, conflict_fallback=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Property: serial equivalence over random workloads
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),   # sender
+            st.integers(min_value=0, max_value=5),   # receiver
+            st.integers(min_value=0, max_value=90),  # amount
+        ),
+        max_size=24,
+    ),
+    st.integers(min_value=2, max_value=5),           # workers
+)
+def test_property_parallel_outcome_identical_to_serial(transfers, workers):
+    """Any random hot-pool batch: outcome and state equal serial."""
+    nonces = {aid: 0 for aid in range(6)}
+    txs = []
+    for sender, receiver, amount in transfers:
+        txs.append(Transaction(sender=sender, receiver=receiver,
+                               amount=amount, nonce=nonces[sender]))
+        nonces[sender] += 1  # optimistic; failures burn no nonce
+    report = assert_equivalent(txs, {aid: 100 for aid in range(6)},
+                               workers=workers)
+    assert report.mode in ("parallel", "fallback", "serial")
+    assert report.batch_size == len(txs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31), st.integers(2, 6))
+def test_property_seeded_mixed_workloads_equivalent(seed, workers):
+    """Generator batches (transfers incl. cross-ish ids) stay identical."""
+    gen = WorkloadGenerator(num_accounts=48, num_shards=1, seed=seed)
+    txs = gen.batch(32)
+    balances = {a: 1_000_000 for tx in txs for a in tx.access_list.touched}
+    assert_equivalent(txs, balances, workers=workers)
+
+
+# ---------------------------------------------------------------------------
+# Pre-scan + report accounting
+# ---------------------------------------------------------------------------
+
+
+def test_prescan_counts_declared_overlaps_only():
+    disjoint = [Transaction(sender=i, receiver=10 + i, amount=1, nonce=0)
+                for i in range(5)]
+    assert prescan_conflicts(disjoint) == 0
+    chain = [Transaction(sender=0, receiver=1 + i, amount=1, nonce=i)
+             for i in range(5)]
+    # Every transaction after the first touches sender 0's write.
+    assert prescan_conflicts(chain) == 4
+
+
+def test_report_unit_model():
+    report = ParallelReport(workers=4, batch_size=10, mode="parallel",
+                            estimated_conflict_fraction=0.2, conflicts=2,
+                            adopted=8, lane_txs=(3, 3, 2, 2))
+    assert report.spec_units == 3
+    assert report.parallel_units == 5  # deepest lane + re-executed tail
+    assert report.serial_units == 10
+    fallback = ParallelReport(workers=4, batch_size=10, mode="fallback",
+                              estimated_conflict_fraction=0.9, conflicts=9)
+    assert fallback.parallel_units == fallback.serial_units == 10
+    as_dict = report.to_dict()
+    assert as_dict["mode"] == "parallel"
+    assert as_dict["parallel_units"] == 5
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer report-sink regression (DESIGN.md §9 meets §12)
+# ---------------------------------------------------------------------------
+
+
+class CollectingSink:
+    def __init__(self):
+        self.entries = []
+
+    def record(self, entry):
+        self.entries.append(entry)
+
+
+def narrowed_tx(sender, receiver, nonce=0, tx_id=None):
+    """A transfer whose access list deliberately omits the receiver."""
+    kwargs = {} if tx_id is None else {"tx_id": tx_id}
+    return Transaction(
+        sender=sender, receiver=receiver, amount=5, nonce=nonce,
+        access_list=AccessList(reads=frozenset({sender}),
+                               writes=frozenset({sender})),
+        **kwargs,
+    )
+
+
+def sanitized_view(accounts, mode, sink):
+    view = SanitizedStateView(mode=mode, label="exec", sink=sink)
+    for aid, bal in accounts.items():
+        view.load(Account(aid, balance=bal))
+    return view
+
+
+def test_record_mode_report_stream_identical_to_serial():
+    """Lane scopes merge back in batch order: one serial-shaped stream."""
+    accounts = {aid: 100 for aid in range(8)}
+    txs = [
+        Transaction(sender=1, receiver=2, amount=10, nonce=0),
+        narrowed_tx(3, 4),                 # undeclared read, recorded
+        Transaction(sender=5, receiver=6, amount=10, nonce=0),
+        Transaction(sender=2, receiver=7, amount=5, nonce=0),  # conflict
+        Transaction(sender=4, receiver=0, amount=200, nonce=0),  # fails
+    ]
+    serial_sink, parallel_sink = CollectingSink(), CollectingSink()
+    serial_view = sanitized_view(accounts, "record", serial_sink)
+    serial_outcome = TransactionExecutor().execute(txs, serial_view)
+    parallel_view = sanitized_view(accounts, "record", parallel_sink)
+    parallel_outcome = ParallelTransactionExecutor(3).execute(
+        txs, parallel_view
+    )
+
+    assert outcome_key(parallel_outcome) == outcome_key(serial_outcome)
+    assert parallel_view.written_encoded() == serial_view.written_encoded()
+    # The sink streams are entry-for-entry identical — no interleaved or
+    # reordered lane scopes, violations attributed to the same txs.
+    assert parallel_sink.entries == serial_sink.entries
+    assert [e["tx_id"] for e in parallel_sink.entries] == \
+        [tx.tx_id for tx in txs]
+    assert parallel_view.txs_checked == serial_view.txs_checked == len(txs)
+    assert parallel_view.violations == serial_view.violations
+    assert parallel_view.report() == serial_view.report()
+
+
+def test_speculation_never_touches_the_shared_sink():
+    """Regression: entries reach the sink only from the commit pass.
+
+    Before the per-lane :class:`LaneRecorder`, speculative lanes closed
+    ``begin_tx``/``end_tx`` brackets straight into the shared sink, so a
+    conflicting (later discarded) speculation still left an entry. Now
+    the sink stream holds exactly one entry per batch transaction.
+    """
+    accounts = {aid: 100 for aid in range(6)}
+    txs = [
+        Transaction(sender=1, receiver=2, amount=10, nonce=0),
+        Transaction(sender=2, receiver=3, amount=5, nonce=0),  # conflict
+        Transaction(sender=4, receiver=5, amount=5, nonce=0),
+    ]
+    sink = CollectingSink()
+    view = sanitized_view(accounts, "record", sink)
+    executor = ParallelTransactionExecutor(2)
+    executor.execute(txs, view)
+    assert executor.last_report.mode == "parallel"
+    assert executor.last_report.conflicts >= 1
+    # Exactly one scope entry per transaction, in batch order — the
+    # discarded speculation of the conflicting tx left no trace.
+    assert [e["tx_id"] for e in sink.entries] == [tx.tx_id for tx in txs]
+
+
+def test_strict_violation_raises_at_batch_position_like_serial():
+    """Deferred lane errors re-raise exactly where serial would raise."""
+    accounts = {aid: 100 for aid in range(8)}
+    txs = [
+        Transaction(sender=3, receiver=4, amount=5, nonce=0),
+        narrowed_tx(1, 2),  # strict: undeclared read of the receiver
+        Transaction(sender=5, receiver=6, amount=5, nonce=0),
+    ]
+
+    serial_sink, parallel_sink = CollectingSink(), CollectingSink()
+    serial_view = sanitized_view(accounts, "strict", serial_sink)
+    with pytest.raises(AccessListViolation) as serial_exc:
+        TransactionExecutor().execute(txs, serial_view)
+    parallel_view = sanitized_view(accounts, "strict", parallel_sink)
+    with pytest.raises(AccessListViolation) as parallel_exc:
+        ParallelTransactionExecutor(2).execute(txs, parallel_view)
+
+    assert str(parallel_exc.value) == str(serial_exc.value)
+    # Both stopped at the violating transaction: the applied prefix is
+    # in the view, the partial scope entry of the violator is in the
+    # sink, and nothing after it ran.
+    assert parallel_view.written_encoded() == serial_view.written_encoded()
+    assert parallel_sink.entries == serial_sink.entries
+    assert [e["tx_id"] for e in parallel_sink.entries] == \
+        [txs[0].tx_id, txs[1].tx_id]
+    assert parallel_view.violations == serial_view.violations
+
+
+def test_lane_recorder_buffers_in_order():
+    recorder = LaneRecorder()
+    recorder.record({"tx_id": 1})
+    recorder.record({"tx_id": 2})
+    assert [e["tx_id"] for e in recorder.entries] == [1, 2]
