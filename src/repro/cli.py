@@ -11,6 +11,7 @@ Usage::
     python -m repro lint src --access
     python -m repro replay --seed 7 --rounds 6
     python -m repro sanitize --mode strict --baseline
+    python -m repro racecheck --preset contended --schedules 20
     python -m repro chaos --preset storage-crash-heal --rounds 10 --seed 7
     python -m repro chaos --list-presets
     python -m repro trace --preset default --seed 7 --out trace-out --occupancy
@@ -124,6 +125,12 @@ def _cmd_sanitize(args) -> int:
     return sanitize_main(list(args.sanitize_args))
 
 
+def _cmd_racecheck(args) -> int:
+    from repro.devtools.racesan import main as racecheck_main
+
+    return racecheck_main(list(args.racecheck_args))
+
+
 def _cmd_chaos(args) -> int:
     from repro.harness.chaos import main as chaos_main
 
@@ -194,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="arguments forwarded to repro.devtools.sanitizer")
     sanitize.set_defaults(func=_cmd_sanitize)
 
+    racecheck = sub.add_parser(
+        "racecheck",
+        help="PoryRace schedule-perturbation certifier (permuted lane "
+             "schedules -> bit-identical roots + happens-before report)",
+        add_help=False,
+    )
+    racecheck.add_argument("racecheck_args", nargs=argparse.REMAINDER,
+                           help="arguments forwarded to repro.devtools.racesan")
+    racecheck.set_defaults(func=_cmd_racecheck)
+
     chaos = sub.add_parser(
         "chaos",
         help="chaos soak harness (seeded fault schedule + invariant report)",
@@ -235,6 +252,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_replay(argparse.Namespace(replay_args=argv[1:]))
     if argv and argv[0] == "sanitize":
         return _cmd_sanitize(argparse.Namespace(sanitize_args=argv[1:]))
+    if argv and argv[0] == "racecheck":
+        return _cmd_racecheck(argparse.Namespace(racecheck_args=argv[1:]))
     if argv and argv[0] == "chaos":
         return _cmd_chaos(argparse.Namespace(chaos_args=argv[1:]))
     if argv and argv[0] == "trace":

@@ -22,9 +22,19 @@ machine-checked instead of reviewer-checked:
   end-to-end runs with every execution view wrapped in a
   ``SanitizedStateView``, plus the per-run touched-vs-declared JSON
   report (``python -m repro.devtools.sanitizer --mode strict``).
+* :mod:`repro.devtools.lanesafety` — PoryRace's static head:
+  lane-reachability analysis powering the lane-safety rules
+  PL201..PL205 (``python -m repro.devtools.lint src --race``).
+* :mod:`repro.devtools.racesan` — PoryRace's dynamic head: per-lane
+  access-event recording, the happens-before checker, and the seeded
+  schedule-perturbation certifier
+  (``python -m repro.devtools.racesan --preset contended``).
+* :mod:`repro.devtools.report` — the canonical byte-stable JSON encoder
+  shared by every machine-readable devtools report.
 
-See DESIGN.md §8 for the determinism contract and rule catalog, and §9
-for the access-list soundness contract.
+See DESIGN.md §8 for the determinism contract and rule catalog, §9 for
+the access-list soundness contract, and §13 for the lane-isolation
+contract.
 """
 
 from __future__ import annotations
@@ -54,6 +64,17 @@ _EXPORTS = {
     "ReportCollector": "repro.devtools.sanitizer",
     "collect_reports": "repro.devtools.sanitizer",
     "sanitize_check": "repro.devtools.sanitizer",
+    "RACE_RULE_CODES": "repro.devtools.lanesafety",
+    "LaneRegion": "repro.devtools.lanesafety",
+    "compute_lane_region": "repro.devtools.lanesafety",
+    "BatchTrace": "repro.devtools.racesan",
+    "HappensBeforeChecker": "repro.devtools.racesan",
+    "PermutedLaneAssigner": "repro.devtools.racesan",
+    "RaceEventRecorder": "repro.devtools.racesan",
+    "certify_preset": "repro.devtools.racesan",
+    "racecheck": "repro.devtools.racesan",
+    "canonical_report": "repro.devtools.report",
+    "write_report": "repro.devtools.report",
 }
 
 __all__ = sorted(_EXPORTS)

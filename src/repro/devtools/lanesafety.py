@@ -1,0 +1,673 @@
+"""PoryRace static head: lane-safety lints (PL201-PL205).
+
+The OCC parallel executor (DESIGN.md §12) speculates transactions on
+isolated *lanes* and promises an outcome that is a pure function of the
+ordered batch — independent of lane assignment, speculation
+interleaving, or (eventually, ROADMAP item 2) real worker scheduling.
+That promise dies the moment lane-reachable code shares mutable state
+across lanes or merges results in completion order.  These rules lint
+for exactly those patterns (DESIGN.md §13), complementing the dynamic
+happens-before sanitizer in :mod:`repro.devtools.racesan`.
+
+**Lane-reachable code** is computed per module by a bounded BFS (same
+call-resolution discipline and depth cap as
+:mod:`repro.devtools.accessset`) from three kinds of roots:
+
+* methods of *lane classes* — any class whose name contains ``Lane``
+  (``_LaneView``, ``LaneRecorder``, ``LaneAssigner``, ...);
+* speculation entry points — functions named ``speculate`` /
+  ``_speculate``;
+* lane-parameterized functions — any function with a parameter named
+  ``lane``, ``lane_view`` or ``lanes``.
+
+Rule catalog (see DESIGN.md §13):
+
+======  =======================  =============================================
+code    name                     what it catches
+======  =======================  =============================================
+PL201   SHARED-MUTABLE-CAPTURE   shared mutable container (``self`` attr or
+                                 module global) passed into a lane constructor
+PL202   EXEC-STATE-READ          lane-reachable read of an executor/pipeline
+                                 mutable attribute or mutable module global
+PL203   OVERLAY-ESCAPE           overlay/view object stored into a structure
+                                 shared across lanes (``self`` attr / global)
+PL204   COMPLETION-ORDER-MERGE   merge call iterating a completion-ordered
+                                 collection instead of batch commit order
+PL205   UNORDERED-LANE-ITER      unordered shared-collection iteration in
+                                 lane-reachable code
+======  =======================  =============================================
+
+PL202/PL203/PL205 are scoped to ``repro/state/`` and ``repro/core/``
+(where lane execution lives); PL201/PL204 apply module-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+from collections import deque
+from dataclasses import dataclass
+
+from repro.devtools.accessset import _collect_functions, _FuncInfo
+from repro.devtools.findings import Finding
+from repro.devtools.rules import ModuleContext, Rule, register
+
+#: Substring marking a class as lane-scoped (its instances live on one
+#: speculation lane, or define the lane schedule itself).
+LANE_CLASS_MARKER = "Lane"
+
+#: Function names treated as speculation entry points.
+LANE_ROOT_FUNCTIONS = frozenset({"speculate", "_speculate"})
+
+#: Parameter names that make a function lane-parameterized.
+LANE_PARAM_NAMES = frozenset({"lane", "lane_view", "lanes"})
+
+#: Bounded lane-reachability descent (matches accessset's discipline).
+_MAX_LANE_DEPTH = 5
+
+#: Callables constructing mutable containers.
+_MUTABLE_CTOR_NAMES = frozenset({
+    "list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque",
+})
+
+#: Names/annotations marking a value as an overlay/view object.
+_VIEW_PARAM_NAMES = frozenset({"view", "lane_view", "overlay"})
+
+#: Dict-view iteration methods (unordered across lane completion).
+_DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+#: Iterable names whose contents are ordered by completion, not batch.
+_COMPLETION_NAME_HINTS = ("completed", "finished", "done")
+
+
+def is_lane_class(name: str) -> bool:
+    """Is ``name`` a lane-scoped class name?"""
+    return LANE_CLASS_MARKER in name
+
+
+def _qualname(info: _FuncInfo) -> str:
+    if info.class_name is not None:
+        return f"{info.class_name}.{info.node.name}"
+    return info.node.name
+
+
+def _is_mutable_container(node: ast.expr | None) -> bool:
+    """Does ``node`` evaluate to a freshly built mutable container?"""
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_CTOR_NAMES:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _MUTABLE_CTOR_NAMES:
+            return True
+        # dataclasses.field(default_factory=list) and friends
+        factory_name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if factory_name == "field":
+            for kw in node.keywords:
+                if kw.arg == "default_factory":
+                    value = kw.value
+                    if isinstance(value, ast.Name) \
+                            and value.id in _MUTABLE_CTOR_NAMES:
+                        return True
+                    if isinstance(value, ast.Attribute) \
+                            and value.attr in _MUTABLE_CTOR_NAMES:
+                        return True
+    return False
+
+
+def _class_mutable_attrs(cls: ast.ClassDef) -> frozenset[str]:
+    """Attribute names of ``cls`` bound to mutable containers.
+
+    Covers ``self.x = []``-style ``__init__`` assignments, class-level
+    ``x = {}`` / ``x: dict = {}`` bindings, and dataclass fields with a
+    mutable ``default_factory``.
+    """
+    attrs: set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign) and _is_mutable_container(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    attrs.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) \
+                and _is_mutable_container(stmt.value) \
+                and isinstance(stmt.target, ast.Name):
+            attrs.add(stmt.target.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and stmt.name == "__init__":
+            for node in ast.walk(stmt):
+                target_expr: ast.expr | None = None
+                value_expr: ast.expr | None = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target_expr, value_expr = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target_expr, value_expr = node.target, node.value
+                if target_expr is None or not _is_mutable_container(value_expr):
+                    continue
+                if isinstance(target_expr, ast.Attribute) \
+                        and isinstance(target_expr.value, ast.Name) \
+                        and target_expr.value.id == "self":
+                    attrs.add(target_expr.attr)
+    return frozenset(attrs)
+
+
+def _module_mutable_globals(tree: ast.Module) -> frozenset[str]:
+    """Module-level names bound to mutable containers."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _is_mutable_container(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) \
+                and _is_mutable_container(stmt.value) \
+                and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+    return frozenset(names)
+
+
+def _resolve_callee(table: dict[str, list[_FuncInfo]], caller: _FuncInfo,
+                    func: ast.expr) -> _FuncInfo | None:
+    """Same-module call resolution (mirrors accessset's discipline)."""
+    if isinstance(func, ast.Name):
+        for info in table.get(func.id, ()):
+            if info.class_name is None:
+                return info
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id in {"self", "cls"}:
+            candidates = table.get(func.attr, ())
+            for info in candidates:
+                if info.class_name == caller.class_name:
+                    return info
+            return candidates[0] if candidates else None
+    return None
+
+
+@dataclass
+class LaneRegion:
+    """The lane-reachable slice of one module."""
+
+    #: ``id(node)`` -> function info for every lane-reachable function.
+    reachable: dict[int, _FuncInfo]
+    #: ``id(node)`` -> human-readable reachability reason.
+    reasons: dict[int, str]
+    #: class name -> attribute names bound to mutable containers.
+    mutable_attrs: dict[str, frozenset[str]]
+    #: module-level names bound to mutable containers.
+    mutable_globals: frozenset[str]
+    #: names of lane classes defined in this module.
+    lane_classes: frozenset[str]
+    #: all collected functions (for module-wide rules).
+    functions: dict[str, list[_FuncInfo]]
+
+    def reason_for(self, info: _FuncInfo) -> str:
+        return self.reasons.get(id(info.node), "lane-reachable")
+
+
+def compute_lane_region(tree: ast.Module) -> LaneRegion:
+    """Lane-reachability + shared-mutable inventory for one module."""
+    table = _collect_functions(tree)
+    mutable_attrs: dict[str, frozenset[str]] = {}
+    lane_classes: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            mutable_attrs[stmt.name] = _class_mutable_attrs(stmt)
+            if is_lane_class(stmt.name):
+                lane_classes.add(stmt.name)
+
+    queue: deque[tuple[_FuncInfo, str, int]] = deque()
+    for infos in table.values():
+        for info in infos:
+            if info.class_name is not None and is_lane_class(info.class_name):
+                queue.append((
+                    info, f"method of lane class `{info.class_name}`", 0))
+            elif info.node.name in LANE_ROOT_FUNCTIONS:
+                queue.append((info, "speculation entry point", 0))
+            elif any(p.arg in LANE_PARAM_NAMES for p in info.params):
+                param = next(p.arg for p in info.params
+                             if p.arg in LANE_PARAM_NAMES)
+                queue.append((info, f"lane-parameterized (`{param}`)", 0))
+
+    reachable: dict[int, _FuncInfo] = {}
+    reasons: dict[int, str] = {}
+    while queue:
+        info, reason, depth = queue.popleft()
+        marker = id(info.node)
+        if marker in reachable:
+            continue
+        reachable[marker] = info
+        reasons[marker] = reason
+        if depth >= _MAX_LANE_DEPTH:
+            continue
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _resolve_callee(table, info, node.func)
+            if callee is None or id(callee.node) in reachable:
+                continue
+            queue.append((
+                callee,
+                f"called from lane-reachable `{_qualname(info)}` "
+                f"(line {node.lineno})",
+                depth + 1,
+            ))
+    return LaneRegion(
+        reachable=reachable,
+        reasons=reasons,
+        mutable_attrs=mutable_attrs,
+        mutable_globals=_module_mutable_globals(tree),
+        lane_classes=frozenset(lane_classes),
+        functions=table,
+    )
+
+
+class _loc:  # noqa: N801 - tiny location adapter
+    def __init__(self, node: ast.AST):
+        self.lineno = getattr(node, "lineno", 1)
+        self.col_offset = getattr(node, "col_offset", 0)
+
+
+class _LaneRule(Rule):
+    """Shared helpers for the lane-safety rules."""
+
+    def _region(self, ctx: ModuleContext) -> LaneRegion:
+        return typing.cast(LaneRegion, ctx.lane_region())
+
+    @staticmethod
+    def _callee_name(func: ast.expr) -> str:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return ""
+
+
+#: Path scope for the lane-execution-local rules: lane code lives in the
+#: state package and the core pipeline.
+_LANE_PATHS = (
+    "*repro/state/*", "*repro/core/*", "repro/state/*", "repro/core/*",
+)
+
+
+# ---------------------------------------------------------------------------
+# PL201 SHARED-MUTABLE-CAPTURE
+# ---------------------------------------------------------------------------
+
+
+@register
+class SharedMutableCaptureRule(_LaneRule):
+    """Shared mutable container captured into a lane constructor.
+
+    A lane object must own (or freshly receive) everything mutable it
+    touches: handing it ``self.cache`` or a module-level dict gives every
+    lane a reference to the *same* container, so lane interleaving —
+    harmless today, real threads tomorrow — becomes observable state.
+    """
+
+    code = "PL201"
+    name = "SHARED-MUTABLE-CAPTURE"
+    summary = "shared mutable container passed into a lane constructor"
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        region = self._region(ctx)
+        for infos in region.functions.values():
+            for info in infos:
+                yield from self._check_function(ctx, region, info)
+
+    def _check_function(self, ctx: ModuleContext, region: LaneRegion,
+                        info: _FuncInfo) -> "typing.Iterator[Finding]":
+        own_attrs = region.mutable_attrs.get(info.class_name or "",
+                                             frozenset())
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = self._callee_name(node.func)
+            if not is_lane_class(ctor):
+                continue
+            values = [*node.args, *(kw.value for kw in node.keywords)]
+            for value in values:
+                if isinstance(value, ast.Attribute) \
+                        and isinstance(value.value, ast.Name) \
+                        and value.value.id == "self" \
+                        and value.attr in own_attrs:
+                    yield self.finding(
+                        ctx, _loc(node),
+                        f"`{_qualname(info)}` passes shared mutable "
+                        f"`self.{value.attr}` into lane constructor "
+                        f"`{ctor}(...)`",
+                        "give each lane its own container (construct it "
+                        "at the call site) and merge results in batch "
+                        "commit order",
+                    )
+                elif isinstance(value, ast.Name) \
+                        and value.id in region.mutable_globals:
+                    yield self.finding(
+                        ctx, _loc(node),
+                        f"`{_qualname(info)}` passes module-level mutable "
+                        f"`{value.id}` into lane constructor `{ctor}(...)`",
+                        "give each lane its own container (construct it "
+                        "at the call site) and merge results in batch "
+                        "commit order",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# PL202 EXEC-STATE-READ
+# ---------------------------------------------------------------------------
+
+
+@register
+class ExecStateReadRule(_LaneRule):
+    """Lane-reachable read of an executor/pipeline mutable attribute.
+
+    Lane code reading ``self.pending`` (a dict the executor mutates
+    between and during batches) observes state whose content depends on
+    what *other* lanes have done so far — a schedule dependence the OCC
+    commit pass can never repair.  Lane classes reading their *own*
+    buffers are exempt: those are lane-private by construction.
+    """
+
+    code = "PL202"
+    name = "EXEC-STATE-READ"
+    summary = "lane-reachable read of executor/pipeline mutable state"
+    path_patterns = _LANE_PATHS
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        region = self._region(ctx)
+        for info in region.reachable.values():
+            if info.class_name is not None \
+                    and is_lane_class(info.class_name):
+                continue  # a lane's own buffers are lane-private
+            own_attrs = region.mutable_attrs.get(info.class_name or "",
+                                                 frozenset())
+            reason = region.reason_for(info)
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Attribute) \
+                        and isinstance(node.ctx, ast.Load) \
+                        and isinstance(node.value, ast.Name) \
+                        and node.value.id == "self" \
+                        and node.attr in own_attrs:
+                    yield self.finding(
+                        ctx, _loc(node),
+                        f"`{_qualname(info)}` ({reason}) reads mutable "
+                        f"attribute `self.{node.attr}` shared across lanes",
+                        "snapshot the value before the lanes start (pass "
+                        "it as an argument) or move the read into the "
+                        "in-order commit pass",
+                    )
+                elif isinstance(node, ast.Name) \
+                        and isinstance(node.ctx, ast.Load) \
+                        and node.id in region.mutable_globals:
+                    yield self.finding(
+                        ctx, _loc(node),
+                        f"`{_qualname(info)}` ({reason}) reads mutable "
+                        f"module global `{node.id}` from lane-reachable "
+                        "code",
+                        "snapshot the value before the lanes start (pass "
+                        "it as an argument) or move the read into the "
+                        "in-order commit pass",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# PL203 OVERLAY-ESCAPE
+# ---------------------------------------------------------------------------
+
+
+@register
+class OverlayEscapeRule(_LaneRule):
+    """Overlay/view object escaping into a cross-lane shared structure.
+
+    A lane overlay is valid only within its speculation: once stored on
+    ``self`` or appended to a shared container it outlives the lane, and
+    whichever lane finishes last wins — completion-order state.  Lane
+    classes holding their *own* parent reference are exempt (the
+    lane-scoped ``self._parent`` back-pointer pattern).
+    """
+
+    code = "PL203"
+    name = "OVERLAY-ESCAPE"
+    summary = "overlay/view object escapes into cross-lane shared state"
+    path_patterns = _LANE_PATHS
+
+    _hint = (
+        "keep overlays lane-local; return them (or their "
+        "`written_encoded()` snapshot) and merge in batch commit order"
+    )
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        region = self._region(ctx)
+        for info in region.reachable.values():
+            if info.class_name is not None \
+                    and is_lane_class(info.class_name):
+                continue
+            yield from self._check_function(ctx, region, info)
+
+    def _view_names(self, info: _FuncInfo) -> set[str]:
+        """Names bound to overlay/view objects inside ``info``."""
+        names: set[str] = set()
+        for param in info.params:
+            annotation = ""
+            if param.annotation is not None:
+                try:
+                    annotation = ast.unparse(param.annotation)
+                except Exception:  # pragma: no cover - malformed
+                    annotation = ""
+            if param.arg in _VIEW_PARAM_NAMES or "View" in annotation:
+                names.add(param.arg)
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                value = node.value
+                if isinstance(value, ast.Call) and is_lane_class(
+                        self._callee_name(value.func)):
+                    names.add(node.targets[0].id)
+                elif isinstance(value, ast.Name) and value.id in names:
+                    names.add(node.targets[0].id)
+        return names
+
+    def _check_function(self, ctx: ModuleContext, region: LaneRegion,
+                        info: _FuncInfo) -> "typing.Iterator[Finding]":
+        view_names = self._view_names(info)
+        if not view_names:
+            return
+        reason = region.reason_for(info)
+
+        def is_view(value: ast.expr) -> bool:
+            return isinstance(value, ast.Name) and value.id in view_names
+
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign):
+                if not is_view(node.value):
+                    continue
+                for target in node.targets:
+                    escape = self._escape_target(target, region)
+                    if escape:
+                        yield self.finding(
+                            ctx, _loc(node),
+                            f"`{_qualname(info)}` ({reason}) stores overlay "
+                            f"`{ast.unparse(node.value)}` into shared "
+                            f"{escape}",
+                            self._hint,
+                        )
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in {"append", "add", "insert",
+                                           "setdefault"} \
+                    and any(is_view(arg) for arg in node.args):
+                container = node.func.value
+                escape = self._escape_target(container, region)
+                if escape:
+                    yield self.finding(
+                        ctx, _loc(node),
+                        f"`{_qualname(info)}` ({reason}) appends an overlay "
+                        f"into shared {escape}",
+                        self._hint,
+                    )
+
+    def _escape_target(self, target: ast.expr,
+                       region: LaneRegion) -> str | None:
+        """Describe ``target`` if it is cross-lane shared, else None."""
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            return f"attribute `self.{target.attr}`"
+        if isinstance(target, ast.Name) \
+                and target.id in region.mutable_globals:
+            return f"module global `{target.id}`"
+        if isinstance(target, ast.Subscript):
+            return self._escape_target(target.value, region)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# PL204 COMPLETION-ORDER-MERGE
+# ---------------------------------------------------------------------------
+
+
+@register
+class CompletionOrderMergeRule(_LaneRule):
+    """Merge operation iterating a completion-ordered collection.
+
+    Sanitizer scopes, lane writes and failure entries must merge back in
+    *batch commit order* — merging over ``as_completed(...)``, a set, or
+    a dict view whose insertion order tracks lane completion makes the
+    merged stream a function of scheduling, which the perturbation
+    certifier will flag as a root/stream mismatch.
+    """
+
+    code = "PL204"
+    name = "COMPLETION-ORDER-MERGE"
+    summary = "merge call driven by lane completion order, not batch order"
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            flavour = self._completion_flavour(node.iter)
+            if flavour is None:
+                continue
+            for sub_stmt in node.body:
+                for sub in ast.walk(sub_stmt):
+                    if isinstance(sub, ast.Call) \
+                            and isinstance(sub.func, ast.Attribute) \
+                            and sub.func.attr.startswith("merge"):
+                        yield self.finding(
+                            ctx, _loc(sub),
+                            f"`{sub.func.attr}(...)` runs inside a loop "
+                            f"over {flavour} — merge order tracks lane "
+                            "completion, not batch order",
+                            "iterate the ordered batch (e.g. `for spec in "
+                            "specs:`) and merge each adopted scope at its "
+                            "batch position",
+                        )
+
+    def _completion_flavour(self, iter_expr: ast.expr) -> str | None:
+        if isinstance(iter_expr, ast.Set):
+            return "a set literal (unordered)"
+        if isinstance(iter_expr, ast.Call):
+            name = self._callee_name(iter_expr.func)
+            if name == "as_completed":
+                return "`as_completed(...)` (completion order)"
+            if name in {"set", "frozenset"}:
+                return f"`{name}(...)` (unordered)"
+            if isinstance(iter_expr.func, ast.Attribute) \
+                    and name in _DICT_VIEW_METHODS:
+                return (f"a `.{name}()` dict view (insertion = completion "
+                        "order)")
+        if isinstance(iter_expr, ast.Name) and any(
+                hint in iter_expr.id.lower()
+                for hint in _COMPLETION_NAME_HINTS):
+            return f"`{iter_expr.id}` (completion-ordered by name)"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# PL205 UNORDERED-LANE-ITER
+# ---------------------------------------------------------------------------
+
+
+@register
+class UnorderedLaneIterRule(_LaneRule):
+    """Unordered shared-collection iteration in lane-reachable code.
+
+    Iterating a set — or a dict view of a structure shared across lanes
+    — inside lane-reachable code makes per-lane behaviour (and any
+    events it emits) depend on hash order or on what other lanes
+    inserted first.  Wrap in ``sorted(...)`` or iterate the ordered
+    batch instead.
+    """
+
+    code = "PL205"
+    name = "UNORDERED-LANE-ITER"
+    summary = "unordered shared-collection iteration in lane-reachable code"
+    path_patterns = _LANE_PATHS
+
+    _hint = (
+        "wrap the iteration in `sorted(...)` or iterate a "
+        "canonically ordered list"
+    )
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        region = self._region(ctx)
+        for info in region.reachable.values():
+            reason = region.reason_for(info)
+            lane_own = info.class_name is not None \
+                and is_lane_class(info.class_name)
+            for node in ast.walk(info.node):
+                iters: list[ast.expr] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters = [node.iter]
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    iters = [gen.iter for gen in node.generators]
+                for iter_expr in iters:
+                    flavour = self._unordered_flavour(
+                        iter_expr, region, lane_own)
+                    if flavour is None:
+                        continue
+                    yield self.finding(
+                        ctx, _loc(iter_expr),
+                        f"`{_qualname(info)}` ({reason}) iterates "
+                        f"{flavour}",
+                        self._hint,
+                    )
+
+    def _unordered_flavour(self, iter_expr: ast.expr, region: LaneRegion,
+                           lane_own: bool) -> str | None:
+        if isinstance(iter_expr, ast.Set):
+            return "a set literal (unordered)"
+        if not isinstance(iter_expr, ast.Call):
+            return None
+        name = self._callee_name(iter_expr.func)
+        if name in {"set", "frozenset"}:
+            return f"`{name}(...)` (unordered)"
+        if lane_own:
+            # a lane's own dict buffers fill in deterministic per-lane
+            # order; only genuinely shared views are a hazard.
+            return None
+        if name in _DICT_VIEW_METHODS \
+                and isinstance(iter_expr.func, ast.Attribute):
+            base = iter_expr.func.value
+            if isinstance(base, ast.Attribute) \
+                    and isinstance(base.value, ast.Name) \
+                    and base.value.id == "self":
+                return (f"`self.{base.attr}.{name}()` — a dict view of "
+                        "state shared across lanes")
+            if isinstance(base, ast.Name) \
+                    and base.id in region.mutable_globals:
+                return (f"`{base.id}.{name}()` — a dict view of a "
+                        "mutable module global")
+        return None
+
+
+#: Codes belonging to the PoryRace lane-safety rule family (the
+#: ``porylint --race`` selection).
+RACE_RULE_CODES = frozenset({"PL201", "PL202", "PL203", "PL204", "PL205"})

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import ast
-import json
 import sys
 import typing
 from dataclasses import dataclass, field
@@ -35,9 +34,13 @@ from repro.devtools.findings import Finding
 from repro.devtools.rules import RULES, ModuleContext
 
 # Imported for the registration side-effect: the PorySan access-list
-# soundness rules (PL101..PL105) add themselves to RULES on import.
+# soundness rules (PL101..PL105) and the PoryRace lane-safety rules
+# (PL201..PL205) add themselves to RULES on import.
 import repro.devtools.accessset  # noqa: E402,F401
+import repro.devtools.lanesafety  # noqa: E402,F401
 from repro.devtools.accessset import ACCESS_RULE_CODES
+from repro.devtools.lanesafety import RACE_RULE_CODES
+from repro.devtools.report import canonical_report
 
 #: Default name of the checked-in baseline file (repo root).
 BASELINE_NAME = "porylint-baseline.txt"
@@ -287,8 +290,10 @@ def report_json(result: LintResult, stream: "typing.TextIO") -> None:
             for path, error in result.parse_errors
         ],
     }
-    json.dump(payload, stream, indent=2)
-    stream.write("\n")
+    # Canonical byte-stable encoding shared with the sanitizer and the
+    # racecheck certifier (DESIGN.md §13 satellite): sorted keys, two
+    # space indent, single trailing newline.
+    stream.write(canonical_report(payload))
 
 
 # ---------------------------------------------------------------------------
@@ -301,12 +306,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="porylint",
         description="determinism & protocol-safety linter for the Porygon "
                     "reproduction (determinism rules PL001..PL006, DESIGN.md "
-                    "§8; access-list soundness rules PL101..PL105, §9)",
+                    "§8; access-list soundness rules PL101..PL105, §9; "
+                    "lane-safety rules PL201..PL205, §13)",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument("--access", action="store_true",
                         help="run the PorySan access-list soundness rules "
                              "(PL101..PL105); combines with --select")
+    parser.add_argument("--race", action="store_true",
+                        help="run the PoryRace lane-safety rules "
+                             "(PL201..PL205); combines with --select")
     parser.add_argument("--strict", action="store_true",
                         help="also fail on stale baseline entries and "
                              "unparseable files")
@@ -353,6 +362,9 @@ def main(argv: list[str] | None = None) -> int:
         # --access focuses the run on PL101..PL105; with an explicit
         # --select the two sets are unioned.
         select = ACCESS_RULE_CODES if select is None else select | ACCESS_RULE_CODES
+    if args.race:
+        # --race focuses the run on PL201..PL205 (same union semantics).
+        select = RACE_RULE_CODES if select is None else select | RACE_RULE_CODES
     unknown = (select or frozenset()) - set(RULES)
     if unknown:
         print(f"unknown rule code(s): {', '.join(sorted(unknown))}",

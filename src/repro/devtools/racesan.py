@@ -1,0 +1,576 @@
+"""PoryRace dynamic head: happens-before sanitizer + schedule certifier.
+
+The OCC parallel executor (DESIGN.md §12) promises that its outcome is a
+pure function of the *ordered batch* — never of how transactions were
+scheduled across speculation lanes.  The static head
+(:mod:`repro.devtools.lanesafety`, PL201–PL205) lints the code for
+patterns that could break that promise; this module checks the
+*behaviour* (DESIGN.md §13):
+
+* :class:`RaceEventRecorder` — a duck-typed
+  :class:`~repro.state.parallel.BatchRaceProbe` that records every view
+  touch as a ``(seq, lane, op, key)`` event, brackets per-transaction
+  scopes, and captures the executor's commit decisions and merge order
+  into per-batch :class:`BatchTrace` objects.
+* :class:`HappensBeforeChecker` — certifies each trace against the
+  lane-isolation contract: **(a)** no scoped lane touch outside the
+  transaction's declared access set, **(b)** the commit pass flagged
+  every *observed* read-write conflict (completeness — the dual of
+  PorySan's actual ⊆ declared soundness), and **(c)** sanitizer scopes
+  merge in strictly increasing batch order.
+* :class:`PermutedLaneAssigner` + :func:`certify_preset` — the seeded
+  schedule-perturbation certifier: re-runs the same ordered batch under
+  round-robin, reversed, single-lane pile-up and seeded random
+  lane/interleaving schedules, asserting bit-identical state roots,
+  outcomes and sanitizer report streams against a serial baseline.
+
+CLI::
+
+    python -m repro.devtools.racesan --preset default --schedules 20
+    repro racecheck --json
+
+Exit code 0 when every preset certifies, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import random
+import sys
+import typing
+from dataclasses import dataclass, field
+
+from repro.chain.account import Account, AccountId
+from repro.devtools.report import canonical_report, write_report
+from repro.state.executor import TransactionExecutor
+from repro.state.parallel import (
+    COMMIT_LANE,
+    LaneAssigner,
+    ParallelTransactionExecutor,
+)
+from repro.state.view import SanitizedStateView
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.chain.transaction import Transaction
+
+
+# ---------------------------------------------------------------------------
+# Event recording
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TxScope:
+    """One transaction's access scope on one lane (begin_tx..end_tx)."""
+
+    lane: int
+    tx_id: int
+    declared: frozenset[AccountId]
+    opened_seq: int
+    reads: set[AccountId] = field(default_factory=set)
+    writes: set[AccountId] = field(default_factory=set)
+    loads: set[AccountId] = field(default_factory=set)
+    closed_seq: int = -1
+
+    @property
+    def touched(self) -> frozenset[AccountId]:
+        return frozenset(self.reads | self.writes | self.loads)
+
+
+@dataclass
+class BatchTrace:
+    """Everything PoryRace observed during one executor batch."""
+
+    #: ``(tx_id, declared touched, declared writes)`` in batch order.
+    txs: list[tuple[int, frozenset[AccountId], frozenset[AccountId]]]
+    #: raw ``(seq, lane, op, key)`` events in observation order.
+    events: list[tuple[int, int, str, AccountId]] = field(default_factory=list)
+    #: closed transaction scopes in close order.
+    scopes: list[TxScope] = field(default_factory=list)
+    #: ``(position, tx_id, decision, applied)`` from the commit pass.
+    commits: list[tuple[int, int, str, bool]] = field(default_factory=list)
+    #: tx ids in ``merge_scope`` call order.
+    merges: list[int] = field(default_factory=list)
+    #: executor mode ("parallel" | "fallback" | "serial"); set at batch end.
+    mode: str = ""
+    #: scopes opened implicitly (no surrounding on_batch_begin).
+    implicit: bool = False
+
+
+class RaceEventRecorder:
+    """Concrete :class:`~repro.state.parallel.BatchRaceProbe`.
+
+    Deterministic and allocation-light: one monotonically increasing
+    sequence number orders all events; per-lane open scopes attribute
+    each touch to the transaction currently executing on that lane.
+    Attach via ``executor.race_probe = recorder`` (the executor arms the
+    parent and every lane view itself).
+    """
+
+    def __init__(self) -> None:
+        self.batches: list[BatchTrace] = []
+        self._current: BatchTrace | None = None
+        self._open: dict[int, TxScope] = {}
+        self._seq = 0
+        #: protocol anomalies (double begin, end without begin, ...) —
+        #: always empty on a healthy executor.
+        self.anomalies: list[dict[str, object]] = []
+
+    # -- trace bookkeeping ---------------------------------------------
+
+    @property
+    def traces(self) -> list[BatchTrace]:
+        """Completed batches plus the in-flight one, if any."""
+        if self._current is not None:
+            return [*self.batches, self._current]
+        return list(self.batches)
+
+    def _trace(self) -> BatchTrace:
+        if self._current is None:
+            # Probe armed outside an executor batch (e.g. a bare view in
+            # a unit test): open an implicit, never-ending trace.
+            self._current = BatchTrace(txs=[], implicit=True)
+        return self._current
+
+    # -- BatchRaceProbe ------------------------------------------------
+
+    def on_batch_begin(self, txs: typing.Sequence["Transaction"]) -> None:
+        if self._current is not None:
+            self.anomalies.append({
+                "kind": "nested-batch", "open_scopes": sorted(self._open),
+            })
+            self.batches.append(self._current)
+        self._current = BatchTrace(txs=[
+            (tx.tx_id, frozenset(tx.access_list.touched),
+             frozenset(tx.access_list.writes))
+            for tx in txs
+        ])
+        self._open = {}
+
+    def on_batch_end(self, mode: str) -> None:
+        trace = self._trace()
+        trace.mode = mode
+        if self._open:
+            self.anomalies.append({
+                "kind": "unclosed-scopes", "lanes": sorted(self._open),
+            })
+        self.batches.append(trace)
+        self._current = None
+        self._open = {}
+
+    def on_begin(self, lane: int, tx: "Transaction") -> None:
+        self._trace()
+        if lane in self._open:
+            self.anomalies.append({
+                "kind": "double-begin", "lane": lane, "tx_id": tx.tx_id,
+            })
+        self._seq += 1
+        self._open[lane] = TxScope(
+            lane=lane, tx_id=tx.tx_id,
+            declared=frozenset(tx.access_list.touched),
+            opened_seq=self._seq,
+        )
+
+    def on_end(self, lane: int) -> None:
+        trace = self._trace()
+        scope = self._open.pop(lane, None)
+        if scope is None:
+            self.anomalies.append({"kind": "end-without-begin", "lane": lane})
+            return
+        self._seq += 1
+        scope.closed_seq = self._seq
+        trace.scopes.append(scope)
+
+    def on_access(self, lane: int, op: str, key: AccountId) -> None:
+        trace = self._trace()
+        self._seq += 1
+        trace.events.append((self._seq, lane, op, key))
+        scope = self._open.get(lane)
+        if scope is None:
+            return  # unscoped plumbing (view population, S-set adoption)
+        if op == "write":
+            scope.writes.add(key)
+        elif op == "load":
+            scope.loads.add(key)
+        else:
+            scope.reads.add(key)
+
+    def on_commit(self, position: int, tx_id: int, decision: str,
+                  applied: bool) -> None:
+        self._trace().commits.append((position, tx_id, decision, applied))
+
+    def on_merge(self, tx_id: int) -> None:
+        self._trace().merges.append(tx_id)
+
+
+# ---------------------------------------------------------------------------
+# Happens-before checking
+# ---------------------------------------------------------------------------
+
+
+class HappensBeforeChecker:
+    """Certify recorded traces against the lane-isolation contract."""
+
+    def check_trace(self, trace: BatchTrace) -> list[dict[str, object]]:
+        violations: list[dict[str, object]] = []
+        position_of = {tx_id: i for i, (tx_id, _, _) in enumerate(trace.txs)}
+
+        # (a) lane isolation: every scoped touch must be declared.  This
+        # holds on *plain* views too — the probe sees raw StateView
+        # traffic, so it catches undeclared touches even where PorySan
+        # is not armed.
+        for scope in trace.scopes:
+            undeclared = sorted(scope.touched - scope.declared)
+            if undeclared:
+                violations.append({
+                    "check": "isolation",
+                    "lane": scope.lane,
+                    "tx_id": scope.tx_id,
+                    "undeclared": undeclared,
+                })
+
+        # (b) conflict-flagging completeness: walk the commit decisions
+        # in batch order accumulating *actual* writes of the applied
+        # prefix; an adopted transaction whose actual touched set
+        # intersects them is a conflict the OCC pass failed to flag.
+        spec_scope: dict[int, TxScope] = {}
+        commit_scope: dict[int, TxScope] = {}
+        for scope in trace.scopes:
+            if scope.lane == COMMIT_LANE:
+                commit_scope.setdefault(scope.tx_id, scope)
+            else:
+                spec_scope.setdefault(scope.tx_id, scope)
+        prefix_writes: set[AccountId] = set()
+        last_position = -1
+        for position, tx_id, decision, applied in trace.commits:
+            if position <= last_position:
+                violations.append({
+                    "check": "commit-order",
+                    "position": position,
+                    "tx_id": tx_id,
+                })
+            last_position = position
+            scope = (spec_scope.get(tx_id) if decision == "adopt"
+                     else commit_scope.get(tx_id))
+            if scope is None:
+                violations.append({
+                    "check": "missing-scope",
+                    "position": position,
+                    "tx_id": tx_id,
+                    "decision": decision,
+                })
+                continue
+            if decision == "adopt":
+                missed = sorted(scope.touched & prefix_writes)
+                if missed:
+                    violations.append({
+                        "check": "completeness",
+                        "position": position,
+                        "tx_id": tx_id,
+                        "unflagged_conflict_keys": missed,
+                    })
+            if applied:
+                prefix_writes |= scope.writes
+
+        # (c) merge order: sanitizer scopes must merge back into the
+        # parent view in strictly increasing batch position.
+        last_merge = -1
+        for tx_id in trace.merges:
+            position = position_of.get(tx_id, -1)
+            if position < 0:
+                violations.append({
+                    "check": "merge-order",
+                    "tx_id": tx_id,
+                    "reason": "merged tx not in batch",
+                })
+                continue
+            if position <= last_merge:
+                violations.append({
+                    "check": "merge-order",
+                    "tx_id": tx_id,
+                    "position": position,
+                    "previous_position": last_merge,
+                })
+            last_merge = position
+        return violations
+
+    def check(self, recorder: RaceEventRecorder) -> list[dict[str, object]]:
+        """All violations across a recorder's traces (+ anomalies)."""
+        violations: list[dict[str, object]] = []
+        for index, trace in enumerate(recorder.traces):
+            for violation in self.check_trace(trace):
+                violations.append({"batch": index, **violation})
+        for anomaly in recorder.anomalies:
+            violations.append({"check": "protocol", **anomaly})
+        return violations
+
+
+# ---------------------------------------------------------------------------
+# Schedule perturbation
+# ---------------------------------------------------------------------------
+
+
+class PermutedLaneAssigner(LaneAssigner):
+    """Injectable schedule: per-position lanes + speculation order.
+
+    ``lanes[i]`` is the lane for batch position ``i`` (positions past
+    the end fall back to round-robin); ``order`` is the permutation of
+    batch positions in which speculation runs.  The executor validates
+    both (lane range, permutation), so a bad schedule fails loudly.
+    """
+
+    def __init__(self, lanes: typing.Sequence[int] | None = None,
+                 order: typing.Sequence[int] | None = None) -> None:
+        self._lanes = list(lanes) if lanes is not None else None
+        self._order = list(order) if order is not None else None
+
+    def assign(self, index: int, tx: "Transaction", workers: int) -> int:
+        if self._lanes is not None and index < len(self._lanes):
+            return self._lanes[index]
+        return index % workers
+
+    def speculation_order(self, batch_size: int) -> typing.Sequence[int]:
+        if self._order is not None and len(self._order) == batch_size:
+            return list(self._order)
+        return range(batch_size)
+
+
+def schedule_for(kind_index: int, batch_size: int, workers: int,
+                 seed: int) -> tuple[str, LaneAssigner]:
+    """The ``kind_index``-th perturbation schedule for a batch.
+
+    0 is the production round-robin schedule, 1 reverses the
+    speculation interleaving, 2 piles every transaction onto one lane,
+    and every further index draws seeded random lanes plus a shuffled
+    speculation order — all pure functions of ``(kind_index, seed)``.
+    """
+    if kind_index == 0:
+        return "roundrobin", LaneAssigner()
+    if kind_index == 1:
+        return "reversed-order", PermutedLaneAssigner(
+            order=list(range(batch_size - 1, -1, -1)))
+    if kind_index == 2:
+        return "single-lane", PermutedLaneAssigner(lanes=[0] * batch_size)
+    rng = random.Random(seed * 7919 + kind_index)
+    lanes = [rng.randrange(workers) for _ in range(batch_size)]
+    order = list(range(batch_size))
+    rng.shuffle(order)
+    return f"seeded-{kind_index}", PermutedLaneAssigner(lanes=lanes,
+                                                        order=order)
+
+
+# ---------------------------------------------------------------------------
+# Certifier
+# ---------------------------------------------------------------------------
+
+#: Seeded certifier workloads.  ``default`` is a mostly-disjoint batch
+#: (adoption-heavy); ``contended`` draws Zipf-skewed hot keys so the
+#: commit pass re-executes a real conflicting tail under every schedule.
+CERT_PRESETS: dict[str, dict[str, object]] = {
+    "default": {
+        "seed": 11, "num_accounts": 256, "batch": 64,
+        "zipf_s": 0.0, "unique": True, "workers": 4,
+    },
+    "contended": {
+        "seed": 23, "num_accounts": 2048, "batch": 96,
+        "zipf_s": 0.6, "unique": False, "workers": 4,
+    },
+}
+
+
+class _StreamCollector:
+    """Sanitizer sink capturing the report-entry stream."""
+
+    def __init__(self) -> None:
+        self.entries: list[dict[str, object]] = []
+
+    def record(self, entry: dict[str, object]) -> None:
+        self.entries.append(entry)
+
+
+def _preset_batch(spec: dict[str, object]) -> tuple[
+        list["Transaction"], dict[AccountId, int]]:
+    from repro.workload.generator import WorkloadGenerator
+
+    generator = WorkloadGenerator(
+        num_accounts=typing.cast(int, spec["num_accounts"]), num_shards=1,
+        zipf_s=typing.cast(float, spec["zipf_s"]),
+        unique=typing.cast(bool, spec["unique"]),
+        seed=typing.cast(int, spec["seed"]),
+    )
+    txs = generator.batch(typing.cast(int, spec["batch"]))
+    balances = {
+        key: 1_000_000 for tx in txs for key in tx.access_list.touched
+    }
+    return txs, balances
+
+
+def _fund(balances: dict[AccountId, int], *, label: str,
+          sink: _StreamCollector) -> SanitizedStateView:
+    accounts = {
+        key: Account(key, balance=balance)
+        for key, balance in balances.items()
+    }
+    return SanitizedStateView(accounts, mode="record", label=label, sink=sink)
+
+
+def _state_root(view: SanitizedStateView) -> str:
+    """Deterministic digest of the view's final written state."""
+    digest = hashlib.sha256()
+    for account_id, encoded in view.written_encoded():
+        digest.update(str(account_id).encode())
+        digest.update(b"\x00")
+        digest.update(encoded)
+    return digest.hexdigest()
+
+
+def _stream_digest(entries: list[dict[str, object]]) -> str:
+    rendered = canonical_report({"entries": entries})
+    return hashlib.sha256(rendered.encode()).hexdigest()
+
+
+def _outcome_key(outcome: object) -> list[object]:
+    applied = [tx.tx_id for tx in outcome.applied]  # type: ignore[attr-defined]
+    failed = [
+        [tx.tx_id, str(reason)]
+        for tx, reason in outcome.failed  # type: ignore[attr-defined]
+    ]
+    return [applied, failed]
+
+
+def certify_preset(name: str, schedules: int = 20,
+                   workers: int | None = None) -> dict[str, object]:
+    """Certify one preset: every perturbed schedule must reproduce the
+    serial baseline bit-for-bit and pass the happens-before checks."""
+    if name not in CERT_PRESETS:
+        raise ValueError(
+            f"unknown racecheck preset {name!r}; "
+            f"expected one of {sorted(CERT_PRESETS)}"
+        )
+    if schedules < 1:
+        raise ValueError(f"schedules must be >= 1, got {schedules}")
+    spec = CERT_PRESETS[name]
+    seed = typing.cast(int, spec["seed"])
+    lane_count = workers if workers is not None \
+        else typing.cast(int, spec["workers"])
+    txs, balances = _preset_batch(spec)
+
+    baseline_sink = _StreamCollector()
+    baseline_view = _fund(balances, label=f"racecheck-{name}",
+                          sink=baseline_sink)
+    baseline_outcome = TransactionExecutor().execute(txs, baseline_view)
+    baseline = {
+        "root": _state_root(baseline_view),
+        "outcome": _outcome_key(baseline_outcome),
+        "sanitizer_digest": _stream_digest(baseline_sink.entries),
+        "applied": len(baseline_outcome.applied),
+        "failed": len(baseline_outcome.failed),
+    }
+
+    checker = HappensBeforeChecker()
+    results: list[dict[str, object]] = []
+    certified = True
+    for index in range(schedules):
+        kind, assigner = schedule_for(index, len(txs), lane_count, seed)
+        sink = _StreamCollector()
+        view = _fund(balances, label=f"racecheck-{name}", sink=sink)
+        executor = ParallelTransactionExecutor(lane_count, assigner=assigner)
+        recorder = RaceEventRecorder()
+        executor.race_probe = recorder
+        outcome = executor.execute(txs, view)
+        report = executor.last_report
+        violations = checker.check(recorder)
+        result = {
+            "schedule": index,
+            "kind": kind,
+            "mode": report.mode if report is not None else "",
+            "conflicts": report.conflicts if report is not None else 0,
+            "adopted": report.adopted if report is not None else 0,
+            "root_match": _state_root(view) == baseline["root"],
+            "outcome_match": _outcome_key(outcome) == baseline["outcome"],
+            "sanitizer_match":
+                _stream_digest(sink.entries) == baseline["sanitizer_digest"],
+            "hb_violations": len(violations),
+        }
+        if violations:
+            result["violations"] = violations
+        results.append(result)
+        certified = certified and bool(
+            result["root_match"] and result["outcome_match"]
+            and result["sanitizer_match"] and not violations
+        )
+    return {
+        "preset": name,
+        "seed": seed,
+        "workers": lane_count,
+        "batch_size": len(txs),
+        "schedules": schedules,
+        "baseline": baseline,
+        "results": results,
+        "certified": certified,
+    }
+
+
+def racecheck(presets: typing.Sequence[str] | None = None,
+              schedules: int = 20,
+              workers: int | None = None) -> dict[str, object]:
+    """Run the certifier over ``presets``; the full JSON-able report."""
+    names = list(presets) if presets else sorted(CERT_PRESETS)
+    sections = [certify_preset(name, schedules, workers) for name in names]
+    return {
+        "presets": sections,
+        "schedules": schedules,
+        "certified": all(bool(s["certified"]) for s in sections),
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.devtools.racesan",
+        description="PoryRace schedule-perturbation certifier: re-run "
+                    "seeded batches under permuted/adversarial lane "
+                    "schedules and certify bit-identical outcomes plus "
+                    "happens-before cleanliness (DESIGN.md §13)",
+    )
+    parser.add_argument("--preset", default="all",
+                        choices=("all", *sorted(CERT_PRESETS)))
+    parser.add_argument("--schedules", type=int, default=20,
+                        help="perturbed schedules per preset (>= 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="override the preset's lane count")
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--output", default=None,
+                        help="also write the JSON report to this path")
+    args = parser.parse_args(argv)
+
+    names = sorted(CERT_PRESETS) if args.preset == "all" else [args.preset]
+    report = racecheck(names, schedules=args.schedules, workers=args.workers)
+    if args.output:
+        write_report(args.output, report)
+    if args.json:
+        sys.stdout.write(canonical_report(report))
+    else:
+        for section in typing.cast(
+                list[dict[str, object]], report["presets"]):
+            results = typing.cast(
+                list[dict[str, object]], section["results"])
+            status = "certified" if section["certified"] else "FAILED"
+            modes = sorted({str(r["mode"]) for r in results})
+            print(
+                f"racecheck [{section['preset']}] {status}: "
+                f"{len(results)} schedule(s) x {section['batch_size']} tx, "
+                f"workers={section['workers']}, modes={'/'.join(modes)}, "
+                f"hb_violations="
+                f"{sum(typing.cast(int, r['hb_violations']) for r in results)}"
+            )
+    return 0 if report["certified"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Canonical byte-stable JSON report serialization.
+
+Every machine-readable report in the devtools family — ``porylint
+--format json``, the PorySan sanitizer report, the PoryRace certifier
+report, the chaos soak report — must be **byte-identical across
+same-seed runs** so CI can ``cmp`` double runs (DESIGN.md §8/§10/§13).
+Hand-rolled ``json.dumps`` calls drift (key order follows dict
+construction order, indent/newline conventions differ per module), so
+this module is the single canonical encoder they all share:
+
+* keys sorted at every nesting level (construction order never leaks);
+* two-space indent, default separators;
+* exactly one trailing newline (``cmp``-friendly, POSIX text file);
+* ``ensure_ascii`` left on so the byte stream is locale-independent.
+
+Payloads must already be JSON-able (no floats that vary per platform —
+round them first; no sets — sort into lists).
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+
+def canonical_report(payload: typing.Mapping[str, object]) -> str:
+    """Encode ``payload`` as canonical, byte-stable JSON text.
+
+    Two payloads that compare equal as (nested) dicts encode to the
+    identical byte string regardless of insertion order.
+    """
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def write_report(path: str, payload: typing.Mapping[str, object]) -> str:
+    """Write the canonical encoding of ``payload`` to ``path``.
+
+    Returns the rendered text so callers can also print or compare it.
+    """
+    rendered = canonical_report(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+    return rendered

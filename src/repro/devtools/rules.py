@@ -20,8 +20,10 @@ PL006   SWALLOWED-EXCEPT        bare/over-broad except that drops the error
 ======  ======================  ==============================================
 
 The PorySan access-list soundness rules (PL101..PL105, DESIGN.md §9)
-live in :mod:`repro.devtools.accessset` and register themselves here via
-the same decorator when that module is imported.
+live in :mod:`repro.devtools.accessset`, and the PoryRace lane-safety
+rules (PL201..PL205, DESIGN.md §13) in
+:mod:`repro.devtools.lanesafety`; both register themselves here via the
+same decorator when their module is imported.
 """
 
 from __future__ import annotations
@@ -47,6 +49,8 @@ class ModuleContext:
     _taint_findings: "list[TaintFinding] | None" = None
     #: cache slot for the shared access-set analysis (PL101..PL104).
     _access_events: "list | None" = None
+    #: cache slot for the shared lane-reachability analysis (PL201..PL205).
+    _lane_region: "object | None" = None
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -73,6 +77,15 @@ class ModuleContext:
             from repro.devtools.accessset import analyze_module
             self._access_events = analyze_module(self.tree)
         return self._access_events
+
+    def lane_region(self) -> "object":
+        """Shared lane-reachability analysis (PoryRace PL201..PL205)."""
+        if self._lane_region is None:
+            # Local import: lanesafety imports this module for Rule/register,
+            # so the dependency must stay lazy to avoid a cycle.
+            from repro.devtools.lanesafety import compute_lane_region
+            self._lane_region = compute_lane_region(self.tree)
+        return self._lane_region
 
 
 class Rule:

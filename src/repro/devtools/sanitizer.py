@@ -27,10 +27,10 @@ from __future__ import annotations
 
 import argparse
 import contextlib
-import json
 import sys
 import typing
 
+from repro.devtools.report import canonical_report, write_report
 from repro.errors import AccessListViolation
 from repro.state.view import set_report_sink
 
@@ -178,12 +178,10 @@ def main(argv: list[str] | None = None) -> int:
         num_txs=args.txs, cross_shard_ratio=args.cross, mode=args.mode,
         include_baseline=args.baseline,
     )
-    rendered = json.dumps(report, indent=2)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(rendered + "\n")
+        write_report(args.output, report)
     if args.json:
-        print(rendered)
+        sys.stdout.write(canonical_report(report))
     else:
         for system in typing.cast(list, report["systems"]):
             status = "clean" if system["clean"] else "VIOLATIONS"

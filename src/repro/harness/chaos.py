@@ -30,10 +30,10 @@ DESIGN.md §8, enforced by the ``chaos-smoke`` CI job.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.chaos import PRESETS, ChaosEngine, FaultSchedule, preset
+from repro.devtools.report import canonical_report
 from repro.core import PorygonConfig, PorygonSimulation
 from repro.errors import ConfigError
 from repro.state.global_state import aggregate_root
@@ -276,11 +276,30 @@ def fault_window_deltas(schedule: FaultSchedule,
 def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
               num_txs: int = 400, cross_shard_ratio: float = 0.2,
               recovery_k: int = DEFAULT_RECOVERY_K,
-              config: PorygonConfig | None = None) -> dict:
-    """Run one seeded chaos soak; returns the canonical report dict."""
+              config: PorygonConfig | None = None,
+              racesan: bool = False) -> dict:
+    """Run one seeded chaos soak; returns the canonical report dict.
+
+    With ``racesan=True`` the PoryRace happens-before sanitizer rides
+    along: a :class:`~repro.devtools.racesan.RaceEventRecorder` is armed
+    on the OCC parallel executor, and the report grows a ``racesan``
+    section (checked traces + violations).  The probe is observational
+    — every other report section stays byte-identical to an unarmed
+    soak with the same (schedule, seed).
+    """
     config = config or chaos_config()
     sim = PorygonSimulation(config, seed=seed,
                             chaos=ChaosEngine(schedule, salt=seed))
+    recorder = None
+    if racesan:
+        from repro.devtools.racesan import RaceEventRecorder
+
+        if sim.pipeline.parallel is None:
+            raise ConfigError(
+                "racesan soak needs the parallel executor (parallel_exec > 1)"
+            )
+        recorder = RaceEventRecorder()
+        sim.pipeline.parallel.race_probe = recorder
     generator = WorkloadGenerator(
         num_accounts=max(4 * num_txs, 16), num_shards=config.num_shards,
         cross_shard_ratio=cross_shard_ratio, unique=True, seed=seed,
@@ -320,11 +339,27 @@ def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
         commits_per_round[str(record.commit_round)] = (
             commits_per_round.get(str(record.commit_round), 0) + 1
         )
-    return {
+    racesan_section: dict | None = None
+    if recorder is not None:
+        from repro.devtools.racesan import HappensBeforeChecker
+
+        violations = HappensBeforeChecker().check(recorder)
+        racesan_section = {
+            "armed": True,
+            "batches": len(recorder.batches),
+            "events": sum(len(t.events) for t in recorder.batches),
+            "scopes": sum(len(t.scopes) for t in recorder.batches),
+            "violations": violations,
+            "ok": not violations,
+        }
+    ok = all(inv["ok"] for inv in invariants.values())
+    if racesan_section is not None:
+        ok = ok and bool(racesan_section["ok"])
+    report_dict = {
         "schedule": schedule.to_dict(),
         "seed": seed,
         "rounds": rounds,
-        "ok": all(inv["ok"] for inv in invariants.values()),
+        "ok": ok,
         "invariants": invariants,
         "commits_per_round": commits_per_round,
         "chaos": sim.chaos.counters(),
@@ -348,11 +383,14 @@ def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
             ).hex(),
         },
     }
+    if racesan_section is not None:
+        report_dict["racesan"] = racesan_section
+    return report_dict
 
 
 def report_json(report: dict) -> str:
     """Canonical (byte-stable) JSON encoding of a soak report."""
-    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+    return canonical_report(report)
 
 
 # ---------------------------------------------------------------------------
@@ -376,6 +414,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload size (transactions submitted upfront)")
     parser.add_argument("--recovery-k", type=int, default=DEFAULT_RECOVERY_K,
                         help="bounded-recovery window in rounds")
+    parser.add_argument("--racesan", action="store_true",
+                        help="arm the PoryRace happens-before sanitizer on "
+                             "the parallel executor (adds a `racesan` "
+                             "report section)")
     parser.add_argument("--output", default=None, metavar="FILE",
                         help="write the JSON report here instead of stdout")
     args = parser.parse_args(argv)
@@ -400,7 +442,7 @@ def main(argv: list[str] | None = None) -> int:
 
     report = run_chaos(schedule, rounds=args.rounds, seed=args.seed,
                        num_txs=args.txs, recovery_k=args.recovery_k,
-                       config=config)
+                       config=config, racesan=args.racesan)
     text = report_json(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

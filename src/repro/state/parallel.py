@@ -8,7 +8,8 @@ sanitizer report stream — is **bit-identical to serial execution**:
 
 1. **Speculate.** Every transaction executes against the frozen
    batch-start view through its own overlay (:class:`_LaneView`); lane
-   assignment is ``index % workers``, a pure function of the ordered
+   assignment is delegated to a :class:`LaneAssigner` (default:
+   round-robin ``index % workers``), a pure function of the ordered
    batch. On a sanitized parent each lane gets a private
    :class:`LaneRecorder` sink, so concurrent ``begin_tx``/``end_tx``
    brackets never interleave in the shared report sink.
@@ -47,10 +48,62 @@ from repro.state.executor import (
     FailureReason,
     TransactionExecutor,
 )
-from repro.state.view import SanitizedStateView, StateView
+from repro.state.view import RaceProbe, SanitizedStateView, StateView
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.chain.transaction import Transaction
+
+#: Lane index attributed to the shared parent view: the in-order commit
+#: pass, serial re-execution, and fallback/serial batches (DESIGN.md §13).
+COMMIT_LANE = -1
+
+
+class BatchRaceProbe(RaceProbe, typing.Protocol):
+    """Race probe with batch-level lifecycle events (PoryRace).
+
+    Extends the per-view :class:`~repro.state.view.RaceProbe` with the
+    executor-emitted events the happens-before checker needs: batch
+    brackets and per-position commit decisions.  Concrete implementation
+    lives in :mod:`repro.devtools.racesan` (duck-typed — ``state`` never
+    imports ``devtools``).
+    """
+
+    def on_batch_begin(self, txs: typing.Sequence["Transaction"]) -> None:
+        ...  # pragma: no cover - protocol
+
+    def on_batch_end(self, mode: str) -> None:
+        ...  # pragma: no cover - protocol
+
+    def on_commit(self, position: int, tx_id: int, decision: str,
+                  applied: bool) -> None:
+        ...  # pragma: no cover - protocol
+
+
+class LaneAssigner:
+    """Deterministic lane-assignment seam (ROADMAP item 2).
+
+    The executor consults :meth:`assign` for every transaction's lane
+    and :meth:`speculation_order` for the order in which speculations
+    run.  The default is the round-robin schedule the executor has
+    always used; the PoryRace certifier injects permuted/adversarial
+    subclasses, and future dependency-aware packing (bin by declared
+    write sets) slots in here without touching the commit pass.
+
+    Both methods must be pure functions of their arguments — the commit
+    pass guarantees schedule-independence of the *outcome*, but the
+    schedule itself must stay deterministic for replay.
+    """
+
+    def assign(self, index: int, tx: "Transaction", workers: int) -> int:
+        """Lane for the ``index``-th transaction of the ordered batch."""
+        return index % workers
+
+    def speculation_order(self, batch_size: int) -> typing.Sequence[int]:
+        """Order (a permutation of ``range(batch_size)``) in which the
+        speculation pass visits batch positions.  Lanes are isolated
+        against the frozen batch-start view, so this only perturbs the
+        interleaving of speculative accesses — never the outcome."""
+        return range(batch_size)
 
 
 class LaneRecorder:
@@ -206,7 +259,8 @@ class ParallelTransactionExecutor:
     deterministic schedule accounting of the most recent batch.
     """
 
-    def __init__(self, workers: int, conflict_fallback: float = 0.5) -> None:
+    def __init__(self, workers: int, conflict_fallback: float = 0.5,
+                 assigner: LaneAssigner | None = None) -> None:
         if workers < 1:
             raise StateError(f"workers must be >= 1, got {workers}")
         if not 0.0 < conflict_fallback <= 1.0:
@@ -215,8 +269,13 @@ class ParallelTransactionExecutor:
             )
         self.workers = workers
         self.conflict_fallback = conflict_fallback
+        self.assigner = assigner if assigner is not None else LaneAssigner()
         self._serial = TransactionExecutor()
         self.last_report: ParallelReport | None = None
+        #: PoryRace hook (DESIGN.md §13): when set, every view touch,
+        #: tx scope, commit decision and batch bracket streams into the
+        #: probe.  ``None`` (the default) keeps the hot path probe-free.
+        self.race_probe: BatchRaceProbe | None = None
 
     def execute(
         self,
@@ -225,6 +284,19 @@ class ParallelTransactionExecutor:
     ) -> ExecutionOutcome:
         """Run the ordered batch; outcome and view bit-identical to serial."""
         txs = list(transactions)
+        probe = self.race_probe
+        if probe is None:
+            return self._execute_batch(txs, view, None)
+        probe.on_batch_begin(txs)
+        try:
+            return self._execute_batch(txs, view, probe)
+        finally:
+            mode = (self.last_report.mode
+                    if self.last_report is not None else "error")
+            probe.on_batch_end(mode)
+
+    def _execute_batch(self, txs: list["Transaction"], view: StateView,
+                       probe: BatchRaceProbe | None) -> ExecutionOutcome:
         estimated = prescan_conflicts(txs)
         fraction = estimated / len(txs) if txs else 0.0
         if self.workers <= 1 or len(txs) <= 1:
@@ -232,25 +304,49 @@ class ParallelTransactionExecutor:
                 workers=self.workers, batch_size=len(txs), mode="serial",
                 estimated_conflict_fraction=fraction,
             )
-            return self._serial.execute(txs, view)
+            return self._run_serial(txs, view, probe)
         if fraction >= self.conflict_fallback:
             self.last_report = ParallelReport(
                 workers=self.workers, batch_size=len(txs), mode="fallback",
                 estimated_conflict_fraction=fraction, conflicts=estimated,
             )
+            return self._run_serial(txs, view, probe)
+        specs = self._speculate(txs, view, probe)
+        return self._commit(specs, view, fraction, probe)
+
+    def _run_serial(self, txs: list["Transaction"], view: StateView,
+                    probe: BatchRaceProbe | None) -> ExecutionOutcome:
+        """Serial/fallback path, attributed to the commit lane."""
+        if probe is None:
             return self._serial.execute(txs, view)
-        specs = self._speculate(txs, view)
-        return self._commit(specs, view, fraction)
+        view.attach_race_probe(probe, COMMIT_LANE)
+        try:
+            return self._serial.execute(txs, view)
+        finally:
+            view.attach_race_probe(None)
 
     # ------------------------------------------------------------------
     # Phase 1: speculation against the frozen batch-start view
     # ------------------------------------------------------------------
 
-    def _speculate(self, txs: list["Transaction"],
-                   view: StateView) -> list[_Speculation]:
+    def _speculate(self, txs: list["Transaction"], view: StateView,
+                   probe: BatchRaceProbe | None) -> list[_Speculation]:
         sanitized = isinstance(view, SanitizedStateView)
-        specs: list[_Speculation] = []
-        for index, tx in enumerate(txs):
+        order = list(self.assigner.speculation_order(len(txs)))
+        if sorted(order) != list(range(len(txs))):
+            raise StateError(
+                f"lane assigner speculation_order({len(txs)}) is not a "
+                f"permutation of batch positions: {order!r}"
+            )
+        slots: dict[int, _Speculation] = {}
+        for index in order:
+            tx = txs[index]
+            lane = self.assigner.assign(index, tx, self.workers)
+            if not 0 <= lane < self.workers:
+                raise StateError(
+                    f"lane assigner returned lane {lane} for position "
+                    f"{index}; expected 0 <= lane < {self.workers}"
+                )
             recorder: LaneRecorder | None = None
             lane_view: StateView
             if sanitized:
@@ -258,6 +354,8 @@ class ParallelTransactionExecutor:
                 lane_view = _SanitizedLaneView(view, recorder)
             else:
                 lane_view = _LaneView(view)
+            if probe is not None:
+                lane_view.attach_race_probe(probe, lane)
             reason: FailureReason | None = None
             error: Exception | None = None
             try:
@@ -269,18 +367,19 @@ class ParallelTransactionExecutor:
                 error = exc
             entry = recorder.entries[-1] if recorder and recorder.entries \
                 else None
-            specs.append(_Speculation(
-                tx=tx, lane=index % self.workers, reason=reason,
+            slots[index] = _Speculation(
+                tx=tx, lane=lane, reason=reason,
                 writes=lane_view._written, entry=entry, error=error,
-            ))
-        return specs
+            )
+        return [slots[i] for i in range(len(txs))]
 
     # ------------------------------------------------------------------
     # Phase 2: in-order validation + conflicting-tail re-execution
     # ------------------------------------------------------------------
 
     def _commit(self, specs: list[_Speculation], view: StateView,
-                fraction: float) -> ExecutionOutcome:
+                fraction: float,
+                probe: BatchRaceProbe | None) -> ExecutionOutcome:
         sanitized = isinstance(view, SanitizedStateView)
         outcome = ExecutionOutcome()
         dirty: set[AccountId] = set()
@@ -289,38 +388,50 @@ class ParallelTransactionExecutor:
         lane_txs = [0] * self.workers
         for spec in specs:
             lane_txs[spec.lane] += 1
-        for spec in specs:
-            tx = spec.tx
-            if not tx.access_list.touched.isdisjoint(dirty):
-                # Conflict: an applied predecessor wrote a key this
-                # transaction touches. Discard the speculation and
-                # re-execute against the live view (= the serial prefix
-                # state). Strict-mode errors propagate exactly as the
-                # serial executor's would.
-                conflicts += 1
-                reason = self._serial.execute_one(tx, view)
-            else:
-                # Adoption: every key the transaction touched still
-                # holds its batch-start value (actual ⊆ declared, and
-                # no applied predecessor declared a write to it), so
-                # the speculative outcome equals the serial one.
-                adopted += 1
-                if sanitized and spec.entry is not None:
-                    view.merge_scope(spec.entry)  # type: ignore[attr-defined]
-                if spec.error is not None:
-                    self._finish_report(specs, fraction, conflicts,
-                                        adopted, lane_txs)
-                    raise spec.error
-                for account in spec.writes.values():
-                    # Raw adoption: outside any tx scope, so a
-                    # sanitized parent records no extra touches.
-                    view.put(account)
-                reason = spec.reason
-            if reason is None:
-                outcome.applied.append(tx)
-                dirty |= tx.access_list.writes
-            else:
-                outcome.failed.append((tx, reason))
+        if probe is not None:
+            view.attach_race_probe(probe, COMMIT_LANE)
+        try:
+            for position, spec in enumerate(specs):
+                tx = spec.tx
+                if not tx.access_list.touched.isdisjoint(dirty):
+                    # Conflict: an applied predecessor wrote a key this
+                    # transaction touches. Discard the speculation and
+                    # re-execute against the live view (= the serial
+                    # prefix state). Strict-mode errors propagate
+                    # exactly as the serial executor's would.
+                    conflicts += 1
+                    decision = "conflict"
+                    reason = self._serial.execute_one(tx, view)
+                else:
+                    # Adoption: every key the transaction touched still
+                    # holds its batch-start value (actual ⊆ declared,
+                    # and no applied predecessor declared a write to
+                    # it), so the speculative outcome equals the serial
+                    # one.
+                    adopted += 1
+                    decision = "adopt"
+                    if sanitized and spec.entry is not None:
+                        view.merge_scope(spec.entry)  # type: ignore[attr-defined]
+                    if spec.error is not None:
+                        self._finish_report(specs, fraction, conflicts,
+                                            adopted, lane_txs)
+                        raise spec.error
+                    for account in spec.writes.values():
+                        # Raw adoption: outside any tx scope, so a
+                        # sanitized parent records no extra touches.
+                        view.put(account)
+                    reason = spec.reason
+                if probe is not None:
+                    probe.on_commit(position, tx.tx_id, decision,
+                                    reason is None)
+                if reason is None:
+                    outcome.applied.append(tx)
+                    dirty |= tx.access_list.writes
+                else:
+                    outcome.failed.append((tx, reason))
+        finally:
+            if probe is not None:
+                view.attach_race_probe(None)
         self._finish_report(specs, fraction, conflicts, adopted, lane_txs)
         return outcome
 

@@ -62,6 +62,31 @@ class SanitizerSink(typing.Protocol):
         ...  # pragma: no cover - protocol
 
 
+class RaceProbe(typing.Protocol):
+    """Consumer of per-lane access events (PoryRace, DESIGN.md §13).
+
+    The OCC parallel executor attributes every view touch to a *lane*
+    (speculation lanes ``0..workers-1``, the in-order commit pass at
+    lane ``-1``) and streams ``(lane, op, key)`` events — bracketed by
+    per-transaction ``on_begin``/``on_end`` scopes — into an attached
+    probe.  ``state`` must not depend on ``devtools``, so the concrete
+    recorder (:class:`repro.devtools.racesan.RaceEventRecorder`) is
+    duck-typed through this protocol.
+    """
+
+    def on_begin(self, lane: int, tx: "Transaction") -> None:
+        ...  # pragma: no cover - protocol
+
+    def on_end(self, lane: int) -> None:
+        ...  # pragma: no cover - protocol
+
+    def on_access(self, lane: int, op: str, key: AccountId) -> None:
+        ...  # pragma: no cover - protocol
+
+    def on_merge(self, tx_id: int) -> None:
+        ...  # pragma: no cover - protocol
+
+
 #: Process-global report sink.  ``state`` must not depend on
 #: ``devtools``, so the sanitizer CLI/pytest plumbing injects a
 #: duck-typed collector here; violations raise regardless of the sink.
@@ -81,6 +106,12 @@ def set_report_sink(sink: SanitizerSink | None) -> SanitizerSink | None:
 
 class StateView:
     """A writable overlay over a set of downloaded account states."""
+
+    #: Race-probe hook (PoryRace, DESIGN.md §13).  Class-level defaults
+    #: keep the disabled path allocation-free: an un-probed view pays a
+    #: single ``is not None`` check per touch and stores nothing.
+    _race_probe: RaceProbe | None = None
+    _race_lane: int = -1
 
     def __init__(
         self,
@@ -106,6 +137,18 @@ class StateView:
     def __contains__(self, account_id: AccountId) -> bool:
         return account_id in self._written or account_id in self._base
 
+    def attach_race_probe(self, probe: RaceProbe | None,
+                          lane: int = -1) -> None:
+        """Arm (or, with ``None``, disarm) per-touch race-event emission.
+
+        ``lane`` attributes every subsequent event from this view: the
+        parallel executor tags speculation overlays with their lane
+        index and the shared parent view with the commit lane ``-1``
+        (DESIGN.md §13).
+        """
+        self._race_probe = probe
+        self._race_lane = lane
+
     def begin_tx(self, tx: "Transaction") -> None:
         """Open a per-transaction access scope (no-op on plain views).
 
@@ -113,12 +156,20 @@ class StateView:
         ``begin_tx`` / ``end_tx`` so a :class:`SanitizedStateView` can
         attribute each touch to the declaring transaction.
         """
+        if self._race_probe is not None:
+            self._race_probe.on_begin(self._race_lane, tx)
 
     def end_tx(self) -> None:
         """Close the per-transaction access scope (no-op here)."""
+        if self._race_probe is not None:
+            self._race_probe.on_end(self._race_lane)
 
     def load(self, account: Account) -> None:
         """Add one more downloaded account to the view's base."""
+        if self._race_probe is not None:
+            self._race_probe.on_access(
+                self._race_lane, "load", account.account_id
+            )
         self._base[account.account_id] = account.copy()
 
     def get(self, account_id: AccountId) -> Account:
@@ -128,6 +179,8 @@ class StateView:
         every readable key must have been explicitly downloaded
         (:meth:`load`) or written first.
         """
+        if self._race_probe is not None:
+            self._race_probe.on_access(self._race_lane, "read", account_id)
         if account_id in self._written:
             return self._written[account_id]
         if account_id in self._base:
@@ -150,6 +203,10 @@ class StateView:
 
     def put(self, account: Account) -> None:
         """Write to the overlay."""
+        if self._race_probe is not None:
+            self._race_probe.on_access(
+                self._race_lane, "write", account.account_id
+            )
         self._written[account.account_id] = account.copy()
 
     @property
@@ -228,6 +285,8 @@ class SanitizedStateView(StateView):
         self._tx_id = tx.tx_id
         self._declared = frozenset(tx.access_list.touched)
         self._tx_touched = {"read": set(), "write": set(), "load": set()}
+        if self._race_probe is not None:
+            self._race_probe.on_begin(self._race_lane, tx)
 
     def end_tx(self) -> None:
         if self._tx_id is None:
@@ -250,6 +309,8 @@ class SanitizedStateView(StateView):
         self._tx_id = None
         self._declared = None
         self._tx_touched = {}
+        if self._race_probe is not None:
+            self._race_probe.on_end(self._race_lane)
 
     def merge_scope(self, entry: dict[str, object]) -> None:
         """Adopt one speculative lane's closed transaction scope.
@@ -265,6 +326,8 @@ class SanitizedStateView(StateView):
         if sink is not None:
             sink.record(entry)
         self.txs_checked += 1
+        if self._race_probe is not None:
+            self._race_probe.on_merge(typing.cast(int, entry["tx_id"]))
 
     # -- checked accessors ---------------------------------------------
 

@@ -1,0 +1,506 @@
+"""PoryRace static-head tests (repro.devtools.lanesafety, PL201..PL205).
+
+Three layers, mirroring the PorySan static-head tests:
+
+* a planted-violation corpus asserting the exact rule code **and line**
+  for each of PL201..PL205;
+* clean-idiom negatives: the real lane/merge patterns (lane-private
+  buffers, batch-order merges, sorted iteration) must stay silent;
+* a zero-false-positive sweep: the entire real ``src/`` tree must be
+  clean under the race-rule selection.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.devtools.lanesafety import (
+    RACE_RULE_CODES,
+    compute_lane_region,
+    is_lane_class,
+)
+from repro.devtools.lint import LintConfig, lint_paths, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+_RACE = LintConfig(select=RACE_RULE_CODES)
+
+#: Default planted-corpus path: inside the lane-execution scope so the
+#: path-scoped rules (PL202/PL203/PL205) are active.
+_STATE = "src/repro/state/example.py"
+
+
+def _lint(code: str, path: str = _STATE):
+    return lint_source(textwrap.dedent(code), path=path, config=_RACE)
+
+
+def _codes(findings):
+    return [finding.code for finding in findings]
+
+
+def _lines(findings, code=None):
+    return [f.line for f in findings if code is None or f.code == code]
+
+
+# ---------------------------------------------------------------------------
+# PL201 SHARED-MUTABLE-CAPTURE
+# ---------------------------------------------------------------------------
+
+
+class TestSharedMutableCapture:
+    def test_self_attr_into_lane_constructor(self):
+        findings = _lint(
+            """
+            class Executor:
+                def __init__(self):
+                    self.cache = {}
+
+                def run(self, txs):
+                    return [LaneRunner(tx, self.cache) for tx in txs]
+            """
+        )
+        assert _codes(findings) == ["PL201"]
+        assert _lines(findings, "PL201") == [7]
+        assert "self.cache" in findings[0].message
+
+    def test_module_global_into_lane_constructor(self):
+        findings = _lint(
+            """
+            SHARED = {}
+
+            def build(txs):
+                return [LaneRunner(tx, SHARED) for tx in txs]
+            """
+        )
+        assert _codes(findings) == ["PL201"]
+        assert _lines(findings, "PL201") == [5]
+        assert "SHARED" in findings[0].message
+
+    def test_rule_applies_module_wide(self):
+        """PL201 is not path-scoped: a lane constructor fed shared state
+        anywhere in the tree is a bug."""
+        findings = _lint(
+            """
+            SHARED = {}
+
+            def build(txs):
+                return [LaneRunner(tx, SHARED) for tx in txs]
+            """,
+            path="src/repro/harness/example.py",
+        )
+        assert _codes(findings) == ["PL201"]
+
+    def test_fresh_container_per_lane_is_clean(self):
+        findings = _lint(
+            """
+            class Executor:
+                def run(self, txs):
+                    return [LaneRunner(tx, {}) for tx in txs]
+            """
+        )
+        assert findings == []
+
+    def test_immutable_argument_is_clean(self):
+        findings = _lint(
+            """
+            class Executor:
+                def __init__(self):
+                    self.workers = 4
+
+                def run(self, txs):
+                    return [LaneRunner(tx, self.workers) for tx in txs]
+            """
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# PL202 EXEC-STATE-READ
+# ---------------------------------------------------------------------------
+
+
+class TestExecStateRead:
+    def test_speculation_reads_executor_dict(self):
+        findings = _lint(
+            """
+            class Executor:
+                def __init__(self):
+                    self.pending = {}
+
+                def _speculate(self, txs):
+                    return len(self.pending)
+            """
+        )
+        assert _codes(findings) == ["PL202"]
+        assert _lines(findings, "PL202") == [7]
+        assert "self.pending" in findings[0].message
+
+    def test_lane_root_reads_mutable_global(self):
+        findings = _lint(
+            """
+            HOT = set()
+
+            def speculate(txs):
+                return [tx for tx in txs if tx in HOT]
+            """
+        )
+        assert _codes(findings) == ["PL202"]
+        assert _lines(findings, "PL202") == [5]
+        assert "HOT" in findings[0].message
+
+    def test_reachability_descends_through_helpers(self):
+        """The read lives in a helper the speculation path calls — the
+        BFS must carry lane-reachability into it."""
+        findings = _lint(
+            """
+            class Executor:
+                def __init__(self):
+                    self.pending = {}
+
+                def _count(self):
+                    return len(self.pending)
+
+                def _speculate(self, txs):
+                    return self._count()
+            """
+        )
+        assert _codes(findings) == ["PL202"]
+        assert _lines(findings, "PL202") == [7]
+
+    def test_lane_class_own_buffer_is_exempt(self):
+        """A lane's own buffers are lane-private by construction."""
+        findings = _lint(
+            """
+            class LaneRecorder:
+                def __init__(self):
+                    self.entries = []
+
+                def flush(self):
+                    return list(self.entries)
+            """
+        )
+        assert findings == []
+
+    def test_rule_is_scoped_to_lane_execution_paths(self):
+        findings = _lint(
+            """
+            class Executor:
+                def __init__(self):
+                    self.pending = {}
+
+                def _speculate(self, txs):
+                    return len(self.pending)
+            """,
+            path="src/repro/devtools/example.py",
+        )
+        assert findings == []
+
+    def test_unreachable_code_is_clean(self):
+        findings = _lint(
+            """
+            class Executor:
+                def __init__(self):
+                    self.pending = {}
+
+                def summary(self):
+                    return len(self.pending)
+            """
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# PL203 OVERLAY-ESCAPE
+# ---------------------------------------------------------------------------
+
+
+class TestOverlayEscape:
+    def test_overlay_stored_on_self(self):
+        findings = _lint(
+            """
+            class Pipeline:
+                def _speculate(self, txs, view):
+                    self.view = view
+            """
+        )
+        assert _codes(findings) == ["PL203"]
+        assert _lines(findings, "PL203") == [4]
+
+    def test_constructed_lane_view_stored_on_self(self):
+        findings = _lint(
+            """
+            class Pipeline:
+                def _speculate(self, txs, parent):
+                    overlay = _LaneView(parent)
+                    self.last_overlay = overlay
+            """
+        )
+        assert _codes(findings) == ["PL203"]
+        assert _lines(findings, "PL203") == [5]
+
+    def test_overlay_appended_into_shared_subscript(self):
+        findings = _lint(
+            """
+            class Pipeline:
+                def run(self, lane, view):
+                    self.by_lane[lane] = view
+            """
+        )
+        assert _codes(findings) == ["PL203"]
+        assert _lines(findings, "PL203") == [4]
+
+    def test_lane_class_parent_backpointer_is_exempt(self):
+        """The lane-scoped ``self._parent = parent_view`` pattern."""
+        findings = _lint(
+            """
+            class _LaneView:
+                def __init__(self, view):
+                    self._parent = view
+            """
+        )
+        assert findings == []
+
+    def test_returning_the_overlay_is_clean(self):
+        findings = _lint(
+            """
+            class Pipeline:
+                def _speculate(self, txs, parent):
+                    overlay = _LaneView(parent)
+                    return overlay
+            """
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# PL204 COMPLETION-ORDER-MERGE
+# ---------------------------------------------------------------------------
+
+
+class TestCompletionOrderMerge:
+    def test_merge_over_as_completed(self):
+        findings = _lint(
+            """
+            def drain(scopes, parent):
+                for scope in as_completed(scopes):
+                    parent.merge_scope(scope)
+            """
+        )
+        assert _codes(findings) == ["PL204"]
+        assert _lines(findings, "PL204") == [4]
+        assert "as_completed" in findings[0].message
+
+    def test_merge_over_set_literal(self):
+        findings = _lint(
+            """
+            def drain(a, b, parent):
+                for scope in {a, b}:
+                    parent.merge_scope(scope)
+            """
+        )
+        assert _codes(findings) == ["PL204"]
+        assert _lines(findings, "PL204") == [4]
+
+    def test_merge_over_dict_view(self):
+        findings = _lint(
+            """
+            def drain(slots, parent):
+                for scope in slots.values():
+                    parent.merge_writes(scope)
+            """
+        )
+        assert _codes(findings) == ["PL204"]
+        assert "dict view" in findings[0].message
+
+    def test_merge_over_completion_named_iterable(self):
+        findings = _lint(
+            """
+            def drain(completed, parent):
+                for scope in completed:
+                    parent.merge_scope(scope)
+            """
+        )
+        assert _codes(findings) == ["PL204"]
+        assert "completion-ordered" in findings[0].message
+
+    def test_rule_applies_module_wide(self):
+        findings = _lint(
+            """
+            def drain(scopes, parent):
+                for scope in as_completed(scopes):
+                    parent.merge_scope(scope)
+            """,
+            path="src/repro/harness/example.py",
+        )
+        assert _codes(findings) == ["PL204"]
+
+    def test_batch_order_merge_is_clean(self):
+        """The real commit-pass shape: iterate the ordered batch."""
+        findings = _lint(
+            """
+            def commit(specs, parent):
+                for spec in specs:
+                    parent.merge_scope(spec.scope)
+            """
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# PL205 UNORDERED-LANE-ITER
+# ---------------------------------------------------------------------------
+
+
+class TestUnorderedLaneIter:
+    def test_set_literal_in_speculation(self):
+        findings = _lint(
+            """
+            def _speculate(keys):
+                for key in {1, 2, 3}:
+                    keys.append(key)
+            """
+        )
+        assert _codes(findings) == ["PL205"]
+        assert _lines(findings, "PL205") == [3]
+
+    def test_set_call_in_comprehension(self):
+        findings = _lint(
+            """
+            def _speculate(keys):
+                return [key for key in set(keys)]
+            """
+        )
+        assert _codes(findings) == ["PL205"]
+        assert _lines(findings, "PL205") == [3]
+
+    def test_shared_dict_view_in_lane_parameterized_code(self):
+        findings = _lint(
+            """
+            class Executor:
+                def run(self, lane):
+                    for key in self.slots.values():
+                        yield key
+            """
+        )
+        assert _codes(findings) == ["PL205"]
+        assert _lines(findings, "PL205") == [4]
+
+    def test_lane_class_own_dict_buffer_is_exempt(self):
+        """A lane's own dict fills in deterministic per-lane order."""
+        findings = _lint(
+            """
+            class _LaneView:
+                def written(self):
+                    return [acct for acct in self._written.values()]
+            """
+        )
+        assert findings == []
+
+    def test_sorted_iteration_is_clean(self):
+        findings = _lint(
+            """
+            def _speculate(keys):
+                return [key for key in sorted(set(keys))]
+            """
+        )
+        assert findings == []
+
+    def test_non_lane_code_is_not_in_scope(self):
+        findings = _lint(
+            """
+            def helper(keys):
+                return [key for key in set(keys)]
+            """
+        )
+        assert findings == []
+
+    def test_rule_is_scoped_to_lane_execution_paths(self):
+        findings = _lint(
+            """
+            def _speculate(keys):
+                for key in {1, 2, 3}:
+                    keys.append(key)
+            """,
+            path="src/repro/devtools/example.py",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Lane-region API + selection plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestLaneRegion:
+    def test_roots_and_reasons(self):
+        tree = ast.parse(textwrap.dedent(
+            """
+            class _LaneView:
+                def get(self, key):
+                    return key
+
+            def _speculate(txs):
+                return _helper(txs)
+
+            def _helper(txs):
+                return txs
+
+            def assign(index, lane):
+                return lane
+
+            def bystander(x):
+                return x
+            """
+        ))
+        region = compute_lane_region(tree)
+        names = {info.node.name for info in region.reachable.values()}
+        assert names == {"get", "_speculate", "_helper", "assign"}
+        reasons = {
+            info.node.name: region.reason_for(info)
+            for info in region.reachable.values()
+        }
+        assert "lane class" in reasons["get"]
+        assert "entry point" in reasons["_speculate"]
+        assert "called from" in reasons["_helper"]
+        assert "lane-parameterized" in reasons["assign"]
+        assert region.lane_classes == frozenset({"_LaneView"})
+
+    def test_is_lane_class(self):
+        assert is_lane_class("_LaneView")
+        assert is_lane_class("LaneAssigner")
+        assert not is_lane_class("TransactionExecutor")
+
+    def test_race_rules_in_default_selection(self):
+        """The PL2xx family rides the default porylint run."""
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                def drain(scopes, parent):
+                    for scope in as_completed(scopes):
+                        parent.merge_scope(scope)
+                """
+            ),
+            path=_STATE,
+            config=LintConfig(),
+        )
+        assert "PL204" in _codes(findings)
+
+    def test_inline_suppression(self):
+        findings = _lint(
+            """
+            def drain(scopes, parent):
+                for scope in as_completed(scopes):
+                    parent.merge_scope(scope)  # porylint: disable=PL204
+            """
+        )
+        assert findings == []
+
+
+def test_real_src_tree_has_zero_race_findings():
+    """The acceptance bar: PL201..PL205 clean over the real source."""
+    result = lint_paths([str(SRC)], LintConfig(select=RACE_RULE_CODES))
+    assert result.findings == [], [str(f) for f in result.findings]
+    assert result.files_checked > 50

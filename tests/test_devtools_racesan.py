@@ -1,0 +1,344 @@
+"""PoryRace dynamic-head tests (repro.devtools.racesan).
+
+Covers the three certifier guarantees of DESIGN.md §13:
+
+* (a) lane isolation — every scoped touch is declared; an injected
+  undeclared cross-lane touch is caught even on *plain* views;
+* (b) conflict-flagging completeness — an adopted transaction whose
+  actual touches intersect the applied prefix's actual writes is a
+  conflict the OCC pass failed to flag;
+* (c) merge order — sanitizer scopes merge back in batch order.
+
+Plus: the schedule-perturbation certifier (>= 20 schedules per preset,
+bit-identical roots/outcomes/sanitizer streams), canonical byte-stable
+reports, the ``repro racecheck`` CLI, and the chaos-soak integration.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chain.account import Account
+from repro.chain.transaction import AccessList, Transaction
+from repro.devtools.racesan import (
+    CERT_PRESETS,
+    BatchTrace,
+    HappensBeforeChecker,
+    PermutedLaneAssigner,
+    RaceEventRecorder,
+    certify_preset,
+    racecheck,
+    schedule_for,
+)
+from repro.devtools.racesan import main as racesan_main
+from repro.devtools.report import canonical_report
+from repro.state.parallel import COMMIT_LANE, ParallelTransactionExecutor
+from repro.state.view import SanitizedStateView, StateView
+
+
+def funded_view(balances):
+    return StateView(
+        {aid: Account(aid, balance=bal) for aid, bal in balances.items()}
+    )
+
+
+def narrowed_tx(sender, receiver, nonce=0):
+    """A transfer whose access list deliberately omits the receiver."""
+    return Transaction(
+        sender=sender, receiver=receiver, amount=5, nonce=nonce,
+        access_list=AccessList(reads=frozenset({sender}),
+                               writes=frozenset({sender})),
+    )
+
+
+def transfer(sender, receiver, nonce=0, amount=5):
+    return Transaction(sender=sender, receiver=receiver, amount=amount,
+                       nonce=nonce)
+
+
+# ---------------------------------------------------------------------------
+# Recorder
+# ---------------------------------------------------------------------------
+
+
+class TestRaceEventRecorder:
+    def test_healthy_batch_records_scopes_commits_and_zero_violations(self):
+        txs = [transfer(1, 2), transfer(3, 4), transfer(5, 6)]
+        view = funded_view({aid: 100 for aid in range(1, 7)})
+        executor = ParallelTransactionExecutor(2)
+        recorder = RaceEventRecorder()
+        executor.race_probe = recorder
+        executor.execute(txs, view)
+
+        assert executor.last_report.mode == "parallel"
+        assert len(recorder.batches) == 1
+        trace = recorder.batches[0]
+        assert trace.mode == "parallel"
+        assert not trace.implicit
+        assert [tx_id for tx_id, _, _ in trace.txs] == [t.tx_id for t in txs]
+        # One speculation scope per tx, commit decisions in batch order.
+        spec = [s for s in trace.scopes if s.lane != COMMIT_LANE]
+        assert sorted(s.tx_id for s in spec) == sorted(t.tx_id for t in txs)
+        assert [pos for pos, _, _, _ in trace.commits] == [0, 1, 2]
+        assert recorder.anomalies == []
+        assert HappensBeforeChecker().check(recorder) == []
+
+    def test_bare_view_opens_an_implicit_trace(self):
+        recorder = RaceEventRecorder()
+        view = funded_view({1: 100, 2: 100})
+        view.attach_race_probe(recorder, lane=0)
+        view.begin_tx(transfer(1, 2))
+        view.get(1)
+        view.end_tx()
+        assert recorder.batches == []
+        assert len(recorder.traces) == 1
+        trace = recorder.traces[0]
+        assert trace.implicit
+        assert len(trace.scopes) == 1
+        assert trace.scopes[0].reads == {1}
+
+    def test_protocol_anomalies_surface_as_violations(self):
+        recorder = RaceEventRecorder()
+        recorder.on_end(3)  # end without begin
+        violations = HappensBeforeChecker().check(recorder)
+        assert [v["check"] for v in violations] == ["protocol"]
+        assert violations[0]["kind"] == "end-without-begin"
+
+    def test_disabled_probe_leaves_no_trace(self):
+        txs = [transfer(1, 2), transfer(3, 4)]
+        view = funded_view({aid: 100 for aid in range(1, 5)})
+        executor = ParallelTransactionExecutor(2)
+        assert executor.race_probe is None
+        executor.execute(txs, view)
+        assert view._race_probe is None
+
+
+# ---------------------------------------------------------------------------
+# Happens-before checks (a)/(b)/(c)
+# ---------------------------------------------------------------------------
+
+
+class TestHappensBeforeChecker:
+    def test_isolation_catches_undeclared_touch_on_plain_view(self):
+        """(a): the probe sees raw StateView traffic, so an undeclared
+        cross-lane touch is caught even where PorySan is not armed."""
+        txs = [transfer(1, 2), narrowed_tx(3, 4)]
+        view = funded_view({aid: 100 for aid in range(1, 5)})
+        executor = ParallelTransactionExecutor(2)
+        recorder = RaceEventRecorder()
+        executor.race_probe = recorder
+        executor.execute(txs, view)
+
+        violations = HappensBeforeChecker().check(recorder)
+        isolation = [v for v in violations if v["check"] == "isolation"]
+        assert isolation, violations
+        assert isolation[0]["tx_id"] == txs[1].tx_id
+        assert 4 in isolation[0]["undeclared"]
+
+    def test_completeness_catches_unflagged_conflict(self):
+        """(b): tx1 underdeclares, so OCC sees no overlap and adopts it
+        — but its *actual* touches hit tx0's actual writes."""
+        txs = [transfer(1, 2), narrowed_tx(3, 2)]
+        view = funded_view({aid: 100 for aid in range(1, 4)})
+        executor = ParallelTransactionExecutor(2)
+        recorder = RaceEventRecorder()
+        executor.race_probe = recorder
+        executor.execute(txs, view)
+
+        assert executor.last_report.conflicts == 0  # OCC was blind to it
+        violations = HappensBeforeChecker().check(recorder)
+        completeness = [v for v in violations if v["check"] == "completeness"]
+        assert completeness, violations
+        assert completeness[0]["tx_id"] == txs[1].tx_id
+        assert completeness[0]["unflagged_conflict_keys"] == [2]
+
+    def test_merge_order_violation(self):
+        """(c): merges must land in strictly increasing batch position."""
+        trace = BatchTrace(txs=[
+            (1, frozenset({1}), frozenset({1})),
+            (2, frozenset({2}), frozenset({2})),
+            (3, frozenset({3}), frozenset({3})),
+        ])
+        trace.merges = [1, 3, 2]
+        violations = HappensBeforeChecker().check_trace(trace)
+        assert [v["check"] for v in violations] == ["merge-order"]
+        assert violations[0]["tx_id"] == 2
+        assert violations[0]["position"] == 1
+        assert violations[0]["previous_position"] == 2
+
+    def test_merge_of_foreign_tx_flagged(self):
+        trace = BatchTrace(txs=[(1, frozenset(), frozenset())])
+        trace.merges = [99]
+        violations = HappensBeforeChecker().check_trace(trace)
+        assert violations[0]["check"] == "merge-order"
+        assert violations[0]["reason"] == "merged tx not in batch"
+
+    def test_commit_order_and_missing_scope_violations(self):
+        trace = BatchTrace(txs=[
+            (1, frozenset({1}), frozenset({1})),
+            (2, frozenset({2}), frozenset({2})),
+        ])
+        trace.commits = [(1, 2, "adopt", True), (0, 1, "adopt", True)]
+        violations = HappensBeforeChecker().check_trace(trace)
+        checks = sorted(v["check"] for v in violations)
+        assert "commit-order" in checks
+        assert "missing-scope" in checks
+
+    def test_sanitized_run_merges_in_batch_order(self):
+        """The real executor + sanitizer pipeline satisfies (c)."""
+        txs = [transfer(1, 2), transfer(2, 3), transfer(4, 5)]
+        view = SanitizedStateView(
+            {aid: Account(aid, balance=100) for aid in range(1, 6)},
+            mode="record",
+        )
+        executor = ParallelTransactionExecutor(2)
+        recorder = RaceEventRecorder()
+        executor.race_probe = recorder
+        executor.execute(txs, view)
+        assert executor.last_report.conflicts == 1  # tx1 re-executed
+        trace = recorder.batches[0]
+        # Adopted lane scopes merge back at their batch positions (the
+        # conflicting tx re-executes on the live view, so it never
+        # merges); the order is strictly increasing.
+        assert trace.merges == [txs[0].tx_id, txs[2].tx_id]
+        assert HappensBeforeChecker().check(recorder) == []
+
+
+# ---------------------------------------------------------------------------
+# Schedule perturbation
+# ---------------------------------------------------------------------------
+
+
+class TestSchedules:
+    def test_schedule_kinds(self):
+        kinds = [schedule_for(i, batch_size=8, workers=4, seed=11)[0]
+                 for i in range(5)]
+        assert kinds == ["roundrobin", "reversed-order", "single-lane",
+                        "seeded-3", "seeded-4"]
+
+    def test_seeded_schedules_are_pure_functions_of_inputs(self):
+        _, first = schedule_for(7, 16, 4, seed=11)
+        _, second = schedule_for(7, 16, 4, seed=11)
+        txs = [transfer(i, i + 100) for i in range(16)]
+        lanes_a = [first.assign(i, txs[i], 4) for i in range(16)]
+        lanes_b = [second.assign(i, txs[i], 4) for i in range(16)]
+        assert lanes_a == lanes_b
+        assert list(first.speculation_order(16)) == \
+            list(second.speculation_order(16))
+
+    def test_permuted_assigner_falls_back_past_declared_prefix(self):
+        assigner = PermutedLaneAssigner(lanes=[3, 3], order=[1, 0])
+        tx = transfer(1, 2)
+        assert assigner.assign(0, tx, 4) == 3
+        assert assigner.assign(5, tx, 4) == 1  # round-robin fallback
+        assert list(assigner.speculation_order(2)) == [1, 0]
+        assert list(assigner.speculation_order(3)) == [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Certifier
+# ---------------------------------------------------------------------------
+
+
+class TestCertifier:
+    def test_default_preset_certifies_twenty_schedules(self):
+        report = certify_preset("default", schedules=20)
+        assert report["certified"] is True
+        results = report["results"]
+        assert len(results) == 20
+        assert {r["kind"] for r in results[:3]} == \
+            {"roundrobin", "reversed-order", "single-lane"}
+        for result in results:
+            assert result["root_match"] is True
+            assert result["outcome_match"] is True
+            assert result["sanitizer_match"] is True
+            assert result["hb_violations"] == 0
+
+    def test_contended_preset_reexecutes_a_conflicting_tail(self):
+        report = certify_preset("contended", schedules=6)
+        assert report["certified"] is True
+        results = report["results"]
+        assert all(r["mode"] == "parallel" for r in results)
+        assert all(r["conflicts"] > 0 for r in results), \
+            "preset too tame to exercise the OCC tail"
+        # The conflict count is schedule-independent: it is a function
+        # of the ordered batch, not of lane assignment.
+        assert len({r["conflicts"] for r in results}) == 1
+
+    def test_unknown_preset_and_bad_schedule_count_raise(self):
+        with pytest.raises(ValueError, match="unknown racecheck preset"):
+            certify_preset("nope")
+        with pytest.raises(ValueError, match="schedules"):
+            certify_preset("default", schedules=0)
+
+    def test_report_is_byte_stable(self):
+        first = racecheck(presets=["default"], schedules=3)
+        second = racecheck(presets=["default"], schedules=3)
+        assert canonical_report(first) == canonical_report(second)
+        assert canonical_report(first).endswith("\n")
+
+    def test_racecheck_covers_all_presets_by_default(self):
+        report = racecheck(schedules=2)
+        assert sorted(p["preset"] for p in report["presets"]) == \
+            sorted(CERT_PRESETS)
+        assert report["certified"] is True
+
+
+# ---------------------------------------------------------------------------
+# CLI (``repro racecheck``)
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_json_output_is_canonical(self, capsys):
+        assert racesan_main(["--preset", "default", "--schedules", "2",
+                             "--json"]) == 0
+        out = capsys.readouterr().out
+        assert out == canonical_report(json.loads(out))
+
+    def test_output_file_and_summary(self, tmp_path, capsys):
+        target = tmp_path / "racecheck.json"
+        assert racesan_main(["--preset", "default", "--schedules", "2",
+                             "--output", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["certified"] is True
+        assert target.read_text() == canonical_report(payload)
+        assert "certified" in capsys.readouterr().out
+
+    def test_cli_dispatch_through_repro(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["racecheck", "--preset", "default",
+                           "--schedules", "2"]) == 0
+        assert "certified" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Chaos-soak integration
+# ---------------------------------------------------------------------------
+
+
+def test_chaos_soak_with_racesan_armed_is_clean_and_observational():
+    from repro.chaos import preset
+    from repro.harness.chaos import chaos_config, run_chaos
+
+    config = chaos_config()
+    schedule = preset("storage-crash-heal",
+                      num_storage_nodes=config.num_storage_nodes,
+                      num_shards=config.num_shards, seed=3)
+    armed = run_chaos(schedule, rounds=6, seed=3, num_txs=80,
+                      config=config, racesan=True)
+    assert armed["ok"] is True
+    assert armed["racesan"]["armed"] is True
+    assert armed["racesan"]["ok"] is True
+    assert armed["racesan"]["violations"] == []
+    assert armed["racesan"]["batches"] > 0
+
+    plain = run_chaos(schedule, rounds=6, seed=3, num_txs=80,
+                      config=chaos_config())
+    assert "racesan" not in plain
+    armed_rest = {k: v for k, v in armed.items() if k != "racesan"}
+    # The probe is observational: every other section is byte-identical.
+    assert canonical_report(armed_rest) == canonical_report(plain)

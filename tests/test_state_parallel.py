@@ -20,6 +20,7 @@ from repro.chain.transaction import AccessList, Transaction, TxIdSequence
 from repro.errors import AccessListViolation, StateError
 from repro.state.executor import TransactionExecutor
 from repro.state.parallel import (
+    LaneAssigner,
     LaneRecorder,
     ParallelReport,
     ParallelTransactionExecutor,
@@ -125,6 +126,117 @@ def test_constructor_validates_parameters():
         ParallelTransactionExecutor(2, conflict_fallback=0.0)
     with pytest.raises(StateError, match="conflict_fallback"):
         ParallelTransactionExecutor(2, conflict_fallback=1.5)
+
+
+# ---------------------------------------------------------------------------
+# LaneAssigner seam (schedule injection, DESIGN.md §13)
+# ---------------------------------------------------------------------------
+
+
+def _batch(size=6):
+    ids = TxIdSequence(5, domain="test-lane-assigner")
+    return [Transaction(sender=i, receiver=100 + i, amount=1, nonce=0,
+                        tx_id=ids.next_id())
+            for i in range(size)]
+
+
+def test_default_assigner_is_round_robin_in_batch_order():
+    assigner = LaneAssigner()
+    txs = _batch(6)
+    assert [assigner.assign(i, txs[i], 4) for i in range(6)] == \
+        [0, 1, 2, 3, 0, 1]
+    assert list(assigner.speculation_order(6)) == [0, 1, 2, 3, 4, 5]
+
+
+def test_injected_assigner_preserves_outcome_and_report():
+    """Any lane relabeling + speculation interleaving is invisible."""
+
+    class Pathological(LaneAssigner):
+        def assign(self, index, tx, workers):
+            return (index * 7) % workers
+
+        def speculation_order(self, batch_size):
+            return list(range(batch_size - 1, -1, -1))
+
+    txs = _batch(8)
+    balances = {a: 1_000 for tx in txs for a in tx.access_list.touched}
+    default_view = funded_view(balances)
+    default_exec = ParallelTransactionExecutor(3)
+    default_outcome = default_exec.execute(txs, default_view)
+    injected_view = funded_view(balances)
+    injected_exec = ParallelTransactionExecutor(3, assigner=Pathological())
+    injected_outcome = injected_exec.execute(txs, injected_view)
+
+    assert outcome_key(injected_outcome) == outcome_key(default_outcome)
+    assert injected_view.written_encoded() == default_view.written_encoded()
+    base, perm = default_exec.last_report, injected_exec.last_report
+    assert (perm.mode, perm.conflicts, perm.adopted, perm.batch_size) == \
+        (base.mode, base.conflicts, base.adopted, base.batch_size)
+
+
+def test_bad_speculation_order_fails_loudly():
+    class NotAPermutation(LaneAssigner):
+        def speculation_order(self, batch_size):
+            return [0] * batch_size
+
+    executor = ParallelTransactionExecutor(2, assigner=NotAPermutation())
+    txs = _batch(4)
+    view = funded_view({a: 1_000 for tx in txs
+                        for a in tx.access_list.touched})
+    with pytest.raises(StateError, match="permutation"):
+        executor.execute(txs, view)
+
+
+def test_out_of_range_lane_fails_loudly():
+    class OffTheEnd(LaneAssigner):
+        def assign(self, index, tx, workers):
+            return workers  # one past the last lane
+
+    executor = ParallelTransactionExecutor(2, assigner=OffTheEnd())
+    txs = _batch(4)
+    view = funded_view({a: 1_000 for tx in txs
+                        for a in tx.access_list.touched})
+    with pytest.raises(StateError, match="lane"):
+        executor.execute(txs, view)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_property_lane_schedule_never_changes_the_outcome(data):
+    """PoryRace's core property: for any lane assignment and any
+    speculation interleaving, outcome, state, sanitizer stream and
+    schedule-independent report counters all match the default run."""
+    from repro.devtools.racesan import PermutedLaneAssigner
+
+    gen = WorkloadGenerator(num_accounts=32, num_shards=1,
+                            seed=data.draw(st.integers(0, 2 ** 20)))
+    txs = gen.batch(data.draw(st.integers(min_value=2, max_value=16)))
+    workers = data.draw(st.integers(min_value=2, max_value=4))
+    lanes = data.draw(st.lists(
+        st.integers(min_value=0, max_value=workers - 1),
+        min_size=len(txs), max_size=len(txs)))
+    order = data.draw(st.permutations(range(len(txs))))
+    balances = {a: 1_000_000 for tx in txs for a in tx.access_list.touched}
+
+    base_sink, perm_sink = CollectingSink(), CollectingSink()
+    base_view = sanitized_view(balances, "record", base_sink)
+    base_exec = ParallelTransactionExecutor(workers)
+    base_outcome = base_exec.execute(txs, base_view)
+    perm_view = sanitized_view(balances, "record", perm_sink)
+    perm_exec = ParallelTransactionExecutor(
+        workers, assigner=PermutedLaneAssigner(lanes=lanes, order=order))
+    perm_outcome = perm_exec.execute(txs, perm_view)
+
+    assert outcome_key(perm_outcome) == outcome_key(base_outcome)
+    assert perm_view.written_encoded() == base_view.written_encoded()
+    assert perm_sink.entries == base_sink.entries
+    base, perm = base_exec.last_report, perm_exec.last_report
+    # Everything except the per-lane schedule accounting (spec_units,
+    # lane_txs legitimately vary with the assignment) must be equal.
+    assert (perm.mode, perm.conflicts, perm.adopted, perm.batch_size,
+            perm.workers, perm.estimated_conflict_fraction) == \
+        (base.mode, base.conflicts, base.adopted, base.batch_size,
+         base.workers, base.estimated_conflict_fraction)
 
 
 # ---------------------------------------------------------------------------
