@@ -9,6 +9,8 @@ Usage::
     python -m repro audit --rounds 9
     python -m repro lint src --strict
     python -m repro lint src --access
+    python -m repro hotlint src --strict
+    python -m repro hotlint src --profile trace.jsonl --format json
     python -m repro replay --seed 7 --rounds 6
     python -m repro sanitize --mode strict --baseline
     python -m repro racecheck --preset contended --schedules 20
@@ -113,6 +115,12 @@ def _cmd_lint(args) -> int:
     return lint_main(list(args.lint_args))
 
 
+def _cmd_hotlint(args) -> int:
+    from repro.devtools.hotpath import main as hotlint_main
+
+    return hotlint_main(list(args.hotlint_args))
+
+
 def _cmd_replay(args) -> int:
     from repro.devtools.replay import main as replay_main
 
@@ -182,6 +190,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="arguments forwarded to repro.devtools.lint")
     lint.set_defaults(func=_cmd_lint)
 
+    hotlint = sub.add_parser(
+        "hotlint",
+        help="PoryHot hot-path performance lint (PL301..PL307) with "
+             "profile-guided ranking (--profile trace.jsonl)",
+        add_help=False,
+    )
+    hotlint.add_argument("hotlint_args", nargs=argparse.REMAINDER,
+                         help="arguments forwarded to repro.devtools.hotpath")
+    hotlint.set_defaults(func=_cmd_hotlint)
+
     replay = sub.add_parser(
         "replay",
         help="replay-divergence harness (same-seed double run + trace diff)",
@@ -248,6 +266,8 @@ def main(argv: list[str] | None = None) -> int:
     # would otherwise be rejected as an unrecognized argument).
     if argv and argv[0] == "lint":
         return _cmd_lint(argparse.Namespace(lint_args=argv[1:]))
+    if argv and argv[0] == "hotlint":
+        return _cmd_hotlint(argparse.Namespace(hotlint_args=argv[1:]))
     if argv and argv[0] == "replay":
         return _cmd_replay(argparse.Namespace(replay_args=argv[1:]))
     if argv and argv[0] == "sanitize":

@@ -63,7 +63,7 @@ class Committee:
         return len(self.members)
 
     def __contains__(self, node_id: int) -> bool:
-        return node_id in set(self.members)
+        return node_id in self.members
 
     @property
     def leader(self) -> int:

@@ -159,9 +159,13 @@ def run_sortition(
             surplus.extend(shard_draws[shard][params.shard_size:])
             shard_draws[shard] = shard_draws[shard][: params.shard_size]
         surplus.sort(key=lambda draw: draw.vrf_value)
+        cursor = 0  # consume the surplus front-to-back without pop(0) shifts
         for shard in sorted(shard_draws):
-            while len(shard_draws[shard]) < params.shard_size and surplus:
-                shard_draws[shard].append(surplus.pop(0))
+            need = params.shard_size - len(shard_draws[shard])
+            if need > 0 and cursor < len(surplus):
+                taken = surplus[cursor:cursor + need]
+                shard_draws[shard].extend(taken)
+                cursor += len(taken)
             shard_draws[shard].sort(key=lambda draw: draw.vrf_value)
 
     shards: dict[int, Committee] = {}

@@ -345,7 +345,8 @@ class PorygonPipeline:
 
     def form_execution_committees(self, round_number: int) -> dict[int, Committee]:
         """VRF sortition of this round's Execution Sub-Committees."""
-        pool = [nid for nid in self.stateless if nid not in set(self.oc.members)]
+        oc_members = set(self.oc.members)
+        pool = [nid for nid in self.stateless if nid not in oc_members]
         params = SortitionParams(
             ordering_size=1,  # unused (form_ordering=False)
             num_shards=self.config.num_shards,
@@ -1048,7 +1049,9 @@ class PorygonPipeline:
                 valid = [
                     proof for proof, ok in zip(wb.proofs, verdicts[start:end]) if ok
                 ]
-                threshold_committee = self.assignments.get(wb.witnessed_by_round, {}).get(wb.shard)
+                round_committees = self.assignments.get(wb.witnessed_by_round)
+                threshold_committee = (round_committees.get(wb.shard)
+                                       if round_committees else None)
                 threshold = (threshold_committee.witness_threshold
                              if threshold_committee else max(1, len(valid)))
                 if len(valid) >= threshold:

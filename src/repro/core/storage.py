@@ -249,8 +249,9 @@ class StorageHub:
         order = preferred + tail
         if self.chaos is None:
             return order
-        return sorted(order, key=lambda nid: (1 if self.chaos.is_crashed(nid) else 0,
-                                              order.index(nid)))
+        # sorted() is stable, so crashed replicas sink to the back while
+        # the preferred-then-tail order is preserved within each group.
+        return sorted(order, key=lambda nid: 1 if self.chaos.is_crashed(nid) else 0)
 
     # ------------------------------------------------------------------
     # Proposal chain

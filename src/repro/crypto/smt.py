@@ -624,7 +624,9 @@ class PartialSparseMerkleTree:
         dirty = {key for key in self._values}
         level_prefixes = {self.depth - 1: {key >> 1 for key in dirty}}
         for level in range(self.depth - 1, -1, -1):
-            prefixes = level_prefixes.get(level, set())
+            # every visited level is seeded above or by the previous
+            # iteration, so a direct lookup never misses
+            prefixes = level_prefixes[level]
             next_level = set()
             for prefix in prefixes:
                 left = overlay.get((level + 1, prefix << 1), self._defaults[level + 1])

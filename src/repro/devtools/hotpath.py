@@ -1,0 +1,1308 @@
+"""PoryHot static head: hot-path performance lints (PL301-PL307).
+
+ROADMAP item 1 demands that every perf PR move ``BENCH_e2e.json`` — but
+nothing stopped hot-path regressions (per-iteration allocations,
+loop-invariant re-encodes, unbatched crypto, quadratic membership) from
+creeping back in *between* perf PRs.  These rules lint for exactly those
+patterns inside the **hot region**: the slice of each module reachable
+from the span-instrumented pipeline/executor/coordinator entry points.
+
+**Hot-region computation** — a bounded per-module BFS (same
+call-resolution discipline and depth cap as
+:mod:`repro.devtools.accessset`, same region-cache pattern as
+:mod:`repro.devtools.lanesafety`) from three kinds of roots:
+
+* **span-instrumented functions** — any function containing a
+  ``tracer.span(...)`` call; the span-name literals double as the
+  function's telemetry labels (see the profile join below);
+* **methods of hot service classes** — classes whose name carries one of
+  the :data:`HOT_CLASS_MARKERS` substrings (``StorageHub``,
+  ``SparseMerkleTree``, ``ParallelTransactionExecutor``, ...): the
+  per-round service layer the pipeline drives on every fetch/execute;
+* **hot entry-point functions** — the module-level per-round entry
+  points named in :data:`HOT_ROOT_FUNCTIONS` (``run_sortition``, ...).
+
+Rule catalog (see DESIGN.md §14):
+
+======  ========================  ============================================
+code    name                      what it catches
+======  ========================  ============================================
+PL301   ALLOC-IN-HOT-LOOP         loop-invariant list/dict/set/tuple or
+                                  comprehension construction (hoistable), and
+                                  fresh empty-container ``.get(k, {})``
+                                  defaults, inside a hot loop
+PL302   REPEATED-ENCODE           canonical-encode/digest call on loop-
+                                  invariant receiver+arguments in a hot loop
+PL303   QUADRATIC-MEMBERSHIP      ``x in <list>`` per iteration, linear list
+                                  ops (``.index``/``.count``/``.pop(0)``/
+                                  ``.insert(0,..)``/``.remove``) in hot loops
+                                  and sort keys, and sets built inline for a
+                                  single membership test
+PL304   UNBATCHED-CRYPTO-STATE    per-item ``verify``/``prove``/``update`` in
+                                  a loop where a batch sibling API exists
+PL305   COPY-AMPLIFICATION        ``deepcopy``/``dict(...)``/``.copy()`` of a
+                                  state/view object repeated in a hot loop
+PL306   CONCAT-IN-HOT-LOOP        bytes/str ``+=`` accumulation in a hot loop
+PL307   ROUTED-FETCH-IN-LOOP      per-item hardened fetch inside a hot loop
+                                  where the prefetcher seam applies
+======  ========================  ============================================
+
+All seven are path-scoped to the hot packages (``repro/core``,
+``repro/state``, ``repro/crypto``, ``repro/net``, ``repro/committee``).
+
+**Profile-guided ranking head** — ``repro hotlint --profile trace.jsonl``
+joins findings against a recorded telemetry export: per-span time shares
+are computed from the trace (the same span taxonomy the occupancy table
+consumes), each finding inherits the shares of the span labels its hot
+function was reached from, and the report ranks findings by observed
+time-weight.  Without a profile the ranking falls back to static
+hot-region depth (shallower = hotter).  Reports are byte-stable
+(:func:`repro.devtools.report.canonical_report`) so CI can ``cmp``
+double runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+from collections import deque
+from dataclasses import dataclass
+
+from repro.devtools.accessset import _collect_functions, _FuncInfo
+from repro.devtools.findings import Finding
+from repro.devtools.rules import ModuleContext, Rule, register
+
+#: Class-name substrings marking a class as part of the per-round hot
+#: service layer (storage serving, state execution, crypto trees and
+#: backends, the network fabric, committee bookkeeping).
+HOT_CLASS_MARKERS = (
+    "Pipeline", "Executor", "Hub", "State", "View", "Tree", "Backend",
+    "Network", "Overlay", "Lane", "Committee", "Coordinator",
+)
+
+#: Module-level functions treated as hot entry points even without span
+#: instrumentation (they run once or more per round).
+HOT_ROOT_FUNCTIONS = frozenset({
+    "run_sortition", "draw_for_node",
+    "collect_execution_keys", "compute_canonical_execution",
+})
+
+#: Bounded hot-reachability descent (matches accessset's discipline).
+_MAX_HOT_DEPTH = 5
+
+#: Constructors whose loop-invariant calls are per-iteration allocations.
+_CONTAINER_CTORS = frozenset({
+    "list", "dict", "set", "tuple", "frozenset", "sorted",
+})
+
+#: Callee names that canonically encode or digest their inputs.
+_ENCODE_CALLEES = frozenset({
+    "signing_payload", "canonical_encode", "encode", "digest", "hexdigest",
+    "domain_digest", "result_digest", "header_digest", "to_bytes",
+    "sha256", "blake2b", "md5",
+})
+
+#: Per-item method -> batch sibling(s) known to exist in the codebase
+#: (crypto backends, SMT trees, shard state — DESIGN.md §14).
+_BATCH_SIBLINGS: dict[str, tuple[str, ...]] = {
+    "verify": ("verify_batch",),
+    "prove": ("prove_batch",),
+    "get_proof": ("prove_batch", "get_multiproof"),
+    "update": ("update_many", "update_batch"),
+}
+
+#: Receiver-name hints marking an object as a crypto/state service whose
+#: API carries the batch siblings above.
+_BATCH_RECEIVER_HINTS = ("backend", "tree", "smt")
+
+#: Name hints marking a value as a state/view/snapshot object (PL305).
+_STATE_OBJECT_HINTS = (
+    "state", "view", "store", "accounts", "balances", "snapshot",
+)
+
+#: Hardened per-item fetch entry points the prefetcher seam replaces.
+_FETCH_CALLEES = frozenset({
+    "_routed_fetch", "routed_fetch", "fetch_block", "fetch_state",
+    "fetch_states",
+})
+
+#: Linear list methods that turn loops quadratic.
+_LINEAR_LIST_METHODS = frozenset({"index", "count", "remove"})
+
+#: Mutating method names marking a container as a per-iteration
+#: accumulator (its fresh construction must NOT be hoisted).
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "update", "extend", "insert", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "sort",
+})
+
+#: Method calls with observable side effects: an expression containing
+#: one is never loop-invariant, whatever its free names say.
+_SIDE_EFFECT_CALLS = _MUTATOR_METHODS | frozenset({"popleft", "next", "send"})
+
+#: Builtins treated as loop-invariant when their arguments are (pure
+#: value constructors / pure functions of their inputs).
+_COMPREHENSION_NODES = (ast.ListComp, ast.SetComp, ast.DictComp,
+                        ast.GeneratorExp)
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _qualname(info: _FuncInfo) -> str:
+    if info.class_name is not None:
+        return f"{info.class_name}.{info.node.name}"
+    return info.node.name
+
+
+def _callee_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _span_names(node: ast.AST) -> tuple[str, ...]:
+    """Span-name literals of every ``<x>.span("...")`` call in ``node``."""
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute) \
+                and sub.func.attr == "span" and sub.args:
+            first = sub.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                names.add(first.value)
+    return tuple(sorted(names))
+
+
+def _resolve_callee(table: dict[str, list[_FuncInfo]], caller: _FuncInfo,
+                    func: ast.expr) -> _FuncInfo | None:
+    """Same-module call resolution (mirrors accessset's discipline)."""
+    if isinstance(func, ast.Name):
+        for info in table.get(func.id, ()):
+            if info.class_name is None:
+                return info
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id in {"self", "cls"}:
+            candidates = table.get(func.attr, ())
+            for info in candidates:
+                if info.class_name == caller.class_name:
+                    return info
+            return candidates[0] if candidates else None
+    return None
+
+
+def is_hot_class(name: str) -> bool:
+    """Is ``name`` a hot service class name?"""
+    return any(marker in name for marker in HOT_CLASS_MARKERS)
+
+
+@dataclass
+class HotRegion:
+    """The hot-reachable slice of one module."""
+
+    #: ``id(node)`` -> function info for every hot-reachable function.
+    reachable: dict[int, _FuncInfo]
+    #: ``id(node)`` -> human-readable reachability reason.
+    reasons: dict[int, str]
+    #: ``id(node)`` -> BFS depth from the nearest root (0 = root).
+    depths: dict[int, int]
+    #: ``id(node)`` -> telemetry span labels inherited down the BFS.
+    span_labels: dict[int, tuple[str, ...]]
+    #: all collected functions (roots candidates, for the ranker).
+    functions: dict[str, list[_FuncInfo]]
+
+    def reason_for(self, info: _FuncInfo) -> str:
+        return self.reasons.get(id(info.node), "hot-reachable")
+
+    def enclosing(self, line: int) -> _FuncInfo | None:
+        """Innermost hot-reachable function containing ``line``."""
+        best: _FuncInfo | None = None
+        for info in self.reachable.values():
+            node = info.node
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            if node.lineno <= line <= end:
+                if best is None or node.lineno > best.node.lineno:
+                    best = info
+        return best
+
+
+def compute_hot_region(tree: ast.Module) -> HotRegion:
+    """Hot reachability + telemetry span labels for one module."""
+    table = _collect_functions(tree)
+    queue: deque[tuple[_FuncInfo, str, int, tuple[str, ...]]] = deque()
+    for infos in table.values():
+        for info in infos:
+            spans = _span_names(info.node)
+            if spans:
+                labels = ", ".join(f"`{name}`" for name in spans)
+                queue.append((
+                    info, f"span-instrumented ({labels})", 0, spans))
+            elif info.class_name is not None and is_hot_class(info.class_name):
+                queue.append((
+                    info,
+                    f"method of hot service class `{info.class_name}`",
+                    0, ()))
+            elif info.node.name in HOT_ROOT_FUNCTIONS:
+                queue.append((info, "hot entry point", 0, ()))
+
+    reachable: dict[int, _FuncInfo] = {}
+    reasons: dict[int, str] = {}
+    depths: dict[int, int] = {}
+    span_labels: dict[int, tuple[str, ...]] = {}
+    while queue:
+        info, reason, depth, labels = queue.popleft()
+        marker = id(info.node)
+        if marker in reachable:
+            continue
+        own = _span_names(info.node)
+        labels = tuple(sorted(set(labels) | set(own)))
+        reachable[marker] = info
+        reasons[marker] = reason
+        depths[marker] = depth
+        span_labels[marker] = labels
+        if depth >= _MAX_HOT_DEPTH:
+            continue
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _resolve_callee(table, info, node.func)
+            if callee is None or id(callee.node) in reachable:
+                continue
+            queue.append((
+                callee,
+                f"called from hot `{_qualname(info)}` (line {node.lineno})",
+                depth + 1,
+                labels,
+            ))
+    return HotRegion(
+        reachable=reachable,
+        reasons=reasons,
+        depths=depths,
+        span_labels=span_labels,
+        functions=table,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hot-loop discovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _HotLoop:
+    """One loop (explicit or implicit) inside a hot function."""
+
+    node: ast.AST
+    label: str
+    #: names bound anywhere inside the loop (targets + stores).
+    bound: frozenset[str]
+    #: expression/statement roots forming the per-iteration body.
+    body: tuple[ast.AST, ...]
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _bound_names(nodes: "typing.Iterable[ast.AST]") -> set[str]:
+    """Every name bound (stored) anywhere under ``nodes``."""
+    bound: set[str] = set()
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, (ast.Store, ast.Del)):
+                bound.add(node.id)
+            elif isinstance(node, ast.arg):
+                bound.add(node.arg)
+    return bound
+
+
+def _key_lambda(call: ast.Call) -> ast.Lambda | None:
+    """The ``key=lambda ...`` of a sort/min/max call, if present."""
+    name = _callee_name(call.func)
+    if name not in {"sorted", "sort", "min", "max"}:
+        return None
+    for kw in call.keywords:
+        if kw.arg == "key" and isinstance(kw.value, ast.Lambda):
+            return kw.value
+    return None
+
+
+def iter_hot_loops(func_node: ast.AST) -> list[_HotLoop]:
+    """Every loop context inside ``func_node``, in source order.
+
+    Covers explicit ``for``/``while`` loops, comprehensions (implicit
+    loops) and ``key=lambda`` sort keys (called once per element).
+    """
+    loops: list[_HotLoop] = []
+    for node in ast.walk(func_node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            body = tuple(node.body)
+            bound = _target_names(node.target) | _bound_names(body)
+            loops.append(_HotLoop(node, "for loop", frozenset(bound), body))
+        elif isinstance(node, ast.While):
+            body = tuple(node.body)
+            loops.append(_HotLoop(
+                node, "while loop", frozenset(_bound_names(body)), body))
+        elif isinstance(node, _COMPREHENSION_NODES):
+            bound: set[str] = set()
+            body_parts: list[ast.AST] = []
+            for index, gen in enumerate(node.generators):
+                bound |= _target_names(gen.target)
+                body_parts.extend(gen.ifs)
+                if index > 0:  # later iters re-evaluate per outer element
+                    body_parts.append(gen.iter)
+            if isinstance(node, ast.DictComp):
+                body_parts.extend((node.key, node.value))
+            else:
+                body_parts.append(node.elt)
+            loops.append(_HotLoop(
+                node, "comprehension", frozenset(bound), tuple(body_parts)))
+        elif isinstance(node, ast.Call):
+            lam = _key_lambda(node)
+            if lam is not None:
+                params = {a.arg for a in [*lam.args.posonlyargs,
+                                          *lam.args.args]}
+                loops.append(_HotLoop(
+                    lam, "sort key", frozenset(params), (lam.body,)))
+    loops.sort(key=lambda loop: (loop.node.lineno, loop.node.col_offset))
+    return loops
+
+
+def _iter_body(loop: _HotLoop) -> "typing.Iterator[ast.AST]":
+    """Walk a loop body without descending into nested loop contexts.
+
+    Nested loops (and comprehensions / sort-key lambdas) get their own
+    :class:`_HotLoop`, so each expression is checked against its
+    *innermost* enclosing loop — the level at which hoisting is
+    actionable.  The nested loop node itself IS yielded (a whole
+    loop-invariant comprehension is a hoistable construction).
+    """
+    stack: list[ast.AST] = list(loop.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _LOOP_NODES) or isinstance(
+                node, _COMPREHENSION_NODES):
+            continue
+        if isinstance(node, ast.Call) and _key_lambda(node) is not None:
+            # descend into the call's receiver/args but not the key lambda
+            stack.extend(child for child in ast.iter_child_nodes(node)
+                         if not (isinstance(child, ast.keyword)
+                                 and child.arg == "key"))
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _free_names(expr: ast.AST) -> set[str]:
+    """Names loaded by ``expr`` minus names it binds itself."""
+    loads: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            loads.add(node.id)
+    return loads - _bound_names((expr,))
+
+
+def _has_side_effects(expr: ast.AST) -> bool:
+    """Does ``expr`` contain a call that mutates or consumes state?"""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call) \
+                and _callee_name(node.func) in _SIDE_EFFECT_CALLS:
+            return True
+    return False
+
+
+def _is_invariant(expr: ast.AST, loop: _HotLoop) -> bool:
+    """Conservative loop invariance: no free name is bound in the loop
+    and no contained call mutates/consumes state per evaluation."""
+    if _has_side_effects(expr):
+        return False
+    return not (_free_names(expr) & loop.bound)
+
+
+def _alloc_exempt_nodes(func_node: ast.AST) -> set[int]:
+    """Node ids that look like constructions but are not allocations.
+
+    Covers annotation expressions (never evaluated for local
+    ``x: dict[a, b] = ...`` statements), generic-subscript slice tuples
+    (``dict[bytes, int]``) and exception-type tuples
+    (``except (A, B):`` — evaluated only when an exception fires).
+    """
+    exempt: set[int] = set()
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.AnnAssign):
+            exempt.update(id(sub) for sub in ast.walk(node.annotation))
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.slice, ast.Tuple):
+            exempt.add(id(node.slice))
+        elif isinstance(node, ast.ExceptHandler) and node.type is not None:
+            exempt.update(id(sub) for sub in ast.walk(node.type))
+    return exempt
+
+
+def _list_typed_names(func_node: ast.AST) -> set[str]:
+    """Local names (and params) statically known to hold a list."""
+    names: set[str] = set()
+
+    def value_is_list(value: ast.expr | None) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, (ast.List, ast.ListComp)):
+            return True
+        if isinstance(value, ast.Call) \
+                and _callee_name(value.func) in {"list", "sorted"}:
+            return True
+        if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Add):
+            return _expr_is_list(value.left) and _expr_is_list(value.right)
+        return False
+
+    def _expr_is_list(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in names
+        return value_is_list(expr)
+
+    params = getattr(func_node, "args", None)
+    if params is not None:
+        for arg in [*params.posonlyargs, *params.args, *params.kwonlyargs]:
+            if arg.annotation is None:
+                continue
+            try:
+                annotation = ast.unparse(arg.annotation)
+            except Exception:  # pragma: no cover - malformed annotation
+                continue
+            if annotation.startswith(("list", "typing.List", "List")):
+                names.add(arg.arg)
+    # two passes stabilize `c = a + b` chains over earlier list bindings
+    for _ in range(2):
+        for node in ast.walk(func_node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            if isinstance(target, ast.Name) and value is not None \
+                    and value_is_list(value):
+                names.add(target.id)
+    return names
+
+
+def _mutated_names(loop: _HotLoop) -> set[str]:
+    """Names whose bound container is mutated inside the loop body."""
+    mutated: set[str] = set()
+    for root in loop.body:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATOR_METHODS \
+                    and isinstance(node.func.value, ast.Name):
+                mutated.add(node.func.value.id)
+            elif isinstance(node, ast.Subscript) \
+                    and isinstance(node.ctx, (ast.Store, ast.Del)) \
+                    and isinstance(node.value, ast.Name):
+                mutated.add(node.value.id)
+            elif isinstance(node, ast.AugAssign) \
+                    and isinstance(node.target, ast.Name):
+                mutated.add(node.target.id)
+    return mutated
+
+
+class _loc:  # noqa: N801 - tiny location adapter
+    def __init__(self, node: ast.AST):
+        self.lineno = getattr(node, "lineno", 1)
+        self.col_offset = getattr(node, "col_offset", 0)
+
+
+class _HotRule(Rule):
+    """Shared helpers for the hot-path rules."""
+
+    def _region(self, ctx: ModuleContext) -> HotRegion:
+        return typing.cast(HotRegion, ctx.hot_region())
+
+    def _hot_functions(
+            self, ctx: ModuleContext,
+    ) -> "typing.Iterator[tuple[_FuncInfo, str]]":
+        region = self._region(ctx)
+        for info in region.reachable.values():
+            yield info, region.reason_for(info)
+
+
+#: Path scope: the five packages forming the per-round hot path.
+_HOT_PATHS = (
+    "*repro/core/*", "*repro/state/*", "*repro/crypto/*",
+    "*repro/net/*", "*repro/committee/*",
+    "repro/core/*", "repro/state/*", "repro/crypto/*",
+    "repro/net/*", "repro/committee/*",
+)
+
+
+# ---------------------------------------------------------------------------
+# PL301 ALLOC-IN-HOT-LOOP
+# ---------------------------------------------------------------------------
+
+
+@register
+class AllocInHotLoopRule(_HotRule):
+    """Loop-invariant container construction inside a hot loop.
+
+    A list/set/dict/tuple display, comprehension or ``list(...)``-style
+    constructor whose free names are all bound *outside* the loop builds
+    the identical container on every iteration — hoist it above the
+    loop.  Fresh-per-iteration accumulators (containers mutated inside
+    the loop) are exempt, as are empty displays — except when an empty
+    display is allocated purely to serve as a ``.get(key, {})`` default.
+    """
+
+    code = "PL301"
+    name = "ALLOC-IN-HOT-LOOP"
+    summary = "loop-invariant container construction inside a hot loop"
+    path_patterns = _HOT_PATHS
+
+    _hint = (
+        "hoist the construction above the loop (bind it once) — it "
+        "builds the identical container every iteration"
+    )
+    _get_hint = (
+        "restructure to a single lookup (`d.get(k)` + `if` guard) or "
+        "reuse one module-level empty constant — `.get(k, {})` allocates "
+        "a fresh container every iteration"
+    )
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for info, reason in self._hot_functions(ctx):
+            exempt = _alloc_exempt_nodes(info.node)
+            for loop in iter_hot_loops(info.node):
+                mutated = _mutated_names(loop)
+                for node in _iter_body(loop):
+                    if id(node) in exempt:
+                        continue
+                    yield from self._check_node(
+                        ctx, info, reason, loop, mutated, node)
+
+    def _check_node(self, ctx: ModuleContext, info: _FuncInfo, reason: str,
+                    loop: _HotLoop, mutated: set[str],
+                    node: ast.AST) -> "typing.Iterator[Finding]":
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "get" and len(node.args) == 2:
+            default = node.args[1]
+            if self._is_empty_container(default):
+                yield self.finding(
+                    ctx, _loc(default),
+                    f"`{_qualname(info)}` ({reason}) allocates a fresh "
+                    f"empty container as a `.get(...)` default every "
+                    f"iteration of a hot {loop.label}",
+                    self._get_hint,
+                )
+                return
+        kind = self._construction_kind(node)
+        if kind is None:
+            return
+        if not _is_invariant(node, loop):
+            return
+        target = self._assigned_name(node, loop)
+        if target is not None and target in mutated:
+            return  # per-iteration accumulator: must stay fresh
+        yield self.finding(
+            ctx, _loc(node),
+            f"`{_qualname(info)}` ({reason}) builds a loop-invariant "
+            f"{kind} inside a hot {loop.label}",
+            self._hint,
+        )
+
+    @staticmethod
+    def _is_empty_container(node: ast.expr) -> bool:
+        # empty tuples are interned constants — never an allocation
+        if isinstance(node, (ast.List, ast.Set)) and not node.elts:
+            return True
+        if isinstance(node, ast.Dict) and not node.keys:
+            return True
+        if isinstance(node, ast.Call) and not node.args and not node.keywords \
+                and _callee_name(node.func) in {"list", "dict", "set"}:
+            return True
+        return False
+
+    @staticmethod
+    def _construction_kind(node: ast.AST) -> str | None:
+        if isinstance(node, (ast.List, ast.Set)) and node.elts:
+            if isinstance(node, ast.List) \
+                    and not isinstance(node.ctx, ast.Load):
+                return None  # unpacking target, not a construction
+            return "list literal" if isinstance(node, ast.List) \
+                else "set literal"
+        if isinstance(node, ast.Tuple) and node.elts \
+                and isinstance(node.ctx, ast.Load) and not all(
+                isinstance(elt, ast.Constant) for elt in node.elts):
+            # all-constant tuples are folded to constants by CPython,
+            # and Store/Del-context tuples are unpacking targets
+            return "tuple literal"
+        if isinstance(node, ast.Dict) and node.keys:
+            return "dict literal"
+        if isinstance(node, _COMPREHENSION_NODES):
+            return "comprehension"
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in _CONTAINER_CTORS \
+                and (node.args or node.keywords):
+            return f"`{node.func.id}(...)` container"
+        return None
+
+    @staticmethod
+    def _assigned_name(node: ast.AST, loop: _HotLoop) -> str | None:
+        """The name ``node`` is directly assigned to in the loop, if any."""
+        for root in loop.body:
+            for stmt in ast.walk(root):
+                if isinstance(stmt, ast.Assign) and stmt.value is node \
+                        and len(stmt.targets) == 1 \
+                        and isinstance(stmt.targets[0], ast.Name):
+                    return stmt.targets[0].id
+                if isinstance(stmt, ast.AnnAssign) and stmt.value is node \
+                        and isinstance(stmt.target, ast.Name):
+                    return stmt.target.id
+        return None
+
+
+# ---------------------------------------------------------------------------
+# PL302 REPEATED-ENCODE
+# ---------------------------------------------------------------------------
+
+
+@register
+class RepeatedEncodeRule(_HotRule):
+    """Canonical-encode/digest call on loop-invariant inputs in a hot loop.
+
+    ``header.signing_payload()``, ``domain_digest(...)``,
+    ``x.to_bytes(...)`` and friends are pure functions of their inputs:
+    when the receiver and every argument are bound outside the loop, the
+    call recomputes the identical bytes each iteration.
+    """
+
+    code = "PL302"
+    name = "REPEATED-ENCODE"
+    summary = "loop-invariant encode/digest recomputed inside a hot loop"
+    path_patterns = _HOT_PATHS
+
+    _hint = (
+        "hoist the encode/digest above the loop and reuse the bytes — "
+        "the inputs do not change per iteration"
+    )
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for info, reason in self._hot_functions(ctx):
+            for loop in iter_hot_loops(info.node):
+                for node in _iter_body(loop):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    callee = _callee_name(node.func)
+                    if callee not in _ENCODE_CALLEES:
+                        continue
+                    if not _is_invariant(node, loop):
+                        continue
+                    yield self.finding(
+                        ctx, _loc(node),
+                        f"`{_qualname(info)}` ({reason}) recomputes "
+                        f"loop-invariant `{callee}(...)` every iteration "
+                        f"of a hot {loop.label}",
+                        self._hint,
+                    )
+
+
+# ---------------------------------------------------------------------------
+# PL303 QUADRATIC-MEMBERSHIP
+# ---------------------------------------------------------------------------
+
+
+@register
+class QuadraticMembershipRule(_HotRule):
+    """Linear list scans repeated per iteration — quadratic hot paths.
+
+    Catches ``x in <list>`` membership per loop iteration, linear list
+    methods (``.index``/``.count``/``.remove``/``.pop(0)``/
+    ``.insert(0, ..)``) inside hot loops and sort keys, and membership
+    tests whose right-hand side builds a ``set(...)`` inline (an O(n)
+    construction serving a single O(1) lookup).
+    """
+
+    code = "PL303"
+    name = "QUADRATIC-MEMBERSHIP"
+    summary = "per-iteration linear list scan makes the hot path quadratic"
+    path_patterns = _HOT_PATHS
+
+    _member_hint = (
+        "build a set/frozenset of the collection once, above the loop, "
+        "and test membership against it"
+    )
+    _linear_hint = (
+        "precompute a rank/index dict (or use a deque / slice cursor) — "
+        "this list method is O(n) per call"
+    )
+    _inline_set_hint = (
+        "the set is rebuilt for a single membership test; hoist it to a "
+        "cached set, or test against the underlying collection directly"
+    )
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for info, reason in self._hot_functions(ctx):
+            list_names = _list_typed_names(info.node)
+            loops = iter_hot_loops(info.node)
+            in_loop: set[int] = set()
+            for loop in loops:
+                for node in _iter_body(loop):
+                    in_loop.add(id(node))
+                    yield from self._check_loop_node(
+                        ctx, info, reason, loop, list_names, node)
+            # inline-set membership applies to the whole hot function;
+            # inside a loop the (invariant) construction is PL301's.
+            for node in ast.walk(info.node):
+                if id(node) in in_loop:
+                    continue
+                yield from self._check_inline_set(ctx, info, reason, node)
+
+    def _check_loop_node(self, ctx: ModuleContext, info: _FuncInfo,
+                         reason: str, loop: _HotLoop, list_names: set[str],
+                         node: ast.AST) -> "typing.Iterator[Finding]":
+        if isinstance(node, ast.Compare) and len(node.ops) == 1 \
+                and isinstance(node.ops[0], (ast.In, ast.NotIn)):
+            rhs = node.comparators[0]
+            if isinstance(rhs, ast.Name) and rhs.id in list_names:
+                yield self.finding(
+                    ctx, _loc(node),
+                    f"`{_qualname(info)}` ({reason}) tests membership "
+                    f"against list `{rhs.id}` every iteration of a hot "
+                    f"{loop.label} — O(n) scan per element",
+                    self._member_hint,
+                )
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id in list_names:
+            attr = node.func.attr
+            flagged = attr in _LINEAR_LIST_METHODS or (
+                attr in {"pop", "insert"} and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == 0
+            )
+            if flagged:
+                yield self.finding(
+                    ctx, _loc(node),
+                    f"`{_qualname(info)}` ({reason}) calls "
+                    f"`{node.func.value.id}.{attr}(...)` inside a hot "
+                    f"{loop.label} — a linear scan/shift per iteration "
+                    "turns the loop quadratic",
+                    self._linear_hint,
+                )
+
+    def _check_inline_set(self, ctx: ModuleContext, info: _FuncInfo,
+                          reason: str,
+                          node: ast.AST) -> "typing.Iterator[Finding]":
+        if not (isinstance(node, ast.Compare) and len(node.ops) == 1
+                and isinstance(node.ops[0], (ast.In, ast.NotIn))):
+            return
+        rhs = node.comparators[0]
+        if isinstance(rhs, ast.Call) and isinstance(rhs.func, ast.Name) \
+                and rhs.func.id in {"set", "frozenset"} and rhs.args:
+            yield self.finding(
+                ctx, _loc(node),
+                f"`{_qualname(info)}` ({reason}) builds "
+                f"`{rhs.func.id}(...)` inline for a single membership "
+                "test — O(n) construction for one O(1) lookup",
+                self._inline_set_hint,
+            )
+
+
+# ---------------------------------------------------------------------------
+# PL304 UNBATCHED-CRYPTO-STATE
+# ---------------------------------------------------------------------------
+
+
+@register
+class UnbatchedCryptoStateRule(_HotRule):
+    """Per-item crypto/state call in a loop where a batch API exists.
+
+    PR 1 added ``verify_batch`` / ``prove_batch`` / ``update_many``
+    precisely so hot paths amortize per-call overhead (and the SMT's
+    dirty-prefix batch commit).  Looping ``backend.verify(...)`` or
+    ``tree.update(...)`` per item forfeits the batched path.
+    """
+
+    code = "PL304"
+    name = "UNBATCHED-CRYPTO-STATE"
+    summary = "per-item verify/prove/update in a loop with a batch sibling"
+    path_patterns = _HOT_PATHS
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        module_defs = set(self._region(ctx).functions)
+        for info, reason in self._hot_functions(ctx):
+            for loop in iter_hot_loops(info.node):
+                for node in _iter_body(loop):
+                    if not (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)):
+                        continue
+                    attr = node.func.attr
+                    siblings = _BATCH_SIBLINGS.get(attr)
+                    if siblings is None:
+                        continue
+                    receiver = node.func.value
+                    if not _is_invariant(receiver, loop):
+                        continue
+                    try:
+                        receiver_text = ast.unparse(receiver).lower()
+                    except Exception:  # pragma: no cover - malformed
+                        receiver_text = ""
+                    hinted = any(hint in receiver_text
+                                 for hint in _BATCH_RECEIVER_HINTS)
+                    local = any(s in module_defs for s in siblings)
+                    if attr == "update":
+                        # plain dict.update loops are legal; require the
+                        # receiver to look like a crypto/state service.
+                        if not hinted:
+                            continue
+                    elif not (hinted or local):
+                        continue
+                    sibling = siblings[0]
+                    yield self.finding(
+                        ctx, _loc(node),
+                        f"`{_qualname(info)}` ({reason}) calls "
+                        f"`.{attr}(...)` per item inside a hot "
+                        f"{loop.label} although a batch sibling "
+                        f"(`{sibling}`) exists",
+                        f"collect the items and make one `{sibling}(...)` "
+                        "call after (or instead of) the loop",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# PL305 COPY-AMPLIFICATION
+# ---------------------------------------------------------------------------
+
+
+@register
+class CopyAmplificationRule(_HotRule):
+    """Deep/shallow copies of state/view objects repeated in a hot loop.
+
+    ``deepcopy`` in a hot loop is an allocation storm regardless of its
+    argument; ``dict(state)`` / ``state.copy()`` of a loop-invariant
+    state/view object clones the same data every iteration.
+    """
+
+    code = "PL305"
+    name = "COPY-AMPLIFICATION"
+    summary = "state/view object copied repeatedly inside a hot loop"
+    path_patterns = _HOT_PATHS
+
+    _hint = (
+        "copy once above the loop (or use an overlay/copy-on-write "
+        "view) instead of cloning per iteration"
+    )
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for info, reason in self._hot_functions(ctx):
+            for loop in iter_hot_loops(info.node):
+                for node in _iter_body(loop):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    callee = _callee_name(node.func)
+                    if callee == "deepcopy":
+                        yield self.finding(
+                            ctx, _loc(node),
+                            f"`{_qualname(info)}` ({reason}) deep-copies "
+                            f"inside a hot {loop.label}",
+                            self._hint,
+                        )
+                        continue
+                    subject: ast.expr | None = None
+                    if callee in {"dict", "list"} and len(node.args) == 1 \
+                            and isinstance(node.func, ast.Name):
+                        subject = node.args[0]
+                    elif callee == "copy" \
+                            and isinstance(node.func, ast.Attribute) \
+                            and not node.args:
+                        subject = node.func.value
+                    if subject is None or not _is_invariant(subject, loop):
+                        continue
+                    try:
+                        text = ast.unparse(subject).lower()
+                    except Exception:  # pragma: no cover - malformed
+                        continue
+                    if any(hint in text for hint in _STATE_OBJECT_HINTS):
+                        yield self.finding(
+                            ctx, _loc(node),
+                            f"`{_qualname(info)}` ({reason}) copies "
+                            f"loop-invariant state object "
+                            f"`{ast.unparse(subject)}` every iteration of "
+                            f"a hot {loop.label}",
+                            self._hint,
+                        )
+
+
+# ---------------------------------------------------------------------------
+# PL306 CONCAT-IN-HOT-LOOP
+# ---------------------------------------------------------------------------
+
+
+@register
+class ConcatInHotLoopRule(_HotRule):
+    """bytes/str ``+=`` accumulation inside a hot loop.
+
+    Immutable-sequence concatenation re-copies the whole accumulator per
+    iteration (O(n²) bytes moved).  Collect parts in a list and join
+    once, or use ``bytearray``/``io.BytesIO``.
+    """
+
+    code = "PL306"
+    name = "CONCAT-IN-HOT-LOOP"
+    summary = "bytes/str concat-accumulation inside a hot loop"
+    path_patterns = _HOT_PATHS
+
+    _hint = (
+        "accumulate parts in a list and `b\"\".join(parts)` once after "
+        "the loop (or use `bytearray`) — `+=` recopies the accumulator"
+    )
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for info, reason in self._hot_functions(ctx):
+            accumulators = self._textual_accumulators(info.node)
+            if not accumulators:
+                continue
+            for loop in iter_hot_loops(info.node):
+                for node in _iter_body(loop):
+                    name = self._concat_target(node)
+                    if name is not None and name in accumulators:
+                        yield self.finding(
+                            ctx, _loc(node),
+                            f"`{_qualname(info)}` ({reason}) grows "
+                            f"{accumulators[name]} accumulator `{name}` "
+                            f"by concatenation inside a hot {loop.label}",
+                            self._hint,
+                        )
+
+    @staticmethod
+    def _textual_accumulators(func_node: ast.AST) -> dict[str, str]:
+        """Local names initialized to a str/bytes value."""
+        out: dict[str, str] = {}
+        for node in ast.walk(func_node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if isinstance(value, ast.Constant):
+                if isinstance(value.value, bytes):
+                    out[target.id] = "a bytes"
+                elif isinstance(value.value, str):
+                    out[target.id] = "a str"
+            elif isinstance(value, ast.Call) and not value.args \
+                    and _callee_name(value.func) in {"bytes", "str"}:
+                out[target.id] = f"a {_callee_name(value.func)}"
+        return out
+
+    @staticmethod
+    def _concat_target(node: ast.AST) -> str | None:
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add) \
+                and isinstance(node.target, ast.Name):
+            return node.target.id
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.BinOp) \
+                and isinstance(node.value.op, ast.Add) \
+                and isinstance(node.value.left, ast.Name) \
+                and node.value.left.id == node.targets[0].id:
+            return node.targets[0].id
+        return None
+
+
+# ---------------------------------------------------------------------------
+# PL307 ROUTED-FETCH-IN-LOOP
+# ---------------------------------------------------------------------------
+
+
+@register
+class RoutedFetchInLoopRule(_HotRule):
+    """Per-item hardened fetch inside a hot loop.
+
+    One ``_routed_fetch`` per item pays the full
+    timeout/backoff/failover machinery — and a round-trip — per element.
+    The cross-round prefetcher (DESIGN.md §12) exists exactly for this
+    seam: issue one bulk download ahead of the loop and validate at use.
+    Prefetcher internals (functions named ``*prefetch*``) are exempt —
+    they ARE the bulk path.
+    """
+
+    code = "PL307"
+    name = "ROUTED-FETCH-IN-LOOP"
+    summary = "per-item hardened fetch inside a hot loop"
+    path_patterns = _HOT_PATHS
+
+    _hint = (
+        "batch the download through the prefetcher seam (one bulk fetch "
+        "sized for the whole loop, validated at use) instead of one "
+        "routed fetch per item"
+    )
+
+    def check(self, ctx: ModuleContext) -> "typing.Iterator[Finding]":
+        for info, reason in self._hot_functions(ctx):
+            if "prefetch" in info.node.name.lower():
+                continue
+            for loop in iter_hot_loops(info.node):
+                for node in _iter_body(loop):
+                    if isinstance(node, ast.Call) \
+                            and _callee_name(node.func) in _FETCH_CALLEES:
+                        yield self.finding(
+                            ctx, _loc(node),
+                            f"`{_qualname(info)}` ({reason}) issues "
+                            f"`{_callee_name(node.func)}(...)` per item "
+                            f"inside a hot {loop.label}",
+                            self._hint,
+                        )
+
+
+#: Codes belonging to the PoryHot hot-path rule family (the
+#: ``porylint --hot`` selection).
+HOT_RULE_CODES = frozenset({
+    "PL301", "PL302", "PL303", "PL304", "PL305", "PL306", "PL307",
+})
+
+
+# ---------------------------------------------------------------------------
+# Profile-guided ranking head (`repro hotlint`)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpanProfile:
+    """Per-span time shares extracted from a telemetry trace export."""
+
+    #: span name -> share of total span time, rounded to 6 places.
+    shares: dict[str, float]
+    #: span name -> number of recorded spans.
+    counts: dict[str, int]
+    #: total simulated time across all spans (sim-clock units).
+    total: float
+    path: str
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "total_span_time": round(self.total, 6),
+            "spans": {
+                name: {
+                    "share": self.shares[name],
+                    "count": self.counts[name],
+                }
+                for name in sorted(self.shares)
+            },
+        }
+
+
+def load_profile(path: str) -> SpanProfile:
+    """Parse a ``trace.jsonl`` telemetry export into span time shares.
+
+    Accepts the exact format :func:`repro.telemetry.export.trace_jsonl`
+    writes: an optional leading ``{"meta": ...}`` line, then one JSON
+    record per line; only ``kind == "span"`` records contribute
+    (instants have no duration).  Shares are rounded to 6 places so the
+    ranked report is byte-stable.
+    """
+    import json
+
+    durations: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "meta" in record and "name" not in record:
+                continue
+            if record.get("kind") != "span":
+                continue
+            name = str(record.get("name", ""))
+            duration = float(record.get("end", 0.0)) - float(
+                record.get("start", 0.0))
+            durations[name] = durations.get(name, 0.0) + duration
+            counts[name] = counts.get(name, 0) + 1
+    total = sum(durations.values())
+    shares = {
+        name: round(duration / total, 6) if total > 0 else 0.0
+        for name, duration in durations.items()
+    }
+    return SpanProfile(shares=shares, counts=counts, total=total, path=path)
+
+
+def _finding_hot_context(finding: Finding,
+                         regions: dict[str, HotRegion | None],
+                         ) -> tuple[int, tuple[str, ...]]:
+    """(hot depth, span labels) of the function enclosing a finding.
+
+    Regions are computed once per file and cached in ``regions``; a file
+    that fails to parse (or a finding outside any hot function — cannot
+    happen for PL3xx findings, but guarded) ranks at maximum depth.
+    """
+    region = regions.get(finding.path, ...)
+    if region is ...:
+        try:
+            with open(finding.path, encoding="utf-8") as handle:
+                region = compute_hot_region(ast.parse(handle.read()))
+        except (OSError, SyntaxError):
+            region = None
+        regions[finding.path] = region
+    if region is None:
+        return _MAX_HOT_DEPTH + 1, ()
+    info = region.enclosing(finding.line)
+    if info is None:
+        return _MAX_HOT_DEPTH + 1, ()
+    marker = id(info.node)
+    return region.depths.get(marker, _MAX_HOT_DEPTH), \
+        region.span_labels.get(marker, ())
+
+
+def rank_findings(findings: "typing.Sequence[Finding]",
+                  profile: SpanProfile | None) -> list[dict]:
+    """Join findings against a span profile and rank by time weight.
+
+    Each finding inherits the time shares of the span labels its hot
+    function was reached from (summed); ties — and the no-profile case,
+    where every weight is 0 — fall back to static hot-region depth
+    (shallower = closer to an instrumented entry point = hotter), then
+    to the stable (path, line, code) order.
+    """
+    regions: dict[str, HotRegion | None] = {}
+    entries: list[dict] = []
+    for finding in findings:
+        depth, labels = _finding_hot_context(finding, regions)
+        weight = 0.0
+        if profile is not None:
+            weight = round(
+                sum(profile.shares.get(label, 0.0) for label in labels), 6)
+        entry = finding.as_dict()
+        entry["hot_depth"] = depth
+        entry["spans"] = list(labels)
+        entry["time_weight"] = weight
+        entries.append(entry)
+    entries.sort(key=lambda e: (
+        -e["time_weight"], e["hot_depth"], e["path"], e["line"], e["code"]))
+    for rank, entry in enumerate(entries, start=1):
+        entry["rank"] = rank
+    return entries
+
+
+def build_report(result: "object", ranked: list[dict],
+                 profile: SpanProfile | None) -> dict:
+    """Byte-stable hotlint report payload (DESIGN.md §14)."""
+    return {
+        "tool": "hotlint",
+        "rules": sorted(HOT_RULE_CODES),
+        "files_checked": result.files_checked,
+        "profile": profile.as_dict() if profile is not None else None,
+        "ranking": "profile-time-weight" if profile is not None
+        else "static-hot-depth",
+        "findings": ranked,
+        "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+        "stale_baseline": result.stale_baseline,
+        "parse_errors": [
+            {"path": path, "error": error}
+            for path, error in result.parse_errors
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro hotlint`` — hot-path lint with profile-guided ranking."""
+    import argparse
+    import sys
+    from pathlib import Path
+
+    # Lazy import: lint.py imports this module at top level for rule
+    # registration, so the engine dependency must stay function-local.
+    from repro.devtools.lint import (
+        BASELINE_NAME, LintConfig, lint_paths, load_baseline,
+    )
+    from repro.devtools.report import canonical_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro hotlint",
+        description="PoryHot hot-path performance lint (PL301..PL307, "
+                    "DESIGN.md §14) with profile-guided ranking",
+    )
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--profile", default=None, metavar="TRACE_JSONL",
+                        help="telemetry trace.jsonl to rank findings by "
+                             "observed span time share (default: rank by "
+                             "static hot-region depth)")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on stale baseline entries and "
+                             "unparseable files")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report to this path (implies "
+                             "a byte-stable canonical encoding)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default ./{BASELINE_NAME} "
+                             "when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    args = parser.parse_args(argv)
+    paths = args.paths or ["src"]
+
+    baseline: dict[str, int] = {}
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline) if args.baseline \
+            else Path(BASELINE_NAME)
+        baseline = load_baseline(baseline_path)
+
+    config = LintConfig(select=HOT_RULE_CODES, strict=args.strict,
+                        baseline=baseline)
+    result = lint_paths(paths, config)
+
+    profile: SpanProfile | None = None
+    if args.profile is not None:
+        try:
+            profile = load_profile(args.profile)
+        except (OSError, ValueError) as exc:
+            print(f"hotlint: cannot read profile {args.profile}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    ranked = rank_findings(result.findings, profile)
+    payload = build_report(result, ranked, profile)
+    encoded = canonical_report(payload)
+    if args.output is not None:
+        Path(args.output).write_text(encoded, encoding="utf-8")
+
+    if args.format == "json":
+        sys.stdout.write(encoded)
+    else:
+        for entry in ranked:
+            weight = f" weight={entry['time_weight']:.6f}" \
+                if profile is not None else ""
+            spans = f" spans={','.join(entry['spans'])}" \
+                if entry["spans"] else ""
+            print(f"#{entry['rank']} {entry['path']}:{entry['line']}:"
+                  f"{entry['col']}: {entry['code']} [{entry['name']}] "
+                  f"depth={entry['hot_depth']}{weight}{spans}")
+            print(f"    {entry['message']}")
+            if entry.get("hint"):
+                print(f"    hint: {entry['hint']}")
+        summary = (
+            f"hotlint: {result.files_checked} file(s), "
+            f"{len(ranked)} finding(s), ranked by {payload['ranking']}"
+        )
+        if result.stale_baseline:
+            summary += (
+                f", {len(result.stale_baseline)} stale baseline entr(ies)")
+        print(summary)
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    import sys
+
+    sys.exit(main())

@@ -34,11 +34,14 @@ from repro.devtools.findings import Finding
 from repro.devtools.rules import RULES, ModuleContext
 
 # Imported for the registration side-effect: the PorySan access-list
-# soundness rules (PL101..PL105) and the PoryRace lane-safety rules
-# (PL201..PL205) add themselves to RULES on import.
+# soundness rules (PL101..PL105), the PoryRace lane-safety rules
+# (PL201..PL205) and the PoryHot hot-path performance rules
+# (PL301..PL307) add themselves to RULES on import.
 import repro.devtools.accessset  # noqa: E402,F401
+import repro.devtools.hotpath  # noqa: E402,F401
 import repro.devtools.lanesafety  # noqa: E402,F401
 from repro.devtools.accessset import ACCESS_RULE_CODES
+from repro.devtools.hotpath import HOT_RULE_CODES
 from repro.devtools.lanesafety import RACE_RULE_CODES
 from repro.devtools.report import canonical_report
 
@@ -307,7 +310,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="determinism & protocol-safety linter for the Porygon "
                     "reproduction (determinism rules PL001..PL006, DESIGN.md "
                     "§8; access-list soundness rules PL101..PL105, §9; "
-                    "lane-safety rules PL201..PL205, §13)",
+                    "lane-safety rules PL201..PL205, §13; hot-path "
+                    "performance rules PL301..PL307, §14)",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument("--access", action="store_true",
@@ -316,6 +320,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--race", action="store_true",
                         help="run the PoryRace lane-safety rules "
                              "(PL201..PL205); combines with --select")
+    parser.add_argument("--hot", action="store_true",
+                        help="run the PoryHot hot-path performance rules "
+                             "(PL301..PL307); combines with --select")
     parser.add_argument("--strict", action="store_true",
                         help="also fail on stale baseline entries and "
                              "unparseable files")
@@ -365,6 +372,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.race:
         # --race focuses the run on PL201..PL205 (same union semantics).
         select = RACE_RULE_CODES if select is None else select | RACE_RULE_CODES
+    if args.hot:
+        # --hot focuses the run on PL301..PL307 (same union semantics);
+        # a bare `lint` run still selects every registered rule, so the
+        # hot-path rules are on by default.
+        select = HOT_RULE_CODES if select is None else select | HOT_RULE_CODES
     unknown = (select or frozenset()) - set(RULES)
     if unknown:
         print(f"unknown rule code(s): {', '.join(sorted(unknown))}",

@@ -20,10 +20,13 @@ PL006   SWALLOWED-EXCEPT        bare/over-broad except that drops the error
 ======  ======================  ==============================================
 
 The PorySan access-list soundness rules (PL101..PL105, DESIGN.md §9)
-live in :mod:`repro.devtools.accessset`, and the PoryRace lane-safety
-rules (PL201..PL205, DESIGN.md §13) in
-:mod:`repro.devtools.lanesafety`; both register themselves here via the
-same decorator when their module is imported.
+live in :mod:`repro.devtools.accessset`, the PoryRace lane-safety rules
+(PL201..PL205, DESIGN.md §13) in :mod:`repro.devtools.lanesafety`, and
+the PoryHot hot-path performance rules (PL301..PL307, DESIGN.md §14) in
+:mod:`repro.devtools.hotpath`; all register themselves here via the
+same decorator when their module is imported.  :func:`register` raises
+``ValueError`` on a rule-code collision so the families can never
+silently shadow each other.
 """
 
 from __future__ import annotations
@@ -51,6 +54,8 @@ class ModuleContext:
     _access_events: "list | None" = None
     #: cache slot for the shared lane-reachability analysis (PL201..PL205).
     _lane_region: "object | None" = None
+    #: cache slot for the shared hot-region analysis (PL301..PL307).
+    _hot_region: "object | None" = None
 
     def __post_init__(self) -> None:
         if not self.lines:
@@ -86,6 +91,15 @@ class ModuleContext:
             from repro.devtools.lanesafety import compute_lane_region
             self._lane_region = compute_lane_region(self.tree)
         return self._lane_region
+
+    def hot_region(self) -> "object":
+        """Shared hot-reachability analysis (PoryHot PL301..PL307)."""
+        if self._hot_region is None:
+            # Local import: hotpath imports this module for Rule/register,
+            # so the dependency must stay lazy to avoid a cycle.
+            from repro.devtools.hotpath import compute_hot_region
+            self._hot_region = compute_hot_region(self.tree)
+        return self._hot_region
 
 
 class Rule:
@@ -131,8 +145,11 @@ RULES: dict[str, Rule] = {}
 def register(cls: type[Rule]) -> type[Rule]:
     """Class decorator adding one rule instance to the registry."""
     rule = cls()
-    if rule.code in RULES:  # pragma: no cover - registry misuse guard
-        raise ValueError(f"duplicate rule code {rule.code}")
+    if rule.code in RULES:
+        raise ValueError(
+            f"duplicate rule code {rule.code}: already registered by "
+            f"{type(RULES[rule.code]).__name__}"
+        )
     RULES[rule.code] = rule
     return cls
 

@@ -55,8 +55,9 @@ class GossipOverlay:
             return
         if degree is None or degree >= n - 1:
             # Full mesh for small overlays.
+            members = set(self.member_ids)
             for nid in self.member_ids:
-                self._neighbors[nid] = set(self.member_ids) - {nid}
+                self._neighbors[nid] = members - {nid}
             return
         # Ring (guarantees connectivity) + random chords up to `degree`.
         ordered = list(self.member_ids)

@@ -1,0 +1,619 @@
+"""Tests for PoryHot: hot-region analysis + PL301..PL307 + the ranker.
+
+Three layers, mirroring the lanesafety tests:
+
+* hot-region unit tests — seeding (span-instrumented / hot-class /
+  entry-point roots), BFS depth cap, span-label propagation;
+* a planted corpus with exact-line assertions for every rule plus
+  clean-idiom negatives (hoisted constructions, set membership, batch
+  calls, prefetcher internals);
+* engine/CLI integration — composable selection flags, the duplicate
+  rule-code registration guard, the real-src zero-finding sweep, and
+  profile-guided ranking determinism (byte-identical reports).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.hotpath import (
+    HOT_RULE_CODES,
+    compute_hot_region,
+    load_profile,
+)
+from repro.devtools.hotpath import main as hotlint_main
+from repro.devtools.lint import LintConfig, lint_paths, lint_source
+from repro.devtools.lint import main as lint_main
+from repro.devtools.rules import RULES, Rule, register
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+_CORE = "src/repro/core/example.py"
+_HOT = LintConfig(select=HOT_RULE_CODES)
+
+
+def _lint(code: str, path: str = _CORE) -> list:
+    return lint_source(
+        textwrap.dedent(code).lstrip("\n"), path=path, config=_HOT)
+
+
+def _codes(findings) -> set[str]:
+    return {finding.code for finding in findings}
+
+
+def _lines(findings, code: str) -> list[int]:
+    return sorted(f.line for f in findings if f.code == code)
+
+
+# ---------------------------------------------------------------------------
+# Hot-region computation
+# ---------------------------------------------------------------------------
+
+
+class TestHotRegion:
+    def test_span_root_reaches_callees_and_skips_cold(self):
+        tree = ast.parse(textwrap.dedent("""
+            def _helper(x):
+                return x + 1
+
+            def hot_entry(tracer, items):
+                with tracer.span("phase.execution", track="exec"):
+                    return [_helper(item) for item in items]
+
+            def cold(x):
+                return x
+        """))
+        region = compute_hot_region(tree)
+        names = {info.node.name for info in region.reachable.values()}
+        assert names == {"hot_entry", "_helper"}
+
+    def test_depth_and_span_labels_propagate(self):
+        tree = ast.parse(textwrap.dedent("""
+            def _inner(x):
+                return x
+
+            def hot_entry(tracer, items):
+                with tracer.span("exec.lane"):
+                    with tracer.span("phase.execution"):
+                        return [_inner(item) for item in items]
+        """))
+        region = compute_hot_region(tree)
+        by_name = {info.node.name: id(info.node)
+                   for info in region.reachable.values()}
+        assert region.depths[by_name["hot_entry"]] == 0
+        assert region.depths[by_name["_inner"]] == 1
+        labels = ("exec.lane", "phase.execution")
+        assert region.span_labels[by_name["hot_entry"]] == labels
+        assert region.span_labels[by_name["_inner"]] == labels
+
+    def test_hot_class_and_entry_point_roots(self):
+        tree = ast.parse(textwrap.dedent("""
+            class ShardExecutor:
+                def step(self, item):
+                    return item
+
+            class AuditReport:
+                def fmt(self):
+                    return ""
+
+            def run_sortition(params):
+                return params
+        """))
+        region = compute_hot_region(tree)
+        names = {info.node.name for info in region.reachable.values()}
+        assert names == {"step", "run_sortition"}
+
+    def test_bfs_depth_cap(self):
+        chain = "\n".join(
+            f"def f{i}(x):\n    return f{i + 1}(x)" for i in range(7)
+        )
+        source = (
+            "def f7(x):\n    return x\n"
+            + chain
+            + "\ndef root(tracer, x):\n"
+            + '    with tracer.span("round"):\n'
+            + "        return f0(x)\n"
+        )
+        region = compute_hot_region(ast.parse(source))
+        names = {info.node.name for info in region.reachable.values()}
+        # root=0, f0=1 ... f4=5 (cap); f5+ stay cold.
+        assert "f4" in names
+        assert "f5" not in names and "f7" not in names
+
+
+# ---------------------------------------------------------------------------
+# Planted corpus: PL301..PL307 at exact lines
+# ---------------------------------------------------------------------------
+
+
+class TestPL301AllocInHotLoop:
+    def test_invariant_set_construction(self):
+        findings = _lint("""
+            class ShardExecutor:
+                def run(self, items, config):
+                    out = []
+                    for item in items:
+                        allowed = set(config.allowed)
+                        if item in allowed:
+                            out.append(item)
+                    return out
+        """)
+        assert _lines(findings, "PL301") == [5]
+
+    def test_invariant_comprehension(self):
+        findings = _lint("""
+            class LaneCoordinator:
+                def pick(self, rows, config):
+                    out = []
+                    for row in rows:
+                        if row.key in {col.key for col in config.cols}:
+                            out.append(row)
+                    return out
+        """)
+        assert _lines(findings, "PL301") == [5]
+
+    def test_empty_container_get_default(self):
+        findings = _lint("""
+            class RoundStateHub:
+                def lookup(self, table, keys):
+                    out = []
+                    for key in keys:
+                        out.append(table.get(key, {}))
+                    return out
+        """)
+        assert _lines(findings, "PL301") == [5]
+
+    def test_hoisted_and_accumulator_idioms_are_clean(self):
+        findings = _lint("""
+            class CleanExecutor:
+                def run(self, items, config):
+                    allowed = set(config.allowed)
+                    out = []
+                    for item in items:
+                        if item in allowed:
+                            out.append(item)
+                        fresh = dict(config.defaults)
+                        fresh.update(item.fields)
+                        out.append(fresh)
+                    return out
+        """)
+        assert "PL301" not in _codes(findings)
+
+    def test_unpacking_annotations_and_empty_tuple_are_clean(self):
+        findings = _lint("""
+            class CleanExecutor:
+                def run(self, pairs, table):
+                    out = []
+                    for pair in pairs:
+                        shard, value = pair
+                        counts: dict[bytes, int] = {}
+                        counts[value] = 1
+                        merged = dict(table.get(shard, ()))
+                        out.append((shard, merged, counts))
+                    return out
+        """)
+        assert "PL301" not in _codes(findings)
+
+    def test_side_effecting_comprehension_is_clean(self):
+        findings = _lint("""
+            class BlockExecutor:
+                def cut(self, queue, size):
+                    blocks = []
+                    for _ in range(size):
+                        batch = [queue.popleft() for _ in range(size)]
+                        blocks.append(batch)
+                    return blocks
+        """)
+        assert "PL301" not in _codes(findings)
+
+
+class TestPL302RepeatedEncode:
+    def test_invariant_signing_payload(self):
+        findings = _lint("""
+            class BlockExecutor:
+                def tally(self, header, results):
+                    votes = 0
+                    for result in results:
+                        if result.digest == header.signing_payload():
+                            votes += 1
+                    return votes
+        """)
+        assert _lines(findings, "PL302") == [5]
+
+    def test_hoisted_and_loop_var_encodes_are_clean(self):
+        findings = _lint("""
+            class BlockExecutor:
+                def tally(self, header, results):
+                    payload = header.signing_payload()
+                    votes = 0
+                    for result in results:
+                        if result.result_digest() == payload:
+                            votes += 1
+                    return votes
+        """)
+        assert "PL302" not in _codes(findings)
+
+
+class TestPL303QuadraticMembership:
+    def test_membership_against_list(self):
+        findings = _lint("""
+            class TxExecutor:
+                def dedupe(self, txs):
+                    seen = []
+                    for tx in txs:
+                        if tx.sender in seen:
+                            continue
+                        seen.append(tx.sender)
+                    return seen
+        """)
+        assert _lines(findings, "PL303") == [5]
+
+    def test_pop_zero_in_while_loop(self):
+        findings = _lint("""
+            class QueueState:
+                def drain(self, pending):
+                    queue = list(pending)
+                    out = []
+                    while queue:
+                        out.append(queue.pop(0))
+                    return out
+        """)
+        assert _lines(findings, "PL303") == [6]
+
+    def test_inline_set_single_membership(self):
+        findings = _lint("""
+            class MemberCommittee:
+                def has(self, node_id):
+                    return node_id in set(self.members)
+        """, path="src/repro/committee/example.py")
+        assert _lines(findings, "PL303") == [3]
+
+    def test_index_inside_sort_key(self):
+        findings = _lint("""
+            class ReplicaHub:
+                def order(self, nodes):
+                    order = list(nodes)
+                    return sorted(order, key=lambda nid: order.index(nid))
+        """)
+        assert _lines(findings, "PL303") == [4]
+
+    def test_set_membership_is_clean(self):
+        findings = _lint("""
+            class CleanState:
+                def filter(self, txs, allowed_ids):
+                    allowed = set(allowed_ids)
+                    return [tx for tx in txs if tx.sender in allowed]
+        """)
+        assert "PL303" not in _codes(findings)
+
+
+class TestPL304UnbatchedCryptoState:
+    def test_per_item_verify_on_backend(self):
+        findings = _lint("""
+            class ProofExecutor:
+                def check_all(self, backend, proofs):
+                    results = []
+                    for proof in proofs:
+                        results.append(backend.verify(proof))
+                    return results
+        """, path="src/repro/crypto/example.py")
+        assert _lines(findings, "PL304") == [5]
+
+    def test_per_item_update_on_tree(self):
+        findings = _lint("""
+            class TreeState:
+                def apply(self, tree, entries):
+                    for key, value in entries:
+                        tree.update(key, value)
+        """, path="src/repro/crypto/example.py")
+        assert _lines(findings, "PL304") == [4]
+
+    def test_plain_dict_update_and_batch_call_are_clean(self):
+        findings = _lint("""
+            class MergeState:
+                def merge(self, backend, rows, proofs):
+                    acc = {}
+                    for row in rows:
+                        acc.update(row)
+                    verdicts = backend.verify_batch(proofs)
+                    return acc, verdicts
+        """, path="src/repro/crypto/example.py")
+        assert "PL304" not in _codes(findings)
+
+
+class TestPL305CopyAmplification:
+    def test_deepcopy_in_hot_loop(self):
+        findings = _lint("""
+            from copy import deepcopy
+
+            class SnapshotExecutor:
+                def expand(self, state_view, txs):
+                    out = []
+                    for tx in txs:
+                        out.append(deepcopy(state_view))
+                    return out
+        """, path="src/repro/state/example.py")
+        assert _lines(findings, "PL305") == [7]
+
+    def test_invariant_dict_copy_of_view(self):
+        findings = _lint("""
+            class ViewState:
+                def clone_each(self, base_view, txs):
+                    outs = []
+                    for tx in txs:
+                        snap = dict(base_view)
+                        outs.append(snap)
+                    return outs
+        """, path="src/repro/state/example.py")
+        assert _lines(findings, "PL305") == [5]
+
+    def test_loop_var_copy_is_clean(self):
+        findings = _lint("""
+            class BatchState:
+                def collect(self, batches):
+                    out = []
+                    for batch in batches:
+                        out.append(dict(batch.updates))
+                    return out
+        """, path="src/repro/state/example.py")
+        assert "PL305" not in _codes(findings)
+
+
+class TestPL306ConcatInHotLoop:
+    def test_bytes_concat_accumulation(self):
+        findings = _lint("""
+            class MessageNetwork:
+                def pack(self, frames):
+                    payload = b""
+                    for frame in frames:
+                        payload += frame.data
+                    return payload
+        """, path="src/repro/net/example.py")
+        assert _lines(findings, "PL306") == [5]
+
+    def test_join_idiom_is_clean(self):
+        findings = _lint("""
+            class MessageNetwork:
+                def pack(self, frames):
+                    parts = []
+                    for frame in frames:
+                        parts.append(frame.data)
+                    return b"".join(parts)
+        """, path="src/repro/net/example.py")
+        assert "PL306" not in _codes(findings)
+
+
+class TestPL307RoutedFetchInLoop:
+    def test_per_item_routed_fetch(self):
+        findings = _lint("""
+            class BlockPipeline:
+                def gather(self, hashes):
+                    out = []
+                    for block_hash in hashes:
+                        out.append(self._routed_fetch(block_hash))
+                    return out
+        """)
+        assert _lines(findings, "PL307") == [5]
+
+    def test_prefetcher_internals_are_exempt(self):
+        findings = _lint("""
+            class BlockPipeline:
+                def prefetch_window(self, hashes):
+                    out = []
+                    for block_hash in hashes:
+                        out.append(self._routed_fetch(block_hash))
+                    return out
+        """)
+        assert "PL307" not in _codes(findings)
+
+
+class TestScoping:
+    def test_rules_do_not_fire_outside_hot_packages(self):
+        findings = _lint("""
+            class ShardExecutor:
+                def run(self, items, config):
+                    out = []
+                    for item in items:
+                        allowed = set(config.allowed)
+                        if item in allowed:
+                            out.append(item)
+                    return out
+        """, path="src/repro/workload/example.py")
+        assert findings == []
+
+    def test_rules_do_not_fire_outside_the_hot_region(self):
+        findings = _lint("""
+            def plain_helper(items, config):
+                out = []
+                for item in items:
+                    allowed = set(config.allowed)
+                    if item in allowed:
+                        out.append(item)
+                return out
+        """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Registry guard + composable selection flags
+# ---------------------------------------------------------------------------
+
+
+def test_duplicate_rule_code_registration_raises():
+    class DuplicateRule(Rule):
+        code = "PL001"
+        name = "DUP"
+
+    with pytest.raises(ValueError, match="duplicate rule code PL001"):
+        register(DuplicateRule)
+    # the original registration must survive the rejected collision
+    assert type(RULES["PL001"]).__name__ == "RawRandomRule"
+
+
+_PLANTED_MODULE = textwrap.dedent("""
+    import random
+
+
+    class FeedExecutor:
+        def jitter(self):
+            return random.random()
+
+        def scan(self, items, config):
+            out = []
+            for item in items:
+                allowed = set(config.allowed)
+                if item in allowed:
+                    out.append(item)
+            return out
+""").lstrip("\n")
+
+
+@pytest.fixture
+def planted_file(tmp_path):
+    target = tmp_path / "repro" / "core" / "example.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(_PLANTED_MODULE, encoding="utf-8")
+    return target
+
+
+def _run_lint(capsys, argv: list[str]) -> tuple[int, dict]:
+    code = lint_main(argv + ["--no-baseline", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    return code, payload
+
+
+class TestComposableSelectionFlags:
+    def test_hot_alone_selects_only_pl3xx(self, planted_file, capsys):
+        code, payload = _run_lint(capsys, [str(planted_file), "--hot"])
+        assert code == 1
+        assert {f["code"] for f in payload["findings"]} == {"PL301"}
+
+    def test_hot_unions_with_select(self, planted_file, capsys):
+        code, payload = _run_lint(
+            capsys, [str(planted_file), "--select", "PL001", "--hot"])
+        assert code == 1
+        assert {f["code"] for f in payload["findings"]} == {"PL001", "PL301"}
+
+    def test_all_family_flags_union(self, planted_file, capsys):
+        code, payload = _run_lint(
+            capsys, [str(planted_file), "--access", "--race", "--hot"])
+        assert code == 1
+        # PL001 is not part of any family selection; PL301 is.
+        assert {f["code"] for f in payload["findings"]} == {"PL301"}
+
+    def test_bare_lint_selects_all_defaults(self, planted_file, capsys):
+        code, payload = _run_lint(capsys, [str(planted_file)])
+        assert code == 1
+        assert {f["code"] for f in payload["findings"]} == {"PL001", "PL301"}
+
+
+# ---------------------------------------------------------------------------
+# Real-src sweep
+# ---------------------------------------------------------------------------
+
+
+def test_real_src_tree_has_zero_hot_findings():
+    result = lint_paths([str(SRC)], LintConfig(select=HOT_RULE_CODES))
+    assert result.parse_errors == []
+    assert [f"{f.path}:{f.line} {f.code}" for f in result.findings] == []
+
+
+# ---------------------------------------------------------------------------
+# Profile-guided ranking head
+# ---------------------------------------------------------------------------
+
+
+_RANKED_MODULE = textwrap.dedent("""
+    class RoundPipeline:
+        def order_lane(self, tracer, items, config):
+            out = []
+            with tracer.span("phase.ordering"):
+                for item in items:
+                    wanted = set(config.wanted)
+                    if item in wanted:
+                        out.append(item)
+            return out
+
+        def exec_lane(self, tracer, items, config):
+            out = []
+            with tracer.span("phase.execution"):
+                for item in items:
+                    allowed = set(config.allowed)
+                    if item in allowed:
+                        out.append(item)
+            return out
+""").lstrip("\n")
+
+_TRACE_LINES = (
+    '{"meta": {"preset": "test"}}\n'
+    '{"end": 9.0, "kind": "span", "name": "phase.execution", "start": 0.0}\n'
+    '{"end": 1.0, "kind": "span", "name": "phase.ordering", "start": 0.0}\n'
+    '{"end": 5.0, "kind": "instant", "name": "phase.ordering", "start": 5.0}\n'
+)
+
+
+@pytest.fixture
+def ranked_tree(tmp_path, monkeypatch):
+    module = tmp_path / "repro" / "core" / "hotmod.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(_RANKED_MODULE, encoding="utf-8")
+    trace = tmp_path / "trace.jsonl"
+    trace.write_text(_TRACE_LINES, encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    return module, trace
+
+
+def test_load_profile_shares(ranked_tree):
+    _, trace = ranked_tree
+    profile = load_profile(str(trace))
+    # the meta line and the instant record must not contribute
+    assert profile.shares == {"phase.execution": 0.9, "phase.ordering": 0.1}
+    assert profile.counts == {"phase.execution": 1, "phase.ordering": 1}
+
+
+def test_static_ranking_uses_depth_then_position(ranked_tree, tmp_path):
+    out = tmp_path / "report.json"
+    code = hotlint_main(
+        ["repro", "--format", "json", "--output", str(out), "--no-baseline"])
+    assert code == 1
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert payload["ranking"] == "static-hot-depth"
+    lines = [f["line"] for f in payload["findings"]]
+    assert lines == [6, 15]  # source order: order_lane first
+
+
+def test_profile_ranking_reorders_by_time_weight(ranked_tree, tmp_path):
+    _, trace = ranked_tree
+    out = tmp_path / "report.json"
+    code = hotlint_main([
+        "repro", "--profile", str(trace), "--format", "json",
+        "--output", str(out), "--no-baseline",
+    ])
+    assert code == 1
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert payload["ranking"] == "profile-time-weight"
+    first, second = payload["findings"]
+    # exec_lane carries 90% of observed span time -> ranked first
+    assert first["line"] == 15 and first["time_weight"] == 0.9
+    assert first["spans"] == ["phase.execution"]
+    assert second["line"] == 6 and second["time_weight"] == 0.1
+    assert [f["rank"] for f in payload["findings"]] == [1, 2]
+
+
+def test_profile_ranked_report_is_byte_identical(ranked_tree, tmp_path):
+    _, trace = ranked_tree
+    out_a = tmp_path / "report-a.json"
+    out_b = tmp_path / "report-b.json"
+    for out in (out_a, out_b):
+        code = hotlint_main([
+            "repro", "--profile", str(trace), "--format", "json",
+            "--output", str(out), "--no-baseline",
+        ])
+        assert code == 1
+    assert out_a.read_bytes() == out_b.read_bytes()
