@@ -1,0 +1,258 @@
+"""Snapshot-sync benchmark: chunked-parallel vs naive whole-state.
+
+Measures how long a healed storage node takes to catch back up to the
+committed tip (DESIGN.md §15). Each preset populates a chaos-armed
+simulation with a saturated seeded workload, then drives one resync of
+a storage node and measures the simulated seconds until its rebuilt
+roots converge, twice from the same seed:
+
+* ``naive`` — one whole-state chunk per shard, fetched serially
+  (``sync_chunk_size`` sized to the whole tree, ``sync_parallelism=1``):
+  the strawman a node without chunked snapshots would run;
+* ``chunked`` — the shipped path: fixed-size subtree chunks fetched by
+  a parallel worker pool, each verified via its multiproof.
+
+A correctness gate asserts both variants converge (``root_match``) on
+bit-identical committed roots before any number is reported — the
+chunked path is only allowed to be *faster*, never *different*.
+
+Simulated duration and bytes are pure functions of (preset, seed), so
+the numbers are bit-reproducible on any machine; wall-clock run time
+is informational. Run as a script (``python
+benchmarks/bench_snapshot_sync.py [--smoke] [--check]``) or under
+pytest. ``--check`` compares the deterministic fields against the
+checked-in ``BENCH_snapshot_sync.json`` and fails on regression;
+without it the baseline (full + smoke sections) is regenerated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.chaos import ChaosEngine, FaultSchedule  # noqa: E402
+from repro.core.system import PorygonSimulation  # noqa: E402
+from repro.harness.chaos import chaos_config  # noqa: E402
+from repro.workload import WorkloadGenerator  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_snapshot_sync.json"
+
+SEED = 11
+
+#: Healed node whose resync the probe measures.
+PROBE_NODE = 1
+
+#: Storage uplink/downlink for the probe (100 Mbit/s). The default
+#: deployment models a 10 Gbit/s datacenter fabric, where even a
+#: whole-state transfer hides inside one propagation delay; a recovery
+#: benchmark needs the transfer-dominated regime Mangrove targets.
+SYNC_BANDWIDTH_BPS = 12_500_000.0
+
+#: preset -> workload shape per mode. ``accounts`` scales state size
+#: (every funded account is one SMT leaf to transfer).
+PRESETS = {
+    "prototype": {
+        "full": {"num_shards": 2, "rounds": 6, "txs": 600},
+        "smoke": {"num_shards": 2, "rounds": 4, "txs": 200},
+    },
+    "large": {
+        "full": {"num_shards": 4, "rounds": 6, "txs": 1200},
+        "smoke": {"num_shards": 4, "rounds": 4, "txs": 400},
+    },
+}
+
+
+def _probe(spec: dict, chunk_size: int, parallelism: int):
+    """Populate a sim, resync one node; returns (record, sim_s, root, wall)."""
+    started = time.perf_counter()
+    config = dataclasses.replace(
+        chaos_config(),
+        num_shards=spec["num_shards"],
+        storage_bandwidth_bps=SYNC_BANDWIDTH_BPS,
+        sync_chunk_size=chunk_size,
+        sync_parallelism=parallelism,
+    )
+    # Chaos armed with an empty schedule: the sync manager exists and
+    # tracks views, but no fault perturbs the committed workload, so
+    # both variants resync against bit-identical state.
+    sim = PorygonSimulation(
+        config, seed=SEED,
+        chaos=ChaosEngine(FaultSchedule(seed=SEED, name="bench"), salt=SEED),
+    )
+    generator = WorkloadGenerator(
+        num_accounts=4 * spec["txs"], num_shards=spec["num_shards"],
+        cross_shard_ratio=0.2, unique=True, seed=SEED,
+    )
+    batch = generator.batch(spec["txs"])
+    sim.fund_accounts(sorted({tx.sender for tx in batch}), 1_000)
+    sim.submit(batch)
+    sim.run(spec["rounds"])
+
+    # Drive one resync of the probe node against the committed tip and
+    # time it in simulated seconds.
+    sim.sync.stale.add(PROBE_NODE)
+    sync_start = sim.env.now
+    proc = sim.env.process(sim.sync._resync(PROBE_NODE, spec["rounds"]))
+    sim.env.run(until=proc)
+    duration = sim.env.now - sync_start
+    record = sim.sync.records[-1]
+    root = sim.hub.state.root.hex()
+    return record, duration, root, time.perf_counter() - started
+
+
+def run_preset(name: str, mode: str) -> dict:
+    """Bench one preset in one mode; returns its result record."""
+    spec = PRESETS[name][mode]
+    # Naive whole-state: one chunk spans every leaf a shard can hold.
+    whole_state = 1 << 16
+    naive, naive_s, naive_root, naive_wall = _probe(spec, whole_state, 1)
+    chunked, chunked_s, chunked_root, chunked_wall = _probe(
+        spec, chaos_config().sync_chunk_size, chaos_config().sync_parallelism
+    )
+
+    # Correctness gate: both variants converge on the same tip.
+    assert naive.ok and naive.root_match, f"{name}: naive resync diverged"
+    assert chunked.ok and chunked.root_match, \
+        f"{name}: chunked resync diverged"
+    assert naive_root == chunked_root, \
+        f"{name}: committed-root divergence between variants"
+
+    return {
+        "preset": name,
+        "num_shards": spec["num_shards"],
+        "rounds": spec["rounds"],
+        "naive": {
+            "chunks": naive.chunks_ok,
+            "bytes": naive.bytes_fetched,
+            "sync_sim_s": round(naive_s, 9),
+        },
+        "chunked": {
+            "chunks": chunked.chunks_ok,
+            "bytes": chunked.bytes_fetched,
+            "sync_sim_s": round(chunked_s, 9),
+        },
+        "speedup": round(naive_s / chunked_s, 4),
+        "final_root": chunked_root,
+        # Wall clock is machine-dependent: informational, never checked.
+        "wall": {
+            "naive_s": round(naive_wall, 3),
+            "chunked_s": round(chunked_wall, 3),
+        },
+    }
+
+
+def run_bench(smoke: bool = False) -> dict:
+    """Run both presets in one mode; returns the mode record."""
+    mode = "smoke" if smoke else "full"
+    return {
+        "bench": "snapshot_sync",
+        "seed": SEED,
+        "smoke": smoke,
+        "presets": {name: run_preset(name, mode) for name in PRESETS},
+    }
+
+
+def run_all_modes() -> dict:
+    """Full + smoke records in one artifact (see bench_e2e)."""
+    return {
+        "bench": "snapshot_sync",
+        "seed": SEED,
+        "modes": {
+            "full": run_bench(smoke=False),
+            "smoke": run_bench(smoke=True),
+        },
+    }
+
+
+def check_result(result: dict) -> list[str]:
+    """Acceptance floor: chunked-parallel is never slower than naive."""
+    failures = []
+    for name, record in result["presets"].items():
+        if record["speedup"] < 1.0:
+            failures.append(
+                f"{name}: chunked resync {record['speedup']:.3f}x of naive "
+                "(< 1.0 floor)"
+            )
+    return failures
+
+
+#: Deterministic per-preset fields ``--check`` compares exactly.
+_CHECKED_FIELDS = ("naive", "chunked", "speedup", "final_root")
+
+
+def check_regression(result: dict, baseline: dict) -> list[str]:
+    """Exact compare of deterministic fields vs the mode's baseline."""
+    mode = "smoke" if result["smoke"] else "full"
+    base_mode = baseline.get("modes", {}).get(mode)
+    if base_mode is None:
+        return [f"baseline lacks mode {mode!r}"]
+    failures = []
+    for name, record in result["presets"].items():
+        base = base_mode.get("presets", {}).get(name)
+        if base is None:
+            failures.append(f"baseline lacks preset {name!r}")
+            continue
+        for fld in _CHECKED_FIELDS:
+            if record[fld] != base.get(fld):
+                failures.append(
+                    f"{name}.{fld}: {record[fld]!r} != baseline "
+                    f"{base.get(fld)!r}"
+                )
+    return failures
+
+
+def print_result(result: dict) -> None:
+    print(f"Snapshot sync (seed {result['seed']}, "
+          f"{'smoke' if result['smoke'] else 'full'} mode):")
+    for name, record in result["presets"].items():
+        print(f"  {name:10s} {record['num_shards']} shards: "
+              f"naive {record['naive']['sync_sim_s']:7.3f}s sim "
+              f"({record['naive']['chunks']} chunks), "
+              f"chunked {record['chunked']['sync_sim_s']:7.3f}s sim "
+              f"({record['chunked']['chunks']} chunks) "
+              f"-> {record['speedup']:.2f}x "
+              f"[wall {record['wall']['naive_s']:.1f}s/"
+              f"{record['wall']['chunked_s']:.1f}s]")
+
+
+def persist(artifact: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+def test_snapshot_sync_speedup(smoke):
+    """Both variants converge; chunked-parallel never slower."""
+    result = run_bench(smoke=smoke)
+    print_result(result)
+    assert check_result(result) == []
+
+
+def main(argv=None) -> int:
+    argv = list(argv if argv is not None else sys.argv[1:])
+    smoke = "--smoke" in argv
+    check = "--check" in argv
+    result = run_bench(smoke=smoke)
+    print_result(result)
+    failures = check_result(result)
+    if check:
+        if RESULT_PATH.exists():
+            baseline = json.loads(RESULT_PATH.read_text())
+            failures += check_regression(result, baseline)
+        else:
+            failures.append(f"--check: no baseline at {RESULT_PATH}")
+    else:
+        persist(run_all_modes())
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,8 +61,15 @@ class ChaosEngine:
     # ------------------------------------------------------------------
 
     def is_crashed(self, node_id: int) -> bool:
-        """Whether ``node_id`` is inside a crash window right now."""
-        return any(e.node == node_id for e in self._active("crash"))
+        """Whether ``node_id`` is offline right now.
+
+        True inside a crash window, and also *before* a ``join`` event's
+        start round — a churn node that has not joined yet behaves
+        exactly like a crashed one (sends, receives and serves nothing).
+        """
+        if any(e.node == node_id for e in self._active("crash")):
+            return True
+        return any(e.node == node_id for e in self._active("join"))
 
     def withholds_body(self, node_id: int) -> bool:
         """Whether storage ``node_id`` is inside a withholding window."""

@@ -29,6 +29,13 @@ benign partial failure the paper's recovery machinery must survive):
     Every execution by the shard's committee runs ``slowdown`` times
     slower for the window (straggler-shard model; a large factor makes
     the shard miss the OC's per-round result deadline).
+``join``
+    Churn: the storage node only comes online at ``start_round`` — it
+    is offline (crash-equivalent) for every earlier round, then joins
+    with no state and must snapshot-sync before it may serve. The
+    window is *inverted* relative to the other kinds: :meth:`active`
+    covers rounds **before** ``start_round`` and the event "heals" at
+    ``start_round`` itself (``end_round`` must stay ``None``).
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigError
 
 #: Every recognised event kind, in canonical order.
-KINDS = ("crash", "partition", "link", "withhold", "straggle")
+KINDS = ("crash", "partition", "link", "withhold", "straggle", "join")
 
 
 @dataclass(frozen=True)
@@ -103,21 +110,55 @@ class FaultEvent:
                 raise ConfigError(
                     f"straggle slowdown must be > 1.0, got {self.slowdown}"
                 )
+        if self.kind == "join":
+            if self.node is None:
+                raise ConfigError("join event needs a target `node`")
+            if self.end_round is not None:
+                raise ConfigError(
+                    "join event cannot carry an end_round "
+                    "(its offline window ends at start_round)"
+                )
+            if self.start_round < 1:
+                raise ConfigError(
+                    f"join start_round must be >= 1, got {self.start_round}"
+                )
 
     # ------------------------------------------------------------------
     # Windowing
     # ------------------------------------------------------------------
 
     def active(self, round_number: int) -> bool:
-        """Whether this fault window covers ``round_number``."""
+        """Whether this fault window covers ``round_number``.
+
+        ``join`` inverts the window: the fault (the node being offline)
+        covers every round *before* ``start_round``.
+        """
+        if self.kind == "join":
+            return round_number < self.start_round
         if round_number < self.start_round:
             return False
         return self.end_round is None or round_number < self.end_round
 
     @property
     def heals(self) -> bool:
-        """Whether the window ever closes."""
+        """Whether the window ever closes (a join always does)."""
+        if self.kind == "join":
+            return True
         return self.end_round is not None
+
+    @property
+    def effective_end_round(self) -> int | None:
+        """First round the fault no longer affects the run.
+
+        For every timed kind this is ``end_round``; a ``join`` event's
+        offline window closes at ``start_round`` (the join itself).
+        Consumers reasoning about recovery — e.g.
+        :meth:`~repro.chaos.schedule.FaultSchedule.heal_round` — must
+        use this rather than raw ``end_round``.
+        """
+        if self.kind == "join":
+            return self.start_round
+        return self.end_round
 
     # ------------------------------------------------------------------
     # Convenience constructors
@@ -163,6 +204,11 @@ class FaultEvent:
                    end_round=end_round, shard=shard, slowdown=slowdown,
                    label=label)
 
+    @classmethod
+    def join(cls, node: int, start_round: int, label: str = "") -> "FaultEvent":
+        """Storage ``node`` first comes online at ``start_round`` (churn)."""
+        return cls(kind="join", start_round=start_round, node=node, label=label)
+
     # ------------------------------------------------------------------
     # Serialization (for CLI schedules and JSON reports)
     # ------------------------------------------------------------------
@@ -176,7 +222,7 @@ class FaultEvent:
         }
         if self.label:
             out["label"] = self.label
-        if self.kind in ("crash", "withhold"):
+        if self.kind in ("crash", "withhold", "join"):
             out["node"] = self.node
         elif self.kind == "partition":
             out["groups"] = [list(group) for group in self.groups]

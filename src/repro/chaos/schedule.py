@@ -60,7 +60,9 @@ class FaultSchedule:
         """
         if not self.events or any(not e.heals for e in self.events):
             return None
-        return max(e.end_round for e in self.events)  # type: ignore[type-var]
+        # effective_end_round, not end_round: a join "heals" (comes
+        # online) at its own start round.
+        return max(e.effective_end_round for e in self.events)  # type: ignore[type-var]
 
     # ------------------------------------------------------------------
     # FaultProfile subsumption
@@ -201,6 +203,28 @@ def _flaky_links(num_storage_nodes: int, num_shards: int,
     )
 
 
+def _storage_crash_resync(num_storage_nodes: int, num_shards: int,
+                          seed: int) -> FaultSchedule:
+    """Crash/heal one storage node while a churn node joins late.
+
+    The snapshot-sync acceptance schedule (DESIGN.md §15): node 1 crashes
+    over rounds 2..4 and must detect staleness + resync at its round-5
+    heal; node 2 only joins the deployment at round 4 with no state at
+    all, the full-bootstrap path. Node 0 stays up throughout so the
+    healing replicas always have a fresh peer to sync from.
+    """
+    crashed = 1 % num_storage_nodes
+    joiner = 2 % num_storage_nodes
+    events = [FaultEvent.crash(crashed, 2, 5, label="crash then resync")]
+    if joiner != crashed:
+        events.append(FaultEvent.join(joiner, 4, label="churn join"))
+    return FaultSchedule(
+        events=tuple(events),
+        seed=seed,
+        name="storage-crash-resync",
+    )
+
+
 def _combo(num_storage_nodes: int, num_shards: int, seed: int) -> FaultSchedule:
     """Crash + withhold + straggler + flaky link, staggered windows."""
     crashed = 1 % num_storage_nodes
@@ -230,6 +254,9 @@ PRESETS: dict[str, _PresetSpec] = {
     "shard-blackout": _PresetSpec(
         "one shard never reports: deadline -> successor retry -> rollback",
         _shard_blackout),
+    "storage-crash-resync": _PresetSpec(
+        "crash + heal + churn join: healed/joining nodes snapshot-sync",
+        _storage_crash_resync),
     "partition-heal": _PresetSpec(
         "split the storage tier in two for 2 rounds, then heal",
         _partition_heal),

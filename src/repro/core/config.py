@@ -134,6 +134,20 @@ class PorygonConfig:
     #: singletons — runs are byte-identical to an uninstrumented build
     #: and commit identical roots.
     telemetry: bool = False
+    #: Enable resync-on-heal snapshot sync (DESIGN.md §15) for chaos
+    #: runs: a healed/joining storage node whose applied state lags the
+    #: committed tip fetches a chunked, multiproof-verified SMT snapshot
+    #: and replays committed deltas before it may serve again. Only
+    #: armed when a chaos engine is attached; fault-free runs are
+    #: bit-identical with it on or off.
+    snapshot_sync: bool = True
+    #: Leaves per snapshot chunk (the unit of verifiable transfer).
+    sync_chunk_size: int = 64
+    #: Concurrent chunk downloads per resyncing node.
+    sync_parallelism: int = 4
+    #: Per-chunk fetch attempts before the resync gives up (each
+    #: attempt fails over to the next replica in deterministic order).
+    sync_max_attempts: int = 6
 
     def __post_init__(self):
         if self.sanitize not in ("", "record", "strict"):
@@ -183,6 +197,18 @@ class PorygonConfig:
             raise ConfigError(
                 f"parallel_conflict_fallback must be in (0, 1], "
                 f"got {self.parallel_conflict_fallback}"
+            )
+        if self.sync_chunk_size < 1:
+            raise ConfigError(
+                f"sync_chunk_size must be >= 1, got {self.sync_chunk_size}"
+            )
+        if self.sync_parallelism < 1:
+            raise ConfigError(
+                f"sync_parallelism must be >= 1, got {self.sync_parallelism}"
+            )
+        if self.sync_max_attempts < 1:
+            raise ConfigError(
+                f"sync_max_attempts must be >= 1, got {self.sync_max_attempts}"
             )
         minimum_pool = self.ordering_size + self.num_shards * self.nodes_per_shard
         if self.stateless_population is not None and self.stateless_population < minimum_pool:

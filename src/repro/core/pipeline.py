@@ -208,6 +208,10 @@ class PorygonPipeline:
         #: one arms the hardened fetch path and the OC result deadline
         #: even when the config leaves their knobs at 0.0.
         self.chaos = chaos
+        #: Optional :class:`~repro.sync.manager.SnapshotSyncManager`
+        #: (chaos runs only). The pipeline feeds it the round clock and
+        #: committed deltas; it feeds back which replicas are stale.
+        self.sync = None
         #: Seeded RNG for fetch-backoff jitter (DESIGN.md §8: every
         #: probabilistic decision derives from an explicit seed).
         self._retry_rng = random.Random((seed << 9) ^ 0x5DEECE66D)
@@ -431,6 +435,8 @@ class PorygonPipeline:
         node = self.stateless[member_id]
 
         def serves(storage) -> bool:
+            if self.sync is not None and self.sync.is_stale(storage.node_id):
+                return False  # mid-resync replica: never a witness source
             if block_hash is not None:
                 return storage.serves_body(block_hash)
             if self.chaos is not None and self.chaos.is_crashed(storage.node_id):
@@ -462,6 +468,8 @@ class PorygonPipeline:
                     if candidate_node is not None and serves(candidate_node):
                         storage = candidate_node
                 if storage is not None:
+                    if self.sync is not None:
+                        self.sync.note_serve(storage.node_id)
                     transfer = self.network.send(
                         Message(storage.node_id, member_id, msg_type, payload,
                                 size_bytes, phase=phase)
@@ -523,10 +531,14 @@ class PorygonPipeline:
         cut: list[tuple[int, TransactionBlock, Committee]] = []
         creators = self._storage_ids
         if self.chaos is not None:
-            # A crashed storage node cannot package blocks this round;
-            # healthy replicas take over its packaging slots.
+            # A crashed storage node cannot package blocks this round,
+            # and a stale (mid-resync) one must not: its blocks would
+            # cite state behind the committed tip. Healthy replicas
+            # take over their packaging slots.
             alive = [nid for nid in self._storage_ids
-                     if not self.chaos.is_crashed(nid)]
+                     if not self.chaos.is_crashed(nid)
+                     and not (self.sync is not None
+                              and self.sync.is_stale(nid))]
             if alive:
                 creators = alive
         for shard, committee in sorted(committees.items()):
@@ -1374,6 +1386,10 @@ class PorygonPipeline:
                         commit_round=round_number, cross_shard=False,
                     )
                     committed_intra += len(canonical.intra_applied)
+            if self.sync is not None:
+                # After state application: the hub's roots are now the
+                # canonical post-commit roots for this round.
+                self.sync.on_commit(round_number, accepted)
             for batch in completed_batches:
                 if batch.cross_txs:
                     # U opened at round k realizes CTx witnessed at k-3.
@@ -1424,6 +1440,10 @@ class PorygonPipeline:
         self.current_round = round_number
         if self.chaos is not None:
             self.chaos.begin_round(round_number)
+        if self.sync is not None:
+            # After the chaos clock: heal detection diffs the engine's
+            # offline set across rounds.
+            self.sync.begin_round(round_number)
         # Drop prefetches whose execution round already passed (their
         # shard's execution was skipped or re-dispatched): accounted as
         # waste so the telemetry never under-reports speculative bytes.
@@ -1472,6 +1492,8 @@ class PorygonPipeline:
         self.current_round = round_number
         if self.chaos is not None:
             self.chaos.begin_round(round_number)
+        if self.sync is not None:
+            self.sync.begin_round(round_number)
         with self.telemetry.tracer.span(
             "round", track="round", round=round_number,
         ) as round_span:

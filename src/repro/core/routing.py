@@ -52,6 +52,10 @@ class RoutingFabric:
         #: argument (a node whose connections are all *malicious* stays
         #: corrupted either way — malicious replicas are never used).
         self.chaos = None
+        #: Optional :class:`~repro.sync.manager.SnapshotSyncManager`.
+        #: When attached, replicas that are mid-resync (stale) never
+        #: serve a hop: their applied state lags the committed tip.
+        self.sync = None
 
     def honest_connection(self, stateless_id: int) -> "StorageNode | None":
         """First honest storage node this stateless node connects to."""
@@ -65,22 +69,34 @@ class RoutingFabric:
         """Honest storage node currently able to serve ``stateless_id``.
 
         Without a chaos engine this is exactly
-        :meth:`honest_connection`. With one, crashed replicas are
-        skipped and — since a crash window is a benign outage, not a
-        corruption — the search falls over to any live honest replica
-        in node-id order.
+        :meth:`honest_connection`. With one, crashed *and* mid-resync
+        (stale) replicas are skipped and — since a crash window is a
+        benign outage, not a corruption — the search falls over to any
+        live honest replica in node-id order.
         """
         if self.chaos is None:
             return self.honest_connection(stateless_id)
         for storage_id in self.connections.get(stateless_id, []):
             node = self.storage_by_id[storage_id]
-            if node.is_honest and not self.chaos.is_crashed(storage_id):
-                return node
+            if node.is_honest and self._can_serve(storage_id):
+                return self._chosen(node)
         for storage_id in sorted(self.storage_by_id):
             node = self.storage_by_id[storage_id]
-            if node.is_honest and not self.chaos.is_crashed(storage_id):
-                return node
+            if node.is_honest and self._can_serve(storage_id):
+                return self._chosen(node)
         return None
+
+    def _can_serve(self, storage_id: int) -> bool:
+        """Live (not crashed) and caught up (not mid-resync)."""
+        if self.chaos is not None and self.chaos.is_crashed(storage_id):
+            return False
+        return self.sync is None or not self.sync.is_stale(storage_id)
+
+    def _chosen(self, node: "StorageNode") -> "StorageNode":
+        """Book the chosen serving replica with the sync tripwire."""
+        if self.sync is not None:
+            self.sync.note_serve(node.node_id)
+        return node
 
     def is_benign(self, stateless_id: int) -> bool:
         """Paper's benign test: has at least one honest storage link."""

@@ -49,6 +49,11 @@ class StorageHub:
         #: Optional :class:`~repro.chaos.engine.ChaosEngine` consulted by
         #: :meth:`replica_order` so crashed replicas sort last.
         self.chaos = None
+        #: Optional :class:`~repro.sync.manager.SnapshotSyncManager`;
+        #: when attached, replicas that are mid-resync (stale) are
+        #: excluded from :meth:`replica_order` entirely — a stale
+        #: replica must never be chosen as a witness/state source.
+        self.sync = None
         #: Speculative head: committed state plus T_e-validated-but-not-
         #: yet-committed execution effects. Because in-flight batches are
         #: account-disjoint (the OC's locks), consecutive executions must
@@ -239,7 +244,11 @@ class StorageHub:
         inside a chaos crash window sort to the back of their group, so
         a hardened fetch naturally tries a live replica first while a
         crashed-but-preferred one still gets retried last (it may heal
-        mid-backoff).
+        mid-backoff). Replicas that are mid-resync (stale per the
+        attached sync manager) are *excluded*, not merely demoted: a
+        stale replica's state lags the committed tip, so serving from
+        it would hand out unverifiable (or worse, verifiably old)
+        witness material.
         """
         preferred = list(preferred)
         seen = set(preferred)
@@ -247,6 +256,9 @@ class StorageHub:
                 if node_id not in seen
                 and not self.node_faults[node_id].malicious]
         order = preferred + tail
+        if self.sync is not None:
+            order = [node_id for node_id in order
+                     if not self.sync.is_stale(node_id)]
         if self.chaos is None:
             return order
         # sorted() is stable, so crashed replicas sink to the back while
@@ -330,6 +342,9 @@ class StorageNode:
                 return False
             if self.chaos.withholds_body(self.node_id):
                 return False
+        sync = getattr(self.hub, "sync", None)
+        if sync is not None and sync.is_stale(self.node_id):
+            return False  # mid-resync: refuse service until caught up
         return self.has_block_body(block_hash) and self.faults.serves_body()
 
 

@@ -162,6 +162,22 @@ class PorygonSimulation:
             self.network.telemetry = self.telemetry
             self.pipeline.coordinator.metrics = self.telemetry.metrics
             wire_crypto(self.telemetry, self.backend, state=self.hub.state)
+        #: Snapshot-sync manager (DESIGN.md §15): resync-on-heal for
+        #: storage nodes, armed only for chaos runs. Fault-free runs
+        #: never construct it, so they are bit-identical with the knob
+        #: on or off.
+        self.sync = None
+        if self.chaos is not None and config.snapshot_sync:
+            from repro.sync import SnapshotSyncManager
+
+            self.sync = SnapshotSyncManager(
+                self.env, config, self.network, self.hub, self.chaos,
+                storage_ids=[node.node_id for node in self.storage_nodes],
+                seed=seed, telemetry=self.telemetry,
+            )
+            self.hub.sync = self.sync
+            self.fabric.sync = self.sync
+            self.pipeline.sync = self.sync
         self._rounds_run = 0
 
     # ------------------------------------------------------------------

@@ -411,6 +411,26 @@ class SparseMerkleTree:
             self._sorted_items = sorted(self._values.items())
         return iter(self._sorted_items)
 
+    def iter_chunks(
+        self, chunk_size: int,
+    ) -> "typing.Iterator[tuple[int, tuple[tuple[int, bytes], ...]]]":
+        """Key-ordered, fixed-size ``(index, items)`` slices of the leaves.
+
+        The unit of snapshot transfer (DESIGN.md §15): each chunk is a
+        contiguous run of at most ``chunk_size`` populated leaves in key
+        order, so the full sequence covers every leaf exactly once and a
+        receiver can prove completeness by rebuilding the tree from the
+        concatenation. Pair each chunk with :meth:`prove_batch` over its
+        keys to make it independently verifiable against this root.
+
+        An empty tree yields no chunks.
+        """
+        if chunk_size < 1:
+            raise StateError(f"chunk_size must be >= 1, got {chunk_size}")
+        items = list(self.items())
+        for index, start in enumerate(range(0, len(items), chunk_size)):
+            yield index, tuple(items[start:start + chunk_size])
+
     def snapshot(self) -> dict[int, bytes]:
         """Copy of the key-value contents (for checkpoint/rollback)."""
         return dict(self._values)

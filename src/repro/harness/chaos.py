@@ -1,7 +1,7 @@
 """Chaos soak harness: seeded fault schedules + hard invariants.
 
 Runs a :class:`~repro.chaos.FaultSchedule` against a full Porygon
-deployment end-to-end and checks four invariants that must hold no
+deployment end-to-end and checks five invariants that must hold no
 matter what the schedule throws at the runtime:
 
 ``single_root_per_height``
@@ -20,6 +20,12 @@ matter what the schedule throws at the runtime:
 ``bounded_recovery``
     Once the last fault window heals, the chain makes commit progress
     within ``recovery_k`` rounds (skipped for never-healing schedules).
+``resync_convergence``
+    Every storage node that heals stale (its applied state lags the
+    committed tip) snapshot-syncs to the canonical root within
+    ``recovery_k`` rounds of its heal, and is never chosen as a serving
+    replica while stale (skipped when snapshot sync is disabled or the
+    schedule has no crash/join events).
 
 The report is canonical JSON (sorted keys, no timestamps beyond the
 deterministic sim clock), so the same (schedule, seed) pair must
@@ -216,6 +222,76 @@ def _check_bounded_recovery(sim: PorygonSimulation, schedule: FaultSchedule,
     }
 
 
+def _check_resync_convergence(sim: PorygonSimulation, schedule: FaultSchedule,
+                              rounds: int, recovery_k: int) -> dict:
+    """Healed-stale nodes converge within ``recovery_k``; never serve stale.
+
+    For every storage node whose heal found it stale (applied state
+    behind the committed tip), a successful resync record must exist
+    with a proven root match no more than ``recovery_k`` rounds after
+    the heal — unless the heal landed so close to the run's end that
+    the window could not be observed (reported as ``unverified``, not a
+    failure). Independently, the sync manager's serving tripwire must
+    have stayed at zero: a stale replica was never chosen as a witness
+    or state source while resyncing.
+    """
+    sync = getattr(sim, "sync", None)
+    if sync is None:
+        return {"ok": True, "skipped": True,
+                "reason": "snapshot sync disabled"}
+    if not any(e.kind in ("crash", "join") for e in schedule.events):
+        return {"ok": True, "skipped": True,
+                "reason": "no crash/join events to heal"}
+    problems: list[str] = []
+    unverified: list[int] = []
+    stale_heals: dict[int, int] = {}
+    for heal in sync.heals:
+        if heal["stale"] and heal["node"] not in stale_heals:
+            stale_heals[heal["node"]] = heal["round"]
+    converged: dict[int, object] = {}
+    for record in sync.records:
+        if record.ok and record.root_match:
+            converged.setdefault(record.node, record)
+        elif record.ok and not record.root_match:
+            problems.append(
+                f"node {record.node}: resync reported ok without root match"
+            )
+    for node in sorted(stale_heals):
+        heal_round = stale_heals[node]
+        record = converged.get(node)
+        if record is None:
+            if heal_round + recovery_k <= rounds:
+                problems.append(
+                    f"node {node}: stale since heal at round {heal_round}, "
+                    f"never converged"
+                )
+            else:
+                # Healed too close to the run's end: the resync process
+                # may still be pending when the simulator stops.
+                unverified.append(node)
+            continue
+        took = record.synced_round - heal_round
+        if took > recovery_k:
+            problems.append(
+                f"node {node}: resync took {took} rounds (> {recovery_k})"
+            )
+    if sync.stale_serves:
+        problems.append(
+            f"stale replica chosen as serving source "
+            f"{sync.stale_serves} time(s)"
+        )
+    return {
+        "ok": not problems,
+        "skipped": False,
+        "recovery_k": recovery_k,
+        "stale_heals": len(stale_heals),
+        "converged": sorted(converged),
+        "unverified": unverified,
+        "stale_serves": sync.stale_serves,
+        "problems": problems,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Per-fault-window metric deltas
 # ---------------------------------------------------------------------------
@@ -225,7 +301,7 @@ def _check_bounded_recovery(sim: PorygonSimulation, schedule: FaultSchedule,
 #: series are excluded to keep the report focused).
 METRIC_PREFIXES = (
     "net_", "ctx_", "txs_", "fetch_", "exec_", "witness_",
-    "rounds_", "empty_rounds_", "sig_", "smt_",
+    "rounds_", "empty_rounds_", "sig_", "smt_", "sync_",
 )
 
 
@@ -333,6 +409,9 @@ def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
         "bounded_recovery": _check_bounded_recovery(
             sim, schedule, rounds, recovery_k
         ),
+        "resync_convergence": _check_resync_convergence(
+            sim, schedule, rounds, recovery_k
+        ),
     }
     commits_per_round = {str(r): 0 for r in range(1, rounds + 1)}
     for record in sim.tracker.commits:
@@ -363,6 +442,10 @@ def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
         "invariants": invariants,
         "commits_per_round": commits_per_round,
         "chaos": sim.chaos.counters(),
+        "sync": (
+            {"enabled": True, **sim.sync.report()}
+            if sim.sync is not None else {"enabled": False}
+        ),
         "telemetry": {
             "enabled": bool(config.telemetry),
             "fault_windows": fault_window_deltas(schedule, snapshots, rounds),
@@ -418,6 +501,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="arm the PoryRace happens-before sanitizer on "
                              "the parallel executor (adds a `racesan` "
                              "report section)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        metavar="LEAVES",
+                        help="snapshot-sync chunk size (leaves per "
+                             "verifiable transfer unit)")
+    parser.add_argument("--no-sync", action="store_true",
+                        help="disable resync-on-heal snapshot sync (healed "
+                             "nodes rejoin with whatever state they have)")
     parser.add_argument("--output", default=None, metavar="FILE",
                         help="write the JSON report here instead of stdout")
     args = parser.parse_args(argv)
@@ -429,6 +519,19 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     config = chaos_config()
+    if args.chunk_size is not None or args.no_sync:
+        import dataclasses
+
+        overrides: dict = {}
+        if args.chunk_size is not None:
+            overrides["sync_chunk_size"] = args.chunk_size
+        if args.no_sync:
+            overrides["snapshot_sync"] = False
+        try:
+            # replace() re-runs __post_init__, so bad values fail loudly.
+            config = dataclasses.replace(config, **overrides)
+        except ConfigError as exc:
+            parser.error(str(exc))
     if args.schedule is not None:
         with open(args.schedule, encoding="utf-8") as handle:
             schedule = FaultSchedule.from_json(handle.read())

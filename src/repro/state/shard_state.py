@@ -117,6 +117,26 @@ class ShardState:
         """Public SMT key of an owned account (ownership-checked)."""
         return self._smt_key(account_id)
 
+    def snapshot_chunks(
+        self, chunk_size: int,
+    ) -> list[tuple[int, tuple[int, ...], tuple[bytes, ...], SmtMultiProof]]:
+        """Verifiable ``(index, keys, values, multiproof)`` subtree slices.
+
+        The snapshot-transfer unit (DESIGN.md §15): key-ordered runs of
+        at most ``chunk_size`` leaves, each proven against this
+        subtree's *current* root, so a syncing replica can verify every
+        chunk independently and prove completeness by rebuilding the
+        tree from the concatenation. Keys are SMT keys (``account_id //
+        num_shards``), matching :meth:`apply_updates` delta entries
+        after the same translation.
+        """
+        chunks = []
+        for index, items in self._tree.iter_chunks(chunk_size):
+            keys = tuple(key for key, _ in items)
+            values = tuple(value for _, value in items)
+            chunks.append((index, keys, values, self._tree.prove_batch(keys)))
+        return chunks
+
     def set_batch_observer(self, observer: Callable[[int], None] | None) -> None:
         """Install (or clear) the subtree's batch-commit telemetry hook.
 

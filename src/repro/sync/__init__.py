@@ -1,0 +1,27 @@
+"""Snapshot sync: chunked SMT state transfer + delta replay (§15).
+
+The chaos recovery path for storage nodes: a node that healed from a
+crash (or joined mid-run) detects that its applied state lags the
+committed tip, fetches a chunked, multiproof-verified snapshot of every
+shard subtree from fresh replicas in parallel, replays the committed
+deltas to the tip, and only resumes serving once its roots provably
+match the canonical committed roots.
+"""
+
+from repro.sync.chunks import (
+    CHUNK_HEADER_BYTES,
+    ShardSnapshot,
+    SnapshotChunk,
+    take_snapshot,
+)
+from repro.sync.manager import ReplicaView, SnapshotSyncManager, SyncRecord
+
+__all__ = [
+    "CHUNK_HEADER_BYTES",
+    "ShardSnapshot",
+    "SnapshotChunk",
+    "take_snapshot",
+    "ReplicaView",
+    "SnapshotSyncManager",
+    "SyncRecord",
+]

@@ -1,0 +1,101 @@
+"""Snapshot chunks: the verifiable unit of SMT state transfer.
+
+Mangrove-style state replication (PAPERS.md) chops a shard's account
+subtree into fixed-size, key-ordered leaf runs. Each chunk carries a
+compressed :class:`~repro.crypto.smt.SmtMultiProof` against the shard
+root committed at the snapshot height, so a syncing replica can
+
+* verify every chunk *independently* the moment it arrives (no ordering
+  constraint, so chunks download in parallel across replicas), and
+* prove *completeness* afterwards by rebuilding the subtree from the
+  concatenated chunks and requiring the rebuilt root to equal the
+  snapshot root — an omitted or duplicated chunk cannot reproduce it.
+
+Chunk keys are SMT keys (``account_id // num_shards``), the same key
+space :meth:`~repro.state.shard_state.ShardState.apply_updates` writes
+after translation, so committed block deltas replay directly on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.smt import SmtMultiProof, SparseMerkleTree
+from repro.state.global_state import ShardedGlobalState
+
+#: Fixed per-chunk wire header: shard + index + snapshot round + count.
+CHUNK_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class SnapshotChunk:
+    """One verifiable slice of a shard subtree at a committed height."""
+
+    shard: int
+    index: int
+    keys: tuple[int, ...]
+    values: tuple[bytes, ...]
+    proof: SmtMultiProof
+    snapshot_round: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: header + keyed entries + the compressed multiproof."""
+        entries = sum(8 + len(value) for value in self.values)
+        return CHUNK_HEADER_BYTES + entries + self.proof.size_bytes
+
+    def verify(self, root: bytes) -> bool:
+        """True iff every entry links to the snapshot ``root``."""
+        if self.proof.keys != self.keys:
+            return False
+        return self.proof.verify_batch(root, dict(zip(self.keys, self.values)))
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """A whole shard's chunked snapshot: root + chunk sequence."""
+
+    shard: int
+    root: bytes
+    depth: int
+    chunks: tuple[SnapshotChunk, ...]
+
+    def rebuild(self) -> SparseMerkleTree:
+        """Rebuild the subtree from the chunk concatenation.
+
+        The completeness check: the caller compares ``rebuild().root``
+        against :attr:`root` — only the exact full leaf set reproduces
+        it.
+        """
+        items = [
+            (key, value)
+            for chunk in self.chunks
+            for key, value in zip(chunk.keys, chunk.values)
+        ]
+        return SparseMerkleTree.from_items(items, depth=self.depth)
+
+
+def take_snapshot(state: ShardedGlobalState, chunk_size: int,
+                  snapshot_round: int) -> list[ShardSnapshot]:
+    """Chunk every shard of ``state`` at its current roots.
+
+    Must be called with no simulator yield between root capture and
+    chunk enumeration (this function is fully synchronous), so the
+    snapshot is consistent: every chunk proves against the same
+    committed root.
+    """
+    snapshots = []
+    for shard_state in state.shards:
+        chunks = tuple(
+            SnapshotChunk(
+                shard=shard_state.shard, index=index, keys=keys,
+                values=values, proof=proof, snapshot_round=snapshot_round,
+            )
+            for index, keys, values, proof in
+            shard_state.snapshot_chunks(chunk_size)
+        )
+        snapshots.append(ShardSnapshot(
+            shard=shard_state.shard, root=shard_state.root,
+            depth=shard_state.depth, chunks=chunks,
+        ))
+    return snapshots

@@ -1,0 +1,491 @@
+"""Resync-on-heal: snapshot transfer + delta replay for storage nodes.
+
+The chaos recovery path DESIGN.md §15 specifies. The simulator
+deduplicates converged honest replica content into one
+:class:`~repro.core.storage.StorageHub`, so "a healed node's state" is
+not a second materialized copy — instead this manager tracks, per
+storage node, *which committed height the node has applied*
+(:class:`ReplicaView`). A node that was offline while commits landed
+holds a stale view; on heal it must not serve until it has:
+
+1. **Snapshot** — fetched the chunked SMT snapshot of every shard at
+   the committed tip (:mod:`repro.sync.chunks`), each chunk verified
+   against the snapshot root via its multiproof before it is applied,
+   with corrupted chunks rejected and refetched from the next replica;
+2. **Completeness** — rebuilt each shard subtree from the chunk
+   concatenation and proven the rebuilt root equals the snapshot root;
+3. **Delta replay** — replayed the committed per-round update lists
+   that landed after the snapshot height until it reaches the tip, and
+   proven the replayed roots equal the canonical committed roots.
+
+While a node is resyncing it is *stale*: :meth:`is_stale` gates it out
+of replica orders, witness-block packaging and body service, so no
+stateless client ever authenticates against a stale witness.
+
+Determinism (DESIGN.md §8): all transfers ride the simulated network
+(charged at real wire size, phase ``"sync"``), retries use a private
+seeded RNG, and every iteration is over sorted ids — the same seed
+replays byte-identically. With chaos armed but no crash/join events the
+manager only does synchronous bookkeeping and schedules nothing, so
+fault-free runs are bit-identical with sync on or off.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass, field
+
+from repro.chain.sizes import STATE_ENTRY_SIZE
+from repro.crypto.smt import SparseMerkleTree
+from repro.net.message import Message
+from repro.sync.chunks import ShardSnapshot, SnapshotChunk, take_snapshot
+from repro.telemetry import NULL_TELEMETRY
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.engine import ChaosEngine
+    from repro.core.config import PorygonConfig
+    from repro.core.storage import StorageHub
+    from repro.net.network import Network
+    from repro.sim import Environment
+
+#: Mixing constant separating the sync RNG stream from the pipeline's
+#: retry RNG and the chaos engine's drop RNG (same user-facing seed).
+_RNG_DOMAIN = 0x5F3759DF
+
+#: Fallback per-attempt timeout when the config disables fetch timeouts.
+#: Sync only runs under chaos, where an unbounded wait on a dropped
+#: message would deadlock the resync process, so it is always bounded.
+_FALLBACK_TIMEOUT_S = 0.25
+
+#: Fixed overhead of one delta-replay response (round range + roots).
+_DELTA_HEADER_BYTES = 48
+
+
+@dataclass
+class ReplicaView:
+    """What one storage node has applied: a height and its roots."""
+
+    applied_round: int
+    shard_roots: dict[int, bytes]
+
+
+@dataclass(frozen=True)
+class SyncRecord:
+    """Outcome of one resync attempt, echoed into the soak report."""
+
+    node: int
+    heal_round: int
+    snapshot_round: int
+    synced_round: int
+    chunks_ok: int
+    chunks_corrupt: int
+    chunks_missed: int
+    bytes_fetched: int
+    replayed_rounds: int
+    root_match: bool
+    ok: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "heal_round": self.heal_round,
+            "snapshot_round": self.snapshot_round,
+            "synced_round": self.synced_round,
+            "chunks_ok": self.chunks_ok,
+            "chunks_corrupt": self.chunks_corrupt,
+            "chunks_missed": self.chunks_missed,
+            "bytes_fetched": self.bytes_fetched,
+            "replayed_rounds": self.replayed_rounds,
+            "root_match": self.root_match,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class _FetchStats:
+    """Mutable tally shared by the chunk-fetch workers of one resync."""
+
+    ok: int = 0
+    corrupt: int = 0
+    missed: int = 0
+    bytes_fetched: int = 0
+    verified: dict = field(default_factory=dict)
+
+
+class SnapshotSyncManager:
+    """Tracks per-replica applied heights and runs resync-on-heal."""
+
+    def __init__(self, env: "Environment", config: "PorygonConfig",
+                 network: "Network", hub: "StorageHub",
+                 engine: "ChaosEngine", storage_ids: list[int],
+                 seed: int = 0, telemetry=NULL_TELEMETRY):
+        self.env = env
+        self.config = config
+        self.network = network
+        self.hub = hub
+        self.engine = engine
+        self.storage_ids = sorted(storage_ids)
+        self.telemetry = telemetry
+        self._rng = random.Random((seed << 13) ^ _RNG_DOMAIN)
+        #: node id -> applied view; ``None`` = never applied anything
+        #: (offline since genesis, e.g. a churn joiner).
+        self.views: dict[int, ReplicaView | None] = {}
+        #: round -> ((shard, ((smt_key, encoded), ...)), ...) committed
+        #: deltas, already translated to SMT key space for direct replay.
+        self.delta_log: dict[int, tuple[tuple[int, tuple[tuple[int, bytes], ...]], ...]] = {}
+        #: Newest committed round (0 before the first commit).
+        self.tip_round = 0
+        self.current_round = 0
+        #: Nodes whose applied view lags the committed tip. A stale node
+        #: serves nothing (see :meth:`is_stale` call sites) until its
+        #: resync proves root convergence.
+        self.stale: set[int] = set()
+        #: node id -> heal round of its in-flight resync process.
+        self.active: dict[int, int] = {}
+        self.records: list[SyncRecord] = []
+        #: (node, round, was_stale) per observed heal, for the report.
+        self.heals: list[dict] = []
+        #: Times a stale node was chosen as a serving replica. The
+        #: gating call sites make this impossible; the soak invariant
+        #: asserts it stayed zero.
+        self.stale_serves = 0
+        #: Test hook: ``(replica_id, chunk) -> chunk`` applied to every
+        #: delivered chunk before verification; lets tests inject
+        #: per-replica corruption without touching the wire path.
+        self.chunk_corruptor: typing.Callable[[int, SnapshotChunk], SnapshotChunk] | None = None
+        self._prev_offline: set[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Pipeline hooks
+    # ------------------------------------------------------------------
+
+    def begin_round(self, round_number: int) -> None:
+        """Per-round clock hook: detect heals, (re)start resyncs.
+
+        Must run *after* the chaos engine's own ``begin_round`` — heal
+        detection compares the engine's offline set across rounds.
+        """
+        self.current_round = round_number
+        offline = {nid for nid in self.storage_ids
+                   if self.engine.is_crashed(nid)}
+        if self._prev_offline is None:
+            # First round: online nodes share the hub's converged view;
+            # nodes offline since genesis have applied nothing.
+            genesis_roots = dict(self.hub.state.shard_roots)
+            for nid in self.storage_ids:
+                self.views[nid] = (
+                    None if nid in offline else ReplicaView(0, genesis_roots)
+                )
+        else:
+            for nid in sorted(self._prev_offline - offline):
+                view = self.views.get(nid)
+                is_stale = (view is None
+                            or view.shard_roots != self.hub.state.shard_roots)
+                self.heals.append(
+                    {"node": nid, "round": round_number, "stale": is_stale}
+                )
+                if is_stale:
+                    self.stale.add(nid)
+        self._prev_offline = offline
+        # Start (or retry, after a failed attempt) a resync for every
+        # stale node that is online and not already syncing.
+        for nid in sorted(self.stale):
+            if nid in self.active or nid in offline:
+                continue
+            self.active[nid] = round_number
+            self.env.process(self._resync(nid, round_number))
+
+    def on_commit(self, round_number: int, accepted) -> None:
+        """Commit hook: record replayable deltas, advance fresh views.
+
+        Called by the pipeline's commit phase *after* the hub applied
+        the round's update lists, so ``hub.state.shard_roots`` is the
+        canonical post-commit root set for ``round_number``.
+        """
+        self.tip_round = round_number
+        deltas: list[tuple[int, tuple[tuple[int, bytes], ...]]] = []
+        for shard_result in accepted:
+            canonical = shard_result.canonical
+            shard_state = self.hub.state.shards[canonical.shard]
+            translated = tuple(
+                (shard_state.smt_key(account_id), encoded)
+                for account_id, encoded in canonical.written_owned
+            )
+            if translated:
+                deltas.append((canonical.shard, translated))
+        self.delta_log[round_number] = tuple(sorted(deltas))
+        roots = dict(self.hub.state.shard_roots)
+        for nid in self.storage_ids:
+            if nid in self.stale or self.engine.is_crashed(nid):
+                continue
+            self.views[nid] = ReplicaView(round_number, roots)
+
+    # ------------------------------------------------------------------
+    # Serving gates
+    # ------------------------------------------------------------------
+
+    def is_stale(self, node_id: int) -> bool:
+        """Whether ``node_id`` must not serve state or bodies yet."""
+        return node_id in self.stale
+
+    def note_serve(self, node_id: int) -> None:
+        """Record that ``node_id`` was chosen as a serving replica."""
+        if node_id in self.stale:
+            self.stale_serves += 1
+
+    # ------------------------------------------------------------------
+    # Resync process
+    # ------------------------------------------------------------------
+
+    def _resync(self, node_id: int, heal_round: int):
+        """Snapshot + delta replay for one healed node (sim process)."""
+        metrics = self.telemetry.metrics
+        with self.telemetry.tracer.span(
+            "phase.sync", track=f"sync-{node_id}", round=heal_round,
+            node=node_id,
+        ) as sync_span:
+            # Chunk the committed state synchronously: no yield between
+            # root capture and chunk enumeration, so every chunk proves
+            # against the same committed tip.
+            snapshot_round = self.tip_round
+            snapshots = take_snapshot(
+                self.hub.state, self.config.sync_chunk_size, snapshot_round
+            )
+            stats = _FetchStats()
+            yield from self._fetch_all_chunks(node_id, snapshots, stats)
+            chunks_total = sum(len(s.chunks) for s in snapshots)
+            fetched_all = len(stats.verified) == chunks_total
+            trees: dict[int, SparseMerkleTree] = {}
+            complete = fetched_all
+            if fetched_all:
+                # Completeness proof: the chunk concatenation must
+                # rebuild each shard's exact snapshot root.
+                for snap in snapshots:
+                    tree = ShardSnapshot(
+                        shard=snap.shard, root=snap.root, depth=snap.depth,
+                        chunks=tuple(
+                            stats.verified[(snap.shard, index)]
+                            for index in range(len(snap.chunks))
+                        ),
+                    ).rebuild()
+                    if tree.root != snap.root:
+                        complete = False
+                        break
+                    trees[snap.shard] = tree
+            replayed_rounds = 0
+            root_match = False
+            if complete:
+                replayed_rounds = yield from self._replay_deltas(
+                    node_id, snapshot_round, trees, stats
+                )
+                # No yields since the final replay batch: tip_round and
+                # the hub roots are the same committed height here.
+                root_match = replayed_rounds >= 0 and all(
+                    trees[shard].root == self.hub.state.shards[shard].root
+                    for shard in trees
+                )
+            ok = complete and replayed_rounds >= 0 and root_match
+            synced_round = self.current_round
+            record = SyncRecord(
+                node=node_id, heal_round=heal_round,
+                snapshot_round=snapshot_round, synced_round=synced_round,
+                chunks_ok=stats.ok, chunks_corrupt=stats.corrupt,
+                chunks_missed=stats.missed,
+                bytes_fetched=stats.bytes_fetched,
+                replayed_rounds=max(0, replayed_rounds),
+                root_match=root_match, ok=ok,
+            )
+            self.records.append(record)
+            self.active.pop(node_id, None)
+            if ok:
+                self.stale.discard(node_id)
+                self.views[node_id] = ReplicaView(
+                    self.tip_round, dict(self.hub.state.shard_roots)
+                )
+                metrics.histogram("sync_rounds_to_catchup").observe(
+                    synced_round - heal_round
+                )
+            # Failure leaves the node stale; begin_round retries next
+            # round (the node keeps serving nothing meanwhile).
+            sync_span.annotate(
+                ok=int(ok), chunks=stats.ok, corrupt=stats.corrupt,
+                replayed=max(0, replayed_rounds),
+            )
+
+    def _fetch_all_chunks(self, node_id: int, snapshots: list[ShardSnapshot],
+                          stats: _FetchStats):
+        """Fetch every chunk via a shared-cursor parallel worker pool.
+
+        Workers claim chunks off one deterministic queue, so completion
+        order cannot reorder anything: verified chunks land in a dict
+        keyed by ``(shard, index)`` and are consumed in key order.
+        """
+        queue = [chunk for snap in snapshots for chunk in snap.chunks]
+        if not queue:
+            return
+        roots = {snap.shard: snap.root for snap in snapshots}
+        cursor = [0]
+
+        def worker():
+            while cursor[0] < len(queue):
+                chunk = queue[cursor[0]]
+                cursor[0] += 1
+                verified = yield from self._fetch_chunk(
+                    node_id, chunk, roots[chunk.shard], stats
+                )
+                if verified is not None:
+                    stats.verified[(chunk.shard, chunk.index)] = verified
+
+        workers = [
+            self.env.process(worker())
+            for _ in range(min(self.config.sync_parallelism, len(queue)))
+        ]
+        yield self.env.all_of(workers)
+
+    def _fetch_chunk(self, node_id: int, chunk: SnapshotChunk,
+                     snapshot_root: bytes, stats: _FetchStats):
+        """Fetch one chunk with verification, failover and backoff.
+
+        Every delivered chunk is verified against the snapshot root
+        *before* it counts; a corrupt chunk is rejected and refetched
+        from the next replica in the deterministic failover order. The
+        starting replica is striped by chunk position so concurrent
+        workers draw from distinct uplinks instead of queueing on one
+        replica; failover still walks the whole order.
+        """
+        metrics = self.telemetry.metrics
+        order = [rid for rid in self.hub.replica_order([])
+                 if rid != node_id]
+        stripe = chunk.shard + chunk.index
+        for attempt in range(self.config.sync_max_attempts):
+            replica = None
+            if order:
+                candidate = order[(stripe + attempt) % len(order)]
+                if (not self.engine.is_crashed(candidate)
+                        and not self.is_stale(candidate)):
+                    replica = candidate
+            if replica is not None:
+                self.note_serve(replica)
+                transfer = self.network.send(Message(
+                    replica, node_id, "sync_chunk", None,
+                    chunk.size_bytes, phase="sync",
+                ))
+                delivered = yield from self._await_transfer(
+                    transfer, chunk.size_bytes
+                )
+                if delivered:
+                    served = chunk
+                    if self.chunk_corruptor is not None:
+                        served = self.chunk_corruptor(replica, chunk)
+                    if served is not None and served.verify(snapshot_root):
+                        stats.ok += 1
+                        stats.bytes_fetched += chunk.size_bytes
+                        metrics.counter("sync_chunks_total", outcome="ok").inc()
+                        metrics.counter("sync_bytes_total").inc(chunk.size_bytes)
+                        return served
+                    stats.corrupt += 1
+                    metrics.counter(
+                        "sync_chunks_total", outcome="corrupt"
+                    ).inc()
+            if attempt + 1 < self.config.sync_max_attempts:
+                yield self._backoff(attempt)
+        stats.missed += 1
+        metrics.counter("sync_chunks_total", outcome="miss").inc()
+        return None
+
+    def _replay_deltas(self, node_id: int, snapshot_round: int,
+                       trees: dict[int, SparseMerkleTree],
+                       stats: _FetchStats):
+        """Replay committed deltas from the snapshot height to the tip.
+
+        The tip can advance while earlier batches transfer, so the loop
+        re-reads :attr:`tip_round` until it catches up. Returns the
+        number of rounds replayed, or ``-1`` if a delta transfer failed.
+        """
+        metrics = self.telemetry.metrics
+        replayed = snapshot_round
+        rounds_done = 0
+        while replayed < self.tip_round:
+            target = self.tip_round
+            pending = range(replayed + 1, target + 1)
+            entries = sum(
+                len(updates)
+                for rnd in pending
+                for _, updates in self.delta_log.get(rnd, ())
+            )
+            size = _DELTA_HEADER_BYTES + entries * STATE_ENTRY_SIZE
+            ok = yield from self._fetch_delta(node_id, size)
+            if not ok:
+                return -1
+            stats.bytes_fetched += size
+            metrics.counter("sync_bytes_total").inc(size)
+            for rnd in pending:
+                for shard, updates in self.delta_log.get(rnd, ()):
+                    trees[shard].update_many(list(updates))
+            rounds_done += target - replayed
+            replayed = target
+        return rounds_done
+
+    def _fetch_delta(self, node_id: int, size_bytes: int):
+        """One delta-batch transfer with failover and backoff."""
+        order = [rid for rid in self.hub.replica_order([])
+                 if rid != node_id]
+        for attempt in range(self.config.sync_max_attempts):
+            replica = None
+            if order:
+                candidate = order[attempt % len(order)]
+                if (not self.engine.is_crashed(candidate)
+                        and not self.is_stale(candidate)):
+                    replica = candidate
+            if replica is not None:
+                self.note_serve(replica)
+                transfer = self.network.send(Message(
+                    replica, node_id, "sync_delta", None,
+                    size_bytes, phase="sync",
+                ))
+                ok = yield from self._await_transfer(transfer, size_bytes)
+                if ok:
+                    return True
+            if attempt + 1 < self.config.sync_max_attempts:
+                yield self._backoff(attempt)
+        return False
+
+    # ------------------------------------------------------------------
+    # Transfer plumbing (mirrors the pipeline's hardened fetch path)
+    # ------------------------------------------------------------------
+
+    def _timeout_s(self) -> float:
+        if self.config.fetch_timeout_s > 0.0:
+            return self.config.fetch_timeout_s
+        return _FALLBACK_TIMEOUT_S
+
+    def _deadline_s(self, size_bytes: int) -> float:
+        serial = size_bytes / self.config.storage_bandwidth_bps
+        return self._timeout_s() + 4.0 * (serial + self.config.latency_s)
+
+    def _await_transfer(self, event, size_bytes: int):
+        """Deadline-bounded wait (a chaos-dropped delivery never fires)."""
+        deadline = self.env.timeout(self._deadline_s(size_bytes))
+        yield self.env.any_of([event, deadline])
+        return event.triggered
+
+    def _backoff(self, attempt: int):
+        """Seeded exponential backoff (with jitter) before a retry."""
+        delay = self.config.fetch_backoff_base_s * (2 ** attempt)
+        delay *= 1.0 + 0.25 * self._rng.random()
+        return self.env.timeout(delay)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict:
+        """Canonical (sorted, JSON-friendly) sync section for reports."""
+        return {
+            "records": [record.to_dict() for record in self.records],
+            "heals": list(self.heals),
+            "stale_serves": self.stale_serves,
+            "pending": sorted(self.active),
+            "stale": sorted(self.stale),
+        }

@@ -2,7 +2,7 @@
 
 The acceptance schedule (ISSUE): a storage node crashing for a window
 while another withholds bodies. Failover + gossip redundancy must mask
-both faults — all four invariants hold, the healthy pipeline keeps
+both faults — all five invariants hold, the healthy pipeline keeps
 committing during the fault window, and the whole report replays
 byte-identically from the same seed.
 """
@@ -25,6 +25,7 @@ INVARIANT_NAMES = (
     "replay_equality",
     "tx_conservation",
     "bounded_recovery",
+    "resync_convergence",
 )
 
 
@@ -36,7 +37,7 @@ def crash_heal_report():
 
 
 class TestAcceptanceSchedule:
-    def test_all_four_invariants_pass(self, crash_heal_report):
+    def test_all_five_invariants_pass(self, crash_heal_report):
         assert crash_heal_report["ok"]
         assert set(crash_heal_report["invariants"]) == set(INVARIANT_NAMES)
         for name in INVARIANT_NAMES:

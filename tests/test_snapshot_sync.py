@@ -1,0 +1,473 @@
+"""Snapshot sync: chunked SMT transfer, delta replay, resync-on-heal.
+
+Covers the DESIGN.md §15 recovery path end to end: chunk enumeration
+and per-chunk multiproof verification, completeness via subtree
+rebuild, corrupted-chunk rejection + refetch from the next replica,
+stale-replica exclusion from every serving path, crash-window boundary
+semantics (including the inverted ``join`` window), the
+``storage-crash-resync`` soak with its ``resync_convergence``
+invariant, and the determinism contracts (same-seed byte-identical
+reports; fault-free runs bit-identical with sync on or off).
+"""
+
+import dataclasses
+import gc
+import json
+import sys
+
+import pytest
+
+from repro.chaos import ChaosEngine, FaultEvent, FaultSchedule, preset
+from repro.core.config import PorygonConfig
+from repro.core.system import PorygonSimulation
+from repro.crypto.smt import SparseMerkleTree
+from repro.errors import ConfigError, StateError
+from repro.harness.chaos import chaos_config, report_json, run_chaos
+from repro.state.shard_state import ShardState
+from repro.sync import ShardSnapshot, SnapshotChunk, take_snapshot
+from repro.sync.manager import _FetchStats
+from repro.telemetry import NULL_TELEMETRY
+from repro.workload import WorkloadGenerator
+
+
+def _items(n, start=0):
+    return [(start + i, bytes([i % 251]) * 8) for i in range(n)]
+
+
+def _chaos_sim(schedule, seed=7, num_txs=400, config=None):
+    config = config or chaos_config()
+    sim = PorygonSimulation(config, seed=seed,
+                            chaos=ChaosEngine(schedule, salt=seed))
+    generator = WorkloadGenerator(
+        num_accounts=max(4 * num_txs, 16), num_shards=config.num_shards,
+        cross_shard_ratio=0.2, unique=True, seed=seed,
+    )
+    batch = generator.batch(num_txs)
+    sim.fund_accounts(sorted({tx.sender for tx in batch}), 1_000)
+    sim.submit(batch)
+    return sim
+
+
+# ---------------------------------------------------------------------------
+# Chunk enumeration + verification units
+# ---------------------------------------------------------------------------
+
+class TestChunkEnumeration:
+    def test_iter_chunks_fixed_size_key_ordered(self):
+        tree = SparseMerkleTree.from_items(_items(10), depth=8)
+        chunks = list(tree.iter_chunks(4))
+        assert [index for index, _ in chunks] == [0, 1, 2]
+        assert [len(items) for _, items in chunks] == [4, 4, 2]
+        flattened = [key for _, items in chunks for key, _ in items]
+        assert flattened == sorted(flattened)
+
+    def test_iter_chunks_empty_tree(self):
+        assert list(SparseMerkleTree(depth=8).iter_chunks(4)) == []
+
+    def test_iter_chunks_rejects_bad_size(self):
+        with pytest.raises(StateError):
+            list(SparseMerkleTree(depth=8).iter_chunks(0))
+
+    def test_snapshot_chunks_verify_against_root(self):
+        state = ShardState(0, 2, depth=8)
+        state.apply_updates([])
+        from repro.chain.account import Account
+        state.put_accounts(Account(account_id=2 * i, balance=i)
+                           for i in range(9))
+        for index, keys, values, proof in state.snapshot_chunks(4):
+            assert proof.verify_batch(state.root, dict(zip(keys, values)))
+
+    def test_chunk_verify_rejects_tampered_values(self):
+        tree = SparseMerkleTree.from_items(_items(8), depth=8)
+        index, items = next(tree.iter_chunks(8))
+        keys = tuple(k for k, _ in items)
+        values = tuple(v for _, v in items)
+        chunk = SnapshotChunk(shard=0, index=index, keys=keys, values=values,
+                              proof=tree.prove_batch(keys), snapshot_round=1)
+        assert chunk.verify(tree.root)
+        tampered = dataclasses.replace(
+            chunk, values=(b"\xff" * 8,) + values[1:]
+        )
+        assert not tampered.verify(tree.root)
+        assert chunk.size_bytes > 0
+
+    def test_rebuild_completeness_detects_missing_chunk(self):
+        tree = SparseMerkleTree.from_items(_items(12), depth=8)
+        chunks = []
+        for index, items in tree.iter_chunks(4):
+            keys = tuple(k for k, _ in items)
+            values = tuple(v for _, v in items)
+            chunks.append(SnapshotChunk(
+                shard=0, index=index, keys=keys, values=values,
+                proof=tree.prove_batch(keys), snapshot_round=1,
+            ))
+        full = ShardSnapshot(shard=0, root=tree.root, depth=8,
+                             chunks=tuple(chunks))
+        assert full.rebuild().root == tree.root
+        partial = ShardSnapshot(shard=0, root=tree.root, depth=8,
+                                chunks=tuple(chunks[:-1]))
+        assert partial.rebuild().root != tree.root
+
+    def test_take_snapshot_covers_every_shard(self):
+        config = chaos_config()
+        sim = PorygonSimulation(config, seed=1)
+        sim.fund_accounts(range(64), 100)
+        snapshots = take_snapshot(sim.hub.state, chunk_size=8,
+                                  snapshot_round=0)
+        assert [snap.shard for snap in snapshots] == [0, 1]
+        for snap in snapshots:
+            assert snap.root == sim.hub.state.shards[snap.shard].root
+            assert snap.rebuild().root == snap.root
+
+
+# ---------------------------------------------------------------------------
+# Config knobs
+# ---------------------------------------------------------------------------
+
+class TestSyncConfig:
+    def test_defaults(self):
+        config = PorygonConfig()
+        assert config.snapshot_sync is True
+        assert config.sync_chunk_size >= 1
+        assert config.sync_parallelism >= 1
+        assert config.sync_max_attempts >= 1
+
+    @pytest.mark.parametrize("field", [
+        "sync_chunk_size", "sync_parallelism", "sync_max_attempts",
+    ])
+    def test_validation(self, field):
+        with pytest.raises(ConfigError):
+            PorygonConfig(**{field: 0})
+
+
+# ---------------------------------------------------------------------------
+# Crash-window boundaries (start-inclusive / end-exclusive) + join
+# ---------------------------------------------------------------------------
+
+class TestWindowBoundaries:
+    def test_back_to_back_windows_are_one_continuous_outage(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent.crash(1, 2, 4), FaultEvent.crash(1, 4, 6),
+        ), seed=0)
+        engine = ChaosEngine(schedule)
+        for round_number, expected in [(1, False), (2, True), (3, True),
+                                       (4, True), (5, True), (6, False)]:
+            engine.begin_round(round_number)
+            assert engine.is_crashed(1) is expected, round_number
+        # The seam round (4) is covered by the second window only; the
+        # node never flickers online there.
+        assert schedule.heal_round() == 6
+
+    def test_seam_round_produces_no_heal(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent.crash(1, 2, 4), FaultEvent.crash(1, 4, 6),
+        ), seed=3)
+        sim = _chaos_sim(schedule, seed=3, num_txs=120)
+        sim.run(8)
+        heal_rounds = [h["round"] for h in sim.sync.heals if h["node"] == 1]
+        assert heal_rounds == [6]
+
+    def test_window_ending_at_final_round_heals_there(self):
+        schedule = FaultSchedule(events=(FaultEvent.crash(1, 2, 8),), seed=0)
+        engine = ChaosEngine(schedule)
+        engine.begin_round(7)
+        assert engine.is_crashed(1)
+        engine.begin_round(8)
+        assert not engine.is_crashed(1)
+        assert schedule.heal_round() == 8
+
+    def test_join_window_is_inverted(self):
+        event = FaultEvent.join(2, 4)
+        assert event.active(1) and event.active(3)
+        assert not event.active(4) and not event.active(9)
+        assert event.heals
+        assert event.effective_end_round == 4
+        assert FaultSchedule(events=(event,), seed=0).heal_round() == 4
+
+    def test_join_validation(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(kind="join", start_round=4)  # needs a node
+        with pytest.raises(ConfigError):
+            FaultEvent(kind="join", start_round=4, end_round=6, node=1)
+        with pytest.raises(ConfigError):
+            FaultEvent(kind="join", start_round=0, node=1)
+
+    def test_engine_treats_pre_join_as_crashed(self):
+        engine = ChaosEngine(FaultSchedule(
+            events=(FaultEvent.join(2, 4),), seed=0,
+        ))
+        engine.begin_round(2)
+        assert engine.is_crashed(2)
+        engine.begin_round(4)
+        assert not engine.is_crashed(2)
+
+
+# ---------------------------------------------------------------------------
+# Serde round-trips (preset + event shapes)
+# ---------------------------------------------------------------------------
+
+class TestScheduleSerde:
+    def test_join_event_round_trip(self):
+        event = FaultEvent.join(2, 4, label="churn")
+        data = event.to_dict()
+        assert data["node"] == 2 and data["end_round"] is None
+        assert FaultEvent.from_dict(data) == event
+
+    def test_resync_preset_json_round_trip(self):
+        schedule = preset("storage-crash-resync", num_storage_nodes=3,
+                          num_shards=2, seed=11)
+        again = FaultSchedule.from_json(schedule.to_json())
+        assert again.events == schedule.events
+        assert again.name == "storage-crash-resync"
+        assert {e.kind for e in again.events} == {"crash", "join"}
+
+    def test_resync_preset_degenerate_sizes(self):
+        # Tiny deployments fold the joiner onto the crashed node; the
+        # preset must still build and validate.
+        for n in (1, 2, 3):
+            schedule = preset("storage-crash-resync", num_storage_nodes=n,
+                              num_shards=2, seed=0)
+            assert FaultSchedule.from_json(schedule.to_json()) is not None
+
+
+# ---------------------------------------------------------------------------
+# Resync end to end
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def resync_report():
+    schedule = preset("storage-crash-resync", num_storage_nodes=3,
+                      num_shards=2, seed=7)
+    return run_chaos(schedule, rounds=10, seed=7, num_txs=400)
+
+
+class TestResyncSoak:
+    def test_soak_passes_all_invariants(self, resync_report):
+        assert resync_report["ok"]
+        for name, inv in resync_report["invariants"].items():
+            assert inv["ok"], (name, inv)
+
+    def test_resync_convergence_actually_checked(self, resync_report):
+        inv = resync_report["invariants"]["resync_convergence"]
+        assert not inv.get("skipped")
+        assert inv["stale_heals"] >= 2  # the crashed node + the joiner
+        assert inv["converged"] == [1, 2]
+        assert inv["stale_serves"] == 0
+
+    def test_records_prove_root_convergence(self, resync_report):
+        records = resync_report["sync"]["records"]
+        assert {r["node"] for r in records} >= {1, 2}
+        for record in records:
+            if record["ok"]:
+                assert record["root_match"]
+                assert record["chunks_ok"] > 0
+                assert record["chunks_missed"] == 0
+                assert record["bytes_fetched"] > 0
+
+    def test_sync_traffic_metered_on_sync_phase(self, resync_report):
+        totals = resync_report["telemetry"]["totals"]
+        assert totals.get("sync_bytes_total", 0) > 0
+        assert totals.get('sync_chunks_total{outcome="ok"}', 0) > 0
+        assert totals.get("sync_rounds_to_catchup_count", 0) >= 2
+
+    def test_report_byte_identical_for_same_seed(self, resync_report):
+        schedule = preset("storage-crash-resync", num_storage_nodes=3,
+                          num_shards=2, seed=7)
+        again = run_chaos(schedule, rounds=10, seed=7, num_txs=400)
+        assert report_json(again) == report_json(resync_report)
+
+    def test_report_sync_section_is_canonical_json(self, resync_report):
+        text = report_json(resync_report)
+        parsed = json.loads(text)
+        assert parsed["sync"]["enabled"] is True
+        assert parsed["sync"]["stale_serves"] == 0
+
+    def test_no_sync_soak_still_runs(self):
+        schedule = preset("storage-crash-resync", num_storage_nodes=3,
+                          num_shards=2, seed=7)
+        config = dataclasses.replace(chaos_config(), snapshot_sync=False)
+        report = run_chaos(schedule, rounds=10, seed=7, num_txs=400,
+                           config=config)
+        assert report["sync"] == {"enabled": False}
+        assert report["invariants"]["resync_convergence"]["skipped"]
+
+
+class TestCorruptedChunks:
+    def test_corrupt_chunk_rejected_and_refetched_from_next_replica(self):
+        # Node 1 crashes and heals at round 5; replicas 0 and 2 stay up.
+        # Replica 0 serves garbage, so every chunk must be rejected by
+        # its multiproof check and refetched from replica 2.
+        schedule = FaultSchedule(
+            events=(FaultEvent.crash(1, 2, 5, label="heal stale"),),
+            seed=7, name="corrupt-chunks",
+        )
+        sim = _chaos_sim(schedule, seed=7)
+        corrupt_servers = []
+
+        def corruptor(replica_id, chunk):
+            if replica_id == 0:
+                corrupt_servers.append(replica_id)
+                return dataclasses.replace(
+                    chunk,
+                    values=tuple(b"\x00" * len(v) for v in chunk.values),
+                )
+            return chunk
+
+        sim.sync.chunk_corruptor = corruptor
+        sim.run(10)
+        records = [r for r in sim.sync.records if r.node == 1]
+        assert records and records[-1].ok
+        final = records[-1]
+        assert final.chunks_corrupt > 0  # rejections really happened
+        assert final.chunks_missed == 0  # every chunk found a replica
+        assert final.root_match
+        assert corrupt_servers  # replica 0 was tried first
+        assert not sim.sync.stale  # node 1 fully rejoined
+
+    def test_tampered_proof_keys_rejected(self):
+        tree = SparseMerkleTree.from_items(_items(4), depth=8)
+        index, items = next(tree.iter_chunks(4))
+        keys = tuple(k for k, _ in items)
+        values = tuple(v for _, v in items)
+        chunk = SnapshotChunk(
+            shard=0, index=index, keys=keys[:-1], values=values[:-1],
+            proof=tree.prove_batch(keys), snapshot_round=1,
+        )
+        # Proof keys disagree with the chunk's claimed keys: reject.
+        assert not chunk.verify(tree.root)
+
+
+class TestStaleExclusion:
+    def test_stale_replica_never_a_witness_or_state_source(self):
+        schedule = preset("storage-crash-resync", num_storage_nodes=3,
+                          num_shards=2, seed=7)
+        sim = _chaos_sim(schedule, seed=7, num_txs=120)
+        sim.run(2)  # populate content; node 1 crashed, node 2 pre-join
+        sync = sim.sync
+        sync.stale.add(0)
+        try:
+            # replica_order: excluded entirely, not merely demoted.
+            assert 0 not in sim.hub.replica_order([0, 1, 2])
+            # routing fabric: never chosen as a serving hop.
+            for stateless_id in sim.stateless:
+                serving = sim.fabric.serving_connection(stateless_id)
+                assert serving is None or serving.node_id != 0
+            # body service: refuses outright.
+            node0 = sim.storage_nodes[0]
+            for block_hash in sim.hub.tx_blocks:
+                assert not node0.serves_body(block_hash)
+        finally:
+            sync.stale.discard(0)
+        assert sync.stale_serves == 0
+
+    def test_mid_resync_soak_never_serves_stale(self, resync_report):
+        assert resync_report["sync"]["stale_serves"] == 0
+
+
+class TestDeltaReplay:
+    def test_replay_converges_after_tip_advances(self):
+        # Rebuild trees from a snapshot at tip=T, advance the chain two
+        # more rounds, then drive the manager's delta replay: the
+        # replayed trees must land exactly on the new committed roots.
+        schedule = FaultSchedule(
+            events=(FaultEvent.crash(1, 2, 4, label="short crash"),),
+            seed=9, name="replay-probe",
+        )
+        sim = _chaos_sim(schedule, seed=9)
+        sim.run(5)
+        snapshot_round = sim.sync.tip_round
+        snapshots = take_snapshot(sim.hub.state, chunk_size=32,
+                                  snapshot_round=snapshot_round)
+        trees = {snap.shard: snap.rebuild() for snap in snapshots}
+        sim.run(3)  # tip advances past the snapshot
+        assert sim.sync.tip_round > snapshot_round
+        stale_roots = {s: t.root for s, t in trees.items()}
+        assert stale_roots != {
+            s: sim.hub.state.shards[s].root for s in trees
+        }
+        stats = _FetchStats()
+        proc = sim.env.process(sim.sync._replay_deltas(
+            1, snapshot_round, trees, stats,
+        ))
+        sim.env.run(until=proc)
+        assert proc.value == sim.sync.tip_round - snapshot_round
+        for shard, tree in trees.items():
+            assert tree.root == sim.hub.state.shards[shard].root
+        assert stats.bytes_fetched > 0
+
+
+# ---------------------------------------------------------------------------
+# Determinism contracts
+# ---------------------------------------------------------------------------
+
+class TestDeterminism:
+    def _run(self, snapshot_sync, chaos):
+        config = dataclasses.replace(chaos_config(),
+                                     snapshot_sync=snapshot_sync)
+        sim = PorygonSimulation(
+            config, seed=7,
+            chaos=ChaosEngine(chaos, salt=7) if chaos is not None else None,
+        )
+        generator = WorkloadGenerator(num_accounts=1600, num_shards=2,
+                                      cross_shard_ratio=0.2, unique=True,
+                                      seed=7)
+        batch = generator.batch(400)
+        sim.fund_accounts(sorted({tx.sender for tx in batch}), 1_000)
+        sim.submit(batch)
+        report = sim.run(10)
+        return (report.committed, report.elapsed_s,
+                sim.hub.state.root, sim.network.meter.bytes_by_phase())
+
+    def test_fault_free_bit_identical_with_sync_on_or_off(self):
+        assert self._run(True, None) == self._run(False, None)
+
+    def test_empty_schedule_bit_identical_with_sync_on_or_off(self):
+        empty = FaultSchedule(seed=7, name="clean")
+        assert self._run(True, empty) == self._run(False, empty)
+
+    def test_prometheus_export_byte_identical_same_seed(self):
+        from repro.telemetry import prometheus_text
+
+        def one():
+            schedule = preset("storage-crash-resync", num_storage_nodes=3,
+                              num_shards=2, seed=7)
+            sim = _chaos_sim(schedule, seed=7, num_txs=200)
+            sim.run(8)
+            return prometheus_text(sim.telemetry.metrics)
+
+        first, second = one(), one()
+        assert "sync_chunks_total" in first
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Disabled path
+# ---------------------------------------------------------------------------
+
+def test_null_telemetry_sync_hot_path_allocates_nothing():
+    """The disabled sync metrics path must not grow the heap."""
+
+    def hammer():
+        for _ in range(200):
+            NULL_TELEMETRY.metrics.counter(
+                "sync_chunks_total", outcome="ok"
+            ).inc()
+            NULL_TELEMETRY.metrics.counter("sync_bytes_total").inc(4096)
+            NULL_TELEMETRY.metrics.histogram(
+                "sync_rounds_to_catchup"
+            ).observe(1)
+
+    deltas = []
+    for _ in range(3):
+        hammer()
+        gc.collect()
+        before = sys.getallocatedblocks()
+        hammer()
+        gc.collect()
+        deltas.append(sys.getallocatedblocks() - before)
+    assert min(deltas) <= 0, f"null sync metrics leaked blocks: {deltas}"
+
+
+def test_fault_free_run_constructs_no_manager():
+    sim = PorygonSimulation(chaos_config(), seed=1)
+    assert sim.sync is None
