@@ -1,7 +1,19 @@
-"""Figure 8(d): throughput under varied node participating time."""
+"""Figure 8(d): throughput under varied node participating time.
 
-from repro.harness import fig8d_churn
+Two parts: the mesoscale survival model (the paper's figure shape) and
+the *measured* churn sweep — the full simulator with join events and
+snapshot sync, charging real state-transfer bytes per join. The
+measured sweep writes one JSON artifact per (join_count, state_size)
+point under ``benchmarks/results/``.
+"""
+
+import json
+import pathlib
+
+from repro.harness import fig8d_churn, measured_churn, measured_churn_points
 from repro.metrics import is_monotonic
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def test_fig8d_churn(benchmark, record_result):
@@ -23,3 +35,42 @@ def test_fig8d_churn(benchmark, record_result):
         # Blockene never recovers within the sweep - stronger still.
         assert porygon[-1] > 0
     assert stays[porygon_recovery] <= 120
+
+
+def test_fig8d_churn_measured(benchmark, record_result, smoke):
+    """Measured churn: join rate x state size, real state-transfer costs."""
+    join_counts = (1,) if smoke else (1, 2)
+    state_sizes = (128,) if smoke else (128, 512)
+    rounds = 10 if smoke else 12
+    points = benchmark.pedantic(
+        measured_churn_points,
+        kwargs=dict(join_counts=join_counts, state_sizes=state_sizes,
+                    rounds=rounds, num_txs=80 if smoke else 160),
+        rounds=1, iterations=1,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for point in points:
+        path = RESULTS_DIR / (
+            f"fig8d_measured_j{point['join_count']}_s{point['state_size']}.json"
+        )
+        path.write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
+    result = measured_churn(points=points)
+    record_result(result)
+    # Every joiner converged, within the run, with real bytes charged.
+    assert all(p["resyncs_converged"] >= p["join_count"] for p in points)
+    assert all(p["sync_bytes"] > 0 for p in points)
+    assert all(p["committed"] > 0 for p in points)
+    # State-transfer cost scales with the padded state size.
+    by_joins: dict = {}
+    for p in points:
+        by_joins.setdefault(p["join_count"], []).append(p)
+    for group in by_joins.values():
+        group.sort(key=lambda p: p["state_size"])
+        sizes = [p["sync_bytes"] for p in group]
+        assert sizes == sorted(sizes)
+    # Catch-up stays bounded (the resync_convergence contract).
+    assert all(
+        p["rounds_to_catchup_max"] is not None
+        and p["rounds_to_catchup_max"] <= 4
+        for p in points
+    )

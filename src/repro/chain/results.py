@@ -25,6 +25,8 @@ from repro.crypto.hashing import domain_digest
 
 _ROOT_DOMAIN = "repro/signed-root/v1"
 _RESULT_DOMAIN = "repro/exec-result/v1"
+_EQUIVOCATION_DOMAIN = "repro/equivocation-root/v1"
+_WITHHELD_DOMAIN = "repro/withheld-root/v1"
 
 
 def root_signing_payload(shard: int, round_number: int, root: bytes) -> bytes:
@@ -35,6 +37,96 @@ def root_signing_payload(shard: int, round_number: int, root: bytes) -> bytes:
         round_number.to_bytes(8, "big"),
         root,
     )
+
+
+def equivocation_root(shard: int, round_number: int, canonical_root: bytes) -> bytes:
+    """The wrong-but-plausible root an equivocating ESC member signs.
+
+    A deterministic digest of the canonical root, so colluding
+    equivocators in the same shard and round all land on the *same*
+    wrong root (the worst case for the ``T_e`` tally) and every replay
+    reproduces it bit-for-bit (DESIGN.md §16).
+    """
+    return domain_digest(
+        _EQUIVOCATION_DOMAIN,
+        shard.to_bytes(8, "big"),
+        round_number.to_bytes(8, "big"),
+        canonical_root,
+    )
+
+
+def withheld_root(shard: int, round_number: int, signer: bytes) -> bytes:
+    """The private root a result-withholding ESC member signs.
+
+    Keyed by the signer's public key, so two withholders never
+    accidentally form a quorum on the same unpublished root.
+    """
+    return domain_digest(
+        _WITHHELD_DOMAIN,
+        shard.to_bytes(8, "big"),
+        round_number.to_bytes(8, "big"),
+        signer,
+    )
+
+
+def resolve_signed_roots(
+    members,
+    faults: dict[int, str],
+    public_keys: dict[int, bytes],
+    shard: int,
+    round_number: int,
+    canonical_root: bytes,
+) -> dict[int, bytes]:
+    """Root each committee member signs, given its executor-fault kind.
+
+    ``faults`` maps member id -> kind (``equivocate`` / ``lazy_sign`` /
+    ``withhold_result``); absent members are honest and sign the
+    canonical root. A lazy signer copies the resolved root of the
+    lowest-id non-lazy member — when that peer equivocates or withholds,
+    the lazy signature lands on the faulty stream (and earns the same
+    penalty); when every member is lazy, they degenerate to the
+    canonical root.
+    """
+    ordered = sorted(members)
+    resolved: dict[int, bytes] = {}
+    for member in ordered:
+        kind = faults.get(member)
+        if kind == "equivocate":
+            resolved[member] = equivocation_root(shard, round_number, canonical_root)
+        elif kind == "withhold_result":
+            resolved[member] = withheld_root(
+                shard, round_number, public_keys[member]
+            )
+        elif kind is None:
+            resolved[member] = canonical_root
+    copy_target = next(
+        (m for m in ordered if faults.get(m) != "lazy_sign"), None
+    )
+    for member in ordered:
+        if faults.get(member) == "lazy_sign":
+            resolved[member] = (
+                canonical_root if copy_target is None else resolved[copy_target]
+            )
+    return resolved
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """A co-signer's compact reference to an already-published chunk.
+
+    The first signer of a result stream publishes the full chunk bytes;
+    every additional signer of the same root ships only this reference
+    (stream root + chunk index + chunk digest), mirroring the
+    exec-result payload dedup on the wire.
+    """
+
+    stream_root: bytes
+    chunk_index: int
+    chunk_digest: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 + 2 * HASH_WIRE_SIZE
 
 
 @dataclass(frozen=True)

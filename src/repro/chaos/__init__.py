@@ -8,11 +8,12 @@ by a single seed (DESIGN.md §8), so a schedule replays byte-identically.
 """
 
 from repro.chaos.engine import ChaosEngine
-from repro.chaos.events import KINDS, FaultEvent
+from repro.chaos.events import EXECUTOR_KINDS, KINDS, FaultEvent
 from repro.chaos.schedule import PRESETS, FaultSchedule, preset
 
 __all__ = [
     "ChaosEngine",
+    "EXECUTOR_KINDS",
     "FaultEvent",
     "FaultSchedule",
     "KINDS",

@@ -22,6 +22,7 @@ therefore every drop decision — replays identically for the same seeds.
 
 from __future__ import annotations
 
+import math
 import random
 from collections import defaultdict
 
@@ -82,6 +83,37 @@ class ChaosEngine:
             if event.shard == shard:
                 factor = max(factor, event.slowdown)
         return factor
+
+    def executor_faults(self, shard: int, members) -> dict[int, str]:
+        """Member id -> executor-fault kind for this round (DESIGN.md §16).
+
+        Deterministic and RNG-free: for each active executor-fault kind
+        (precedence ``equivocate`` > ``withhold_result`` > ``lazy_sign``)
+        the largest active ``fraction`` corrupts ``ceil(fraction * n)``
+        members, assigned positionally over the sorted member ids. The
+        same schedule therefore corrupts the same nodes on every replay,
+        independently of any coin stream.
+        """
+        fractions: dict[str, float] = {}
+        for kind in ("equivocate", "withhold_result", "lazy_sign"):
+            for event in self._active(kind):
+                if event.shard == shard:
+                    fractions[kind] = max(fractions.get(kind, 0.0), event.fraction)
+        if not fractions:
+            return {}
+        ordered = sorted(members)
+        faults: dict[int, str] = {}
+        cursor = 0
+        for kind in ("equivocate", "withhold_result", "lazy_sign"):
+            fraction = fractions.get(kind, 0.0)
+            if fraction <= 0.0:
+                continue
+            count = math.ceil(fraction * len(ordered))
+            while count > 0 and cursor < len(ordered):
+                faults[ordered[cursor]] = kind
+                cursor += 1
+                count -= 1
+        return faults
 
     # ------------------------------------------------------------------
     # Link-level queries (Network.send hook)

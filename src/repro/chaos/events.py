@@ -36,6 +36,22 @@ benign partial failure the paper's recovery machinery must survive):
     window is *inverted* relative to the other kinds: :meth:`active`
     covers rounds **before** ``start_round`` and the event "heals" at
     ``start_round`` itself (``end_round`` must stay ``None``).
+``equivocate``
+    Actively malicious executors (DESIGN.md §16): a ``fraction`` of the
+    target ``shard``'s execution committee signs a *wrong* root — a
+    deterministic digest of the canonical root — and publishes a result
+    stream whose final chunk diverges, instead of the honest result.
+``lazy_sign``
+    A ``fraction`` of the shard's committee skips execution and copies
+    the root of the lowest-id non-lazy peer. When that peer is honest
+    the lazy signature is indistinguishable on-chain (and harmless to
+    the root); when the copied peer is itself an equivocator or a
+    withholder, the lazy signer co-signs the faulty stream and earns
+    the same penalty.
+``withhold_result``
+    A ``fraction`` of the shard's committee signs a private root but
+    never publishes the chunked result stream backing it, so no
+    challenger can re-execute it (Flow's "missing chunk" case).
 """
 
 from __future__ import annotations
@@ -45,7 +61,13 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigError
 
 #: Every recognised event kind, in canonical order.
-KINDS = ("crash", "partition", "link", "withhold", "straggle", "join")
+KINDS = ("crash", "partition", "link", "withhold", "straggle", "join",
+         "equivocate", "lazy_sign", "withhold_result")
+
+#: The actively-malicious-executor kinds (DESIGN.md §16). Their
+#: presence in a schedule is what arms the verification layer by
+#: default (see :func:`repro.harness.chaos.run_chaos`).
+EXECUTOR_KINDS = ("equivocate", "lazy_sign", "withhold_result")
 
 
 @dataclass(frozen=True)
@@ -64,9 +86,15 @@ class FaultEvent:
     dst: int | None = None
     drop_probability: float = 0.0
     extra_delay_s: float = 0.0
-    #: straggler shard and its execution slowdown factor.
+    #: straggler / executor-fault target shard; ``slowdown`` is the
+    #: straggler's execution multiplier.
     shard: int | None = None
     slowdown: float = 1.0
+    #: fraction of the shard's execution committee affected by an
+    #: executor-fault kind (``equivocate`` / ``lazy_sign`` /
+    #: ``withhold_result``); members are picked deterministically by
+    #: sorted id, so the same schedule always corrupts the same nodes.
+    fraction: float = 0.0
     #: free-form label echoed into reports.
     label: str = field(default="", compare=False)
 
@@ -109,6 +137,13 @@ class FaultEvent:
             if self.slowdown <= 1.0:
                 raise ConfigError(
                     f"straggle slowdown must be > 1.0, got {self.slowdown}"
+                )
+        if self.kind in EXECUTOR_KINDS:
+            if self.shard is None:
+                raise ConfigError(f"{self.kind} event needs a target `shard`")
+            if not 0.0 < self.fraction <= 1.0:
+                raise ConfigError(
+                    f"{self.kind} fraction must be in (0, 1], got {self.fraction}"
                 )
         if self.kind == "join":
             if self.node is None:
@@ -209,6 +244,31 @@ class FaultEvent:
         """Storage ``node`` first comes online at ``start_round`` (churn)."""
         return cls(kind="join", start_round=start_round, node=node, label=label)
 
+    @classmethod
+    def equivocate(cls, shard: int, fraction: float, start_round: int,
+                   end_round: int | None = None, label: str = "") -> "FaultEvent":
+        """``fraction`` of ``shard``'s committee signs a wrong root."""
+        return cls(kind="equivocate", start_round=start_round,
+                   end_round=end_round, shard=shard, fraction=fraction,
+                   label=label)
+
+    @classmethod
+    def lazy_sign(cls, shard: int, fraction: float, start_round: int,
+                  end_round: int | None = None, label: str = "") -> "FaultEvent":
+        """``fraction`` of ``shard``'s committee copies a peer's root."""
+        return cls(kind="lazy_sign", start_round=start_round,
+                   end_round=end_round, shard=shard, fraction=fraction,
+                   label=label)
+
+    @classmethod
+    def withhold_result(cls, shard: int, fraction: float, start_round: int,
+                        end_round: int | None = None,
+                        label: str = "") -> "FaultEvent":
+        """``fraction`` of ``shard``'s committee never publishes chunks."""
+        return cls(kind="withhold_result", start_round=start_round,
+                   end_round=end_round, shard=shard, fraction=fraction,
+                   label=label)
+
     # ------------------------------------------------------------------
     # Serialization (for CLI schedules and JSON reports)
     # ------------------------------------------------------------------
@@ -232,6 +292,8 @@ class FaultEvent:
                        extra_delay_s=self.extra_delay_s)
         elif self.kind == "straggle":
             out.update(shard=self.shard, slowdown=self.slowdown)
+        elif self.kind in EXECUTOR_KINDS:
+            out.update(shard=self.shard, fraction=self.fraction)
         return out
 
     @classmethod

@@ -225,6 +225,32 @@ def _storage_crash_resync(num_storage_nodes: int, num_shards: int,
     )
 
 
+def _malicious_executor(num_storage_nodes: int, num_shards: int,
+                        seed: int) -> FaultSchedule:
+    """Mixed actively-malicious-executor windows (DESIGN.md §16).
+
+    A quarter of each target shard's committee misbehaves per window —
+    below the ``T_e`` honest threshold, so the canonical root still
+    commits every round and the verification layer (not the consensus
+    threshold) is what must catch the faulty streams. The lazy_sign
+    window overlaps the equivocate window, so the lazy signer copies
+    the equivocator's root and co-signs the faulty stream.
+    """
+    shard_a = 0
+    shard_b = (num_shards - 1) if num_shards > 1 else 0
+    return FaultSchedule(
+        events=(
+            FaultEvent.equivocate(shard_a, 0.25, 2, 5, label="wrong root"),
+            FaultEvent.lazy_sign(shard_a, 0.25, 3, 5, label="lazy co-sign"),
+            FaultEvent.withhold_result(shard_b, 0.25, 4, 7,
+                                       label="missing chunks"),
+            FaultEvent.equivocate(shard_b, 0.25, 6, 8, label="late wrong root"),
+        ),
+        seed=seed,
+        name="malicious-executor",
+    )
+
+
 def _combo(num_storage_nodes: int, num_shards: int, seed: int) -> FaultSchedule:
     """Crash + withhold + straggler + flaky link, staggered windows."""
     crashed = 1 % num_storage_nodes
@@ -257,6 +283,9 @@ PRESETS: dict[str, _PresetSpec] = {
     "storage-crash-resync": _PresetSpec(
         "crash + heal + churn join: healed/joining nodes snapshot-sync",
         _storage_crash_resync),
+    "malicious-executor": _PresetSpec(
+        "equivocate + lazy co-sign + withheld result streams, staggered",
+        _malicious_executor),
     "partition-heal": _PresetSpec(
         "split the storage tier in two for 2 rounds, then heal",
         _partition_heal),

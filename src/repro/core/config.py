@@ -148,6 +148,19 @@ class PorygonConfig:
     #: Per-chunk fetch attempts before the resync gives up (each
     #: attempt fails over to the next replica in deterministic order).
     sync_max_attempts: int = 6
+    #: Enable the execution verification & dispute layer (DESIGN.md
+    #: §16): shard results are published as re-executable chunks,
+    #: seeded challenger nodes re-execute sampled chunks against
+    #: multiproof-verified pre-state slices, and the OC adjudicates
+    #: compact fault proofs into per-node penalties. Only armed when a
+    #: chaos engine is attached (same contract as ``snapshot_sync``);
+    #: fault-free runs never construct the verifier and commit
+    #: bit-identical roots with the knob on or off. ``run_chaos`` arms
+    #: it automatically when the schedule carries executor-fault kinds.
+    verification: bool = False
+    #: Intra-shard transactions per execution-result chunk (the unit of
+    #: challenger re-execution).
+    verify_chunk_size: int = 4
 
     def __post_init__(self):
         if self.sanitize not in ("", "record", "strict"):
@@ -209,6 +222,10 @@ class PorygonConfig:
         if self.sync_max_attempts < 1:
             raise ConfigError(
                 f"sync_max_attempts must be >= 1, got {self.sync_max_attempts}"
+            )
+        if self.verify_chunk_size < 1:
+            raise ConfigError(
+                f"verify_chunk_size must be >= 1, got {self.verify_chunk_size}"
             )
         minimum_pool = self.ordering_size + self.num_shards * self.nodes_per_shard
         if self.stateless_population is not None and self.stateless_population < minimum_pool:

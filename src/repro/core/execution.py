@@ -34,6 +34,37 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.crypto.smt import SmtMultiProof
 
 
+@dataclass(frozen=True)
+class VerifyBundle:
+    """Pre-state capture backing the chunked result stream (DESIGN.md §16).
+
+    Snapshotted *before* execution mutates any loaded account: the
+    values are already encoded bytes, so later in-place mutation of the
+    execution view cannot alias into the bundle. The verification
+    layer's chunk builder replays the execution chunk-by-chunk from
+    exactly this material, pinning intermediate roots on a
+    :class:`~repro.crypto.smt.PartialSparseMerkleTree` seeded from the
+    same multiproof the members authenticated.
+    """
+
+    shard: int
+    round_executed: int
+    base_root: bytes
+    depth: int
+    num_shards: int
+    #: Full ordered intra-shard batch, including transactions that will
+    #: fail deterministic checks (failures are part of the replayable
+    #: stream).
+    intra: tuple["Transaction", ...]
+    #: The shard's slice of the aggregated update list ``U``.
+    u_entries: tuple[tuple[AccountId, bytes], ...]
+    #: The batch download's compressed multiproof over shard-local keys.
+    multiproof: "SmtMultiProof"
+    #: Sorted ``(smt_key, encoded_value_or_None)`` pairs the multiproof
+    #: authenticates (pre-execution snapshot).
+    proof_values: tuple[tuple[int, bytes | None], ...]
+
+
 @dataclass
 class CanonicalExecution:
     """The deterministic outcome all benign members of a shard share.
@@ -77,6 +108,9 @@ class CanonicalExecution:
     #: ``"off"`` (no prefetcher), ``"hit"`` (snapshot reused) or
     #: ``"miss"`` (stale/mismatched snapshot; refetched live).
     prefetch: str = "off"
+    #: Pre-state capture for the verification layer (DESIGN.md §16);
+    #: only populated when the pipeline runs with a verifier attached.
+    verify_bundle: VerifyBundle | None = None
 
 
 @dataclass
@@ -235,6 +269,7 @@ def compute_canonical_execution(
     sanitize: str | None = None,
     parallel: ParallelTransactionExecutor | None = None,
     prefetched: PrefetchedStates | None = None,
+    capture_verify: bool = False,
 ) -> CanonicalExecution:
     """Run one shard's Execution Phase for ``proposal`` deterministically.
 
@@ -291,6 +326,22 @@ def compute_canonical_execution(
         )
     partial.add_multiproof(multiproof, proof_values)
     smt_key = {account_id: account_id // num_shards for account_id in owned_keys}
+
+    # Snapshot the verification bundle *now*: proof_values holds encoded
+    # bytes, so the capture cannot alias accounts execution will mutate.
+    verify_bundle = None
+    if capture_verify:
+        verify_bundle = VerifyBundle(
+            shard=shard,
+            round_executed=round_executed,
+            base_root=base_root,
+            depth=hub.state.shards[shard].depth,
+            num_shards=num_shards,
+            intra=tuple(intra),
+            u_entries=tuple(u_entries),
+            multiproof=multiproof,
+            proof_values=tuple(sorted(proof_values.items())),
+        )
 
     # Build the execution view (zero accounts for never-written ids).
     view = build_view(label=f"exec-shard{shard}-r{round_executed}", mode=sanitize)
@@ -356,4 +407,5 @@ def compute_canonical_execution(
         state_download_bytes=download_bytes,
         exec_report=exec_report,
         prefetch=prefetch_state,
+        verify_bundle=verify_bundle,
     )

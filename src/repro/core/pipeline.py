@@ -27,7 +27,11 @@ import typing
 from dataclasses import dataclass, field
 
 from repro.chain.blocks import ProposalBlock, TransactionBlock, WitnessProof
-from repro.chain.results import ExecutionResult, merge_cross_shard_updates
+from repro.chain.results import (
+    ExecutionResult,
+    merge_cross_shard_updates,
+    resolve_signed_roots,
+)
 from repro.chain.sizes import STATE_ENTRY_SIZE
 from repro.chain.transaction import Transaction
 from repro.committee import Committee, SortitionParams, run_sortition, sortition_alpha
@@ -212,6 +216,12 @@ class PorygonPipeline:
         #: (chaos runs only). The pipeline feeds it the round clock and
         #: committed deltas; it feeds back which replicas are stale.
         self.sync = None
+        #: Optional :class:`~repro.verify.manager.VerificationManager`
+        #: (chaos runs only, ``config.verification``). When attached the
+        #: pipeline captures verify bundles, resolves per-member signed
+        #: roots through the chaos engine's executor faults, and drains
+        #: the manager's challenge processes at every round boundary.
+        self.verify = None
         #: Seeded RNG for fetch-backoff jitter (DESIGN.md §8: every
         #: probabilistic decision derives from an explicit seed).
         self._retry_rng = random.Random((seed << 9) ^ 0x5DEECE66D)
@@ -613,7 +623,7 @@ class PorygonPipeline:
     def _member_execute(self, member_id: int, shard: int,
                         canonical: CanonicalExecution, body_bytes: int,
                         sublist_bytes: int, payload_carrier: list,
-                        prefetch_proc=None):
+                        prefetch_proc=None, signed_root: bytes | None = None):
         """Charge one member's Execution Phase and produce its result.
 
         ``prefetch_proc`` is the member's in-flight state prefetch when
@@ -622,6 +632,13 @@ class PorygonPipeline:
         sublist + bodies and the member merely joins the prefetch if it
         has not finished yet. On a failed prefetch transfer the member
         falls back to fetching the states inline.
+
+        ``signed_root`` is the chaos-resolved root this member signs
+        (:func:`~repro.chain.results.resolve_signed_roots`); ``None`` or
+        the canonical root means an honest signature. A faulty root is
+        signed with an empty S-list — the executor-fault adversaries
+        (equivocate / lazy-sign / withhold-result) lie about the root,
+        they do not fabricate cross-shard updates.
         """
         node = self.stateless[member_id]
         if self.chaos is not None and self.chaos.is_crashed(member_id):
@@ -666,6 +683,13 @@ class PorygonPipeline:
             result = ExecutionResult(
                 shard=shard, round_number=canonical.round_executed,
                 subtree_root=junk_root, cross_shard_updates=(),
+                failed_tx_ids=(), signer=node.public_key, signature=b"",
+            )
+        elif signed_root is not None and signed_root != canonical.new_root:
+            # Scheduled executor fault: sign the chaos-resolved wrong root.
+            result = ExecutionResult(
+                shard=shard, round_number=canonical.round_executed,
+                subtree_root=signed_root, cross_shard_updates=(),
                 failed_tx_ids=(), signer=node.public_key, signature=b"",
             )
         else:
@@ -811,6 +835,7 @@ class PorygonPipeline:
                 parallel=self.parallel,
                 prefetched=(prefetch_record.data
                             if prefetch_record is not None else None),
+                capture_verify=self.verify is not None,
             )
             exec_span.annotate(
                 intra=len(canonical.intra_applied),
@@ -855,11 +880,29 @@ class PorygonPipeline:
             prefetch_procs: dict[int, typing.Any] = {}
             if prefetch_record is not None and canonical.prefetch == "hit":
                 prefetch_procs = prefetch_record.procs
+            # Chaos-scheduled executor faults resolve each member's signed
+            # root up front (RNG-free: positional over sorted ids). With no
+            # active executor-fault window this is empty and every member
+            # signs canonically — bit-identical to the legacy path.
+            exec_faults: dict[int, str] = {}
+            signed_roots: dict[int, bytes] = {}
+            if self.chaos is not None:
+                exec_faults = self.chaos.executor_faults(
+                    shard, committee.members
+                )
+                if exec_faults:
+                    signed_roots = resolve_signed_roots(
+                        committee.members, exec_faults,
+                        {m: self.stateless[m].public_key
+                         for m in committee.members},
+                        shard, round_number, canonical.new_root,
+                    )
             member_procs = [
                 self.env.process(
                     self._member_execute(member_id, shard, canonical, body_bytes,
                                          sublist_bytes, payload_carrier,
-                                         prefetch_procs.get(member_id))
+                                         prefetch_procs.get(member_id),
+                                         signed_roots.get(member_id))
                 )
                 for member_id in committee.members
             ]
@@ -884,6 +927,11 @@ class PorygonPipeline:
                 source_round=proposal.round_number,
             )
             self.pending_results.append(shard_result)
+            if self.verify is not None:
+                self.verify.on_shard_executed(
+                    round_number, shard, committee, canonical,
+                    exec_faults, shard_result.member_results,
+                )
         metrics.counter(
             "txs_executed_total", kind="intra"
         ).inc(len(canonical.intra_applied))
@@ -1466,6 +1514,11 @@ class PorygonPipeline:
                 lanes.append(self.env.process(self.execution_lane(round_number)))
             lanes.append(self.env.process(self.ordering_commit_lane(round_number)))
             yield self.env.all_of(lanes)
+            if self.verify is not None:
+                # Challenges and adjudication settle inside the round that
+                # executed the disputed result (K = 0 for the soundness
+                # invariant) and never dangle past the driver's last round.
+                yield from self.verify.drain_round()
             proposal = self.proposals.get(round_number)
             empty = proposal is None or proposal.tx_block_count == 0
             if self.parallel is not None and proposal is not None:
@@ -1508,6 +1561,8 @@ class PorygonPipeline:
                 yield self.env.process(
                     self._sequential_execute_and_commit(round_number, proposal)
                 )
+            if self.verify is not None:
+                yield from self.verify.drain_round()
             empty = proposal is None or proposal.tx_block_count == 0
             round_span.annotate(empty=int(empty))
         metrics = self.telemetry.metrics

@@ -178,6 +178,20 @@ class PorygonSimulation:
             self.hub.sync = self.sync
             self.fabric.sync = self.sync
             self.pipeline.sync = self.sync
+        #: Execution verification manager (DESIGN.md §16): chunked result
+        #: streams, challenger fault proofs and OC adjudication, armed
+        #: only for chaos runs. Same contract as ``repro.sync``:
+        #: fault-free runs never construct it, so they are bit-identical
+        #: with the knob on or off.
+        self.verify = None
+        if self.chaos is not None and config.verification:
+            from repro.verify import VerificationManager
+
+            self.verify = VerificationManager(
+                self.env, config, self.pipeline, self.chaos,
+                seed=seed, telemetry=self.telemetry,
+            )
+            self.pipeline.verify = self.verify
         self._rounds_run = 0
 
     # ------------------------------------------------------------------

@@ -622,18 +622,14 @@ class PartialSparseMerkleTree:
             self._values[key] = value
         self._root_cache = None
 
-    @property
-    def root(self) -> bytes:
-        """Recompute the root over pinned nodes + staged updates.
+    def _overlay(self) -> dict[tuple[int, int], bytes]:
+        """Pinned nodes overwritten by the staged values' fresh paths.
 
-        The result is memoized until the next proof or staged write, so
-        back-to-back reads (e.g. signing then publishing ``T^d``) hash
-        only once.
+        The overlay holds the *current* digest of every node this view
+        can know: pinned proof nodes, recomputed along the paths of all
+        covered keys so staged writes are reflected bottom-up. Both the
+        :attr:`root` recomputation and :meth:`prove_batch` read it.
         """
-        if self._root_cache is not None:
-            return self._root_cache
-        # Fresh node overlay: start from pinned nodes, overwrite the
-        # paths of every covered key bottom-up, level by level.
         overlay = dict(self._nodes)
         for key, value in self._values.items():
             if value is None:
@@ -655,6 +651,50 @@ class PartialSparseMerkleTree:
                 next_level.add(prefix >> 1)
             if level > 0:
                 level_prefixes[level - 1] = next_level
-        result = overlay.get((0, 0), self._base_root)
+        return overlay
+
+    def prove_batch(self, keys: "typing.Iterable[int]") -> SmtMultiProof:
+        """Multiproof for covered ``keys`` against the *current* root.
+
+        Mirrors :meth:`SparseMerkleTree.prove_batch` but over the
+        partial view's overlay, so a stateless holder of proofs can
+        itself issue proofs for any covered subset — including after
+        staged updates (the proof then verifies against :attr:`root`,
+        not the base root). This is what lets an executor publish
+        per-chunk pre-state proofs against intermediate roots without
+        ever holding the full subtree (DESIGN.md §16).
+
+        Every sibling slot of a covered key's path is pinned by
+        construction (``add_proof`` / ``add_multiproof`` record path
+        *and* sibling nodes), so the walk never needs an unknown node.
+        """
+        key_tuple = tuple(sorted(set(keys)))
+        for key in key_tuple:
+            if key not in self._values:
+                raise StateError(f"cannot prove key {key}: not covered by any proof")
+        overlay = self._overlay()
+        siblings: list[bytes | None] = []
+        for level, _on_path, sibling_prefixes in _multiproof_levels(key_tuple, self.depth):
+            level_default = self._defaults[level]
+            for prefix in sibling_prefixes:
+                digest = overlay.get((level, prefix))
+                if digest == level_default:
+                    digest = None
+                siblings.append(digest)
+        return SmtMultiProof(
+            keys=key_tuple, siblings=tuple(siblings), depth=self.depth
+        )
+
+    @property
+    def root(self) -> bytes:
+        """Recompute the root over pinned nodes + staged updates.
+
+        The result is memoized until the next proof or staged write, so
+        back-to-back reads (e.g. signing then publishing ``T^d``) hash
+        only once.
+        """
+        if self._root_cache is not None:
+            return self._root_cache
+        result = self._overlay().get((0, 0), self._base_root)
         self._root_cache = result
         return result

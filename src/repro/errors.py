@@ -61,3 +61,10 @@ class ConfigError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a workload generator is configured inconsistently."""
+
+
+class VerifyError(ReproError):
+    """Raised by the execution verification layer (DESIGN.md §16) when
+    chunk construction or adjudication hits an internally inconsistent
+    state — e.g. a canonical chunk stream that does not reproduce the
+    canonical root it claims to back."""

@@ -15,7 +15,7 @@ every entry here.
 
 from repro.harness.ablation import fig7c_ablation_prototype, fig7d_ablation_simulation
 from repro.harness.base import ExperimentResult
-from repro.harness.churn import fig8d_churn
+from repro.harness.churn import fig8d_churn, measured_churn, measured_churn_points
 from repro.harness.comparison import fig8a_comparison_prototype, fig8b_comparison_simulation
 from repro.harness.cross_shard import table1_cross_shard_ratio
 from repro.harness.rate_sweep import fig8c_throughput_latency
@@ -33,6 +33,7 @@ ALL_EXPERIMENTS = {
     "fig8b": fig8b_comparison_simulation,
     "fig8c": fig8c_throughput_latency,
     "fig8d": fig8d_churn,
+    "fig8d_measured": measured_churn,
     "fig9a": fig9a_storage,
     "fig9b": fig9b_network_usage,
     "table1": table1_cross_shard_ratio,
@@ -53,6 +54,8 @@ __all__ = [
     "fig8c_throughput_latency",
     "fig8d_churn",
     "fig9a_storage",
+    "measured_churn",
+    "measured_churn_points",
     "fig9b_network_usage",
     "sec4e_complexity",
     "sec5_committee_safety",

@@ -26,6 +26,13 @@ matter what the schedule throws at the runtime:
     ``recovery_k`` rounds of its heal, and is never chosen as a serving
     replica while stale (skipped when snapshot sync is disabled or the
     schedule has no crash/join events).
+``verification_soundness``
+    Every injected faulty result stream (equivocate / lazy co-sign /
+    withheld chunks, DESIGN.md §16) is caught by a challenger fault
+    proof and adjudicated ``faulty`` against its signers within the
+    recovery window, every penalty lands on a guilty or statically
+    malicious node, and no honest executor is ever penalized (skipped
+    when the verification layer is not armed).
 
 The report is canonical JSON (sorted keys, no timestamps beyond the
 deterministic sim clock), so the same (schedule, seed) pair must
@@ -36,9 +43,10 @@ DESIGN.md §8, enforced by the ``chaos-smoke`` CI job.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
-from repro.chaos import PRESETS, ChaosEngine, FaultSchedule, preset
+from repro.chaos import EXECUTOR_KINDS, PRESETS, ChaosEngine, FaultSchedule, preset
 from repro.devtools.report import canonical_report
 from repro.core import PorygonConfig, PorygonSimulation
 from repro.errors import ConfigError
@@ -292,6 +300,83 @@ def _check_resync_convergence(sim: PorygonSimulation, schedule: FaultSchedule,
     }
 
 
+def _check_verification_soundness(sim: PorygonSimulation,
+                                  recovery_k: int) -> dict:
+    """Faulty streams adjudicated, penalties only on guilty nodes.
+
+    Three obligations on one run (DESIGN.md §16):
+
+    1. **completeness** — every injected corruption (a stream whose
+       signed root diverges from canonical) has a challenge record with
+       verdict ``faulty`` no more than ``recovery_k`` rounds after the
+       round that executed it (the pipeline drains challenges in-round,
+       so the observed lag is 0);
+    2. **no phantom verdicts** — every ``faulty`` verdict corresponds
+       to an injected corruption (the adjudicator never convicts a
+       canonical stream);
+    3. **penalty soundness** — every penalty ledger entry charges a
+       node in the matching injection's guilty set (or a statically
+       malicious node), and no honest executor is ever penalized.
+    """
+    verify = getattr(sim, "verify", None)
+    if verify is None:
+        return {"ok": True, "skipped": True,
+                "reason": "verification layer not armed"}
+    problems: list[str] = []
+    injections = verify.injections
+    records = verify.records
+
+    def _key(entry: dict) -> tuple:
+        return (entry["round"], entry["shard"], entry["root"])
+
+    faulty_records = [r for r in records if r["verdict"] == "faulty"]
+    faulty_keys = {_key(r) for r in faulty_records}
+    injection_keys = {_key(i) for i in injections}
+    for injection in injections:
+        if _key(injection) not in faulty_keys:
+            problems.append(
+                f"round {injection['round']} shard {injection['shard']} "
+                f"{injection['stream']}: injected {injection['kind']} "
+                f"never adjudicated faulty"
+            )
+    for record in faulty_records:
+        if _key(record) not in injection_keys:
+            problems.append(
+                f"round {record['round']} shard {record['shard']} "
+                f"{record['stream']}: faulty verdict without an injection"
+            )
+    guilty_by_stream: dict[tuple, set[int]] = {}
+    all_guilty: set[int] = set()
+    for injection in injections:
+        stream_key = (injection["round"], injection["shard"],
+                      injection["stream"])
+        guilty = set(injection["guilty"])
+        guilty_by_stream.setdefault(stream_key, set()).update(guilty)
+        all_guilty |= guilty
+    static_malicious = {
+        node_id for node_id, node in sim.stateless.items() if node.is_malicious
+    }
+    for event in verify.ledger.events:
+        stream_key = (event["round"], event["shard"], event["stream"])
+        allowed = guilty_by_stream.get(stream_key, set()) | static_malicious
+        if event["node"] not in allowed:
+            problems.append(
+                f"round {event['round']} shard {event['shard']}: honest "
+                f"node {event['node']} penalized for {event['stream']}"
+            )
+    return {
+        "ok": not problems,
+        "skipped": False,
+        "recovery_k": recovery_k,
+        "injections": len(injections),
+        "adjudicated_faulty": len(faulty_records),
+        "penalties": verify.ledger.total,
+        "penalized_nodes": list(verify.ledger.penalized_nodes()),
+        "guilty_nodes": sorted(all_guilty),
+        "problems": problems,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Per-fault-window metric deltas
 # ---------------------------------------------------------------------------
@@ -302,6 +387,7 @@ def _check_resync_convergence(sim: PorygonSimulation, schedule: FaultSchedule,
 METRIC_PREFIXES = (
     "net_", "ctx_", "txs_", "fetch_", "exec_", "witness_",
     "rounds_", "empty_rounds_", "sig_", "smt_", "sync_",
+    "verify_", "fault_", "penalties_",
 )
 
 
@@ -353,7 +439,8 @@ def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
               num_txs: int = 400, cross_shard_ratio: float = 0.2,
               recovery_k: int = DEFAULT_RECOVERY_K,
               config: PorygonConfig | None = None,
-              racesan: bool = False) -> dict:
+              racesan: bool = False,
+              verify: bool | None = None) -> dict:
     """Run one seeded chaos soak; returns the canonical report dict.
 
     With ``racesan=True`` the PoryRace happens-before sanitizer rides
@@ -362,8 +449,21 @@ def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
     section (checked traces + violations).  The probe is observational
     — every other report section stays byte-identical to an unarmed
     soak with the same (schedule, seed).
+
+    ``verify`` controls the execution verification layer (DESIGN.md
+    §16): ``None`` auto-arms it exactly when the schedule injects
+    executor faults (equivocate / lazy_sign / withhold_result), so every
+    corrupted stream is challengeable without perturbing legacy
+    schedules; ``True`` / ``False`` force it.
     """
     config = config or chaos_config()
+    arm_verify = (
+        verify if verify is not None
+        else config.verification
+        or any(event.kind in EXECUTOR_KINDS for event in schedule.events)
+    )
+    if arm_verify != config.verification:
+        config = dataclasses.replace(config, verification=arm_verify)
     sim = PorygonSimulation(config, seed=seed,
                             chaos=ChaosEngine(schedule, salt=seed))
     recorder = None
@@ -412,6 +512,9 @@ def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
         "resync_convergence": _check_resync_convergence(
             sim, schedule, rounds, recovery_k
         ),
+        "verification_soundness": _check_verification_soundness(
+            sim, recovery_k
+        ),
     }
     commits_per_round = {str(r): 0 for r in range(1, rounds + 1)}
     for record in sim.tracker.commits:
@@ -445,6 +548,10 @@ def run_chaos(schedule: FaultSchedule, rounds: int = 10, seed: int = 0,
         "sync": (
             {"enabled": True, **sim.sync.report()}
             if sim.sync is not None else {"enabled": False}
+        ),
+        "verification": (
+            {"enabled": True, **sim.verify.report()}
+            if sim.verify is not None else {"enabled": False}
         ),
         "telemetry": {
             "enabled": bool(config.telemetry),
@@ -508,6 +615,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-sync", action="store_true",
                         help="disable resync-on-heal snapshot sync (healed "
                              "nodes rejoin with whatever state they have)")
+    verify_group = parser.add_mutually_exclusive_group()
+    verify_group.add_argument("--verify", action="store_true",
+                              help="force-arm the execution verification "
+                                   "layer (chunked results + challengers)")
+    verify_group.add_argument("--no-verify", action="store_true",
+                              help="disable verification even for schedules "
+                                   "with executor faults")
+    parser.add_argument("--verify-chunk-size", type=int, default=None,
+                        metavar="TXS",
+                        help="transactions per result chunk (default "
+                             f"{PorygonConfig.verify_chunk_size})")
     parser.add_argument("--output", default=None, metavar="FILE",
                         help="write the JSON report here instead of stdout")
     args = parser.parse_args(argv)
@@ -519,14 +637,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     config = chaos_config()
-    if args.chunk_size is not None or args.no_sync:
-        import dataclasses
-
+    if args.chunk_size is not None or args.no_sync or \
+            args.verify_chunk_size is not None:
         overrides: dict = {}
         if args.chunk_size is not None:
             overrides["sync_chunk_size"] = args.chunk_size
         if args.no_sync:
             overrides["snapshot_sync"] = False
+        if args.verify_chunk_size is not None:
+            overrides["verify_chunk_size"] = args.verify_chunk_size
         try:
             # replace() re-runs __post_init__, so bad values fail loudly.
             config = dataclasses.replace(config, **overrides)
@@ -543,9 +662,11 @@ def main(argv: list[str] | None = None) -> int:
         except ConfigError as exc:
             parser.error(str(exc))
 
+    verify_override = True if args.verify else (False if args.no_verify else None)
     report = run_chaos(schedule, rounds=args.rounds, seed=args.seed,
                        num_txs=args.txs, recovery_k=args.recovery_k,
-                       config=config, racesan=args.racesan)
+                       config=config, racesan=args.racesan,
+                       verify=verify_override)
     text = report_json(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

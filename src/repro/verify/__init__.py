@@ -1,0 +1,32 @@
+"""Execution verification & dispute layer (DESIGN.md §16).
+
+Chunked result streams, challenger re-execution, compact fault proofs
+and OC adjudication with penalty bookkeeping. Armed only alongside a
+chaos engine (``config.verification``); fault-free runs never construct
+a :class:`VerificationManager` and commit bit-identical roots with the
+feature on or off.
+"""
+
+from repro.verify.adjudicator import PenaltyLedger, adjudicate_mismatch
+from repro.verify.chunks import (
+    RESULT_CHUNK_HEADER_BYTES,
+    ReplayResult,
+    ResultChunk,
+    build_result_chunks,
+    replay_chunk,
+)
+from repro.verify.manager import VerificationManager
+from repro.verify.proofs import FAULT_PROOF_KINDS, FaultProof
+
+__all__ = [
+    "FAULT_PROOF_KINDS",
+    "RESULT_CHUNK_HEADER_BYTES",
+    "FaultProof",
+    "PenaltyLedger",
+    "ReplayResult",
+    "ResultChunk",
+    "VerificationManager",
+    "adjudicate_mismatch",
+    "build_result_chunks",
+    "replay_chunk",
+]

@@ -1,0 +1,77 @@
+"""OC-side adjudication of fault proofs + penalty bookkeeping.
+
+The Ordering Committee never re-executes a block to settle a dispute
+(DESIGN.md §16). A ``mismatch`` proof is checked by the same pure
+chunk-replay the challenger ran — one multiproof verification plus one
+chunk-sized re-execution; the verdict is ``faulty`` iff the replay
+disagrees with the *declared* post-root (a lying challenger disputing an
+honest chunk is ``rejected`` by the same check). An ``unavailable``
+proof carries no evidence, so the OC adjudicates it empirically: it
+attempts its own fetch of the disputed chunk, and only a stream that is
+*really* unpublished is ruled faulty — a challenger whose fetch merely
+hit a chaos-dropped link cannot get an honest executor penalized.
+
+Every ``faulty`` verdict charges a penalty against each signer of the
+disputed stream root via the :class:`PenaltyLedger`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.verify.chunks import replay_chunk
+from repro.verify.proofs import FaultProof
+
+
+def adjudicate_mismatch(proof: FaultProof) -> str:
+    """Verdict for a mismatch proof: ``"faulty"`` or ``"rejected"``.
+
+    Pure re-check of the challenger's claim from the proof's own
+    material; callers charge the modeled compute (multiproof
+    verification + one chunk re-execution) against the sim clock.
+    """
+    if proof.chunk is None:
+        return "rejected"
+    replay = replay_chunk(proof.chunk)
+    return "rejected" if replay.matches else "faulty"
+
+
+@dataclass
+class PenaltyLedger:
+    """Per-node penalty bookkeeping fed by ``faulty`` verdicts."""
+
+    #: Chronological charge log (append order = adjudication order).
+    events: list[dict] = field(default_factory=list)
+
+    def charge(self, node: int, round_number: int, shard: int,
+               stream_label: str) -> None:
+        """Record one penalty against ``node`` for a faulty stream."""
+        self.events.append({
+            "node": node,
+            "round": round_number,
+            "shard": shard,
+            "stream": stream_label,
+        })
+
+    @property
+    def total(self) -> int:
+        return len(self.events)
+
+    def penalized_nodes(self) -> tuple[int, ...]:
+        """Sorted distinct node ids ever penalized."""
+        return tuple(sorted({event["node"] for event in self.events}))
+
+    def report(self) -> dict:
+        """Canonical (sorted) ledger snapshot for the soak report."""
+        by_node: dict[str, int] = {}
+        for event in self.events:
+            key = str(event["node"])
+            by_node[key] = by_node.get(key, 0) + 1
+        return {
+            "total": self.total,
+            "by_node": {node: by_node[node] for node in sorted(by_node)},
+            "events": sorted(
+                self.events,
+                key=lambda e: (e["round"], e["shard"], e["node"], e["stream"]),
+            ),
+        }

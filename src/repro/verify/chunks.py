@@ -1,0 +1,315 @@
+"""Chunked execution results: the unit of challenger re-execution.
+
+Flow-style execution verification (DESIGN.md §16): a shard's round
+result is not just a signed root but an ordered stream of fixed-size
+:class:`ResultChunk` objects, each independently re-executable. A chunk
+carries
+
+* the transaction slice it covers (or the shard's U-update slice),
+* the declared access keys and their *pre-chunk* values,
+* a compressed :class:`~repro.crypto.smt.SmtMultiProof` authenticating
+  those values against the chunk's ``pre_root``, and
+* ``pre_root`` / ``post_root`` — genuine intermediate subtree roots, so
+  the stream composes: chunk ``i``'s ``post_root`` is chunk ``i+1``'s
+  ``pre_root`` and the last chunk's ``post_root`` is the signed root.
+
+Because the pre-state slice is multiproof-verified, a challenger holding
+*only* the chunk can detect any divergence: verify the slice, re-execute
+the slice's transactions on a partial SMT, compare the recomputed root
+to the declared ``post_root``. :func:`build_result_chunks` (the honest
+publisher) and :func:`replay_chunk` (the challenger / adjudicator) share
+the exact same execution semantics, so a canonical stream always replays
+clean and any corruption is caught.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.chain.account import Account, AccountId
+from repro.chain.sizes import (
+    ACCESS_ENTRY_SIZE,
+    HASH_WIRE_SIZE,
+    STATE_ENTRY_SIZE,
+    TX_SIZE,
+)
+from repro.chain.transaction import tx_id_bytes
+from repro.crypto.hashing import domain_digest
+from repro.crypto.smt import PartialSparseMerkleTree, SmtMultiProof
+from repro.errors import VerifyError
+from repro.state.executor import TransactionExecutor
+from repro.state.view import build_view
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chain.transaction import Transaction
+    from repro.core.execution import VerifyBundle
+
+_CHUNK_DOMAIN = "repro/result-chunk/v1"
+
+#: Fixed chunk header: shard (8) + round (8) + index (8) + kind tag (1)
+#: + pre/post roots.
+RESULT_CHUNK_HEADER_BYTES = 25 + 2 * HASH_WIRE_SIZE
+
+
+@dataclass(frozen=True)
+class ResultChunk:
+    """One independently re-executable slice of a shard's round result.
+
+    ``kind`` is ``"tx"`` (a run of intra-shard transactions), ``"u"``
+    (the shard's aggregated-update slice, applied before any intra
+    transaction) or ``"empty"`` (a no-work round's single placeholder,
+    so every published stream has at least one challengeable chunk).
+    """
+
+    shard: int
+    round_number: int
+    index: int
+    kind: str
+    num_shards: int
+    #: Ordered transaction slice (``kind == "tx"`` only).
+    txs: tuple["Transaction", ...]
+    #: U-update slice as ``(account_id, encoded)`` (``kind == "u"`` only).
+    updates: tuple[tuple[AccountId, bytes], ...]
+    #: Sorted declared access keys of the slice.
+    access: tuple[AccountId, ...]
+    #: Pre-chunk value of every access key (``None`` = absent leaf).
+    entries: tuple[tuple[AccountId, bytes | None], ...]
+    #: Multiproof binding ``entries`` to ``pre_root``.
+    pre_proof: SmtMultiProof
+    pre_root: bytes
+    post_root: bytes
+
+    @property
+    def tx_ids(self) -> tuple[int, ...]:
+        return tuple(tx.tx_id for tx in self.txs)
+
+    @property
+    def size_bytes(self) -> int:
+        """Modeled wire size: header + bodies + access + entries + proof."""
+        entry_bytes = sum(
+            9 + (STATE_ENTRY_SIZE if encoded is not None else 0)
+            for _key, encoded in self.entries
+        )
+        return (
+            RESULT_CHUNK_HEADER_BYTES
+            + TX_SIZE * len(self.txs)
+            + STATE_ENTRY_SIZE * len(self.updates)
+            + ACCESS_ENTRY_SIZE * len(self.access)
+            + entry_bytes
+            + self.pre_proof.size_bytes
+        )
+
+    def digest(self) -> bytes:
+        """Canonical chunk digest (what a co-signer's ChunkRef pins)."""
+        parts: list[bytes] = [
+            self.shard.to_bytes(8, "big"),
+            self.round_number.to_bytes(8, "big"),
+            self.index.to_bytes(8, "big"),
+            self.kind.encode(),
+            self.pre_root,
+            self.post_root,
+        ]
+        for tx in self.txs:
+            parts.append(tx_id_bytes(tx.tx_id))
+        for account_id, encoded in self.updates:
+            parts.append(account_id.to_bytes(8, "big"))
+            parts.append(encoded)
+        for account_id, encoded in self.entries:
+            parts.append(account_id.to_bytes(8, "big"))
+            parts.append(encoded if encoded is not None else b"\x00")
+        return domain_digest(_CHUNK_DOMAIN, *parts)
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of re-executing one chunk against its own pre-state."""
+
+    matches: bool
+    computed_post_root: bytes
+    #: Keys whose post-state the replay disagrees on (sorted); on a
+    #: pre-state proof failure this is the whole access set.
+    divergent_keys: tuple[AccountId, ...]
+
+
+def _smt_key(account_id: AccountId, num_shards: int) -> int:
+    """Shard-local SMT leaf index of an owned account."""
+    return account_id // num_shards
+
+
+def build_result_chunks(
+    bundle: "VerifyBundle",
+    chunk_size: int,
+    expected_root: bytes | None = None,
+) -> tuple[ResultChunk, ...]:
+    """Split one shard-round execution into the canonical chunk stream.
+
+    Replays the canonical execution from the bundle's pre-state capture
+    — U application first, then the intra batch in ``chunk_size`` runs —
+    pinning the intermediate subtree root at every chunk boundary and
+    proving each chunk's pre-state slice against it with
+    :meth:`PartialSparseMerkleTree.prove_batch`. ``expected_root``, when
+    given, cross-checks that the stream's final root reproduces the
+    canonical ``T^d`` exactly (a :class:`~repro.errors.VerifyError`
+    otherwise — the stream would be unusable as evidence).
+    """
+    shard = bundle.shard
+    num_shards = bundle.num_shards
+    partial = PartialSparseMerkleTree.from_multiproof(
+        bundle.base_root, bundle.multiproof, dict(bundle.proof_values),
+        depth=bundle.depth,
+    )
+    # Execution view + the current encoded value per account id, both
+    # advanced chunk by chunk exactly like the canonical execution.
+    view = build_view(mode="")
+    current: dict[AccountId, bytes | None] = {}
+    for leaf, encoded in bundle.proof_values:
+        account_id = leaf * num_shards + shard
+        current[account_id] = encoded
+        view.load(
+            Account.decode(encoded) if encoded is not None
+            else Account(account_id)
+        )
+
+    slices: list[tuple[str, tuple]] = []
+    if bundle.u_entries:
+        slices.append(("u", bundle.u_entries))
+    for start in range(0, len(bundle.intra), chunk_size):
+        slices.append(("tx", bundle.intra[start:start + chunk_size]))
+
+    chunks: list[ResultChunk] = []
+    applied_writes = dict(view.written_encoded())
+    for index, (kind, payload) in enumerate(slices):
+        pre_root = partial.root
+        if kind == "u":
+            touched = sorted({account_id for account_id, _ in payload})
+        else:
+            touched_set: set[AccountId] = set()
+            for tx in payload:
+                touched_set |= tx.access_list.touched
+            touched = sorted(touched_set)
+        access = tuple(touched)
+        entries = tuple((key, current[key]) for key in access)
+        pre_proof = partial.prove_batch(
+            _smt_key(key, num_shards) for key in access
+        )
+        if kind == "u":
+            staged = []
+            for account_id, encoded in payload:
+                view.put(Account.decode(encoded))
+                current[account_id] = encoded
+                staged.append((_smt_key(account_id, num_shards), encoded))
+            partial.update_many(staged)
+            applied_writes = dict(view.written_encoded())
+            txs: tuple = ()
+            updates = tuple(payload)
+        else:
+            TransactionExecutor().execute(payload, view)
+            after = dict(view.written_encoded())
+            changed = sorted(
+                key for key, encoded in after.items()
+                if applied_writes.get(key, current.get(key)) != encoded
+            )
+            partial.update_many(
+                (_smt_key(key, num_shards), after[key]) for key in changed
+            )
+            for key in changed:
+                current[key] = after[key]
+            applied_writes = after
+            txs = tuple(payload)
+            updates = ()
+        chunks.append(ResultChunk(
+            shard=shard,
+            round_number=bundle.round_executed,
+            index=index,
+            kind=kind,
+            num_shards=num_shards,
+            txs=txs,
+            updates=updates,
+            access=access,
+            entries=entries,
+            pre_proof=pre_proof,
+            pre_root=pre_root,
+            post_root=partial.root,
+        ))
+
+    if not chunks:
+        # No intra work and no U slice: one empty placeholder chunk so
+        # the stream stays challengeable (its roots must coincide).
+        chunks.append(ResultChunk(
+            shard=shard,
+            round_number=bundle.round_executed,
+            index=0,
+            kind="empty",
+            num_shards=num_shards,
+            txs=(),
+            updates=(),
+            access=(),
+            entries=(),
+            pre_proof=SmtMultiProof(keys=(), siblings=(), depth=bundle.depth),
+            pre_root=bundle.base_root,
+            post_root=bundle.base_root,
+        ))
+
+    final_root = chunks[-1].post_root
+    if expected_root is not None and final_root != expected_root:
+        raise VerifyError(
+            f"chunk stream for shard {shard} round {bundle.round_executed} "
+            f"ends at {final_root.hex()[:16]}, expected canonical "
+            f"{expected_root.hex()[:16]}"
+        )
+    return tuple(chunks)
+
+
+def replay_chunk(chunk: ResultChunk) -> ReplayResult:
+    """Re-execute one chunk against its own multiproof-verified pre-state.
+
+    The challenger's (and adjudicator's) check: authenticate the
+    pre-state slice against ``pre_root``, replay the slice with the same
+    semantics as :func:`build_result_chunks`, and compare the recomputed
+    root to the declared ``post_root``. Pure — no simulation state, no
+    clock; callers charge modeled compute separately.
+    """
+    num_shards = chunk.num_shards
+    smt_values = {
+        _smt_key(key, num_shards): encoded for key, encoded in chunk.entries
+    }
+    if not chunk.pre_proof.verify_batch(chunk.pre_root, smt_values):
+        return ReplayResult(
+            matches=False, computed_post_root=b"", divergent_keys=chunk.access
+        )
+    partial = PartialSparseMerkleTree.from_multiproof(
+        chunk.pre_root, chunk.pre_proof, smt_values,
+        depth=chunk.pre_proof.depth,
+    )
+    view = build_view(mode="")
+    for account_id, encoded in chunk.entries:
+        view.load(
+            Account.decode(encoded) if encoded is not None
+            else Account(account_id)
+        )
+    if chunk.kind == "u":
+        partial.update_many(
+            (_smt_key(account_id, num_shards), encoded)
+            for account_id, encoded in chunk.updates
+        )
+        written_keys = tuple(sorted({a for a, _ in chunk.updates}))
+    elif chunk.kind == "tx":
+        TransactionExecutor().execute(chunk.txs, view)
+        after = view.written_encoded()
+        partial.update_many(
+            (_smt_key(key, num_shards), encoded) for key, encoded in after
+        )
+        written_keys = tuple(key for key, _ in after)
+    else:  # "empty"
+        written_keys = ()
+    computed = partial.root
+    if computed == chunk.post_root:
+        return ReplayResult(
+            matches=True, computed_post_root=computed, divergent_keys=()
+        )
+    return ReplayResult(
+        matches=False,
+        computed_post_root=computed,
+        divergent_keys=written_keys if written_keys else chunk.access,
+    )

@@ -1,0 +1,424 @@
+"""The verification manager: streams, challengers, disputes per round.
+
+One :class:`VerificationManager` is attached to a chaos run when
+``config.verification`` is armed (DESIGN.md §16). Per shard-round it
+
+1. rebuilds the canonical chunk stream from the execution's
+   :class:`~repro.core.execution.VerifyBundle` (cross-checked against
+   the canonical root),
+2. groups the committee's *actual* signed roots into result streams —
+   canonical, equivocating (corrupted last chunk), withheld (never
+   published) and static-junk — and models their publication on the
+   wire (first signer ships full chunks, co-signers compact
+   :class:`~repro.chain.results.ChunkRef` records),
+3. assigns every ``(stream, chunk)`` pair to a challenger — an honest
+   stateless node outside the OC and the executing committee, chosen
+   round-robin in deterministic order — which fetches the chunk over
+   the hardened routed-fetch path at real wire size, re-executes it
+   against its multiproof-verified pre-state and submits a compact
+   :class:`~repro.verify.proofs.FaultProof` on divergence,
+4. adjudicates each proof at the OC (mismatch: pure chunk replay from
+   the proof's own material; unavailable: the OC's own fetch attempt,
+   so chaos-dropped fetches of published streams never penalize honest
+   executors) and charges penalties for ``faulty`` verdicts.
+
+Determinism: the manager draws no randomness at all — challenger
+assignment is positional, stream order is sorted by root bytes, and
+every modeled delay derives from config constants plus the pipeline's
+seeded backoff. The soak harness holds its report to byte-identity
+across same-seed runs.
+
+Every injected corruption is recorded at construction time, so the
+``verification_soundness`` invariant can check the closed loop: all
+injections adjudicated ``faulty``, all penalties within the guilty
+sets, zero honest nodes penalized.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, replace
+
+from repro.chain.results import ChunkRef, equivocation_root
+from repro.net.message import Message
+from repro.telemetry import NULL_TELEMETRY
+from repro.verify.adjudicator import PenaltyLedger, adjudicate_mismatch
+from repro.verify.chunks import ResultChunk, build_result_chunks, replay_chunk
+from repro.verify.proofs import FaultProof
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import PorygonConfig
+    from repro.core.execution import CanonicalExecution
+    from repro.core.pipeline import PorygonPipeline
+    from repro.sim import Environment
+
+#: Modeled compute cost per re-executed chunk unit (matches the
+#: pipeline's per-transaction execution cost).
+_PER_UNIT_EXECUTE_S = 20e-6
+
+#: Modeled multiproof verification cost per access key.
+_PER_KEY_VERIFY_S = 2e-6
+
+
+@dataclass
+class _Stream:
+    """One signed result stream of a shard-round."""
+
+    shard: int
+    round_number: int
+    root: bytes
+    label: str
+    signers: tuple[int, ...]
+    #: Chunk stream (``None`` = never published).
+    chunks: tuple[ResultChunk, ...] | None
+    published: bool
+    #: Modeled chunk size a fetcher requests when the stream is
+    #: unpublished (taken from the canonical stream's first chunk).
+    probe_bytes: int
+
+
+class VerificationManager:
+    """Runs the challenge/dispute protocol alongside the pipeline."""
+
+    def __init__(self, env: "Environment", config: "PorygonConfig",
+                 pipeline: "PorygonPipeline", chaos, seed: int = 0,
+                 telemetry=NULL_TELEMETRY):
+        self.env = env
+        self.config = config
+        self.pipeline = pipeline
+        self.chaos = chaos
+        self.seed = seed
+        self.telemetry = telemetry
+        self.ledger = PenaltyLedger()
+        #: Per-challenge outcome records (sorted canonically at report).
+        self.records: list[dict] = []
+        #: Ground truth: every corruption injected into a stream.
+        self.injections: list[dict] = []
+        #: Lazy signers that copied an honest peer (harmless on-chain).
+        self.lazy_benign_copies = 0
+        self.streams_built = 0
+        self.chunks_published = 0
+        self._round_procs: list = []
+        self._pair_seq = 0
+
+    # ------------------------------------------------------------------
+    # Pipeline hook: one shard's execution finished
+    # ------------------------------------------------------------------
+
+    def on_shard_executed(self, round_number: int, shard: int, committee,
+                          canonical: "CanonicalExecution",
+                          exec_faults: dict[int, str],
+                          member_results) -> None:
+        """Build this shard-round's streams and launch the challenges."""
+        bundle = canonical.verify_bundle
+        if bundle is None:
+            return  # stalled/retried execution without a capture
+        chunks = build_result_chunks(
+            bundle, self.config.verify_chunk_size,
+            expected_root=canonical.new_root,
+        )
+        probe_bytes = chunks[0].size_bytes
+        key_of = {
+            self.pipeline.stateless[m].public_key: m
+            for m in committee.members
+        }
+        groups: dict[bytes, list[int]] = {}
+        for result in member_results:
+            member = key_of.get(result.signer)
+            if member is None:
+                continue
+            groups.setdefault(result.subtree_root, []).append(member)
+
+        eq_root = equivocation_root(shard, round_number, canonical.new_root)
+        streams: list[_Stream] = []
+        for root in sorted(groups):
+            signers = tuple(sorted(groups[root]))
+            if root == canonical.new_root:
+                streams.append(_Stream(
+                    shard=shard, round_number=round_number, root=root,
+                    label="canonical", signers=signers, chunks=chunks,
+                    published=True, probe_bytes=probe_bytes,
+                ))
+                for member in signers:
+                    if exec_faults.get(member) == "lazy_sign":
+                        self.lazy_benign_copies += 1
+                continue
+            if root == eq_root:
+                corrupted = chunks[:-1] + (
+                    replace(chunks[-1], post_root=eq_root),
+                )
+                stream = _Stream(
+                    shard=shard, round_number=round_number, root=root,
+                    label="equivocate", signers=signers, chunks=corrupted,
+                    published=True, probe_bytes=probe_bytes,
+                )
+                self._record_injection(stream, "equivocate",
+                                       chunk_index=len(corrupted) - 1)
+            elif any(exec_faults.get(m) == "withhold_result" for m in signers):
+                stream = _Stream(
+                    shard=shard, round_number=round_number, root=root,
+                    label=f"withhold@{signers[0]}", signers=signers,
+                    chunks=None, published=False, probe_bytes=probe_bytes,
+                )
+                self._record_injection(stream, "withhold_result", chunk_index=0)
+            else:
+                stream = _Stream(
+                    shard=shard, round_number=round_number, root=root,
+                    label=f"junk@{signers[0]}", signers=signers,
+                    chunks=None, published=False, probe_bytes=probe_bytes,
+                )
+                self._record_injection(stream, "junk", chunk_index=0)
+            streams.append(stream)
+
+        self.streams_built += len(streams)
+        for stream in streams:
+            if stream.published:
+                self._publish_stream(stream)
+        self._launch_challenges(streams, committee)
+
+    def _record_injection(self, stream: _Stream, kind: str,
+                          chunk_index: int) -> None:
+        self.injections.append({
+            "round": stream.round_number,
+            "shard": stream.shard,
+            "stream": stream.label,
+            "root": stream.root.hex(),
+            "kind": kind,
+            "chunk_index": chunk_index,
+            "guilty": list(stream.signers),
+        })
+
+    # ------------------------------------------------------------------
+    # Publication (wire accounting)
+    # ------------------------------------------------------------------
+
+    def _publish_stream(self, stream: _Stream) -> None:
+        """Meter the stream's upload: full chunks once, then ChunkRefs."""
+        chunks = stream.chunks or ()
+        total = sum(chunk.size_bytes for chunk in chunks)
+        ref_total = sum(
+            ChunkRef(stream.root, chunk.index, chunk.digest()).size_bytes
+            for chunk in chunks
+        )
+        network = self.pipeline.network
+        for position, signer in enumerate(stream.signers):
+            node = self.pipeline.stateless[signer]
+            if not node.connections:
+                continue
+            size = total if position == 0 else ref_total
+            network.send(Message(
+                signer, node.connections[0],
+                "verify_chunks" if position == 0 else "verify_chunk_refs",
+                None, size, phase="verify",
+            ))
+        self.chunks_published += len(chunks)
+        self.telemetry.metrics.counter(
+            "verify_chunks_published_total"
+        ).inc(len(chunks))
+
+    # ------------------------------------------------------------------
+    # Challenges
+    # ------------------------------------------------------------------
+
+    def _challenger_pool(self, committee) -> list[int]:
+        """Honest stateless nodes free to challenge this shard-round."""
+        busy = set(self.pipeline.oc.members) | set(committee.members)
+        pool = []
+        for node_id in sorted(self.pipeline.stateless):
+            if node_id in busy:
+                continue
+            node = self.pipeline.stateless[node_id]
+            if node.is_malicious or not self.pipeline.fabric.is_benign(node_id):
+                continue
+            if self.chaos is not None and self.chaos.is_crashed(node_id):
+                continue
+            pool.append(node_id)
+        return pool
+
+    def _launch_challenges(self, streams: list[_Stream], committee) -> None:
+        if not streams:
+            return
+        pool = self._challenger_pool(committee)
+        if not pool:
+            return  # nobody to challenge: injections will fail the invariant
+        for stream in streams:
+            indices = (
+                range(len(stream.chunks)) if stream.chunks is not None
+                else range(1)
+            )
+            for chunk_index in indices:
+                challenger = pool[self._pair_seq % len(pool)]
+                self._pair_seq += 1
+                self._round_procs.append(self.env.process(
+                    self._challenge(challenger, stream, chunk_index)
+                ))
+
+    def _probe_unavailable(self, size_bytes: int):
+        """Model a fetch of a never-published chunk: all attempts expire."""
+        pipeline = self.pipeline
+        for attempt in range(self.config.fetch_max_attempts):
+            yield self.env.timeout(pipeline._transfer_deadline_s(size_bytes))
+            if attempt + 1 < self.config.fetch_max_attempts:
+                yield pipeline._backoff(attempt)
+        return False
+
+    def _challenge(self, challenger: int, stream: _Stream, chunk_index: int):
+        """One challenger verifies one chunk of one stream."""
+        pipeline = self.pipeline
+        metrics = self.telemetry.metrics
+        proof: FaultProof | None = None
+        with self.telemetry.tracer.span(
+            "phase.verify", track=f"verify-{stream.shard}",
+            round=stream.round_number, shard=stream.shard,
+            challenger=challenger,
+        ) as span:
+            if not stream.published:
+                yield from self._probe_unavailable(stream.probe_bytes)
+                outcome = "unavailable"
+                proof = FaultProof(
+                    kind="unavailable", shard=stream.shard,
+                    round_number=stream.round_number,
+                    stream_root=stream.root, chunk_index=chunk_index,
+                    challenger=challenger,
+                )
+            else:
+                chunk = stream.chunks[chunk_index]
+                fetched = yield from pipeline._routed_fetch(
+                    challenger, chunk.size_bytes, "verify_chunk", "verify",
+                )
+                if not fetched:
+                    outcome = "unavailable"
+                    proof = FaultProof(
+                        kind="unavailable", shard=stream.shard,
+                        round_number=stream.round_number,
+                        stream_root=stream.root, chunk_index=chunk_index,
+                        challenger=challenger,
+                    )
+                else:
+                    units = max(1, len(chunk.txs) + len(chunk.updates))
+                    yield self.env.timeout(
+                        _PER_KEY_VERIFY_S * max(1, len(chunk.access))
+                        + _PER_UNIT_EXECUTE_S * units
+                    )
+                    result = replay_chunk(chunk)
+                    if result.matches:
+                        outcome = "ok"
+                    else:
+                        outcome = "mismatch"
+                        proof = FaultProof(
+                            kind="mismatch", shard=stream.shard,
+                            round_number=stream.round_number,
+                            stream_root=stream.root, chunk_index=chunk_index,
+                            challenger=challenger, chunk=chunk,
+                            divergent_keys=result.divergent_keys,
+                            recomputed_post_root=result.computed_post_root,
+                        )
+            metrics.counter("verify_chunks_total", outcome=outcome).inc()
+            span.annotate(outcome=outcome, chunk=chunk_index)
+            verdict = ""
+            penalized: list[int] = []
+            if proof is not None:
+                verdict, penalized = yield from self._adjudicate(proof, stream)
+                span.annotate(verdict=verdict)
+        self.records.append({
+            "round": stream.round_number,
+            "shard": stream.shard,
+            "stream": stream.label,
+            "root": stream.root.hex(),
+            "chunk_index": chunk_index,
+            "challenger": challenger,
+            "outcome": outcome,
+            "verdict": verdict,
+            "penalized": penalized,
+        })
+
+    # ------------------------------------------------------------------
+    # Adjudication (OC side)
+    # ------------------------------------------------------------------
+
+    def _adjudicate(self, proof: FaultProof, stream: _Stream):
+        """Relay the proof to the OC and settle it; returns (verdict, penalized)."""
+        pipeline = self.pipeline
+        oc_members = list(pipeline.oc.members)
+        pipeline.fabric.relay(
+            proof.challenger, oc_members, "fault_proof", proof,
+            proof.size_bytes, "verify", lambda _r, _m: None,
+        )
+        leader = sorted(oc_members)[0]
+        if proof.kind == "unavailable":
+            if stream.published:
+                # The stream exists: the OC's own (retrying, failing-over)
+                # fetch settles availability. Even if that fetch is also
+                # chaos-dropped, a published stream never yields a
+                # penalty — availability faults are only chargeable when
+                # the data is genuinely unpublished.
+                yield from pipeline._routed_fetch(
+                    leader, stream.probe_bytes, "verify_chunk", "verify",
+                )
+                verdict = "rejected"
+            else:
+                yield from self._probe_unavailable(stream.probe_bytes)
+                verdict = "faulty"
+        else:
+            chunk = proof.chunk
+            units = max(1, len(chunk.txs) + len(chunk.updates))
+            yield self.env.timeout(
+                _PER_KEY_VERIFY_S * max(1, len(chunk.access))
+                + _PER_UNIT_EXECUTE_S * units
+            )
+            verdict = adjudicate_mismatch(proof)
+        self.telemetry.metrics.counter(
+            "fault_proofs_total", verdict=verdict
+        ).inc()
+        penalized: list[int] = []
+        if verdict == "faulty":
+            for signer in stream.signers:
+                self.ledger.charge(
+                    signer, stream.round_number, stream.shard, stream.label
+                )
+                penalized.append(signer)
+            self.telemetry.metrics.counter("penalties_total").inc(len(penalized))
+        return verdict, penalized
+
+    # ------------------------------------------------------------------
+    # Round boundary
+    # ------------------------------------------------------------------
+
+    def drain_round(self):
+        """Wait for every challenge launched this round to settle.
+
+        Called by the pipeline at the end of each round so adjudication
+        verdicts always land in the same round as the execution they
+        dispute — the invariant's K is therefore 0 — and no challenge
+        is left dangling when the driver stops the simulation.
+        """
+        procs, self._round_procs = self._round_procs, []
+        if procs:
+            yield self.env.all_of(procs)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict:
+        """Canonical (sorted) verification section of the soak report."""
+        record_key = (lambda r: (r["round"], r["shard"], r["stream"],
+                                 r["chunk_index"], r["challenger"]))
+        injection_key = (lambda i: (i["round"], i["shard"], i["stream"],
+                                    i["chunk_index"]))
+        outcomes: dict[str, int] = {}
+        verdicts: dict[str, int] = {}
+        for record in self.records:
+            outcomes[record["outcome"]] = outcomes.get(record["outcome"], 0) + 1
+            if record["verdict"]:
+                verdicts[record["verdict"]] = verdicts.get(record["verdict"], 0) + 1
+        return {
+            "streams": self.streams_built,
+            "chunks_published": self.chunks_published,
+            "lazy_benign_copies": self.lazy_benign_copies,
+            "challenges": {k: outcomes[k] for k in sorted(outcomes)},
+            "verdicts": {k: verdicts[k] for k in sorted(verdicts)},
+            "records": sorted(self.records, key=record_key),
+            "injections": sorted(self.injections, key=injection_key),
+            "penalties": self.ledger.report(),
+        }

@@ -1,0 +1,73 @@
+"""Compact fault proofs a challenger submits to the Ordering Committee.
+
+A fault proof is the Flow-style dispute artifact (DESIGN.md §16): small
+enough that the OC can adjudicate it by checking one multiproof and
+re-executing one chunk — never the whole block. Two kinds:
+
+``mismatch``
+    The chunk's multiproof-verified pre-state, re-executed, does not
+    reproduce the declared ``post_root``. Carries the divergent key set
+    and the challenger's recomputed post-root; the OC re-runs the same
+    pure :func:`~repro.verify.chunks.replay_chunk` check.
+
+``unavailable``
+    The challenger could not fetch the chunk at all (a withheld result
+    stream, or a stream that was never published for the signed root).
+    Carries no state evidence — the OC adjudicates by attempting its
+    own fetch, so a chaos-dropped fetch of an *available* stream is
+    ruled ``rejected`` rather than penalizing an honest executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.account import AccountId
+from repro.chain.sizes import HASH_WIRE_SIZE
+from repro.verify.chunks import ResultChunk
+
+#: Recognised fault-proof kinds.
+FAULT_PROOF_KINDS = ("mismatch", "unavailable")
+
+
+@dataclass(frozen=True)
+class FaultProof:
+    """One challenger's evidence against one chunk of a signed stream."""
+
+    kind: str
+    shard: int
+    round_number: int
+    #: Root of the disputed result stream (what the accused signed).
+    stream_root: bytes
+    chunk_index: int
+    challenger: int
+    #: The disputed chunk itself (``None`` for ``unavailable`` — there
+    #: is nothing to attach).
+    chunk: ResultChunk | None = None
+    #: Keys the re-execution diverged on (``mismatch`` only).
+    divergent_keys: tuple[AccountId, ...] = ()
+    #: The challenger's recomputed post-root (``mismatch`` only).
+    recomputed_post_root: bytes = b""
+
+    @property
+    def size_bytes(self) -> int:
+        """Modeled wire size of the proof the OC must download.
+
+        A mismatch proof ships the chunk ids and roots, the divergent
+        key set and the chunk's pre-state slice + multiproof (the OC
+        re-derives everything else); an unavailability claim is just
+        the ids.
+        """
+        base = 8 * 4 + 2 * HASH_WIRE_SIZE
+        if self.kind != "mismatch" or self.chunk is None:
+            return base
+        entry_bytes = sum(
+            9 + (len(encoded) if encoded is not None else 0)
+            for _key, encoded in self.chunk.entries
+        )
+        return (
+            base
+            + 8 * len(self.divergent_keys)
+            + entry_bytes
+            + self.chunk.pre_proof.size_bytes
+        )

@@ -26,6 +26,7 @@ INVARIANT_NAMES = (
     "tx_conservation",
     "bounded_recovery",
     "resync_convergence",
+    "verification_soundness",
 )
 
 

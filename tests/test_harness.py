@@ -21,7 +21,7 @@ from repro.metrics import is_monotonic
 def test_registry_covers_every_paper_result():
     expected = {
         "fig7a", "fig7b", "fig7c", "fig7d",
-        "fig8a", "fig8b", "fig8c", "fig8d",
+        "fig8a", "fig8b", "fig8c", "fig8d", "fig8d_measured",
         "fig9a", "fig9b", "table1",
         "sec4e", "sec5_safety", "sec5_liveness",
     }

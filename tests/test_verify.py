@@ -1,0 +1,424 @@
+"""Execution verification layer: chunks, proofs, adjudication (DESIGN.md §16).
+
+Unit coverage of the pure pieces — chunk build/replay round-trips, the
+partial-SMT batch prover, signed-root resolution, fault-proof
+adjudication and penalty bookkeeping — plus the chaos-event layer the
+malicious-executor schedules ride on.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.chain.account import Account
+from repro.chain.results import (
+    equivocation_root,
+    resolve_signed_roots,
+    withheld_root,
+)
+from repro.chain.transaction import Transaction
+from repro.chaos import (
+    EXECUTOR_KINDS,
+    ChaosEngine,
+    FaultEvent,
+    FaultSchedule,
+    preset,
+)
+from repro.core.execution import VerifyBundle
+from repro.crypto.smt import PartialSparseMerkleTree, SparseMerkleTree
+from repro.errors import ConfigError, StateError, VerifyError
+from repro.verify import (
+    FaultProof,
+    PenaltyLedger,
+    adjudicate_mismatch,
+    build_result_chunks,
+    replay_chunk,
+)
+
+DEPTH = 16
+
+
+# ---------------------------------------------------------------------------
+# Chaos events: the three executor-fault kinds (satellite 2)
+# ---------------------------------------------------------------------------
+
+class TestExecutorFaultEvents:
+    def test_executor_kinds_constant(self):
+        assert EXECUTOR_KINDS == ("equivocate", "lazy_sign", "withhold_result")
+
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    def test_needs_shard(self, kind):
+        with pytest.raises(ConfigError, match="shard"):
+            FaultEvent(kind=kind, start_round=2, end_round=4, fraction=0.25)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    def test_fraction_must_be_in_unit_interval(self, kind, fraction):
+        with pytest.raises(ConfigError, match="fraction"):
+            FaultEvent(kind=kind, shard=0, start_round=2, end_round=4,
+                       fraction=fraction)
+
+    def test_constructors(self):
+        eq = FaultEvent.equivocate(0, 0.25, 2, 5, label="wrong root")
+        lazy = FaultEvent.lazy_sign(1, 0.5, 3)
+        withhold = FaultEvent.withhold_result(0, 1.0, 4, 6)
+        assert eq.kind == "equivocate" and eq.shard == 0 and eq.fraction == 0.25
+        assert lazy.kind == "lazy_sign" and lazy.end_round is None
+        assert withhold.kind == "withhold_result" and withhold.fraction == 1.0
+
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    def test_json_round_trip(self, kind):
+        event = FaultEvent(kind=kind, shard=1, start_round=2, end_round=5,
+                           fraction=0.25, label="x")
+        schedule = FaultSchedule(events=(event,), seed=3, name="rt")
+        restored = FaultSchedule.from_json(schedule.to_json())
+        assert restored == schedule
+        payload = json.loads(schedule.to_json())
+        [entry] = payload["events"]
+        assert entry["kind"] == kind
+        assert entry["shard"] == 1
+        assert entry["fraction"] == 0.25
+
+    def test_malicious_executor_preset_builds(self):
+        schedule = preset("malicious-executor", num_storage_nodes=3,
+                          num_shards=2, seed=0)
+        kinds = {event.kind for event in schedule.events}
+        assert kinds == set(EXECUTOR_KINDS)
+        # Mixed, staggered windows on more than one shard.
+        assert len({event.shard for event in schedule.events}) == 2
+        assert all(event.fraction == 0.25 for event in schedule.events)
+        # The preset heals: the soak's bounded-recovery check applies.
+        assert schedule.heal_round() is not None
+        # Round-trips like every other preset.
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+
+class TestExecutorFaultAssignment:
+    def engine(self, *events, seed=0):
+        return ChaosEngine(FaultSchedule(events=tuple(events), seed=seed,
+                                         name="t"), salt=seed)
+
+    def test_no_events_no_faults(self):
+        engine = self.engine(FaultEvent.crash(0, 2, 4))
+        engine.begin_round(3)
+        assert engine.executor_faults(0, [4, 5, 6, 7]) == {}
+
+    def test_positional_over_sorted_ids(self):
+        engine = self.engine(FaultEvent.equivocate(0, 0.25, 2, 5))
+        engine.begin_round(3)
+        faults = engine.executor_faults(0, [9, 4, 7, 5])
+        # ceil(0.25 * 4) = 1 member, the lowest sorted id.
+        assert faults == {4: "equivocate"}
+
+    def test_precedence_and_disjoint_assignment(self):
+        engine = self.engine(
+            FaultEvent.equivocate(0, 0.25, 2, 5),
+            FaultEvent.withhold_result(0, 0.25, 2, 5),
+            FaultEvent.lazy_sign(0, 0.25, 2, 5),
+        )
+        engine.begin_round(3)
+        faults = engine.executor_faults(0, [1, 2, 3, 4])
+        # One member per kind, assigned in precedence order, no overlap.
+        assert faults == {1: "equivocate", 2: "withhold_result", 3: "lazy_sign"}
+
+    def test_deterministic_and_shard_scoped(self):
+        engine = self.engine(FaultEvent.equivocate(1, 0.5, 2, 5))
+        engine.begin_round(3)
+        assert engine.executor_faults(0, [1, 2, 3, 4]) == {}
+        first = engine.executor_faults(1, [1, 2, 3, 4])
+        assert first == engine.executor_faults(1, [1, 2, 3, 4])
+        assert first == {1: "equivocate", 2: "equivocate"}
+
+    def test_window_respected(self):
+        engine = self.engine(FaultEvent.equivocate(0, 1.0, 2, 4))
+        engine.begin_round(1)
+        assert engine.executor_faults(0, [1, 2]) == {}
+        engine.begin_round(4)
+        assert engine.executor_faults(0, [1, 2]) == {}
+        engine.begin_round(2)
+        assert engine.executor_faults(0, [1, 2]) == {1: "equivocate",
+                                                     2: "equivocate"}
+
+
+# ---------------------------------------------------------------------------
+# Signed-root resolution
+# ---------------------------------------------------------------------------
+
+class TestResolveSignedRoots:
+    CANONICAL = b"\x11" * 32
+
+    def keys(self, members):
+        return {m: bytes([m]) * 33 for m in members}
+
+    def test_all_honest_sign_canonical(self):
+        members = [1, 2, 3]
+        roots = resolve_signed_roots(members, {}, self.keys(members),
+                                     0, 5, self.CANONICAL)
+        assert set(roots.values()) == {self.CANONICAL}
+
+    def test_equivocators_collude_on_one_wrong_root(self):
+        members = [1, 2, 3, 4]
+        faults = {1: "equivocate", 2: "equivocate"}
+        roots = resolve_signed_roots(members, faults, self.keys(members),
+                                     0, 5, self.CANONICAL)
+        expected = equivocation_root(0, 5, self.CANONICAL)
+        assert roots[1] == roots[2] == expected
+        assert expected != self.CANONICAL
+        assert roots[3] == roots[4] == self.CANONICAL
+
+    def test_withholders_never_share_a_root(self):
+        members = [1, 2, 3]
+        keys = self.keys(members)
+        faults = {1: "withhold_result", 2: "withhold_result"}
+        roots = resolve_signed_roots(members, faults, keys, 0, 5,
+                                     self.CANONICAL)
+        assert roots[1] == withheld_root(0, 5, keys[1])
+        assert roots[1] != roots[2]
+        assert roots[3] == self.CANONICAL
+
+    def test_lazy_copies_lowest_non_lazy_member(self):
+        members = [1, 2, 3, 4]
+        faults = {1: "equivocate", 4: "lazy_sign"}
+        roots = resolve_signed_roots(members, faults, self.keys(members),
+                                     0, 5, self.CANONICAL)
+        # Member 1 (the equivocator) is the lowest non-lazy member: the
+        # lazy signer co-signs the wrong root without executing.
+        assert roots[4] == roots[1] == equivocation_root(0, 5, self.CANONICAL)
+
+    def test_lazy_is_benign_when_peers_are_honest(self):
+        members = [1, 2]
+        roots = resolve_signed_roots(members, {2: "lazy_sign"},
+                                     self.keys(members), 0, 5, self.CANONICAL)
+        assert roots[2] == self.CANONICAL
+
+
+# ---------------------------------------------------------------------------
+# Partial-SMT batch prover
+# ---------------------------------------------------------------------------
+
+class TestPartialProveBatch:
+    def partial_for(self, tree, keys):
+        proof = tree.prove_batch(keys)
+        values = {key: tree.get(key) for key in keys}
+        return PartialSparseMerkleTree.from_multiproof(
+            tree.root, proof, values, depth=DEPTH
+        )
+
+    def test_proves_against_current_root_after_updates(self):
+        tree = SparseMerkleTree.from_items(
+            [(1, b"a"), (2, b"b"), (9, b"c")], depth=DEPTH
+        )
+        partial = self.partial_for(tree, [1, 2, 9])
+        partial.update_many([(1, b"A"), (9, b"C")])
+        proof = partial.prove_batch([1, 2])
+        assert proof.verify_batch(partial.root, {1: b"A", 2: b"b"})
+        # ...and matches the full tree advanced the same way.
+        tree.update(1, b"A")
+        tree.update(9, b"C")
+        assert partial.root == tree.root
+        assert proof.verify_batch(tree.root, {1: b"A", 2: b"b"})
+
+    def test_uncovered_key_rejected(self):
+        tree = SparseMerkleTree.from_items([(1, b"a"), (5, b"b")], depth=DEPTH)
+        partial = self.partial_for(tree, [1])
+        with pytest.raises(StateError, match="cannot prove"):
+            partial.prove_batch([5])
+
+    def test_absent_key_provable(self):
+        tree = SparseMerkleTree.from_items([(1, b"a")], depth=DEPTH)
+        partial = self.partial_for(tree, [1, 7])
+        proof = partial.prove_batch([7])
+        assert proof.verify_batch(partial.root, {7: None})
+
+
+# ---------------------------------------------------------------------------
+# Chunk build / replay
+# ---------------------------------------------------------------------------
+
+def make_bundle(accounts, txs=(), u_entries=(), num_shards=1, shard=0):
+    """A VerifyBundle over a real full SMT (unit-test scale)."""
+    tree = SparseMerkleTree.from_items(
+        ((aid // num_shards, acct.encode()) for aid, acct in accounts.items()),
+        depth=DEPTH,
+    )
+    touched = set()
+    for tx in txs:
+        touched |= tx.access_list.touched
+    touched |= {aid for aid, _ in u_entries}
+    keys = sorted(aid // num_shards for aid in touched)
+    return VerifyBundle(
+        shard=shard, round_executed=3, base_root=tree.root, depth=DEPTH,
+        num_shards=num_shards, intra=tuple(txs), u_entries=tuple(u_entries),
+        multiproof=tree.prove_batch(keys),
+        proof_values=tuple(sorted((k, tree.get(k)) for k in keys)),
+    )
+
+
+def funded(*ids, balance=1_000):
+    return {aid: Account(aid, balance) for aid in ids}
+
+
+class TestChunkRoundTrip:
+    def test_canonical_stream_replays_clean(self):
+        txs = [
+            Transaction(sender=1, receiver=2, amount=10, nonce=0),
+            Transaction(sender=3, receiver=4, amount=20, nonce=0),
+            Transaction(sender=5, receiver=6, amount=30, nonce=0),
+        ]
+        bundle = make_bundle(funded(1, 2, 3, 4, 5, 6), txs)
+        chunks = build_result_chunks(bundle, chunk_size=2)
+        assert [c.kind for c in chunks] == ["tx", "tx"]
+        assert [len(c.txs) for c in chunks] == [2, 1]
+        # The stream composes: pre/post roots chain.
+        assert chunks[0].pre_root == bundle.base_root
+        assert chunks[1].pre_root == chunks[0].post_root
+        for chunk in chunks:
+            result = replay_chunk(chunk)
+            assert result.matches, result
+            assert result.computed_post_root == chunk.post_root
+
+    def test_expected_root_cross_check(self):
+        txs = [Transaction(sender=1, receiver=2, amount=10, nonce=0)]
+        bundle = make_bundle(funded(1, 2), txs)
+        chunks = build_result_chunks(bundle, chunk_size=4)
+        # The declared final root is accepted...
+        build_result_chunks(bundle, chunk_size=4,
+                            expected_root=chunks[-1].post_root)
+        # ...and a different one is a hard error.
+        with pytest.raises(VerifyError, match="expected canonical"):
+            build_result_chunks(bundle, chunk_size=4, expected_root=b"\x99" * 32)
+
+    def test_u_slice_chunk_first(self):
+        updates = ((7, Account(7, 555).encode()),)
+        txs = [Transaction(sender=1, receiver=2, amount=10, nonce=0)]
+        bundle = make_bundle(funded(1, 2, 7), txs, u_entries=updates)
+        chunks = build_result_chunks(bundle, chunk_size=8)
+        assert [c.kind for c in chunks] == ["u", "tx"]
+        assert chunks[0].updates == updates
+        for chunk in chunks:
+            assert replay_chunk(chunk).matches
+
+    def test_empty_round_gets_placeholder_chunk(self):
+        bundle = make_bundle(funded(1))
+        chunks = build_result_chunks(bundle, chunk_size=4)
+        [chunk] = chunks
+        assert chunk.kind == "empty"
+        assert chunk.pre_root == chunk.post_root == bundle.base_root
+        assert replay_chunk(chunk).matches
+
+    def test_failed_tx_part_of_stream(self):
+        # Insufficient balance: the transfer fails deterministically and
+        # leaves state untouched — both builder and replayer must agree.
+        txs = [
+            Transaction(sender=1, receiver=2, amount=10_000, nonce=0),
+            Transaction(sender=3, receiver=4, amount=5, nonce=0),
+        ]
+        bundle = make_bundle(funded(1, 2, 3, 4), txs)
+        [chunk] = build_result_chunks(bundle, chunk_size=8)
+        assert replay_chunk(chunk).matches
+
+    def test_sharded_key_mapping(self):
+        # num_shards=2, shard 0 owns even account ids; smt key = id // 2.
+        accounts = {0: Account(0, 100), 2: Account(2, 100)}
+        txs = [Transaction(sender=0, receiver=2, amount=7, nonce=0)]
+        bundle = make_bundle(accounts, txs, num_shards=2, shard=0)
+        [chunk] = build_result_chunks(bundle, chunk_size=8)
+        assert chunk.access == (0, 2)
+        assert replay_chunk(chunk).matches
+
+    def test_chunk_sizes_on_the_wire(self):
+        txs = [Transaction(sender=1, receiver=2, amount=10, nonce=0)]
+        bundle = make_bundle(funded(1, 2), txs)
+        [chunk] = build_result_chunks(bundle, chunk_size=4)
+        assert chunk.size_bytes > chunk.pre_proof.size_bytes
+        assert chunk.digest() != dataclasses.replace(
+            chunk, post_root=b"\x42" * 32
+        ).digest()
+
+
+class TestChunkCorruption:
+    def corrupted_chunk(self):
+        txs = [Transaction(sender=1, receiver=2, amount=10, nonce=0)]
+        bundle = make_bundle(funded(1, 2), txs)
+        [chunk] = build_result_chunks(bundle, chunk_size=4)
+        wrong = equivocation_root(0, 3, chunk.post_root)
+        return chunk, dataclasses.replace(chunk, post_root=wrong)
+
+    def test_tampered_post_root_detected(self):
+        _, corrupted = self.corrupted_chunk()
+        result = replay_chunk(corrupted)
+        assert not result.matches
+        assert result.divergent_keys  # the re-executed write set
+        assert result.computed_post_root != corrupted.post_root
+
+    def test_tampered_pre_state_detected(self):
+        chunk, _ = self.corrupted_chunk()
+        fake_entries = tuple(
+            (key, Account(key, 999_999).encode()) for key, _ in chunk.entries
+        )
+        tampered = dataclasses.replace(chunk, entries=fake_entries)
+        result = replay_chunk(tampered)
+        # The multiproof refuses the fake values before re-execution.
+        assert not result.matches
+        assert result.computed_post_root == b""
+        assert result.divergent_keys == chunk.access
+
+
+# ---------------------------------------------------------------------------
+# Adjudication + penalties
+# ---------------------------------------------------------------------------
+
+class TestAdjudication:
+    def proofs(self):
+        txs = [Transaction(sender=1, receiver=2, amount=10, nonce=0)]
+        bundle = make_bundle(funded(1, 2), txs)
+        [chunk] = build_result_chunks(bundle, chunk_size=4)
+        corrupted = dataclasses.replace(
+            chunk, post_root=equivocation_root(0, 3, chunk.post_root)
+        )
+        replay = replay_chunk(corrupted)
+        valid = FaultProof(
+            kind="mismatch", shard=0, round_number=3,
+            stream_root=corrupted.post_root, chunk_index=0, challenger=9,
+            chunk=corrupted, divergent_keys=replay.divergent_keys,
+            recomputed_post_root=replay.computed_post_root,
+        )
+        lying = dataclasses.replace(valid, chunk=chunk,
+                                    stream_root=chunk.post_root)
+        return valid, lying
+
+    def test_valid_mismatch_proof_rules_faulty(self):
+        valid, _ = self.proofs()
+        assert adjudicate_mismatch(valid) == "faulty"
+
+    def test_lying_challenger_rejected(self):
+        _, lying = self.proofs()
+        # The attached chunk replays clean: the dispute is bogus.
+        assert adjudicate_mismatch(lying) == "rejected"
+
+    def test_proof_without_chunk_rejected(self):
+        valid, _ = self.proofs()
+        assert adjudicate_mismatch(
+            dataclasses.replace(valid, chunk=None)
+        ) == "rejected"
+
+    def test_mismatch_proof_wire_size(self):
+        valid, _ = self.proofs()
+        bare = FaultProof(kind="unavailable", shard=0, round_number=3,
+                          stream_root=b"\x01" * 32, chunk_index=0,
+                          challenger=9)
+        assert valid.size_bytes > bare.size_bytes
+        assert valid.size_bytes < 10_000  # compact: never the whole block
+
+    def test_penalty_ledger_report_canonical(self):
+        ledger = PenaltyLedger()
+        ledger.charge(5, 4, 1, "equivocate")
+        ledger.charge(3, 2, 0, "withhold@3")
+        ledger.charge(5, 6, 1, "equivocate")
+        assert ledger.total == 3
+        assert ledger.penalized_nodes() == (3, 5)
+        report = ledger.report()
+        assert report["total"] == 3
+        assert report["by_node"] == {"3": 1, "5": 2}
+        assert [e["round"] for e in report["events"]] == [2, 4, 6]

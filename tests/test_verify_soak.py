@@ -1,0 +1,208 @@
+"""End-to-end verification layer soaks (DESIGN.md §16 acceptance).
+
+Under the ``malicious-executor`` preset every injected wrong-result
+stream must be caught by a challenger fault proof and adjudicated
+against the offending signers — penalty recorded, zero honest nodes
+penalized — across multiple seeds with byte-identical reports. And the
+arming contract: fault-free runs never construct the verifier and
+commit bit-identical roots with the knob on or off.
+"""
+
+import gc
+import json
+import sys
+
+import pytest
+
+from repro.chaos import preset
+from repro.core import PorygonConfig, PorygonSimulation
+from repro.harness.chaos import chaos_config, main, report_json, run_chaos
+from repro.state.global_state import aggregate_root
+from repro.telemetry import NULL_TELEMETRY
+from repro.workload import WorkloadGenerator
+
+SEEDS = (7, 11)
+
+
+def malicious_report(seed: int, rounds: int = 10) -> dict:
+    config = chaos_config()
+    schedule = preset("malicious-executor",
+                      num_storage_nodes=config.num_storage_nodes,
+                      num_shards=config.num_shards, seed=seed)
+    return run_chaos(schedule, rounds=rounds, seed=seed, num_txs=200)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def soak(request):
+    return request.param, malicious_report(request.param)
+
+
+class TestMaliciousExecutorSoak:
+    def test_all_invariants_pass(self, soak):
+        _seed, report = soak
+        assert report["ok"], report["invariants"]
+        soundness = report["invariants"]["verification_soundness"]
+        assert not soundness.get("skipped")
+        assert soundness["ok"], soundness["problems"]
+
+    def test_every_injection_adjudicated(self, soak):
+        _seed, report = soak
+        verification = report["verification"]
+        assert verification["enabled"]
+        injections = verification["injections"]
+        assert injections, "preset must inject faulty streams"
+        faulty = {
+            (r["round"], r["shard"], r["root"])
+            for r in verification["records"] if r["verdict"] == "faulty"
+        }
+        for injection in injections:
+            key = (injection["round"], injection["shard"], injection["root"])
+            assert key in faulty, f"injection not adjudicated: {injection}"
+
+    def test_penalties_cover_guilty_and_only_guilty(self, soak):
+        _seed, report = soak
+        verification = report["verification"]
+        guilty = set()
+        for injection in verification["injections"]:
+            guilty |= set(injection["guilty"])
+        penalized = {
+            int(node) for node in verification["penalties"]["by_node"]
+        }
+        assert penalized, "faulty verdicts must charge penalties"
+        assert penalized <= guilty
+        soundness = report["invariants"]["verification_soundness"]
+        assert soundness["penalties"] == verification["penalties"]["total"]
+
+    def test_commits_continue_through_fault_windows(self, soak):
+        _seed, report = soak
+        # Quarter-fraction signers never break the T_e honest quorum.
+        assert report["summary"]["committed"] == 200
+        assert report["invariants"]["replay_equality"]["ok"]
+
+    def test_byte_identical_reports(self, soak):
+        seed, report = soak
+        again = malicious_report(seed)
+        assert report_json(report) == report_json(again)
+
+    def test_verify_metrics_in_telemetry_totals(self, soak):
+        _seed, report = soak
+        totals = report["telemetry"]["totals"]
+        assert any(k.startswith("verify_chunks_total") for k in totals)
+        assert any(k.startswith("fault_proofs_total") for k in totals)
+        assert totals.get("penalties_total", 0) > 0
+
+
+class TestArmingContract:
+    def run_plain(self, verification: bool):
+        """Fault-free run (no chaos engine): the verifier must not exist."""
+        config = PorygonConfig(
+            num_shards=2, nodes_per_shard=4, ordering_size=4,
+            num_storage_nodes=3, storage_connections=2, txs_per_block=8,
+            round_overhead_s=0.25, consensus_step_timeout_s=0.25,
+            verification=verification,
+        )
+        sim = PorygonSimulation(config, seed=5)
+        generator = WorkloadGenerator(num_accounts=400, num_shards=2,
+                                      cross_shard_ratio=0.2, unique=True,
+                                      seed=5)
+        batch = generator.batch(100)
+        sim.fund_accounts(sorted({tx.sender for tx in batch}), 1_000)
+        sim.submit(batch)
+        report = sim.run(num_rounds=8)
+        return sim, report
+
+    def test_fault_free_never_constructs_verifier(self):
+        sim_off, report_off = self.run_plain(False)
+        sim_on, report_on = self.run_plain(True)
+        assert sim_off.verify is None and sim_on.verify is None
+        assert sim_off.pipeline.verify is None and sim_on.pipeline.verify is None
+        # Bit-identical roots and outcomes with the knob on or off.
+        root_off = aggregate_root(dict(sim_off.hub.state.shard_roots))
+        root_on = aggregate_root(dict(sim_on.hub.state.shard_roots))
+        assert root_off == root_on
+        assert report_off.committed == report_on.committed
+        assert report_off.elapsed_s == report_on.elapsed_s
+
+    def test_non_executor_schedule_stays_unarmed(self):
+        config = chaos_config()
+        schedule = preset("storage-crash-heal",
+                          num_storage_nodes=config.num_storage_nodes,
+                          num_shards=config.num_shards, seed=7)
+        report = run_chaos(schedule, rounds=8, seed=7, num_txs=100)
+        assert not report["verification"]["enabled"]
+        assert report["invariants"]["verification_soundness"]["skipped"]
+
+    def test_forced_verify_on_honest_run_finds_nothing(self):
+        config = chaos_config()
+        schedule = preset("storage-crash-heal",
+                          num_storage_nodes=config.num_storage_nodes,
+                          num_shards=config.num_shards, seed=7)
+        report = run_chaos(schedule, rounds=8, seed=7, num_txs=100,
+                           verify=True)
+        verification = report["verification"]
+        assert verification["enabled"]
+        assert verification["injections"] == []
+        assert verification["penalties"]["total"] == 0
+        assert "faulty" not in verification.get("verdicts", {})
+        assert report["ok"], report["invariants"]
+
+    def test_auto_arm_can_be_overridden_off(self):
+        config = chaos_config()
+        schedule = preset("malicious-executor",
+                          num_storage_nodes=config.num_storage_nodes,
+                          num_shards=config.num_shards, seed=7)
+        report = run_chaos(schedule, rounds=8, seed=7, num_txs=100,
+                           verify=False)
+        assert not report["verification"]["enabled"]
+        # Commits still land: the wrong signers stay below T_e.
+        assert report["summary"]["committed"] > 0
+
+
+class TestCli:
+    def test_cli_soak_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = main(["--preset", "malicious-executor", "--rounds", "8",
+                   "--seed", "3", "--txs", "100", "--output", str(out)])
+        capsys.readouterr()
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["verification"]["enabled"]
+        assert report["invariants"]["verification_soundness"]["ok"]
+
+    def test_cli_no_verify_flag(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        rc = main(["--preset", "malicious-executor", "--rounds", "8",
+                   "--seed", "3", "--txs", "100", "--no-verify",
+                   "--output", str(out)])
+        capsys.readouterr()
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert not report["verification"]["enabled"]
+
+    def test_cli_verify_chunk_size_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--preset", "malicious-executor", "--verify-chunk-size",
+                  "0"])
+        capsys.readouterr()
+
+
+def test_null_verify_metrics_allocate_nothing():
+    """The disabled-telemetry counter path of the verification layer
+    must not grow the heap (same contract as the null tracer)."""
+    metrics = NULL_TELEMETRY.metrics
+
+    def hammer():
+        for _ in range(200):
+            metrics.counter("verify_chunks_total", outcome="ok").inc()
+            metrics.counter("fault_proofs_total", verdict="faulty").inc()
+            metrics.counter("penalties_total").inc(2)
+
+    deltas = []
+    for _ in range(3):
+        hammer()
+        gc.collect()
+        before = sys.getallocatedblocks()
+        hammer()
+        gc.collect()
+        deltas.append(sys.getallocatedblocks() - before)
+    assert min(deltas) <= 0, f"null metrics leaked blocks: {deltas}"
